@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact for experiment `e5_ablation` (run via
+//! `cargo bench --bench ablation`).
+
+fn main() {
+    println!("{}", zolc_bench::e5_ablation());
+}

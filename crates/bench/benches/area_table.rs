@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact for experiment `e2_area_table` (run via
+//! `cargo bench --bench area_table`).
+
+fn main() {
+    println!("{}", zolc_bench::e2_area_table());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact for experiment `e1_fig2` (run via
+//! `cargo bench --bench fig2_cycles`).
+
+fn main() {
+    println!("{}", zolc_bench::e1_fig2());
+}

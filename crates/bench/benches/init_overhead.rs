@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact for experiment `e4_init_overhead` (run via
+//! `cargo bench --bench init_overhead`).
+
+fn main() {
+    println!("{}", zolc_bench::e4_init_overhead());
+}

@@ -1,0 +1,36 @@
+//! Criterion wall-clock benchmarks of the simulator itself: how fast the
+//! pipeline + controller models execute the benchmark kernels
+//! (engineering metric, not a paper artifact).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zolc_core::ZolcConfig;
+use zolc_ir::Target;
+use zolc_kernels::{kernels, run_kernel};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    for name in ["matmul", "crc32", "me_tss"] {
+        let entry = kernels()
+            .iter()
+            .find(|k| k.name == name)
+            .expect("kernel exists");
+        for (label, target) in [
+            ("baseline", Target::Baseline),
+            ("zolc_lite", Target::Zolc(ZolcConfig::lite())),
+        ] {
+            let built = (entry.build)(&target).expect("builds");
+            group.bench_function(format!("{name}/{label}"), |b| {
+                b.iter(|| {
+                    let run = run_kernel(&built, 50_000_000).expect("runs");
+                    assert!(run.is_correct());
+                    run.stats.cycles
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

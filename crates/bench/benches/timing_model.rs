@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact for experiment `e3_timing` (run via
+//! `cargo bench --bench timing_model`).
+
+fn main() {
+    println!("{}", zolc_bench::e3_timing());
+}

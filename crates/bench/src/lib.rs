@@ -1,0 +1,27 @@
+//! # zolc-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§3) plus
+//! the ablation studies; see `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured results.
+//!
+//! | experiment | paper artifact | bench target |
+//! |------------|----------------|--------------|
+//! | [`e1_fig2`] | Figure 2 (relative cycles, 12 benchmarks) | `benches/fig2_cycles.rs` |
+//! | [`e2_area_table`] | §3 storage/gate numbers | `benches/area_table.rs` |
+//! | [`e3_timing`] | §3 cycle-time claim (~170 MHz) | `benches/timing_model.rs` |
+//! | [`e4_init_overhead`] | §2 initialization-overhead claim | `benches/init_overhead.rs` |
+//! | [`e5_ablation`] | §1/§3 config variants + perfect-nest unit \[2\] | `benches/ablation.rs` |
+//! | simulator throughput | (engineering) | `benches/sim_throughput.rs` (criterion) |
+//!
+//! Run them all with `cargo bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod experiments;
+mod matrix;
+mod table;
+
+pub use experiments::{e1_fig2, e2_area_table, e3_timing, e4_init_overhead, e5_ablation, paper};
+pub use matrix::{measure, Fig2Report, Fig2Row, Measurement, MAX_CYCLES};
+pub use table::{render_bars, render_table};

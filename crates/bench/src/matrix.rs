@@ -1,0 +1,197 @@
+//! The kernel × configuration measurement matrix behind Fig. 2.
+
+use std::fmt;
+use zolc_core::ZolcConfig;
+use zolc_ir::Target;
+use zolc_kernels::{kernels, run_kernel, KernelEntry};
+use zolc_sim::Stats;
+
+/// Cycle budget generous enough for every kernel on every target.
+pub const MAX_CYCLES: u64 = 50_000_000;
+
+/// One (kernel, target) measurement, correctness-checked.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Kernel name.
+    pub kernel: String,
+    /// Target configuration.
+    pub target: Target,
+    /// Full pipeline statistics.
+    pub stats: Stats,
+}
+
+/// Measures one kernel on one target.
+///
+/// # Panics
+///
+/// Panics if the kernel fails to build, run, or verify against its
+/// reference model — experiment results are only meaningful for correct
+/// runs, so a mismatch is fatal by design.
+pub fn measure(entry: &KernelEntry, target: &Target) -> Measurement {
+    let built = (entry.build)(target)
+        .unwrap_or_else(|e| panic!("{}/{}: build failed: {e}", entry.name, target));
+    let run = run_kernel(&built, MAX_CYCLES)
+        .unwrap_or_else(|e| panic!("{}/{}: run failed: {e}", entry.name, target));
+    assert!(
+        run.is_correct(),
+        "{}/{}: incorrect run: {:?} {:?}",
+        entry.name,
+        target,
+        run.mismatches,
+        run.violations
+    );
+    Measurement {
+        kernel: entry.name.to_owned(),
+        target: target.clone(),
+        stats: run.stats,
+    }
+}
+
+/// One Fig. 2 row: a kernel's cycles on the three compared configurations.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Kernel name.
+    pub kernel: String,
+    /// Cycles on the unmodified core (`XRdefault`).
+    pub baseline: u64,
+    /// Cycles with branch-decrement loops (`XRhrdwil`).
+    pub hwloop: u64,
+    /// Cycles with the ZOLC (`ZOLClite`, as in the paper's figure).
+    pub zolc: u64,
+}
+
+impl Fig2Row {
+    /// Cycle reduction of `XRhrdwil` relative to `XRdefault`, percent.
+    pub fn hwloop_improvement(&self) -> f64 {
+        100.0 * (self.baseline as f64 - self.hwloop as f64) / self.baseline as f64
+    }
+
+    /// Cycle reduction of the ZOLC relative to `XRdefault`, percent.
+    pub fn zolc_improvement(&self) -> f64 {
+        100.0 * (self.baseline as f64 - self.zolc as f64) / self.baseline as f64
+    }
+
+    /// Relative cycles (normalized to `XRdefault` = 1.0) in figure order.
+    pub fn relative(&self) -> [f64; 3] {
+        let b = self.baseline as f64;
+        [1.0, self.hwloop as f64 / b, self.zolc as f64 / b]
+    }
+}
+
+/// The complete Fig. 2 data set with the paper's aggregate statistics.
+#[derive(Debug, Clone)]
+pub struct Fig2Report {
+    /// One row per benchmark, in registry order.
+    pub rows: Vec<Fig2Row>,
+}
+
+impl Fig2Report {
+    /// Measures all twelve benchmarks on the three Fig. 2 configurations.
+    pub fn collect() -> Fig2Report {
+        let zolc = Target::Zolc(ZolcConfig::lite());
+        let rows = kernels()
+            .iter()
+            .map(|k| Fig2Row {
+                kernel: k.name.to_owned(),
+                baseline: measure(k, &Target::Baseline).stats.cycles,
+                hwloop: measure(k, &Target::HwLoop).stats.cycles,
+                zolc: measure(k, &zolc).stats.cycles,
+            })
+            .collect();
+        Fig2Report { rows }
+    }
+
+    /// Average `XRhrdwil` improvement (paper: about 11.1%).
+    pub fn avg_hwloop(&self) -> f64 {
+        self.rows.iter().map(Fig2Row::hwloop_improvement).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Maximum `XRhrdwil` improvement (paper: up to 27.5%).
+    pub fn max_hwloop(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(Fig2Row::hwloop_improvement)
+            .fold(f64::MIN, f64::max)
+    }
+
+    /// Average ZOLC improvement (paper: about 26.2%).
+    pub fn avg_zolc(&self) -> f64 {
+        self.rows.iter().map(Fig2Row::zolc_improvement).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Maximum ZOLC improvement (paper: up to 48.2%).
+    pub fn max_zolc(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(Fig2Row::zolc_improvement)
+            .fold(f64::MIN, f64::max)
+    }
+
+    /// Minimum ZOLC improvement (paper abstract: 8.4%).
+    pub fn min_zolc(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(Fig2Row::zolc_improvement)
+            .fold(f64::MAX, f64::min)
+    }
+
+    /// The central shape claim of the figure: the ZOLC is at least as fast
+    /// as branch-decrement on every benchmark, which is at least as fast
+    /// as the software baseline.
+    pub fn ordering_holds(&self) -> bool {
+        self.rows
+            .iter()
+            .all(|r| r.zolc <= r.hwloop && r.hwloop <= r.baseline)
+    }
+}
+
+impl fmt::Display for Fig2Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<12} base {:>8} hw {:>8} ({:>5.1}%) zolc {:>8} ({:>5.1}%)",
+                r.kernel,
+                r.baseline,
+                r.hwloop,
+                r.hwloop_improvement(),
+                r.zolc,
+                r.zolc_improvement()
+            )?;
+        }
+        write!(
+            f,
+            "hw avg {:.1}% max {:.1}% | zolc avg {:.1}% max {:.1}% min {:.1}%",
+            self.avg_hwloop(),
+            self.max_hwloop(),
+            self.avg_zolc(),
+            self.max_zolc(),
+            self.min_zolc()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_checks_correctness() {
+        let m = measure(&kernels()[0], &Target::Baseline);
+        assert!(m.stats.cycles > 0);
+        assert_eq!(m.kernel, "vec_mac");
+    }
+
+    #[test]
+    fn fig2_row_math() {
+        let r = Fig2Row {
+            kernel: "x".into(),
+            baseline: 100,
+            hwloop: 90,
+            zolc: 75,
+        };
+        assert!((r.hwloop_improvement() - 10.0).abs() < 1e-9);
+        assert!((r.zolc_improvement() - 25.0).abs() < 1e-9);
+        assert_eq!(r.relative(), [1.0, 0.9, 0.75]);
+    }
+}

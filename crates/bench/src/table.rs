@@ -1,0 +1,105 @@
+//! Plain-text tables and bar charts for the experiment reports.
+
+/// Renders an ASCII table: `headers` then one row per entry.
+///
+/// Column widths adapt to the longest cell; numeric-looking cells are
+/// right-aligned.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (k, cell) in row.iter().enumerate().take(cols) {
+            widths[k] = widths[k].max(cell.len());
+        }
+    }
+    let numeric = |s: &str| {
+        !s.is_empty()
+            && s.chars()
+                .all(|c| c.is_ascii_digit() || ".%+-x".contains(c))
+    };
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], out: &mut String| {
+        for (k, cell) in cells.iter().enumerate().take(cols) {
+            if k > 0 {
+                out.push_str("  ");
+            }
+            if numeric(cell) {
+                out.push_str(&format!("{cell:>w$}", w = widths[k]));
+            } else {
+                out.push_str(&format!("{cell:<w$}", w = widths[k]));
+            }
+        }
+        out.push('\n');
+    };
+    fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &mut out,
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        fmt_row(row, &mut out);
+    }
+    out
+}
+
+/// Renders a horizontal bar chart of `(label, value)` pairs, normalized to
+/// the maximum value — the text rendition of the paper's Fig. 2 bars.
+pub fn render_bars(title: &str, series: &[(String, f64)], width: usize) -> String {
+    let max = series.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+    let label_w = series.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for (label, value) in series {
+        let n = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "  {label:<label_w$} |{} {value:.3}\n",
+            "#".repeat(n)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["name", "cycles"],
+            &[
+                vec!["a".into(), "10".into()],
+                vec!["longer".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("10"));
+        assert!(lines[3].contains("longer"));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let b = render_bars(
+            "t",
+            &[("x".into(), 1.0), ("y".into(), 0.5)],
+            10,
+        );
+        let lines: Vec<&str> = b.lines().collect();
+        let hashes = |s: &str| s.chars().filter(|&c| c == '#').count();
+        assert_eq!(hashes(lines[1]), 10);
+        assert_eq!(hashes(lines[2]), 5);
+    }
+
+    #[test]
+    fn bars_handle_zero_series() {
+        let b = render_bars("t", &[("x".into(), 0.0)], 10);
+        assert!(b.contains("0.000"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Counted-loop detection and automatic ZOLC mapping.
+//!
+//! This is the analysis direction of the compiler support the paper
+//! assumes: given *software-loop* machine code (the `XRdefault` form), it
+//! recognizes the down-counter pattern
+//!
+//! ```text
+//!       li    cnt, N          ; preheader (trip count)
+//! top:  ...body...
+//!       addi  cnt, cnt, -1    ; latch
+//!       bne   cnt, r0, top
+//! ```
+//!
+//! (or the `dbnz` equivalent of `XRhrdwil` code), extracts the loop
+//! parameters, and proposes a [`ZolcImage`] — the task-switching entries
+//! and loop records a ZOLC port of the same program would use. The
+//! proposal is cross-checked against the original structure by
+//! [`crate::verify::verify_image`] and, in the test-suite, against the
+//! known IR of the benchmark kernels.
+
+use crate::graph::Cfg;
+use crate::loops::{LoopForest, NaturalLoop};
+use zolc_core::{LimitSrc, LoopSpec, TaskSpec, ZolcImage, TASK_NONE};
+use zolc_isa::{Instr, Program, Reg};
+
+/// A recognized counted loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountedLoop {
+    /// The underlying natural loop id in the [`LoopForest`].
+    pub loop_id: usize,
+    /// Byte address of the first body instruction (the header).
+    pub start: u32,
+    /// Byte address of the latch branch.
+    pub branch_addr: u32,
+    /// The down-counter register.
+    pub counter: Reg,
+    /// Trip count when the preheader load is visible (`li cnt, N`).
+    pub trips: Option<u32>,
+    /// Whether the latch is a `dbnz` (XRhrdwil code) rather than an
+    /// `addi`+`bne` pair.
+    pub via_dbnz: bool,
+}
+
+/// Scans a program's loop forest for counted loops.
+///
+/// Loops whose latch does not match the pattern are skipped (they remain
+/// in the forest; the mapper reports them as unhandled).
+pub fn detect_counted_loops(program: &Program, cfg: &Cfg, forest: &LoopForest) -> Vec<CountedLoop> {
+    let mut found = Vec::new();
+    for l in &forest.loops {
+        if let Some(c) = match_counted(program, cfg, l) {
+            found.push(c);
+        }
+    }
+    found
+}
+
+fn match_counted(program: &Program, cfg: &Cfg, l: &NaturalLoop) -> Option<CountedLoop> {
+    // single latch whose block ends with the counting branch
+    let &latch = l.latches.first()?;
+    if l.latches.len() != 1 {
+        return None;
+    }
+    let latch_block = &cfg.blocks()[latch];
+    let branch_addr = latch_block.end - 4;
+    let branch = *program.instr_at(branch_addr)?;
+    let header_start = cfg.blocks()[l.header].start;
+
+    let (counter, via_dbnz) = match branch {
+        Instr::Dbnz { rs, .. } => (rs, true),
+        Instr::Bne { rs, rt, .. } if rt.is_zero() => {
+            // preceding instruction must be the decrement of rs
+            let dec_addr = branch_addr.checked_sub(4)?;
+            match program.instr_at(dec_addr)? {
+                Instr::Addi { rt: d, rs: s, imm: -1 } if *d == rs && *s == rs => (rs, false),
+                _ => return None,
+            }
+        }
+        _ => return None,
+    };
+    // the branch must target the header
+    if branch.branch_target(branch_addr) != Some(header_start) {
+        return None;
+    }
+    // trip count: look backwards from the header for `li counter, N`
+    // (addi counter, r0, N) in the preheader straight-line code
+    let mut trips = None;
+    let mut pc = header_start;
+    for _ in 0..4 {
+        let Some(prev) = pc.checked_sub(4) else { break };
+        match program.instr_at(prev) {
+            Some(&Instr::Addi { rt, rs, imm }) if rt == counter && rs.is_zero() && imm > 0 => {
+                trips = Some(imm as u32);
+                break;
+            }
+            Some(i) if i.dst() == Some(counter) => break, // other producer
+            Some(_) => pc = prev,
+            None => break,
+        }
+    }
+    Some(CountedLoop {
+        loop_id: l.id,
+        start: header_start,
+        branch_addr,
+        counter,
+        trips,
+        via_dbnz,
+    })
+}
+
+/// The result of automatically mapping a software-loop program onto the
+/// ZOLC.
+#[derive(Debug, Clone)]
+pub struct MappedProgram {
+    /// The proposed table image (loop records + task entries).
+    pub image: ZolcImage,
+    /// The counted loops backing each image loop, in image order.
+    pub counted: Vec<CountedLoop>,
+    /// Natural loops that did not match the counted pattern.
+    pub unhandled: Vec<usize>,
+}
+
+/// Proposes a ZOLC table image for a software-loop program.
+///
+/// Loop records use the *body* region (header start to the instruction
+/// before the counting code); task entries chain by nesting, exactly as
+/// the forward lowering would emit them. Loops without a recognizable
+/// trip count use a register-sourced limit.
+pub fn map_to_zolc(program: &Program, cfg: &Cfg, forest: &LoopForest) -> MappedProgram {
+    let counted = detect_counted_loops(program, cfg, forest);
+    let unhandled: Vec<usize> = forest
+        .loops
+        .iter()
+        .map(|l| l.id)
+        .filter(|id| counted.iter().all(|c| c.loop_id != *id))
+        .collect();
+
+    // order image loops outermost-first by forest order (forest sorts by
+    // body size, parents first)
+    let mut image = ZolcImage::default();
+    for c in &counted {
+        let l = &forest.loops[c.loop_id];
+        // body end: the instruction before the counting code
+        let end = if c.via_dbnz {
+            c.branch_addr - 4
+        } else {
+            c.branch_addr - 8
+        };
+        image.loops.push(LoopSpec {
+            init: 0,
+            step: 0,
+            limit: match c.trips {
+                Some(n) => LimitSrc::Const(n),
+                None => LimitSrc::Reg(c.counter),
+            },
+            index_reg: None,
+            start: c.start.into(),
+            end: end.into(),
+        });
+        let _ = l;
+    }
+    // task chaining: next_iter = innermost first-ending descendant,
+    // next_fallthru = next sibling or parent
+    let idx_of = |lid: usize| counted.iter().position(|c| c.loop_id == lid);
+    for (k, c) in counted.iter().enumerate() {
+        let l = &forest.loops[c.loop_id];
+        // first loop (by start address) directly inside this one
+        let first_child = forest
+            .loops
+            .iter()
+            .filter(|x| x.parent == Some(l.id))
+            .min_by_key(|x| cfg.blocks()[x.header].start)
+            .and_then(|x| idx_of(x.id));
+        let next_iter = first_child.unwrap_or(k) as u8;
+        // next sibling loop after this one
+        let sibling = forest
+            .loops
+            .iter()
+            .filter(|x| x.parent == l.parent && x.id != l.id)
+            .filter(|x| cfg.blocks()[x.header].start > cfg.blocks()[l.header].start)
+            .min_by_key(|x| cfg.blocks()[x.header].start)
+            .and_then(|x| idx_of(x.id));
+        let next_fallthru = sibling
+            .or_else(|| l.parent.and_then(idx_of))
+            .map_or(TASK_NONE, |x| x as u8);
+        image.tasks.push(TaskSpec {
+            end: image.loops[k].end,
+            loop_id: k as u8,
+            next_iter,
+            next_fallthru,
+        });
+    }
+    // initial task: descend from the first top-level loop
+    image.initial_task = image
+        .tasks
+        .first()
+        .map(|t| t.next_iter)
+        .unwrap_or(TASK_NONE);
+
+    MappedProgram {
+        image,
+        counted,
+        unhandled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Dominators;
+    use zolc_isa::{assemble, reg};
+
+    fn analyze(src: &str) -> (Program, Cfg, LoopForest) {
+        let p = assemble(src).unwrap();
+        let cfg = Cfg::build(&p);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::analyze(&cfg, &dom);
+        (p, cfg, forest)
+    }
+
+    #[test]
+    fn detects_baseline_down_counter() {
+        let (p, cfg, f) = analyze(
+            "
+            li   r11, 10
+      top:  add  r2, r2, r3
+            addi r11, r11, -1
+            bne  r11, r0, top
+            halt
+        ",
+        );
+        let c = detect_counted_loops(&p, &cfg, &f);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].counter, reg(11));
+        assert_eq!(c[0].trips, Some(10));
+        assert!(!c[0].via_dbnz);
+        assert_eq!(c[0].start, 4);
+    }
+
+    #[test]
+    fn detects_dbnz_loop() {
+        let (p, cfg, f) = analyze(
+            "
+            li   r12, 7
+      top:  add  r2, r2, r3
+            dbnz r12, top
+            halt
+        ",
+        );
+        let c = detect_counted_loops(&p, &cfg, &f);
+        assert_eq!(c.len(), 1);
+        assert!(c[0].via_dbnz);
+        assert_eq!(c[0].trips, Some(7));
+    }
+
+    #[test]
+    fn register_trip_counts_detected_as_reg_limit() {
+        let (p, cfg, f) = analyze(
+            "
+            add  r11, r9, r0
+      top:  add  r2, r2, r3
+            addi r11, r11, -1
+            bne  r11, r0, top
+            halt
+        ",
+        );
+        let m = map_to_zolc(&p, &cfg, &f);
+        assert_eq!(m.counted.len(), 1);
+        assert_eq!(m.counted[0].trips, None);
+        assert!(matches!(m.image.loops[0].limit, LimitSrc::Reg(_)));
+    }
+
+    #[test]
+    fn non_counted_loops_reported_unhandled() {
+        // data-dependent while-loop (no counter pattern)
+        let (p, cfg, f) = analyze(
+            "
+      top:  lw   r1, 0(r2)
+            bne  r1, r0, top
+            halt
+        ",
+        );
+        let m = map_to_zolc(&p, &cfg, &f);
+        assert!(m.counted.is_empty());
+        assert_eq!(m.unhandled.len(), 1);
+    }
+
+    #[test]
+    fn nest_maps_with_chained_tasks() {
+        let (p, cfg, f) = analyze(
+            "
+            li   r11, 3
+      oth:  li   r12, 4
+      inh:  add  r2, r2, r3
+            addi r12, r12, -1
+            bne  r12, r0, inh
+            addi r11, r11, -1
+            bne  r11, r0, oth
+            halt
+        ",
+        );
+        let m = map_to_zolc(&p, &cfg, &f);
+        assert_eq!(m.counted.len(), 2);
+        assert!(m.unhandled.is_empty());
+        assert_eq!(m.image.loops.len(), 2);
+        // outer first (forest orders by body size)
+        assert!(matches!(m.image.loops[0].limit, LimitSrc::Const(3)));
+        assert!(matches!(m.image.loops[1].limit, LimitSrc::Const(4)));
+        // outer's next_iter descends into the inner task
+        assert_eq!(m.image.tasks[0].next_iter, 1);
+        assert_eq!(m.image.tasks[1].next_fallthru, 0);
+        assert_eq!(m.image.initial_task, 1);
+        // validates against the lite configuration
+        m.image.validate(&zolc_core::ZolcConfig::lite()).unwrap();
+    }
+}

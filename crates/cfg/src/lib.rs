@@ -1,0 +1,48 @@
+//! # zolc-cfg — control-flow analysis for the ZOLC toolchain
+//!
+//! The paper assumes programs arrive already mapped onto the controller;
+//! this crate is the *analysis* half of that toolchain:
+//!
+//! * [`Cfg`] — basic blocks and edges from XR32 machine code;
+//! * [`Dominators`] — dominator tree (iterative algorithm);
+//! * [`LoopForest`] — natural loops, nesting depths, latches and
+//!   multiple-entry detection;
+//! * [`detect_counted_loops`] / [`map_to_zolc`] — recognition of the
+//!   software down-counter and `dbnz` loop patterns and the automatic
+//!   proposal of a ZOLC table image for them;
+//! * [`verify_image`] — independent structural verification of any
+//!   [`zolc_core::ZolcImage`] against the program text (used by the test
+//!   suite to cross-check every lowered benchmark).
+//!
+//! # Examples
+//!
+//! ```
+//! use zolc_cfg::{Cfg, Dominators, LoopForest};
+//!
+//! let program = zolc_isa::assemble("
+//!     li   r1, 5
+//! top: addi r1, r1, -1
+//!     bne  r1, r0, top
+//!     halt
+//! ").unwrap();
+//! let cfg = Cfg::build(&program);
+//! let dom = Dominators::compute(&cfg);
+//! let loops = LoopForest::analyze(&cfg, &dom);
+//! assert_eq!(loops.len(), 1);
+//! assert_eq!(loops.max_depth(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detect;
+mod dom;
+mod graph;
+mod loops;
+mod verify;
+
+pub use detect::{detect_counted_loops, map_to_zolc, CountedLoop, MappedProgram};
+pub use dom::Dominators;
+pub use graph::{BasicBlock, Cfg};
+pub use loops::{LoopForest, NaturalLoop};
+pub use verify::{verify_image, Finding};

@@ -1,0 +1,261 @@
+//! Structural verification of ZOLC table images against machine code.
+//!
+//! [`verify_image`] re-derives what the tables claim from the program
+//! text: every address must land on a real instruction, loop regions must
+//! be well-formed, the task graph must chain acyclically to termination,
+//! and exit records must point at conditional branches whose targets
+//! match. The benchmark suite runs this over every lowered kernel, making
+//! the lowering and the controller independently cross-checked.
+
+use std::fmt;
+use zolc_core::{AddrVal, ZolcImage, TASK_NONE};
+use zolc_isa::Program;
+
+/// One verification finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+fn abs(a: AddrVal) -> Option<u32> {
+    a.abs()
+}
+
+/// Checks a resolved image against the program it describes.
+///
+/// Returns all findings (empty = structurally sound).
+pub fn verify_image(program: &Program, image: &ZolcImage) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut report = |msg: String| findings.push(Finding { message: msg });
+
+    let in_text = |addr: u32| program.instr_at(addr).is_some();
+
+    // --- loop records ---
+    for (k, l) in image.loops.iter().enumerate() {
+        let (Some(start), Some(end)) = (abs(l.start), abs(l.end)) else {
+            report(format!("loop {k}: unresolved addresses"));
+            continue;
+        };
+        if !in_text(start) {
+            report(format!("loop {k}: start {start:#x} outside text"));
+        }
+        if !in_text(end) {
+            report(format!("loop {k}: end {end:#x} outside text"));
+        }
+        if start > end {
+            report(format!(
+                "loop {k}: start {start:#x} after end {end:#x}"
+            ));
+        }
+        if let Some(r) = l.index_reg {
+            if r.is_zero() {
+                report(format!("loop {k}: r0 as index register"));
+            }
+            // the body must not write the hardware-owned index register
+            for pc in (start..=end).step_by(4) {
+                if let Some(i) = program.instr_at(pc) {
+                    if i.dst() == Some(r) {
+                        report(format!(
+                            "loop {k}: body instruction at {pc:#x} writes index register {r}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // --- task graph ---
+    for (k, t) in image.tasks.iter().enumerate() {
+        let Some(end) = abs(t.end) else {
+            report(format!("task {k}: unresolved end"));
+            continue;
+        };
+        if !in_text(end) {
+            report(format!("task {k}: end {end:#x} outside text"));
+        }
+        if usize::from(t.loop_id) >= image.loops.len() {
+            report(format!("task {k}: loop {} out of range", t.loop_id));
+            continue;
+        }
+        if abs(image.loops[usize::from(t.loop_id)].end) != Some(end) {
+            report(format!(
+                "task {k}: end differs from its loop {} end",
+                t.loop_id
+            ));
+        }
+        // the fall-through chain must terminate (acyclic through
+        // same-address chains)
+        let mut seen = vec![false; image.tasks.len()];
+        let mut cur = t.next_fallthru;
+        while cur != TASK_NONE {
+            let c = usize::from(cur);
+            if c >= image.tasks.len() {
+                report(format!("task {k}: fall-through to invalid task {cur}"));
+                break;
+            }
+            if std::mem::replace(&mut seen[c], true) {
+                report(format!("task {k}: cyclic fall-through chain"));
+                break;
+            }
+            // only same-end tasks continue the chain at one address; a
+            // different end is a new wait state and ends this check
+            if abs(image.tasks[c].end) != Some(end) {
+                break;
+            }
+            cur = image.tasks[c].next_fallthru;
+        }
+        if t.next_iter != TASK_NONE && usize::from(t.next_iter) >= image.tasks.len() {
+            report(format!("task {k}: next_iter {} invalid", t.next_iter));
+        }
+    }
+
+    // --- exit records ---
+    for (k, x) in image.exits.iter().enumerate() {
+        let Some(branch) = abs(x.branch) else {
+            report(format!("exit {k}: unresolved branch address"));
+            continue;
+        };
+        match program.instr_at(branch) {
+            None => report(format!("exit {k}: branch {branch:#x} outside text")),
+            Some(i) if !i.is_cond_branch() => {
+                report(format!(
+                    "exit {k}: instruction at {branch:#x} is `{i}`, not a conditional branch"
+                ));
+            }
+            Some(i) => {
+                if let (Some(expect), Some(actual)) =
+                    (x.target.and_then(abs), i.branch_target(branch))
+                {
+                    if expect != actual {
+                        report(format!(
+                            "exit {k}: branch targets {actual:#x}, record says {expect:#x}"
+                        ));
+                    }
+                }
+            }
+        }
+        if x.target_task != TASK_NONE && usize::from(x.target_task) >= image.tasks.len() {
+            report(format!("exit {k}: target task {} invalid", x.target_task));
+        }
+    }
+
+    // --- entry records ---
+    for (k, e) in image.entries.iter().enumerate() {
+        match e.addr.abs() {
+            Some(addr) if !in_text(addr) => {
+                report(format!("entry {k}: address {addr:#x} outside text"))
+            }
+            None => report(format!("entry {k}: unresolved address")),
+            _ => {}
+        }
+        if e.task != TASK_NONE && usize::from(e.task) >= image.tasks.len() {
+            report(format!("entry {k}: task {} invalid", e.task));
+        }
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zolc_core::{LimitSrc, LoopSpec, TaskSpec, ZolcConfig};
+    use zolc_ir::{lower_into, IndexSpec, LoopIr, LoopNode, Node, Target, Trips};
+    use zolc_isa::{reg, Asm, Instr};
+
+    fn lowered_single_loop() -> (Program, ZolcImage) {
+        let ir = LoopIr {
+            name: "t".into(),
+            nodes: vec![Node::Loop(LoopNode {
+                trips: Trips::Const(4),
+                index: Some(IndexSpec {
+                    reg: reg(20),
+                    init: 0,
+                    step: 1,
+                }),
+                counter: reg(11),
+                body: vec![Node::code([
+                    Instr::Add {
+                        rd: reg(2),
+                        rs: reg(2),
+                        rt: reg(20),
+                    },
+                    Instr::Nop,
+                ])],
+            })],
+        };
+        let mut asm = Asm::new();
+        let info = lower_into(&mut asm, &ir, &Target::Zolc(ZolcConfig::lite())).unwrap();
+        asm.emit(Instr::Halt);
+        (asm.finish().unwrap(), info.image.unwrap())
+    }
+
+    #[test]
+    fn lowered_image_verifies_clean() {
+        let (p, image) = lowered_single_loop();
+        let findings = verify_image(&p, &image);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn bad_addresses_reported() {
+        let (p, mut image) = lowered_single_loop();
+        image.loops[0].end = 0xdead00.into();
+        let findings = verify_image(&p, &image);
+        assert!(findings.iter().any(|f| f.message.contains("outside text")));
+    }
+
+    #[test]
+    fn index_register_body_write_reported() {
+        let (p, mut image) = lowered_single_loop();
+        // claim r2 (which the body writes) is the hardware index
+        image.loops[0].index_reg = Some(reg(2));
+        let findings = verify_image(&p, &image);
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("writes index register")));
+    }
+
+    #[test]
+    fn invalid_task_references_reported() {
+        let (p, mut image) = lowered_single_loop();
+        image.tasks.push(TaskSpec {
+            end: image.tasks[0].end,
+            loop_id: 7,
+            next_iter: 0,
+            next_fallthru: TASK_NONE,
+        });
+        let findings = verify_image(&p, &image);
+        assert!(findings.iter().any(|f| f.message.contains("out of range")));
+    }
+
+    #[test]
+    fn unresolved_labels_reported() {
+        let p = zolc_isa::assemble("nop\nhalt\n").unwrap();
+        let mut asm = Asm::new();
+        let dangling = asm.new_label();
+        let image = ZolcImage {
+            loops: vec![LoopSpec {
+                init: 0,
+                step: 0,
+                limit: LimitSrc::Const(1),
+                index_reg: None,
+                start: dangling.into(),
+                end: dangling.into(),
+            }],
+            tasks: vec![],
+            entries: vec![],
+            exits: vec![],
+            initial_task: TASK_NONE,
+        };
+        let findings = verify_image(&p, &image);
+        assert!(findings.iter().any(|f| f.message.contains("unresolved")));
+    }
+}

@@ -1,0 +1,386 @@
+//! Storage, combinational-area and timing models (paper §3).
+//!
+//! The paper reports three synthesis results on a 0.13 µm ASIC process:
+//!
+//! | config   | storage | combinational area | cycle time |
+//! |----------|---------|--------------------|------------|
+//! | uZOLC    |  30 B   |  298 equiv. gates  | unaffected |
+//! | ZOLClite | 258 B   | 4056 equiv. gates  | unaffected (~170 MHz) |
+//! | ZOLCfull | 642 B   | 4428 equiv. gates  | unaffected |
+//!
+//! This module reproduces those numbers from an explicit **register
+//! inventory** (storage) and **component inventory** (combinational area),
+//! then extrapolates to custom design points for the ablation studies.
+//!
+//! # Register inventory (storage)
+//!
+//! *uZOLC* stores full 32-bit values and needs no base compression:
+//! `start(32) end(32) exit(32) init(32) step(32) limit(32) count(32)
+//! index_reg(5) ctl(11)` = **240 bits = 30 bytes**. (`exit` holds the
+//! precomputed fall-through address so the single-loop unit needs no
+//! address adder.)
+//!
+//! *ZOLClite/full* compress addresses to 16-bit word offsets against a
+//! global code base:
+//!
+//! * loop record: `init(16) step(16) limit(16) count(16) index_reg(5)
+//!   start(16) end(16) flags(3)` = **104 bits**;
+//! * task entry: `end(16) loop(3) next_iter(5) next_fallthru(5) valid(1)
+//!   flags(6)` = **36 bits**;
+//! * globals: `code_base(32) mode(2) current_task(5) loop_status(8)
+//!   init_cursor(16) flags(17)` = **80 bits**;
+//! * entry record: `addr(16) task(5) init_mask(8) redirect(16) valid(1)
+//!   pad(2)` = **48 bits**; exit record: `branch(16) task(5)
+//!   clear_mask(8) target(16) valid(1) pad(2)` = **48 bits**.
+//!
+//! ZOLClite = 8·104 + 32·36 + 80 = 2064 bits = **258 bytes**;
+//! ZOLCfull adds 8·4 entry + 8·4 exit records = 3072 bits ⇒ **642 bytes**.
+//!
+//! # Component inventory (combinational area)
+//!
+//! Gate-equivalent costs are calibrated once against the paper's three
+//! design points and then used predictively:
+//!
+//! * uZOLC: control FSM (38) + one 32-bit loop slice (260: two 32-bit
+//!   equality comparators, a 32-bit incrementer, the 32-bit index adder
+//!   and the PC mux);
+//! * ZOLClite/full: control + chain logic (240) + 297 per 16-bit loop
+//!   slice + 45 per task entry (LUT read multiplexing and decode);
+//! * ZOLCfull: + 52 for the shared entry/exit address comparator pair +
+//!   5 per record (the records multiplex into the shared comparators).
+
+use crate::config::ZolcConfig;
+use std::fmt;
+
+// ---- storage widths (bits) --------------------------------------------
+
+/// uZOLC register file: 7 × 32-bit values + 5-bit index reg + 11-bit ctl.
+const MICRO_LOOP_BITS: u32 = 7 * 32 + 5 + 11;
+/// Narrow loop record bits.
+const LOOP_BITS: u32 = 16 + 16 + 16 + 16 + 5 + 16 + 16 + 3;
+/// Task entry bits.
+const TASK_BITS: u32 = 16 + 3 + 5 + 5 + 1 + 6;
+/// Global register bits.
+const GLOBAL_BITS: u32 = 32 + 2 + 5 + 8 + 16 + 17;
+/// Entry/exit record bits.
+const RECORD_BITS: u32 = 48;
+
+// ---- gate-equivalent component costs ----------------------------------
+
+/// Control FSM of the standalone single-loop unit.
+const GE_MICRO_CTRL: u32 = 38;
+/// One 32-bit loop slice (uZOLC).
+const GE_MICRO_LOOP_SLICE: u32 = 260;
+/// Control FSM + chained completion logic (multi-loop designs).
+const GE_CTRL: u32 = 240;
+/// One 16-bit loop slice: start/end/limit comparators, count incrementer,
+/// index adder, status logic.
+const GE_LOOP_SLICE: u32 = 297;
+/// One task entry: LUT read multiplexing + successor decode.
+const GE_TASK_SLICE: u32 = 45;
+/// Shared entry+exit address comparator pair (present when any records are).
+const GE_RECORD_CMP: u32 = 52;
+/// Per-record multiplexing into the shared comparators.
+const GE_RECORD_SLICE: u32 = 5;
+
+// ---- timing (ns, 0.13 µm) ----------------------------------------------
+
+/// Fetch-path delay through the controller, per component (ns).
+const NS_END_COMPARE: f64 = 0.55;
+const NS_LUT_READ: f64 = 0.75;
+const NS_CHAIN_PER_LOOP: f64 = 0.11;
+const NS_TASK_FANIN_PER_ENTRY: f64 = 0.004;
+const NS_PC_MUX: f64 = 0.25;
+const NS_RECORD_CAM: f64 = 0.30;
+/// Base decision logic for the standalone unit.
+const NS_MICRO_BASE: f64 = 1.30;
+
+/// Processor datapath critical path on the same process: register-file
+/// read, operand bypass, 32-bit ALU, result mux and latch setup — 5.85 ns,
+/// i.e. the ~170 MHz the paper reports.
+const NS_PROCESSOR_PATH: f64 = 5.85;
+
+/// Storage requirements of a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageReport {
+    sections: Vec<(String, u32)>,
+}
+
+impl StorageReport {
+    /// Total storage in bits.
+    pub fn bits(&self) -> u32 {
+        self.sections.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Total storage in bytes (the paper's metric; bits rounded up).
+    pub fn bytes(&self) -> u32 {
+        self.bits().div_ceil(8)
+    }
+
+    /// Per-section breakdown `(name, bits)`.
+    pub fn sections(&self) -> &[(String, u32)] {
+        &self.sections
+    }
+}
+
+impl fmt::Display for StorageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, bits) in &self.sections {
+            writeln!(f, "{name:<24} {bits:>6} bits")?;
+        }
+        write!(f, "{:<24} {:>6} bits = {} bytes", "total", self.bits(), self.bytes())
+    }
+}
+
+/// Combinational area of a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatesReport {
+    components: Vec<(String, u32)>,
+}
+
+impl GatesReport {
+    /// Total equivalent gates.
+    pub fn total(&self) -> u32 {
+        self.components.iter().map(|(_, g)| g).sum()
+    }
+
+    /// Per-component breakdown `(name, gate equivalents)`.
+    pub fn components(&self) -> &[(String, u32)] {
+        &self.components
+    }
+}
+
+impl fmt::Display for GatesReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, g) in &self.components {
+            writeln!(f, "{name:<34} {g:>6} GE")?;
+        }
+        write!(f, "{:<34} {:>6} GE", "total", self.total())
+    }
+}
+
+/// Timing estimate of a configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingReport {
+    /// Delay of the ZOLC fetch path (end-compare → LUT → chain → PC mux).
+    pub zolc_path_ns: f64,
+    /// The processor datapath critical path.
+    pub processor_path_ns: f64,
+}
+
+impl TimingReport {
+    /// Whether adding the controller lengthens the processor cycle.
+    pub fn limits_cycle_time(&self) -> bool {
+        self.zolc_path_ns > self.processor_path_ns
+    }
+
+    /// Maximum clock frequency in MHz with the controller attached.
+    pub fn fmax_mhz(&self) -> f64 {
+        1000.0 / self.zolc_path_ns.max(self.processor_path_ns)
+    }
+
+    /// Timing slack of the controller path against the processor cycle.
+    pub fn slack_ns(&self) -> f64 {
+        self.processor_path_ns - self.zolc_path_ns
+    }
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "zolc path {:.2} ns, processor path {:.2} ns, fmax {:.0} MHz{}",
+            self.zolc_path_ns,
+            self.processor_path_ns,
+            self.fmax_mhz(),
+            if self.limits_cycle_time() {
+                " (ZOLC limits cycle time!)"
+            } else {
+                " (cycle time unaffected)"
+            }
+        )
+    }
+}
+
+/// Computes the storage requirements of a configuration.
+///
+/// # Examples
+///
+/// ```
+/// use zolc_core::{area, ZolcConfig};
+/// assert_eq!(area::storage(&ZolcConfig::micro()).bytes(), 30);
+/// assert_eq!(area::storage(&ZolcConfig::lite()).bytes(), 258);
+/// assert_eq!(area::storage(&ZolcConfig::full()).bytes(), 642);
+/// ```
+pub fn storage(config: &ZolcConfig) -> StorageReport {
+    let mut sections = Vec::new();
+    if config.is_wide() {
+        sections.push((
+            format!("loop records ({} x {MICRO_LOOP_BITS}b)", config.loops()),
+            config.loops() as u32 * MICRO_LOOP_BITS,
+        ));
+    } else {
+        sections.push((
+            format!("loop records ({} x {LOOP_BITS}b)", config.loops()),
+            config.loops() as u32 * LOOP_BITS,
+        ));
+        sections.push((
+            format!("task LUT ({} x {TASK_BITS}b)", config.tasks()),
+            config.tasks() as u32 * TASK_BITS,
+        ));
+        let records = (config.entry_slots() + config.exit_slots()) * config.loops();
+        if records > 0 {
+            sections.push((
+                format!("entry/exit records ({records} x {RECORD_BITS}b)"),
+                records as u32 * RECORD_BITS,
+            ));
+        }
+        sections.push(("global registers".to_owned(), GLOBAL_BITS));
+    }
+    StorageReport { sections }
+}
+
+/// Computes the combinational area of a configuration.
+///
+/// # Examples
+///
+/// ```
+/// use zolc_core::{area, ZolcConfig};
+/// assert_eq!(area::gates(&ZolcConfig::micro()).total(), 298);
+/// assert_eq!(area::gates(&ZolcConfig::lite()).total(), 4056);
+/// assert_eq!(area::gates(&ZolcConfig::full()).total(), 4428);
+/// ```
+pub fn gates(config: &ZolcConfig) -> GatesReport {
+    let mut components = Vec::new();
+    if config.is_wide() {
+        components.push(("control FSM".to_owned(), GE_MICRO_CTRL));
+        components.push((
+            format!("32-bit loop slices ({})", config.loops()),
+            config.loops() as u32 * GE_MICRO_LOOP_SLICE,
+        ));
+    } else {
+        components.push(("control FSM + chain logic".to_owned(), GE_CTRL));
+        components.push((
+            format!("16-bit loop slices ({})", config.loops()),
+            config.loops() as u32 * GE_LOOP_SLICE,
+        ));
+        components.push((
+            format!("task LUT entries ({})", config.tasks()),
+            config.tasks() as u32 * GE_TASK_SLICE,
+        ));
+        let records = (config.entry_slots() + config.exit_slots()) * config.loops();
+        if records > 0 {
+            components.push(("shared entry/exit comparators".to_owned(), GE_RECORD_CMP));
+            components.push((
+                format!("record multiplexing ({records})"),
+                records as u32 * GE_RECORD_SLICE,
+            ));
+        }
+    }
+    GatesReport { components }
+}
+
+/// Estimates the controller's fetch-path timing against the processor's
+/// datapath critical path.
+///
+/// # Examples
+///
+/// ```
+/// use zolc_core::{area, ZolcConfig};
+/// let t = area::timing(&ZolcConfig::full());
+/// assert!(!t.limits_cycle_time());
+/// assert!((t.fmax_mhz() - 170.0).abs() < 2.0);
+/// ```
+pub fn timing(config: &ZolcConfig) -> TimingReport {
+    let zolc_path_ns = if config.is_wide() {
+        NS_MICRO_BASE + NS_PC_MUX
+    } else {
+        let records = ((config.entry_slots() + config.exit_slots()) * config.loops()) as f64;
+        NS_END_COMPARE
+            + NS_LUT_READ
+            + NS_TASK_FANIN_PER_ENTRY * config.tasks() as f64
+            + NS_CHAIN_PER_LOOP * config.loops() as f64
+            + if records > 0.0 { NS_RECORD_CAM } else { 0.0 }
+            + NS_PC_MUX
+    };
+    TimingReport {
+        zolc_path_ns,
+        processor_path_ns: NS_PROCESSOR_PATH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's storage numbers, §3: 30 / 258 / 642 bytes.
+    #[test]
+    fn storage_matches_paper() {
+        assert_eq!(storage(&ZolcConfig::micro()).bytes(), 30);
+        assert_eq!(storage(&ZolcConfig::lite()).bytes(), 258);
+        assert_eq!(storage(&ZolcConfig::full()).bytes(), 642);
+    }
+
+    /// The paper's combinational-area numbers, §3: 298 / 4056 / 4428 GE.
+    #[test]
+    fn gates_match_paper() {
+        assert_eq!(gates(&ZolcConfig::micro()).total(), 298);
+        assert_eq!(gates(&ZolcConfig::lite()).total(), 4056);
+        assert_eq!(gates(&ZolcConfig::full()).total(), 4428);
+    }
+
+    /// §3: "The processor cycle time is not affected due to ZOLC and
+    /// corresponds to about 170 MHz on a 0.13 µm ASIC process."
+    #[test]
+    fn cycle_time_unaffected_at_170mhz() {
+        for cfg in [ZolcConfig::micro(), ZolcConfig::lite(), ZolcConfig::full()] {
+            let t = timing(&cfg);
+            assert!(!t.limits_cycle_time(), "{cfg}: {t}");
+            assert!(t.slack_ns() > 0.0);
+            assert!((t.fmax_mhz() - 170.9).abs() < 1.0, "fmax {}", t.fmax_mhz());
+        }
+    }
+
+    #[test]
+    fn storage_scales_with_custom_configs() {
+        let half = ZolcConfig::custom(4, 16, 0, 0).unwrap();
+        let s = storage(&half);
+        assert_eq!(s.bits(), 4 * LOOP_BITS + 16 * TASK_BITS + GLOBAL_BITS);
+        // monotone in loops
+        let bigger = ZolcConfig::custom(8, 16, 0, 0).unwrap();
+        assert!(storage(&bigger).bits() > s.bits());
+    }
+
+    #[test]
+    fn gates_scale_with_records() {
+        let no_rec = ZolcConfig::custom(8, 32, 0, 0).unwrap();
+        let with_rec = ZolcConfig::custom(8, 32, 4, 4).unwrap();
+        assert_eq!(
+            gates(&with_rec).total() - gates(&no_rec).total(),
+            GE_RECORD_CMP + 64 * GE_RECORD_SLICE
+        );
+    }
+
+    #[test]
+    fn reports_display_breakdown() {
+        let s = storage(&ZolcConfig::full());
+        let text = s.to_string();
+        assert!(text.contains("task LUT"));
+        assert!(text.contains("642 bytes"));
+        let g = gates(&ZolcConfig::full());
+        assert!(g.to_string().contains("GE"));
+        assert!(timing(&ZolcConfig::lite()).to_string().contains("MHz"));
+    }
+
+    #[test]
+    fn section_sums_are_consistent() {
+        for cfg in [ZolcConfig::micro(), ZolcConfig::lite(), ZolcConfig::full()] {
+            let s = storage(&cfg);
+            let sum: u32 = s.sections().iter().map(|(_, b)| b).sum();
+            assert_eq!(sum, s.bits());
+            let g = gates(&cfg);
+            let sum: u32 = g.components().iter().map(|(_, x)| x).sum();
+            assert_eq!(sum, g.total());
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! A perfect-loop-nest controller in the style of the paper's reference
+//! \[2\] (Talla, John & Burger: a single-cycle multiple-index update unit).
+//!
+//! The unit handles exactly one **perfect** loop nest: every level shares
+//! the same body (same start and end address), only the innermost level
+//! contains instructions. Successive last iterations of nested loops
+//! complete in a single cycle — its one advantage — but it cannot express
+//! imperfect nests, loop sequences, or multiple entries/exits, and its
+//! area grows proportionally to the number of supported levels (the
+//! paper's §1 critique). Experiment E5 compares it against the ZOLC.
+
+use zolc_isa::{Reg, ZolcCtl};
+use zolc_sim::{ExecEvent, FetchDecision, LoopEngine, RegWrites};
+
+/// One level of the perfect nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerfectLevel {
+    /// Number of iterations (≥ 1).
+    pub limit: u32,
+    /// Initial index value.
+    pub init: i32,
+    /// Index step per iteration.
+    pub step: i32,
+    /// Index register maintained for this level.
+    pub index_reg: Option<Reg>,
+}
+
+/// Static description of the nest.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PerfectNestSpec {
+    /// First body instruction (shared by all levels).
+    pub start: u32,
+    /// Last body instruction (shared by all levels).
+    pub end: u32,
+    /// Levels, **innermost first**.
+    pub levels: Vec<PerfectLevel>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct NestState {
+    active: bool,
+    counts: Vec<u32>,
+    index_cur: Vec<u32>,
+}
+
+/// The perfect-nest baseline controller.
+///
+/// # Examples
+///
+/// ```
+/// use zolc_core::{PerfectNestController, PerfectNestSpec};
+/// use zolc_core::PerfectLevel;
+/// use zolc_isa::reg;
+///
+/// let spec = PerfectNestSpec {
+///     start: 0x10,
+///     end: 0x18,
+///     levels: vec![
+///         PerfectLevel { limit: 4, init: 0, step: 1, index_reg: Some(reg(5)) },
+///         PerfectLevel { limit: 3, init: 0, step: 1, index_reg: Some(reg(6)) },
+///     ],
+/// };
+/// let ctl = PerfectNestController::new(spec);
+/// assert_eq!(ctl.total_iterations(), 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerfectNestController {
+    spec: PerfectNestSpec,
+    arch: NestState,
+    spec_state: NestState,
+}
+
+impl PerfectNestController {
+    /// Creates a controller for a nest; activate with
+    /// [`zolc_isa::ZolcCtl::Activate`] (any task id) or
+    /// [`PerfectNestController::activate`].
+    pub fn new(spec: PerfectNestSpec) -> PerfectNestController {
+        let n = spec.levels.len();
+        let st = NestState {
+            active: false,
+            counts: vec![0; n],
+            index_cur: vec![0; n],
+        };
+        PerfectNestController {
+            spec,
+            arch: st.clone(),
+            spec_state: st,
+        }
+    }
+
+    /// The nest description.
+    pub fn spec(&self) -> &PerfectNestSpec {
+        &self.spec
+    }
+
+    /// Activates the unit.
+    pub fn activate(&mut self) {
+        self.arch.active = true;
+        self.spec_state = self.arch.clone();
+    }
+
+    /// Product of all level limits.
+    pub fn total_iterations(&self) -> u64 {
+        self.spec.levels.iter().map(|l| u64::from(l.limit)).product()
+    }
+
+    /// Combinational area estimate: replicated per-level compare/increment
+    /// and index-update slices plus a small control block. This is the
+    /// proportional-growth cost structure the paper criticizes in \[2\].
+    pub fn equivalent_gates(&self) -> u32 {
+        96 + 297 * self.spec.levels.len() as u32
+    }
+
+    fn decide(spec: &PerfectNestSpec, st: &mut NestState, pc: u32) -> FetchDecision {
+        let mut d = FetchDecision::none();
+        if !st.active {
+            return d;
+        }
+        if pc == spec.end {
+            // Find the innermost level that still iterates; everything
+            // inside it resets — all in one cycle.
+            let mut writes = RegWrites::new();
+            let mut iterated = false;
+            for (k, lvl) in spec.levels.iter().enumerate() {
+                if st.counts[k] + 1 < lvl.limit {
+                    st.counts[k] += 1;
+                    st.index_cur[k] = st.index_cur[k].wrapping_add(lvl.step as u32);
+                    if let Some(r) = lvl.index_reg {
+                        writes.push(r, st.index_cur[k]);
+                    }
+                    for inner in 0..k {
+                        st.counts[inner] = 0;
+                        st.index_cur[inner] = spec.levels[inner].init as u32;
+                        if let Some(r) = spec.levels[inner].index_reg {
+                            writes.push(r, st.index_cur[inner]);
+                        }
+                    }
+                    iterated = true;
+                    break;
+                }
+            }
+            if iterated {
+                d.redirect = Some(spec.start);
+                d.index_writes = writes;
+            } else {
+                for (k, lvl) in spec.levels.iter().enumerate() {
+                    st.counts[k] = 0;
+                    st.index_cur[k] = lvl.init as u32;
+                }
+                st.active = false; // single-shot nest
+            }
+        } else if pc.wrapping_add(4) == spec.start && st.counts.iter().all(|&c| c == 0) {
+            // Entry: initialize every level's index.
+            let mut writes = RegWrites::new();
+            for (k, lvl) in spec.levels.iter().enumerate() {
+                st.index_cur[k] = lvl.init as u32;
+                if let Some(r) = lvl.index_reg {
+                    writes.push(r, st.index_cur[k]);
+                }
+            }
+            d.index_writes = writes;
+        }
+        d
+    }
+}
+
+impl LoopEngine for PerfectNestController {
+    fn on_fetch(&mut self, pc: u32) -> FetchDecision {
+        Self::decide(&self.spec, &mut self.spec_state, pc)
+    }
+
+    fn on_execute(&mut self, pc: u32, _event: ExecEvent) {
+        let _ = Self::decide(&self.spec, &mut self.arch, pc);
+    }
+
+    fn exec_zctl(&mut self, op: ZolcCtl) {
+        match op {
+            ZolcCtl::Activate { .. } => {
+                self.arch.active = true;
+                self.spec_state = self.arch.clone();
+            }
+            ZolcCtl::Deactivate | ZolcCtl::Reset => {
+                self.arch.active = false;
+                for (k, lvl) in self.spec.levels.iter().enumerate() {
+                    self.arch.counts[k] = 0;
+                    self.arch.index_cur[k] = lvl.init as u32;
+                }
+                self.spec_state = self.arch.clone();
+            }
+        }
+    }
+
+    fn on_flush(&mut self) {
+        self.spec_state = self.arch.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zolc_isa::reg;
+
+    fn two_level() -> PerfectNestController {
+        let mut c = PerfectNestController::new(PerfectNestSpec {
+            start: 0x10,
+            end: 0x18,
+            levels: vec![
+                PerfectLevel {
+                    limit: 2,
+                    init: 0,
+                    step: 1,
+                    index_reg: Some(reg(5)),
+                },
+                PerfectLevel {
+                    limit: 3,
+                    init: 0,
+                    step: 4,
+                    index_reg: Some(reg(6)),
+                },
+            ],
+        });
+        c.activate();
+        c
+    }
+
+    #[test]
+    fn iterates_inner_then_outer() {
+        let mut c = two_level();
+        // entry init
+        let d = c.on_fetch(0x0c);
+        assert_eq!(d.index_writes.value_for(reg(5)), Some(0));
+        c.on_execute(0x0c, ExecEvent::Plain);
+
+        // first end: inner iterates
+        let d = c.on_fetch(0x18);
+        assert_eq!(d.redirect, Some(0x10));
+        assert_eq!(d.index_writes.value_for(reg(5)), Some(1));
+        c.on_execute(0x18, ExecEvent::Plain);
+
+        // second end: inner exhausted, outer steps, inner resets (1 cycle)
+        let d = c.on_fetch(0x18);
+        assert_eq!(d.redirect, Some(0x10));
+        assert_eq!(d.index_writes.value_for(reg(6)), Some(4));
+        assert_eq!(d.index_writes.value_for(reg(5)), Some(0));
+        c.on_execute(0x18, ExecEvent::Plain);
+    }
+
+    #[test]
+    fn finishes_after_total_iterations() {
+        let mut c = two_level();
+        c.on_execute(0x0c, ExecEvent::Plain);
+        let mut redirects = 0;
+        for _ in 0..6 {
+            let d = c.on_fetch(0x18);
+            c.on_execute(0x18, ExecEvent::Plain);
+            if d.redirect.is_some() {
+                redirects += 1;
+            }
+        }
+        // 6 total iterations => 5 back-edges, then inactive
+        assert_eq!(redirects, 5);
+        assert!(!c.arch.active);
+        let d = c.on_fetch(0x18);
+        assert_eq!(d.redirect, None);
+    }
+
+    #[test]
+    fn flush_rolls_back_speculation() {
+        let mut c = two_level();
+        let _ = c.on_fetch(0x18); // speculative iterate
+        assert_eq!(c.spec_state.counts[0], 1);
+        c.on_flush();
+        assert_eq!(c.spec_state.counts[0], 0);
+    }
+
+    #[test]
+    fn area_grows_with_levels() {
+        let c1 = PerfectNestController::new(PerfectNestSpec {
+            start: 0,
+            end: 0,
+            levels: vec![PerfectLevel {
+                limit: 1,
+                init: 0,
+                step: 0,
+                index_reg: None,
+            }],
+        });
+        let c2 = two_level();
+        assert!(c2.equivalent_gates() > c1.equivalent_gates());
+        assert_eq!(c2.total_iterations(), 6);
+    }
+}

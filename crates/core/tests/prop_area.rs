@@ -1,0 +1,68 @@
+//! Property tests for the area/storage/timing models: the calibrated
+//! constants must extrapolate monotonically and consistently across the
+//! whole custom-configuration space.
+
+use proptest::prelude::*;
+use zolc_core::{area, ZolcConfig};
+
+fn any_config() -> impl Strategy<Value = ZolcConfig> {
+    (1usize..=8, 0usize..=4, 0usize..=4).prop_map(|(loops, entries, exits)| {
+        let tasks = if loops == 1 && entries == 0 && exits == 0 {
+            0 // uZOLC-style standalone point
+        } else {
+            (loops * 4).max(1).min(32)
+        };
+        ZolcConfig::custom(loops, tasks, entries, exits).expect("valid")
+    })
+}
+
+proptest! {
+    /// Storage is monotone in every configuration dimension.
+    #[test]
+    fn storage_monotone(loops in 1usize..8, tasks in 1usize..32, slots in 0usize..4) {
+        let base = ZolcConfig::custom(loops, tasks, slots, slots).unwrap();
+        let more_loops = ZolcConfig::custom(loops + 1, tasks, slots, slots).unwrap();
+        let more_tasks = ZolcConfig::custom(loops, tasks + 1, slots, slots).unwrap();
+        let more_slots = ZolcConfig::custom(loops, tasks, slots + 1, slots).unwrap();
+        let b = area::storage(&base).bits();
+        prop_assert!(area::storage(&more_loops).bits() > b);
+        prop_assert!(area::storage(&more_tasks).bits() > b);
+        prop_assert!(area::storage(&more_slots).bits() > b);
+    }
+
+    /// Gates are monotone in loops and tasks and never zero.
+    #[test]
+    fn gates_monotone(loops in 1usize..8, tasks in 1usize..32) {
+        let base = ZolcConfig::custom(loops, tasks, 0, 0).unwrap();
+        let bigger = ZolcConfig::custom(loops + 1, tasks + 1, 0, 0).unwrap();
+        prop_assert!(area::gates(&base).total() > 0);
+        prop_assert!(area::gates(&bigger).total() > area::gates(&base).total());
+    }
+
+    /// Section/component breakdowns always sum to the totals.
+    #[test]
+    fn breakdowns_sum(cfg in any_config()) {
+        let s = area::storage(&cfg);
+        prop_assert_eq!(s.sections().iter().map(|(_, b)| b).sum::<u32>(), s.bits());
+        let g = area::gates(&cfg);
+        prop_assert_eq!(g.components().iter().map(|(_, x)| x).sum::<u32>(), g.total());
+    }
+
+    /// Bytes round bits up, never down.
+    #[test]
+    fn bytes_round_up(cfg in any_config()) {
+        let s = area::storage(&cfg);
+        prop_assert!(s.bytes() * 8 >= s.bits());
+        prop_assert!(s.bytes() * 8 < s.bits() + 8);
+    }
+
+    /// No configuration within the hardware envelope limits cycle time,
+    /// and the fetch path grows monotonically with loops.
+    #[test]
+    fn timing_never_critical_in_envelope(cfg in any_config()) {
+        let t = area::timing(&cfg);
+        prop_assert!(!t.limits_cycle_time(), "{}: {}", cfg, t);
+        prop_assert!(t.zolc_path_ns > 0.0);
+        prop_assert!(t.slack_ns() > 0.0);
+    }
+}

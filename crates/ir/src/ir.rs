@@ -1,0 +1,293 @@
+//! The structured loop IR.
+//!
+//! Benchmarks are written once in this IR and lowered three ways
+//! ([`crate::Target`]): software loops (`XRdefault`), branch-decrement
+//! loops (`XRhrdwil`) and ZOLC form. Bodies are straight-line XR32
+//! instructions plus structured `if`/`break`; loops carry the counted-trip
+//! information the hardware schemes consume.
+
+use std::fmt;
+use zolc_isa::{Instr, Reg};
+
+/// A branch condition on register values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// `a == b`
+    Eq(Reg, Reg),
+    /// `a != b`
+    Ne(Reg, Reg),
+    /// `a <= 0` (signed)
+    Lez(Reg),
+    /// `a > 0` (signed)
+    Gtz(Reg),
+    /// `a < 0` (signed)
+    Ltz(Reg),
+    /// `a >= 0` (signed)
+    Gez(Reg),
+}
+
+impl Cond {
+    /// Registers the condition reads.
+    pub fn srcs(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Cond::Eq(a, b) | Cond::Ne(a, b) => [Some(a), Some(b)],
+            Cond::Lez(a) | Cond::Gtz(a) | Cond::Ltz(a) | Cond::Gez(a) => [Some(a), None],
+        }
+    }
+
+    /// The branch instruction taken when the condition **holds** (offset 0,
+    /// patched by the assembler).
+    pub fn branch_if(self) -> Instr {
+        match self {
+            Cond::Eq(a, b) => Instr::Beq { rs: a, rt: b, off: 0 },
+            Cond::Ne(a, b) => Instr::Bne { rs: a, rt: b, off: 0 },
+            Cond::Lez(a) => Instr::Blez { rs: a, off: 0 },
+            Cond::Gtz(a) => Instr::Bgtz { rs: a, off: 0 },
+            Cond::Ltz(a) => Instr::Bltz { rs: a, off: 0 },
+            Cond::Gez(a) => Instr::Bgez { rs: a, off: 0 },
+        }
+    }
+
+    /// The branch instruction taken when the condition **fails**.
+    pub fn branch_unless(self) -> Instr {
+        self.negate().branch_if()
+    }
+
+    /// The logical negation.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq(a, b) => Cond::Ne(a, b),
+            Cond::Ne(a, b) => Cond::Eq(a, b),
+            Cond::Lez(a) => Cond::Gtz(a),
+            Cond::Gtz(a) => Cond::Lez(a),
+            Cond::Ltz(a) => Cond::Gez(a),
+            Cond::Gez(a) => Cond::Ltz(a),
+        }
+    }
+}
+
+/// Where a loop's trip count comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trips {
+    /// Known at build time (must be ≥ 1).
+    Const(u32),
+    /// In a register at loop entry (≥ 1 at runtime; recomputed per
+    /// activation for nested loops).
+    Reg(Reg),
+}
+
+/// A loop's optional hardware-maintainable index.
+///
+/// Under ZOLC lowering the index calculation unit owns `reg`: the body may
+/// *read* it but must not write it. Under the software lowerings the loop
+/// preheader/latch maintains it with ordinary instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexSpec {
+    /// The index register.
+    pub reg: Reg,
+    /// Initial value on loop entry.
+    pub init: i32,
+    /// Step per iteration.
+    pub step: i32,
+}
+
+/// A counted loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopNode {
+    /// Trip count source.
+    pub trips: Trips,
+    /// Optional index maintained across iterations.
+    pub index: Option<IndexSpec>,
+    /// Scratch register for software loop control (down-counter). Unused
+    /// by the ZOLC lowering; must not be touched by the body.
+    pub counter: Reg,
+    /// The loop body.
+    pub body: Vec<Node>,
+}
+
+/// One structured IR node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Straight-line instructions.
+    Code(Vec<Instr>),
+    /// A counted loop.
+    Loop(LoopNode),
+    /// `if cond { then } else { els }`.
+    If {
+        /// The condition.
+        cond: Cond,
+        /// Taken when `cond` holds.
+        then: Vec<Node>,
+        /// Taken otherwise (may be empty).
+        els: Vec<Node>,
+    },
+    /// Early exit: leave `levels` enclosing loops when `cond` holds
+    /// (1 = innermost).
+    BreakIf {
+        /// The exit condition.
+        cond: Cond,
+        /// How many enclosing loops to leave.
+        levels: u8,
+    },
+}
+
+impl Node {
+    /// Convenience constructor for a straight-line block.
+    pub fn code<I: IntoIterator<Item = Instr>>(instrs: I) -> Node {
+        Node::Code(instrs.into_iter().collect())
+    }
+}
+
+/// A complete kernel control structure.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LoopIr {
+    /// Kernel name (reporting only).
+    pub name: String,
+    /// Top-level nodes (setup code, loop nests, teardown code).
+    pub nodes: Vec<Node>,
+}
+
+impl LoopIr {
+    /// Creates an empty IR with a name.
+    pub fn new(name: impl Into<String>) -> LoopIr {
+        LoopIr {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Total number of loops in the structure.
+    pub fn loop_count(&self) -> usize {
+        fn walk(nodes: &[Node]) -> usize {
+            nodes
+                .iter()
+                .map(|n| match n {
+                    Node::Loop(l) => 1 + walk(&l.body),
+                    Node::If { then, els, .. } => walk(then) + walk(els),
+                    _ => 0,
+                })
+                .sum()
+        }
+        walk(&self.nodes)
+    }
+
+    /// Maximum loop nesting depth.
+    pub fn max_depth(&self) -> usize {
+        fn walk(nodes: &[Node]) -> usize {
+            nodes
+                .iter()
+                .map(|n| match n {
+                    Node::Loop(l) => 1 + walk(&l.body),
+                    Node::If { then, els, .. } => walk(then).max(walk(els)),
+                    _ => 0,
+                })
+                .max()
+                .unwrap_or(0)
+        }
+        walk(&self.nodes)
+    }
+}
+
+impl fmt::Display for LoopIr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn walk(nodes: &[Node], depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let pad = "  ".repeat(depth);
+            for n in nodes {
+                match n {
+                    Node::Code(instrs) => writeln!(f, "{pad}code[{}]", instrs.len())?,
+                    Node::Loop(l) => {
+                        let trips = match l.trips {
+                            Trips::Const(n) => n.to_string(),
+                            Trips::Reg(r) => r.to_string(),
+                        };
+                        writeln!(f, "{pad}loop x{trips}")?;
+                        walk(&l.body, depth + 1, f)?;
+                    }
+                    Node::If { then, els, .. } => {
+                        writeln!(f, "{pad}if")?;
+                        walk(then, depth + 1, f)?;
+                        if !els.is_empty() {
+                            writeln!(f, "{pad}else")?;
+                            walk(els, depth + 1, f)?;
+                        }
+                    }
+                    Node::BreakIf { levels, .. } => writeln!(f, "{pad}break_if({levels})")?,
+                }
+            }
+            Ok(())
+        }
+        writeln!(f, "{}:", self.name)?;
+        walk(&self.nodes, 1, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zolc_isa::reg;
+
+    #[test]
+    fn cond_negation_roundtrip() {
+        for c in [
+            Cond::Eq(reg(1), reg(2)),
+            Cond::Ne(reg(1), reg(2)),
+            Cond::Lez(reg(3)),
+            Cond::Gtz(reg(3)),
+            Cond::Ltz(reg(3)),
+            Cond::Gez(reg(3)),
+        ] {
+            assert_eq!(c.negate().negate(), c);
+            assert!(c.branch_if().is_cond_branch());
+            assert!(c.branch_unless().is_cond_branch());
+            assert_ne!(c.branch_if(), c.branch_unless());
+        }
+    }
+
+    #[test]
+    fn loop_counting_and_depth() {
+        let inner = LoopNode {
+            trips: Trips::Const(4),
+            index: None,
+            counter: reg(11),
+            body: vec![Node::code([Instr::Nop])],
+        };
+        let outer = LoopNode {
+            trips: Trips::Const(2),
+            index: None,
+            counter: reg(12),
+            body: vec![
+                Node::Loop(inner.clone()),
+                Node::code([Instr::Nop]),
+                Node::Loop(inner),
+            ],
+        };
+        let ir = LoopIr {
+            name: "t".into(),
+            nodes: vec![Node::Loop(outer)],
+        };
+        assert_eq!(ir.loop_count(), 3);
+        assert_eq!(ir.max_depth(), 2);
+        let s = ir.to_string();
+        assert!(s.contains("loop x2"));
+        assert!(s.contains("loop x4"));
+    }
+
+    #[test]
+    fn display_shows_structure() {
+        let ir = LoopIr {
+            name: "k".into(),
+            nodes: vec![Node::If {
+                cond: Cond::Gtz(reg(1)),
+                then: vec![Node::BreakIf {
+                    cond: Cond::Eq(reg(1), reg(2)),
+                    levels: 1,
+                }],
+                els: vec![Node::code([Instr::Nop])],
+            }],
+        };
+        let s = ir.to_string();
+        assert!(s.contains("if"));
+        assert!(s.contains("else"));
+        assert!(s.contains("break_if(1)"));
+    }
+}

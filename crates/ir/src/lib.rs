@@ -1,0 +1,51 @@
+//! # zolc-ir — structured loop IR with three lowerings
+//!
+//! Benchmarks for the ZOLC study are written once in a small structured IR
+//! ([`LoopIr`]: straight-line XR32 code + counted loops + `if` + early
+//! exits) and lowered to the three processor configurations the paper
+//! compares (its Fig. 2):
+//!
+//! * [`Target::Baseline`] — `XRdefault`, software loop overhead;
+//! * [`Target::HwLoop`] — `XRhrdwil`, branch-decrement (`dbnz`) loops;
+//! * [`Target::Zolc`] — zero-overhead loop controller form: bodies only,
+//!   plus the controller initialization sequence.
+//!
+//! Because the body instructions are shared verbatim between the three
+//! lowerings, any cycle-count difference is attributable purely to loop
+//! control.
+//!
+//! # Examples
+//!
+//! ```
+//! use zolc_ir::{lower_into, LoopIr, LoopNode, Node, Target, Trips, IndexSpec};
+//! use zolc_isa::{reg, Asm, Instr};
+//!
+//! // for i in 0..8 { acc += i }
+//! let ir = LoopIr {
+//!     name: "sum".into(),
+//!     nodes: vec![Node::Loop(LoopNode {
+//!         trips: Trips::Const(8),
+//!         index: Some(IndexSpec { reg: reg(20), init: 0, step: 1 }),
+//!         counter: reg(11),
+//!         body: vec![Node::code([
+//!             Instr::Add { rd: reg(2), rs: reg(2), rt: reg(20) },
+//!             Instr::Nop,
+//!         ])],
+//!     })],
+//! };
+//! let mut asm = Asm::new();
+//! lower_into(&mut asm, &ir, &Target::Baseline)?;
+//! asm.emit(Instr::Halt);
+//! let program = asm.finish().unwrap();
+//! assert!(program.text().len() > 4);
+//! # Ok::<(), zolc_ir::LowerError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ir;
+mod lower;
+
+pub use ir::{Cond, IndexSpec, LoopIr, LoopNode, Node, Trips};
+pub use lower::{lower_into, LowerError, LoweredInfo, Target};

@@ -1,0 +1,528 @@
+//! End-to-end equivalence of the three lowerings on the pipeline.
+//!
+//! Every test builds one IR structure, lowers it three ways, runs each on
+//! the simulator, and checks that (a) all three produce identical
+//! architectural results, (b) the ZOLC run is consistency-clean, and
+//! (c) cycle counts order as ZOLC < HwLoop < Baseline whenever loops
+//! dominate (the paper's central claim).
+
+use zolc_core::{Zolc, ZolcConfig};
+use zolc_ir::{lower_into, Cond, IndexSpec, LoopIr, LoopNode, Node, Target, Trips};
+use zolc_isa::{reg, Asm, Instr, Reg};
+use zolc_sim::{run_program, Finished, NullEngine};
+
+/// Lowers and runs `ir` (with optional setup instructions and a result
+/// snapshot of `result_regs`).
+fn run(
+    ir: &LoopIr,
+    setup: &[Instr],
+    target: &Target,
+) -> (Finished, Option<Zolc>, Vec<String>) {
+    let mut asm = Asm::new();
+    asm.emit_all(setup.iter().copied());
+    let info = lower_into(&mut asm, ir, target).expect("lowering succeeds");
+    asm.emit(Instr::Halt);
+    let program = asm.finish().expect("assembles");
+    match target {
+        Target::Zolc(cfg) => {
+            let mut z = Zolc::new(*cfg);
+            let fin = run_program(&program, &mut z, 10_000_000).expect("runs");
+            (fin, Some(z), info.notes)
+        }
+        _ => {
+            let fin = run_program(&program, &mut NullEngine, 10_000_000).expect("runs");
+            (fin, None, info.notes)
+        }
+    }
+}
+
+/// Runs all three lowerings and asserts identical register outcomes.
+fn check_equivalence(
+    ir: &LoopIr,
+    setup: &[Instr],
+    result_regs: &[Reg],
+    zolc_cfg: ZolcConfig,
+) -> (u64, u64, u64) {
+    let (base, _, _) = run(ir, setup, &Target::Baseline);
+    let (hw, _, _) = run(ir, setup, &Target::HwLoop);
+    let (zl, z, _) = run(ir, setup, &Target::Zolc(zolc_cfg));
+    let z = z.unwrap();
+    z.assert_consistent();
+    for &r in result_regs {
+        let b = base.cpu.regs().read(r);
+        assert_eq!(hw.cpu.regs().read(r), b, "hwloop differs in {r}");
+        assert_eq!(zl.cpu.regs().read(r), b, "zolc differs in {r}");
+    }
+    (base.stats.cycles, hw.stats.cycles, zl.stats.cycles)
+}
+
+/// for i in 0..n { acc += i } with the index in a register.
+fn indexed_sum(n: u32) -> LoopIr {
+    LoopIr {
+        name: "sum".into(),
+        nodes: vec![Node::Loop(LoopNode {
+            trips: Trips::Const(n),
+            index: Some(IndexSpec {
+                reg: reg(20),
+                init: 0,
+                step: 1,
+            }),
+            counter: reg(11),
+            body: vec![Node::code([
+                Instr::Add {
+                    rd: reg(2),
+                    rs: reg(2),
+                    rt: reg(20),
+                },
+                Instr::Add {
+                    rd: reg(3),
+                    rs: reg(3),
+                    rt: reg(2),
+                },
+            ])],
+        })],
+    }
+}
+
+#[test]
+fn single_indexed_loop_equivalent_and_ordered() {
+    let (b, h, z) = check_equivalence(&indexed_sum(50), &[], &[reg(2), reg(3)], ZolcConfig::lite());
+    assert!(z < h, "zolc {z} !< hwloop {h}");
+    assert!(h < b, "hwloop {h} !< baseline {b}");
+}
+
+#[test]
+fn micro_config_handles_single_loop() {
+    let (b, _h, z) =
+        check_equivalence(&indexed_sum(50), &[], &[reg(2), reg(3)], ZolcConfig::micro());
+    assert!(z < b);
+}
+
+#[test]
+fn full_config_handles_single_loop() {
+    check_equivalence(&indexed_sum(20), &[], &[reg(2), reg(3)], ZolcConfig::full());
+}
+
+/// Perfect 2-nest with both indices live: acc += i*8 + j.
+#[test]
+fn perfect_nest_equivalent() {
+    let ir = LoopIr {
+        name: "nest2".into(),
+        nodes: vec![Node::Loop(LoopNode {
+            trips: Trips::Const(6),
+            index: Some(IndexSpec {
+                reg: reg(21),
+                init: 0,
+                step: 8,
+            }),
+            counter: reg(11),
+            body: vec![Node::Loop(LoopNode {
+                trips: Trips::Const(8),
+                index: Some(IndexSpec {
+                    reg: reg(20),
+                    init: 0,
+                    step: 1,
+                }),
+                counter: reg(12),
+                body: vec![Node::code([
+                    Instr::Add {
+                        rd: reg(4),
+                        rs: reg(21),
+                        rt: reg(20),
+                    },
+                    Instr::Add {
+                        rd: reg(2),
+                        rs: reg(2),
+                        rt: reg(4),
+                    },
+                ])],
+            })],
+        })],
+    };
+    let (b, h, z) = check_equivalence(&ir, &[], &[reg(2)], ZolcConfig::lite());
+    assert!(z < h && h < b, "cycles not ordered: {z} {h} {b}");
+}
+
+/// Imperfect 3-deep structure: outer loop containing code, a nest, more
+/// code, and a second inner loop (a loop *sequence* inside a loop).
+#[test]
+fn imperfect_structure_equivalent() {
+    let inner_a = Node::Loop(LoopNode {
+        trips: Trips::Const(3),
+        index: Some(IndexSpec {
+            reg: reg(20),
+            init: 0,
+            step: 2,
+        }),
+        counter: reg(12),
+        body: vec![Node::code([Instr::Add {
+            rd: reg(2),
+            rs: reg(2),
+            rt: reg(20),
+        }])],
+    });
+    let inner_b = Node::Loop(LoopNode {
+        trips: Trips::Const(4),
+        index: None,
+        counter: reg(13),
+        body: vec![Node::code([
+            Instr::Addi {
+                rt: reg(3),
+                rs: reg(3),
+                imm: 5,
+            },
+            Instr::Xor {
+                rd: reg(4),
+                rs: reg(4),
+                rt: reg(3),
+            },
+        ])],
+    });
+    let ir = LoopIr {
+        name: "imperfect".into(),
+        nodes: vec![Node::Loop(LoopNode {
+            trips: Trips::Const(5),
+            index: Some(IndexSpec {
+                reg: reg(22),
+                init: 100,
+                step: -3,
+            }),
+            counter: reg(11),
+            body: vec![
+                Node::code([Instr::Add {
+                    rd: reg(5),
+                    rs: reg(5),
+                    rt: reg(22),
+                }]),
+                inner_a,
+                Node::code([Instr::Addi {
+                    rt: reg(6),
+                    rs: reg(6),
+                    imm: 1,
+                }]),
+                inner_b,
+            ],
+        })],
+    };
+    let (b, h, z) =
+        check_equivalence(&ir, &[], &[reg(2), reg(3), reg(4), reg(5), reg(6)], ZolcConfig::lite());
+    assert!(z < h && h < b, "cycles not ordered: {z} {h} {b}");
+}
+
+/// Loop sequence at top level (two nests one after the other).
+#[test]
+fn top_level_sequence_equivalent() {
+    let mk = |ctr: u8, idx: u8, acc: u8, trips: u32| {
+        Node::Loop(LoopNode {
+            trips: Trips::Const(trips),
+            index: Some(IndexSpec {
+                reg: reg(idx),
+                init: 1,
+                step: 1,
+            }),
+            counter: reg(ctr),
+            body: vec![Node::code([Instr::Add {
+                rd: reg(acc),
+                rs: reg(acc),
+                rt: reg(idx),
+            }])],
+        })
+    };
+    let ir = LoopIr {
+        name: "seq".into(),
+        nodes: vec![
+            mk(11, 20, 2, 7),
+            Node::code([Instr::Addi {
+                rt: reg(4),
+                rs: reg(2),
+                imm: 3,
+            }]),
+            mk(12, 21, 3, 9),
+        ],
+    };
+    check_equivalence(&ir, &[], &[reg(2), reg(3), reg(4)], ZolcConfig::lite());
+}
+
+/// Data-dependent inner limit (triangular nest, bubble-sort shaped):
+/// inner trips = r9, recomputed each outer iteration as (n - 1 - i).
+#[test]
+fn triangular_nest_equivalent() {
+    let n = 9i16;
+    let ir = LoopIr {
+        name: "tri".into(),
+        nodes: vec![Node::Loop(LoopNode {
+            trips: Trips::Const((n - 1) as u32),
+            index: Some(IndexSpec {
+                reg: reg(21),
+                init: 0,
+                step: 1,
+            }),
+            counter: reg(11),
+            body: vec![
+                // r9 = n - 1 - i
+                Node::code([
+                    Instr::Addi {
+                        rt: reg(9),
+                        rs: Reg::ZERO,
+                        imm: n - 1,
+                    },
+                    Instr::Sub {
+                        rd: reg(9),
+                        rs: reg(9),
+                        rt: reg(21),
+                    },
+                ]),
+                Node::Loop(LoopNode {
+                    trips: Trips::Reg(reg(9)),
+                    index: Some(IndexSpec {
+                        reg: reg(20),
+                        init: 0,
+                        step: 1,
+                    }),
+                    counter: reg(12),
+                    body: vec![Node::code([
+                        Instr::Add {
+                            rd: reg(2),
+                            rs: reg(2),
+                            rt: reg(20),
+                        },
+                        Instr::Addi {
+                            rt: reg(3),
+                            rs: reg(3),
+                            imm: 1,
+                        },
+                    ])],
+                }),
+            ],
+        })],
+    };
+    let (b, h, z) = check_equivalence(&ir, &[], &[reg(2), reg(3)], ZolcConfig::lite());
+    // r3 counts total inner iterations: sum_{i=0..n-1} (n-1-i) = 28 for n=9
+    assert!(z < h && h < b, "cycles not ordered: {z} {h} {b}");
+}
+
+/// If/else inside a loop body (taken path varies by iteration parity).
+#[test]
+fn conditional_body_equivalent() {
+    let ir = LoopIr {
+        name: "cond".into(),
+        nodes: vec![Node::Loop(LoopNode {
+            trips: Trips::Const(12),
+            index: Some(IndexSpec {
+                reg: reg(20),
+                init: 0,
+                step: 1,
+            }),
+            counter: reg(11),
+            body: vec![
+                Node::code([Instr::Andi {
+                    rt: reg(4),
+                    rs: reg(20),
+                    imm: 1,
+                }]),
+                Node::If {
+                    cond: Cond::Ne(reg(4), Reg::ZERO),
+                    then: vec![Node::code([Instr::Add {
+                        rd: reg(2),
+                        rs: reg(2),
+                        rt: reg(20),
+                    }])],
+                    els: vec![Node::code([Instr::Sub {
+                        rd: reg(3),
+                        rs: reg(3),
+                        rt: reg(20),
+                    }])],
+                },
+            ],
+        })],
+    };
+    check_equivalence(&ir, &[], &[reg(2), reg(3)], ZolcConfig::lite());
+}
+
+/// Early exit via break_if: compare ZOLCfull (exit record) and ZOLClite
+/// (software stub) against the software lowerings.
+#[test]
+fn early_exit_equivalent_on_full_and_lite() {
+    // search: first index where acc crosses 40 breaks the loop
+    let ir = LoopIr {
+        name: "brk".into(),
+        nodes: vec![
+            Node::Loop(LoopNode {
+                trips: Trips::Const(30),
+                index: Some(IndexSpec {
+                    reg: reg(20),
+                    init: 0,
+                    step: 1,
+                }),
+                counter: reg(11),
+                body: vec![
+                    Node::code([
+                        Instr::Add {
+                            rd: reg(2),
+                            rs: reg(2),
+                            rt: reg(20),
+                        },
+                        Instr::Slti {
+                            rt: reg(4),
+                            rs: reg(2),
+                            imm: 40,
+                        },
+                    ]),
+                    Node::BreakIf {
+                        cond: Cond::Eq(reg(4), Reg::ZERO),
+                        levels: 1,
+                    },
+                    Node::code([Instr::Addi {
+                        rt: reg(3),
+                        rs: reg(3),
+                        imm: 1,
+                    }]),
+                ],
+            }),
+            // post-loop code proves control lands correctly
+            Node::code([Instr::Addi {
+                rt: reg(5),
+                rs: reg(3),
+                imm: 100,
+            }]),
+        ],
+    };
+    check_equivalence(&ir, &[], &[reg(2), reg(3), reg(5)], ZolcConfig::full());
+    check_equivalence(&ir, &[], &[reg(2), reg(3), reg(5)], ZolcConfig::lite());
+}
+
+/// Break out of two levels at once.
+#[test]
+fn multi_level_break_equivalent() {
+    let ir = LoopIr {
+        name: "brk2".into(),
+        nodes: vec![
+            Node::Loop(LoopNode {
+                trips: Trips::Const(6),
+                index: Some(IndexSpec {
+                    reg: reg(21),
+                    init: 0,
+                    step: 1,
+                }),
+                counter: reg(11),
+                body: vec![Node::Loop(LoopNode {
+                    trips: Trips::Const(6),
+                    index: Some(IndexSpec {
+                        reg: reg(20),
+                        init: 0,
+                        step: 1,
+                    }),
+                    counter: reg(12),
+                    body: vec![
+                        Node::code([
+                            Instr::Add {
+                                rd: reg(2),
+                                rs: reg(2),
+                                rt: reg(20),
+                            },
+                            Instr::Add {
+                                rd: reg(2),
+                                rs: reg(2),
+                                rt: reg(21),
+                            },
+                            Instr::Slti {
+                                rt: reg(4),
+                                rs: reg(2),
+                                imm: 25,
+                            },
+                        ]),
+                        Node::BreakIf {
+                            cond: Cond::Eq(reg(4), Reg::ZERO),
+                            levels: 2,
+                        },
+                    ],
+                })],
+            }),
+            Node::code([Instr::Addi {
+                rt: reg(6),
+                rs: reg(2),
+                imm: 1,
+            }]),
+        ],
+    };
+    check_equivalence(&ir, &[], &[reg(2), reg(6)], ZolcConfig::full());
+    check_equivalence(&ir, &[], &[reg(2), reg(6)], ZolcConfig::lite());
+}
+
+/// Memory-walking loop: the ZOLC index register is a pointer.
+#[test]
+fn pointer_walk_equivalent() {
+    let setup = [
+        // write 10 words: mem[0x40000 + 4k] = 3k
+        Instr::Lui {
+            rt: reg(8),
+            imm: 4,
+        }, // r8 = 0x40000
+    ];
+    // first a store loop, then a load-accumulate loop
+    let store = Node::Loop(LoopNode {
+        trips: Trips::Const(10),
+        index: Some(IndexSpec {
+            reg: reg(20),
+            init: 0x40000,
+            step: 4,
+        }),
+        counter: reg(11),
+        body: vec![Node::code([
+            Instr::Addi {
+                rt: reg(5),
+                rs: reg(5),
+                imm: 3,
+            },
+            Instr::Sw {
+                rt: reg(5),
+                rs: reg(20),
+                off: 0,
+            },
+        ])],
+    });
+    let load = Node::Loop(LoopNode {
+        trips: Trips::Const(10),
+        index: Some(IndexSpec {
+            reg: reg(21),
+            init: 0x40000,
+            step: 4,
+        }),
+        counter: reg(12),
+        body: vec![Node::code([
+            Instr::Lw {
+                rt: reg(6),
+                rs: reg(21),
+                off: 0,
+            },
+            Instr::Add {
+                rd: reg(2),
+                rs: reg(2),
+                rt: reg(6),
+            },
+        ])],
+    });
+    let ir = LoopIr {
+        name: "ptr".into(),
+        nodes: vec![store, load],
+    };
+    let (b, h, z) = check_equivalence(&ir, &setup, &[reg(2)], ZolcConfig::lite());
+    assert!(z < h && h < b);
+}
+
+/// The ZOLC engine reports zero redirect overhead: cycles equal the pure
+/// body work plus constant setup.
+#[test]
+fn zolc_redirect_count_matches_back_edges() {
+    let ir = indexed_sum(40);
+    let (fin, z, _) = run(&ir, &[], &Target::Zolc(ZolcConfig::lite()));
+    z.unwrap().assert_consistent();
+    // 39 back edges (the last iteration falls through)
+    assert_eq!(fin.stats.zolc_redirects, 39);
+    // the only flushes are the two context-synchronizing zctl ops of the
+    // initialization sequence — none from the loop itself
+    assert_eq!(fin.stats.flushes, 2, "only the zctl sync flushes");
+    assert_eq!(fin.stats.zctl_retired, 2);
+    // 40 index writes: the entry initialization + 39 iterations
+    assert_eq!(fin.stats.zolc_index_writes, 40);
+}

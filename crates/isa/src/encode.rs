@@ -1,0 +1,400 @@
+//! Binary encoding and decoding of XR32 instructions.
+//!
+//! XR32 uses fixed 32-bit instruction words with MIPS-like formats:
+//!
+//! ```text
+//! R-type:  [31:26]=0x00  [25:21]=rs [20:16]=rt [15:11]=rd [10:6]=sh [5:0]=funct
+//! I-type:  [31:26]=op    [25:21]=rs [20:16]=rt [15:0]=imm
+//! J-type:  [31:26]=op    [25:0]=target (word address)
+//! DBNZ:    [31:26]=0x1d  [25:21]=rs [15:0]=off
+//! ZOLC:    [31:26]=0x1c  [25:21]=rs/op [20:16]=region [15:8]=index [7:3]=field [2:0]=funct
+//! ```
+//!
+//! The all-zero word is the canonical `nop` (as on MIPS, where it aliases
+//! `sll r0, r0, 0`); decoding maps it to [`Instr::Nop`].
+
+use crate::instr::{Instr, ZolcCtl, ZolcRegion};
+use crate::reg::Reg;
+use std::fmt;
+
+/// Opcode constants (bits `[31:26]`).
+mod op {
+    pub const RTYPE: u32 = 0x00;
+    pub const REGIMM: u32 = 0x01;
+    pub const J: u32 = 0x02;
+    pub const JAL: u32 = 0x03;
+    pub const BEQ: u32 = 0x04;
+    pub const BNE: u32 = 0x05;
+    pub const BLEZ: u32 = 0x06;
+    pub const BGTZ: u32 = 0x07;
+    pub const ADDI: u32 = 0x08;
+    pub const SLTI: u32 = 0x0a;
+    pub const SLTIU: u32 = 0x0b;
+    pub const ANDI: u32 = 0x0c;
+    pub const ORI: u32 = 0x0d;
+    pub const XORI: u32 = 0x0e;
+    pub const LUI: u32 = 0x0f;
+    pub const ZOLC: u32 = 0x1c;
+    pub const DBNZ: u32 = 0x1d;
+    pub const LB: u32 = 0x20;
+    pub const LH: u32 = 0x21;
+    pub const LW: u32 = 0x23;
+    pub const LBU: u32 = 0x24;
+    pub const LHU: u32 = 0x25;
+    pub const SB: u32 = 0x28;
+    pub const SH: u32 = 0x29;
+    pub const SW: u32 = 0x2b;
+    pub const HALT: u32 = 0x3f;
+}
+
+/// R-type function codes (bits `[5:0]`).
+mod funct {
+    pub const SLL: u32 = 0x00;
+    pub const SRL: u32 = 0x02;
+    pub const SRA: u32 = 0x03;
+    pub const SLLV: u32 = 0x04;
+    pub const SRLV: u32 = 0x06;
+    pub const SRAV: u32 = 0x07;
+    pub const JR: u32 = 0x08;
+    pub const MUL: u32 = 0x18;
+    pub const MULH: u32 = 0x19;
+    pub const ADD: u32 = 0x20;
+    pub const SUB: u32 = 0x22;
+    pub const AND: u32 = 0x24;
+    pub const OR: u32 = 0x25;
+    pub const XOR: u32 = 0x26;
+    pub const NOR: u32 = 0x27;
+    pub const SLT: u32 = 0x2a;
+    pub const SLTU: u32 = 0x2b;
+}
+
+/// The error returned when a 32-bit word is not a valid XR32 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    word: u32,
+}
+
+impl DecodeError {
+    /// The word that failed to decode.
+    pub fn word(&self) -> u32 {
+        self.word
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rfmt(rs: Reg, rt: Reg, rd: Reg, sh: u32, fc: u32) -> u32 {
+    (op::RTYPE << 26) | (rs.field() << 21) | (rt.field() << 16) | (rd.field() << 11)
+        | ((sh & 0x1f) << 6)
+        | fc
+}
+
+fn ifmt(opc: u32, rs: Reg, rt: Reg, imm: u16) -> u32 {
+    (opc << 26) | (rs.field() << 21) | (rt.field() << 16) | u32::from(imm)
+}
+
+/// Encodes an instruction to its 32-bit binary form.
+///
+/// # Examples
+///
+/// ```
+/// use zolc_isa::{encode, decode, Instr, reg};
+/// let i = Instr::Addi { rt: reg(1), rs: reg(2), imm: -5 };
+/// assert_eq!(decode(encode(&i)).unwrap(), i);
+/// ```
+pub fn encode(instr: &Instr) -> u32 {
+    use Instr::*;
+    match *instr {
+        Add { rd, rs, rt } => rfmt(rs, rt, rd, 0, funct::ADD),
+        Sub { rd, rs, rt } => rfmt(rs, rt, rd, 0, funct::SUB),
+        And { rd, rs, rt } => rfmt(rs, rt, rd, 0, funct::AND),
+        Or { rd, rs, rt } => rfmt(rs, rt, rd, 0, funct::OR),
+        Xor { rd, rs, rt } => rfmt(rs, rt, rd, 0, funct::XOR),
+        Nor { rd, rs, rt } => rfmt(rs, rt, rd, 0, funct::NOR),
+        Slt { rd, rs, rt } => rfmt(rs, rt, rd, 0, funct::SLT),
+        Sltu { rd, rs, rt } => rfmt(rs, rt, rd, 0, funct::SLTU),
+        Sllv { rd, rt, rs } => rfmt(rs, rt, rd, 0, funct::SLLV),
+        Srlv { rd, rt, rs } => rfmt(rs, rt, rd, 0, funct::SRLV),
+        Srav { rd, rt, rs } => rfmt(rs, rt, rd, 0, funct::SRAV),
+        Mul { rd, rs, rt } => rfmt(rs, rt, rd, 0, funct::MUL),
+        Mulh { rd, rs, rt } => rfmt(rs, rt, rd, 0, funct::MULH),
+        Sll { rd, rt, sh } => rfmt(Reg::ZERO, rt, rd, u32::from(sh), funct::SLL),
+        Srl { rd, rt, sh } => rfmt(Reg::ZERO, rt, rd, u32::from(sh), funct::SRL),
+        Sra { rd, rt, sh } => rfmt(Reg::ZERO, rt, rd, u32::from(sh), funct::SRA),
+        Jr { rs } => rfmt(rs, Reg::ZERO, Reg::ZERO, 0, funct::JR),
+        Addi { rt, rs, imm } => ifmt(op::ADDI, rs, rt, imm as u16),
+        Slti { rt, rs, imm } => ifmt(op::SLTI, rs, rt, imm as u16),
+        Sltiu { rt, rs, imm } => ifmt(op::SLTIU, rs, rt, imm as u16),
+        Andi { rt, rs, imm } => ifmt(op::ANDI, rs, rt, imm),
+        Ori { rt, rs, imm } => ifmt(op::ORI, rs, rt, imm),
+        Xori { rt, rs, imm } => ifmt(op::XORI, rs, rt, imm),
+        Lui { rt, imm } => ifmt(op::LUI, Reg::ZERO, rt, imm),
+        Lb { rt, rs, off } => ifmt(op::LB, rs, rt, off as u16),
+        Lbu { rt, rs, off } => ifmt(op::LBU, rs, rt, off as u16),
+        Lh { rt, rs, off } => ifmt(op::LH, rs, rt, off as u16),
+        Lhu { rt, rs, off } => ifmt(op::LHU, rs, rt, off as u16),
+        Lw { rt, rs, off } => ifmt(op::LW, rs, rt, off as u16),
+        Sb { rt, rs, off } => ifmt(op::SB, rs, rt, off as u16),
+        Sh { rt, rs, off } => ifmt(op::SH, rs, rt, off as u16),
+        Sw { rt, rs, off } => ifmt(op::SW, rs, rt, off as u16),
+        Beq { rs, rt, off } => ifmt(op::BEQ, rs, rt, off as u16),
+        Bne { rs, rt, off } => ifmt(op::BNE, rs, rt, off as u16),
+        Blez { rs, off } => ifmt(op::BLEZ, rs, Reg::ZERO, off as u16),
+        Bgtz { rs, off } => ifmt(op::BGTZ, rs, Reg::ZERO, off as u16),
+        Bltz { rs, off } => ifmt(op::REGIMM, rs, Reg::from_field(0), off as u16),
+        Bgez { rs, off } => ifmt(op::REGIMM, rs, Reg::from_field(1), off as u16),
+        J { target } => (op::J << 26) | (target & 0x03ff_ffff),
+        Jal { target } => (op::JAL << 26) | (target & 0x03ff_ffff),
+        Dbnz { rs, off } => ifmt(op::DBNZ, rs, Reg::ZERO, off as u16),
+        Zwr {
+            region,
+            index,
+            field,
+            rs,
+        } => {
+            (op::ZOLC << 26)
+                | (rs.field() << 21)
+                | (region.field() << 16)
+                | (u32::from(index) << 8)
+                | ((u32::from(field) & 0x1f) << 3)
+                | 1
+        }
+        Zctl { op: ctl } => {
+            let (code, imm) = match ctl {
+                ZolcCtl::Activate { task } => (0u32, u32::from(task)),
+                ZolcCtl::Deactivate => (1, 0),
+                ZolcCtl::Reset => (2, 0),
+            };
+            (op::ZOLC << 26) | (code << 21) | ((imm & 0xffff) << 5)
+        }
+        Nop => 0,
+        Halt => op::HALT << 26,
+    }
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode or function field does not name a
+/// valid XR32 instruction.
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    use Instr::*;
+    if word == 0 {
+        return Ok(Nop);
+    }
+    let err = Err(DecodeError { word });
+    let opc = word >> 26;
+    let rs = Reg::from_field(word >> 21);
+    let rt = Reg::from_field(word >> 16);
+    let rd = Reg::from_field(word >> 11);
+    let sh = ((word >> 6) & 0x1f) as u8;
+    let imm = (word & 0xffff) as u16;
+    let simm = imm as i16;
+    Ok(match opc {
+        op::RTYPE => match word & 0x3f {
+            funct::SLL => Sll { rd, rt, sh },
+            funct::SRL => Srl { rd, rt, sh },
+            funct::SRA => Sra { rd, rt, sh },
+            funct::SLLV => Sllv { rd, rt, rs },
+            funct::SRLV => Srlv { rd, rt, rs },
+            funct::SRAV => Srav { rd, rt, rs },
+            funct::JR => Jr { rs },
+            funct::MUL => Mul { rd, rs, rt },
+            funct::MULH => Mulh { rd, rs, rt },
+            funct::ADD => Add { rd, rs, rt },
+            funct::SUB => Sub { rd, rs, rt },
+            funct::AND => And { rd, rs, rt },
+            funct::OR => Or { rd, rs, rt },
+            funct::XOR => Xor { rd, rs, rt },
+            funct::NOR => Nor { rd, rs, rt },
+            funct::SLT => Slt { rd, rs, rt },
+            funct::SLTU => Sltu { rd, rs, rt },
+            _ => return err,
+        },
+        op::REGIMM => match rt.field() {
+            0 => Bltz { rs, off: simm },
+            1 => Bgez { rs, off: simm },
+            _ => return err,
+        },
+        op::J => J {
+            target: word & 0x03ff_ffff,
+        },
+        op::JAL => Jal {
+            target: word & 0x03ff_ffff,
+        },
+        op::BEQ => Beq { rs, rt, off: simm },
+        op::BNE => Bne { rs, rt, off: simm },
+        op::BLEZ => Blez { rs, off: simm },
+        op::BGTZ => Bgtz { rs, off: simm },
+        op::ADDI => Addi { rt, rs, imm: simm },
+        op::SLTI => Slti { rt, rs, imm: simm },
+        op::SLTIU => Sltiu { rt, rs, imm: simm },
+        op::ANDI => Andi { rt, rs, imm },
+        op::ORI => Ori { rt, rs, imm },
+        op::XORI => Xori { rt, rs, imm },
+        op::LUI => Lui { rt, imm },
+        op::LB => Lb { rt, rs, off: simm },
+        op::LH => Lh { rt, rs, off: simm },
+        op::LW => Lw { rt, rs, off: simm },
+        op::LBU => Lbu { rt, rs, off: simm },
+        op::LHU => Lhu { rt, rs, off: simm },
+        op::SB => Sb { rt, rs, off: simm },
+        op::SH => Sh { rt, rs, off: simm },
+        op::SW => Sw { rt, rs, off: simm },
+        op::DBNZ => Dbnz { rs, off: simm },
+        op::ZOLC => match word & 0x7 {
+            1 => {
+                let region =
+                    ZolcRegion::from_field(word >> 16).ok_or(DecodeError { word })?;
+                Zwr {
+                    region,
+                    index: ((word >> 8) & 0xff) as u8,
+                    field: ((word >> 3) & 0x1f) as u8,
+                    rs,
+                }
+            }
+            0 => {
+                let imm16 = ((word >> 5) & 0xffff) as u16;
+                let ctl = match rs.field() {
+                    0 => ZolcCtl::Activate { task: imm16 as u8 },
+                    1 => ZolcCtl::Deactivate,
+                    2 => ZolcCtl::Reset,
+                    _ => return err,
+                };
+                Zctl { op: ctl }
+            }
+            _ => return err,
+        },
+        op::HALT => Halt,
+        _ => return err,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::reg;
+    use crate::{loop_field, ZolcCtl, ZolcRegion};
+
+    fn sample_instrs() -> Vec<Instr> {
+        use Instr::*;
+        vec![
+            Add { rd: reg(1), rs: reg(2), rt: reg(3) },
+            Sub { rd: reg(4), rs: reg(5), rt: reg(6) },
+            And { rd: reg(7), rs: reg(8), rt: reg(9) },
+            Or { rd: reg(10), rs: reg(11), rt: reg(12) },
+            Xor { rd: reg(13), rs: reg(14), rt: reg(15) },
+            Nor { rd: reg(16), rs: reg(17), rt: reg(18) },
+            Slt { rd: reg(19), rs: reg(20), rt: reg(21) },
+            Sltu { rd: reg(22), rs: reg(23), rt: reg(24) },
+            Sllv { rd: reg(25), rt: reg(26), rs: reg(27) },
+            Srlv { rd: reg(28), rt: reg(29), rs: reg(30) },
+            Srav { rd: reg(31), rt: reg(1), rs: reg(2) },
+            Mul { rd: reg(3), rs: reg(4), rt: reg(5) },
+            Mulh { rd: reg(6), rs: reg(7), rt: reg(8) },
+            Sll { rd: reg(9), rt: reg(10), sh: 31 },
+            Srl { rd: reg(11), rt: reg(12), sh: 1 },
+            Sra { rd: reg(13), rt: reg(14), sh: 16 },
+            Addi { rt: reg(1), rs: reg(2), imm: -32768 },
+            Slti { rt: reg(3), rs: reg(4), imm: 32767 },
+            Sltiu { rt: reg(5), rs: reg(6), imm: -1 },
+            Andi { rt: reg(7), rs: reg(8), imm: 0xffff },
+            Ori { rt: reg(9), rs: reg(10), imm: 0x1234 },
+            Xori { rt: reg(11), rs: reg(12), imm: 0x00ff },
+            Lui { rt: reg(13), imm: 0xdead },
+            Lb { rt: reg(1), rs: reg(2), off: -4 },
+            Lbu { rt: reg(3), rs: reg(4), off: 4 },
+            Lh { rt: reg(5), rs: reg(6), off: -2 },
+            Lhu { rt: reg(7), rs: reg(8), off: 2 },
+            Lw { rt: reg(9), rs: reg(10), off: 0 },
+            Sb { rt: reg(11), rs: reg(12), off: 1 },
+            Sh { rt: reg(13), rs: reg(14), off: -6 },
+            Sw { rt: reg(15), rs: reg(16), off: 8 },
+            Beq { rs: reg(1), rt: reg(2), off: -1 },
+            Bne { rs: reg(3), rt: reg(4), off: 100 },
+            Blez { rs: reg(5), off: -100 },
+            Bgtz { rs: reg(6), off: 7 },
+            Bltz { rs: reg(7), off: -7 },
+            Bgez { rs: reg(8), off: 9 },
+            J { target: 0x3ff_ffff },
+            Jal { target: 1 },
+            Jr { rs: reg(31) },
+            Dbnz { rs: reg(9), off: -12 },
+            Zwr {
+                region: ZolcRegion::Loop,
+                index: 7,
+                field: loop_field::LIMIT,
+                rs: reg(4),
+            },
+            Zwr {
+                region: ZolcRegion::Task,
+                index: 31,
+                field: 4,
+                rs: reg(5),
+            },
+            Zctl { op: ZolcCtl::Activate { task: 12 } },
+            Zctl { op: ZolcCtl::Deactivate },
+            Zctl { op: ZolcCtl::Reset },
+            Nop,
+            Halt,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_sample_instrs() {
+        for i in sample_instrs() {
+            let w = encode(&i);
+            let back = decode(w).unwrap_or_else(|e| panic!("{i}: {e}"));
+            assert_eq!(back, i, "word {w:#010x}");
+        }
+    }
+
+    #[test]
+    fn zero_word_is_nop() {
+        assert_eq!(decode(0).unwrap(), Instr::Nop);
+        assert_eq!(encode(&Instr::Nop), 0);
+    }
+
+    #[test]
+    fn invalid_opcode_rejected() {
+        // opcode 0x3e is unused
+        let e = decode(0x3e << 26).unwrap_err();
+        assert_eq!(e.word(), 0x3e << 26);
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn invalid_funct_rejected() {
+        // R-type with funct 0x3f is unused
+        assert!(decode(0x0000_003f).is_err());
+    }
+
+    #[test]
+    fn invalid_zolc_funct_rejected() {
+        // ZOLC with funct 7 is unused
+        assert!(decode((0x1c << 26) | 7).is_err());
+        // ZOLC zwr with region 9 is unused
+        assert!(decode((0x1c << 26) | (9 << 16) | 1).is_err());
+        // zctl with op 5 is unused
+        assert!(decode((0x1c << 26) | (5 << 21)).is_err());
+    }
+
+    #[test]
+    fn distinct_instrs_have_distinct_encodings() {
+        let ws: Vec<u32> = sample_instrs().iter().map(encode).collect();
+        for (i, a) in ws.iter().enumerate() {
+            for (j, b) in ws.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "{:?} vs {:?}", sample_instrs()[i], sample_instrs()[j]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,707 @@
+//! A small two-pass text assembler for XR32.
+//!
+//! The assembler accepts the same syntax the disassembler
+//! ([`crate::Program::listing`]) produces, plus labels, sections, data
+//! directives and a few pseudo-instructions. It exists for examples, tests
+//! and exploratory use; the benchmark kernels generate code through the
+//! [`crate::Asm`] builder directly.
+//!
+//! Supported syntax:
+//!
+//! ```text
+//!         .text
+//! main:   li    r1, 10          # pseudo: addi (or lui+ori when wide)
+//!         la    r2, table       # pseudo: lui+ori (always 2 words)
+//! loop:   addi  r1, r1, -1
+//!         bne   r1, r0, loop
+//!         halt
+//!         .data
+//! table:  .word 1, 2, 3
+//!         .half 4, 5
+//!         .byte 6
+//!         .align 4
+//!         .space 16
+//! ```
+//!
+//! Comments start with `#` or `;`. Immediates may be decimal or `0x` hex,
+//! optionally negative.
+
+use crate::instr::{Instr, ZolcCtl, ZolcRegion};
+use crate::program::{Asm, Program, TEXT_BASE};
+use crate::reg::Reg;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The error type returned by [`assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    line: usize,
+    msg: String,
+}
+
+impl ParseAsmError {
+    fn new(line: usize, msg: impl Into<String>) -> Self {
+        ParseAsmError {
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    /// The 1-based source line the error occurred on (0 for link-time errors).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+/// One parsed source item before label resolution.
+#[derive(Debug, Clone)]
+enum Item {
+    /// Fully resolved instruction.
+    Instr(Instr),
+    /// Conditional branch to a named label (offset patched in pass 2).
+    BranchTo(Instr, String, usize),
+    /// `j`/`jal` to a named label.
+    JumpTo { link: bool, label: String, line: usize },
+    /// `la rd, label`: two words (`lui`+`ori`), address patched in pass 2.
+    La(Reg, String, usize),
+    /// Wide `li rd, imm32`: two words.
+    LiWide(Reg, u32),
+}
+
+impl Item {
+    fn words(&self) -> u32 {
+        match self {
+            Item::La(..) | Item::LiWide(..) => 2,
+            _ => 1,
+        }
+    }
+}
+
+fn parse_int(tok: &str, line: usize) -> Result<i64, ParseAsmError> {
+    let t = tok.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        t.parse::<i64>()
+    }
+    .map_err(|_| ParseAsmError::new(line, format!("invalid integer `{tok}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseAsmError> {
+    tok.trim()
+        .parse::<Reg>()
+        .map_err(|e| ParseAsmError::new(line, e.to_string()))
+}
+
+fn parse_i16(tok: &str, line: usize) -> Result<i16, ParseAsmError> {
+    let v = parse_int(tok, line)?;
+    i16::try_from(v)
+        .or_else(|_| u16::try_from(v).map(|u| u as i16))
+        .map_err(|_| ParseAsmError::new(line, format!("immediate `{tok}` out of 16-bit range")))
+}
+
+fn parse_u16(tok: &str, line: usize) -> Result<u16, ParseAsmError> {
+    let v = parse_int(tok, line)?;
+    u16::try_from(v)
+        .or_else(|_| i16::try_from(v).map(|s| s as u16))
+        .map_err(|_| ParseAsmError::new(line, format!("immediate `{tok}` out of 16-bit range")))
+}
+
+/// Parses `off(rs)` memory operands.
+fn parse_mem(tok: &str, line: usize) -> Result<(i16, Reg), ParseAsmError> {
+    let t = tok.trim();
+    let open = t
+        .find('(')
+        .ok_or_else(|| ParseAsmError::new(line, format!("expected `off(reg)`, got `{tok}`")))?;
+    let close = t
+        .find(')')
+        .ok_or_else(|| ParseAsmError::new(line, format!("unclosed `(` in `{tok}`")))?;
+    let off_s = &t[..open];
+    let off = if off_s.trim().is_empty() {
+        0
+    } else {
+        parse_i16(off_s, line)?
+    };
+    let rs = parse_reg(&t[open + 1..close], line)?;
+    Ok((off, rs))
+}
+
+fn split_operands(rest: &str) -> Vec<String> {
+    rest.split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Assembles XR32 source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseAsmError`] describing the offending line for syntax
+/// errors, unknown mnemonics, bad operands, undefined labels or branch
+/// targets out of range.
+///
+/// # Examples
+///
+/// ```
+/// let p = zolc_isa::assemble("
+///     li   r1, 3
+/// top: addi r1, r1, -1
+///     bne  r1, r0, top
+///     halt
+/// ")?;
+/// assert_eq!(p.text().len(), 4);
+/// # Ok::<(), zolc_isa::ParseAsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Program, ParseAsmError> {
+    #[derive(PartialEq)]
+    enum Section {
+        Text,
+        Data,
+    }
+
+    // Pass 1: lay out the data segment, size the text segment, record labels.
+    let mut items: Vec<Item> = Vec::new();
+    let mut section = Section::Text;
+    let mut text_words: u32 = 0;
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut asm = Asm::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut s = raw;
+        if let Some(p) = s.find(['#', ';']) {
+            s = &s[..p];
+        }
+        let mut s = s.trim();
+        while let Some(colon) = s.find(':') {
+            let (name, rest) = s.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                break;
+            }
+            let addr = match section {
+                Section::Text => TEXT_BASE + 4 * text_words,
+                Section::Data => {
+                    asm.data_symbol(name);
+                    asm.data_here()
+                }
+            };
+            if labels.insert(name.to_owned(), addr).is_some() {
+                return Err(ParseAsmError::new(line, format!("duplicate label `{name}`")));
+            }
+            s = rest[1..].trim();
+        }
+        if s.is_empty() {
+            continue;
+        }
+        let (mnem, rest) = match s.find(char::is_whitespace) {
+            Some(p) => (&s[..p], s[p..].trim()),
+            None => (s, ""),
+        };
+        let mnem_lc = mnem.to_ascii_lowercase();
+        if let Some(directive) = mnem_lc.strip_prefix('.') {
+            match directive {
+                "text" => section = Section::Text,
+                "data" => section = Section::Data,
+                "word" => {
+                    for tok in split_operands(rest) {
+                        let v = parse_int(&tok, line)?;
+                        asm.words(&[v as i32]);
+                    }
+                }
+                "half" => {
+                    for tok in split_operands(rest) {
+                        let v = parse_int(&tok, line)?;
+                        asm.halves(&[v as i16]);
+                    }
+                }
+                "byte" => {
+                    for tok in split_operands(rest) {
+                        let v = parse_int(&tok, line)?;
+                        asm.bytes(&[v as u8]);
+                    }
+                }
+                "space" => {
+                    let n = parse_int(rest, line)? as usize;
+                    asm.bytes(&vec![0u8; n]);
+                }
+                "align" => {
+                    let n = parse_int(rest, line)? as usize;
+                    if !n.is_power_of_two() {
+                        return Err(ParseAsmError::new(line, ".align takes a power of two"));
+                    }
+                    asm.align_data(n);
+                }
+                other => {
+                    return Err(ParseAsmError::new(line, format!("unknown directive `.{other}`")))
+                }
+            }
+            continue;
+        }
+        if section != Section::Text {
+            return Err(ParseAsmError::new(
+                line,
+                format!("instruction `{mnem}` outside .text section"),
+            ));
+        }
+        let item = parse_instr_line(&mnem_lc, rest, line)?;
+        text_words += item.words();
+        items.push(item);
+    }
+
+    // Pass 2: emit instructions, resolving label references.
+    let lookup = |label: &str, line: usize| -> Result<u32, ParseAsmError> {
+        labels
+            .get(label)
+            .copied()
+            .ok_or_else(|| ParseAsmError::new(line, format!("undefined label `{label}`")))
+    };
+
+    for item in items {
+        match item {
+            Item::Instr(i) => {
+                asm.emit(i);
+            }
+            Item::BranchTo(i, label, line) => {
+                let target = lookup(&label, line)?;
+                let at = asm.here();
+                let delta = (i64::from(target) - i64::from(at) - 4) / 4;
+                let off = i16::try_from(delta).map_err(|_| {
+                    ParseAsmError::new(line, format!("branch target `{label}` out of range"))
+                })?;
+                asm.emit(i.with_branch_off(off).expect("branch item holds a branch"));
+            }
+            Item::JumpTo { link, label, line } => {
+                let target = lookup(&label, line)? >> 2;
+                asm.emit(if link {
+                    Instr::Jal { target }
+                } else {
+                    Instr::J { target }
+                });
+            }
+            Item::La(rd, label, line) => {
+                let addr = lookup(&label, line)?;
+                emit_wide(&mut asm, rd, addr);
+            }
+            Item::LiWide(rd, value) => {
+                emit_wide(&mut asm, rd, value);
+            }
+        }
+    }
+
+    // record text labels as program symbols too
+    for (name, addr) in &labels {
+        if *addr < crate::program::DATA_BASE {
+            asm.global_at(name, *addr);
+        }
+    }
+
+    asm.finish()
+        .map_err(|e| ParseAsmError::new(0, e.to_string()))
+}
+
+/// Emits the canonical two-word `lui`+`ori` constant load.
+fn emit_wide(asm: &mut Asm, rd: Reg, value: u32) {
+    asm.emit(Instr::Lui {
+        rt: rd,
+        imm: (value >> 16) as u16,
+    });
+    asm.emit(Instr::Ori {
+        rt: rd,
+        rs: rd,
+        imm: (value & 0xffff) as u16,
+    });
+}
+
+fn parse_instr_line(mnem: &str, rest: &str, line: usize) -> Result<Item, ParseAsmError> {
+    use Instr::*;
+    let ops = split_operands(rest);
+    let need = |n: usize| -> Result<(), ParseAsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(ParseAsmError::new(
+                line,
+                format!("`{mnem}` expects {n} operands, got {}", ops.len()),
+            ))
+        }
+    };
+    let r = |k: usize| parse_reg(&ops[k], line);
+    let i16_ = |k: usize| parse_i16(&ops[k], line);
+    let u16_ = |k: usize| parse_u16(&ops[k], line);
+
+    let rrr = |f: fn(Reg, Reg, Reg) -> Instr| -> Result<Item, ParseAsmError> {
+        need(3)?;
+        Ok(Item::Instr(f(r(0)?, r(1)?, r(2)?)))
+    };
+    let branch2 = |f: fn(Reg, Reg, i16) -> Instr| -> Result<Item, ParseAsmError> {
+        need(3)?;
+        Ok(Item::BranchTo(f(r(0)?, r(1)?, 0), ops[2].clone(), line))
+    };
+    let branch1 = |f: fn(Reg, i16) -> Instr| -> Result<Item, ParseAsmError> {
+        need(2)?;
+        Ok(Item::BranchTo(f(r(0)?, 0), ops[1].clone(), line))
+    };
+    let mem = |f: fn(Reg, Reg, i16) -> Instr| -> Result<Item, ParseAsmError> {
+        need(2)?;
+        let (off, rs) = parse_mem(&ops[1], line)?;
+        Ok(Item::Instr(f(r(0)?, rs, off)))
+    };
+
+    match mnem {
+        "add" => rrr(|rd, rs, rt| Add { rd, rs, rt }),
+        "sub" => rrr(|rd, rs, rt| Sub { rd, rs, rt }),
+        "and" => rrr(|rd, rs, rt| And { rd, rs, rt }),
+        "or" => rrr(|rd, rs, rt| Or { rd, rs, rt }),
+        "xor" => rrr(|rd, rs, rt| Xor { rd, rs, rt }),
+        "nor" => rrr(|rd, rs, rt| Nor { rd, rs, rt }),
+        "slt" => rrr(|rd, rs, rt| Slt { rd, rs, rt }),
+        "sltu" => rrr(|rd, rs, rt| Sltu { rd, rs, rt }),
+        "mul" => rrr(|rd, rs, rt| Mul { rd, rs, rt }),
+        "mulh" => rrr(|rd, rs, rt| Mulh { rd, rs, rt }),
+        "sllv" => rrr(|rd, rt, rs| Sllv { rd, rt, rs }),
+        "srlv" => rrr(|rd, rt, rs| Srlv { rd, rt, rs }),
+        "srav" => rrr(|rd, rt, rs| Srav { rd, rt, rs }),
+        "sll" | "srl" | "sra" => {
+            need(3)?;
+            let sh = parse_int(&ops[2], line)?;
+            if !(0..32).contains(&sh) {
+                return Err(ParseAsmError::new(line, "shift amount must be 0..32"));
+            }
+            let (rd, rt, sh) = (r(0)?, r(1)?, sh as u8);
+            Ok(Item::Instr(match mnem {
+                "sll" => Sll { rd, rt, sh },
+                "srl" => Srl { rd, rt, sh },
+                _ => Sra { rd, rt, sh },
+            }))
+        }
+        "addi" => {
+            need(3)?;
+            Ok(Item::Instr(Addi { rt: r(0)?, rs: r(1)?, imm: i16_(2)? }))
+        }
+        "slti" => {
+            need(3)?;
+            Ok(Item::Instr(Slti { rt: r(0)?, rs: r(1)?, imm: i16_(2)? }))
+        }
+        "sltiu" => {
+            need(3)?;
+            Ok(Item::Instr(Sltiu { rt: r(0)?, rs: r(1)?, imm: i16_(2)? }))
+        }
+        "andi" => {
+            need(3)?;
+            Ok(Item::Instr(Andi { rt: r(0)?, rs: r(1)?, imm: u16_(2)? }))
+        }
+        "ori" => {
+            need(3)?;
+            Ok(Item::Instr(Ori { rt: r(0)?, rs: r(1)?, imm: u16_(2)? }))
+        }
+        "xori" => {
+            need(3)?;
+            Ok(Item::Instr(Xori { rt: r(0)?, rs: r(1)?, imm: u16_(2)? }))
+        }
+        "lui" => {
+            need(2)?;
+            Ok(Item::Instr(Lui { rt: r(0)?, imm: u16_(1)? }))
+        }
+        "lb" => mem(|rt, rs, off| Lb { rt, rs, off }),
+        "lbu" => mem(|rt, rs, off| Lbu { rt, rs, off }),
+        "lh" => mem(|rt, rs, off| Lh { rt, rs, off }),
+        "lhu" => mem(|rt, rs, off| Lhu { rt, rs, off }),
+        "lw" => mem(|rt, rs, off| Lw { rt, rs, off }),
+        "sb" => mem(|rt, rs, off| Sb { rt, rs, off }),
+        "sh" => mem(|rt, rs, off| Sh { rt, rs, off }),
+        "sw" => mem(|rt, rs, off| Sw { rt, rs, off }),
+        "beq" => branch2(|rs, rt, off| Beq { rs, rt, off }),
+        "bne" => branch2(|rs, rt, off| Bne { rs, rt, off }),
+        "blez" => branch1(|rs, off| Blez { rs, off }),
+        "bgtz" => branch1(|rs, off| Bgtz { rs, off }),
+        "bltz" => branch1(|rs, off| Bltz { rs, off }),
+        "bgez" => branch1(|rs, off| Bgez { rs, off }),
+        "dbnz" => branch1(|rs, off| Dbnz { rs, off }),
+        "j" => {
+            need(1)?;
+            Ok(Item::JumpTo { link: false, label: ops[0].clone(), line })
+        }
+        "jal" => {
+            need(1)?;
+            Ok(Item::JumpTo { link: true, label: ops[0].clone(), line })
+        }
+        "jr" => {
+            need(1)?;
+            Ok(Item::Instr(Jr { rs: r(0)? }))
+        }
+        "b" => {
+            need(1)?;
+            Ok(Item::BranchTo(
+                Beq { rs: Reg::ZERO, rt: Reg::ZERO, off: 0 },
+                ops[0].clone(),
+                line,
+            ))
+        }
+        "mv" | "move" => {
+            need(2)?;
+            Ok(Item::Instr(Add { rd: r(0)?, rs: r(1)?, rt: Reg::ZERO }))
+        }
+        "li" => {
+            need(2)?;
+            let v = parse_int(&ops[1], line)?;
+            let v32 = i32::try_from(v)
+                .or_else(|_| u32::try_from(v).map(|u| u as i32))
+                .map_err(|_| ParseAsmError::new(line, "li immediate out of 32-bit range"))?;
+            if (-32768..=32767).contains(&v32) {
+                Ok(Item::Instr(Addi { rt: r(0)?, rs: Reg::ZERO, imm: v32 as i16 }))
+            } else {
+                Ok(Item::LiWide(r(0)?, v32 as u32))
+            }
+        }
+        "la" => {
+            need(2)?;
+            Ok(Item::La(r(0)?, ops[1].clone(), line))
+        }
+        // ZOLC coprocessor: `zwr <region>, <index>, <field>, <rs>` and
+        // `zctl.on <task>` / `zctl.off` / `zctl.rst`
+        "zwr" => {
+            need(4)?;
+            let region = match ops[0].as_str() {
+                "loop" => ZolcRegion::Loop,
+                "task" => ZolcRegion::Task,
+                "entry" => ZolcRegion::Entry,
+                "exit" => ZolcRegion::Exit,
+                "global" => ZolcRegion::Global,
+                other => {
+                    return Err(ParseAsmError::new(
+                        line,
+                        format!("unknown ZOLC region `{other}`"),
+                    ))
+                }
+            };
+            let index = parse_int(&ops[1], line)?;
+            let field = parse_int(&ops[2], line)?;
+            if !(0..256).contains(&index) || !(0..32).contains(&field) {
+                return Err(ParseAsmError::new(line, "zwr index/field out of range"));
+            }
+            Ok(Item::Instr(Zwr {
+                region,
+                index: index as u8,
+                field: field as u8,
+                rs: r(3)?,
+            }))
+        }
+        "zctl.on" => {
+            need(1)?;
+            let task = parse_int(&ops[0], line)?;
+            if !(0..256).contains(&task) {
+                return Err(ParseAsmError::new(line, "task id out of range"));
+            }
+            Ok(Item::Instr(Zctl {
+                op: ZolcCtl::Activate { task: task as u8 },
+            }))
+        }
+        "zctl.off" => {
+            need(0)?;
+            Ok(Item::Instr(Zctl {
+                op: ZolcCtl::Deactivate,
+            }))
+        }
+        "zctl.rst" => {
+            need(0)?;
+            Ok(Item::Instr(Zctl { op: ZolcCtl::Reset }))
+        }
+        "nop" => {
+            need(0)?;
+            Ok(Item::Instr(Nop))
+        }
+        "halt" => {
+            need(0)?;
+            Ok(Item::Instr(Halt))
+        }
+        other => Err(ParseAsmError::new(line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::DATA_BASE;
+    use crate::reg::reg;
+
+    #[test]
+    fn simple_loop_assembles() {
+        let p = assemble(
+            "
+            li   r1, 3
+      top:  addi r1, r1, -1
+            bne  r1, r0, top
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.text().len(), 4);
+        assert_eq!(p.text()[2].branch_off(), Some(-2));
+        assert_eq!(p.symbol("top"), Some(4));
+    }
+
+    #[test]
+    fn data_section_and_la() {
+        let p = assemble(
+            "
+            .data
+      tbl:  .word 10, 20, 30
+      out:  .space 8
+            .text
+            la   r2, tbl
+            lw   r3, 4(r2)
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.symbol("tbl"), Some(DATA_BASE));
+        assert_eq!(p.symbol("out"), Some(DATA_BASE + 12));
+        assert_eq!(
+            p.text()[0],
+            Instr::Lui {
+                rt: reg(2),
+                imm: (DATA_BASE >> 16) as u16
+            }
+        );
+        assert_eq!(p.data().len(), 20);
+        assert_eq!(&p.data()[4..8], &20i32.to_le_bytes());
+    }
+
+    #[test]
+    fn forward_jump_resolves() {
+        let p = assemble(
+            "
+            j    end
+            nop
+      end:  halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.text()[0], Instr::J { target: 2 });
+    }
+
+    #[test]
+    fn wide_li_expands_to_two_words() {
+        let p = assemble("li r1, 0x12345678\nhalt").unwrap();
+        assert_eq!(p.text().len(), 3);
+        assert_eq!(p.text()[0], Instr::Lui { rt: reg(1), imm: 0x1234 });
+        assert_eq!(
+            p.text()[1],
+            Instr::Ori { rt: reg(1), rs: reg(1), imm: 0x5678 }
+        );
+    }
+
+    #[test]
+    fn la_sizing_consistent_with_labels() {
+        // label after an la must account for its two-word expansion
+        let p = assemble(
+            "
+            la   r1, after
+      after: halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.symbol("after"), Some(8));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus r1, r2\n").unwrap_err();
+        assert_eq!(e.line(), 2);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        assert!(assemble("j nowhere\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        assert!(assemble("a: nop\na: nop\n").is_err());
+    }
+
+    #[test]
+    fn operand_count_checked() {
+        assert!(assemble("add r1, r2\n").is_err());
+    }
+
+    #[test]
+    fn mem_operand_forms() {
+        let p = assemble("lw r1, (r2)\nsw r1, -8(r3)\nhalt").unwrap();
+        assert_eq!(p.text()[0], Instr::Lw { rt: reg(1), rs: reg(2), off: 0 });
+        assert_eq!(p.text()[1], Instr::Sw { rt: reg(1), rs: reg(3), off: -8 });
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("# header\n; alt comment\n\nnop # trailing\nhalt").unwrap();
+        assert_eq!(p.text().len(), 2);
+    }
+
+    #[test]
+    fn dbnz_parses() {
+        let p = assemble("top: dbnz r5, top\nhalt").unwrap();
+        assert_eq!(p.text()[0], Instr::Dbnz { rs: reg(5), off: -1 });
+    }
+
+    #[test]
+    fn instructions_in_data_section_rejected() {
+        assert!(assemble(".data\nnop\n").is_err());
+    }
+
+    #[test]
+    fn zolc_instructions_parse() {
+        use crate::instr::{ZolcCtl, ZolcRegion};
+        let p = assemble(
+            "
+            zwr   loop, 2, 1, r4
+            zwr   task, 31, 4, r5
+            zctl.on 3
+            zctl.off
+            zctl.rst
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(
+            p.text()[0],
+            Instr::Zwr {
+                region: ZolcRegion::Loop,
+                index: 2,
+                field: 1,
+                rs: reg(4)
+            }
+        );
+        assert_eq!(
+            p.text()[2],
+            Instr::Zctl {
+                op: ZolcCtl::Activate { task: 3 }
+            }
+        );
+        assert_eq!(p.text()[3], Instr::Zctl { op: ZolcCtl::Deactivate });
+        assert_eq!(p.text()[4], Instr::Zctl { op: ZolcCtl::Reset });
+    }
+
+    #[test]
+    fn bad_zolc_operands_rejected() {
+        assert!(assemble("zwr bogus, 0, 0, r1\n").is_err());
+        assert!(assemble("zwr loop, 900, 0, r1\n").is_err());
+        assert!(assemble("zctl.on 300\n").is_err());
+    }
+}

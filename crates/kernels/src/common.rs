@@ -1,0 +1,236 @@
+//! Shared infrastructure for building and running benchmark kernels.
+
+use std::fmt;
+use zolc_core::{Zolc, ZolcConfig};
+use zolc_ir::{lower_into, LoopIr, LowerError, LoweredInfo, Target};
+use zolc_isa::{Asm, AsmError, Instr, Program, Reg};
+use zolc_sim::{run_program, NullEngine, RunError, Stats};
+
+/// Expected architectural results of a kernel run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Expectation {
+    /// `(address, expected words)` regions compared after the run.
+    pub mem_words: Vec<(u32, Vec<u32>)>,
+    /// `(register, expected value)` pairs compared after the run.
+    pub regs: Vec<(Reg, u32)>,
+}
+
+/// A kernel lowered for one target, ready to run.
+#[derive(Debug, Clone)]
+pub struct BuiltKernel {
+    /// Kernel name.
+    pub name: String,
+    /// The linked program (self-initializing for ZOLC targets).
+    pub program: Program,
+    /// The target it was lowered for.
+    pub target: Target,
+    /// Expected results (from the Rust reference model).
+    pub expect: Expectation,
+    /// Lowering byproducts (table image, init length, notes).
+    pub info: LoweredInfo,
+}
+
+/// Errors building a kernel.
+#[derive(Debug, Clone)]
+pub enum BuildError {
+    /// The IR did not lower for this target.
+    Lower(LowerError),
+    /// Assembly/linking failed.
+    Asm(AsmError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Lower(e) => write!(f, "lowering failed: {e}"),
+            BuildError::Asm(e) => write!(f, "assembly failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<LowerError> for BuildError {
+    fn from(e: LowerError) -> Self {
+        BuildError::Lower(e)
+    }
+}
+
+impl From<AsmError> for BuildError {
+    fn from(e: AsmError) -> Self {
+        BuildError::Asm(e)
+    }
+}
+
+/// Builds a kernel: `f` writes the data segment and setup code into the
+/// assembler and returns the loop structure plus the reference
+/// expectation; the loop structure is then lowered for `target`.
+pub(crate) fn build_kernel(
+    name: &str,
+    target: &Target,
+    f: impl FnOnce(&mut Asm) -> (LoopIr, Expectation),
+) -> Result<BuiltKernel, BuildError> {
+    let mut asm = Asm::new();
+    let (ir, expect) = f(&mut asm);
+    let info = lower_into(&mut asm, &ir, target)?;
+    asm.emit(Instr::Halt);
+    let program = asm.finish()?;
+    Ok(BuiltKernel {
+        name: name.to_owned(),
+        program,
+        target: target.clone(),
+        expect,
+        info,
+    })
+}
+
+/// Outcome of running a built kernel.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// Pipeline statistics (cycles are the paper's metric).
+    pub stats: Stats,
+    /// Differences from the reference expectation (empty = correct).
+    pub mismatches: Vec<String>,
+    /// ZOLC consistency violations (empty = correct; always empty for
+    /// non-ZOLC targets).
+    pub violations: Vec<String>,
+}
+
+impl KernelRun {
+    /// Whether the run matched the reference bit-exactly and the
+    /// controller stayed consistent.
+    pub fn is_correct(&self) -> bool {
+        self.mismatches.is_empty() && self.violations.is_empty()
+    }
+}
+
+/// Runs a built kernel on the simulator and checks it against its
+/// reference expectation.
+///
+/// # Errors
+///
+/// Propagates simulator [`RunError`]s (cycle limit, memory fault).
+pub fn run_kernel(built: &BuiltKernel, max_cycles: u64) -> Result<KernelRun, RunError> {
+    let (finished, violations) = match &built.target {
+        Target::Zolc(cfg) => {
+            let mut z = Zolc::new(*cfg);
+            let fin = run_program(&built.program, &mut z, max_cycles)?;
+            (fin, z.violations().to_vec())
+        }
+        _ => {
+            let fin = run_program(&built.program, &mut NullEngine, max_cycles)?;
+            (fin, Vec::new())
+        }
+    };
+    let mut mismatches = Vec::new();
+    for (addr, words) in &built.expect.mem_words {
+        let got = finished
+            .cpu
+            .mem()
+            .read_words(*addr, words.len())
+            .map_err(RunError::from)?;
+        for (k, (g, w)) in got.iter().zip(words).enumerate() {
+            if g != w && mismatches.len() < 8 {
+                mismatches.push(format!(
+                    "{}/{}: mem[{:#x}] = {:#x}, expected {:#x}",
+                    built.name,
+                    built.target,
+                    addr + 4 * k as u32,
+                    g,
+                    w
+                ));
+            }
+        }
+    }
+    for (r, v) in &built.expect.regs {
+        let got = finished.cpu.regs().read(*r);
+        if got != *v {
+            mismatches.push(format!(
+                "{}/{}: {r} = {got:#x}, expected {v:#x}",
+                built.name, built.target
+            ));
+        }
+    }
+    Ok(KernelRun {
+        stats: finished.stats,
+        mismatches,
+        violations,
+    })
+}
+
+/// The standard targets of the paper's Fig. 2 comparison.
+pub fn fig2_targets() -> Vec<Target> {
+    vec![
+        Target::Baseline,
+        Target::HwLoop,
+        Target::Zolc(ZolcConfig::lite()),
+    ]
+}
+
+/// A deterministic xorshift PRNG so kernel inputs never depend on crate
+/// versions or platform (the `rand` crate is used only through this).
+#[derive(Debug, Clone)]
+pub struct Xorshift {
+    state: u64,
+}
+
+impl Xorshift {
+    /// Creates a generator from a nonzero seed.
+    pub fn new(seed: u64) -> Xorshift {
+        Xorshift {
+            state: seed.max(1),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// A value in `0..bound`.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        (self.next_u64() % u64::from(bound)) as u32
+    }
+
+    /// A signed value in `-range..=range`.
+    pub fn signed(&mut self, range: u32) -> i32 {
+        self.below(2 * range + 1) as i32 - range as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = Xorshift::new(42);
+        let mut b = Xorshift::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Xorshift::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn xorshift_bounds_respected() {
+        let mut r = Xorshift::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+            let s = r.signed(5);
+            assert!((-5..=5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_fixed_up() {
+        let mut r = Xorshift::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+}

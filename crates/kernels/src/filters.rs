@@ -1,0 +1,219 @@
+//! Filter kernels: FIR and a cascaded IIR biquad (fixed-point).
+
+use crate::common::{build_kernel, BuildError, BuiltKernel, Expectation, Xorshift};
+use zolc_ir::{IndexSpec, LoopIr, LoopNode, Node, Target, Trips};
+use zolc_isa::{reg, Asm, Instr, Reg};
+
+/// 16-tap FIR over 64 output samples: `y[n] = Σ h[k]·x[n+k]`.
+///
+/// Outer loop walks the input window (ZOLC index = `&x[n]`), inner loop
+/// walks the coefficients (ZOLC index = `&h[k]`); the inner body also
+/// advances a plain window pointer.
+pub fn build_fir(target: &Target) -> Result<BuiltKernel, BuildError> {
+    const NSAMP: usize = 64;
+    const NTAPS: usize = 16;
+    build_kernel("fir", target, |asm: &mut Asm| {
+        let mut rng = Xorshift::new(0x2001);
+        let x: Vec<i32> = (0..NSAMP + NTAPS).map(|_| rng.signed(1000)).collect();
+        let h: Vec<i32> = (0..NTAPS).map(|_| rng.signed(64)).collect();
+        let x_addr = asm.words(&x);
+        let h_addr = asm.words(&h);
+        let y_addr = asm.zeroed_words(NSAMP);
+
+        // setup: r9 = output pointer
+        asm.li(reg(9), y_addr as i32);
+
+        // reference
+        let y: Vec<u32> = (0..NSAMP)
+            .map(|n| {
+                let mut acc: i32 = 0;
+                for k in 0..NTAPS {
+                    acc = acc.wrapping_add(h[k].wrapping_mul(x[n + k]));
+                }
+                acc as u32
+            })
+            .collect();
+
+        let inner = Node::Loop(LoopNode {
+            trips: Trips::Const(NTAPS as u32),
+            index: Some(IndexSpec {
+                reg: reg(20),
+                init: h_addr as i32,
+                step: 4,
+            }),
+            counter: reg(12),
+            body: vec![Node::code([
+                Instr::Lw { rt: reg(4), rs: reg(20), off: 0 },
+                Instr::Lw { rt: reg(5), rs: reg(7), off: 0 },
+                Instr::Addi { rt: reg(7), rs: reg(7), imm: 4 },
+                Instr::Mul { rd: reg(8), rs: reg(4), rt: reg(5) },
+                Instr::Add { rd: reg(6), rs: reg(6), rt: reg(8) },
+            ])],
+        });
+        let ir = LoopIr {
+            name: "fir".into(),
+            nodes: vec![Node::Loop(LoopNode {
+                trips: Trips::Const(NSAMP as u32),
+                index: Some(IndexSpec {
+                    reg: reg(21),
+                    init: x_addr as i32,
+                    step: 4,
+                }),
+                counter: reg(11),
+                body: vec![
+                    Node::code([
+                        Instr::Add { rd: reg(6), rs: Reg::ZERO, rt: Reg::ZERO },
+                        Instr::Add { rd: reg(7), rs: reg(21), rt: Reg::ZERO },
+                    ]),
+                    inner,
+                    Node::code([
+                        Instr::Sw { rt: reg(6), rs: reg(9), off: 0 },
+                        Instr::Addi { rt: reg(9), rs: reg(9), imm: 4 },
+                    ]),
+                ],
+            })],
+        };
+        let expect = Expectation {
+            mem_words: vec![(y_addr, y)],
+            regs: vec![(reg(9), y_addr + 4 * NSAMP as u32)],
+        };
+        (ir, expect)
+    })
+}
+
+/// Four cascaded direct-form-II biquad sections over 48 samples (Q14
+/// fixed point). The large per-section body makes this the least
+/// loop-dominated kernel — the paper's low-end improvement case.
+pub fn build_iir_biquad(target: &Target) -> Result<BuiltKernel, BuildError> {
+    const NSECT: usize = 4;
+    const NSAMP: usize = 48;
+    const REC_WORDS: usize = 7; // b0 b1 b2 a1 a2 w1 w2
+    build_kernel("iir_biquad", target, |asm: &mut Asm| {
+        let mut rng = Xorshift::new(0x2002);
+        // small Q14 coefficients; exactness does not require stability but
+        // modest magnitudes keep intermediate values well-behaved
+        let mut sections = Vec::new();
+        for _ in 0..NSECT {
+            sections.push([
+                rng.signed(8000),  // b0
+                rng.signed(4000),  // b1
+                rng.signed(4000),  // b2
+                rng.signed(6000),  // a1
+                rng.signed(3000),  // a2
+                0,                 // w1
+                0,                 // w2
+            ]);
+        }
+        let x: Vec<i32> = (0..NSAMP).map(|_| rng.signed(2000)).collect();
+        let flat: Vec<i32> = sections.iter().flatten().copied().collect();
+        let s_addr = asm.words(&flat);
+        let x_addr = asm.words(&x);
+        let y_addr = asm.zeroed_words(NSAMP);
+        asm.li(reg(9), y_addr as i32);
+
+        // reference (identical wrapping Q14 arithmetic)
+        let mut st = sections.clone();
+        let mut y = Vec::with_capacity(NSAMP);
+        for &xi in &x {
+            let mut s = xi;
+            for sec in st.iter_mut() {
+                let (b0, b1, b2, a1, a2, w1, w2) =
+                    (sec[0], sec[1], sec[2], sec[3], sec[4], sec[5], sec[6]);
+                let mut w0 = s;
+                w0 = w0.wrapping_sub(a1.wrapping_mul(w1) >> 14);
+                w0 = w0.wrapping_sub(a2.wrapping_mul(w2) >> 14);
+                let mut acc = b0.wrapping_mul(w0);
+                acc = acc.wrapping_add(b1.wrapping_mul(w1));
+                acc = acc.wrapping_add(b2.wrapping_mul(w2));
+                s = acc >> 14;
+                sec[6] = w1; // w2 = w1
+                sec[5] = w0; // w1 = w0
+            }
+            y.push(s as u32);
+        }
+        let final_state: Vec<u32> = st.iter().flatten().map(|&v| v as u32).collect();
+
+        // inner body: one biquad section; sample flows in r6
+        let section_body = vec![
+            Instr::Lw { rt: reg(4), rs: reg(20), off: 12 }, // a1
+            Instr::Lw { rt: reg(5), rs: reg(20), off: 20 }, // w1
+            Instr::Mul { rd: reg(4), rs: reg(4), rt: reg(5) },
+            Instr::Sra { rd: reg(4), rt: reg(4), sh: 14 },
+            Instr::Sub { rd: reg(6), rs: reg(6), rt: reg(4) },
+            Instr::Lw { rt: reg(4), rs: reg(20), off: 16 }, // a2
+            Instr::Lw { rt: reg(7), rs: reg(20), off: 24 }, // w2
+            Instr::Mul { rd: reg(4), rs: reg(4), rt: reg(7) },
+            Instr::Sra { rd: reg(4), rt: reg(4), sh: 14 },
+            Instr::Sub { rd: reg(6), rs: reg(6), rt: reg(4) }, // w0
+            Instr::Lw { rt: reg(4), rs: reg(20), off: 0 },  // b0
+            Instr::Mul { rd: reg(8), rs: reg(4), rt: reg(6) },
+            Instr::Lw { rt: reg(4), rs: reg(20), off: 4 },  // b1
+            Instr::Mul { rd: reg(4), rs: reg(4), rt: reg(5) },
+            Instr::Add { rd: reg(8), rs: reg(8), rt: reg(4) },
+            Instr::Lw { rt: reg(4), rs: reg(20), off: 8 },  // b2
+            Instr::Mul { rd: reg(4), rs: reg(4), rt: reg(7) },
+            Instr::Add { rd: reg(8), rs: reg(8), rt: reg(4) },
+            Instr::Sw { rt: reg(5), rs: reg(20), off: 24 }, // w2 = w1
+            Instr::Sw { rt: reg(6), rs: reg(20), off: 20 }, // w1 = w0
+            Instr::Sra { rd: reg(6), rt: reg(8), sh: 14 },  // s = y
+        ];
+        let ir = LoopIr {
+            name: "iir_biquad".into(),
+            nodes: vec![Node::Loop(LoopNode {
+                trips: Trips::Const(NSAMP as u32),
+                index: Some(IndexSpec {
+                    reg: reg(21),
+                    init: x_addr as i32,
+                    step: 4,
+                }),
+                counter: reg(11),
+                body: vec![
+                    Node::code([Instr::Lw { rt: reg(6), rs: reg(21), off: 0 }]),
+                    Node::Loop(LoopNode {
+                        trips: Trips::Const(NSECT as u32),
+                        index: Some(IndexSpec {
+                            reg: reg(20),
+                            init: s_addr as i32,
+                            step: 4 * REC_WORDS as i32,
+                        }),
+                        counter: reg(12),
+                        body: vec![Node::Code(section_body)],
+                    }),
+                    Node::code([
+                        Instr::Sw { rt: reg(6), rs: reg(9), off: 0 },
+                        Instr::Addi { rt: reg(9), rs: reg(9), imm: 4 },
+                    ]),
+                ],
+            })],
+        };
+        let expect = Expectation {
+            mem_words: vec![(y_addr, y), (s_addr, final_state)],
+            regs: vec![],
+        };
+        (ir, expect)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{fig2_targets, run_kernel};
+
+    #[test]
+    fn fir_correct_on_all_targets() {
+        for t in fig2_targets() {
+            let b = build_fir(&t).unwrap();
+            let r = run_kernel(&b, 2_000_000).unwrap();
+            assert!(r.is_correct(), "{t}: {:?} {:?}", r.mismatches, r.violations);
+        }
+    }
+
+    #[test]
+    fn iir_biquad_correct_on_all_targets() {
+        for t in fig2_targets() {
+            let b = build_iir_biquad(&t).unwrap();
+            let r = run_kernel(&b, 2_000_000).unwrap();
+            assert!(r.is_correct(), "{t}: {:?} {:?}", r.mismatches, r.violations);
+        }
+    }
+}

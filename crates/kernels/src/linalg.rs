@@ -1,0 +1,395 @@
+//! Linear-algebra kernels: matrix multiply, 2-D convolution and an 8×8
+//! two-pass DCT.
+
+use crate::common::{build_kernel, BuildError, BuiltKernel, Expectation, Xorshift};
+use zolc_ir::{IndexSpec, LoopIr, LoopNode, Node, Target, Trips};
+use zolc_isa::{reg, Asm, Instr, Reg};
+
+/// 8×8×8 integer matrix multiply `C = A · B` (three-deep nest).
+pub fn build_matmul(target: &Target) -> Result<BuiltKernel, BuildError> {
+    const N: usize = 8;
+    build_kernel("matmul", target, |asm: &mut Asm| {
+        let mut rng = Xorshift::new(0x3001);
+        let a: Vec<i32> = (0..N * N).map(|_| rng.signed(50)).collect();
+        let b: Vec<i32> = (0..N * N).map(|_| rng.signed(50)).collect();
+        let a_addr = asm.words(&a);
+        let b_addr = asm.words(&b);
+        let c_addr = asm.zeroed_words(N * N);
+        asm.li(reg(9), c_addr as i32);
+
+        // reference
+        let mut c = vec![0u32; N * N];
+        for i in 0..N {
+            for j in 0..N {
+                let mut acc: i32 = 0;
+                for k in 0..N {
+                    acc = acc.wrapping_add(a[i * N + k].wrapping_mul(b[k * N + j]));
+                }
+                c[i * N + j] = acc as u32;
+            }
+        }
+
+        let k_loop = Node::Loop(LoopNode {
+            trips: Trips::Const(N as u32),
+            index: None,
+            counter: reg(13),
+            body: vec![Node::code([
+                Instr::Lw { rt: reg(4), rs: reg(7), off: 0 },
+                Instr::Lw { rt: reg(5), rs: reg(8), off: 0 },
+                Instr::Addi { rt: reg(7), rs: reg(7), imm: 4 },
+                Instr::Addi { rt: reg(8), rs: reg(8), imm: (4 * N) as i16 },
+                Instr::Mul { rd: reg(4), rs: reg(4), rt: reg(5) },
+                Instr::Add { rd: reg(6), rs: reg(6), rt: reg(4) },
+            ])],
+        });
+        let j_loop = Node::Loop(LoopNode {
+            trips: Trips::Const(N as u32),
+            index: Some(IndexSpec {
+                reg: reg(21),
+                init: b_addr as i32,
+                step: 4,
+            }),
+            counter: reg(12),
+            body: vec![
+                Node::code([
+                    Instr::Add { rd: reg(6), rs: Reg::ZERO, rt: Reg::ZERO },
+                    Instr::Add { rd: reg(7), rs: reg(22), rt: Reg::ZERO },
+                    Instr::Add { rd: reg(8), rs: reg(21), rt: Reg::ZERO },
+                ]),
+                k_loop,
+                Node::code([
+                    Instr::Sw { rt: reg(6), rs: reg(9), off: 0 },
+                    Instr::Addi { rt: reg(9), rs: reg(9), imm: 4 },
+                ]),
+            ],
+        });
+        let ir = LoopIr {
+            name: "matmul".into(),
+            nodes: vec![Node::Loop(LoopNode {
+                trips: Trips::Const(N as u32),
+                index: Some(IndexSpec {
+                    reg: reg(22),
+                    init: a_addr as i32,
+                    step: (4 * N) as i32,
+                }),
+                counter: reg(11),
+                body: vec![j_loop],
+            })],
+        };
+        let expect = Expectation {
+            mem_words: vec![(c_addr, c)],
+            regs: vec![(reg(9), c_addr + (4 * N * N) as u32)],
+        };
+        (ir, expect)
+    })
+}
+
+/// 3×3 convolution over a 16×16 image producing 14×14 outputs
+/// (four-deep imperfect nest).
+pub fn build_conv2d(target: &Target) -> Result<BuiltKernel, BuildError> {
+    const W: usize = 16;
+    const OW: usize = 14;
+    const KDIM: usize = 3;
+    build_kernel("conv2d", target, |asm: &mut Asm| {
+        let mut rng = Xorshift::new(0x3002);
+        let img: Vec<i32> = (0..W * W).map(|_| rng.signed(255)).collect();
+        let ker: Vec<i32> = (0..KDIM * KDIM).map(|_| rng.signed(8)).collect();
+        let img_addr = asm.words(&img);
+        let ker_addr = asm.words(&ker);
+        let out_addr = asm.zeroed_words(OW * OW);
+        asm.li(reg(9), out_addr as i32); // output pointer
+        asm.li(reg(10), ker_addr as i32); // kernel base (constant)
+
+        // reference
+        let mut out = vec![0u32; OW * OW];
+        for r in 0..OW {
+            for c in 0..OW {
+                let mut acc: i32 = 0;
+                for kr in 0..KDIM {
+                    for kc in 0..KDIM {
+                        acc = acc.wrapping_add(
+                            img[(r + kr) * W + c + kc].wrapping_mul(ker[kr * KDIM + kc]),
+                        );
+                    }
+                }
+                out[r * OW + c] = acc as u32;
+            }
+        }
+
+        let kc_loop = Node::Loop(LoopNode {
+            trips: Trips::Const(KDIM as u32),
+            index: None,
+            counter: reg(14),
+            body: vec![Node::code([
+                Instr::Lw { rt: reg(4), rs: reg(7), off: 0 },
+                Instr::Lw { rt: reg(16), rs: reg(8), off: 0 },
+                Instr::Addi { rt: reg(7), rs: reg(7), imm: 4 },
+                Instr::Addi { rt: reg(8), rs: reg(8), imm: 4 },
+                Instr::Mul { rd: reg(4), rs: reg(4), rt: reg(16) },
+                Instr::Add { rd: reg(6), rs: reg(6), rt: reg(4) },
+            ])],
+        });
+        let kr_loop = Node::Loop(LoopNode {
+            trips: Trips::Const(KDIM as u32),
+            index: Some(IndexSpec {
+                reg: reg(21),
+                init: 0,
+                step: (4 * W) as i32, // image row stride
+            }),
+            counter: reg(13),
+            body: vec![
+                Node::code([Instr::Add { rd: reg(7), rs: reg(5), rt: reg(21) }]),
+                kc_loop,
+            ],
+        });
+        let c_loop = Node::Loop(LoopNode {
+            trips: Trips::Const(OW as u32),
+            index: Some(IndexSpec {
+                reg: reg(22),
+                init: 0,
+                step: 4, // column byte offset
+            }),
+            counter: reg(12),
+            body: vec![
+                Node::code([
+                    Instr::Add { rd: reg(6), rs: Reg::ZERO, rt: Reg::ZERO },
+                    Instr::Add { rd: reg(5), rs: reg(23), rt: reg(22) },
+                    Instr::Add { rd: reg(8), rs: reg(10), rt: Reg::ZERO },
+                ]),
+                kr_loop,
+                Node::code([
+                    Instr::Sw { rt: reg(6), rs: reg(9), off: 0 },
+                    Instr::Addi { rt: reg(9), rs: reg(9), imm: 4 },
+                ]),
+            ],
+        });
+        let ir = LoopIr {
+            name: "conv2d".into(),
+            nodes: vec![Node::Loop(LoopNode {
+                trips: Trips::Const(OW as u32),
+                index: Some(IndexSpec {
+                    reg: reg(23),
+                    init: img_addr as i32,
+                    step: (4 * W) as i32,
+                }),
+                counter: reg(11),
+                body: vec![c_loop],
+            })],
+        };
+        let expect = Expectation {
+            mem_words: vec![(out_addr, out)],
+            regs: vec![],
+        };
+        (ir, expect)
+    })
+}
+
+/// 8×8 two-dimensional DCT as two sequential 3-deep passes
+/// (`T = C·X`, `OUT = T·Cᵀ`) in Q13 fixed point — six loops across two
+/// top-level nests, exercising task sequencing.
+pub fn build_dct8x8(target: &Target) -> Result<BuiltKernel, BuildError> {
+    const N: usize = 8;
+    /// Q13 8-point DCT-II coefficient matrix: c[u][x].
+    fn dct_matrix() -> Vec<i32> {
+        // round(sqrt(alpha/8)*cos((2x+1)uπ/16) * 8192), precomputed
+        // (integer literals so the kernel and the reference share them).
+        vec![
+            2896, 2896, 2896, 2896, 2896, 2896, 2896, 2896,
+            4017, 3406, 2276, 799, -799, -2276, -3406, -4017,
+            3784, 1567, -1567, -3784, -3784, -1567, 1567, 3784,
+            3406, -799, -4017, -2276, 2276, 4017, 799, -3406,
+            2896, -2896, -2896, 2896, 2896, -2896, -2896, 2896,
+            2276, -4017, 799, 3406, -3406, -799, 4017, -2276,
+            1567, -3784, 3784, -1567, -1567, 3784, -3784, 1567,
+            799, -2276, 3406, -4017, 4017, -3406, 2276, -799,
+        ]
+    }
+
+    build_kernel("dct8x8", target, |asm: &mut Asm| {
+        let mut rng = Xorshift::new(0x3003);
+        let x: Vec<i32> = (0..N * N).map(|_| rng.signed(255)).collect();
+        let cof = dct_matrix();
+        let x_addr = asm.words(&x);
+        let c_addr = asm.words(&cof);
+        let t_addr = asm.zeroed_words(N * N);
+        let o_addr = asm.zeroed_words(N * N);
+        asm.li(reg(9), t_addr as i32); // pass-1 output pointer
+        asm.li(reg(10), o_addr as i32); // pass-2 output pointer
+
+        // reference
+        let mut t = vec![0i32; N * N];
+        for u in 0..N {
+            for j in 0..N {
+                let mut acc: i32 = 0;
+                for k in 0..N {
+                    acc = acc.wrapping_add(cof[u * N + k].wrapping_mul(x[k * N + j]));
+                }
+                t[u * N + j] = acc >> 13;
+            }
+        }
+        let mut out = vec![0u32; N * N];
+        for u in 0..N {
+            for v in 0..N {
+                let mut acc: i32 = 0;
+                for k in 0..N {
+                    acc = acc.wrapping_add(t[u * N + k].wrapping_mul(cof[v * N + k]));
+                }
+                out[u * N + v] = (acc >> 13) as u32;
+            }
+        }
+        let t_expect: Vec<u32> = t.iter().map(|&v| v as u32).collect();
+
+        // pass 1: T[u][j] = (Σ_k C[u][k]·X[k][j]) >> 13
+        // walks: r7 = C row (+4), r8 = X column (+row stride)
+        let p1_k = Node::Loop(LoopNode {
+            trips: Trips::Const(N as u32),
+            index: None,
+            counter: reg(13),
+            body: vec![Node::code([
+                Instr::Lw { rt: reg(4), rs: reg(7), off: 0 },
+                Instr::Lw { rt: reg(5), rs: reg(8), off: 0 },
+                Instr::Addi { rt: reg(7), rs: reg(7), imm: 4 },
+                Instr::Addi { rt: reg(8), rs: reg(8), imm: (4 * N) as i16 },
+                Instr::Mul { rd: reg(4), rs: reg(4), rt: reg(5) },
+                Instr::Add { rd: reg(6), rs: reg(6), rt: reg(4) },
+            ])],
+        });
+        let p1_j = Node::Loop(LoopNode {
+            trips: Trips::Const(N as u32),
+            index: Some(IndexSpec {
+                reg: reg(21),
+                init: x_addr as i32,
+                step: 4,
+            }),
+            counter: reg(12),
+            body: vec![
+                Node::code([
+                    Instr::Add { rd: reg(6), rs: Reg::ZERO, rt: Reg::ZERO },
+                    Instr::Add { rd: reg(7), rs: reg(22), rt: Reg::ZERO },
+                    Instr::Add { rd: reg(8), rs: reg(21), rt: Reg::ZERO },
+                ]),
+                p1_k,
+                Node::code([
+                    Instr::Sra { rd: reg(6), rt: reg(6), sh: 13 },
+                    Instr::Sw { rt: reg(6), rs: reg(9), off: 0 },
+                    Instr::Addi { rt: reg(9), rs: reg(9), imm: 4 },
+                ]),
+            ],
+        });
+        let pass1 = Node::Loop(LoopNode {
+            trips: Trips::Const(N as u32),
+            index: Some(IndexSpec {
+                reg: reg(22),
+                init: c_addr as i32,
+                step: (4 * N) as i32,
+            }),
+            counter: reg(11),
+            body: vec![p1_j],
+        });
+
+        // pass 2: OUT[u][v] = (Σ_k T[u][k]·C[v][k]) >> 13
+        // both walk rows (+4): r7 = T row, r8 = C row
+        let p2_k = Node::Loop(LoopNode {
+            trips: Trips::Const(N as u32),
+            index: None,
+            counter: reg(13),
+            body: vec![Node::code([
+                Instr::Lw { rt: reg(4), rs: reg(7), off: 0 },
+                Instr::Lw { rt: reg(5), rs: reg(8), off: 0 },
+                Instr::Addi { rt: reg(7), rs: reg(7), imm: 4 },
+                Instr::Addi { rt: reg(8), rs: reg(8), imm: 4 },
+                Instr::Mul { rd: reg(4), rs: reg(4), rt: reg(5) },
+                Instr::Add { rd: reg(6), rs: reg(6), rt: reg(4) },
+            ])],
+        });
+        let p2_v = Node::Loop(LoopNode {
+            trips: Trips::Const(N as u32),
+            index: Some(IndexSpec {
+                reg: reg(21),
+                init: c_addr as i32,
+                step: (4 * N) as i32,
+            }),
+            counter: reg(12),
+            body: vec![
+                Node::code([
+                    Instr::Add { rd: reg(6), rs: Reg::ZERO, rt: Reg::ZERO },
+                    Instr::Add { rd: reg(7), rs: reg(22), rt: Reg::ZERO },
+                    Instr::Add { rd: reg(8), rs: reg(21), rt: Reg::ZERO },
+                ]),
+                p2_k,
+                Node::code([
+                    Instr::Sra { rd: reg(6), rt: reg(6), sh: 13 },
+                    Instr::Sw { rt: reg(6), rs: reg(10), off: 0 },
+                    Instr::Addi { rt: reg(10), rs: reg(10), imm: 4 },
+                ]),
+            ],
+        });
+        let pass2 = Node::Loop(LoopNode {
+            trips: Trips::Const(N as u32),
+            index: Some(IndexSpec {
+                reg: reg(22),
+                init: t_addr as i32,
+                step: (4 * N) as i32,
+            }),
+            counter: reg(11),
+            body: vec![p2_v],
+        });
+
+        let ir = LoopIr {
+            name: "dct8x8".into(),
+            nodes: vec![pass1, pass2],
+        };
+        let expect = Expectation {
+            mem_words: vec![(t_addr, t_expect), (o_addr, out)],
+            regs: vec![],
+        };
+        (ir, expect)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{fig2_targets, run_kernel};
+
+    #[test]
+    fn matmul_correct_on_all_targets() {
+        for t in fig2_targets() {
+            let b = build_matmul(&t).unwrap();
+            let r = run_kernel(&b, 2_000_000).unwrap();
+            assert!(r.is_correct(), "{t}: {:?} {:?}", r.mismatches, r.violations);
+        }
+    }
+
+    #[test]
+    fn conv2d_correct_on_all_targets() {
+        for t in fig2_targets() {
+            let b = build_conv2d(&t).unwrap();
+            let r = run_kernel(&b, 2_000_000).unwrap();
+            assert!(r.is_correct(), "{t}: {:?} {:?}", r.mismatches, r.violations);
+        }
+    }
+
+    #[test]
+    fn dct8x8_correct_on_all_targets() {
+        for t in fig2_targets() {
+            let b = build_dct8x8(&t).unwrap();
+            let r = run_kernel(&b, 2_000_000).unwrap();
+            assert!(r.is_correct(), "{t}: {:?} {:?}", r.mismatches, r.violations);
+        }
+    }
+
+    #[test]
+    fn dct_pass1_uses_shared_task_graph() {
+        // six loops, two top-level nests: the ZOLC image must contain all
+        // of them with a cross-nest fall-through link
+        let b = build_dct8x8(&zolc_target()).unwrap();
+        let img = b.info.image.unwrap();
+        assert_eq!(img.loops.len(), 6);
+        assert_eq!(img.tasks.len(), 6);
+    }
+
+    fn zolc_target() -> Target {
+        Target::Zolc(zolc_core::ZolcConfig::lite())
+    }
+}

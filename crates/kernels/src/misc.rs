@@ -1,0 +1,348 @@
+//! Bit-manipulation and sorting kernels: CRC-32, bubble sort, and a
+//! 16-point radix-2 FFT.
+
+use crate::common::{build_kernel, BuildError, BuiltKernel, Expectation, Xorshift};
+use zolc_ir::{Cond, IndexSpec, LoopIr, LoopNode, Node, Target, Trips};
+use zolc_isa::{reg, Asm, Instr, Reg};
+
+/// Bit-serial CRC-32 (polynomial 0x04C11DB7) over 32 bytes.
+///
+/// The inner bit loop is a pure counter loop (no index register), the
+/// sweet spot of the `XRhrdwil` branch-decrement instruction.
+pub fn build_crc32(target: &Target) -> Result<BuiltKernel, BuildError> {
+    const N: usize = 32;
+    const POLY: u32 = 0x04C1_1DB7;
+    build_kernel("crc32", target, |asm: &mut Asm| {
+        let mut rng = Xorshift::new(0x4001);
+        let data: Vec<u8> = (0..N).map(|_| rng.below(256) as u8).collect();
+        let d_addr = asm.bytes(&data);
+        asm.li(reg(10), POLY as i32);
+        asm.li(reg(2), -1); // crc = 0xffff_ffff
+
+        // reference
+        let mut crc: u32 = 0xffff_ffff;
+        for &byte in &data {
+            crc ^= u32::from(byte) << 24;
+            for _ in 0..8 {
+                let mask = 0u32.wrapping_sub(crc >> 31);
+                crc = (crc << 1) ^ (POLY & mask);
+            }
+        }
+
+        let bit_loop = Node::Loop(LoopNode {
+            trips: Trips::Const(8),
+            index: None,
+            counter: reg(12),
+            body: vec![Node::code([
+                Instr::Srl { rd: reg(5), rt: reg(2), sh: 31 },
+                Instr::Sub { rd: reg(5), rs: Reg::ZERO, rt: reg(5) },
+                Instr::And { rd: reg(5), rs: reg(5), rt: reg(10) },
+                Instr::Sll { rd: reg(2), rt: reg(2), sh: 1 },
+                Instr::Xor { rd: reg(2), rs: reg(2), rt: reg(5) },
+            ])],
+        });
+        let ir = LoopIr {
+            name: "crc32".into(),
+            nodes: vec![Node::Loop(LoopNode {
+                trips: Trips::Const(N as u32),
+                index: Some(IndexSpec {
+                    reg: reg(20),
+                    init: d_addr as i32,
+                    step: 1,
+                }),
+                counter: reg(11),
+                body: vec![
+                    Node::code([
+                        Instr::Lbu { rt: reg(4), rs: reg(20), off: 0 },
+                        Instr::Sll { rd: reg(4), rt: reg(4), sh: 24 },
+                        Instr::Xor { rd: reg(2), rs: reg(2), rt: reg(4) },
+                    ]),
+                    bit_loop,
+                ],
+            })],
+        };
+        let expect = Expectation {
+            mem_words: vec![],
+            regs: vec![(reg(2), crc)],
+        };
+        (ir, expect)
+    })
+}
+
+/// Bubble sort of 24 words — the triangular nest: the inner trip count
+/// `n-1-i` is recomputed every outer iteration (a data-dependent loop
+/// bound, handled by an in-loop `zwr` limit update under ZOLC).
+pub fn build_bubble_sort(target: &Target) -> Result<BuiltKernel, BuildError> {
+    const N: usize = 24;
+    build_kernel("bubble_sort", target, |asm: &mut Asm| {
+        let mut rng = Xorshift::new(0x4002);
+        let a: Vec<i32> = (0..N).map(|_| rng.signed(10_000)).collect();
+        let a_addr = asm.words(&a);
+
+        // reference
+        let mut sorted = a.clone();
+        let mut swaps: u32 = 0;
+        for i in 0..N - 1 {
+            for j in 0..N - 1 - i {
+                if sorted[j + 1] < sorted[j] {
+                    sorted.swap(j, j + 1);
+                    swaps += 1;
+                }
+            }
+        }
+        let sorted_u: Vec<u32> = sorted.iter().map(|&v| v as u32).collect();
+
+        let inner = Node::Loop(LoopNode {
+            trips: Trips::Reg(reg(9)),
+            index: Some(IndexSpec {
+                reg: reg(20),
+                init: a_addr as i32,
+                step: 4,
+            }),
+            counter: reg(12),
+            body: vec![
+                Node::code([
+                    Instr::Lw { rt: reg(4), rs: reg(20), off: 0 },
+                    Instr::Lw { rt: reg(5), rs: reg(20), off: 4 },
+                    Instr::Slt { rd: reg(6), rs: reg(5), rt: reg(4) },
+                ]),
+                Node::If {
+                    cond: Cond::Ne(reg(6), Reg::ZERO),
+                    then: vec![Node::code([
+                        Instr::Sw { rt: reg(5), rs: reg(20), off: 0 },
+                        Instr::Sw { rt: reg(4), rs: reg(20), off: 4 },
+                    ])],
+                    els: vec![],
+                },
+                Node::code([Instr::Add { rd: reg(3), rs: reg(3), rt: reg(6) }]),
+            ],
+        });
+        let ir = LoopIr {
+            name: "bubble_sort".into(),
+            nodes: vec![Node::Loop(LoopNode {
+                trips: Trips::Const((N - 1) as u32),
+                index: Some(IndexSpec {
+                    reg: reg(21),
+                    init: 0,
+                    step: 1,
+                }),
+                counter: reg(11),
+                body: vec![
+                    Node::code([
+                        Instr::Addi {
+                            rt: reg(9),
+                            rs: Reg::ZERO,
+                            imm: (N - 1) as i16,
+                        },
+                        Instr::Sub { rd: reg(9), rs: reg(9), rt: reg(21) },
+                    ]),
+                    inner,
+                ],
+            })],
+        };
+        let expect = Expectation {
+            mem_words: vec![(a_addr, sorted_u)],
+            regs: vec![(reg(3), swaps)],
+        };
+        (ir, expect)
+    })
+}
+
+/// 16-point radix-2 DIT FFT in Q14 fixed point.
+///
+/// The input is stored bit-reversed; the kernel is the three-level
+/// butterfly structure whose middle and inner trip counts (and the
+/// twiddle stride) change every stage — all data-dependent bounds from a
+/// per-stage parameter table.
+pub fn build_fft16(target: &Target) -> Result<BuiltKernel, BuildError> {
+    const N: usize = 16;
+    const STAGES: usize = 4;
+    // Q14 twiddles for e^{-2πi j/16}, j = 0..8
+    const WRE: [i32; 8] = [16384, 15137, 11585, 6270, 0, -6270, -11585, -15137];
+    const WIM: [i32; 8] = [0, -6270, -11585, -15137, -16384, -15137, -11585, -6270];
+
+    build_kernel("fft16", target, |asm: &mut Asm| {
+        let mut rng = Xorshift::new(0x4003);
+        let re_in: Vec<i32> = (0..N).map(|_| rng.signed(4000)).collect();
+        let im_in: Vec<i32> = (0..N).map(|_| rng.signed(4000)).collect();
+        // bit-reversed order for a 16-point DIT
+        let rev = |i: usize| -> usize {
+            (0..4).fold(0, |acc, b| acc | (((i >> b) & 1) << (3 - b)))
+        };
+        let re_br: Vec<i32> = (0..N).map(|i| re_in[rev(i)]).collect();
+        let im_br: Vec<i32> = (0..N).map(|i| im_in[rev(i)]).collect();
+
+        let re_addr = asm.words(&re_br);
+        let im_addr = asm.words(&im_br);
+        assert_eq!(im_addr - re_addr, (4 * N) as u32);
+        let wre_addr = asm.words(&WRE);
+        let wim_addr = asm.words(&WIM);
+        assert_eq!(wim_addr - wre_addr, 32);
+        // per-stage parameters: [half_bytes, groups, tstep_bytes, group_stride_bytes]
+        let mut params = Vec::new();
+        for s in 0..STAGES {
+            let half = 1usize << s;
+            params.extend_from_slice(&[
+                (half * 4) as i32,
+                (N >> (s + 1)) as i32,
+                (8 >> s) * 4,
+                (2 * half * 4) as i32,
+            ]);
+        }
+        let p_addr = asm.words(&params);
+        asm.li(reg(20), re_addr as i32); // data base (plain register here)
+        asm.li(reg(21), wre_addr as i32); // twiddle base
+
+        // reference: same loops, same Q14 arithmetic
+        let mut re = re_br.clone();
+        let mut im = im_br.clone();
+        for s in 0..STAGES {
+            let half = 1usize << s;
+            let groups = N >> (s + 1);
+            let tstep = 8 >> s;
+            for g in 0..groups {
+                let base = g * 2 * half;
+                for k in 0..half {
+                    let (wr, wi) = (WRE[k * tstep], WIM[k * tstep]);
+                    let (a, b) = (base + k, base + k + half);
+                    let xr = (re[b].wrapping_mul(wr)).wrapping_sub(im[b].wrapping_mul(wi)) >> 14;
+                    let xi = (re[b].wrapping_mul(wi)).wrapping_add(im[b].wrapping_mul(wr)) >> 14;
+                    re[b] = re[a].wrapping_sub(xr);
+                    im[b] = im[a].wrapping_sub(xi);
+                    re[a] = re[a].wrapping_add(xr);
+                    im[a] = im[a].wrapping_add(xi);
+                }
+            }
+        }
+        let re_u: Vec<u32> = re.iter().map(|&v| v as u32).collect();
+        let im_u: Vec<u32> = im.iter().map(|&v| v as u32).collect();
+
+        let im_off = (4 * N) as i16; // im[] offset from a re[] pointer
+        let k_body = vec![
+            Instr::Lw { rt: reg(4), rs: reg(18), off: 0 },      // re_b
+            Instr::Lw { rt: reg(6), rs: reg(8), off: 0 },       // wre
+            Instr::Mul { rd: reg(2), rs: reg(4), rt: reg(6) },
+            Instr::Lw { rt: reg(3), rs: reg(18), off: im_off }, // im_b
+            Instr::Lw { rt: reg(22), rs: reg(8), off: 32 },     // wim
+            Instr::Mul { rd: reg(24), rs: reg(3), rt: reg(22) },
+            Instr::Sub { rd: reg(2), rs: reg(2), rt: reg(24) },
+            Instr::Sra { rd: reg(2), rt: reg(2), sh: 14 },      // xr
+            Instr::Mul { rd: reg(24), rs: reg(4), rt: reg(22) },
+            Instr::Mul { rd: reg(25), rs: reg(3), rt: reg(6) },
+            Instr::Add { rd: reg(24), rs: reg(24), rt: reg(25) },
+            Instr::Sra { rd: reg(24), rt: reg(24), sh: 14 },    // xi
+            Instr::Lw { rt: reg(4), rs: reg(16), off: 0 },      // re_a
+            Instr::Lw { rt: reg(3), rs: reg(16), off: im_off }, // im_a
+            Instr::Sub { rd: reg(6), rs: reg(4), rt: reg(2) },
+            Instr::Sw { rt: reg(6), rs: reg(18), off: 0 },
+            Instr::Sub { rd: reg(6), rs: reg(3), rt: reg(24) },
+            Instr::Sw { rt: reg(6), rs: reg(18), off: im_off },
+            Instr::Add { rd: reg(4), rs: reg(4), rt: reg(2) },
+            Instr::Sw { rt: reg(4), rs: reg(16), off: 0 },
+            Instr::Add { rd: reg(3), rs: reg(3), rt: reg(24) },
+            Instr::Sw { rt: reg(3), rs: reg(16), off: im_off },
+            Instr::Addi { rt: reg(16), rs: reg(16), imm: 4 },
+            Instr::Addi { rt: reg(18), rs: reg(18), imm: 4 },
+            Instr::Add { rd: reg(8), rs: reg(8), rt: reg(19) }, // twiddle += tstep
+        ];
+        let k_loop = Node::Loop(LoopNode {
+            trips: Trips::Reg(reg(7)),
+            index: None,
+            counter: reg(13),
+            body: vec![Node::Code(k_body)],
+        });
+        let g_loop = Node::Loop(LoopNode {
+            trips: Trips::Reg(reg(9)),
+            index: None,
+            counter: reg(12),
+            body: vec![
+                Node::code([
+                    Instr::Add { rd: reg(16), rs: reg(5), rt: Reg::ZERO },
+                    Instr::Add { rd: reg(18), rs: reg(5), rt: reg(17) },
+                    Instr::Add { rd: reg(8), rs: reg(21), rt: Reg::ZERO },
+                ]),
+                k_loop,
+                Node::code([
+                    Instr::Lw { rt: reg(6), rs: reg(23), off: 12 }, // group stride
+                    Instr::Add { rd: reg(5), rs: reg(5), rt: reg(6) },
+                ]),
+            ],
+        });
+        let s_loop = Node::Loop(LoopNode {
+            trips: Trips::Const(STAGES as u32),
+            index: Some(IndexSpec {
+                reg: reg(23),
+                init: p_addr as i32,
+                step: 16,
+            }),
+            counter: reg(11),
+            body: vec![
+                Node::code([
+                    Instr::Lw { rt: reg(17), rs: reg(23), off: 0 }, // half_bytes
+                    Instr::Lw { rt: reg(9), rs: reg(23), off: 4 },  // groups
+                    Instr::Lw { rt: reg(7), rs: reg(23), off: 0 },  // half = k trips…
+                    Instr::Srl { rd: reg(7), rt: reg(7), sh: 2 },   // …in iterations
+                    Instr::Lw { rt: reg(19), rs: reg(23), off: 8 }, // tstep_bytes
+                    Instr::Add { rd: reg(5), rs: reg(20), rt: Reg::ZERO }, // base ptr
+                ]),
+                g_loop,
+            ],
+        });
+        let ir = LoopIr {
+            name: "fft16".into(),
+            nodes: vec![s_loop],
+        };
+        let expect = Expectation {
+            mem_words: vec![(re_addr, re_u), (im_addr, im_u)],
+            regs: vec![],
+        };
+        (ir, expect)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{fig2_targets, run_kernel};
+
+    #[test]
+    fn crc32_correct_on_all_targets() {
+        for t in fig2_targets() {
+            let b = build_crc32(&t).unwrap();
+            let r = run_kernel(&b, 2_000_000).unwrap();
+            assert!(r.is_correct(), "{t}: {:?} {:?}", r.mismatches, r.violations);
+        }
+    }
+
+    #[test]
+    fn bubble_sort_correct_on_all_targets() {
+        for t in fig2_targets() {
+            let b = build_bubble_sort(&t).unwrap();
+            let r = run_kernel(&b, 2_000_000).unwrap();
+            assert!(r.is_correct(), "{t}: {:?} {:?}", r.mismatches, r.violations);
+        }
+    }
+
+    #[test]
+    fn fft16_correct_on_all_targets() {
+        for t in fig2_targets() {
+            let b = build_fft16(&t).unwrap();
+            let r = run_kernel(&b, 2_000_000).unwrap();
+            assert!(r.is_correct(), "{t}: {:?} {:?}", r.mismatches, r.violations);
+        }
+    }
+
+    #[test]
+    fn crc32_hwloop_beats_baseline_clearly() {
+        // the bit loop has no live index: dbnz replaces two instructions
+        let b = run_kernel(&build_crc32(&Target::Baseline).unwrap(), 1_000_000)
+            .unwrap()
+            .stats
+            .cycles;
+        let h = run_kernel(&build_crc32(&Target::HwLoop).unwrap(), 1_000_000)
+            .unwrap()
+            .stats
+            .cycles;
+        assert!(h < b);
+    }
+}

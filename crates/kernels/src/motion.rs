@@ -1,0 +1,466 @@
+//! Motion-estimation kernels — the workloads the paper's evaluation names
+//! explicitly ("software implementations of motion estimation kernels").
+//!
+//! * [`build_me_fs`] — exhaustive full search over a ±4 window;
+//! * [`build_me_tss`] — three-step search;
+//! * [`build_me_fs_early`] — full search with early SAD termination
+//!   (exercises multiple-exit loops: exit records on ZOLCfull, software
+//!   fixup on ZOLClite) — ablation kernel, not part of the Fig. 2 twelve;
+//! * [`build_find_first`] — a single-loop early-exit search usable even on
+//!   uZOLC — ablation kernel.
+
+use crate::common::{build_kernel, BuildError, BuiltKernel, Expectation, Xorshift};
+use zolc_ir::{Cond, IndexSpec, LoopIr, LoopNode, Node, Target, Trips};
+use zolc_isa::{reg, Asm, Instr, Reg};
+
+const REFW: usize = 24; // reference frame is 24x24 bytes
+const BLK: usize = 8; // the current block is 8x8 bytes
+
+/// Generates a reference frame and a current block that actually appears
+/// (noisily) inside it, so the searches find meaningful minima.
+fn gen_frames(rng: &mut Xorshift) -> (Vec<u8>, Vec<u8>) {
+    let reff: Vec<u8> = (0..REFW * REFW).map(|_| rng.below(256) as u8).collect();
+    // current block = a patch at (5, 7) plus mild noise
+    let mut cur = vec![0u8; BLK * BLK];
+    for y in 0..BLK {
+        for x in 0..BLK {
+            let v = reff[(y + 5) * REFW + x + 7];
+            cur[y * BLK + x] = v.wrapping_add((rng.below(7) as u8).wrapping_sub(3));
+        }
+    }
+    (reff, cur)
+}
+
+fn sad_at(reff: &[u8], cur: &[u8], dy: usize, dx: usize) -> u32 {
+    let mut sad = 0u32;
+    for y in 0..BLK {
+        for x in 0..BLK {
+            let c = i32::from(cur[y * BLK + x]);
+            let r = i32::from(reff[(dy + y) * REFW + dx + x]);
+            sad = sad.wrapping_add((c - r).unsigned_abs());
+        }
+    }
+    sad
+}
+
+/// The shared SAD inner pair: `by` (rows) × `bx` (pixels), accumulating
+/// into `r6`, walking `r7` (current block) and `r8` (reference window).
+fn sad_loops() -> Node {
+    let bx_loop = Node::Loop(LoopNode {
+        trips: Trips::Const(BLK as u32),
+        index: None,
+        counter: reg(13),
+        body: vec![Node::code([
+            Instr::Lbu { rt: reg(4), rs: reg(7), off: 0 },
+            Instr::Lbu { rt: reg(16), rs: reg(8), off: 0 },
+            Instr::Addi { rt: reg(7), rs: reg(7), imm: 1 },
+            Instr::Addi { rt: reg(8), rs: reg(8), imm: 1 },
+            Instr::Sub { rd: reg(4), rs: reg(4), rt: reg(16) },
+            Instr::Sra { rd: reg(16), rt: reg(4), sh: 31 },
+            Instr::Xor { rd: reg(4), rs: reg(4), rt: reg(16) },
+            Instr::Sub { rd: reg(4), rs: reg(4), rt: reg(16) },
+            Instr::Add { rd: reg(6), rs: reg(6), rt: reg(4) },
+        ])],
+    });
+    Node::Loop(LoopNode {
+        trips: Trips::Const(BLK as u32),
+        index: None,
+        counter: reg(12),
+        body: vec![
+            bx_loop,
+            Node::code([Instr::Addi {
+                rt: reg(8),
+                rs: reg(8),
+                imm: (REFW - BLK) as i16,
+            }]),
+        ],
+    })
+}
+
+/// Full-search motion estimation: 9×9 candidate displacements, 8×8 SAD —
+/// a four-deep imperfect nest with a compare-and-update tail.
+pub fn build_me_fs(target: &Target) -> Result<BuiltKernel, BuildError> {
+    build_me_fs_impl("me_fs", false, target)
+}
+
+/// Full search with early SAD termination: once a candidate's partial SAD
+/// exceeds the current best, the row loop is abandoned (`break_if`).
+pub fn build_me_fs_early(target: &Target) -> Result<BuiltKernel, BuildError> {
+    build_me_fs_impl("me_fs_early", true, target)
+}
+
+fn build_me_fs_impl(
+    name: &str,
+    early: bool,
+    target: &Target,
+) -> Result<BuiltKernel, BuildError> {
+    const RANGE: usize = 9; // displacements 0..=8 in each axis
+    build_kernel(name, target, |asm: &mut Asm| {
+        let mut rng = Xorshift::new(0x5001);
+        let (reff, cur) = gen_frames(&mut rng);
+        let r_addr = asm.bytes(&reff);
+        let c_addr = asm.bytes(&cur);
+        asm.li(reg(21), c_addr as i32); // current-block base
+        asm.li(reg(2), i32::MAX); // best SAD
+
+        // reference (models the early exit exactly when enabled; `best`
+        // is i32 because the kernel compares with the signed `slt`)
+        let mut best: i32 = i32::MAX;
+        let mut best_id = 0u32;
+        let mut chk = 0u32;
+        {
+            let mut id = 0u32;
+            for dy in 0..RANGE {
+                for dx in 0..RANGE {
+                    id += 1;
+                    let sad = if early {
+                        // row-wise accumulation with abandon-on-worse
+                        let mut sad = 0u32;
+                        for y in 0..BLK {
+                            for x in 0..BLK {
+                                let c = i32::from(cur[y * BLK + x]);
+                                let r = i32::from(reff[(dy + y) * REFW + dx + x]);
+                                sad = sad.wrapping_add((c - r).unsigned_abs());
+                            }
+                            if (sad as i32) >= best && y < BLK - 1 {
+                                break;
+                            }
+                        }
+                        sad
+                    } else {
+                        sad_at(&reff, &cur, dy, dx)
+                    };
+                    if (sad as i32) < best {
+                        best = sad as i32;
+                        best_id = id;
+                    }
+                    chk = chk.wrapping_add(sad);
+                }
+            }
+        }
+
+        // by-loop with optional early termination
+        let by_loop = if early {
+            let Node::Loop(mut by) = sad_loops() else {
+                unreachable!()
+            };
+            // after each row: if sad >= best, abandon the candidate
+            by.body.push(Node::code([Instr::Slt {
+                rd: reg(16),
+                rs: reg(6),
+                rt: reg(2),
+            }]));
+            by.body.push(Node::BreakIf {
+                cond: Cond::Eq(reg(16), Reg::ZERO),
+                levels: 1,
+            });
+            // tail so the task end is unique and unconditional
+            by.body.push(Node::code([Instr::Add {
+                rd: reg(17),
+                rs: reg(17),
+                rt: Reg::ZERO,
+            }]));
+            Node::Loop(by)
+        } else {
+            sad_loops()
+        };
+
+        let dx_loop = Node::Loop(LoopNode {
+            trips: Trips::Const(RANGE as u32),
+            index: Some(IndexSpec {
+                reg: reg(22),
+                init: 0,
+                step: 1,
+            }),
+            counter: reg(14),
+            body: vec![
+                Node::code([
+                    Instr::Addi { rt: reg(17), rs: reg(17), imm: 1 }, // candidate id
+                    Instr::Add { rd: reg(6), rs: Reg::ZERO, rt: Reg::ZERO }, // sad
+                    Instr::Add { rd: reg(8), rs: reg(23), rt: reg(22) }, // ref ptr
+                    Instr::Add { rd: reg(7), rs: reg(21), rt: Reg::ZERO }, // cur ptr
+                ]),
+                by_loop,
+                Node::code([Instr::Slt { rd: reg(16), rs: reg(6), rt: reg(2) }]),
+                Node::If {
+                    cond: Cond::Ne(reg(16), Reg::ZERO),
+                    then: vec![Node::code([
+                        Instr::Add { rd: reg(2), rs: reg(6), rt: Reg::ZERO },
+                        Instr::Add { rd: reg(3), rs: reg(17), rt: Reg::ZERO },
+                    ])],
+                    els: vec![],
+                },
+                Node::code([Instr::Add { rd: reg(18), rs: reg(18), rt: reg(6) }]),
+            ],
+        });
+        let ir = LoopIr {
+            name: name.into(),
+            nodes: vec![Node::Loop(LoopNode {
+                trips: Trips::Const(RANGE as u32),
+                index: Some(IndexSpec {
+                    reg: reg(23),
+                    init: r_addr as i32,
+                    step: REFW as i32,
+                }),
+                counter: reg(11),
+                body: vec![dx_loop],
+            })],
+        };
+        let expect = Expectation {
+            mem_words: vec![],
+            regs: vec![
+                (reg(2), best as u32),
+                (reg(3), best_id),
+                (reg(18), chk),
+            ],
+        };
+        (ir, expect)
+    })
+}
+
+/// Three-step search: steps 4, 2, 1; nine candidates around a moving
+/// center per step — four nested loops with table-driven displacements.
+pub fn build_me_tss(target: &Target) -> Result<BuiltKernel, BuildError> {
+    build_kernel("me_tss", target, |asm: &mut Asm| {
+        let mut rng = Xorshift::new(0x5002);
+        let (reff, cur) = gen_frames(&mut rng);
+        let r_addr = asm.bytes(&reff);
+        let c_addr = asm.bytes(&cur);
+        asm.align_data(4);
+        // candidate offsets (dy, dx) pairs
+        let offsets: Vec<i32> = vec![
+            0, 0, -1, -1, -1, 0, -1, 1, 0, -1, 0, 1, 1, -1, 1, 0, 1, 1,
+        ];
+        let off_addr = asm.words(&offsets);
+        let steps: Vec<i32> = vec![4, 2, 1];
+        let steps_addr = asm.words(&steps);
+
+        asm.li(reg(21), c_addr as i32); // current-block base
+        asm.li(reg(24), r_addr as i32); // reference base
+        asm.li(reg(10), REFW as i32); // row stride multiplier
+        asm.li(reg(19), 8); // center y
+        asm.li(reg(17), 8); // center x
+
+        // reference
+        let (mut cy, mut cx) = (8i32, 8i32);
+        let mut chk = 0u32;
+        let mut last_best = 0u32;
+        for &step in &steps {
+            let mut best = i32::MAX;
+            let (mut bdy, mut bdx) = (cy, cx);
+            for m in 0..9 {
+                let cand_y = cy + offsets[2 * m] * step;
+                let cand_x = cx + offsets[2 * m + 1] * step;
+                let sad = sad_at(&reff, &cur, cand_y as usize, cand_x as usize) as i32;
+                if sad < best {
+                    best = sad;
+                    bdy = cand_y;
+                    bdx = cand_x;
+                }
+                chk = chk.wrapping_add(sad as u32);
+            }
+            cy = bdy;
+            cx = bdx;
+            last_best = best as u32;
+        }
+
+        let m_loop = Node::Loop(LoopNode {
+            trips: Trips::Const(9),
+            index: Some(IndexSpec {
+                reg: reg(22),
+                init: off_addr as i32,
+                step: 8,
+            }),
+            counter: reg(14),
+            body: vec![
+                Node::code([
+                    Instr::Lw { rt: reg(4), rs: reg(22), off: 0 }, // dy
+                    Instr::Lw { rt: reg(5), rs: reg(22), off: 4 }, // dx
+                    Instr::Lw { rt: reg(16), rs: reg(23), off: 0 }, // step
+                    Instr::Mul { rd: reg(4), rs: reg(4), rt: reg(16) },
+                    Instr::Mul { rd: reg(5), rs: reg(5), rt: reg(16) },
+                    // candidate coordinates live in r27/r28: the SAD loops
+                    // reuse r4/r5 as scratch
+                    Instr::Add { rd: reg(27), rs: reg(4), rt: reg(19) }, // cand_y
+                    Instr::Add { rd: reg(28), rs: reg(5), rt: reg(17) }, // cand_x
+                    Instr::Mul { rd: reg(6), rs: reg(27), rt: reg(10) },
+                    Instr::Add { rd: reg(6), rs: reg(6), rt: reg(28) },
+                    Instr::Add { rd: reg(8), rs: reg(24), rt: reg(6) }, // ref ptr
+                    Instr::Add { rd: reg(7), rs: reg(21), rt: Reg::ZERO },
+                    Instr::Add { rd: reg(6), rs: Reg::ZERO, rt: Reg::ZERO }, // sad
+                ]),
+                sad_loops(),
+                Node::code([Instr::Slt { rd: reg(16), rs: reg(6), rt: reg(2) }]),
+                Node::If {
+                    cond: Cond::Ne(reg(16), Reg::ZERO),
+                    then: vec![Node::code([
+                        Instr::Add { rd: reg(2), rs: reg(6), rt: Reg::ZERO }, // best
+                        Instr::Add { rd: reg(25), rs: reg(27), rt: Reg::ZERO }, // best y
+                        Instr::Add { rd: reg(26), rs: reg(28), rt: Reg::ZERO }, // best x
+                    ])],
+                    els: vec![],
+                },
+                Node::code([Instr::Add { rd: reg(18), rs: reg(18), rt: reg(6) }]),
+            ],
+        });
+        let s_loop = Node::Loop(LoopNode {
+            trips: Trips::Const(3),
+            index: Some(IndexSpec {
+                reg: reg(23),
+                init: steps_addr as i32,
+                step: 4,
+            }),
+            counter: reg(11),
+            body: vec![
+                Node::code([
+                    // best = +inf for this step
+                    Instr::Lui { rt: reg(2), imm: 0x7fff },
+                    Instr::Ori { rt: reg(2), rs: reg(2), imm: 0xffff },
+                ]),
+                m_loop,
+                Node::code([
+                    Instr::Add { rd: reg(19), rs: reg(25), rt: Reg::ZERO }, // cy
+                    Instr::Add { rd: reg(17), rs: reg(26), rt: Reg::ZERO }, // cx
+                ]),
+            ],
+        });
+        let ir = LoopIr {
+            name: "me_tss".into(),
+            nodes: vec![s_loop],
+        };
+        let expect = Expectation {
+            mem_words: vec![],
+            regs: vec![
+                (reg(19), cy as u32),
+                (reg(17), cx as u32),
+                (reg(2), last_best),
+                (reg(18), chk),
+            ],
+        };
+        (ir, expect)
+    })
+}
+
+/// Single-loop early-exit search: the first element ≥ threshold stops the
+/// scan. Usable on every configuration including uZOLC (ablation kernel).
+pub fn build_find_first(target: &Target) -> Result<BuiltKernel, BuildError> {
+    const N: usize = 128;
+    build_kernel("find_first", target, |asm: &mut Asm| {
+        let mut rng = Xorshift::new(0x5003);
+        let mut a: Vec<i32> = (0..N).map(|_| rng.signed(900)).collect();
+        a[93] = 2000; // guaranteed hit near the end
+        let a_addr = asm.words(&a);
+        asm.li(reg(10), 1000); // threshold
+
+        // reference
+        let mut found: u32 = 0;
+        let mut scanned: u32 = 0;
+        for (i, &x) in a.iter().enumerate() {
+            scanned += 1;
+            if x >= 1000 {
+                found = a_addr + 4 * i as u32;
+                break;
+            }
+        }
+
+        let ir = LoopIr {
+            name: "find_first".into(),
+            nodes: vec![Node::Loop(LoopNode {
+                trips: Trips::Const(N as u32),
+                index: Some(IndexSpec {
+                    reg: reg(20),
+                    init: a_addr as i32,
+                    step: 4,
+                }),
+                counter: reg(11),
+                body: vec![
+                    Node::code([
+                        Instr::Addi { rt: reg(3), rs: reg(3), imm: 1 }, // scanned
+                        Instr::Lw { rt: reg(4), rs: reg(20), off: 0 },
+                        Instr::Slt { rd: reg(5), rs: reg(4), rt: reg(10) },
+                        Instr::Add { rd: reg(2), rs: reg(20), rt: Reg::ZERO },
+                    ]),
+                    Node::BreakIf {
+                        cond: Cond::Eq(reg(5), Reg::ZERO),
+                        levels: 1,
+                    },
+                    Node::code([Instr::Add { rd: reg(2), rs: Reg::ZERO, rt: Reg::ZERO }]),
+                ],
+            })],
+        };
+        let expect = Expectation {
+            mem_words: vec![],
+            regs: vec![(reg(2), found), (reg(3), scanned)],
+        };
+        (ir, expect)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{fig2_targets, run_kernel};
+    use zolc_core::ZolcConfig;
+
+    #[test]
+    fn me_fs_correct_on_all_targets() {
+        for t in fig2_targets() {
+            let b = build_me_fs(&t).unwrap();
+            let r = run_kernel(&b, 5_000_000).unwrap();
+            assert!(r.is_correct(), "{t}: {:?} {:?}", r.mismatches, r.violations);
+        }
+    }
+
+    #[test]
+    fn me_tss_correct_on_all_targets() {
+        for t in fig2_targets() {
+            let b = build_me_tss(&t).unwrap();
+            let r = run_kernel(&b, 5_000_000).unwrap();
+            assert!(r.is_correct(), "{t}: {:?} {:?}", r.mismatches, r.violations);
+        }
+    }
+
+    #[test]
+    fn me_fs_early_correct_on_full_lite_and_sw() {
+        for t in [
+            Target::Baseline,
+            Target::HwLoop,
+            Target::Zolc(ZolcConfig::full()),
+            Target::Zolc(ZolcConfig::lite()),
+        ] {
+            let b = build_me_fs_early(&t).unwrap();
+            let r = run_kernel(&b, 5_000_000).unwrap();
+            assert!(r.is_correct(), "{t}: {:?} {:?}", r.mismatches, r.violations);
+        }
+    }
+
+    #[test]
+    fn me_fs_early_terminates_faster_than_plain_on_full() {
+        let plain = run_kernel(
+            &build_me_fs(&Target::Zolc(ZolcConfig::full())).unwrap(),
+            5_000_000,
+        )
+        .unwrap();
+        let early = run_kernel(
+            &build_me_fs_early(&Target::Zolc(ZolcConfig::full())).unwrap(),
+            5_000_000,
+        )
+        .unwrap();
+        assert!(early.stats.cycles < plain.stats.cycles);
+    }
+
+    #[test]
+    fn find_first_works_even_on_micro() {
+        for t in [
+            Target::Baseline,
+            Target::HwLoop,
+            Target::Zolc(ZolcConfig::micro()),
+            Target::Zolc(ZolcConfig::lite()),
+            Target::Zolc(ZolcConfig::full()),
+        ] {
+            let b = build_find_first(&t).unwrap();
+            let r = run_kernel(&b, 1_000_000).unwrap();
+            assert!(r.is_correct(), "{t}: {:?} {:?}", r.mismatches, r.violations);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Vector kernels (XiRisc-validation-suite style): multiply-accumulate
+//! and maximum search.
+
+use crate::common::{build_kernel, BuildError, BuiltKernel, Expectation, Xorshift};
+use zolc_ir::{Cond, IndexSpec, LoopIr, LoopNode, Node, Target, Trips};
+use zolc_isa::{reg, Asm, Instr, Reg};
+
+/// Dot product with energy accumulation: `acc = Σ a[i]·b[i]`,
+/// `chk = Σ a[i]` over 64-element vectors.
+///
+/// The ZOLC index register is the pointer walking `a`; `b` sits at a fixed
+/// offset so one moving pointer serves both streams.
+pub fn build_vec_mac(target: &Target) -> Result<BuiltKernel, BuildError> {
+    const N: usize = 64;
+    build_kernel("vec_mac", target, |asm: &mut Asm| {
+        let mut rng = Xorshift::new(0x1001);
+        let a: Vec<i32> = (0..N).map(|_| rng.signed(100)).collect();
+        let b: Vec<i32> = (0..N).map(|_| rng.signed(100)).collect();
+        let a_addr = asm.words(&a);
+        let b_addr = asm.words(&b);
+        assert_eq!(b_addr - a_addr, 4 * N as u32);
+
+        // reference
+        let mut acc: i32 = 0;
+        let mut chk: i32 = 0;
+        for i in 0..N {
+            acc = acc.wrapping_add(a[i].wrapping_mul(b[i]));
+            chk = chk.wrapping_add(a[i]);
+        }
+
+        let ir = LoopIr {
+            name: "vec_mac".into(),
+            nodes: vec![Node::Loop(LoopNode {
+                trips: Trips::Const(N as u32),
+                index: Some(IndexSpec {
+                    reg: reg(20),
+                    init: a_addr as i32,
+                    step: 4,
+                }),
+                counter: reg(11),
+                body: vec![Node::code([
+                    Instr::Lw { rt: reg(4), rs: reg(20), off: 0 },
+                    Instr::Lw {
+                        rt: reg(5),
+                        rs: reg(20),
+                        off: (4 * N) as i16,
+                    },
+                    Instr::Mul { rd: reg(6), rs: reg(4), rt: reg(5) },
+                    Instr::Add { rd: reg(2), rs: reg(2), rt: reg(6) },
+                    Instr::Add { rd: reg(3), rs: reg(3), rt: reg(4) },
+                ])],
+            })],
+        };
+        let expect = Expectation {
+            mem_words: vec![],
+            regs: vec![(reg(2), acc as u32), (reg(3), chk as u32)],
+        };
+        (ir, expect)
+    })
+}
+
+/// Maximum search with argument tracking: finds the maximum of 80 words,
+/// the address of its first occurrence, and a running-maximum checksum.
+pub fn build_vec_max(target: &Target) -> Result<BuiltKernel, BuildError> {
+    const N: usize = 80;
+    build_kernel("vec_max", target, |asm: &mut Asm| {
+        let mut rng = Xorshift::new(0x1002);
+        let a: Vec<i32> = (0..N).map(|_| rng.signed(5000)).collect();
+        let a_addr = asm.words(&a);
+
+        // setup: r2 = i32::MIN (current max)
+        asm.li(reg(2), i32::MIN);
+
+        // reference
+        let mut max = i32::MIN;
+        let mut argp: u32 = 0;
+        let mut chk: i32 = 0;
+        for (i, &x) in a.iter().enumerate() {
+            if x > max {
+                max = x;
+                argp = a_addr + 4 * i as u32;
+            }
+            chk = chk.wrapping_add(max);
+        }
+
+        let ir = LoopIr {
+            name: "vec_max".into(),
+            nodes: vec![Node::Loop(LoopNode {
+                trips: Trips::Const(N as u32),
+                index: Some(IndexSpec {
+                    reg: reg(20),
+                    init: a_addr as i32,
+                    step: 4,
+                }),
+                counter: reg(11),
+                body: vec![
+                    Node::code([
+                        Instr::Lw { rt: reg(4), rs: reg(20), off: 0 },
+                        Instr::Slt { rd: reg(5), rs: reg(2), rt: reg(4) },
+                    ]),
+                    Node::If {
+                        cond: Cond::Ne(reg(5), Reg::ZERO),
+                        then: vec![Node::code([
+                            Instr::Add { rd: reg(2), rs: reg(4), rt: Reg::ZERO },
+                            Instr::Add { rd: reg(3), rs: reg(20), rt: Reg::ZERO },
+                        ])],
+                        els: vec![],
+                    },
+                    Node::code([Instr::Add { rd: reg(6), rs: reg(6), rt: reg(2) }]),
+                ],
+            })],
+        };
+        let expect = Expectation {
+            mem_words: vec![],
+            regs: vec![
+                (reg(2), max as u32),
+                (reg(3), argp),
+                (reg(6), chk as u32),
+            ],
+        };
+        (ir, expect)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{fig2_targets, run_kernel};
+
+    #[test]
+    fn vec_mac_correct_on_all_targets() {
+        for t in fig2_targets() {
+            let b = build_vec_mac(&t).unwrap();
+            let r = run_kernel(&b, 1_000_000).unwrap();
+            assert!(r.is_correct(), "{t}: {:?} {:?}", r.mismatches, r.violations);
+        }
+    }
+
+    #[test]
+    fn vec_max_correct_on_all_targets() {
+        for t in fig2_targets() {
+            let b = build_vec_max(&t).unwrap();
+            let r = run_kernel(&b, 1_000_000).unwrap();
+            assert!(r.is_correct(), "{t}: {:?} {:?}", r.mismatches, r.violations);
+        }
+    }
+
+    #[test]
+    fn vec_mac_zolc_is_fastest() {
+        let cycles: Vec<u64> = fig2_targets()
+            .iter()
+            .map(|t| {
+                run_kernel(&build_vec_mac(t).unwrap(), 1_000_000)
+                    .unwrap()
+                    .stats
+                    .cycles
+            })
+            .collect();
+        assert!(cycles[2] < cycles[1] && cycles[1] < cycles[0], "{cycles:?}");
+    }
+}

@@ -1,0 +1,49 @@
+//! # zolc-sim — cycle-accurate pipeline simulation for the ZOLC study
+//!
+//! A single-issue, in-order, 5-stage (IF/ID/EX/MEM/WB) RISC pipeline with
+//! full forwarding, a one-cycle load-use interlock, EX-resolved branches
+//! (2-cycle taken penalty), ID-resolved jumps and hardware-loop `dbnz`
+//! (1-cycle penalty). It
+//! stands in for the XiRisc soft core of *Kavvadias & Nikolaidis, DATE
+//! 2005*: the paper's experiment compares loop-control schemes on one
+//! core, and this pipeline reproduces exactly the overhead structure those
+//! schemes differ in (loop-maintenance instructions and taken-branch
+//! flushes).
+//!
+//! Loop controllers attach through the [`LoopEngine`] trait, which mirrors
+//! the paper's Fig. 1 integration points: fetch-time next-PC selection
+//! (zero-overhead redirect), retire-time commit, the `zwr`/`zctl`
+//! coprocessor instructions and a dedicated index-register write port.
+//!
+//! # Examples
+//!
+//! ```
+//! use zolc_sim::{run_program, NullEngine};
+//!
+//! let program = zolc_isa::assemble("
+//!     li   r1, 100
+//!     li   r2, 0
+//! top: add  r2, r2, r1
+//!     addi r1, r1, -1
+//!     bne  r1, r0, top
+//!     halt
+//! ").unwrap();
+//! let finished = run_program(&program, &mut NullEngine, 1_000_000)?;
+//! assert_eq!(finished.cpu.regs().read(zolc_isa::reg(2)), (1..=100).sum::<u32>());
+//! # Ok::<(), zolc_sim::RunError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cpu;
+mod engine;
+mod mem;
+mod regfile;
+mod stats;
+
+pub use cpu::{run_program, Cpu, CpuConfig, Finished, RetireEvent, RunError};
+pub use engine::{ExecEvent, FetchDecision, LoopEngine, NullEngine, RegWrites};
+pub use mem::{MemError, MemErrorKind, Memory};
+pub use regfile::RegFile;
+pub use stats::Stats;

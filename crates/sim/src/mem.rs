@@ -1,0 +1,289 @@
+//! Byte-addressable little-endian memory with single-cycle access.
+//!
+//! The XiRisc evaluation in the paper runs from on-chip SRAM; there are no
+//! caches, so every access completes in one cycle. [`Memory`] models that:
+//! a flat byte array with width/alignment-checked accessors.
+
+use std::fmt;
+
+/// Kinds of memory access failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemErrorKind {
+    /// Address beyond the configured memory size.
+    OutOfBounds,
+    /// Address not aligned to the access width.
+    Misaligned,
+}
+
+/// The error returned by memory accessors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemError {
+    addr: u32,
+    width: u8,
+    kind: MemErrorKind,
+}
+
+impl MemError {
+    /// The faulting byte address.
+    pub fn addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// The access width in bytes (1, 2 or 4).
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// What went wrong.
+    pub fn kind(&self) -> MemErrorKind {
+        self.kind
+    }
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            MemErrorKind::OutOfBounds => write!(
+                f,
+                "address {:#x} out of bounds ({}-byte access)",
+                self.addr, self.width
+            ),
+            MemErrorKind::Misaligned => {
+                write!(f, "misaligned {}-byte access at {:#x}", self.width, self.addr)
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Flat little-endian memory.
+///
+/// # Examples
+///
+/// ```
+/// use zolc_sim::Memory;
+/// let mut m = Memory::new(1024);
+/// m.store_word(0x10, 0xdead_beef)?;
+/// assert_eq!(m.load_word(0x10)?, 0xdead_beef);
+/// assert_eq!(m.load_byte(0x10)?, 0xef);
+/// # Ok::<(), zolc_sim::MemError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates a zero-initialized memory of `size` bytes.
+    pub fn new(size: usize) -> Memory {
+        Memory {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn check(&self, addr: u32, width: u8) -> Result<usize, MemError> {
+        let a = addr as usize;
+        if !addr.is_multiple_of(u32::from(width)) {
+            return Err(MemError {
+                addr,
+                width,
+                kind: MemErrorKind::Misaligned,
+            });
+        }
+        if a + width as usize > self.bytes.len() {
+            return Err(MemError {
+                addr,
+                width,
+                kind: MemErrorKind::OutOfBounds,
+            });
+        }
+        Ok(a)
+    }
+
+    /// Loads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the address is out of bounds.
+    pub fn load_byte(&self, addr: u32) -> Result<u8, MemError> {
+        let a = self.check(addr, 1)?;
+        Ok(self.bytes[a])
+    }
+
+    /// Loads a 16-bit halfword (little-endian).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on misalignment or out-of-bounds access.
+    pub fn load_half(&self, addr: u32) -> Result<u16, MemError> {
+        let a = self.check(addr, 2)?;
+        Ok(u16::from_le_bytes([self.bytes[a], self.bytes[a + 1]]))
+    }
+
+    /// Loads a 32-bit word (little-endian).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on misalignment or out-of-bounds access.
+    pub fn load_word(&self, addr: u32) -> Result<u32, MemError> {
+        let a = self.check(addr, 4)?;
+        Ok(u32::from_le_bytes([
+            self.bytes[a],
+            self.bytes[a + 1],
+            self.bytes[a + 2],
+            self.bytes[a + 3],
+        ]))
+    }
+
+    /// Stores one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the address is out of bounds.
+    pub fn store_byte(&mut self, addr: u32, value: u8) -> Result<(), MemError> {
+        let a = self.check(addr, 1)?;
+        self.bytes[a] = value;
+        Ok(())
+    }
+
+    /// Stores a 16-bit halfword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on misalignment or out-of-bounds access.
+    pub fn store_half(&mut self, addr: u32, value: u16) -> Result<(), MemError> {
+        let a = self.check(addr, 2)?;
+        self.bytes[a..a + 2].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Stores a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on misalignment or out-of-bounds access.
+    pub fn store_word(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
+        let a = self.check(addr, 4)?;
+        self.bytes[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Copies a byte slice into memory at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the region does not fit.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), MemError> {
+        let a = addr as usize;
+        if a + data.len() > self.bytes.len() {
+            return Err(MemError {
+                addr,
+                width: 1,
+                kind: MemErrorKind::OutOfBounds,
+            });
+        }
+        self.bytes[a..a + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the region does not fit.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Result<&[u8], MemError> {
+        let a = addr as usize;
+        if a + len > self.bytes.len() {
+            return Err(MemError {
+                addr,
+                width: 1,
+                kind: MemErrorKind::OutOfBounds,
+            });
+        }
+        Ok(&self.bytes[a..a + len])
+    }
+
+    /// Reads `count` consecutive 32-bit words starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on misalignment or out-of-bounds access.
+    pub fn read_words(&self, addr: u32, count: usize) -> Result<Vec<u32>, MemError> {
+        (0..count)
+            .map(|k| self.load_word(addr + 4 * k as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_widths() {
+        let mut m = Memory::new(64);
+        m.store_word(0, 0x0102_0304).unwrap();
+        assert_eq!(m.load_byte(0).unwrap(), 0x04);
+        assert_eq!(m.load_byte(3).unwrap(), 0x01);
+        assert_eq!(m.load_half(0).unwrap(), 0x0304);
+        assert_eq!(m.load_half(2).unwrap(), 0x0102);
+        m.store_half(4, 0xbeef).unwrap();
+        assert_eq!(m.load_word(4).unwrap(), 0x0000_beef);
+        m.store_byte(8, 0x7f).unwrap();
+        assert_eq!(m.load_word(8).unwrap(), 0x0000_007f);
+    }
+
+    #[test]
+    fn misalignment_detected() {
+        let mut m = Memory::new(64);
+        assert_eq!(
+            m.load_word(2).unwrap_err().kind(),
+            MemErrorKind::Misaligned
+        );
+        assert_eq!(
+            m.store_half(1, 0).unwrap_err().kind(),
+            MemErrorKind::Misaligned
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut m = Memory::new(8);
+        assert_eq!(
+            m.load_word(8).unwrap_err().kind(),
+            MemErrorKind::OutOfBounds
+        );
+        assert_eq!(
+            m.store_byte(8, 0).unwrap_err().kind(),
+            MemErrorKind::OutOfBounds
+        );
+        assert_eq!(m.load_word(4).unwrap(), 0);
+    }
+
+    #[test]
+    fn bulk_io() {
+        let mut m = Memory::new(32);
+        m.write_bytes(4, &[1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(m.read_bytes(4, 5).unwrap(), &[1, 2, 3, 4, 5]);
+        assert!(m.write_bytes(30, &[0; 4]).is_err());
+        assert!(m.read_bytes(30, 4).is_err());
+        m.store_word(8, 7).unwrap();
+        m.store_word(12, 9).unwrap();
+        assert_eq!(m.read_words(8, 2).unwrap(), vec![7, 9]);
+    }
+
+    #[test]
+    fn error_display() {
+        let m = Memory::new(4);
+        let e = m.load_word(5).unwrap_err();
+        assert!(e.to_string().contains("misaligned"));
+        assert_eq!(e.addr(), 5);
+        assert_eq!(e.width(), 4);
+    }
+}

@@ -1,0 +1,118 @@
+//! Execution statistics collected by the pipeline.
+
+use std::fmt;
+
+/// Cycle and event counters for one simulation run.
+///
+/// `cycles` is the paper's metric (Fig. 2 reports relative cycle counts);
+/// the remaining counters decompose where the cycles went, which the
+/// experiment harness uses to attribute loop overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stats {
+    /// Total clock cycles until `halt` retired.
+    pub cycles: u64,
+    /// Instructions retired (architecturally executed).
+    pub retired: u64,
+    /// Bubbles inserted by the load-use interlock.
+    pub load_use_stalls: u64,
+    /// Pipeline flush events (taken branches/jumps, `zctl` sync).
+    pub flushes: u64,
+    /// Cycles lost to flushes.
+    pub flush_cycles: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Conditional branches retired taken.
+    pub taken_branches: u64,
+    /// `dbnz` instructions retired (XRhrdwil hardware-loop primitive).
+    pub dbnz_retired: u64,
+    /// Zero-overhead PC redirects performed by the loop engine at fetch.
+    pub zolc_redirects: u64,
+    /// Dedicated-port index-register writes performed by the loop engine.
+    pub zolc_index_writes: u64,
+    /// `zwr` table writes retired (ZOLC initialization/update instructions).
+    pub zwr_retired: u64,
+    /// `zctl` control operations retired.
+    pub zctl_retired: u64,
+}
+
+impl Stats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of branches that were taken.
+    pub fn taken_ratio(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.taken_branches as f64 / self.branches as f64
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles:            {}", self.cycles)?;
+        writeln!(f, "retired:           {} (ipc {:.3})", self.retired, self.ipc())?;
+        writeln!(f, "load-use stalls:   {}", self.load_use_stalls)?;
+        writeln!(
+            f,
+            "flushes:           {} ({} cycles)",
+            self.flushes, self.flush_cycles
+        )?;
+        writeln!(
+            f,
+            "branches:          {} ({} taken)",
+            self.branches, self.taken_branches
+        )?;
+        writeln!(f, "dbnz retired:      {}", self.dbnz_retired)?;
+        writeln!(f, "zolc redirects:    {}", self.zolc_redirects)?;
+        writeln!(f, "zolc index writes: {}", self.zolc_index_writes)?;
+        write!(
+            f,
+            "zwr/zctl retired:  {}/{}",
+            self.zwr_retired, self.zctl_retired
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(Stats::default().ipc(), 0.0);
+        let s = Stats {
+            cycles: 10,
+            retired: 5,
+            ..Stats::default()
+        };
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn taken_ratio() {
+        let s = Stats {
+            branches: 4,
+            taken_branches: 3,
+            ..Stats::default()
+        };
+        assert!((s.taken_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(Stats::default().taken_ratio(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_cycles() {
+        let s = Stats {
+            cycles: 123,
+            ..Stats::default()
+        };
+        assert!(s.to_string().contains("123"));
+    }
+}

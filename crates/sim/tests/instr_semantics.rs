@@ -1,0 +1,154 @@
+//! Golden semantics tests for every XR32 instruction the benchmark
+//! kernels do not already exercise end-to-end, covering sign extension,
+//! unsigned comparisons, variable shifts and the high multiply.
+
+use zolc_isa::{assemble, reg};
+use zolc_sim::{run_program, Finished, NullEngine};
+
+fn run(src: &str) -> Finished {
+    let p = assemble(src).expect("assembles");
+    run_program(&p, &mut NullEngine, 100_000).expect("runs")
+}
+
+fn r(f: &Finished, k: u8) -> u32 {
+    f.cpu.regs().read(reg(k))
+}
+
+#[test]
+fn unsigned_comparisons() {
+    let f = run(
+        "
+        li    r1, -1          # 0xffffffff
+        li    r2, 1
+        sltu  r3, r2, r1      # 1 < 0xffffffff (unsigned) = 1
+        sltu  r4, r1, r2      # 0
+        slt   r5, r1, r2      # -1 < 1 (signed) = 1
+        sltiu r6, r2, -1      # 1 < 0xffffffff = 1
+        slti  r7, r1, 0       # -1 < 0 = 1
+        halt
+    ",
+    );
+    assert_eq!(r(&f, 3), 1);
+    assert_eq!(r(&f, 4), 0);
+    assert_eq!(r(&f, 5), 1);
+    assert_eq!(r(&f, 6), 1);
+    assert_eq!(r(&f, 7), 1);
+}
+
+#[test]
+fn logic_and_nor() {
+    let f = run(
+        "
+        li   r1, 0x0ff0
+        li   r2, 0x00ff
+        and  r3, r1, r2
+        or   r4, r1, r2
+        xor  r5, r1, r2
+        nor  r6, r1, r2
+        xori r7, r1, 0xffff
+        halt
+    ",
+    );
+    assert_eq!(r(&f, 3), 0x00f0);
+    assert_eq!(r(&f, 4), 0x0fff);
+    assert_eq!(r(&f, 5), 0x0f0f);
+    assert_eq!(r(&f, 6), !0x0fffu32);
+    assert_eq!(r(&f, 7), 0xf00f);
+}
+
+#[test]
+fn variable_shifts() {
+    let f = run(
+        "
+        li   r1, -16         # 0xfffffff0
+        li   r2, 4
+        sllv r3, r1, r2      # 0xffffff00
+        srlv r4, r1, r2      # 0x0fffffff
+        srav r5, r1, r2      # 0xffffffff
+        li   r6, 36          # shift amounts use the low 5 bits: 36 & 31 = 4
+        sllv r7, r1, r6
+        halt
+    ",
+    );
+    assert_eq!(r(&f, 3), 0xffff_ff00);
+    assert_eq!(r(&f, 4), 0x0fff_ffff);
+    assert_eq!(r(&f, 5), 0xffff_ffff);
+    assert_eq!(r(&f, 7), 0xffff_ff00);
+}
+
+#[test]
+fn high_multiply() {
+    let f = run(
+        "
+        li   r1, 0x10000     # 65536
+        li   r2, 0x10000
+        mulh r3, r1, r2      # (2^32) >> 32 = 1
+        mul  r4, r1, r2      # low 32 bits = 0
+        li   r5, -2
+        li   r6, 3
+        mulh r7, r5, r6      # -6 >> 32 = -1 (sign extension)
+        mul  r8, r5, r6      # -6
+        halt
+    ",
+    );
+    assert_eq!(r(&f, 3), 1);
+    assert_eq!(r(&f, 4), 0);
+    assert_eq!(r(&f, 7), 0xffff_ffff);
+    assert_eq!(r(&f, 8), (-6i32) as u32);
+}
+
+#[test]
+fn halfword_memory_sign_extension() {
+    let f = run(
+        "
+        .data
+    buf: .space 8
+        .text
+        la   r1, buf
+        li   r2, -30000
+        sh   r2, 0(r1)
+        lh   r3, 0(r1)       # sign-extended
+        lhu  r4, 0(r1)       # zero-extended
+        sh   r2, 2(r1)
+        lw   r5, 0(r1)       # both halves packed
+        halt
+    ",
+    );
+    assert_eq!(r(&f, 3), (-30000i32) as u32);
+    assert_eq!(r(&f, 4), 0x8ad0);
+    assert_eq!(r(&f, 5), 0x8ad0_8ad0);
+}
+
+#[test]
+fn remaining_branches() {
+    let f = run(
+        "
+        li   r1, -5
+        li   r9, 0
+        bltz r1, a           # taken
+        addi r9, r9, 100
+    a:  bgez r1, b           # not taken
+        addi r9, r9, 1       # executes
+    b:  blez r1, c           # taken
+        addi r9, r9, 100
+    c:  bgtz r1, d           # not taken
+        addi r9, r9, 2       # executes
+    d:  halt
+    ",
+    );
+    assert_eq!(r(&f, 9), 3);
+}
+
+#[test]
+fn lui_ori_constant_construction() {
+    let f = run(
+        "
+        lui  r1, 0xdead
+        ori  r1, r1, 0xbeef
+        andi r2, r1, 0xff00
+        halt
+    ",
+    );
+    assert_eq!(r(&f, 1), 0xdead_beef);
+    assert_eq!(r(&f, 2), 0xbe00);
+}

@@ -1,0 +1,56 @@
+//! Design-space exploration with the calibrated area/storage/timing
+//! models: what do intermediate ZOLC configurations between uZOLC and
+//! ZOLCfull cost, and what do they buy?
+//!
+//! Run with `cargo run --example design_space`.
+
+use zolc::core::{area, ZolcConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<26} {:>9} {:>9} {:>9} {:>10}",
+        "configuration", "storage B", "gates", "zolc ns", "fmax MHz"
+    );
+    println!("{}", "-".repeat(68));
+
+    let mut points: Vec<(String, ZolcConfig)> = vec![
+        ("uZOLC (paper)".into(), ZolcConfig::micro()),
+        ("ZOLClite (paper)".into(), ZolcConfig::lite()),
+        ("ZOLCfull (paper)".into(), ZolcConfig::full()),
+    ];
+    // intermediate points: loops x task entries, with and without records
+    for loops in [2usize, 4, 6, 8] {
+        let tasks = (4 * loops).min(32);
+        points.push((
+            format!("custom {loops}L/{tasks}T"),
+            ZolcConfig::custom(loops, tasks, 0, 0)?,
+        ));
+        points.push((
+            format!("custom {loops}L/{tasks}T +rec"),
+            ZolcConfig::custom(loops, tasks, 4, 4)?,
+        ));
+    }
+
+    for (name, cfg) in &points {
+        let s = area::storage(cfg);
+        let g = area::gates(cfg);
+        let t = area::timing(cfg);
+        println!(
+            "{:<26} {:>9} {:>9} {:>9.2} {:>10.0}{}",
+            name,
+            s.bytes(),
+            g.total(),
+            t.zolc_path_ns,
+            t.fmax_mhz(),
+            if t.limits_cycle_time() { "  <- critical!" } else { "" }
+        );
+    }
+
+    println!("\nobservations:");
+    println!("  * storage scales linearly in loops/tasks/records (see E2 inventory);");
+    println!("  * the fetch path stays well inside the 5.85 ns processor cycle even");
+    println!("    at the full configuration — the paper's 'cycle time unaffected';");
+    println!("  * the entry/exit records of ZOLCfull cost only 372 gates on top of");
+    println!("    ZOLClite but unlock multiple-entry/exit loop structures.");
+    Ok(())
+}

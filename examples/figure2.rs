@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 2 (also available as
+//! `cargo bench --bench fig2_cycles`; this example is the same artifact
+//! through the public API).
+//!
+//! Run with `cargo run --release --example figure2`.
+
+fn main() {
+    println!("{}", zolc::bench::e1_fig2());
+}

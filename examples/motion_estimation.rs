@@ -1,0 +1,57 @@
+//! Motion estimation — the paper's motivating workload — across every
+//! processor configuration, including the multiple-exit early-termination
+//! variant that needs ZOLCfull's exit records.
+//!
+//! Run with `cargo run --example motion_estimation`.
+
+use zolc::core::{area, ZolcConfig};
+use zolc::ir::Target;
+use zolc::kernels::{build_me_fs, build_me_fs_early, build_me_tss, run_kernel, BuildFn};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let configs: Vec<(&str, Target)> = vec![
+        ("XRdefault", Target::Baseline),
+        ("XRhrdwil", Target::HwLoop),
+        ("ZOLClite", Target::Zolc(ZolcConfig::lite())),
+        ("ZOLCfull", Target::Zolc(ZolcConfig::full())),
+    ];
+    let kernels: Vec<(&str, BuildFn)> = vec![
+        ("me_fs (full search)", build_me_fs as BuildFn),
+        ("me_tss (three-step)", build_me_tss as BuildFn),
+        ("me_fs_early (early exit)", build_me_fs_early as BuildFn),
+    ];
+
+    for (kname, build) in &kernels {
+        println!("=== {kname} ===");
+        let mut baseline = None;
+        for (cname, target) in &configs {
+            let built = build(target)?;
+            let run = run_kernel(&built, 50_000_000)?;
+            assert!(run.is_correct(), "{kname} on {cname} diverged");
+            let cycles = run.stats.cycles;
+            let base = *baseline.get_or_insert(cycles);
+            println!(
+                "  {cname:<10} {cycles:>8} cycles  ({:.3} relative){}",
+                cycles as f64 / base as f64,
+                if built.info.notes.is_empty() {
+                    String::new()
+                } else {
+                    format!("  [{}]", built.info.notes.join("; "))
+                }
+            );
+        }
+        println!();
+    }
+
+    println!("hardware cost of the configurations (paper section 3):");
+    for cfg in [ZolcConfig::micro(), ZolcConfig::lite(), ZolcConfig::full()] {
+        println!(
+            "  {:<9} {:>4} bytes storage, {:>5} equivalent gates, {}",
+            cfg.variant().to_string(),
+            area::storage(&cfg).bytes(),
+            area::gates(&cfg).total(),
+            area::timing(&cfg)
+        );
+    }
+    Ok(())
+}

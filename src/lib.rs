@@ -1,0 +1,53 @@
+//! # zolc — reproduction of the DATE 2005 zero-overhead loop controller
+//!
+//! This is the umbrella crate of a full reproduction of *Kavvadias &
+//! Nikolaidis, "Hardware support for arbitrarily complex loop structures
+//! in embedded applications" (DATE 2005)*. It re-exports the workspace
+//! crates:
+//!
+//! * [`mod@isa`] — the XR32 instruction set (with `dbnz` and the ZOLC
+//!   coprocessor instructions), assembler and binary encoding;
+//! * [`mod@sim`] — a cycle-accurate 5-stage pipeline with loop-engine hooks;
+//! * [`mod@core`] — the ZOLC itself: task selection, loop parameter tables,
+//!   index calculation, configurations, area/storage/timing models;
+//! * [`mod@ir`] — the structured loop IR and its three lowerings
+//!   (`XRdefault`, `XRhrdwil`, ZOLC);
+//! * [`mod@cfg`] — control-flow analysis: natural loops, counted-loop
+//!   detection, automatic ZOLC mapping and image verification;
+//! * [`mod@kernels`] — the twelve evaluation benchmarks with bit-exact
+//!   reference models;
+//! * [`mod@bench`] — the experiment harness regenerating every table and
+//!   figure of the paper (run `cargo bench`).
+//!
+//! # Examples
+//!
+//! Run a benchmark on all three of the paper's configurations:
+//!
+//! ```
+//! use zolc::ir::Target;
+//! use zolc::core::ZolcConfig;
+//! use zolc::kernels::{build_crc32, run_kernel};
+//!
+//! for target in [
+//!     Target::Baseline,
+//!     Target::HwLoop,
+//!     Target::Zolc(ZolcConfig::lite()),
+//! ] {
+//!     let built = build_crc32(&target)?;
+//!     let run = run_kernel(&built, 10_000_000)?;
+//!     assert!(run.is_correct());
+//!     println!("{target}: {} cycles", run.stats.cycles);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use zolc_bench as bench;
+pub use zolc_cfg as cfg;
+pub use zolc_core as core;
+pub use zolc_ir as ir;
+pub use zolc_isa as isa;
+pub use zolc_kernels as kernels;
+pub use zolc_sim as sim;
