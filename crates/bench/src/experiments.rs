@@ -6,9 +6,7 @@ use crate::table::{render_bars, render_table};
 use std::fmt::Write as _;
 use zolc_core::{area, PerfectLevel, PerfectNestController, PerfectNestSpec, ZolcConfig};
 use zolc_ir::Target;
-use zolc_kernels::{
-    build_find_first, build_me_fs, build_me_fs_early, kernels, run_kernel,
-};
+use zolc_kernels::{build_find_first, build_me_fs, build_me_fs_early, kernels, run_kernel};
 use zolc_sim::run_program;
 
 /// Paper values for E1 (Fig. 2 aggregates).
@@ -50,12 +48,17 @@ pub fn e1_fig2() -> String {
             format!("{:.1}%", r.zolc_improvement()),
         ]);
     }
-    let mut out = String::from(
-        "E1 / Figure 2 — cycle performance: XRdefault vs XRhrdwil vs ZOLClite\n\n",
-    );
+    let mut out =
+        String::from("E1 / Figure 2 — cycle performance: XRdefault vs XRhrdwil vs ZOLClite\n\n");
     out.push_str(&render_table(
         &[
-            "kernel", "XRdefault", "XRhrdwil", "ZOLClite", "rel.hw", "rel.zolc", "hw gain",
+            "kernel",
+            "XRdefault",
+            "XRhrdwil",
+            "ZOLClite",
+            "rel.hw",
+            "rel.zolc",
+            "hw gain",
             "zolc gain",
         ],
         &rows,
@@ -121,7 +124,9 @@ pub fn e2_area_table() -> String {
     let mut out =
         String::from("E2 / section 3 — storage and combinational area of the three designs\n\n");
     out.push_str(&render_table(
-        &["config", "paper B", "model B", "paper GE", "model GE", "match"],
+        &[
+            "config", "paper B", "model B", "paper GE", "model GE", "match",
+        ],
         &rows,
     ));
     out.push('\n');
@@ -158,14 +163,20 @@ pub fn e3_timing() -> String {
         ]);
     }
     out.push_str(&render_table(
-        &["config", "zolc ns", "cpu ns", "slack ns", "fmax MHz", "unaffected"],
+        &[
+            "config",
+            "zolc ns",
+            "cpu ns",
+            "slack ns",
+            "fmax MHz",
+            "unaffected",
+        ],
         &rows,
     ));
     // design-space: where WOULD the controller become critical?
     out.push_str("\nextrapolation (fetch-path delay vs configuration size):\n");
     for loops in [1usize, 4, 8] {
-        let cfg = ZolcConfig::custom(loops, 32.min(4 * loops), 0, 0)
-            .expect("valid custom config");
+        let cfg = ZolcConfig::custom(loops, 32.min(4 * loops), 0, 0).expect("valid custom config");
         let t = area::timing(&cfg);
         let _ = writeln!(
             out,
@@ -244,8 +255,7 @@ pub fn e5_ablation() -> String {
     let _ = writeln!(
         out,
         "\n    early termination saves {:.1}% cycles over exhaustive search on ZOLCfull\n",
-        100.0 * (plain.stats.cycles as f64 - early.stats.cycles as f64)
-            / plain.stats.cycles as f64
+        100.0 * (plain.stats.cycles as f64 - early.stats.cycles as f64) / plain.stats.cycles as f64
     );
 
     // (b) uZOLC coverage: single-loop kernel across all configurations
@@ -275,7 +285,10 @@ pub fn e5_ablation() -> String {
         ]);
     }
     out.push_str("(b) find_first — single loop with early exit (uZOLC territory):\n");
-    out.push_str(&render_table(&["config", "cycles", "storage B", "gates"], &rows));
+    out.push_str(&render_table(
+        &["config", "cycles", "storage B", "gates"],
+        &rows,
+    ));
 
     // (c) the perfect-nest unit [2] vs ZOLC
     out.push_str("\n(c) perfect-nest multiple-index unit (Talla et al. [2]) vs ZOLC:\n");

@@ -103,7 +103,11 @@ impl Fig2Report {
 
     /// Average `XRhrdwil` improvement (paper: about 11.1%).
     pub fn avg_hwloop(&self) -> f64 {
-        self.rows.iter().map(Fig2Row::hwloop_improvement).sum::<f64>() / self.rows.len() as f64
+        self.rows
+            .iter()
+            .map(Fig2Row::hwloop_improvement)
+            .sum::<f64>()
+            / self.rows.len() as f64
     }
 
     /// Maximum `XRhrdwil` improvement (paper: up to 27.5%).

@@ -12,11 +12,8 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
             widths[k] = widths[k].max(cell.len());
         }
     }
-    let numeric = |s: &str| {
-        !s.is_empty()
-            && s.chars()
-                .all(|c| c.is_ascii_digit() || ".%+-x".contains(c))
-    };
+    let numeric =
+        |s: &str| !s.is_empty() && s.chars().all(|c| c.is_ascii_digit() || ".%+-x".contains(c));
     let mut out = String::new();
     let fmt_row = |cells: &[String], out: &mut String| {
         for (k, cell) in cells.iter().enumerate().take(cols) {
@@ -86,11 +83,7 @@ mod tests {
 
     #[test]
     fn bars_scale_to_max() {
-        let b = render_bars(
-            "t",
-            &[("x".into(), 1.0), ("y".into(), 0.5)],
-            10,
-        );
+        let b = render_bars("t", &[("x".into(), 1.0), ("y".into(), 0.5)], 10);
         let lines: Vec<&str> = b.lines().collect();
         let hashes = |s: &str| s.chars().filter(|&c| c == '#').count();
         assert_eq!(hashes(lines[1]), 10);

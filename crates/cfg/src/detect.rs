@@ -72,7 +72,11 @@ fn match_counted(program: &Program, cfg: &Cfg, l: &NaturalLoop) -> Option<Counte
             // preceding instruction must be the decrement of rs
             let dec_addr = branch_addr.checked_sub(4)?;
             match program.instr_at(dec_addr)? {
-                Instr::Addi { rt: d, rs: s, imm: -1 } if *d == rs && *s == rs => (rs, false),
+                Instr::Addi {
+                    rt: d,
+                    rs: s,
+                    imm: -1,
+                } if *d == rs && *s == rs => (rs, false),
                 _ => return None,
             }
         }

@@ -116,10 +116,7 @@ impl Cfg {
                 }
                 Instr::Jr { .. } | Instr::Halt => {}
                 _ if instr.is_cond_branch() => {
-                    if let Some(&t) = instr
-                        .branch_target(last_pc)
-                        .and_then(|t| by_start.get(&t))
-                    {
+                    if let Some(&t) = instr.branch_target(last_pc).and_then(|t| by_start.get(&t)) {
                         succs.push(t);
                     }
                     if let Some(&ft) = by_start.get(&blocks[id].end) {

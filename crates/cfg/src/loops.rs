@@ -106,10 +106,7 @@ impl LoopForest {
             for j in 0..k {
                 if loops[j].contains(loops[k].header)
                     && loops[j].header != loops[k].header
-                    && loops[k]
-                        .body
-                        .iter()
-                        .all(|b| loops[j].contains(*b))
+                    && loops[k].body.iter().all(|b| loops[j].contains(*b))
                 {
                     parent = Some(j);
                 }
@@ -218,8 +215,7 @@ fn find_irreducible(cfg: &Cfg) -> Vec<IrreducibleRegion> {
 
     let mut regions = Vec::new();
     for scc in sccs {
-        let cyclic = scc.len() > 1
-            || cfg.blocks()[scc[0]].succs.contains(&scc[0]);
+        let cyclic = scc.len() > 1 || cfg.blocks()[scc[0]].succs.contains(&scc[0]);
         if !cyclic {
             continue;
         }

@@ -50,9 +50,7 @@ pub fn verify_image(program: &Program, image: &ZolcImage) -> Vec<Finding> {
             report(format!("loop {k}: end {end:#x} outside text"));
         }
         if start > end {
-            report(format!(
-                "loop {k}: start {start:#x} after end {end:#x}"
-            ));
+            report(format!("loop {k}: start {start:#x} after end {end:#x}"));
         }
         if let Some(r) = l.index_reg {
             if r.is_zero() {

@@ -128,7 +128,13 @@ impl fmt::Display for StorageReport {
         for (name, bits) in &self.sections {
             writeln!(f, "{name:<24} {bits:>6} bits")?;
         }
-        write!(f, "{:<24} {:>6} bits = {} bytes", "total", self.bits(), self.bytes())
+        write!(
+            f,
+            "{:<24} {:>6} bits = {} bytes",
+            "total",
+            self.bits(),
+            self.bytes()
+        )
     }
 }
 

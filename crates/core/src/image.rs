@@ -187,13 +187,22 @@ impl fmt::Display for ImageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ImageError::TooManyLoops { have, capacity } => {
-                write!(f, "image has {have} loops, configuration provides {capacity}")
+                write!(
+                    f,
+                    "image has {have} loops, configuration provides {capacity}"
+                )
             }
             ImageError::TooManyTasks { have, capacity } => {
-                write!(f, "image has {have} tasks, configuration provides {capacity}")
+                write!(
+                    f,
+                    "image has {have} tasks, configuration provides {capacity}"
+                )
             }
             ImageError::RecordsUnavailable => {
-                write!(f, "entry/exit records used but not present in this configuration")
+                write!(
+                    f,
+                    "entry/exit records used but not present in this configuration"
+                )
             }
             ImageError::SlotOutOfRange { slot, capacity } => {
                 write!(f, "record slot {slot} out of range (capacity {capacity})")
@@ -319,10 +328,7 @@ impl ZolcImage {
     ///
     /// Returns [`ImageError::Unresolved`] if `lookup` cannot resolve a
     /// label.
-    pub fn resolve(
-        &self,
-        lookup: impl Fn(Label) -> Option<u32>,
-    ) -> Result<ZolcImage, ImageError> {
+    pub fn resolve(&self, lookup: impl Fn(Label) -> Option<u32>) -> Result<ZolcImage, ImageError> {
         let res = |a: AddrVal| -> Result<AddrVal, ImageError> {
             match a {
                 AddrVal::Abs(v) => Ok(AddrVal::Abs(v)),
@@ -357,9 +363,7 @@ impl ZolcImage {
     /// `lui`+`ori` pairs patched at link time.
     pub fn emit_init(&self, asm: &mut Asm, scratch: Reg) -> InitStats {
         let before = asm.here();
-        asm.emit(Instr::Zctl {
-            op: ZolcCtl::Reset,
-        });
+        asm.emit(Instr::Zctl { op: ZolcCtl::Reset });
 
         // Constant-materialization cache: the value currently in `scratch`.
         struct Cache {
@@ -423,12 +427,34 @@ impl ZolcImage {
 
         for (k, l) in self.loops.iter().enumerate() {
             let k = k as u8;
-            write_const(asm, &mut cache, ZolcRegion::Loop, k, loop_field::INIT, l.init as u32, true);
-            write_const(asm, &mut cache, ZolcRegion::Loop, k, loop_field::STEP, l.step as u32, true);
+            write_const(
+                asm,
+                &mut cache,
+                ZolcRegion::Loop,
+                k,
+                loop_field::INIT,
+                l.init as u32,
+                true,
+            );
+            write_const(
+                asm,
+                &mut cache,
+                ZolcRegion::Loop,
+                k,
+                loop_field::STEP,
+                l.step as u32,
+                true,
+            );
             match l.limit {
-                LimitSrc::Const(v) => {
-                    write_const(asm, &mut cache, ZolcRegion::Loop, k, loop_field::LIMIT, v, false)
-                }
+                LimitSrc::Const(v) => write_const(
+                    asm,
+                    &mut cache,
+                    ZolcRegion::Loop,
+                    k,
+                    loop_field::LIMIT,
+                    v,
+                    false,
+                ),
                 LimitSrc::Reg(r) => {
                     asm.emit(Instr::Zwr {
                         region: ZolcRegion::Loop,
@@ -449,7 +475,14 @@ impl ZolcImage {
                     true,
                 );
             }
-            write_addr(asm, &mut cache, ZolcRegion::Loop, k, loop_field::START, l.start);
+            write_addr(
+                asm,
+                &mut cache,
+                ZolcRegion::Loop,
+                k,
+                loop_field::START,
+                l.start,
+            );
             write_addr(asm, &mut cache, ZolcRegion::Loop, k, loop_field::END, l.end);
         }
 
@@ -483,12 +516,27 @@ impl ZolcImage {
                 u32::from(t.next_fallthru),
                 false,
             );
-            write_const(asm, &mut cache, ZolcRegion::Task, k, task_field::CTL, 1, false);
+            write_const(
+                asm,
+                &mut cache,
+                ZolcRegion::Task,
+                k,
+                task_field::CTL,
+                1,
+                false,
+            );
         }
 
         for e in &self.entries {
             let idx = e.loop_id * 4 + e.slot;
-            write_addr(asm, &mut cache, ZolcRegion::Entry, idx, entry_field::ADDR, e.addr);
+            write_addr(
+                asm,
+                &mut cache,
+                ZolcRegion::Entry,
+                idx,
+                entry_field::ADDR,
+                e.addr,
+            );
             write_const(
                 asm,
                 &mut cache,
@@ -517,12 +565,27 @@ impl ZolcImage {
                     r,
                 );
             }
-            write_const(asm, &mut cache, ZolcRegion::Entry, idx, entry_field::VALID, 1, false);
+            write_const(
+                asm,
+                &mut cache,
+                ZolcRegion::Entry,
+                idx,
+                entry_field::VALID,
+                1,
+                false,
+            );
         }
 
         for x in &self.exits {
             let idx = x.loop_id * 4 + x.slot;
-            write_addr(asm, &mut cache, ZolcRegion::Exit, idx, exit_field::BRANCH, x.branch);
+            write_addr(
+                asm,
+                &mut cache,
+                ZolcRegion::Exit,
+                idx,
+                exit_field::BRANCH,
+                x.branch,
+            );
             write_const(
                 asm,
                 &mut cache,
@@ -542,9 +605,24 @@ impl ZolcImage {
                 true,
             );
             if let Some(t) = x.target {
-                write_addr(asm, &mut cache, ZolcRegion::Exit, idx, exit_field::TARGET, t);
+                write_addr(
+                    asm,
+                    &mut cache,
+                    ZolcRegion::Exit,
+                    idx,
+                    exit_field::TARGET,
+                    t,
+                );
             }
-            write_const(asm, &mut cache, ZolcRegion::Exit, idx, exit_field::VALID, 1, false);
+            write_const(
+                asm,
+                &mut cache,
+                ZolcRegion::Exit,
+                idx,
+                exit_field::VALID,
+                1,
+                false,
+            );
         }
 
         asm.emit(Instr::Zctl {

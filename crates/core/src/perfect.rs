@@ -101,7 +101,11 @@ impl PerfectNestController {
 
     /// Product of all level limits.
     pub fn total_iterations(&self) -> u64 {
-        self.spec.levels.iter().map(|l| u64::from(l.limit)).product()
+        self.spec
+            .levels
+            .iter()
+            .map(|l| u64::from(l.limit))
+            .product()
     }
 
     /// Combinational area estimate: replicated per-level compare/increment

@@ -389,8 +389,10 @@ mod tests {
         t.write(ZolcRegion::Loop, 2, loop_field::INIT, 5).unwrap();
         t.write(ZolcRegion::Loop, 2, loop_field::STEP, 1).unwrap();
         t.write(ZolcRegion::Loop, 2, loop_field::LIMIT, 10).unwrap();
-        t.write(ZolcRegion::Loop, 2, loop_field::INDEX_REG, 7).unwrap();
-        t.write(ZolcRegion::Loop, 2, loop_field::START, 0x40).unwrap();
+        t.write(ZolcRegion::Loop, 2, loop_field::INDEX_REG, 7)
+            .unwrap();
+        t.write(ZolcRegion::Loop, 2, loop_field::START, 0x40)
+            .unwrap();
         t.write(ZolcRegion::Loop, 2, loop_field::END, 0x60).unwrap();
         let l = t.loop_rec(2).unwrap();
         assert_eq!(l.init, 5);
@@ -402,9 +404,7 @@ mod tests {
     #[test]
     fn count_write_is_dynamic() {
         let mut t = ZolcTables::new(ZolcConfig::lite());
-        let eff = t
-            .write(ZolcRegion::Loop, 1, loop_field::COUNT, 3)
-            .unwrap();
+        let eff = t.write(ZolcRegion::Loop, 1, loop_field::COUNT, 3).unwrap();
         assert_eq!(
             eff,
             WriteEffect::Count {
@@ -417,7 +417,8 @@ mod tests {
     #[test]
     fn index_reg_zero_means_none() {
         let mut t = ZolcTables::new(ZolcConfig::lite());
-        t.write(ZolcRegion::Loop, 0, loop_field::INDEX_REG, 0).unwrap();
+        t.write(ZolcRegion::Loop, 0, loop_field::INDEX_REG, 0)
+            .unwrap();
         assert_eq!(t.loop_rec(0).unwrap().index_reg, None);
     }
 
@@ -454,7 +455,8 @@ mod tests {
     #[test]
     fn task_ctl_packs_valid_and_flags() {
         let mut t = ZolcTables::new(ZolcConfig::lite());
-        t.write(ZolcRegion::Task, 3, task_field::CTL, 0b101).unwrap();
+        t.write(ZolcRegion::Task, 3, task_field::CTL, 0b101)
+            .unwrap();
         let rec = t.task(3).unwrap();
         assert!(rec.valid);
         assert_eq!(rec.flags, 0b10);
@@ -464,9 +466,12 @@ mod tests {
     #[test]
     fn entry_exit_matching() {
         let mut t = ZolcTables::new(ZolcConfig::full());
-        t.write(ZolcRegion::Entry, 0, entry_field::ADDR, 0x80).unwrap();
-        t.write(ZolcRegion::Entry, 0, entry_field::VALID, 1).unwrap();
-        t.write(ZolcRegion::Exit, 5, exit_field::BRANCH, 0x9c).unwrap();
+        t.write(ZolcRegion::Entry, 0, entry_field::ADDR, 0x80)
+            .unwrap();
+        t.write(ZolcRegion::Entry, 0, entry_field::VALID, 1)
+            .unwrap();
+        t.write(ZolcRegion::Exit, 5, exit_field::BRANCH, 0x9c)
+            .unwrap();
         t.write(ZolcRegion::Exit, 5, exit_field::VALID, 1).unwrap();
         assert!(t.entry_at(0x80).is_some());
         assert!(t.entry_at(0x84).is_none());
@@ -576,7 +581,10 @@ mod display_tests {
         assert!(s.contains("loop 0"));
         assert!(s.contains("task 0"));
         // only one loop/task line each (unprogrammed records suppressed)
-        assert_eq!(s.matches("loop ").count(), 1 + 1 /* header mentions loops */);
+        assert_eq!(
+            s.matches("loop ").count(),
+            1 + 1 /* header mentions loops */
+        );
         assert!(!s.contains("entry"));
     }
 }

@@ -10,7 +10,7 @@ fn any_config() -> impl Strategy<Value = ZolcConfig> {
         let tasks = if loops == 1 && entries == 0 && exits == 0 {
             0 // uZOLC-style standalone point
         } else {
-            (loops * 4).max(1).min(32)
+            (loops * 4).clamp(1, 32)
         };
         ZolcConfig::custom(loops, tasks, entries, exits).expect("valid")
     })

@@ -39,8 +39,16 @@ impl Cond {
     /// patched by the assembler).
     pub fn branch_if(self) -> Instr {
         match self {
-            Cond::Eq(a, b) => Instr::Beq { rs: a, rt: b, off: 0 },
-            Cond::Ne(a, b) => Instr::Bne { rs: a, rt: b, off: 0 },
+            Cond::Eq(a, b) => Instr::Beq {
+                rs: a,
+                rt: b,
+                off: 0,
+            },
+            Cond::Ne(a, b) => Instr::Bne {
+                rs: a,
+                rt: b,
+                off: 0,
+            },
             Cond::Lez(a) => Instr::Blez { rs: a, off: 0 },
             Cond::Gtz(a) => Instr::Bgtz { rs: a, off: 0 },
             Cond::Ltz(a) => Instr::Bltz { rs: a, off: 0 },

@@ -90,7 +90,10 @@ impl fmt::Display for LowerError {
                 write!(f, "break_if({levels}) with only {depth} enclosing loops")
             }
             LowerError::LoopInsideIf => {
-                write!(f, "loops inside if arms are not supported by the task graph")
+                write!(
+                    f,
+                    "loops inside if arms are not supported by the task graph"
+                )
             }
             LowerError::RegisterConflict(msg) => write!(f, "register conflict: {msg}"),
             LowerError::StepOutOfRange { step } => {
@@ -300,8 +303,13 @@ impl SwLower<'_> {
             }
         }
         if self.hw {
-            self.asm
-                .branch(Instr::Dbnz { rs: l.counter, off: 0 }, top);
+            self.asm.branch(
+                Instr::Dbnz {
+                    rs: l.counter,
+                    off: 0,
+                },
+                top,
+            );
         } else {
             self.asm.emit(Instr::Addi {
                 rt: l.counter,
@@ -1119,15 +1127,13 @@ mod tests {
             })],
         };
         let mut asm_full = Asm::new();
-        let info_full =
-            lower_into(&mut asm_full, &ir, &Target::Zolc(ZolcConfig::full())).unwrap();
+        let info_full = lower_into(&mut asm_full, &ir, &Target::Zolc(ZolcConfig::full())).unwrap();
         let image = info_full.image.unwrap();
         assert_eq!(image.exits.len(), 1);
         assert!(info_full.notes.is_empty());
 
         let mut asm_lite = Asm::new();
-        let info_lite =
-            lower_into(&mut asm_lite, &ir, &Target::Zolc(ZolcConfig::lite())).unwrap();
+        let info_lite = lower_into(&mut asm_lite, &ir, &Target::Zolc(ZolcConfig::lite())).unwrap();
         assert!(info_lite.image.unwrap().exits.is_empty());
         assert_eq!(info_lite.notes.len(), 1);
         // the stub exists: a zctl activate beyond the init sequence
@@ -1136,7 +1142,14 @@ mod tests {
         let activates = p
             .text()
             .iter()
-            .filter(|i| matches!(i, Instr::Zctl { op: ZolcCtl::Activate { .. } }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Zctl {
+                        op: ZolcCtl::Activate { .. }
+                    }
+                )
+            })
             .count();
         assert_eq!(activates, 2);
     }
@@ -1170,7 +1183,9 @@ mod tests {
         // find the in-loop zwr (the one right before the body)
         let zwr_pos = (0..p.text().len())
             .rev()
-            .find(|&k| matches!(p.text()[k], Instr::Zwr { field, .. } if field == loop_field::LIMIT))
+            .find(
+                |&k| matches!(p.text()[k], Instr::Zwr { field, .. } if field == loop_field::LIMIT),
+            )
             .unwrap() as u32
             * 4;
         assert!(zwr_pos < start);

@@ -13,11 +13,7 @@ use zolc_sim::{run_program, Finished, NullEngine};
 
 /// Lowers and runs `ir` (with optional setup instructions and a result
 /// snapshot of `result_regs`).
-fn run(
-    ir: &LoopIr,
-    setup: &[Instr],
-    target: &Target,
-) -> (Finished, Option<Zolc>, Vec<String>) {
+fn run(ir: &LoopIr, setup: &[Instr], target: &Target) -> (Finished, Option<Zolc>, Vec<String>) {
     let mut asm = Asm::new();
     asm.emit_all(setup.iter().copied());
     let info = lower_into(&mut asm, ir, target).expect("lowering succeeds");
@@ -93,8 +89,12 @@ fn single_indexed_loop_equivalent_and_ordered() {
 
 #[test]
 fn micro_config_handles_single_loop() {
-    let (b, _h, z) =
-        check_equivalence(&indexed_sum(50), &[], &[reg(2), reg(3)], ZolcConfig::micro());
+    let (b, _h, z) = check_equivalence(
+        &indexed_sum(50),
+        &[],
+        &[reg(2), reg(3)],
+        ZolcConfig::micro(),
+    );
     assert!(z < b);
 }
 
@@ -204,8 +204,12 @@ fn imperfect_structure_equivalent() {
             ],
         })],
     };
-    let (b, h, z) =
-        check_equivalence(&ir, &[], &[reg(2), reg(3), reg(4), reg(5), reg(6)], ZolcConfig::lite());
+    let (b, h, z) = check_equivalence(
+        &ir,
+        &[],
+        &[reg(2), reg(3), reg(4), reg(5), reg(6)],
+        ZolcConfig::lite(),
+    );
     assert!(z < h && h < b, "cycles not ordered: {z} {h} {b}");
 }
 
@@ -454,10 +458,7 @@ fn multi_level_break_equivalent() {
 fn pointer_walk_equivalent() {
     let setup = [
         // write 10 words: mem[0x40000 + 4k] = 3k
-        Instr::Lui {
-            rt: reg(8),
-            imm: 4,
-        }, // r8 = 0x40000
+        Instr::Lui { rt: reg(8), imm: 4 }, // r8 = 0x40000
     ];
     // first a store loop, then a load-accumulate loop
     let store = Node::Loop(LoopNode {

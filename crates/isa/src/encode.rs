@@ -90,7 +90,10 @@ impl fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 fn rfmt(rs: Reg, rt: Reg, rd: Reg, sh: u32, fc: u32) -> u32 {
-    (op::RTYPE << 26) | (rs.field() << 21) | (rt.field() << 16) | (rd.field() << 11)
+    (op::RTYPE << 26)
+        | (rs.field() << 21)
+        | (rt.field() << 16)
+        | (rd.field() << 11)
         | ((sh & 0x1f) << 6)
         | fc
 }
@@ -251,8 +254,7 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
         op::DBNZ => Dbnz { rs, off: simm },
         op::ZOLC => match word & 0x7 {
             1 => {
-                let region =
-                    ZolcRegion::from_field(word >> 16).ok_or(DecodeError { word })?;
+                let region = ZolcRegion::from_field(word >> 16).ok_or(DecodeError { word })?;
                 Zwr {
                     region,
                     index: ((word >> 8) & 0xff) as u8,
@@ -286,47 +288,187 @@ mod tests {
     fn sample_instrs() -> Vec<Instr> {
         use Instr::*;
         vec![
-            Add { rd: reg(1), rs: reg(2), rt: reg(3) },
-            Sub { rd: reg(4), rs: reg(5), rt: reg(6) },
-            And { rd: reg(7), rs: reg(8), rt: reg(9) },
-            Or { rd: reg(10), rs: reg(11), rt: reg(12) },
-            Xor { rd: reg(13), rs: reg(14), rt: reg(15) },
-            Nor { rd: reg(16), rs: reg(17), rt: reg(18) },
-            Slt { rd: reg(19), rs: reg(20), rt: reg(21) },
-            Sltu { rd: reg(22), rs: reg(23), rt: reg(24) },
-            Sllv { rd: reg(25), rt: reg(26), rs: reg(27) },
-            Srlv { rd: reg(28), rt: reg(29), rs: reg(30) },
-            Srav { rd: reg(31), rt: reg(1), rs: reg(2) },
-            Mul { rd: reg(3), rs: reg(4), rt: reg(5) },
-            Mulh { rd: reg(6), rs: reg(7), rt: reg(8) },
-            Sll { rd: reg(9), rt: reg(10), sh: 31 },
-            Srl { rd: reg(11), rt: reg(12), sh: 1 },
-            Sra { rd: reg(13), rt: reg(14), sh: 16 },
-            Addi { rt: reg(1), rs: reg(2), imm: -32768 },
-            Slti { rt: reg(3), rs: reg(4), imm: 32767 },
-            Sltiu { rt: reg(5), rs: reg(6), imm: -1 },
-            Andi { rt: reg(7), rs: reg(8), imm: 0xffff },
-            Ori { rt: reg(9), rs: reg(10), imm: 0x1234 },
-            Xori { rt: reg(11), rs: reg(12), imm: 0x00ff },
-            Lui { rt: reg(13), imm: 0xdead },
-            Lb { rt: reg(1), rs: reg(2), off: -4 },
-            Lbu { rt: reg(3), rs: reg(4), off: 4 },
-            Lh { rt: reg(5), rs: reg(6), off: -2 },
-            Lhu { rt: reg(7), rs: reg(8), off: 2 },
-            Lw { rt: reg(9), rs: reg(10), off: 0 },
-            Sb { rt: reg(11), rs: reg(12), off: 1 },
-            Sh { rt: reg(13), rs: reg(14), off: -6 },
-            Sw { rt: reg(15), rs: reg(16), off: 8 },
-            Beq { rs: reg(1), rt: reg(2), off: -1 },
-            Bne { rs: reg(3), rt: reg(4), off: 100 },
-            Blez { rs: reg(5), off: -100 },
+            Add {
+                rd: reg(1),
+                rs: reg(2),
+                rt: reg(3),
+            },
+            Sub {
+                rd: reg(4),
+                rs: reg(5),
+                rt: reg(6),
+            },
+            And {
+                rd: reg(7),
+                rs: reg(8),
+                rt: reg(9),
+            },
+            Or {
+                rd: reg(10),
+                rs: reg(11),
+                rt: reg(12),
+            },
+            Xor {
+                rd: reg(13),
+                rs: reg(14),
+                rt: reg(15),
+            },
+            Nor {
+                rd: reg(16),
+                rs: reg(17),
+                rt: reg(18),
+            },
+            Slt {
+                rd: reg(19),
+                rs: reg(20),
+                rt: reg(21),
+            },
+            Sltu {
+                rd: reg(22),
+                rs: reg(23),
+                rt: reg(24),
+            },
+            Sllv {
+                rd: reg(25),
+                rt: reg(26),
+                rs: reg(27),
+            },
+            Srlv {
+                rd: reg(28),
+                rt: reg(29),
+                rs: reg(30),
+            },
+            Srav {
+                rd: reg(31),
+                rt: reg(1),
+                rs: reg(2),
+            },
+            Mul {
+                rd: reg(3),
+                rs: reg(4),
+                rt: reg(5),
+            },
+            Mulh {
+                rd: reg(6),
+                rs: reg(7),
+                rt: reg(8),
+            },
+            Sll {
+                rd: reg(9),
+                rt: reg(10),
+                sh: 31,
+            },
+            Srl {
+                rd: reg(11),
+                rt: reg(12),
+                sh: 1,
+            },
+            Sra {
+                rd: reg(13),
+                rt: reg(14),
+                sh: 16,
+            },
+            Addi {
+                rt: reg(1),
+                rs: reg(2),
+                imm: -32768,
+            },
+            Slti {
+                rt: reg(3),
+                rs: reg(4),
+                imm: 32767,
+            },
+            Sltiu {
+                rt: reg(5),
+                rs: reg(6),
+                imm: -1,
+            },
+            Andi {
+                rt: reg(7),
+                rs: reg(8),
+                imm: 0xffff,
+            },
+            Ori {
+                rt: reg(9),
+                rs: reg(10),
+                imm: 0x1234,
+            },
+            Xori {
+                rt: reg(11),
+                rs: reg(12),
+                imm: 0x00ff,
+            },
+            Lui {
+                rt: reg(13),
+                imm: 0xdead,
+            },
+            Lb {
+                rt: reg(1),
+                rs: reg(2),
+                off: -4,
+            },
+            Lbu {
+                rt: reg(3),
+                rs: reg(4),
+                off: 4,
+            },
+            Lh {
+                rt: reg(5),
+                rs: reg(6),
+                off: -2,
+            },
+            Lhu {
+                rt: reg(7),
+                rs: reg(8),
+                off: 2,
+            },
+            Lw {
+                rt: reg(9),
+                rs: reg(10),
+                off: 0,
+            },
+            Sb {
+                rt: reg(11),
+                rs: reg(12),
+                off: 1,
+            },
+            Sh {
+                rt: reg(13),
+                rs: reg(14),
+                off: -6,
+            },
+            Sw {
+                rt: reg(15),
+                rs: reg(16),
+                off: 8,
+            },
+            Beq {
+                rs: reg(1),
+                rt: reg(2),
+                off: -1,
+            },
+            Bne {
+                rs: reg(3),
+                rt: reg(4),
+                off: 100,
+            },
+            Blez {
+                rs: reg(5),
+                off: -100,
+            },
             Bgtz { rs: reg(6), off: 7 },
-            Bltz { rs: reg(7), off: -7 },
+            Bltz {
+                rs: reg(7),
+                off: -7,
+            },
             Bgez { rs: reg(8), off: 9 },
             J { target: 0x3ff_ffff },
             Jal { target: 1 },
             Jr { rs: reg(31) },
-            Dbnz { rs: reg(9), off: -12 },
+            Dbnz {
+                rs: reg(9),
+                off: -12,
+            },
             Zwr {
                 region: ZolcRegion::Loop,
                 index: 7,
@@ -339,8 +481,12 @@ mod tests {
                 field: 4,
                 rs: reg(5),
             },
-            Zctl { op: ZolcCtl::Activate { task: 12 } },
-            Zctl { op: ZolcCtl::Deactivate },
+            Zctl {
+                op: ZolcCtl::Activate { task: 12 },
+            },
+            Zctl {
+                op: ZolcCtl::Deactivate,
+            },
             Zctl { op: ZolcCtl::Reset },
             Nop,
             Halt,

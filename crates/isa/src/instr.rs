@@ -321,13 +321,34 @@ impl Instr {
     pub fn dst(&self) -> Option<Reg> {
         use Instr::*;
         let d = match *self {
-            Add { rd, .. } | Sub { rd, .. } | And { rd, .. } | Or { rd, .. }
-            | Xor { rd, .. } | Nor { rd, .. } | Slt { rd, .. } | Sltu { rd, .. }
-            | Sllv { rd, .. } | Srlv { rd, .. } | Srav { rd, .. } | Mul { rd, .. }
-            | Mulh { rd, .. } | Sll { rd, .. } | Srl { rd, .. } | Sra { rd, .. } => Some(rd),
-            Addi { rt, .. } | Slti { rt, .. } | Sltiu { rt, .. } | Andi { rt, .. }
-            | Ori { rt, .. } | Xori { rt, .. } | Lui { rt, .. } | Lb { rt, .. }
-            | Lbu { rt, .. } | Lh { rt, .. } | Lhu { rt, .. } | Lw { rt, .. } => Some(rt),
+            Add { rd, .. }
+            | Sub { rd, .. }
+            | And { rd, .. }
+            | Or { rd, .. }
+            | Xor { rd, .. }
+            | Nor { rd, .. }
+            | Slt { rd, .. }
+            | Sltu { rd, .. }
+            | Sllv { rd, .. }
+            | Srlv { rd, .. }
+            | Srav { rd, .. }
+            | Mul { rd, .. }
+            | Mulh { rd, .. }
+            | Sll { rd, .. }
+            | Srl { rd, .. }
+            | Sra { rd, .. } => Some(rd),
+            Addi { rt, .. }
+            | Slti { rt, .. }
+            | Sltiu { rt, .. }
+            | Andi { rt, .. }
+            | Ori { rt, .. }
+            | Xori { rt, .. }
+            | Lui { rt, .. }
+            | Lb { rt, .. }
+            | Lbu { rt, .. }
+            | Lh { rt, .. }
+            | Lhu { rt, .. }
+            | Lw { rt, .. } => Some(rt),
             Jal { .. } => Some(Reg::RA),
             Dbnz { rs, .. } => Some(rs),
             _ => None,
@@ -339,17 +360,30 @@ impl Instr {
     pub fn srcs(&self) -> [Option<Reg>; 2] {
         use Instr::*;
         let (a, b) = match *self {
-            Add { rs, rt, .. } | Sub { rs, rt, .. } | And { rs, rt, .. }
-            | Or { rs, rt, .. } | Xor { rs, rt, .. } | Nor { rs, rt, .. }
-            | Slt { rs, rt, .. } | Sltu { rs, rt, .. } | Sllv { rs, rt, .. }
-            | Srlv { rs, rt, .. } | Srav { rs, rt, .. } | Mul { rs, rt, .. }
+            Add { rs, rt, .. }
+            | Sub { rs, rt, .. }
+            | And { rs, rt, .. }
+            | Or { rs, rt, .. }
+            | Xor { rs, rt, .. }
+            | Nor { rs, rt, .. }
+            | Slt { rs, rt, .. }
+            | Sltu { rs, rt, .. }
+            | Sllv { rs, rt, .. }
+            | Srlv { rs, rt, .. }
+            | Srav { rs, rt, .. }
+            | Mul { rs, rt, .. }
             | Mulh { rs, rt, .. } => (Some(rs), Some(rt)),
             Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => (Some(rt), None),
-            Addi { rs, .. } | Slti { rs, .. } | Sltiu { rs, .. } | Andi { rs, .. }
-            | Ori { rs, .. } | Xori { rs, .. } => (Some(rs), None),
+            Addi { rs, .. }
+            | Slti { rs, .. }
+            | Sltiu { rs, .. }
+            | Andi { rs, .. }
+            | Ori { rs, .. }
+            | Xori { rs, .. } => (Some(rs), None),
             Lui { .. } => (None, None),
-            Lb { rs, .. } | Lbu { rs, .. } | Lh { rs, .. } | Lhu { rs, .. }
-            | Lw { rs, .. } => (Some(rs), None),
+            Lb { rs, .. } | Lbu { rs, .. } | Lh { rs, .. } | Lhu { rs, .. } | Lw { rs, .. } => {
+                (Some(rs), None)
+            }
             Sb { rs, rt, .. } | Sh { rs, rt, .. } | Sw { rs, rt, .. } => (Some(rs), Some(rt)),
             Beq { rs, rt, .. } | Bne { rs, rt, .. } => (Some(rs), Some(rt)),
             Blez { rs, .. } | Bgtz { rs, .. } | Bltz { rs, .. } | Bgez { rs, .. } => {
@@ -406,16 +440,23 @@ impl Instr {
     pub fn branch_off(&self) -> Option<i16> {
         use Instr::*;
         match *self {
-            Beq { off, .. } | Bne { off, .. } | Blez { off, .. } | Bgtz { off, .. }
-            | Bltz { off, .. } | Bgez { off, .. } | Dbnz { off, .. } => Some(off),
+            Beq { off, .. }
+            | Bne { off, .. }
+            | Blez { off, .. }
+            | Bgtz { off, .. }
+            | Bltz { off, .. }
+            | Bgez { off, .. }
+            | Dbnz { off, .. } => Some(off),
             _ => None,
         }
     }
 
     /// The byte address a PC-relative branch at `pc` targets.
     pub fn branch_target(&self, pc: u32) -> Option<u32> {
-        self.branch_off()
-            .map(|off| pc.wrapping_add(4).wrapping_add((i32::from(off) << 2) as u32))
+        self.branch_off().map(|off| {
+            pc.wrapping_add(4)
+                .wrapping_add((i32::from(off) << 2) as u32)
+        })
     }
 
     /// Returns a copy with the branch offset replaced (used for fixups).
@@ -527,7 +568,10 @@ mod tests {
 
     #[test]
     fn dbnz_reads_and_writes_rs() {
-        let i = Instr::Dbnz { rs: reg(7), off: -4 };
+        let i = Instr::Dbnz {
+            rs: reg(7),
+            off: -4,
+        };
         assert_eq!(i.dst(), Some(reg(7)));
         assert_eq!(i.srcs(), [Some(reg(7)), None]);
         assert!(i.is_cond_branch());

@@ -69,7 +69,11 @@ enum Item {
     /// Conditional branch to a named label (offset patched in pass 2).
     BranchTo(Instr, String, usize),
     /// `j`/`jal` to a named label.
-    JumpTo { link: bool, label: String, line: usize },
+    JumpTo {
+        link: bool,
+        label: String,
+        line: usize,
+    },
     /// `la rd, label`: two words (`lui`+`ori`), address patched in pass 2.
     La(Reg, String, usize),
     /// Wide `li rd, imm32`: two words.
@@ -201,7 +205,10 @@ pub fn assemble(source: &str) -> Result<Program, ParseAsmError> {
                 }
             };
             if labels.insert(name.to_owned(), addr).is_some() {
-                return Err(ParseAsmError::new(line, format!("duplicate label `{name}`")));
+                return Err(ParseAsmError::new(
+                    line,
+                    format!("duplicate label `{name}`"),
+                ));
             }
             s = rest[1..].trim();
         }
@@ -247,7 +254,10 @@ pub fn assemble(source: &str) -> Result<Program, ParseAsmError> {
                     asm.align_data(n);
                 }
                 other => {
-                    return Err(ParseAsmError::new(line, format!("unknown directive `.{other}`")))
+                    return Err(ParseAsmError::new(
+                        line,
+                        format!("unknown directive `.{other}`"),
+                    ))
                 }
             }
             continue;
@@ -391,31 +401,58 @@ fn parse_instr_line(mnem: &str, rest: &str, line: usize) -> Result<Item, ParseAs
         }
         "addi" => {
             need(3)?;
-            Ok(Item::Instr(Addi { rt: r(0)?, rs: r(1)?, imm: i16_(2)? }))
+            Ok(Item::Instr(Addi {
+                rt: r(0)?,
+                rs: r(1)?,
+                imm: i16_(2)?,
+            }))
         }
         "slti" => {
             need(3)?;
-            Ok(Item::Instr(Slti { rt: r(0)?, rs: r(1)?, imm: i16_(2)? }))
+            Ok(Item::Instr(Slti {
+                rt: r(0)?,
+                rs: r(1)?,
+                imm: i16_(2)?,
+            }))
         }
         "sltiu" => {
             need(3)?;
-            Ok(Item::Instr(Sltiu { rt: r(0)?, rs: r(1)?, imm: i16_(2)? }))
+            Ok(Item::Instr(Sltiu {
+                rt: r(0)?,
+                rs: r(1)?,
+                imm: i16_(2)?,
+            }))
         }
         "andi" => {
             need(3)?;
-            Ok(Item::Instr(Andi { rt: r(0)?, rs: r(1)?, imm: u16_(2)? }))
+            Ok(Item::Instr(Andi {
+                rt: r(0)?,
+                rs: r(1)?,
+                imm: u16_(2)?,
+            }))
         }
         "ori" => {
             need(3)?;
-            Ok(Item::Instr(Ori { rt: r(0)?, rs: r(1)?, imm: u16_(2)? }))
+            Ok(Item::Instr(Ori {
+                rt: r(0)?,
+                rs: r(1)?,
+                imm: u16_(2)?,
+            }))
         }
         "xori" => {
             need(3)?;
-            Ok(Item::Instr(Xori { rt: r(0)?, rs: r(1)?, imm: u16_(2)? }))
+            Ok(Item::Instr(Xori {
+                rt: r(0)?,
+                rs: r(1)?,
+                imm: u16_(2)?,
+            }))
         }
         "lui" => {
             need(2)?;
-            Ok(Item::Instr(Lui { rt: r(0)?, imm: u16_(1)? }))
+            Ok(Item::Instr(Lui {
+                rt: r(0)?,
+                imm: u16_(1)?,
+            }))
         }
         "lb" => mem(|rt, rs, off| Lb { rt, rs, off }),
         "lbu" => mem(|rt, rs, off| Lbu { rt, rs, off }),
@@ -434,11 +471,19 @@ fn parse_instr_line(mnem: &str, rest: &str, line: usize) -> Result<Item, ParseAs
         "dbnz" => branch1(|rs, off| Dbnz { rs, off }),
         "j" => {
             need(1)?;
-            Ok(Item::JumpTo { link: false, label: ops[0].clone(), line })
+            Ok(Item::JumpTo {
+                link: false,
+                label: ops[0].clone(),
+                line,
+            })
         }
         "jal" => {
             need(1)?;
-            Ok(Item::JumpTo { link: true, label: ops[0].clone(), line })
+            Ok(Item::JumpTo {
+                link: true,
+                label: ops[0].clone(),
+                line,
+            })
         }
         "jr" => {
             need(1)?;
@@ -447,14 +492,22 @@ fn parse_instr_line(mnem: &str, rest: &str, line: usize) -> Result<Item, ParseAs
         "b" => {
             need(1)?;
             Ok(Item::BranchTo(
-                Beq { rs: Reg::ZERO, rt: Reg::ZERO, off: 0 },
+                Beq {
+                    rs: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    off: 0,
+                },
                 ops[0].clone(),
                 line,
             ))
         }
         "mv" | "move" => {
             need(2)?;
-            Ok(Item::Instr(Add { rd: r(0)?, rs: r(1)?, rt: Reg::ZERO }))
+            Ok(Item::Instr(Add {
+                rd: r(0)?,
+                rs: r(1)?,
+                rt: Reg::ZERO,
+            }))
         }
         "li" => {
             need(2)?;
@@ -463,7 +516,11 @@ fn parse_instr_line(mnem: &str, rest: &str, line: usize) -> Result<Item, ParseAs
                 .or_else(|_| u32::try_from(v).map(|u| u as i32))
                 .map_err(|_| ParseAsmError::new(line, "li immediate out of 32-bit range"))?;
             if (-32768..=32767).contains(&v32) {
-                Ok(Item::Instr(Addi { rt: r(0)?, rs: Reg::ZERO, imm: v32 as i16 }))
+                Ok(Item::Instr(Addi {
+                    rt: r(0)?,
+                    rs: Reg::ZERO,
+                    imm: v32 as i16,
+                }))
             } else {
                 Ok(Item::LiWide(r(0)?, v32 as u32))
             }
@@ -529,7 +586,10 @@ fn parse_instr_line(mnem: &str, rest: &str, line: usize) -> Result<Item, ParseAs
             need(0)?;
             Ok(Item::Instr(Halt))
         }
-        other => Err(ParseAsmError::new(line, format!("unknown mnemonic `{other}`"))),
+        other => Err(ParseAsmError::new(
+            line,
+            format!("unknown mnemonic `{other}`"),
+        )),
     }
 }
 
@@ -599,10 +659,20 @@ mod tests {
     fn wide_li_expands_to_two_words() {
         let p = assemble("li r1, 0x12345678\nhalt").unwrap();
         assert_eq!(p.text().len(), 3);
-        assert_eq!(p.text()[0], Instr::Lui { rt: reg(1), imm: 0x1234 });
+        assert_eq!(
+            p.text()[0],
+            Instr::Lui {
+                rt: reg(1),
+                imm: 0x1234
+            }
+        );
         assert_eq!(
             p.text()[1],
-            Instr::Ori { rt: reg(1), rs: reg(1), imm: 0x5678 }
+            Instr::Ori {
+                rt: reg(1),
+                rs: reg(1),
+                imm: 0x5678
+            }
         );
     }
 
@@ -644,8 +714,22 @@ mod tests {
     #[test]
     fn mem_operand_forms() {
         let p = assemble("lw r1, (r2)\nsw r1, -8(r3)\nhalt").unwrap();
-        assert_eq!(p.text()[0], Instr::Lw { rt: reg(1), rs: reg(2), off: 0 });
-        assert_eq!(p.text()[1], Instr::Sw { rt: reg(1), rs: reg(3), off: -8 });
+        assert_eq!(
+            p.text()[0],
+            Instr::Lw {
+                rt: reg(1),
+                rs: reg(2),
+                off: 0
+            }
+        );
+        assert_eq!(
+            p.text()[1],
+            Instr::Sw {
+                rt: reg(1),
+                rs: reg(3),
+                off: -8
+            }
+        );
     }
 
     #[test]
@@ -657,7 +741,13 @@ mod tests {
     #[test]
     fn dbnz_parses() {
         let p = assemble("top: dbnz r5, top\nhalt").unwrap();
-        assert_eq!(p.text()[0], Instr::Dbnz { rs: reg(5), off: -1 });
+        assert_eq!(
+            p.text()[0],
+            Instr::Dbnz {
+                rs: reg(5),
+                off: -1
+            }
+        );
     }
 
     #[test]
@@ -694,7 +784,12 @@ mod tests {
                 op: ZolcCtl::Activate { task: 3 }
             }
         );
-        assert_eq!(p.text()[3], Instr::Zctl { op: ZolcCtl::Deactivate });
+        assert_eq!(
+            p.text()[3],
+            Instr::Zctl {
+                op: ZolcCtl::Deactivate
+            }
+        );
         assert_eq!(p.text()[4], Instr::Zctl { op: ZolcCtl::Reset });
     }
 

@@ -54,7 +54,10 @@ impl fmt::Display for AsmError {
                 write!(f, "label {label:?} referenced but never bound")
             }
             AsmError::BranchOutOfRange { at, target } => {
-                write!(f, "branch at {at:#x} to {target:#x} exceeds 16-bit offset range")
+                write!(
+                    f,
+                    "branch at {at:#x} to {target:#x} exceeds 16-bit offset range"
+                )
             }
             AsmError::DoublyBound { label } => write!(f, "label {label:?} bound twice"),
         }
@@ -384,11 +387,9 @@ impl Asm {
         for fixup in fixups {
             match fixup {
                 Fixup::Branch(idx, label) => {
-                    let target =
-                        labels[label.0].ok_or(AsmError::UnboundLabel { label })?;
+                    let target = labels[label.0].ok_or(AsmError::UnboundLabel { label })?;
                     let at = TEXT_BASE + 4 * idx as u32;
-                    let delta_words =
-                        (i64::from(target) - i64::from(at) - 4) / 4;
+                    let delta_words = (i64::from(target) - i64::from(at) - 4) / 4;
                     let off = i16::try_from(delta_words)
                         .map_err(|_| AsmError::BranchOutOfRange { at, target })?;
                     text[idx] = text[idx]
@@ -396,8 +397,7 @@ impl Asm {
                         .expect("fixup recorded for non-branch");
                 }
                 Fixup::Jump(idx, label) => {
-                    let target =
-                        labels[label.0].ok_or(AsmError::UnboundLabel { label })?;
+                    let target = labels[label.0].ok_or(AsmError::UnboundLabel { label })?;
                     let word = target >> 2;
                     match &mut text[idx] {
                         Instr::J { target: t } | Instr::Jal { target: t } => *t = word,
@@ -405,8 +405,7 @@ impl Asm {
                     }
                 }
                 Fixup::La(idx, label) => {
-                    let addr =
-                        labels[label.0].ok_or(AsmError::UnboundLabel { label })?;
+                    let addr = labels[label.0].ok_or(AsmError::UnboundLabel { label })?;
                     match &mut text[idx] {
                         Instr::Lui { imm, .. } => *imm = (addr >> 16) as u16,
                         other => unreachable!("la fixup on non-lui {other}"),
@@ -525,7 +524,13 @@ mod tests {
                 imm: 100
             }
         );
-        assert_eq!(p.text()[1], Instr::Lui { rt: reg(2), imm: 0x1234 });
+        assert_eq!(
+            p.text()[1],
+            Instr::Lui {
+                rt: reg(2),
+                imm: 0x1234
+            }
+        );
         assert_eq!(
             p.text()[2],
             Instr::Ori {
@@ -535,7 +540,13 @@ mod tests {
             }
         );
         // 0x70000 has zero low half => single lui
-        assert_eq!(p.text()[3], Instr::Lui { rt: reg(3), imm: 0x7 });
+        assert_eq!(
+            p.text()[3],
+            Instr::Lui {
+                rt: reg(3),
+                imm: 0x7
+            }
+        );
         assert_eq!(p.text().len(), 4);
     }
 

@@ -38,8 +38,7 @@ fn any_instr() -> impl Strategy<Value = Instr> {
         rrr().prop_map(|(rd, rs, rt)| Mulh { rd, rs, rt }),
         (any_reg(), any_reg(), 1u8..32).prop_map(|(rd, rt, sh)| Sll { rd, rt, sh }),
         (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rt, sh)| Srl { rd, rt, sh }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rt, rs, imm)| Addi { rt, rs, imm }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, rs, imm)| Addi { rt, rs, imm }),
         (any_reg(), any_reg(), any::<u16>()).prop_map(|(rt, rs, imm)| Andi { rt, rs, imm }),
         (any_reg(), any::<u16>()).prop_map(|(rt, imm)| Lui { rt, imm }),
         (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, rs, off)| Lw { rt, rs, off }),
@@ -52,10 +51,19 @@ fn any_instr() -> impl Strategy<Value = Instr> {
         (0u32..(1 << 26)).prop_map(|target| Jal { target }),
         any_reg().prop_map(|rs| Jr { rs }),
         (any_region(), any::<u8>(), 0u8..32, any_reg()).prop_map(|(region, index, field, rs)| {
-            Zwr { region, index, field, rs }
+            Zwr {
+                region,
+                index,
+                field,
+                rs,
+            }
         }),
-        any::<u8>().prop_map(|task| Zctl { op: ZolcCtl::Activate { task } }),
-        Just(Zctl { op: ZolcCtl::Deactivate }),
+        any::<u8>().prop_map(|task| Zctl {
+            op: ZolcCtl::Activate { task }
+        }),
+        Just(Zctl {
+            op: ZolcCtl::Deactivate
+        }),
         Just(Zctl { op: ZolcCtl::Reset }),
         Just(Nop),
         Just(Halt),

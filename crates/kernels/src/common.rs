@@ -177,9 +177,7 @@ pub struct Xorshift {
 impl Xorshift {
     /// Creates a generator from a nonzero seed.
     pub fn new(seed: u64) -> Xorshift {
-        Xorshift {
-            state: seed.max(1),
-        }
+        Xorshift { state: seed.max(1) }
     }
 
     /// Next raw 64-bit value.

@@ -43,11 +43,31 @@ pub fn build_fir(target: &Target) -> Result<BuiltKernel, BuildError> {
             }),
             counter: reg(12),
             body: vec![Node::code([
-                Instr::Lw { rt: reg(4), rs: reg(20), off: 0 },
-                Instr::Lw { rt: reg(5), rs: reg(7), off: 0 },
-                Instr::Addi { rt: reg(7), rs: reg(7), imm: 4 },
-                Instr::Mul { rd: reg(8), rs: reg(4), rt: reg(5) },
-                Instr::Add { rd: reg(6), rs: reg(6), rt: reg(8) },
+                Instr::Lw {
+                    rt: reg(4),
+                    rs: reg(20),
+                    off: 0,
+                },
+                Instr::Lw {
+                    rt: reg(5),
+                    rs: reg(7),
+                    off: 0,
+                },
+                Instr::Addi {
+                    rt: reg(7),
+                    rs: reg(7),
+                    imm: 4,
+                },
+                Instr::Mul {
+                    rd: reg(8),
+                    rs: reg(4),
+                    rt: reg(5),
+                },
+                Instr::Add {
+                    rd: reg(6),
+                    rs: reg(6),
+                    rt: reg(8),
+                },
             ])],
         });
         let ir = LoopIr {
@@ -62,13 +82,29 @@ pub fn build_fir(target: &Target) -> Result<BuiltKernel, BuildError> {
                 counter: reg(11),
                 body: vec![
                     Node::code([
-                        Instr::Add { rd: reg(6), rs: Reg::ZERO, rt: Reg::ZERO },
-                        Instr::Add { rd: reg(7), rs: reg(21), rt: Reg::ZERO },
+                        Instr::Add {
+                            rd: reg(6),
+                            rs: Reg::ZERO,
+                            rt: Reg::ZERO,
+                        },
+                        Instr::Add {
+                            rd: reg(7),
+                            rs: reg(21),
+                            rt: Reg::ZERO,
+                        },
                     ]),
                     inner,
                     Node::code([
-                        Instr::Sw { rt: reg(6), rs: reg(9), off: 0 },
-                        Instr::Addi { rt: reg(9), rs: reg(9), imm: 4 },
+                        Instr::Sw {
+                            rt: reg(6),
+                            rs: reg(9),
+                            off: 0,
+                        },
+                        Instr::Addi {
+                            rt: reg(9),
+                            rs: reg(9),
+                            imm: 4,
+                        },
                     ]),
                 ],
             })],
@@ -95,13 +131,13 @@ pub fn build_iir_biquad(target: &Target) -> Result<BuiltKernel, BuildError> {
         let mut sections = Vec::new();
         for _ in 0..NSECT {
             sections.push([
-                rng.signed(8000),  // b0
-                rng.signed(4000),  // b1
-                rng.signed(4000),  // b2
-                rng.signed(6000),  // a1
-                rng.signed(3000),  // a2
-                0,                 // w1
-                0,                 // w2
+                rng.signed(8000), // b0
+                rng.signed(4000), // b1
+                rng.signed(4000), // b2
+                rng.signed(6000), // a1
+                rng.signed(3000), // a2
+                0,                // w1
+                0,                // w2
             ]);
         }
         let x: Vec<i32> = (0..NSAMP).map(|_| rng.signed(2000)).collect();
@@ -135,27 +171,111 @@ pub fn build_iir_biquad(target: &Target) -> Result<BuiltKernel, BuildError> {
 
         // inner body: one biquad section; sample flows in r6
         let section_body = vec![
-            Instr::Lw { rt: reg(4), rs: reg(20), off: 12 }, // a1
-            Instr::Lw { rt: reg(5), rs: reg(20), off: 20 }, // w1
-            Instr::Mul { rd: reg(4), rs: reg(4), rt: reg(5) },
-            Instr::Sra { rd: reg(4), rt: reg(4), sh: 14 },
-            Instr::Sub { rd: reg(6), rs: reg(6), rt: reg(4) },
-            Instr::Lw { rt: reg(4), rs: reg(20), off: 16 }, // a2
-            Instr::Lw { rt: reg(7), rs: reg(20), off: 24 }, // w2
-            Instr::Mul { rd: reg(4), rs: reg(4), rt: reg(7) },
-            Instr::Sra { rd: reg(4), rt: reg(4), sh: 14 },
-            Instr::Sub { rd: reg(6), rs: reg(6), rt: reg(4) }, // w0
-            Instr::Lw { rt: reg(4), rs: reg(20), off: 0 },  // b0
-            Instr::Mul { rd: reg(8), rs: reg(4), rt: reg(6) },
-            Instr::Lw { rt: reg(4), rs: reg(20), off: 4 },  // b1
-            Instr::Mul { rd: reg(4), rs: reg(4), rt: reg(5) },
-            Instr::Add { rd: reg(8), rs: reg(8), rt: reg(4) },
-            Instr::Lw { rt: reg(4), rs: reg(20), off: 8 },  // b2
-            Instr::Mul { rd: reg(4), rs: reg(4), rt: reg(7) },
-            Instr::Add { rd: reg(8), rs: reg(8), rt: reg(4) },
-            Instr::Sw { rt: reg(5), rs: reg(20), off: 24 }, // w2 = w1
-            Instr::Sw { rt: reg(6), rs: reg(20), off: 20 }, // w1 = w0
-            Instr::Sra { rd: reg(6), rt: reg(8), sh: 14 },  // s = y
+            Instr::Lw {
+                rt: reg(4),
+                rs: reg(20),
+                off: 12,
+            }, // a1
+            Instr::Lw {
+                rt: reg(5),
+                rs: reg(20),
+                off: 20,
+            }, // w1
+            Instr::Mul {
+                rd: reg(4),
+                rs: reg(4),
+                rt: reg(5),
+            },
+            Instr::Sra {
+                rd: reg(4),
+                rt: reg(4),
+                sh: 14,
+            },
+            Instr::Sub {
+                rd: reg(6),
+                rs: reg(6),
+                rt: reg(4),
+            },
+            Instr::Lw {
+                rt: reg(4),
+                rs: reg(20),
+                off: 16,
+            }, // a2
+            Instr::Lw {
+                rt: reg(7),
+                rs: reg(20),
+                off: 24,
+            }, // w2
+            Instr::Mul {
+                rd: reg(4),
+                rs: reg(4),
+                rt: reg(7),
+            },
+            Instr::Sra {
+                rd: reg(4),
+                rt: reg(4),
+                sh: 14,
+            },
+            Instr::Sub {
+                rd: reg(6),
+                rs: reg(6),
+                rt: reg(4),
+            }, // w0
+            Instr::Lw {
+                rt: reg(4),
+                rs: reg(20),
+                off: 0,
+            }, // b0
+            Instr::Mul {
+                rd: reg(8),
+                rs: reg(4),
+                rt: reg(6),
+            },
+            Instr::Lw {
+                rt: reg(4),
+                rs: reg(20),
+                off: 4,
+            }, // b1
+            Instr::Mul {
+                rd: reg(4),
+                rs: reg(4),
+                rt: reg(5),
+            },
+            Instr::Add {
+                rd: reg(8),
+                rs: reg(8),
+                rt: reg(4),
+            },
+            Instr::Lw {
+                rt: reg(4),
+                rs: reg(20),
+                off: 8,
+            }, // b2
+            Instr::Mul {
+                rd: reg(4),
+                rs: reg(4),
+                rt: reg(7),
+            },
+            Instr::Add {
+                rd: reg(8),
+                rs: reg(8),
+                rt: reg(4),
+            },
+            Instr::Sw {
+                rt: reg(5),
+                rs: reg(20),
+                off: 24,
+            }, // w2 = w1
+            Instr::Sw {
+                rt: reg(6),
+                rs: reg(20),
+                off: 20,
+            }, // w1 = w0
+            Instr::Sra {
+                rd: reg(6),
+                rt: reg(8),
+                sh: 14,
+            }, // s = y
         ];
         let ir = LoopIr {
             name: "iir_biquad".into(),
@@ -168,7 +288,11 @@ pub fn build_iir_biquad(target: &Target) -> Result<BuiltKernel, BuildError> {
                 }),
                 counter: reg(11),
                 body: vec![
-                    Node::code([Instr::Lw { rt: reg(6), rs: reg(21), off: 0 }]),
+                    Node::code([Instr::Lw {
+                        rt: reg(6),
+                        rs: reg(21),
+                        off: 0,
+                    }]),
                     Node::Loop(LoopNode {
                         trips: Trips::Const(NSECT as u32),
                         index: Some(IndexSpec {
@@ -180,8 +304,16 @@ pub fn build_iir_biquad(target: &Target) -> Result<BuiltKernel, BuildError> {
                         body: vec![Node::Code(section_body)],
                     }),
                     Node::code([
-                        Instr::Sw { rt: reg(6), rs: reg(9), off: 0 },
-                        Instr::Addi { rt: reg(9), rs: reg(9), imm: 4 },
+                        Instr::Sw {
+                            rt: reg(6),
+                            rs: reg(9),
+                            off: 0,
+                        },
+                        Instr::Addi {
+                            rt: reg(9),
+                            rs: reg(9),
+                            imm: 4,
+                        },
                     ]),
                 ],
             })],

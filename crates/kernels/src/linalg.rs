@@ -34,12 +34,36 @@ pub fn build_matmul(target: &Target) -> Result<BuiltKernel, BuildError> {
             index: None,
             counter: reg(13),
             body: vec![Node::code([
-                Instr::Lw { rt: reg(4), rs: reg(7), off: 0 },
-                Instr::Lw { rt: reg(5), rs: reg(8), off: 0 },
-                Instr::Addi { rt: reg(7), rs: reg(7), imm: 4 },
-                Instr::Addi { rt: reg(8), rs: reg(8), imm: (4 * N) as i16 },
-                Instr::Mul { rd: reg(4), rs: reg(4), rt: reg(5) },
-                Instr::Add { rd: reg(6), rs: reg(6), rt: reg(4) },
+                Instr::Lw {
+                    rt: reg(4),
+                    rs: reg(7),
+                    off: 0,
+                },
+                Instr::Lw {
+                    rt: reg(5),
+                    rs: reg(8),
+                    off: 0,
+                },
+                Instr::Addi {
+                    rt: reg(7),
+                    rs: reg(7),
+                    imm: 4,
+                },
+                Instr::Addi {
+                    rt: reg(8),
+                    rs: reg(8),
+                    imm: (4 * N) as i16,
+                },
+                Instr::Mul {
+                    rd: reg(4),
+                    rs: reg(4),
+                    rt: reg(5),
+                },
+                Instr::Add {
+                    rd: reg(6),
+                    rs: reg(6),
+                    rt: reg(4),
+                },
             ])],
         });
         let j_loop = Node::Loop(LoopNode {
@@ -52,14 +76,34 @@ pub fn build_matmul(target: &Target) -> Result<BuiltKernel, BuildError> {
             counter: reg(12),
             body: vec![
                 Node::code([
-                    Instr::Add { rd: reg(6), rs: Reg::ZERO, rt: Reg::ZERO },
-                    Instr::Add { rd: reg(7), rs: reg(22), rt: Reg::ZERO },
-                    Instr::Add { rd: reg(8), rs: reg(21), rt: Reg::ZERO },
+                    Instr::Add {
+                        rd: reg(6),
+                        rs: Reg::ZERO,
+                        rt: Reg::ZERO,
+                    },
+                    Instr::Add {
+                        rd: reg(7),
+                        rs: reg(22),
+                        rt: Reg::ZERO,
+                    },
+                    Instr::Add {
+                        rd: reg(8),
+                        rs: reg(21),
+                        rt: Reg::ZERO,
+                    },
                 ]),
                 k_loop,
                 Node::code([
-                    Instr::Sw { rt: reg(6), rs: reg(9), off: 0 },
-                    Instr::Addi { rt: reg(9), rs: reg(9), imm: 4 },
+                    Instr::Sw {
+                        rt: reg(6),
+                        rs: reg(9),
+                        off: 0,
+                    },
+                    Instr::Addi {
+                        rt: reg(9),
+                        rs: reg(9),
+                        imm: 4,
+                    },
                 ]),
             ],
         });
@@ -121,12 +165,36 @@ pub fn build_conv2d(target: &Target) -> Result<BuiltKernel, BuildError> {
             index: None,
             counter: reg(14),
             body: vec![Node::code([
-                Instr::Lw { rt: reg(4), rs: reg(7), off: 0 },
-                Instr::Lw { rt: reg(16), rs: reg(8), off: 0 },
-                Instr::Addi { rt: reg(7), rs: reg(7), imm: 4 },
-                Instr::Addi { rt: reg(8), rs: reg(8), imm: 4 },
-                Instr::Mul { rd: reg(4), rs: reg(4), rt: reg(16) },
-                Instr::Add { rd: reg(6), rs: reg(6), rt: reg(4) },
+                Instr::Lw {
+                    rt: reg(4),
+                    rs: reg(7),
+                    off: 0,
+                },
+                Instr::Lw {
+                    rt: reg(16),
+                    rs: reg(8),
+                    off: 0,
+                },
+                Instr::Addi {
+                    rt: reg(7),
+                    rs: reg(7),
+                    imm: 4,
+                },
+                Instr::Addi {
+                    rt: reg(8),
+                    rs: reg(8),
+                    imm: 4,
+                },
+                Instr::Mul {
+                    rd: reg(4),
+                    rs: reg(4),
+                    rt: reg(16),
+                },
+                Instr::Add {
+                    rd: reg(6),
+                    rs: reg(6),
+                    rt: reg(4),
+                },
             ])],
         });
         let kr_loop = Node::Loop(LoopNode {
@@ -138,7 +206,11 @@ pub fn build_conv2d(target: &Target) -> Result<BuiltKernel, BuildError> {
             }),
             counter: reg(13),
             body: vec![
-                Node::code([Instr::Add { rd: reg(7), rs: reg(5), rt: reg(21) }]),
+                Node::code([Instr::Add {
+                    rd: reg(7),
+                    rs: reg(5),
+                    rt: reg(21),
+                }]),
                 kc_loop,
             ],
         });
@@ -152,14 +224,34 @@ pub fn build_conv2d(target: &Target) -> Result<BuiltKernel, BuildError> {
             counter: reg(12),
             body: vec![
                 Node::code([
-                    Instr::Add { rd: reg(6), rs: Reg::ZERO, rt: Reg::ZERO },
-                    Instr::Add { rd: reg(5), rs: reg(23), rt: reg(22) },
-                    Instr::Add { rd: reg(8), rs: reg(10), rt: Reg::ZERO },
+                    Instr::Add {
+                        rd: reg(6),
+                        rs: Reg::ZERO,
+                        rt: Reg::ZERO,
+                    },
+                    Instr::Add {
+                        rd: reg(5),
+                        rs: reg(23),
+                        rt: reg(22),
+                    },
+                    Instr::Add {
+                        rd: reg(8),
+                        rs: reg(10),
+                        rt: Reg::ZERO,
+                    },
                 ]),
                 kr_loop,
                 Node::code([
-                    Instr::Sw { rt: reg(6), rs: reg(9), off: 0 },
-                    Instr::Addi { rt: reg(9), rs: reg(9), imm: 4 },
+                    Instr::Sw {
+                        rt: reg(6),
+                        rs: reg(9),
+                        off: 0,
+                    },
+                    Instr::Addi {
+                        rt: reg(9),
+                        rs: reg(9),
+                        imm: 4,
+                    },
                 ]),
             ],
         });
@@ -194,14 +286,11 @@ pub fn build_dct8x8(target: &Target) -> Result<BuiltKernel, BuildError> {
         // round(sqrt(alpha/8)*cos((2x+1)uπ/16) * 8192), precomputed
         // (integer literals so the kernel and the reference share them).
         vec![
-            2896, 2896, 2896, 2896, 2896, 2896, 2896, 2896,
-            4017, 3406, 2276, 799, -799, -2276, -3406, -4017,
-            3784, 1567, -1567, -3784, -3784, -1567, 1567, 3784,
-            3406, -799, -4017, -2276, 2276, 4017, 799, -3406,
-            2896, -2896, -2896, 2896, 2896, -2896, -2896, 2896,
-            2276, -4017, 799, 3406, -3406, -799, 4017, -2276,
-            1567, -3784, 3784, -1567, -1567, 3784, -3784, 1567,
-            799, -2276, 3406, -4017, 4017, -3406, 2276, -799,
+            2896, 2896, 2896, 2896, 2896, 2896, 2896, 2896, 4017, 3406, 2276, 799, -799, -2276,
+            -3406, -4017, 3784, 1567, -1567, -3784, -3784, -1567, 1567, 3784, 3406, -799, -4017,
+            -2276, 2276, 4017, 799, -3406, 2896, -2896, -2896, 2896, 2896, -2896, -2896, 2896,
+            2276, -4017, 799, 3406, -3406, -799, 4017, -2276, 1567, -3784, 3784, -1567, -1567,
+            3784, -3784, 1567, 799, -2276, 3406, -4017, 4017, -3406, 2276, -799,
         ]
     }
 
@@ -246,12 +335,36 @@ pub fn build_dct8x8(target: &Target) -> Result<BuiltKernel, BuildError> {
             index: None,
             counter: reg(13),
             body: vec![Node::code([
-                Instr::Lw { rt: reg(4), rs: reg(7), off: 0 },
-                Instr::Lw { rt: reg(5), rs: reg(8), off: 0 },
-                Instr::Addi { rt: reg(7), rs: reg(7), imm: 4 },
-                Instr::Addi { rt: reg(8), rs: reg(8), imm: (4 * N) as i16 },
-                Instr::Mul { rd: reg(4), rs: reg(4), rt: reg(5) },
-                Instr::Add { rd: reg(6), rs: reg(6), rt: reg(4) },
+                Instr::Lw {
+                    rt: reg(4),
+                    rs: reg(7),
+                    off: 0,
+                },
+                Instr::Lw {
+                    rt: reg(5),
+                    rs: reg(8),
+                    off: 0,
+                },
+                Instr::Addi {
+                    rt: reg(7),
+                    rs: reg(7),
+                    imm: 4,
+                },
+                Instr::Addi {
+                    rt: reg(8),
+                    rs: reg(8),
+                    imm: (4 * N) as i16,
+                },
+                Instr::Mul {
+                    rd: reg(4),
+                    rs: reg(4),
+                    rt: reg(5),
+                },
+                Instr::Add {
+                    rd: reg(6),
+                    rs: reg(6),
+                    rt: reg(4),
+                },
             ])],
         });
         let p1_j = Node::Loop(LoopNode {
@@ -264,15 +377,39 @@ pub fn build_dct8x8(target: &Target) -> Result<BuiltKernel, BuildError> {
             counter: reg(12),
             body: vec![
                 Node::code([
-                    Instr::Add { rd: reg(6), rs: Reg::ZERO, rt: Reg::ZERO },
-                    Instr::Add { rd: reg(7), rs: reg(22), rt: Reg::ZERO },
-                    Instr::Add { rd: reg(8), rs: reg(21), rt: Reg::ZERO },
+                    Instr::Add {
+                        rd: reg(6),
+                        rs: Reg::ZERO,
+                        rt: Reg::ZERO,
+                    },
+                    Instr::Add {
+                        rd: reg(7),
+                        rs: reg(22),
+                        rt: Reg::ZERO,
+                    },
+                    Instr::Add {
+                        rd: reg(8),
+                        rs: reg(21),
+                        rt: Reg::ZERO,
+                    },
                 ]),
                 p1_k,
                 Node::code([
-                    Instr::Sra { rd: reg(6), rt: reg(6), sh: 13 },
-                    Instr::Sw { rt: reg(6), rs: reg(9), off: 0 },
-                    Instr::Addi { rt: reg(9), rs: reg(9), imm: 4 },
+                    Instr::Sra {
+                        rd: reg(6),
+                        rt: reg(6),
+                        sh: 13,
+                    },
+                    Instr::Sw {
+                        rt: reg(6),
+                        rs: reg(9),
+                        off: 0,
+                    },
+                    Instr::Addi {
+                        rt: reg(9),
+                        rs: reg(9),
+                        imm: 4,
+                    },
                 ]),
             ],
         });
@@ -294,12 +431,36 @@ pub fn build_dct8x8(target: &Target) -> Result<BuiltKernel, BuildError> {
             index: None,
             counter: reg(13),
             body: vec![Node::code([
-                Instr::Lw { rt: reg(4), rs: reg(7), off: 0 },
-                Instr::Lw { rt: reg(5), rs: reg(8), off: 0 },
-                Instr::Addi { rt: reg(7), rs: reg(7), imm: 4 },
-                Instr::Addi { rt: reg(8), rs: reg(8), imm: 4 },
-                Instr::Mul { rd: reg(4), rs: reg(4), rt: reg(5) },
-                Instr::Add { rd: reg(6), rs: reg(6), rt: reg(4) },
+                Instr::Lw {
+                    rt: reg(4),
+                    rs: reg(7),
+                    off: 0,
+                },
+                Instr::Lw {
+                    rt: reg(5),
+                    rs: reg(8),
+                    off: 0,
+                },
+                Instr::Addi {
+                    rt: reg(7),
+                    rs: reg(7),
+                    imm: 4,
+                },
+                Instr::Addi {
+                    rt: reg(8),
+                    rs: reg(8),
+                    imm: 4,
+                },
+                Instr::Mul {
+                    rd: reg(4),
+                    rs: reg(4),
+                    rt: reg(5),
+                },
+                Instr::Add {
+                    rd: reg(6),
+                    rs: reg(6),
+                    rt: reg(4),
+                },
             ])],
         });
         let p2_v = Node::Loop(LoopNode {
@@ -312,15 +473,39 @@ pub fn build_dct8x8(target: &Target) -> Result<BuiltKernel, BuildError> {
             counter: reg(12),
             body: vec![
                 Node::code([
-                    Instr::Add { rd: reg(6), rs: Reg::ZERO, rt: Reg::ZERO },
-                    Instr::Add { rd: reg(7), rs: reg(22), rt: Reg::ZERO },
-                    Instr::Add { rd: reg(8), rs: reg(21), rt: Reg::ZERO },
+                    Instr::Add {
+                        rd: reg(6),
+                        rs: Reg::ZERO,
+                        rt: Reg::ZERO,
+                    },
+                    Instr::Add {
+                        rd: reg(7),
+                        rs: reg(22),
+                        rt: Reg::ZERO,
+                    },
+                    Instr::Add {
+                        rd: reg(8),
+                        rs: reg(21),
+                        rt: Reg::ZERO,
+                    },
                 ]),
                 p2_k,
                 Node::code([
-                    Instr::Sra { rd: reg(6), rt: reg(6), sh: 13 },
-                    Instr::Sw { rt: reg(6), rs: reg(10), off: 0 },
-                    Instr::Addi { rt: reg(10), rs: reg(10), imm: 4 },
+                    Instr::Sra {
+                        rd: reg(6),
+                        rt: reg(6),
+                        sh: 13,
+                    },
+                    Instr::Sw {
+                        rt: reg(6),
+                        rs: reg(10),
+                        off: 0,
+                    },
+                    Instr::Addi {
+                        rt: reg(10),
+                        rs: reg(10),
+                        imm: 4,
+                    },
                 ]),
             ],
         });

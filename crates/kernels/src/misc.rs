@@ -34,11 +34,31 @@ pub fn build_crc32(target: &Target) -> Result<BuiltKernel, BuildError> {
             index: None,
             counter: reg(12),
             body: vec![Node::code([
-                Instr::Srl { rd: reg(5), rt: reg(2), sh: 31 },
-                Instr::Sub { rd: reg(5), rs: Reg::ZERO, rt: reg(5) },
-                Instr::And { rd: reg(5), rs: reg(5), rt: reg(10) },
-                Instr::Sll { rd: reg(2), rt: reg(2), sh: 1 },
-                Instr::Xor { rd: reg(2), rs: reg(2), rt: reg(5) },
+                Instr::Srl {
+                    rd: reg(5),
+                    rt: reg(2),
+                    sh: 31,
+                },
+                Instr::Sub {
+                    rd: reg(5),
+                    rs: Reg::ZERO,
+                    rt: reg(5),
+                },
+                Instr::And {
+                    rd: reg(5),
+                    rs: reg(5),
+                    rt: reg(10),
+                },
+                Instr::Sll {
+                    rd: reg(2),
+                    rt: reg(2),
+                    sh: 1,
+                },
+                Instr::Xor {
+                    rd: reg(2),
+                    rs: reg(2),
+                    rt: reg(5),
+                },
             ])],
         });
         let ir = LoopIr {
@@ -53,9 +73,21 @@ pub fn build_crc32(target: &Target) -> Result<BuiltKernel, BuildError> {
                 counter: reg(11),
                 body: vec![
                     Node::code([
-                        Instr::Lbu { rt: reg(4), rs: reg(20), off: 0 },
-                        Instr::Sll { rd: reg(4), rt: reg(4), sh: 24 },
-                        Instr::Xor { rd: reg(2), rs: reg(2), rt: reg(4) },
+                        Instr::Lbu {
+                            rt: reg(4),
+                            rs: reg(20),
+                            off: 0,
+                        },
+                        Instr::Sll {
+                            rd: reg(4),
+                            rt: reg(4),
+                            sh: 24,
+                        },
+                        Instr::Xor {
+                            rd: reg(2),
+                            rs: reg(2),
+                            rt: reg(4),
+                        },
                     ]),
                     bit_loop,
                 ],
@@ -102,19 +134,43 @@ pub fn build_bubble_sort(target: &Target) -> Result<BuiltKernel, BuildError> {
             counter: reg(12),
             body: vec![
                 Node::code([
-                    Instr::Lw { rt: reg(4), rs: reg(20), off: 0 },
-                    Instr::Lw { rt: reg(5), rs: reg(20), off: 4 },
-                    Instr::Slt { rd: reg(6), rs: reg(5), rt: reg(4) },
+                    Instr::Lw {
+                        rt: reg(4),
+                        rs: reg(20),
+                        off: 0,
+                    },
+                    Instr::Lw {
+                        rt: reg(5),
+                        rs: reg(20),
+                        off: 4,
+                    },
+                    Instr::Slt {
+                        rd: reg(6),
+                        rs: reg(5),
+                        rt: reg(4),
+                    },
                 ]),
                 Node::If {
                     cond: Cond::Ne(reg(6), Reg::ZERO),
                     then: vec![Node::code([
-                        Instr::Sw { rt: reg(5), rs: reg(20), off: 0 },
-                        Instr::Sw { rt: reg(4), rs: reg(20), off: 4 },
+                        Instr::Sw {
+                            rt: reg(5),
+                            rs: reg(20),
+                            off: 0,
+                        },
+                        Instr::Sw {
+                            rt: reg(4),
+                            rs: reg(20),
+                            off: 4,
+                        },
                     ])],
                     els: vec![],
                 },
-                Node::code([Instr::Add { rd: reg(3), rs: reg(3), rt: reg(6) }]),
+                Node::code([Instr::Add {
+                    rd: reg(3),
+                    rs: reg(3),
+                    rt: reg(6),
+                }]),
             ],
         });
         let ir = LoopIr {
@@ -134,7 +190,11 @@ pub fn build_bubble_sort(target: &Target) -> Result<BuiltKernel, BuildError> {
                             rs: Reg::ZERO,
                             imm: (N - 1) as i16,
                         },
-                        Instr::Sub { rd: reg(9), rs: reg(9), rt: reg(21) },
+                        Instr::Sub {
+                            rd: reg(9),
+                            rs: reg(9),
+                            rt: reg(21),
+                        },
                     ]),
                     inner,
                 ],
@@ -166,9 +226,8 @@ pub fn build_fft16(target: &Target) -> Result<BuiltKernel, BuildError> {
         let re_in: Vec<i32> = (0..N).map(|_| rng.signed(4000)).collect();
         let im_in: Vec<i32> = (0..N).map(|_| rng.signed(4000)).collect();
         // bit-reversed order for a 16-point DIT
-        let rev = |i: usize| -> usize {
-            (0..4).fold(0, |acc, b| acc | (((i >> b) & 1) << (3 - b)))
-        };
+        let rev =
+            |i: usize| -> usize { (0..4).fold(0, |acc, b| acc | (((i >> b) & 1) << (3 - b))) };
         let re_br: Vec<i32> = (0..N).map(|i| re_in[rev(i)]).collect();
         let im_br: Vec<i32> = (0..N).map(|i| im_in[rev(i)]).collect();
 
@@ -219,31 +278,131 @@ pub fn build_fft16(target: &Target) -> Result<BuiltKernel, BuildError> {
 
         let im_off = (4 * N) as i16; // im[] offset from a re[] pointer
         let k_body = vec![
-            Instr::Lw { rt: reg(4), rs: reg(18), off: 0 },      // re_b
-            Instr::Lw { rt: reg(6), rs: reg(8), off: 0 },       // wre
-            Instr::Mul { rd: reg(2), rs: reg(4), rt: reg(6) },
-            Instr::Lw { rt: reg(3), rs: reg(18), off: im_off }, // im_b
-            Instr::Lw { rt: reg(22), rs: reg(8), off: 32 },     // wim
-            Instr::Mul { rd: reg(24), rs: reg(3), rt: reg(22) },
-            Instr::Sub { rd: reg(2), rs: reg(2), rt: reg(24) },
-            Instr::Sra { rd: reg(2), rt: reg(2), sh: 14 },      // xr
-            Instr::Mul { rd: reg(24), rs: reg(4), rt: reg(22) },
-            Instr::Mul { rd: reg(25), rs: reg(3), rt: reg(6) },
-            Instr::Add { rd: reg(24), rs: reg(24), rt: reg(25) },
-            Instr::Sra { rd: reg(24), rt: reg(24), sh: 14 },    // xi
-            Instr::Lw { rt: reg(4), rs: reg(16), off: 0 },      // re_a
-            Instr::Lw { rt: reg(3), rs: reg(16), off: im_off }, // im_a
-            Instr::Sub { rd: reg(6), rs: reg(4), rt: reg(2) },
-            Instr::Sw { rt: reg(6), rs: reg(18), off: 0 },
-            Instr::Sub { rd: reg(6), rs: reg(3), rt: reg(24) },
-            Instr::Sw { rt: reg(6), rs: reg(18), off: im_off },
-            Instr::Add { rd: reg(4), rs: reg(4), rt: reg(2) },
-            Instr::Sw { rt: reg(4), rs: reg(16), off: 0 },
-            Instr::Add { rd: reg(3), rs: reg(3), rt: reg(24) },
-            Instr::Sw { rt: reg(3), rs: reg(16), off: im_off },
-            Instr::Addi { rt: reg(16), rs: reg(16), imm: 4 },
-            Instr::Addi { rt: reg(18), rs: reg(18), imm: 4 },
-            Instr::Add { rd: reg(8), rs: reg(8), rt: reg(19) }, // twiddle += tstep
+            Instr::Lw {
+                rt: reg(4),
+                rs: reg(18),
+                off: 0,
+            }, // re_b
+            Instr::Lw {
+                rt: reg(6),
+                rs: reg(8),
+                off: 0,
+            }, // wre
+            Instr::Mul {
+                rd: reg(2),
+                rs: reg(4),
+                rt: reg(6),
+            },
+            Instr::Lw {
+                rt: reg(3),
+                rs: reg(18),
+                off: im_off,
+            }, // im_b
+            Instr::Lw {
+                rt: reg(22),
+                rs: reg(8),
+                off: 32,
+            }, // wim
+            Instr::Mul {
+                rd: reg(24),
+                rs: reg(3),
+                rt: reg(22),
+            },
+            Instr::Sub {
+                rd: reg(2),
+                rs: reg(2),
+                rt: reg(24),
+            },
+            Instr::Sra {
+                rd: reg(2),
+                rt: reg(2),
+                sh: 14,
+            }, // xr
+            Instr::Mul {
+                rd: reg(24),
+                rs: reg(4),
+                rt: reg(22),
+            },
+            Instr::Mul {
+                rd: reg(25),
+                rs: reg(3),
+                rt: reg(6),
+            },
+            Instr::Add {
+                rd: reg(24),
+                rs: reg(24),
+                rt: reg(25),
+            },
+            Instr::Sra {
+                rd: reg(24),
+                rt: reg(24),
+                sh: 14,
+            }, // xi
+            Instr::Lw {
+                rt: reg(4),
+                rs: reg(16),
+                off: 0,
+            }, // re_a
+            Instr::Lw {
+                rt: reg(3),
+                rs: reg(16),
+                off: im_off,
+            }, // im_a
+            Instr::Sub {
+                rd: reg(6),
+                rs: reg(4),
+                rt: reg(2),
+            },
+            Instr::Sw {
+                rt: reg(6),
+                rs: reg(18),
+                off: 0,
+            },
+            Instr::Sub {
+                rd: reg(6),
+                rs: reg(3),
+                rt: reg(24),
+            },
+            Instr::Sw {
+                rt: reg(6),
+                rs: reg(18),
+                off: im_off,
+            },
+            Instr::Add {
+                rd: reg(4),
+                rs: reg(4),
+                rt: reg(2),
+            },
+            Instr::Sw {
+                rt: reg(4),
+                rs: reg(16),
+                off: 0,
+            },
+            Instr::Add {
+                rd: reg(3),
+                rs: reg(3),
+                rt: reg(24),
+            },
+            Instr::Sw {
+                rt: reg(3),
+                rs: reg(16),
+                off: im_off,
+            },
+            Instr::Addi {
+                rt: reg(16),
+                rs: reg(16),
+                imm: 4,
+            },
+            Instr::Addi {
+                rt: reg(18),
+                rs: reg(18),
+                imm: 4,
+            },
+            Instr::Add {
+                rd: reg(8),
+                rs: reg(8),
+                rt: reg(19),
+            }, // twiddle += tstep
         ];
         let k_loop = Node::Loop(LoopNode {
             trips: Trips::Reg(reg(7)),
@@ -257,14 +416,34 @@ pub fn build_fft16(target: &Target) -> Result<BuiltKernel, BuildError> {
             counter: reg(12),
             body: vec![
                 Node::code([
-                    Instr::Add { rd: reg(16), rs: reg(5), rt: Reg::ZERO },
-                    Instr::Add { rd: reg(18), rs: reg(5), rt: reg(17) },
-                    Instr::Add { rd: reg(8), rs: reg(21), rt: Reg::ZERO },
+                    Instr::Add {
+                        rd: reg(16),
+                        rs: reg(5),
+                        rt: Reg::ZERO,
+                    },
+                    Instr::Add {
+                        rd: reg(18),
+                        rs: reg(5),
+                        rt: reg(17),
+                    },
+                    Instr::Add {
+                        rd: reg(8),
+                        rs: reg(21),
+                        rt: Reg::ZERO,
+                    },
                 ]),
                 k_loop,
                 Node::code([
-                    Instr::Lw { rt: reg(6), rs: reg(23), off: 12 }, // group stride
-                    Instr::Add { rd: reg(5), rs: reg(5), rt: reg(6) },
+                    Instr::Lw {
+                        rt: reg(6),
+                        rs: reg(23),
+                        off: 12,
+                    }, // group stride
+                    Instr::Add {
+                        rd: reg(5),
+                        rs: reg(5),
+                        rt: reg(6),
+                    },
                 ]),
             ],
         });
@@ -278,12 +457,36 @@ pub fn build_fft16(target: &Target) -> Result<BuiltKernel, BuildError> {
             counter: reg(11),
             body: vec![
                 Node::code([
-                    Instr::Lw { rt: reg(17), rs: reg(23), off: 0 }, // half_bytes
-                    Instr::Lw { rt: reg(9), rs: reg(23), off: 4 },  // groups
-                    Instr::Lw { rt: reg(7), rs: reg(23), off: 0 },  // half = k trips…
-                    Instr::Srl { rd: reg(7), rt: reg(7), sh: 2 },   // …in iterations
-                    Instr::Lw { rt: reg(19), rs: reg(23), off: 8 }, // tstep_bytes
-                    Instr::Add { rd: reg(5), rs: reg(20), rt: Reg::ZERO }, // base ptr
+                    Instr::Lw {
+                        rt: reg(17),
+                        rs: reg(23),
+                        off: 0,
+                    }, // half_bytes
+                    Instr::Lw {
+                        rt: reg(9),
+                        rs: reg(23),
+                        off: 4,
+                    }, // groups
+                    Instr::Lw {
+                        rt: reg(7),
+                        rs: reg(23),
+                        off: 0,
+                    }, // half = k trips…
+                    Instr::Srl {
+                        rd: reg(7),
+                        rt: reg(7),
+                        sh: 2,
+                    }, // …in iterations
+                    Instr::Lw {
+                        rt: reg(19),
+                        rs: reg(23),
+                        off: 8,
+                    }, // tstep_bytes
+                    Instr::Add {
+                        rd: reg(5),
+                        rs: reg(20),
+                        rt: Reg::ZERO,
+                    }, // base ptr
                 ]),
                 g_loop,
             ],

@@ -51,15 +51,51 @@ fn sad_loops() -> Node {
         index: None,
         counter: reg(13),
         body: vec![Node::code([
-            Instr::Lbu { rt: reg(4), rs: reg(7), off: 0 },
-            Instr::Lbu { rt: reg(16), rs: reg(8), off: 0 },
-            Instr::Addi { rt: reg(7), rs: reg(7), imm: 1 },
-            Instr::Addi { rt: reg(8), rs: reg(8), imm: 1 },
-            Instr::Sub { rd: reg(4), rs: reg(4), rt: reg(16) },
-            Instr::Sra { rd: reg(16), rt: reg(4), sh: 31 },
-            Instr::Xor { rd: reg(4), rs: reg(4), rt: reg(16) },
-            Instr::Sub { rd: reg(4), rs: reg(4), rt: reg(16) },
-            Instr::Add { rd: reg(6), rs: reg(6), rt: reg(4) },
+            Instr::Lbu {
+                rt: reg(4),
+                rs: reg(7),
+                off: 0,
+            },
+            Instr::Lbu {
+                rt: reg(16),
+                rs: reg(8),
+                off: 0,
+            },
+            Instr::Addi {
+                rt: reg(7),
+                rs: reg(7),
+                imm: 1,
+            },
+            Instr::Addi {
+                rt: reg(8),
+                rs: reg(8),
+                imm: 1,
+            },
+            Instr::Sub {
+                rd: reg(4),
+                rs: reg(4),
+                rt: reg(16),
+            },
+            Instr::Sra {
+                rd: reg(16),
+                rt: reg(4),
+                sh: 31,
+            },
+            Instr::Xor {
+                rd: reg(4),
+                rs: reg(4),
+                rt: reg(16),
+            },
+            Instr::Sub {
+                rd: reg(4),
+                rs: reg(4),
+                rt: reg(16),
+            },
+            Instr::Add {
+                rd: reg(6),
+                rs: reg(6),
+                rt: reg(4),
+            },
         ])],
     });
     Node::Loop(LoopNode {
@@ -89,11 +125,7 @@ pub fn build_me_fs_early(target: &Target) -> Result<BuiltKernel, BuildError> {
     build_me_fs_impl("me_fs_early", true, target)
 }
 
-fn build_me_fs_impl(
-    name: &str,
-    early: bool,
-    target: &Target,
-) -> Result<BuiltKernel, BuildError> {
+fn build_me_fs_impl(name: &str, early: bool, target: &Target) -> Result<BuiltKernel, BuildError> {
     const RANGE: usize = 9; // displacements 0..=8 in each axis
     build_kernel(name, target, |asm: &mut Asm| {
         let mut rng = Xorshift::new(0x5001);
@@ -175,22 +207,54 @@ fn build_me_fs_impl(
             counter: reg(14),
             body: vec![
                 Node::code([
-                    Instr::Addi { rt: reg(17), rs: reg(17), imm: 1 }, // candidate id
-                    Instr::Add { rd: reg(6), rs: Reg::ZERO, rt: Reg::ZERO }, // sad
-                    Instr::Add { rd: reg(8), rs: reg(23), rt: reg(22) }, // ref ptr
-                    Instr::Add { rd: reg(7), rs: reg(21), rt: Reg::ZERO }, // cur ptr
+                    Instr::Addi {
+                        rt: reg(17),
+                        rs: reg(17),
+                        imm: 1,
+                    }, // candidate id
+                    Instr::Add {
+                        rd: reg(6),
+                        rs: Reg::ZERO,
+                        rt: Reg::ZERO,
+                    }, // sad
+                    Instr::Add {
+                        rd: reg(8),
+                        rs: reg(23),
+                        rt: reg(22),
+                    }, // ref ptr
+                    Instr::Add {
+                        rd: reg(7),
+                        rs: reg(21),
+                        rt: Reg::ZERO,
+                    }, // cur ptr
                 ]),
                 by_loop,
-                Node::code([Instr::Slt { rd: reg(16), rs: reg(6), rt: reg(2) }]),
+                Node::code([Instr::Slt {
+                    rd: reg(16),
+                    rs: reg(6),
+                    rt: reg(2),
+                }]),
                 Node::If {
                     cond: Cond::Ne(reg(16), Reg::ZERO),
                     then: vec![Node::code([
-                        Instr::Add { rd: reg(2), rs: reg(6), rt: Reg::ZERO },
-                        Instr::Add { rd: reg(3), rs: reg(17), rt: Reg::ZERO },
+                        Instr::Add {
+                            rd: reg(2),
+                            rs: reg(6),
+                            rt: Reg::ZERO,
+                        },
+                        Instr::Add {
+                            rd: reg(3),
+                            rs: reg(17),
+                            rt: Reg::ZERO,
+                        },
                     ])],
                     els: vec![],
                 },
-                Node::code([Instr::Add { rd: reg(18), rs: reg(18), rt: reg(6) }]),
+                Node::code([Instr::Add {
+                    rd: reg(18),
+                    rs: reg(18),
+                    rt: reg(6),
+                }]),
             ],
         });
         let ir = LoopIr {
@@ -208,11 +272,7 @@ fn build_me_fs_impl(
         };
         let expect = Expectation {
             mem_words: vec![],
-            regs: vec![
-                (reg(2), best as u32),
-                (reg(3), best_id),
-                (reg(18), chk),
-            ],
+            regs: vec![(reg(2), best as u32), (reg(3), best_id), (reg(18), chk)],
         };
         (ir, expect)
     })
@@ -228,9 +288,7 @@ pub fn build_me_tss(target: &Target) -> Result<BuiltKernel, BuildError> {
         let c_addr = asm.bytes(&cur);
         asm.align_data(4);
         // candidate offsets (dy, dx) pairs
-        let offsets: Vec<i32> = vec![
-            0, 0, -1, -1, -1, 0, -1, 1, 0, -1, 0, 1, 1, -1, 1, 0, 1, 1,
-        ];
+        let offsets: Vec<i32> = vec![0, 0, -1, -1, -1, 0, -1, 1, 0, -1, 0, 1, 1, -1, 1, 0, 1, 1];
         let off_addr = asm.words(&offsets);
         let steps: Vec<i32> = vec![4, 2, 1];
         let steps_addr = asm.words(&steps);
@@ -274,33 +332,101 @@ pub fn build_me_tss(target: &Target) -> Result<BuiltKernel, BuildError> {
             counter: reg(14),
             body: vec![
                 Node::code([
-                    Instr::Lw { rt: reg(4), rs: reg(22), off: 0 }, // dy
-                    Instr::Lw { rt: reg(5), rs: reg(22), off: 4 }, // dx
-                    Instr::Lw { rt: reg(16), rs: reg(23), off: 0 }, // step
-                    Instr::Mul { rd: reg(4), rs: reg(4), rt: reg(16) },
-                    Instr::Mul { rd: reg(5), rs: reg(5), rt: reg(16) },
+                    Instr::Lw {
+                        rt: reg(4),
+                        rs: reg(22),
+                        off: 0,
+                    }, // dy
+                    Instr::Lw {
+                        rt: reg(5),
+                        rs: reg(22),
+                        off: 4,
+                    }, // dx
+                    Instr::Lw {
+                        rt: reg(16),
+                        rs: reg(23),
+                        off: 0,
+                    }, // step
+                    Instr::Mul {
+                        rd: reg(4),
+                        rs: reg(4),
+                        rt: reg(16),
+                    },
+                    Instr::Mul {
+                        rd: reg(5),
+                        rs: reg(5),
+                        rt: reg(16),
+                    },
                     // candidate coordinates live in r27/r28: the SAD loops
                     // reuse r4/r5 as scratch
-                    Instr::Add { rd: reg(27), rs: reg(4), rt: reg(19) }, // cand_y
-                    Instr::Add { rd: reg(28), rs: reg(5), rt: reg(17) }, // cand_x
-                    Instr::Mul { rd: reg(6), rs: reg(27), rt: reg(10) },
-                    Instr::Add { rd: reg(6), rs: reg(6), rt: reg(28) },
-                    Instr::Add { rd: reg(8), rs: reg(24), rt: reg(6) }, // ref ptr
-                    Instr::Add { rd: reg(7), rs: reg(21), rt: Reg::ZERO },
-                    Instr::Add { rd: reg(6), rs: Reg::ZERO, rt: Reg::ZERO }, // sad
+                    Instr::Add {
+                        rd: reg(27),
+                        rs: reg(4),
+                        rt: reg(19),
+                    }, // cand_y
+                    Instr::Add {
+                        rd: reg(28),
+                        rs: reg(5),
+                        rt: reg(17),
+                    }, // cand_x
+                    Instr::Mul {
+                        rd: reg(6),
+                        rs: reg(27),
+                        rt: reg(10),
+                    },
+                    Instr::Add {
+                        rd: reg(6),
+                        rs: reg(6),
+                        rt: reg(28),
+                    },
+                    Instr::Add {
+                        rd: reg(8),
+                        rs: reg(24),
+                        rt: reg(6),
+                    }, // ref ptr
+                    Instr::Add {
+                        rd: reg(7),
+                        rs: reg(21),
+                        rt: Reg::ZERO,
+                    },
+                    Instr::Add {
+                        rd: reg(6),
+                        rs: Reg::ZERO,
+                        rt: Reg::ZERO,
+                    }, // sad
                 ]),
                 sad_loops(),
-                Node::code([Instr::Slt { rd: reg(16), rs: reg(6), rt: reg(2) }]),
+                Node::code([Instr::Slt {
+                    rd: reg(16),
+                    rs: reg(6),
+                    rt: reg(2),
+                }]),
                 Node::If {
                     cond: Cond::Ne(reg(16), Reg::ZERO),
                     then: vec![Node::code([
-                        Instr::Add { rd: reg(2), rs: reg(6), rt: Reg::ZERO }, // best
-                        Instr::Add { rd: reg(25), rs: reg(27), rt: Reg::ZERO }, // best y
-                        Instr::Add { rd: reg(26), rs: reg(28), rt: Reg::ZERO }, // best x
+                        Instr::Add {
+                            rd: reg(2),
+                            rs: reg(6),
+                            rt: Reg::ZERO,
+                        }, // best
+                        Instr::Add {
+                            rd: reg(25),
+                            rs: reg(27),
+                            rt: Reg::ZERO,
+                        }, // best y
+                        Instr::Add {
+                            rd: reg(26),
+                            rs: reg(28),
+                            rt: Reg::ZERO,
+                        }, // best x
                     ])],
                     els: vec![],
                 },
-                Node::code([Instr::Add { rd: reg(18), rs: reg(18), rt: reg(6) }]),
+                Node::code([Instr::Add {
+                    rd: reg(18),
+                    rs: reg(18),
+                    rt: reg(6),
+                }]),
             ],
         });
         let s_loop = Node::Loop(LoopNode {
@@ -314,13 +440,28 @@ pub fn build_me_tss(target: &Target) -> Result<BuiltKernel, BuildError> {
             body: vec![
                 Node::code([
                     // best = +inf for this step
-                    Instr::Lui { rt: reg(2), imm: 0x7fff },
-                    Instr::Ori { rt: reg(2), rs: reg(2), imm: 0xffff },
+                    Instr::Lui {
+                        rt: reg(2),
+                        imm: 0x7fff,
+                    },
+                    Instr::Ori {
+                        rt: reg(2),
+                        rs: reg(2),
+                        imm: 0xffff,
+                    },
                 ]),
                 m_loop,
                 Node::code([
-                    Instr::Add { rd: reg(19), rs: reg(25), rt: Reg::ZERO }, // cy
-                    Instr::Add { rd: reg(17), rs: reg(26), rt: Reg::ZERO }, // cx
+                    Instr::Add {
+                        rd: reg(19),
+                        rs: reg(25),
+                        rt: Reg::ZERO,
+                    }, // cy
+                    Instr::Add {
+                        rd: reg(17),
+                        rs: reg(26),
+                        rt: Reg::ZERO,
+                    }, // cx
                 ]),
             ],
         });
@@ -375,16 +516,36 @@ pub fn build_find_first(target: &Target) -> Result<BuiltKernel, BuildError> {
                 counter: reg(11),
                 body: vec![
                     Node::code([
-                        Instr::Addi { rt: reg(3), rs: reg(3), imm: 1 }, // scanned
-                        Instr::Lw { rt: reg(4), rs: reg(20), off: 0 },
-                        Instr::Slt { rd: reg(5), rs: reg(4), rt: reg(10) },
-                        Instr::Add { rd: reg(2), rs: reg(20), rt: Reg::ZERO },
+                        Instr::Addi {
+                            rt: reg(3),
+                            rs: reg(3),
+                            imm: 1,
+                        }, // scanned
+                        Instr::Lw {
+                            rt: reg(4),
+                            rs: reg(20),
+                            off: 0,
+                        },
+                        Instr::Slt {
+                            rd: reg(5),
+                            rs: reg(4),
+                            rt: reg(10),
+                        },
+                        Instr::Add {
+                            rd: reg(2),
+                            rs: reg(20),
+                            rt: Reg::ZERO,
+                        },
                     ]),
                     Node::BreakIf {
                         cond: Cond::Eq(reg(5), Reg::ZERO),
                         levels: 1,
                     },
-                    Node::code([Instr::Add { rd: reg(2), rs: Reg::ZERO, rt: Reg::ZERO }]),
+                    Node::code([Instr::Add {
+                        rd: reg(2),
+                        rs: Reg::ZERO,
+                        rt: Reg::ZERO,
+                    }]),
                 ],
             })],
         };

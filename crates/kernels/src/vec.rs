@@ -39,15 +39,31 @@ pub fn build_vec_mac(target: &Target) -> Result<BuiltKernel, BuildError> {
                 }),
                 counter: reg(11),
                 body: vec![Node::code([
-                    Instr::Lw { rt: reg(4), rs: reg(20), off: 0 },
+                    Instr::Lw {
+                        rt: reg(4),
+                        rs: reg(20),
+                        off: 0,
+                    },
                     Instr::Lw {
                         rt: reg(5),
                         rs: reg(20),
                         off: (4 * N) as i16,
                     },
-                    Instr::Mul { rd: reg(6), rs: reg(4), rt: reg(5) },
-                    Instr::Add { rd: reg(2), rs: reg(2), rt: reg(6) },
-                    Instr::Add { rd: reg(3), rs: reg(3), rt: reg(4) },
+                    Instr::Mul {
+                        rd: reg(6),
+                        rs: reg(4),
+                        rt: reg(5),
+                    },
+                    Instr::Add {
+                        rd: reg(2),
+                        rs: reg(2),
+                        rt: reg(6),
+                    },
+                    Instr::Add {
+                        rd: reg(3),
+                        rs: reg(3),
+                        rt: reg(4),
+                    },
                 ])],
             })],
         };
@@ -95,28 +111,44 @@ pub fn build_vec_max(target: &Target) -> Result<BuiltKernel, BuildError> {
                 counter: reg(11),
                 body: vec![
                     Node::code([
-                        Instr::Lw { rt: reg(4), rs: reg(20), off: 0 },
-                        Instr::Slt { rd: reg(5), rs: reg(2), rt: reg(4) },
+                        Instr::Lw {
+                            rt: reg(4),
+                            rs: reg(20),
+                            off: 0,
+                        },
+                        Instr::Slt {
+                            rd: reg(5),
+                            rs: reg(2),
+                            rt: reg(4),
+                        },
                     ]),
                     Node::If {
                         cond: Cond::Ne(reg(5), Reg::ZERO),
                         then: vec![Node::code([
-                            Instr::Add { rd: reg(2), rs: reg(4), rt: Reg::ZERO },
-                            Instr::Add { rd: reg(3), rs: reg(20), rt: Reg::ZERO },
+                            Instr::Add {
+                                rd: reg(2),
+                                rs: reg(4),
+                                rt: Reg::ZERO,
+                            },
+                            Instr::Add {
+                                rd: reg(3),
+                                rs: reg(20),
+                                rt: Reg::ZERO,
+                            },
                         ])],
                         els: vec![],
                     },
-                    Node::code([Instr::Add { rd: reg(6), rs: reg(6), rt: reg(2) }]),
+                    Node::code([Instr::Add {
+                        rd: reg(6),
+                        rs: reg(6),
+                        rt: reg(2),
+                    }]),
                 ],
             })],
         };
         let expect = Expectation {
             mem_words: vec![],
-            regs: vec![
-                (reg(2), max as u32),
-                (reg(3), argp),
-                (reg(6), chk as u32),
-            ],
+            regs: vec![(reg(2), max as u32), (reg(3), argp), (reg(6), chk as u32)],
         };
         (ir, expect)
     })

@@ -357,10 +357,8 @@ impl Cpu {
                                 let taken = val.wrapping_sub(1) != 0;
                                 slot.dbnz_taken = Some(taken);
                                 if taken {
-                                    let target = slot
-                                        .instr
-                                        .branch_target(slot.pc)
-                                        .expect("dbnz has target");
+                                    let target =
+                                        slot.instr.branch_target(slot.pc).expect("dbnz has target");
                                     self.pc = target;
                                     self.fetch_stopped = false;
                                     fetch_suppressed = true;
@@ -479,8 +477,16 @@ impl Cpu {
         };
 
         match i {
-            Add { rd, rs, rt } => set_dst(&mut out, rd, self.operand(rs).wrapping_add(self.operand(rt))),
-            Sub { rd, rs, rt } => set_dst(&mut out, rd, self.operand(rs).wrapping_sub(self.operand(rt))),
+            Add { rd, rs, rt } => set_dst(
+                &mut out,
+                rd,
+                self.operand(rs).wrapping_add(self.operand(rt)),
+            ),
+            Sub { rd, rs, rt } => set_dst(
+                &mut out,
+                rd,
+                self.operand(rs).wrapping_sub(self.operand(rt)),
+            ),
             And { rd, rs, rt } => set_dst(&mut out, rd, self.operand(rs) & self.operand(rt)),
             Or { rd, rs, rt } => set_dst(&mut out, rd, self.operand(rs) | self.operand(rt)),
             Xor { rd, rs, rt } => set_dst(&mut out, rd, self.operand(rs) ^ self.operand(rt)),
@@ -517,9 +523,7 @@ impl Cpu {
             ),
             Sll { rd, rt, sh } => set_dst(&mut out, rd, self.operand(rt) << sh),
             Srl { rd, rt, sh } => set_dst(&mut out, rd, self.operand(rt) >> sh),
-            Sra { rd, rt, sh } => {
-                set_dst(&mut out, rd, ((self.operand(rt) as i32) >> sh) as u32)
-            }
+            Sra { rd, rt, sh } => set_dst(&mut out, rd, ((self.operand(rt) as i32) >> sh) as u32),
             Addi { rt, rs, imm } => set_dst(
                 &mut out,
                 rt,
@@ -539,7 +543,10 @@ impl Cpu {
             Ori { rt, rs, imm } => set_dst(&mut out, rt, self.operand(rs) | u32::from(imm)),
             Xori { rt, rs, imm } => set_dst(&mut out, rt, self.operand(rs) ^ u32::from(imm)),
             Lui { rt, imm } => set_dst(&mut out, rt, u32::from(imm) << 16),
-            Lb { rt, rs, off } | Lbu { rt, rs, off } | Lh { rt, rs, off } | Lhu { rt, rs, off }
+            Lb { rt, rs, off }
+            | Lbu { rt, rs, off }
+            | Lh { rt, rs, off }
+            | Lhu { rt, rs, off }
             | Lw { rt, rs, off } => {
                 out.addr = self.operand(rs).wrapping_add(off as i32 as u32);
                 set_dst(&mut out, rt, 0); // value filled by MEM
@@ -618,11 +625,15 @@ impl Cpu {
             }
             J { target } => {
                 // redirect already happened in ID
-                event = ExecEvent::Taken { target: target << 2 };
+                event = ExecEvent::Taken {
+                    target: target << 2,
+                };
             }
             Jal { target } => {
                 set_dst(&mut out, Reg::RA, pc.wrapping_add(4));
-                event = ExecEvent::Taken { target: target << 2 };
+                event = ExecEvent::Taken {
+                    target: target << 2,
+                };
             }
             Jr { rs } => {
                 let t = self.operand(rs);

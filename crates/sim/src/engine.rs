@@ -48,7 +48,10 @@ impl RegWrites {
     ///
     /// Panics if more than 8 writes are added.
     pub fn push(&mut self, reg: Reg, value: u32) {
-        assert!((self.len as usize) < self.items.len(), "too many rider writes");
+        assert!(
+            (self.len as usize) < self.items.len(),
+            "too many rider writes"
+        );
         self.items[self.len as usize] = (reg, value);
         self.len += 1;
     }

@@ -49,7 +49,11 @@ impl fmt::Display for MemError {
                 self.addr, self.width
             ),
             MemErrorKind::Misaligned => {
-                write!(f, "misaligned {}-byte access at {:#x}", self.width, self.addr)
+                write!(
+                    f,
+                    "misaligned {}-byte access at {:#x}",
+                    self.width, self.addr
+                )
             }
         }
     }
@@ -242,10 +246,7 @@ mod tests {
     #[test]
     fn misalignment_detected() {
         let mut m = Memory::new(64);
-        assert_eq!(
-            m.load_word(2).unwrap_err().kind(),
-            MemErrorKind::Misaligned
-        );
+        assert_eq!(m.load_word(2).unwrap_err().kind(), MemErrorKind::Misaligned);
         assert_eq!(
             m.store_half(1, 0).unwrap_err().kind(),
             MemErrorKind::Misaligned

@@ -58,7 +58,12 @@ impl Stats {
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "cycles:            {}", self.cycles)?;
-        writeln!(f, "retired:           {} (ipc {:.3})", self.retired, self.ipc())?;
+        writeln!(
+            f,
+            "retired:           {} (ipc {:.3})",
+            self.retired,
+            self.ipc()
+        )?;
         writeln!(f, "load-use stalls:   {}", self.load_use_stalls)?;
         writeln!(
             f,

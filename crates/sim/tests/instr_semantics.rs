@@ -16,8 +16,7 @@ fn r(f: &Finished, k: u8) -> u32 {
 
 #[test]
 fn unsigned_comparisons() {
-    let f = run(
-        "
+    let f = run("
         li    r1, -1          # 0xffffffff
         li    r2, 1
         sltu  r3, r2, r1      # 1 < 0xffffffff (unsigned) = 1
@@ -26,8 +25,7 @@ fn unsigned_comparisons() {
         sltiu r6, r2, -1      # 1 < 0xffffffff = 1
         slti  r7, r1, 0       # -1 < 0 = 1
         halt
-    ",
-    );
+    ");
     assert_eq!(r(&f, 3), 1);
     assert_eq!(r(&f, 4), 0);
     assert_eq!(r(&f, 5), 1);
@@ -37,8 +35,7 @@ fn unsigned_comparisons() {
 
 #[test]
 fn logic_and_nor() {
-    let f = run(
-        "
+    let f = run("
         li   r1, 0x0ff0
         li   r2, 0x00ff
         and  r3, r1, r2
@@ -47,8 +44,7 @@ fn logic_and_nor() {
         nor  r6, r1, r2
         xori r7, r1, 0xffff
         halt
-    ",
-    );
+    ");
     assert_eq!(r(&f, 3), 0x00f0);
     assert_eq!(r(&f, 4), 0x0fff);
     assert_eq!(r(&f, 5), 0x0f0f);
@@ -58,8 +54,7 @@ fn logic_and_nor() {
 
 #[test]
 fn variable_shifts() {
-    let f = run(
-        "
+    let f = run("
         li   r1, -16         # 0xfffffff0
         li   r2, 4
         sllv r3, r1, r2      # 0xffffff00
@@ -68,8 +63,7 @@ fn variable_shifts() {
         li   r6, 36          # shift amounts use the low 5 bits: 36 & 31 = 4
         sllv r7, r1, r6
         halt
-    ",
-    );
+    ");
     assert_eq!(r(&f, 3), 0xffff_ff00);
     assert_eq!(r(&f, 4), 0x0fff_ffff);
     assert_eq!(r(&f, 5), 0xffff_ffff);
@@ -78,8 +72,7 @@ fn variable_shifts() {
 
 #[test]
 fn high_multiply() {
-    let f = run(
-        "
+    let f = run("
         li   r1, 0x10000     # 65536
         li   r2, 0x10000
         mulh r3, r1, r2      # (2^32) >> 32 = 1
@@ -89,8 +82,7 @@ fn high_multiply() {
         mulh r7, r5, r6      # -6 >> 32 = -1 (sign extension)
         mul  r8, r5, r6      # -6
         halt
-    ",
-    );
+    ");
     assert_eq!(r(&f, 3), 1);
     assert_eq!(r(&f, 4), 0);
     assert_eq!(r(&f, 7), 0xffff_ffff);
@@ -99,8 +91,7 @@ fn high_multiply() {
 
 #[test]
 fn halfword_memory_sign_extension() {
-    let f = run(
-        "
+    let f = run("
         .data
     buf: .space 8
         .text
@@ -112,8 +103,7 @@ fn halfword_memory_sign_extension() {
         sh   r2, 2(r1)
         lw   r5, 0(r1)       # both halves packed
         halt
-    ",
-    );
+    ");
     assert_eq!(r(&f, 3), (-30000i32) as u32);
     assert_eq!(r(&f, 4), 0x8ad0);
     assert_eq!(r(&f, 5), 0x8ad0_8ad0);
@@ -121,8 +111,7 @@ fn halfword_memory_sign_extension() {
 
 #[test]
 fn remaining_branches() {
-    let f = run(
-        "
+    let f = run("
         li   r1, -5
         li   r9, 0
         bltz r1, a           # taken
@@ -134,21 +123,18 @@ fn remaining_branches() {
     c:  bgtz r1, d           # not taken
         addi r9, r9, 2       # executes
     d:  halt
-    ",
-    );
+    ");
     assert_eq!(r(&f, 9), 3);
 }
 
 #[test]
 fn lui_ori_constant_construction() {
-    let f = run(
-        "
+    let f = run("
         lui  r1, 0xdead
         ori  r1, r1, 0xbeef
         andi r2, r1, 0xff00
         halt
-    ",
-    );
+    ");
     assert_eq!(r(&f, 1), 0xdead_beef);
     assert_eq!(r(&f, 2), 0xbe00);
 }

@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             g.total(),
             t.zolc_path_ns,
             t.fmax_mhz(),
-            if t.limits_cycle_time() { "  <- critical!" } else { "" }
+            if t.limits_cycle_time() {
+                "  <- critical!"
+            } else {
+                ""
+            }
         );
     }
 

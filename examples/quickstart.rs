@@ -24,8 +24,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }),
             counter: reg(11),
             body: vec![Node::code([
-                Instr::Add { rd: reg(2), rs: reg(2), rt: reg(20) },
-                Instr::Add { rd: reg(3), rs: reg(3), rt: reg(2) },
+                Instr::Add {
+                    rd: reg(2),
+                    rs: reg(2),
+                    rt: reg(20),
+                },
+                Instr::Add {
+                    rd: reg(3),
+                    rs: reg(3),
+                    rt: reg(2),
+                },
             ])],
         })],
     };

@@ -87,7 +87,10 @@ fn cfg_analysis_matches_ir_structure() {
         let forest = LoopForest::analyze(&cfgraph, &dom);
         assert_eq!(forest.len(), loops, "{name}: loop count");
         assert_eq!(forest.max_depth(), depth, "{name}: nesting depth");
-        assert!(!forest.has_irreducible(), "{name}: unexpected irreducibility");
+        assert!(
+            !forest.has_irreducible(),
+            "{name}: unexpected irreducibility"
+        );
 
         // ZOLC form: loop control is gone — no backward branches remain
         // (exit branches of the early-exit kernels are forward).

@@ -19,9 +19,7 @@
 //! entry pass skipped it) — the irreducible control flow the `zolc-cfg`
 //! analyzer classifies as a multiple-entry region.
 
-use zolc::core::{
-    EntrySpec, LimitSrc, LoopSpec, TaskSpec, Zolc, ZolcConfig, ZolcImage, TASK_NONE,
-};
+use zolc::core::{EntrySpec, LimitSrc, LoopSpec, TaskSpec, Zolc, ZolcConfig, ZolcImage, TASK_NONE};
 use zolc::isa::{reg, Asm, Instr};
 use zolc::sim::run_program;
 
@@ -60,13 +58,29 @@ fn build_multi_entry_program() -> (zolc::isa::Program, ZolcImage) {
     image.emit_init(&mut asm, reg(1));
     asm.jump(mid); // enter the structure sideways
     asm.bind(body).unwrap();
-    asm.emit(Instr::Addi { rt: reg(2), rs: reg(2), imm: 1 }); // part A
+    asm.emit(Instr::Addi {
+        rt: reg(2),
+        rs: reg(2),
+        imm: 1,
+    }); // part A
     asm.bind(mid).unwrap();
-    asm.emit(Instr::Addi { rt: reg(3), rs: reg(3), imm: 1 }); // part B
-    // part B also observes the hardware-maintained index
-    asm.emit(Instr::Add { rd: reg(5), rs: reg(5), rt: reg(20) });
+    asm.emit(Instr::Addi {
+        rt: reg(3),
+        rs: reg(3),
+        imm: 1,
+    }); // part B
+        // part B also observes the hardware-maintained index
+    asm.emit(Instr::Add {
+        rd: reg(5),
+        rs: reg(5),
+        rt: reg(20),
+    });
     asm.bind(end).unwrap();
-    asm.emit(Instr::Addi { rt: reg(4), rs: reg(4), imm: 1 }); // task end
+    asm.emit(Instr::Addi {
+        rt: reg(4),
+        rs: reg(4),
+        imm: 1,
+    }); // task end
     asm.emit(Instr::Halt);
     // resolve the image before the labels are consumed by finish()
     let resolved = image.resolve(|l| asm.label_addr(l)).unwrap();

@@ -1,0 +1,135 @@
+//! Smoke tests mirroring the four `examples/` programs, so the example
+//! code paths cannot silently bit-rot between releases (CI additionally
+//! executes `cargo run --example quickstart` end to end).
+
+use zolc::core::{area, Zolc, ZolcConfig};
+use zolc::ir::{lower_into, IndexSpec, LoopIr, LoopNode, Node, Target, Trips};
+use zolc::isa::{reg, Asm, Instr};
+use zolc::kernels::{build_me_fs, build_me_fs_early, build_me_tss, run_kernel, BuildFn};
+use zolc::sim::{run_program, NullEngine};
+
+/// The `quickstart` example: one accumulation loop lowered three ways
+/// must agree architecturally, and ZOLC must be strictly cheapest.
+#[test]
+fn quickstart_loop_three_ways() {
+    let ir = LoopIr {
+        name: "quickstart".into(),
+        nodes: vec![Node::Loop(LoopNode {
+            trips: Trips::Const(100),
+            index: Some(IndexSpec {
+                reg: reg(20),
+                init: 0,
+                step: 1,
+            }),
+            counter: reg(11),
+            body: vec![Node::code([
+                Instr::Add {
+                    rd: reg(2),
+                    rs: reg(2),
+                    rt: reg(20),
+                },
+                Instr::Add {
+                    rd: reg(3),
+                    rs: reg(3),
+                    rt: reg(2),
+                },
+            ])],
+        })],
+    };
+
+    let mut results = Vec::new();
+    for target in [
+        Target::Baseline,
+        Target::HwLoop,
+        Target::Zolc(ZolcConfig::lite()),
+    ] {
+        let mut asm = Asm::new();
+        lower_into(&mut asm, &ir, &target).expect("lowers");
+        asm.emit(Instr::Halt);
+        let program = asm.finish().expect("assembles");
+        let finished = match target {
+            Target::Zolc(cfg) => {
+                let mut zolc = Zolc::new(cfg);
+                let fin = run_program(&program, &mut zolc, 1_000_000).expect("runs");
+                zolc.assert_consistent();
+                fin
+            }
+            _ => run_program(&program, &mut NullEngine, 1_000_000).expect("runs"),
+        };
+        let regs = finished.cpu.regs().snapshot();
+        assert_eq!(regs[2], (0..100).sum::<u32>(), "{target}: r2");
+        results.push((regs[2], regs[3], finished.stats.cycles));
+    }
+    let (r2, r3, baseline_cycles) = results[0];
+    let (_, _, hwloop_cycles) = results[1];
+    let (z2, z3, zolc_cycles) = results[2];
+    assert_eq!((r2, r3), (z2, z3), "lowerings disagree");
+    assert!(zolc_cycles < hwloop_cycles && hwloop_cycles < baseline_cycles);
+}
+
+/// The `figure2` example: the E1 artifact renders with every Fig. 2
+/// kernel present.
+#[test]
+fn figure2_artifact_renders() {
+    let artifact = zolc::bench::e1_fig2();
+    for kernel in zolc::kernels::kernels() {
+        assert!(
+            artifact.contains(kernel.name),
+            "Figure 2 artifact is missing kernel {}",
+            kernel.name
+        );
+    }
+}
+
+/// The `motion_estimation` example: all three ME kernels stay bit-exact
+/// on every processor configuration and ZOLC never loses to baseline.
+#[test]
+fn motion_estimation_all_configs() {
+    let configs: Vec<(&str, Target)> = vec![
+        ("XRdefault", Target::Baseline),
+        ("XRhrdwil", Target::HwLoop),
+        ("ZOLClite", Target::Zolc(ZolcConfig::lite())),
+        ("ZOLCfull", Target::Zolc(ZolcConfig::full())),
+    ];
+    for (kname, build) in [
+        ("me_fs", build_me_fs as BuildFn),
+        ("me_tss", build_me_tss as BuildFn),
+        ("me_fs_early", build_me_fs_early as BuildFn),
+    ] {
+        let mut baseline = None;
+        for (cname, target) in &configs {
+            let built = build(target).expect("builds");
+            let run = run_kernel(&built, 50_000_000).expect("runs");
+            assert!(run.is_correct(), "{kname} on {cname} diverged");
+            let base = *baseline.get_or_insert(run.stats.cycles);
+            if matches!(target, Target::Zolc(_)) {
+                assert!(
+                    run.stats.cycles < base,
+                    "{kname} on {cname}: ZOLC not faster than baseline"
+                );
+            }
+        }
+    }
+}
+
+/// The `design_space` example: every explored configuration is valid and
+/// none limits the processor cycle time.
+#[test]
+fn design_space_points_stay_uncritical() {
+    let mut points = vec![ZolcConfig::micro(), ZolcConfig::lite(), ZolcConfig::full()];
+    for loops in [2usize, 4, 6, 8] {
+        let tasks = (4 * loops).min(32);
+        points.push(ZolcConfig::custom(loops, tasks, 0, 0).expect("valid"));
+        points.push(ZolcConfig::custom(loops, tasks, 4, 4).expect("valid"));
+    }
+    for cfg in &points {
+        let storage = area::storage(cfg);
+        let gates = area::gates(cfg);
+        let timing = area::timing(cfg);
+        assert!(storage.bytes() > 0 && gates.total() > 0);
+        assert!(
+            !timing.limits_cycle_time(),
+            "{cfg}: fetch path limits cycle time"
+        );
+    }
+}

@@ -17,12 +17,7 @@ use zolc::sim::{run_program, NullEngine};
 fn body_instr(depth: usize) -> impl Strategy<Value = Instr> {
     let acc = || (2u8..8).prop_map(reg);
     let lo = 19 + depth.clamp(1, 3) as u8;
-    let src = move || {
-        prop_oneof![
-            (2u8..8).prop_map(reg),
-            (lo..23).prop_map(reg),
-        ]
-    };
+    let src = move || prop_oneof![(2u8..8).prop_map(reg), (lo..23).prop_map(reg),];
     prop_oneof![
         (acc(), src(), src()).prop_map(|(rd, rs, rt)| Instr::Add { rd, rs, rt }),
         (acc(), src(), src()).prop_map(|(rd, rs, rt)| Instr::Sub { rd, rs, rt }),
@@ -37,9 +32,8 @@ fn body_instr(depth: usize) -> impl Strategy<Value = Instr> {
 fn nest(depth: usize) -> BoxedStrategy<Node> {
     let body = || prop::collection::vec(body_instr(depth), 2..5);
     let trips = 1u32..6;
-    let index = (any::<bool>(), -20i32..20, 1i32..5).prop_map(move |(has, init, step)| {
-        has.then_some((init, step))
-    });
+    let index = (any::<bool>(), -20i32..20, 1i32..5)
+        .prop_map(move |(has, init, step)| has.then_some((init, step)));
     if depth == 1 {
         (body(), trips, index)
             .prop_map(move |(b, t, ix)| {

@@ -46,9 +46,7 @@ impl Interp {
             Or { rd, rs, rt } => self.w(rd, self.r(rs) | self.r(rt)),
             Xor { rd, rs, rt } => self.w(rd, self.r(rs) ^ self.r(rt)),
             Nor { rd, rs, rt } => self.w(rd, !(self.r(rs) | self.r(rt))),
-            Slt { rd, rs, rt } => {
-                self.w(rd, ((self.r(rs) as i32) < (self.r(rt) as i32)) as u32)
-            }
+            Slt { rd, rs, rt } => self.w(rd, ((self.r(rs) as i32) < (self.r(rt) as i32)) as u32),
             Sltu { rd, rs, rt } => self.w(rd, (self.r(rs) < self.r(rt)) as u32),
             Mul { rd, rs, rt } => self.w(rd, self.r(rs).wrapping_mul(self.r(rt))),
             Mulh { rd, rs, rt } => self.w(
@@ -59,9 +57,7 @@ impl Interp {
             Srl { rd, rt, sh } => self.w(rd, self.r(rt) >> sh),
             Sra { rd, rt, sh } => self.w(rd, ((self.r(rt) as i32) >> sh) as u32),
             Addi { rt, rs, imm } => self.w(rt, self.r(rs).wrapping_add(imm as i32 as u32)),
-            Slti { rt, rs, imm } => {
-                self.w(rt, ((self.r(rs) as i32) < i32::from(imm)) as u32)
-            }
+            Slti { rt, rs, imm } => self.w(rt, ((self.r(rs) as i32) < i32::from(imm)) as u32),
             Andi { rt, rs, imm } => self.w(rt, self.r(rs) & u32::from(imm)),
             Ori { rt, rs, imm } => self.w(rt, self.r(rs) | u32::from(imm)),
             Xori { rt, rs, imm } => self.w(rt, self.r(rs) ^ u32::from(imm)),
@@ -102,18 +98,36 @@ fn any_instr() -> impl Strategy<Value = Instr> {
     let rrr = (any_small_reg(), any_small_reg(), any_small_reg());
     prop_oneof![
         rrr.prop_map(|(rd, rs, rt)| Add { rd, rs, rt }),
-        (any_small_reg(), any_small_reg(), any_small_reg())
-            .prop_map(|(rd, rs, rt)| Sub { rd, rs, rt }),
-        (any_small_reg(), any_small_reg(), any_small_reg())
-            .prop_map(|(rd, rs, rt)| Xor { rd, rs, rt }),
-        (any_small_reg(), any_small_reg(), any_small_reg())
-            .prop_map(|(rd, rs, rt)| Mul { rd, rs, rt }),
-        (any_small_reg(), any_small_reg(), any_small_reg())
-            .prop_map(|(rd, rs, rt)| Slt { rd, rs, rt }),
-        (any_small_reg(), any_small_reg(), any::<i16>())
-            .prop_map(|(rt, rs, imm)| Addi { rt, rs, imm }),
-        (any_small_reg(), any_small_reg(), any::<u16>())
-            .prop_map(|(rt, rs, imm)| Andi { rt, rs, imm }),
+        (any_small_reg(), any_small_reg(), any_small_reg()).prop_map(|(rd, rs, rt)| Sub {
+            rd,
+            rs,
+            rt
+        }),
+        (any_small_reg(), any_small_reg(), any_small_reg()).prop_map(|(rd, rs, rt)| Xor {
+            rd,
+            rs,
+            rt
+        }),
+        (any_small_reg(), any_small_reg(), any_small_reg()).prop_map(|(rd, rs, rt)| Mul {
+            rd,
+            rs,
+            rt
+        }),
+        (any_small_reg(), any_small_reg(), any_small_reg()).prop_map(|(rd, rs, rt)| Slt {
+            rd,
+            rs,
+            rt
+        }),
+        (any_small_reg(), any_small_reg(), any::<i16>()).prop_map(|(rt, rs, imm)| Addi {
+            rt,
+            rs,
+            imm
+        }),
+        (any_small_reg(), any_small_reg(), any::<u16>()).prop_map(|(rt, rs, imm)| Andi {
+            rt,
+            rs,
+            imm
+        }),
         (any_small_reg(), any::<u16>()).prop_map(|(rt, imm)| Lui { rt, imm }),
         (any_small_reg(), any_small_reg(), 0u8..16).prop_map(|(rd, rt, sh)| Sll { rd, rt, sh }),
         (any_small_reg(), any_small_reg(), 0u8..16).prop_map(|(rd, rt, sh)| Sra { rd, rt, sh }),

@@ -1,0 +1,176 @@
+//! Minimal offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment of this repository cannot reach crates.io, so
+//! this shim implements the subset of the criterion API the workspace's
+//! benches use: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Like real criterion, passing `--test` on the bench command line
+//! (`cargo bench -- --test`) runs every benchmark body exactly once as a
+//! smoke test; otherwise each benchmark is timed with a short wall-clock
+//! sampling loop and a mean ns/iter is reported on stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let (test_mode, sample_size) = (self.test_mode, self.sample_size);
+        run_one(&id.into(), test_mode, sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.test_mode, self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] with the code
+/// under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: BenchMode,
+    elapsed: Duration,
+    iters: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BenchMode {
+    /// Run the routine exactly once (`--test`).
+    Once,
+    /// Time the routine for roughly this many samples.
+    Timed { samples: usize },
+}
+
+impl Bencher {
+    /// Measure `routine`, keeping its result alive via [`black_box`].
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            BenchMode::Once => {
+                black_box(routine());
+                self.iters = 1;
+            }
+            BenchMode::Timed { samples } => {
+                // Warm-up, then sample until the budget is spent.
+                black_box(routine());
+                let budget = Duration::from_millis(200);
+                let start = Instant::now();
+                let mut iters = 0u64;
+                while iters < samples as u64 && start.elapsed() < budget {
+                    black_box(routine());
+                    iters += 1;
+                }
+                self.elapsed = start.elapsed();
+                self.iters = iters.max(1);
+            }
+        }
+    }
+}
+
+fn run_one(id: &str, test_mode: bool, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mode = if test_mode {
+        BenchMode::Once
+    } else {
+        BenchMode::Timed {
+            samples: sample_size,
+        }
+    };
+    let mut b = Bencher {
+        mode,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    assert!(b.iters > 0, "benchmark {id} never called Bencher::iter");
+    if test_mode {
+        println!("test {id} ... ok");
+    } else {
+        let ns = b.elapsed.as_nanos() / u128::from(b.iters);
+        println!("{id}: {ns} ns/iter ({} iters)", b.iters);
+    }
+}
+
+/// Collects benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `fn main` invoking the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

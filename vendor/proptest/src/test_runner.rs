@@ -1,0 +1,69 @@
+//! Test configuration and the deterministic RNG backing generation.
+
+/// Per-suite configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of cases each property runs (default 256, as in real
+    /// proptest). Overridable globally with `PROPTEST_CASES`.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 256 }
+    }
+}
+
+/// A small deterministic RNG (splitmix64) seeded from the test name.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG with an explicit seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Deterministic RNG for the named test, perturbed by the
+    /// `PROPTEST_SEED` environment variable when set.
+    ///
+    /// Seeding uses FNV-1a rather than std's `DefaultHasher`, whose
+    /// algorithm may change between Rust releases: the seed — and with
+    /// it the generated case sequence — must match across toolchains so
+    /// CI failures reproduce locally.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut seed = fnv1a(0xcbf2_9ce4_8422_2325, name);
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            seed = fnv1a(seed, &extra);
+        }
+        TestRng::new(seed)
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// 64-bit FNV-1a over `s`, continuing from `state` (stable across Rust
+/// releases, unlike `DefaultHasher`).
+fn fnv1a(state: u64, s: &str) -> u64 {
+    s.bytes().fold(state, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
