@@ -1,36 +1,96 @@
 //! Criterion wall-clock benchmarks of the simulator itself: how fast the
-//! pipeline + controller models execute the benchmark kernels
-//! (engineering metric, not a paper artifact).
+//! cycle-accurate pipeline and the functional executor run the benchmark
+//! kernels (engineering metric, not a paper artifact).
+//!
+//! Besides the criterion timings, a side-by-side table reports both
+//! executors in instructions per second so the functional executor's
+//! speedup is a tracked artifact of every bench run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
+use std::time::Instant;
 use zolc_core::ZolcConfig;
 use zolc_ir::Target;
-use zolc_kernels::{kernels, run_kernel};
+use zolc_kernels::{find_kernel, run_kernel_with, BuiltKernel, ExecutorKind};
+
+const KERNELS: [&str; 4] = ["matmul", "crc32", "me_tss", "me_fs"];
+const BUDGET: u64 = 50_000_000;
+
+fn targets() -> [(&'static str, Target); 2] {
+    [
+        ("baseline", Target::Baseline),
+        ("zolc_lite", Target::Zolc(ZolcConfig::lite())),
+    ]
+}
+
+fn build(name: &str, target: &Target) -> BuiltKernel {
+    let entry = find_kernel(name).expect("kernel exists");
+    (entry.build)(target).expect("builds")
+}
 
 fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_throughput");
     group.sample_size(10);
-    for name in ["matmul", "crc32", "me_tss"] {
-        let entry = kernels()
-            .iter()
-            .find(|k| k.name == name)
-            .expect("kernel exists");
-        for (label, target) in [
-            ("baseline", Target::Baseline),
-            ("zolc_lite", Target::Zolc(ZolcConfig::lite())),
-        ] {
-            let built = (entry.build)(&target).expect("builds");
-            group.bench_function(format!("{name}/{label}"), |b| {
-                b.iter(|| {
-                    let run = run_kernel(&built, 50_000_000).expect("runs");
-                    assert!(run.is_correct());
-                    run.stats.cycles
-                })
-            });
+    for name in KERNELS {
+        for (label, target) in targets() {
+            let built = build(name, &target);
+            for kind in [ExecutorKind::CycleAccurate, ExecutorKind::Functional] {
+                group.bench_function(format!("{name}/{label}/{kind}"), |b| {
+                    b.iter(|| {
+                        let run = run_kernel_with(&built, BUDGET, kind).expect("runs");
+                        assert!(run.is_correct());
+                        run.stats.retired
+                    })
+                });
+            }
         }
     }
     group.finish();
 }
 
+/// Times `reps` correctness-checked runs and returns (instructions/sec,
+/// retired instructions per run).
+fn instrs_per_sec(built: &BuiltKernel, kind: ExecutorKind, reps: u32) -> (f64, u64) {
+    let mut retired = 0;
+    let start = Instant::now();
+    for _ in 0..reps {
+        let run = run_kernel_with(built, BUDGET, kind).expect("runs");
+        assert!(run.is_correct());
+        retired = run.stats.retired;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (f64::from(reps) * retired as f64 / secs.max(1e-9), retired)
+}
+
+/// The tracked artifact: both executors side by side, in instructions
+/// per second, with the functional speedup per (kernel, target) cell.
+fn side_by_side(test_mode: bool) {
+    let reps = if test_mode { 1 } else { 20 };
+    println!("\nexecutor throughput side by side ({reps} runs/cell):");
+    println!(
+        "{:<10} {:<10} {:>8} {:>16} {:>16} {:>9}",
+        "kernel", "target", "instrs", "pipeline i/s", "functional i/s", "speedup"
+    );
+    for name in KERNELS {
+        for (label, target) in targets() {
+            let built = build(name, &target);
+            let (pipe, retired) = instrs_per_sec(&built, ExecutorKind::CycleAccurate, reps);
+            let (func, _) = instrs_per_sec(&built, ExecutorKind::Functional, reps);
+            println!(
+                "{:<10} {:<10} {:>8} {:>16.0} {:>16.0} {:>8.1}x",
+                name,
+                label,
+                retired,
+                pipe,
+                func,
+                func / pipe
+            );
+        }
+    }
+}
+
 criterion_group!(benches, bench_simulation);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    side_by_side(std::env::args().any(|a| a == "--test"));
+}

@@ -1,13 +1,18 @@
 //! The experiment implementations, one per paper artifact (see the
 //! experiment index in `DESIGN.md` and results in `EXPERIMENTS.md`).
 
-use crate::matrix::{Fig2Report, MAX_CYCLES};
+use crate::matrix::{Fig2Report, JobMatrix, MAX_CYCLES};
 use crate::table::{render_bars, render_table};
 use std::fmt::Write as _;
 use zolc_core::{area, PerfectLevel, PerfectNestController, PerfectNestSpec, ZolcConfig};
 use zolc_ir::Target;
-use zolc_kernels::{build_find_first, build_me_fs, build_me_fs_early, kernels, run_kernel};
+use zolc_kernels::{find_kernel, kernels, KernelEntry};
 use zolc_sim::run_program;
+
+/// Looks up a registry entry (Fig. 2 set or ablation extras) by name.
+fn entry(name: &str) -> KernelEntry {
+    find_kernel(name).unwrap_or_else(|| panic!("unknown kernel {name}"))
+}
 
 /// Paper values for E1 (Fig. 2 aggregates).
 pub mod paper {
@@ -193,17 +198,15 @@ pub fn e3_timing() -> String {
 /// loop nests."
 pub fn e4_init_overhead() -> String {
     let target = Target::Zolc(ZolcConfig::lite());
+    let results = JobMatrix::cross(kernels(), std::slice::from_ref(&target)).run();
     let mut rows = Vec::new();
-    for k in kernels() {
-        let built = (k.build)(&target).expect("builds");
-        let run = run_kernel(&built, MAX_CYCLES).expect("runs");
-        assert!(run.is_correct(), "{}", k.name);
-        let init = built.info.init_instructions;
-        let pct = 100.0 * init as f64 / run.stats.cycles as f64;
+    for m in &results {
+        let init = m.info.init_instructions;
+        let pct = 100.0 * init as f64 / m.stats.cycles as f64;
         rows.push(vec![
-            k.name.to_owned(),
+            m.kernel.clone(),
             init.to_string(),
-            run.stats.cycles.to_string(),
+            m.stats.cycles.to_string(),
             format!("{pct:.2}%"),
         ]);
     }
@@ -221,69 +224,83 @@ pub fn e4_init_overhead() -> String {
 pub fn e5_ablation() -> String {
     let mut out = String::from("E5 — configuration ablation and the perfect-nest unit [2]\n\n");
 
-    // (a) multiple-exit support: me_fs_early across configurations
-    let mut rows = Vec::new();
-    for (label, target) in [
-        ("XRdefault", Target::Baseline),
-        ("XRhrdwil", Target::HwLoop),
-        ("ZOLClite (sw fixup)", Target::Zolc(ZolcConfig::lite())),
-        ("ZOLCfull (exit rec)", Target::Zolc(ZolcConfig::full())),
+    // Every (kernel, target) cell of the ablation as one batched matrix:
+    // me_fs_early across configurations (a), the exhaustive-search
+    // comparison point, and the uZOLC-coverage sweep (b).
+    const EARLY_LABELS: [&str; 4] = [
+        "XRdefault",
+        "XRhrdwil",
+        "ZOLClite (sw fixup)",
+        "ZOLCfull (exit rec)",
+    ];
+    const FIND_LABELS: [&str; 5] = ["XRdefault", "XRhrdwil", "uZOLC", "ZOLClite", "ZOLCfull"];
+    let mut matrix = JobMatrix::new();
+    for target in [
+        Target::Baseline,
+        Target::HwLoop,
+        Target::Zolc(ZolcConfig::lite()),
+        Target::Zolc(ZolcConfig::full()),
     ] {
-        let built = build_me_fs_early(&target).expect("builds");
-        let run = run_kernel(&built, MAX_CYCLES).expect("runs");
-        assert!(run.is_correct(), "me_fs_early on {label}");
-        rows.push(vec![
-            label.to_owned(),
-            run.stats.cycles.to_string(),
-            built.info.notes.join("; "),
-        ]);
+        matrix.push(entry("me_fs_early"), target);
     }
+    matrix.push(entry("me_fs"), Target::Zolc(ZolcConfig::full()));
+    for target in [
+        Target::Baseline,
+        Target::HwLoop,
+        Target::Zolc(ZolcConfig::micro()),
+        Target::Zolc(ZolcConfig::lite()),
+        Target::Zolc(ZolcConfig::full()),
+    ] {
+        matrix.push(entry("find_first"), target);
+    }
+    let results = matrix.run();
+    let (early_cells, rest) = results.split_at(EARLY_LABELS.len());
+    let (plain_full, find_cells) = rest.split_first().expect("me_fs cell");
+
+    // (a) multiple-exit support: me_fs_early across configurations
+    let rows = EARLY_LABELS
+        .iter()
+        .zip(early_cells)
+        .map(|(label, m)| {
+            vec![
+                (*label).to_owned(),
+                m.stats.cycles.to_string(),
+                m.info.notes.join("; "),
+            ]
+        })
+        .collect::<Vec<_>>();
     out.push_str("(a) me_fs_early — early SAD termination (multiple-exit loops):\n");
     out.push_str(&render_table(&["config", "cycles", "notes"], &rows));
 
     // compare against plain full search under ZOLCfull
-    let plain = run_kernel(
-        &build_me_fs(&Target::Zolc(ZolcConfig::full())).expect("builds"),
-        MAX_CYCLES,
-    )
-    .expect("runs");
-    let early = run_kernel(
-        &build_me_fs_early(&Target::Zolc(ZolcConfig::full())).expect("builds"),
-        MAX_CYCLES,
-    )
-    .expect("runs");
+    let early_full = early_cells.last().expect("me_fs_early on ZOLCfull");
     let _ = writeln!(
         out,
         "\n    early termination saves {:.1}% cycles over exhaustive search on ZOLCfull\n",
-        100.0 * (plain.stats.cycles as f64 - early.stats.cycles as f64) / plain.stats.cycles as f64
+        100.0 * (plain_full.stats.cycles as f64 - early_full.stats.cycles as f64)
+            / plain_full.stats.cycles as f64
     );
 
     // (b) uZOLC coverage: single-loop kernel across all configurations
-    let mut rows = Vec::new();
-    for (label, target) in [
-        ("XRdefault", Target::Baseline),
-        ("XRhrdwil", Target::HwLoop),
-        ("uZOLC", Target::Zolc(ZolcConfig::micro())),
-        ("ZOLClite", Target::Zolc(ZolcConfig::lite())),
-        ("ZOLCfull", Target::Zolc(ZolcConfig::full())),
-    ] {
-        let built = build_find_first(&target).expect("builds");
-        let run = run_kernel(&built, MAX_CYCLES).expect("runs");
-        assert!(run.is_correct(), "find_first on {label}");
-        let (bytes, gates) = match &target {
-            Target::Zolc(cfg) => (
-                area::storage(cfg).bytes().to_string(),
-                area::gates(cfg).total().to_string(),
-            ),
-            _ => ("-".to_owned(), "-".to_owned()),
-        };
-        rows.push(vec![
-            label.to_owned(),
-            run.stats.cycles.to_string(),
-            bytes,
-            gates,
-        ]);
-    }
+    let rows = FIND_LABELS
+        .iter()
+        .zip(find_cells)
+        .map(|(label, m)| {
+            let (bytes, gates) = match &m.target {
+                Target::Zolc(cfg) => (
+                    area::storage(cfg).bytes().to_string(),
+                    area::gates(cfg).total().to_string(),
+                ),
+                _ => ("-".to_owned(), "-".to_owned()),
+            };
+            vec![
+                (*label).to_owned(),
+                m.stats.cycles.to_string(),
+                bytes,
+                gates,
+            ]
+        })
+        .collect::<Vec<_>>();
     out.push_str("(b) find_first — single loop with early exit (uZOLC territory):\n");
     out.push_str(&render_table(
         &["config", "cycles", "storage B", "gates"],

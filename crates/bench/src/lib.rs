@@ -14,6 +14,27 @@
 //! | simulator throughput | (engineering) | `benches/sim_throughput.rs` (criterion) |
 //!
 //! Run them all with `cargo bench`.
+//!
+//! # The batched job API
+//!
+//! Experiments no longer walk their (kernel, target) cells serially:
+//! they declare a [`JobMatrix`] — kernel × target × executor cells —
+//! and [`JobMatrix::run`] measures all cells on a scoped thread pool,
+//! returning correctness-checked [`Measurement`]s in cell order. Cell
+//! independence makes the parallel results bit-identical to a serial
+//! walk. Build custom sweeps the same way:
+//!
+//! ```
+//! use zolc_bench::JobMatrix;
+//! use zolc_ir::Target;
+//! use zolc_kernels::{kernels, ExecutorKind};
+//!
+//! // fast architectural sweep of two kernels on the functional executor
+//! let results = JobMatrix::cross(&kernels()[..2], &[Target::Baseline])
+//!     .with_executor(ExecutorKind::Functional)
+//!     .run();
+//! assert!(results.iter().all(|m| m.stats.cycles == 0 && m.stats.retired > 0));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,5 +44,7 @@ mod matrix;
 mod table;
 
 pub use experiments::{e1_fig2, e2_area_table, e3_timing, e4_init_overhead, e5_ablation, paper};
-pub use matrix::{measure, Fig2Report, Fig2Row, Measurement, MAX_CYCLES};
+pub use matrix::{
+    measure, measure_with, Fig2Report, Fig2Row, Job, JobMatrix, Measurement, MAX_CYCLES,
+};
 pub use table::{render_bars, render_table};

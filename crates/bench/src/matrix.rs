@@ -1,13 +1,38 @@
-//! The kernel × configuration measurement matrix behind Fig. 2.
+//! The kernel × target × executor measurement matrix behind the
+//! experiments, and its batch-parallel runner.
+//!
+//! Every experiment used to walk its (kernel, target) cells serially;
+//! [`JobMatrix`] turns that into data: build the cell list up front,
+//! then [`JobMatrix::run`] measures all cells on a scoped `std::thread`
+//! pool. Cells are independent by construction (each builds its own
+//! program and simulator), results come back in cell order, and a
+//! failed cell panics the whole run exactly as the serial loops did —
+//! experiment results are only meaningful when every cell is correct.
 
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
 use zolc_core::ZolcConfig;
-use zolc_ir::Target;
-use zolc_kernels::{kernels, run_kernel, KernelEntry};
+use zolc_ir::{LoweredInfo, Target};
+use zolc_kernels::{kernels, run_kernel_with, ExecutorKind, KernelEntry};
 use zolc_sim::Stats;
 
 /// Cycle budget generous enough for every kernel on every target.
 pub const MAX_CYCLES: u64 = 50_000_000;
+
+/// One cell of a [`JobMatrix`]: a kernel to build and measure on a
+/// target with a chosen executor.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The kernel to build.
+    pub entry: KernelEntry,
+    /// The target configuration.
+    pub target: Target,
+    /// Which executor measures it (cycle-accurate by default; cycle
+    /// counts are only meaningful on [`ExecutorKind::CycleAccurate`]).
+    pub executor: ExecutorKind,
+}
 
 /// One (kernel, target) measurement, correctness-checked.
 #[derive(Debug, Clone)]
@@ -16,11 +41,15 @@ pub struct Measurement {
     pub kernel: String,
     /// Target configuration.
     pub target: Target,
+    /// Which executor produced it.
+    pub executor: ExecutorKind,
     /// Full pipeline statistics.
     pub stats: Stats,
+    /// Lowering byproducts (table image, init length, notes).
+    pub info: LoweredInfo,
 }
 
-/// Measures one kernel on one target.
+/// Measures one kernel on one target with the cycle-accurate executor.
 ///
 /// # Panics
 ///
@@ -28,9 +57,18 @@ pub struct Measurement {
 /// reference model — experiment results are only meaningful for correct
 /// runs, so a mismatch is fatal by design.
 pub fn measure(entry: &KernelEntry, target: &Target) -> Measurement {
+    measure_with(entry, target, ExecutorKind::CycleAccurate)
+}
+
+/// Measures one kernel on one target with the chosen executor.
+///
+/// # Panics
+///
+/// Panics on build, run, or verification failure (see [`measure`]).
+pub fn measure_with(entry: &KernelEntry, target: &Target, executor: ExecutorKind) -> Measurement {
     let built = (entry.build)(target)
         .unwrap_or_else(|e| panic!("{}/{}: build failed: {e}", entry.name, target));
-    let run = run_kernel(&built, MAX_CYCLES)
+    let run = run_kernel_with(&built, MAX_CYCLES, executor)
         .unwrap_or_else(|e| panic!("{}/{}: run failed: {e}", entry.name, target));
     assert!(
         run.is_correct(),
@@ -43,7 +81,151 @@ pub fn measure(entry: &KernelEntry, target: &Target) -> Measurement {
     Measurement {
         kernel: entry.name.to_owned(),
         target: target.clone(),
+        executor,
         stats: run.stats,
+        info: built.info,
+    }
+}
+
+/// A batch of measurement cells, run in parallel.
+///
+/// # Examples
+///
+/// ```
+/// use zolc_bench::JobMatrix;
+/// use zolc_ir::Target;
+/// use zolc_kernels::kernels;
+///
+/// let matrix = JobMatrix::cross(&kernels()[..2], &[Target::Baseline, Target::HwLoop]);
+/// let results = matrix.run();
+/// assert_eq!(results.len(), 4);
+/// // kernel-major order: cells of one kernel are adjacent
+/// assert_eq!(results[0].kernel, results[1].kernel);
+/// assert!(results.iter().all(|m| m.stats.cycles > 0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct JobMatrix {
+    jobs: Vec<Job>,
+}
+
+impl JobMatrix {
+    /// An empty matrix.
+    pub fn new() -> JobMatrix {
+        JobMatrix::default()
+    }
+
+    /// The full cross product `entries × targets`, kernel-major (all of
+    /// one kernel's targets are adjacent), on the cycle-accurate
+    /// executor.
+    pub fn cross(entries: &[KernelEntry], targets: &[Target]) -> JobMatrix {
+        let mut m = JobMatrix::new();
+        for e in entries {
+            for t in targets {
+                m.push(*e, t.clone());
+            }
+        }
+        m
+    }
+
+    /// The standard Fig. 2 matrix: all twelve kernels on
+    /// `XRdefault` / `XRhrdwil` / `ZOLClite`, kernel-major.
+    pub fn fig2() -> JobMatrix {
+        JobMatrix::cross(
+            kernels(),
+            &[
+                Target::Baseline,
+                Target::HwLoop,
+                Target::Zolc(ZolcConfig::lite()),
+            ],
+        )
+    }
+
+    /// Appends one cell (cycle-accurate executor).
+    pub fn push(&mut self, entry: KernelEntry, target: Target) -> &mut JobMatrix {
+        self.jobs.push(Job {
+            entry,
+            target,
+            executor: ExecutorKind::CycleAccurate,
+        });
+        self
+    }
+
+    /// Switches every cell to `executor` (e.g. [`ExecutorKind::Functional`]
+    /// for a fast correctness-only sweep).
+    pub fn with_executor(mut self, executor: ExecutorKind) -> JobMatrix {
+        for j in &mut self.jobs {
+            j.executor = executor;
+        }
+        self
+    }
+
+    /// The cells, in insertion order (= result order).
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the matrix has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Runs every cell, spreading them over the machine's available
+    /// parallelism. Results are in cell order regardless of completion
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell fails to build, run, or verify (see
+    /// [`measure`]); worker panics propagate when the scope joins.
+    pub fn run(&self) -> Vec<Measurement> {
+        let threads = thread::available_parallelism().map_or(1, usize::from);
+        self.run_threads(threads)
+    }
+
+    /// Runs every cell on at most `threads` worker threads (clamped to
+    /// the number of cells; `1` runs inline with no thread overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell fails to build, run, or verify (see
+    /// [`measure`]).
+    pub fn run_threads(&self, threads: usize) -> Vec<Measurement> {
+        let n = self.jobs.len();
+        let threads = threads.clamp(1, n.max(1));
+        let run_job = |j: &Job| measure_with(&j.entry, &j.target, j.executor);
+        if threads <= 1 || n <= 1 {
+            return self.jobs.iter().map(run_job).collect();
+        }
+        // Work-stealing by atomic cursor: each worker claims the next
+        // unstarted cell, so long cells (me_fs on XRdefault) overlap
+        // short ones instead of gating a fixed chunk.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Measurement>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
+                        break;
+                    }
+                    let m = run_job(&self.jobs[k]);
+                    *slots[k].lock().expect("result slot poisoned") = Some(m);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("cell completed")
+            })
+            .collect()
     }
 }
 
@@ -86,16 +268,19 @@ pub struct Fig2Report {
 }
 
 impl Fig2Report {
-    /// Measures all twelve benchmarks on the three Fig. 2 configurations.
+    /// Measures all twelve benchmarks on the three Fig. 2 configurations,
+    /// batch-parallel over the [`JobMatrix`].
     pub fn collect() -> Fig2Report {
-        let zolc = Target::Zolc(ZolcConfig::lite());
-        let rows = kernels()
-            .iter()
-            .map(|k| Fig2Row {
-                kernel: k.name.to_owned(),
-                baseline: measure(k, &Target::Baseline).stats.cycles,
-                hwloop: measure(k, &Target::HwLoop).stats.cycles,
-                zolc: measure(k, &zolc).stats.cycles,
+        let results = JobMatrix::fig2().run();
+        // kernel-major: three consecutive cells per kernel, target order
+        // Baseline / HwLoop / Zolc.
+        let rows = results
+            .chunks_exact(3)
+            .map(|cell| Fig2Row {
+                kernel: cell[0].kernel.clone(),
+                baseline: cell[0].stats.cycles,
+                hwloop: cell[1].stats.cycles,
+                zolc: cell[2].stats.cycles,
             })
             .collect();
         Fig2Report { rows }
@@ -184,6 +369,7 @@ mod tests {
         let m = measure(&kernels()[0], &Target::Baseline);
         assert!(m.stats.cycles > 0);
         assert_eq!(m.kernel, "vec_mac");
+        assert_eq!(m.executor, ExecutorKind::CycleAccurate);
     }
 
     #[test]
@@ -197,5 +383,42 @@ mod tests {
         assert!((r.hwloop_improvement() - 10.0).abs() < 1e-9);
         assert!((r.zolc_improvement() - 25.0).abs() < 1e-9);
         assert_eq!(r.relative(), [1.0, 0.9, 0.75]);
+    }
+
+    #[test]
+    fn matrix_results_are_in_cell_order_and_thread_invariant() {
+        let targets = [Target::Baseline, Target::HwLoop];
+        let matrix = JobMatrix::cross(&kernels()[..3], &targets);
+        assert_eq!(matrix.len(), 6);
+        let parallel = matrix.run_threads(4);
+        let serial = matrix.run_threads(1);
+        assert_eq!(parallel.len(), serial.len());
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.kernel, s.kernel);
+            assert_eq!(p.target, s.target);
+            assert_eq!(p.stats, s.stats, "{}/{}", p.kernel, p.target);
+        }
+        // cell order matches the declared jobs
+        for (m, j) in parallel.iter().zip(matrix.jobs()) {
+            assert_eq!(m.kernel, j.entry.name);
+            assert_eq!(m.target, j.target);
+        }
+    }
+
+    #[test]
+    fn functional_matrix_runs_without_cycles() {
+        let matrix = JobMatrix::cross(&kernels()[..2], &[Target::Baseline])
+            .with_executor(ExecutorKind::Functional);
+        for m in matrix.run_threads(2) {
+            assert_eq!(m.stats.cycles, 0);
+            assert!(m.stats.retired > 0);
+            assert_eq!(m.executor, ExecutorKind::Functional);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_runs_to_empty() {
+        assert!(JobMatrix::new().run().is_empty());
+        assert!(JobMatrix::new().is_empty());
     }
 }

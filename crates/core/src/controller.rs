@@ -19,6 +19,23 @@
 //! mis-scheduled in-loop `zwr` limit updates, which must precede the
 //! affected task end by at least 3 instructions so the write retires
 //! before the end address is fetched).
+//!
+//! # Executor independence
+//!
+//! The hooks are defined purely in terms of the [`LoopEngine`] trait, so
+//! the controller runs unchanged on either simulator executor:
+//!
+//! * the **cycle-accurate pipeline** drives it speculatively — several
+//!   fetches can separate an instruction's `on_fetch` from its
+//!   `on_execute`, and wrong-path fetches are rolled back via `on_flush`;
+//! * the **functional executor** drives it with strict per-instruction
+//!   alternation (`on_fetch` immediately followed by `on_execute`, no
+//!   wrong paths), under which speculative and architectural state never
+//!   diverge and the journal trivially verifies.
+//!
+//! Both schedules are legal by the trait's contract and produce identical
+//! architectural results (the root `prop_exec_equiv` suite checks this on
+//! every benchmark kernel).
 
 use crate::config::ZolcConfig;
 use crate::dynamics::{decide, Decision, DynState};
@@ -268,6 +285,22 @@ mod tests {
         z.assert_consistent();
         assert_eq!(z.arch_state().counts[0], 0);
         assert_eq!(z.arch_state(), z.spec_state());
+    }
+
+    #[test]
+    fn functional_drive_pattern_with_flush_mirroring_is_consistent() {
+        // The functional executor's schedule: fetch/execute strictly
+        // alternate and on_flush is mirrored after taken transfers; spec
+        // and arch state must track each other exactly throughout.
+        let mut z = controller_with_loop();
+        for pc in [0x0c, 0x10, 0x14, 0x18, 0x10, 0x14, 0x18, 0x1c] {
+            let _ = z.on_fetch(pc);
+            z.on_execute(pc, ExecEvent::Plain);
+            z.on_flush(); // worst case: mirror a flush after every instr
+            assert_eq!(z.arch_state(), z.spec_state());
+        }
+        z.assert_consistent();
+        assert_eq!(z.arch_state().counts[0], 0);
     }
 
     #[test]

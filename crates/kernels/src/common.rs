@@ -4,7 +4,7 @@ use std::fmt;
 use zolc_core::{Zolc, ZolcConfig};
 use zolc_ir::{lower_into, LoopIr, LowerError, LoweredInfo, Target};
 use zolc_isa::{Asm, AsmError, Instr, Program, Reg};
-use zolc_sim::{run_program, NullEngine, RunError, Stats};
+use zolc_sim::{run_program_on, ExecutorKind, NullEngine, RunError, Stats};
 
 /// Expected architectural results of a kernel run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -32,6 +32,7 @@ pub struct BuiltKernel {
 
 /// Errors building a kernel.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum BuildError {
     /// The IR did not lower for this target.
     Lower(LowerError),
@@ -48,7 +49,14 @@ impl fmt::Display for BuildError {
     }
 }
 
-impl std::error::Error for BuildError {}
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Lower(e) => Some(e),
+            BuildError::Asm(e) => Some(e),
+        }
+    }
+}
 
 impl From<LowerError> for BuildError {
     fn from(e: LowerError) -> Self {
@@ -104,21 +112,45 @@ impl KernelRun {
     }
 }
 
-/// Runs a built kernel on the simulator and checks it against its
-/// reference expectation.
+/// Runs a built kernel on the cycle-accurate simulator and checks it
+/// against its reference expectation.
+///
+/// Shorthand for [`run_kernel_with`] on [`ExecutorKind::CycleAccurate`];
+/// use that directly to pick the fast functional executor when cycle
+/// counts are not needed.
 ///
 /// # Errors
 ///
 /// Propagates simulator [`RunError`]s (cycle limit, memory fault).
 pub fn run_kernel(built: &BuiltKernel, max_cycles: u64) -> Result<KernelRun, RunError> {
+    run_kernel_with(built, max_cycles, ExecutorKind::CycleAccurate)
+}
+
+/// Runs a built kernel on the chosen executor and checks it against its
+/// reference expectation.
+///
+/// The correct loop engine is attached automatically (the [`Zolc`]
+/// controller for ZOLC targets, [`NullEngine`] otherwise). On
+/// [`ExecutorKind::Functional`] the returned statistics carry no cycle
+/// counts but identical architectural event counts, and `budget` bounds
+/// retired instructions rather than cycles.
+///
+/// # Errors
+///
+/// Propagates simulator [`RunError`]s (budget exhausted, memory fault).
+pub fn run_kernel_with(
+    built: &BuiltKernel,
+    budget: u64,
+    executor: ExecutorKind,
+) -> Result<KernelRun, RunError> {
     let (finished, violations) = match &built.target {
         Target::Zolc(cfg) => {
             let mut z = Zolc::new(*cfg);
-            let fin = run_program(&built.program, &mut z, max_cycles)?;
+            let fin = run_program_on(executor, &built.program, &mut z, budget)?;
             (fin, z.violations().to_vec())
         }
         _ => {
-            let fin = run_program(&built.program, &mut NullEngine, max_cycles)?;
+            let fin = run_program_on(executor, &built.program, &mut NullEngine, budget)?;
             (fin, Vec::new())
         }
     };
@@ -204,6 +236,20 @@ impl Xorshift {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn both_executors_agree_on_a_kernel() {
+        for target in fig2_targets() {
+            let built = crate::build_vec_mac(&target).expect("builds");
+            let slow = run_kernel_with(&built, 10_000_000, ExecutorKind::CycleAccurate).unwrap();
+            let fast = run_kernel_with(&built, 10_000_000, ExecutorKind::Functional).unwrap();
+            assert!(slow.is_correct(), "{target}: {:?}", slow.mismatches);
+            assert!(fast.is_correct(), "{target}: {:?}", fast.mismatches);
+            assert_eq!(slow.stats.retired, fast.stats.retired, "{target}");
+            assert!(slow.stats.cycles > 0);
+            assert_eq!(fast.stats.cycles, 0);
+        }
+    }
 
     #[test]
     fn xorshift_is_deterministic() {

@@ -54,13 +54,15 @@ mod motion;
 mod vec;
 
 pub use common::{
-    fig2_targets, run_kernel, BuildError, BuiltKernel, Expectation, KernelRun, Xorshift,
+    fig2_targets, run_kernel, run_kernel_with, BuildError, BuiltKernel, Expectation, KernelRun,
+    Xorshift,
 };
 pub use filters::{build_fir, build_iir_biquad};
 pub use linalg::{build_conv2d, build_dct8x8, build_matmul};
 pub use misc::{build_bubble_sort, build_crc32, build_fft16};
 pub use motion::{build_find_first, build_me_fs, build_me_fs_early, build_me_tss};
 pub use vec::{build_vec_mac, build_vec_max};
+pub use zolc_sim::ExecutorKind;
 
 use zolc_ir::Target;
 
@@ -161,9 +163,26 @@ pub fn extra_kernels() -> &'static [KernelEntry] {
     ]
 }
 
+/// Looks up a registry entry by name across the Fig. 2 set and the
+/// ablation extras.
+pub fn find_kernel(name: &str) -> Option<KernelEntry> {
+    kernels()
+        .iter()
+        .chain(extra_kernels())
+        .find(|k| k.name == name)
+        .copied()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn find_kernel_covers_both_registries() {
+        assert_eq!(find_kernel("vec_mac").unwrap().name, "vec_mac");
+        assert_eq!(find_kernel("me_fs_early").unwrap().name, "me_fs_early");
+        assert!(find_kernel("no_such_kernel").is_none());
+    }
 
     #[test]
     fn registry_has_twelve_fig2_kernels() {

@@ -1,39 +1,20 @@
-//! The 5-stage in-order pipeline.
+//! Shared executor-facing surface: configuration, errors, the
+//! [`Executor`] trait and the [`run_program`]/[`run_program_on`] entry
+//! points.
 //!
-//! Stage structure (classic embedded RISC, as on the XiRisc core the paper
-//! extends):
-//!
-//! ```text
-//! IF -> ID -> EX -> MEM -> WB
-//! ```
-//!
-//! * Full forwarding: a result produced in EX or MEM is available to the
-//!   immediately following instruction's EX. Loads impose a one-cycle
-//!   load-use interlock.
-//! * Conditional branches and `jr` resolve in EX under predict-not-taken:
-//!   a taken branch kills the two younger pipeline slots (**2-cycle
-//!   penalty**). `j`/`jal` resolve in ID (**1-cycle penalty**). `dbnz` —
-//!   the XRhrdwil hardware-loop primitive — also resolves in ID via the
-//!   loop counter's dedicated zero-detect (**1-cycle taken penalty**),
-//!   falling back to EX resolution when the counter value is not yet
-//!   available.
-//! * A [`LoopEngine`] observes fetches and retirements. Its fetch-time
-//!   redirects cost **zero cycles** — this is precisely the mechanism that
-//!   makes the ZOLC a *zero-overhead* loop controller. Engine state
-//!   advanced for wrong-path fetches is rolled back via
-//!   [`LoopEngine::on_flush`].
-//! * `zctl` is context-synchronizing: executing it flushes the two younger
-//!   slots so mode changes are visible to the very next fetch.
-//!
-//! The retire point for control purposes is EX: an instruction that enters
-//! EX can no longer be squashed (only EX itself raises flushes, in program
-//! order).
+//! The simulator is layered (see the crate docs): the predecode and
+//! semantics layers live in [`crate::exec`], and two interchangeable
+//! executors implement the [`Executor`] trait on top of them — the
+//! cycle-accurate 5-stage [`Cpu`](crate::Cpu) and the fast
+//! [`FunctionalCpu`](crate::FunctionalCpu). This module holds everything
+//! both share.
 
-use crate::engine::{ExecEvent, LoopEngine, RegWrites};
+use crate::engine::LoopEngine;
 use crate::mem::{MemError, Memory};
 use crate::regfile::RegFile;
 use crate::stats::Stats;
-use zolc_isa::{Instr, Program, Reg, DATA_BASE, TEXT_BASE};
+use crate::{Cpu, FunctionalCpu};
+use zolc_isa::{Instr, Program, DATA_BASE};
 
 use std::fmt;
 
@@ -57,6 +38,7 @@ impl Default for CpuConfig {
 
 /// Errors terminating a simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RunError {
     /// A data access faulted.
     Mem(MemError),
@@ -65,7 +47,9 @@ pub enum RunError {
         /// The faulting fetch address.
         pc: u32,
     },
-    /// The cycle budget was exhausted without reaching `halt`.
+    /// The run budget — cycles on the cycle-accurate executor, retired
+    /// instructions on the functional one — was exhausted without
+    /// reaching `halt`.
     CycleLimit {
         /// The configured limit.
         limit: u64,
@@ -77,7 +61,9 @@ impl fmt::Display for RunError {
         match self {
             RunError::Mem(e) => write!(f, "memory fault: {e}"),
             RunError::PcOutOfText { pc } => write!(f, "execution left the text segment at {pc:#x}"),
-            RunError::CycleLimit { limit } => write!(f, "cycle limit of {limit} exceeded"),
+            RunError::CycleLimit { limit } => {
+                write!(f, "run budget of {limit} cycles/instructions exceeded")
+            }
         }
     }
 }
@@ -100,7 +86,9 @@ impl From<MemError> for RunError {
 /// One retired instruction, recorded when tracing is enabled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetireEvent {
-    /// Cycle at which the instruction left WB.
+    /// Cycle at which the instruction left WB (on the cycle-accurate
+    /// executor) or the retire ordinal (on the functional executor,
+    /// which has no clock).
     pub cycle: u64,
     /// Its address.
     pub pc: u32,
@@ -108,649 +96,106 @@ pub struct RetireEvent {
     pub instr: Instr,
 }
 
-/// Payload of the IF/ID and ID/EX latches.
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    pc: u32,
-    instr: Instr,
-    /// Index-register writes attached by the loop engine at fetch.
-    rider: RegWrites,
-    /// Fetch fault marker: raises an error if it reaches EX un-squashed.
-    fault: bool,
-    /// `dbnz` outcome already resolved in ID (the hardware-loop unit's
-    /// dedicated zero-detect); `None` = resolve in EX like other branches.
-    dbnz_taken: Option<bool>,
-}
-
-/// Payload of the EX/MEM latch.
-#[derive(Debug, Clone, Copy)]
-struct MemSlot {
-    pc: u32,
-    instr: Instr,
-    /// Effective address for loads/stores.
-    addr: u32,
-    /// Value to store (stores only).
-    store_val: u32,
-    /// Destination write (loads get their value filled in MEM).
-    dst: Option<(Reg, u32)>,
-    rider: RegWrites,
-}
-
-/// Payload of the MEM/WB latch.
-#[derive(Debug, Clone, Copy)]
-struct WbSlot {
-    pc: u32,
-    instr: Instr,
-    dst: Option<(Reg, u32)>,
-    rider: RegWrites,
-}
-
-/// The simulated processor.
+/// A processor core that can load and run programs.
 ///
-/// # Examples
-///
-/// ```
-/// use zolc_sim::{Cpu, CpuConfig, NullEngine};
-/// let program = zolc_isa::assemble("
-///     li   r1, 5
-///     li   r2, 0
-/// top: add  r2, r2, r1
-///     addi r1, r1, -1
-///     bne  r1, r0, top
-///     halt
-/// ").unwrap();
-/// let mut cpu = Cpu::new(CpuConfig::default());
-/// cpu.load_program(&program)?;
-/// let stats = cpu.run(&mut NullEngine, 10_000).unwrap();
-/// assert_eq!(cpu.regs().read(zolc_isa::reg(2)), 5 + 4 + 3 + 2 + 1);
-/// assert!(stats.cycles > 0);
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
-#[derive(Debug)]
-pub struct Cpu {
-    config: CpuConfig,
-    text: Vec<Instr>,
-    mem: Memory,
-    regs: RegFile,
-    pc: u32,
-    if_id: Option<Slot>,
-    id_ex: Option<Slot>,
-    ex_mem: Option<MemSlot>,
-    mem_wb: Option<WbSlot>,
-    /// Fetch is parked (past `halt`, or after a fetch fault) until a flush
-    /// redirects it.
-    fetch_stopped: bool,
-    stats: Stats,
-    retire_log: Vec<RetireEvent>,
-}
+/// Both executors implement this trait so harness code (kernels, the
+/// experiment matrix, property tests) can run either without caring
+/// which; pick one with [`ExecutorKind`]. The `budget` passed to
+/// [`Executor::run`] bounds *cycles* on the cycle-accurate executor and
+/// *retired instructions* on the functional one — since an instruction
+/// costs at least one cycle, a budget sufficient for the pipeline is
+/// always sufficient functionally.
+pub trait Executor {
+    /// Which executor implementation this is.
+    fn kind(&self) -> ExecutorKind;
 
-impl Cpu {
-    /// Creates a core with empty memory and no program loaded.
-    pub fn new(config: CpuConfig) -> Cpu {
-        Cpu {
-            config,
-            text: Vec::new(),
-            mem: Memory::new(config.mem_size),
-            regs: RegFile::new(),
-            pc: TEXT_BASE,
-            if_id: None,
-            id_ex: None,
-            ex_mem: None,
-            mem_wb: None,
-            fetch_stopped: false,
-            stats: Stats::default(),
-            retire_log: Vec::new(),
-        }
-    }
-
-    /// Loads a program image: text (decoded and as bytes) and data segment.
-    ///
-    /// Resets the PC to the start of text; registers and statistics are
-    /// left untouched so tests can pre-seed register state.
+    /// Loads a program image (decoded text and data segment) and resets
+    /// the PC to the start of text; registers and statistics are left
+    /// untouched so callers can pre-seed state.
     ///
     /// # Errors
     ///
     /// Returns a [`MemError`] if a segment does not fit in memory.
-    pub fn load_program(&mut self, program: &Program) -> Result<(), MemError> {
-        self.text = program.text().to_vec();
-        self.mem.write_bytes(TEXT_BASE, &program.text_bytes())?;
-        self.mem.write_bytes(DATA_BASE, program.data())?;
-        self.pc = TEXT_BASE;
-        Ok(())
-    }
+    fn load_program(&mut self, program: &Program) -> Result<(), MemError>;
 
-    /// The data memory.
-    pub fn mem(&self) -> &Memory {
-        &self.mem
-    }
-
-    /// Mutable access to data memory (for seeding test inputs).
-    pub fn mem_mut(&mut self) -> &mut Memory {
-        &mut self.mem
-    }
-
-    /// The register file.
-    pub fn regs(&self) -> &RegFile {
-        &self.regs
-    }
-
-    /// Mutable access to the register file (for seeding test inputs).
-    pub fn regs_mut(&mut self) -> &mut RegFile {
-        &mut self.regs
-    }
-
-    /// Statistics of the run so far.
-    pub fn stats(&self) -> &Stats {
-        &self.stats
-    }
-
-    /// The retire-order trace (empty unless `trace_retire` was set).
-    pub fn retire_log(&self) -> &[RetireEvent] {
-        &self.retire_log
-    }
-
-    /// Runs until `halt` retires or `max_cycles` elapse.
+    /// Runs until `halt` retires or the budget elapses.
     ///
     /// # Errors
     ///
-    /// * [`RunError::CycleLimit`] if `halt` is not reached in time;
-    /// * [`RunError::PcOutOfText`] if execution (non-speculatively) leaves
-    ///   the text segment;
+    /// * [`RunError::CycleLimit`] if `halt` is not reached in budget;
+    /// * [`RunError::PcOutOfText`] if execution (non-speculatively)
+    ///   leaves the text segment;
     /// * [`RunError::Mem`] on a data access fault.
-    pub fn run(&mut self, engine: &mut dyn LoopEngine, max_cycles: u64) -> Result<Stats, RunError> {
-        let limit = self.stats.cycles + max_cycles;
-        loop {
-            if self.stats.cycles >= limit {
-                return Err(RunError::CycleLimit { limit: max_cycles });
-            }
-            if self.step(engine)? {
-                return Ok(self.stats);
-            }
-        }
-    }
+    fn run(&mut self, engine: &mut dyn LoopEngine, budget: u64) -> Result<Stats, RunError>;
 
-    /// Advances one clock cycle. Returns `true` when `halt` retires.
-    fn step(&mut self, engine: &mut dyn LoopEngine) -> Result<bool, RunError> {
-        self.stats.cycles += 1;
+    /// The register file.
+    fn regs(&self) -> &RegFile;
 
-        // ---------------- WB ----------------
-        if let Some(wb) = self.mem_wb.take() {
-            if let Some((r, v)) = wb.dst {
-                self.regs.write(r, v);
-            }
-            for (r, v) in wb.rider.iter() {
-                self.regs.write(r, v);
-                self.stats.zolc_index_writes += 1;
-            }
-            self.stats.retired += 1;
-            if self.config.trace_retire {
-                self.retire_log.push(RetireEvent {
-                    cycle: self.stats.cycles,
-                    pc: wb.pc,
-                    instr: wb.instr,
-                });
-            }
-            if matches!(wb.instr, Instr::Halt) {
-                return Ok(true);
-            }
-        }
+    /// Mutable access to the register file (for seeding test inputs).
+    fn regs_mut(&mut self) -> &mut RegFile;
 
-        // ---------------- MEM ----------------
-        self.mem_wb = match self.ex_mem.take() {
-            Some(m) => Some(self.do_mem(m)?),
-            None => None,
-        };
+    /// The data memory.
+    fn mem(&self) -> &Memory;
 
-        // ---------------- EX ----------------
-        // After MEM ran, `mem_wb` holds the immediately preceding
-        // instruction's final result: forwarding from it plus the committed
-        // register file covers all legal same/next-cycle dependencies (the
-        // load-use case is excluded by the ID interlock below).
-        let mut flush_to: Option<u32> = None;
-        if let Some(ex) = self.id_ex.take() {
-            if ex.fault {
-                return Err(RunError::PcOutOfText { pc: ex.pc });
-            }
-            flush_to = self.do_ex(ex, engine)?;
-        }
+    /// Mutable access to data memory (for seeding test inputs).
+    fn mem_mut(&mut self) -> &mut Memory;
 
-        if let Some(target) = flush_to {
-            // Kill the younger instruction in IF/ID and suppress this
-            // cycle's fetch: the 2-cycle taken-branch penalty.
-            let killed = self.if_id.take().is_some();
-            self.pc = target;
-            self.fetch_stopped = false;
-            engine.on_flush();
-            self.stats.flushes += 1;
-            self.stats.flush_cycles += if killed { 2 } else { 1 };
-            return Ok(false);
-        }
+    /// Statistics of the run so far.
+    fn stats(&self) -> &Stats;
 
-        // ---------------- ID ----------------
-        let mut fetch_suppressed = false;
-        if self.id_ex.is_none() {
-            if let Some(slot) = self.if_id {
-                if self.load_use_hazard(&slot) {
-                    self.stats.load_use_stalls += 1;
-                    fetch_suppressed = true; // IF holds this cycle
-                } else {
-                    self.if_id = None;
-                    let mut slot = slot;
-                    // j/jal resolve here: redirect the next fetch
-                    // (1-cycle penalty; the fetch slot this cycle is lost).
-                    match slot.instr {
-                        Instr::J { target } | Instr::Jal { target } => {
-                            self.pc = target << 2;
-                            self.fetch_stopped = false;
-                            fetch_suppressed = true;
-                            self.stats.flushes += 1;
-                            self.stats.flush_cycles += 1;
-                        }
-                        // The XRhrdwil hardware-loop unit resolves the
-                        // branch-decrement in ID: its loop counter has a
-                        // dedicated zero-detect off the ALU path, so a
-                        // taken dbnz costs a single bubble (not the full
-                        // EX-resolved branch penalty). The decrement still
-                        // writes back through EX.
-                        Instr::Dbnz { rs, .. } => {
-                            if let Some(val) = self.peek_operand(rs) {
-                                let taken = val.wrapping_sub(1) != 0;
-                                slot.dbnz_taken = Some(taken);
-                                if taken {
-                                    let target =
-                                        slot.instr.branch_target(slot.pc).expect("dbnz has target");
-                                    self.pc = target;
-                                    self.fetch_stopped = false;
-                                    fetch_suppressed = true;
-                                    self.stats.flushes += 1;
-                                    self.stats.flush_cycles += 1;
-                                }
-                            }
-                        }
-                        _ => {}
-                    }
-                    self.id_ex = Some(slot);
-                }
-            }
-        } else {
-            // EX did not drain (cannot happen in this in-order model), or a
-            // bubble was already placed; hold IF regardless.
-            fetch_suppressed = self.if_id.is_some();
-        }
+    /// The retire-order trace (empty unless `trace_retire` was set).
+    fn retire_log(&self) -> &[RetireEvent];
+}
 
-        // ---------------- IF ----------------
-        if !fetch_suppressed && self.if_id.is_none() && !self.fetch_stopped {
-            self.fetch(engine);
-        }
+/// Which executor implementation to run a program on.
+///
+/// * [`ExecutorKind::CycleAccurate`] — the 5-stage pipeline: exact cycle
+///   counts (the paper's metric), slower to simulate;
+/// * [`ExecutorKind::Functional`] — architecture only: identical final
+///   registers, memory and retire counts, no cycle counts; ~5–6× faster
+///   on controller-less cores, ~1.5× under a ZOLC controller (whose
+///   modeling cost dominates both executors). Use it for correctness
+///   sweeps, differential testing and input-space exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum ExecutorKind {
+    /// The cycle-accurate 5-stage pipeline ([`Cpu`]).
+    #[default]
+    CycleAccurate,
+    /// The fast functional executor ([`FunctionalCpu`]).
+    Functional,
+}
 
-        Ok(false)
-    }
-
-    /// True when the instruction now entering EX... (see call site) — the
-    /// classic interlock: `slot` (in ID) consumes the destination of a load
-    /// that has just executed EX and sits in the EX/MEM latch.
-    fn load_use_hazard(&self, slot: &Slot) -> bool {
-        let Some(exm) = &self.ex_mem else {
-            return false;
-        };
-        if !exm.instr.is_load() {
-            return false;
-        }
-        let Some((dst, _)) = exm.dst else {
-            return false;
-        };
-        slot.instr.srcs().into_iter().flatten().any(|s| s == dst)
-    }
-
-    /// Reads an operand in EX with forwarding from the just-produced
-    /// MEM/WB result (the previous instruction), falling back to the
-    /// committed register file.
-    fn operand(&self, r: Reg) -> u32 {
-        if r.is_zero() {
-            return 0;
-        }
-        if let Some(wb) = &self.mem_wb {
-            // Rider writes apply after the instruction's own destination,
-            // so they take forwarding priority.
-            if let Some(v) = wb.rider.value_for(r) {
-                return v;
-            }
-            if let Some((dr, v)) = wb.dst {
-                if dr == r {
-                    return v;
-                }
-            }
-        }
-        self.regs.read(r)
-    }
-
-    /// Best-effort operand read in ID for the hardware-loop zero-detect:
-    /// forwards from the instruction that just executed (unless it is a
-    /// load whose value only arrives in MEM) and from the retiring one.
-    /// Returns `None` when the value is not yet available, in which case
-    /// the `dbnz` falls back to EX resolution.
-    fn peek_operand(&self, r: Reg) -> Option<u32> {
-        if r.is_zero() {
-            return Some(0);
-        }
-        if let Some(exm) = &self.ex_mem {
-            if let Some(v) = exm.rider.value_for(r) {
-                return Some(v);
-            }
-            if let Some((dr, v)) = exm.dst {
-                if dr == r {
-                    if exm.instr.is_load() {
-                        return None; // value arrives in MEM next cycle
-                    }
-                    return Some(v);
-                }
-            }
-        }
-        Some(self.operand(r))
-    }
-
-    /// Executes one instruction in EX. Returns `Some(target)` when the
-    /// pipeline must flush and refetch from `target`.
-    fn do_ex(&mut self, ex: Slot, engine: &mut dyn LoopEngine) -> Result<Option<u32>, RunError> {
-        use Instr::*;
-        let pc = ex.pc;
-        let i = ex.instr;
-        let mut out = MemSlot {
-            pc,
-            instr: i,
-            addr: 0,
-            store_val: 0,
-            dst: None,
-            rider: ex.rider,
-        };
-        let mut flush_to = None;
-        let mut event = ExecEvent::Plain;
-
-        let set_dst = |out: &mut MemSlot, r: Reg, v: u32| {
-            if !r.is_zero() {
-                debug_assert!(
-                    out.rider.value_for(r).is_none(),
-                    "instruction at {pc:#x} writes the same register as its ZOLC index rider"
-                );
-                out.dst = Some((r, v));
-            }
-        };
-
-        match i {
-            Add { rd, rs, rt } => set_dst(
-                &mut out,
-                rd,
-                self.operand(rs).wrapping_add(self.operand(rt)),
-            ),
-            Sub { rd, rs, rt } => set_dst(
-                &mut out,
-                rd,
-                self.operand(rs).wrapping_sub(self.operand(rt)),
-            ),
-            And { rd, rs, rt } => set_dst(&mut out, rd, self.operand(rs) & self.operand(rt)),
-            Or { rd, rs, rt } => set_dst(&mut out, rd, self.operand(rs) | self.operand(rt)),
-            Xor { rd, rs, rt } => set_dst(&mut out, rd, self.operand(rs) ^ self.operand(rt)),
-            Nor { rd, rs, rt } => set_dst(&mut out, rd, !(self.operand(rs) | self.operand(rt))),
-            Slt { rd, rs, rt } => set_dst(
-                &mut out,
-                rd,
-                ((self.operand(rs) as i32) < (self.operand(rt) as i32)) as u32,
-            ),
-            Sltu { rd, rs, rt } => {
-                set_dst(&mut out, rd, (self.operand(rs) < self.operand(rt)) as u32)
-            }
-            Sllv { rd, rt, rs } => {
-                set_dst(&mut out, rd, self.operand(rt) << (self.operand(rs) & 31))
-            }
-            Srlv { rd, rt, rs } => {
-                set_dst(&mut out, rd, self.operand(rt) >> (self.operand(rs) & 31))
-            }
-            Srav { rd, rt, rs } => set_dst(
-                &mut out,
-                rd,
-                ((self.operand(rt) as i32) >> (self.operand(rs) & 31)) as u32,
-            ),
-            Mul { rd, rs, rt } => set_dst(
-                &mut out,
-                rd,
-                self.operand(rs).wrapping_mul(self.operand(rt)),
-            ),
-            Mulh { rd, rs, rt } => set_dst(
-                &mut out,
-                rd,
-                ((i64::from(self.operand(rs) as i32) * i64::from(self.operand(rt) as i32)) >> 32)
-                    as u32,
-            ),
-            Sll { rd, rt, sh } => set_dst(&mut out, rd, self.operand(rt) << sh),
-            Srl { rd, rt, sh } => set_dst(&mut out, rd, self.operand(rt) >> sh),
-            Sra { rd, rt, sh } => set_dst(&mut out, rd, ((self.operand(rt) as i32) >> sh) as u32),
-            Addi { rt, rs, imm } => set_dst(
-                &mut out,
-                rt,
-                self.operand(rs).wrapping_add(imm as i32 as u32),
-            ),
-            Slti { rt, rs, imm } => set_dst(
-                &mut out,
-                rt,
-                ((self.operand(rs) as i32) < i32::from(imm)) as u32,
-            ),
-            Sltiu { rt, rs, imm } => set_dst(
-                &mut out,
-                rt,
-                (self.operand(rs) < (imm as i32 as u32)) as u32,
-            ),
-            Andi { rt, rs, imm } => set_dst(&mut out, rt, self.operand(rs) & u32::from(imm)),
-            Ori { rt, rs, imm } => set_dst(&mut out, rt, self.operand(rs) | u32::from(imm)),
-            Xori { rt, rs, imm } => set_dst(&mut out, rt, self.operand(rs) ^ u32::from(imm)),
-            Lui { rt, imm } => set_dst(&mut out, rt, u32::from(imm) << 16),
-            Lb { rt, rs, off }
-            | Lbu { rt, rs, off }
-            | Lh { rt, rs, off }
-            | Lhu { rt, rs, off }
-            | Lw { rt, rs, off } => {
-                out.addr = self.operand(rs).wrapping_add(off as i32 as u32);
-                set_dst(&mut out, rt, 0); // value filled by MEM
-            }
-            Sb { rt, rs, off } | Sh { rt, rs, off } | Sw { rt, rs, off } => {
-                out.addr = self.operand(rs).wrapping_add(off as i32 as u32);
-                out.store_val = self.operand(rt);
-            }
-            Beq { rs, rt, .. } | Bne { rs, rt, .. } => {
-                let (a, b) = (self.operand(rs), self.operand(rt));
-                let taken = match i {
-                    Beq { .. } => a == b,
-                    _ => a != b,
-                };
-                self.stats.branches += 1;
-                if taken {
-                    self.stats.taken_branches += 1;
-                    let t = i.branch_target(pc).expect("branch has target");
-                    flush_to = Some(t);
-                    event = ExecEvent::Taken { target: t };
-                } else {
-                    event = ExecEvent::NotTaken;
-                }
-            }
-            Blez { rs, .. } | Bgtz { rs, .. } | Bltz { rs, .. } | Bgez { rs, .. } => {
-                let v = self.operand(rs) as i32;
-                let taken = match i {
-                    Blez { .. } => v <= 0,
-                    Bgtz { .. } => v > 0,
-                    Bltz { .. } => v < 0,
-                    _ => v >= 0,
-                };
-                self.stats.branches += 1;
-                if taken {
-                    self.stats.taken_branches += 1;
-                    let t = i.branch_target(pc).expect("branch has target");
-                    flush_to = Some(t);
-                    event = ExecEvent::Taken { target: t };
-                } else {
-                    event = ExecEvent::NotTaken;
-                }
-            }
-            Dbnz { rs, .. } => {
-                let v = self.operand(rs).wrapping_sub(1);
-                set_dst(&mut out, rs, v);
-                self.stats.branches += 1;
-                self.stats.dbnz_retired += 1;
-                let taken = v != 0;
-                if taken {
-                    self.stats.taken_branches += 1;
-                }
-                let t = i.branch_target(pc).expect("dbnz has target");
-                match ex.dbnz_taken {
-                    Some(predicted) => {
-                        // resolved in ID; the redirect (if any) already
-                        // happened with a 1-cycle bubble
-                        debug_assert_eq!(
-                            predicted, taken,
-                            "hardware-loop ID resolution diverged at {pc:#x}"
-                        );
-                        event = if taken {
-                            ExecEvent::Taken { target: t }
-                        } else {
-                            ExecEvent::NotTaken
-                        };
-                    }
-                    None => {
-                        if taken {
-                            flush_to = Some(t);
-                            event = ExecEvent::Taken { target: t };
-                        } else {
-                            event = ExecEvent::NotTaken;
-                        }
-                    }
-                }
-            }
-            J { target } => {
-                // redirect already happened in ID
-                event = ExecEvent::Taken {
-                    target: target << 2,
-                };
-            }
-            Jal { target } => {
-                set_dst(&mut out, Reg::RA, pc.wrapping_add(4));
-                event = ExecEvent::Taken {
-                    target: target << 2,
-                };
-            }
-            Jr { rs } => {
-                let t = self.operand(rs);
-                flush_to = Some(t);
-                event = ExecEvent::Taken { target: t };
-            }
-            Zwr {
-                region,
-                index,
-                field,
-                rs,
-            } => {
-                let v = self.operand(rs);
-                engine.exec_zwr(region, index, field, v);
-                self.stats.zwr_retired += 1;
-            }
-            Zctl { op } => {
-                engine.exec_zctl(op);
-                self.stats.zctl_retired += 1;
-                // Context-synchronizing: refetch the next instruction so
-                // mode changes are visible at fetch.
-                flush_to = Some(pc.wrapping_add(4));
-            }
-            Nop | Halt => {}
-        }
-
-        engine.on_execute(pc, event);
-        self.ex_mem = Some(out);
-        Ok(flush_to)
-    }
-
-    /// Performs the MEM stage.
-    fn do_mem(&mut self, mut m: MemSlot) -> Result<WbSlot, RunError> {
-        use Instr::*;
-        match m.instr {
-            Lb { .. } => {
-                let v = self.mem.load_byte(m.addr)? as i8 as i32 as u32;
-                m.dst = m.dst.map(|(r, _)| (r, v));
-            }
-            Lbu { .. } => {
-                let v = u32::from(self.mem.load_byte(m.addr)?);
-                m.dst = m.dst.map(|(r, _)| (r, v));
-            }
-            Lh { .. } => {
-                let v = self.mem.load_half(m.addr)? as i16 as i32 as u32;
-                m.dst = m.dst.map(|(r, _)| (r, v));
-            }
-            Lhu { .. } => {
-                let v = u32::from(self.mem.load_half(m.addr)?);
-                m.dst = m.dst.map(|(r, _)| (r, v));
-            }
-            Lw { .. } => {
-                let v = self.mem.load_word(m.addr)?;
-                m.dst = m.dst.map(|(r, _)| (r, v));
-            }
-            Sb { .. } => self.mem.store_byte(m.addr, m.store_val as u8)?,
-            Sh { .. } => self.mem.store_half(m.addr, m.store_val as u16)?,
-            Sw { .. } => self.mem.store_word(m.addr, m.store_val)?,
-            _ => {}
-        }
-        Ok(WbSlot {
-            pc: m.pc,
-            instr: m.instr,
-            dst: m.dst,
-            rider: m.rider,
-        })
-    }
-
-    /// Performs the IF stage: fetch at `self.pc`, consult the loop engine,
-    /// compute the next fetch address.
-    fn fetch(&mut self, engine: &mut dyn LoopEngine) {
-        let pc = self.pc;
-        let idx = (pc.wrapping_sub(TEXT_BASE)) / 4;
-        if !pc.is_multiple_of(4) || (idx as usize) >= self.text.len() {
-            // Wrong-path overruns are legal (e.g. the fall-through after a
-            // loop's final backward branch); park a fault marker that only
-            // errors if it retires.
-            self.if_id = Some(Slot {
-                pc,
-                instr: Instr::Nop,
-                rider: RegWrites::new(),
-                fault: true,
-                dbnz_taken: None,
-            });
-            self.fetch_stopped = true;
-            return;
-        }
-        let instr = self.text[idx as usize];
-        let decision = engine.on_fetch(pc);
-        if decision.redirect.is_some() {
-            self.stats.zolc_redirects += 1;
-        }
-        self.if_id = Some(Slot {
-            pc,
-            instr,
-            rider: decision.index_writes,
-            fault: false,
-            dbnz_taken: None,
-        });
-        if matches!(instr, Instr::Halt) {
-            self.fetch_stopped = true;
-        } else {
-            self.pc = decision.redirect.unwrap_or(pc.wrapping_add(4));
+impl ExecutorKind {
+    /// Creates a core of this kind.
+    pub fn new_core(self, config: CpuConfig) -> Box<dyn Executor> {
+        match self {
+            ExecutorKind::CycleAccurate => Box::new(Cpu::new(config)),
+            ExecutorKind::Functional => Box::new(FunctionalCpu::new(config)),
         }
     }
 }
 
-/// Result of a convenience [`run_program`] call.
+impl fmt::Display for ExecutorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExecutorKind::CycleAccurate => "cycle-accurate",
+            ExecutorKind::Functional => "functional",
+        })
+    }
+}
+
+/// Result of a convenience [`run_program`] or [`run_program_on`] call.
 #[derive(Debug)]
-pub struct Finished {
+pub struct Finished<C = Cpu> {
     /// The statistics of the completed run.
     pub stats: Stats,
     /// The core, for inspecting registers and memory.
-    pub cpu: Cpu,
+    pub cpu: C,
 }
 
-/// Loads `program` into a default-configured core and runs it to `halt`.
+/// Loads `program` into a default-configured cycle-accurate core and
+/// runs it to `halt`.
 ///
 /// # Errors
 ///
@@ -766,405 +211,55 @@ pub fn run_program(
     Ok(Finished { stats, cpu })
 }
 
+/// Loads `program` into a default-configured core of the chosen kind and
+/// runs it to `halt`.
+///
+/// # Errors
+///
+/// Propagates any [`RunError`]; `budget` bounds cycles (cycle-accurate)
+/// or retired instructions (functional).
+pub fn run_program_on(
+    kind: ExecutorKind,
+    program: &Program,
+    engine: &mut dyn LoopEngine,
+    budget: u64,
+) -> Result<Finished<Box<dyn Executor>>, RunError> {
+    let mut cpu = kind.new_core(CpuConfig::default());
+    cpu.load_program(program)?;
+    let stats = cpu.run(engine, budget)?;
+    Ok(Finished { stats, cpu })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::NullEngine;
     use zolc_isa::{assemble, reg};
 
-    fn run_asm(src: &str) -> Finished {
-        let p = assemble(src).expect("assembles");
-        run_program(&p, &mut NullEngine, 1_000_000).expect("runs")
-    }
-
     #[test]
-    fn straightline_alu() {
-        let f = run_asm(
-            "
-            li   r1, 6
-            li   r2, 7
-            mul  r3, r1, r2
-            add  r4, r3, r1
-            halt
-        ",
-        );
-        assert_eq!(f.cpu.regs().read(reg(3)), 42);
-        assert_eq!(f.cpu.regs().read(reg(4)), 48);
-        // 5 instructions through a 5-stage pipe: 5 + 4 fill cycles
-        assert_eq!(f.stats.cycles, 9);
-        assert_eq!(f.stats.retired, 5);
-    }
-
-    #[test]
-    fn forwarding_chain_has_no_stalls() {
-        let f = run_asm(
-            "
-            li   r1, 1
-            add  r2, r1, r1
-            add  r3, r2, r2
-            add  r4, r3, r3
-            halt
-        ",
-        );
-        assert_eq!(f.cpu.regs().read(reg(4)), 8);
-        assert_eq!(f.stats.load_use_stalls, 0);
-        assert_eq!(f.stats.cycles, 9);
-    }
-
-    #[test]
-    fn load_use_stalls_one_cycle() {
-        let base = "
-            .data
-        v:  .word 41
-            .text
-            la   r1, v
-            lw   r2, (r1)
-            addi r3, r2, 1
-            halt
-        ";
-        let f = run_asm(base);
-        assert_eq!(f.cpu.regs().read(reg(3)), 42);
-        assert_eq!(f.stats.load_use_stalls, 1);
-
-        // The same program with an independent instruction between the
-        // load and its use has no stall and the same cycle count.
-        let f2 = run_asm(
-            "
-            .data
-        v:  .word 41
-            .text
-            la   r1, v
-            lw   r2, (r1)
-            addi r9, r0, 0
-            addi r3, r2, 1
-            halt
-        ",
-        );
-        assert_eq!(f2.cpu.regs().read(reg(3)), 42);
-        assert_eq!(f2.stats.load_use_stalls, 0);
-        assert_eq!(f2.stats.cycles, f.stats.cycles);
-    }
-
-    #[test]
-    fn taken_branch_costs_two_cycles() {
-        // not-taken path
-        let nt = run_asm(
-            "
-            li   r1, 1
-            beq  r0, r1, skip   # never taken
-            nop
-      skip: halt
-        ",
-        );
-        // taken path over the same structure
-        let t = run_asm(
-            "
-            li   r1, 1
-            beq  r1, r1, skip   # always taken
-            nop
-      skip: halt
-        ",
-        );
-        // taken: loses the nop slot (1 retired fewer) but pays 2 flush
-        // cycles: net +1 cycle vs the fall-through that executes the nop.
-        assert_eq!(nt.stats.flushes, 0);
-        assert_eq!(t.stats.flushes, 1);
-        assert_eq!(t.stats.flush_cycles, 2);
-        assert_eq!(t.stats.retired + 1, nt.stats.retired);
-        assert_eq!(t.stats.cycles, nt.stats.cycles + 1);
-    }
-
-    #[test]
-    fn jump_costs_one_cycle() {
-        let j = run_asm(
-            "
-            j    skip
-            nop
-      skip: halt
-        ",
-        );
-        assert_eq!(j.stats.flushes, 1);
-        assert_eq!(j.stats.flush_cycles, 1);
-        // 2 retired (j, halt); fill 4 + 2 + 1 bubble
-        assert_eq!(j.stats.cycles, 7);
-    }
-
-    #[test]
-    fn jal_links_and_jr_returns() {
-        let f = run_asm(
-            "
-            jal  sub
-            addi r5, r5, 100
-            halt
-      sub:  addi r5, r0, 1
-            jr   r31
-        ",
-        );
-        assert_eq!(f.cpu.regs().read(reg(5)), 101);
-        assert_eq!(f.cpu.regs().read(reg(31)), 4);
-    }
-
-    #[test]
-    fn countdown_loop_cycles() {
-        // 3-instruction loop: addi + bne with 2-cycle taken penalty.
-        let f = run_asm(
-            "
-            li   r1, 10
-      top:  addi r1, r1, -1
-            bne  r1, r0, top
-            halt
-        ",
-        );
-        // retired: 1 + 10*2 + 1 = 22
-        assert_eq!(f.stats.retired, 22);
-        // taken 9 times => 18 flush cycles
-        assert_eq!(f.stats.flush_cycles, 18);
-        assert_eq!(f.stats.taken_branches, 9);
-    }
-
-    #[test]
-    fn dbnz_loop_works_and_saves_instructions() {
-        let f = run_asm(
-            "
-            li   r1, 10
-            li   r2, 0
-      top:  addi r2, r2, 1
-            dbnz r1, top
-            halt
-        ",
-        );
-        assert_eq!(f.cpu.regs().read(reg(2)), 10);
-        assert_eq!(f.cpu.regs().read(reg(1)), 0);
-        assert_eq!(f.stats.dbnz_retired, 10);
-        assert_eq!(f.stats.taken_branches, 9);
-    }
-
-    #[test]
-    fn memory_byte_halfword_ops() {
-        let f = run_asm(
-            "
-            .data
-       buf: .space 16
-            .text
-            la   r1, buf
-            li   r2, -2
-            sb   r2, 0(r1)
-            lb   r3, 0(r1)
-            lbu  r4, 0(r1)
-            sh   r2, 2(r1)
-            lh   r5, 2(r1)
-            lhu  r6, 2(r1)
-            halt
-        ",
-        );
-        assert_eq!(f.cpu.regs().read(reg(3)), (-2i32) as u32);
-        assert_eq!(f.cpu.regs().read(reg(4)), 0xfe);
-        assert_eq!(f.cpu.regs().read(reg(5)), (-2i32) as u32);
-        assert_eq!(f.cpu.regs().read(reg(6)), 0xfffe);
-    }
-
-    #[test]
-    fn store_load_roundtrip_through_memory() {
-        let f = run_asm(
-            "
-            .data
-       buf: .space 8
-            .text
-            la   r1, buf
-            li   r2, 1234
-            sw   r2, 4(r1)
-            lw   r3, 4(r1)
-            halt
-        ",
-        );
-        assert_eq!(f.cpu.regs().read(reg(3)), 1234);
-    }
-
-    #[test]
-    fn wrong_path_overrun_is_harmless() {
-        // The always-taken `b body` is the very last text instruction: its
-        // fall-through fetch leaves the text segment every iteration. Those
-        // fault slots are speculative and must be squashed by the taken
-        // branch, so the program still terminates cleanly via `done`.
-        let f = run_asm(
-            "
-            li   r1, 3
-            j    body
-      done: halt
-      body: addi r1, r1, -1
-            beq  r1, r0, done
-            b    body
-        ",
-        );
-        assert_eq!(f.cpu.regs().read(reg(1)), 0);
-    }
-
-    #[test]
-    fn running_off_text_is_an_error() {
-        let p = assemble("nop\nnop\n").unwrap();
-        let r = run_program(&p, &mut NullEngine, 10_000);
-        assert!(matches!(r, Err(RunError::PcOutOfText { .. })));
-    }
-
-    #[test]
-    fn cycle_limit_detected() {
-        let p = assemble("top: j top\nhalt").unwrap();
-        let r = run_program(&p, &mut NullEngine, 100);
-        assert!(matches!(r, Err(RunError::CycleLimit { .. })));
-    }
-
-    #[test]
-    fn misaligned_access_faults() {
-        let p = assemble(
-            "
-            li  r1, 2
-            lw  r2, (r1)
-            halt
-        ",
-        )
-        .unwrap();
-        let r = run_program(&p, &mut NullEngine, 1000);
-        assert!(matches!(r, Err(RunError::Mem(_))));
-    }
-
-    #[test]
-    fn retire_log_records_program_order() {
-        let p = assemble(
-            "
-            li   r1, 2
-      top:  addi r1, r1, -1
-            bne  r1, r0, top
-            halt
-        ",
-        )
-        .unwrap();
-        let mut cpu = Cpu::new(CpuConfig {
-            trace_retire: true,
-            ..CpuConfig::default()
-        });
-        cpu.load_program(&p).unwrap();
-        cpu.run(&mut NullEngine, 10_000).unwrap();
-        let pcs: Vec<u32> = cpu.retire_log().iter().map(|e| e.pc).collect();
-        assert_eq!(pcs, vec![0, 4, 8, 4, 8, 12]);
-        // cycles strictly increase
-        for w in cpu.retire_log().windows(2) {
-            assert!(w[0].cycle < w[1].cycle);
+    fn run_program_on_selects_the_executor() {
+        let p = assemble("li r1, 7\naddi r1, r1, 35\nhalt").unwrap();
+        for kind in [ExecutorKind::CycleAccurate, ExecutorKind::Functional] {
+            let f = run_program_on(kind, &p, &mut NullEngine, 10_000).unwrap();
+            assert_eq!(f.cpu.kind(), kind);
+            assert_eq!(f.cpu.regs().read(reg(1)), 42);
+            assert_eq!(f.stats.retired, 3);
         }
     }
 
     #[test]
-    fn branch_compare_uses_forwarded_value() {
-        // The beq compares a value produced by the immediately preceding
-        // instruction: requires EX->EX forwarding.
-        let f = run_asm(
-            "
-            li   r1, 5
-            addi r2, r1, -5
-            beq  r2, r0, ok
-            li   r3, 111
-            halt
-      ok:   li   r3, 222
-            halt
-        ",
-        );
-        assert_eq!(f.cpu.regs().read(reg(3)), 222);
-    }
-
-    #[test]
-    fn store_data_forwarded() {
-        let f = run_asm(
-            "
-            .data
-       buf: .space 4
-            .text
-            la   r1, buf
-            li   r2, 7
-            sw   r2, (r1)   # r2 produced by previous instruction
-            lw   r3, (r1)
-            halt
-        ",
-        );
-        assert_eq!(f.cpu.regs().read(reg(3)), 7);
-    }
-
-    #[test]
-    fn run_twice_resumes_cycle_count() {
+    fn functional_reports_no_cycles() {
         let p = assemble("nop\nhalt").unwrap();
-        let mut cpu = Cpu::new(CpuConfig::default());
-        cpu.load_program(&p).unwrap();
-        let s = cpu.run(&mut NullEngine, 100).unwrap();
-        assert_eq!(s.cycles, cpu.stats().cycles);
-    }
-}
-
-#[cfg(test)]
-mod dbnz_tests {
-    use super::*;
-    use crate::engine::NullEngine;
-    use zolc_isa::{assemble, reg};
-
-    fn run_asm(src: &str) -> Finished {
-        let p = assemble(src).expect("assembles");
-        run_program(&p, &mut NullEngine, 1_000_000).expect("runs")
+        let f = run_program_on(ExecutorKind::Functional, &p, &mut NullEngine, 100).unwrap();
+        assert_eq!(f.stats.cycles, 0);
+        let f = run_program_on(ExecutorKind::CycleAccurate, &p, &mut NullEngine, 100).unwrap();
+        assert!(f.stats.cycles > 0);
     }
 
     #[test]
-    fn dbnz_taken_costs_one_bubble() {
-        // 2-instruction loop, 10 iterations: 9 taken dbnz at 1 bubble each
-        let f = run_asm(
-            "
-            li   r1, 10
-      top:  addi r2, r2, 1
-            dbnz r1, top
-            halt
-        ",
-        );
-        assert_eq!(f.cpu.regs().read(reg(2)), 10);
-        // fill(4) + retired(1 + 20 + 1) + 9 bubbles
-        assert_eq!(f.stats.retired, 22);
-        assert_eq!(f.stats.cycles, 4 + 22 + 9);
-        assert_eq!(f.stats.flush_cycles, 9);
-    }
-
-    #[test]
-    fn dbnz_exit_is_free() {
-        // single-trip loop: dbnz not taken, no penalty at all
-        let f = run_asm(
-            "
-            li   r1, 1
-      top:  addi r2, r2, 1
-            dbnz r1, top
-            halt
-        ",
-        );
-        assert_eq!(f.cpu.regs().read(reg(2)), 1);
-        assert_eq!(f.stats.flush_cycles, 0);
-    }
-
-    #[test]
-    fn dbnz_after_load_semantics_exact() {
-        // decrement a memory cell through a register each iteration
-        let f = run_asm(
-            "
-            .data
-      n:    .word 5
-            .text
-            la   r1, n
-      top:  lw   r3, 0(r1)
-            addi r3, r3, -1
-            sw   r3, 0(r1)
-            addi r2, r2, 1
-            lw   r4, 0(r1)
-            dbnz r4, top      # taken while mem[n]-1 != 0
-            halt
-        ",
-        );
-        // iterations: mem 5->4->3->2->1; dbnz sees 4,3,2,1 -> exits when
-        // the decremented value hits 0, i.e. after 4... careful: dbnz
-        // compares r4-1: taken for r4=4,3,2 (r4-1 != 0), not taken for
-        // r4=1. mem sequence: 5,4,3,2,1 -> 4 iterations? mem after k
-        // iterations = 5-k; loop exits when r4 = mem = 1 -> k = 4.
-        assert_eq!(f.cpu.regs().read(reg(2)), 4);
-        assert_eq!(f.cpu.mem().load_word(zolc_isa::DATA_BASE).unwrap(), 1);
+    fn executor_kind_labels() {
+        assert_eq!(ExecutorKind::CycleAccurate.to_string(), "cycle-accurate");
+        assert_eq!(ExecutorKind::Functional.to_string(), "functional");
+        assert_eq!(ExecutorKind::default(), ExecutorKind::CycleAccurate);
     }
 }

@@ -152,6 +152,16 @@ pub trait LoopEngine {
     /// A pipeline flush occurred: any speculative fetch-time state must be
     /// rolled back to the architectural state.
     fn on_flush(&mut self) {}
+
+    /// Whether every hook of this engine is a no-op.
+    ///
+    /// A passive engine never redirects, never attaches index writes and
+    /// keeps no state, so executors may skip its hooks entirely on hot
+    /// paths (the functional executor does). Defaults to `false`; only
+    /// return `true` when *all* hooks are behaviorally no-ops.
+    fn is_passive(&self) -> bool {
+        false
+    }
 }
 
 /// The engine of a core without any loop controller.
@@ -161,7 +171,11 @@ pub trait LoopEngine {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullEngine;
 
-impl LoopEngine for NullEngine {}
+impl LoopEngine for NullEngine {
+    fn is_passive(&self) -> bool {
+        true
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -175,6 +189,14 @@ mod tests {
         e.on_flush();
         e.exec_zctl(ZolcCtl::Reset);
         e.exec_zwr(ZolcRegion::Loop, 0, 0, 7);
+    }
+
+    #[test]
+    fn only_null_engine_is_passive() {
+        assert!(NullEngine.is_passive());
+        struct Custom;
+        impl LoopEngine for Custom {}
+        assert!(!Custom.is_passive());
     }
 
     #[test]

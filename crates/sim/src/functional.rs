@@ -1,0 +1,428 @@
+//! The fast functional executor: architecture only, no pipeline timing.
+//!
+//! [`FunctionalCpu`] interprets one instruction per step straight off the
+//! predecoded [`TextImage`], using the same semantics core
+//! ([`crate::exec::step`]) and the same [`LoopEngine`] integration points
+//! as the cycle-accurate pipeline — but with no fetch speculation, no
+//! forwarding network, no interlocks and no flush penalties to model.
+//! Final registers, memory and retire counts are bit-identical to the
+//! pipeline's (the root `prop_exec_equiv` suite enforces this); cycle
+//! counts are not produced (`Stats::cycles` stays 0).
+//!
+//! Use it wherever architectural results are the point and cycles are
+//! not: correctness sweeps over many inputs, differential testing,
+//! reference runs for new kernels. On passive engines (no controller —
+//! see [`LoopEngine::is_passive`]) the hook calls vanish statically and
+//! it executes ~5–6× more instructions per second than the pipeline;
+//! with a ZOLC controller attached the controller model dominates both
+//! executors and the gain is ~1.5× (`cargo bench --bench sim_throughput`
+//! tracks the ratio per cell).
+//!
+//! # Engine-driving contract
+//!
+//! Because nothing is speculative, the executor drives a [`LoopEngine`]
+//! with strict per-instruction alternation: `on_fetch(pc)` immediately
+//! followed by `on_execute(pc, event)` for the same instruction, with
+//! `on_flush` after taken conditional branches (including `dbnz`), `jr`
+//! and `zctl`, but not after ID-resolved `j`/`jal` — mirroring the
+//! pipeline's flush points. (`on_flush` is idempotent by contract, so
+//! the one place the schedules can differ — a `dbnz` the pipeline
+//! resolves early in ID without flushing — is harmless.) Engines written
+//! against the pipeline's speculative calling pattern observe a legal,
+//! wrong-path-free schedule and need no changes.
+
+use crate::cpu::{CpuConfig, Executor, ExecutorKind, RetireEvent, RunError};
+use crate::engine::{ExecEvent, LoopEngine};
+use crate::exec::{step, Effect, TextImage};
+use crate::mem::{MemError, Memory};
+use crate::regfile::RegFile;
+use crate::stats::Stats;
+use zolc_isa::{Program, Reg, DATA_BASE, TEXT_BASE};
+
+/// The functional (architecture-only) simulated processor.
+///
+/// # Examples
+///
+/// ```
+/// use zolc_sim::{CpuConfig, FunctionalCpu, NullEngine};
+/// let program = zolc_isa::assemble("
+///     li   r1, 5
+///     li   r2, 0
+/// top: add  r2, r2, r1
+///     addi r1, r1, -1
+///     bne  r1, r0, top
+///     halt
+/// ").unwrap();
+/// let mut cpu = FunctionalCpu::new(CpuConfig::default());
+/// cpu.load_program(&program)?;
+/// let stats = cpu.run(&mut NullEngine, 10_000).unwrap();
+/// assert_eq!(cpu.regs().read(zolc_isa::reg(2)), 5 + 4 + 3 + 2 + 1);
+/// assert_eq!(stats.cycles, 0); // no timing model
+/// assert!(stats.retired > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct FunctionalCpu {
+    config: CpuConfig,
+    text: TextImage,
+    mem: Memory,
+    regs: RegFile,
+    pc: u32,
+    stats: Stats,
+    retire_log: Vec<RetireEvent>,
+}
+
+impl FunctionalCpu {
+    /// Creates a core with empty memory and no program loaded.
+    pub fn new(config: CpuConfig) -> FunctionalCpu {
+        FunctionalCpu {
+            config,
+            text: TextImage::default(),
+            mem: Memory::new(config.mem_size),
+            regs: RegFile::new(),
+            pc: TEXT_BASE,
+            stats: Stats::default(),
+            retire_log: Vec::new(),
+        }
+    }
+
+    /// Loads a program image: text (predecoded and as bytes) and data
+    /// segment.
+    ///
+    /// Resets the PC to the start of text; registers and statistics are
+    /// left untouched so tests can pre-seed register state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemError`] if a segment does not fit in memory.
+    pub fn load_program(&mut self, program: &Program) -> Result<(), MemError> {
+        self.text = TextImage::new(program);
+        self.mem.write_bytes(TEXT_BASE, &program.text_bytes())?;
+        self.mem.write_bytes(DATA_BASE, program.data())?;
+        self.pc = TEXT_BASE;
+        Ok(())
+    }
+
+    /// The data memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to data memory (for seeding test inputs).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// The register file.
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+
+    /// Mutable access to the register file (for seeding test inputs).
+    pub fn regs_mut(&mut self) -> &mut RegFile {
+        &mut self.regs
+    }
+
+    /// Statistics of the run so far (`cycles` is always 0; event counters
+    /// match the pipeline's architectural counts).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The retire-order trace (empty unless `trace_retire` was set); the
+    /// `cycle` field holds the retire ordinal.
+    pub fn retire_log(&self) -> &[RetireEvent] {
+        &self.retire_log
+    }
+
+    /// Runs until `halt` retires or `max_instrs` instructions retire.
+    ///
+    /// # Errors
+    ///
+    /// * [`RunError::CycleLimit`] if `halt` is not reached in budget;
+    /// * [`RunError::PcOutOfText`] if execution leaves the text segment;
+    /// * [`RunError::Mem`] on a data access fault.
+    pub fn run(&mut self, engine: &mut dyn LoopEngine, max_instrs: u64) -> Result<Stats, RunError> {
+        // Monomorphize the interpreter loop over engine passivity: for a
+        // passive engine (no controller attached) the per-instruction
+        // hook calls and the `FetchDecision` copy vanish statically,
+        // which is most of the interpreter's overhead on plain cores.
+        if engine.is_passive() {
+            self.run_loop::<true>(engine, max_instrs)
+        } else {
+            self.run_loop::<false>(engine, max_instrs)
+        }
+    }
+
+    fn run_loop<const PASSIVE: bool>(
+        &mut self,
+        engine: &mut dyn LoopEngine,
+        max_instrs: u64,
+    ) -> Result<Stats, RunError> {
+        let limit = self.stats.retired + max_instrs;
+        loop {
+            if self.stats.retired >= limit {
+                return Err(RunError::CycleLimit { limit: max_instrs });
+            }
+            if self.step_instr::<PASSIVE>(engine)? {
+                return Ok(self.stats);
+            }
+        }
+    }
+
+    /// Executes one instruction to completion. Returns `true` when `halt`
+    /// retires.
+    fn step_instr<const PASSIVE: bool>(
+        &mut self,
+        engine: &mut dyn LoopEngine,
+    ) -> Result<bool, RunError> {
+        let pc = self.pc;
+        let Some(instr) = self.text.get(pc) else {
+            // No speculation: every fetch is architectural, so leaving the
+            // text segment is immediately the error the pipeline raises
+            // when a fault slot retires.
+            return Err(RunError::PcOutOfText { pc });
+        };
+        let decision = if PASSIVE {
+            crate::engine::FetchDecision::none()
+        } else {
+            engine.on_fetch(pc)
+        };
+        if decision.redirect.is_some() {
+            self.stats.zolc_redirects += 1;
+        }
+
+        let effect = step(instr, pc, |r| self.regs.read(r));
+        // The engine's zero-overhead redirect replaces the fall-through;
+        // a taken control transfer in the instruction itself overrides it
+        // (the pipeline's flush squashes the redirected fetch).
+        let mut next = decision.redirect.unwrap_or(pc.wrapping_add(4));
+        let mut event = ExecEvent::Plain;
+        let mut flush = false;
+        let mut halt = false;
+        let mut dst: Option<(Reg, u32)> = None;
+
+        match effect {
+            Effect::Nop => {}
+            Effect::Halt => halt = true,
+            Effect::Write { dst: r, value } => dst = Some((r, value)),
+            Effect::Load { dst: r, addr, op } => {
+                // The access faults even on a load to `r0`.
+                let v = op.read(&self.mem, addr)?;
+                dst = Some((r, v));
+            }
+            Effect::Store { addr, value, op } => op.write(&mut self.mem, addr, value)?,
+            Effect::Branch {
+                taken,
+                target,
+                decrement,
+            } => {
+                if let Some(w) = decrement {
+                    dst = Some(w);
+                    self.stats.dbnz_retired += 1;
+                }
+                self.stats.branches += 1;
+                if taken {
+                    self.stats.taken_branches += 1;
+                    event = ExecEvent::Taken { target };
+                    next = target;
+                    flush = true;
+                } else {
+                    event = ExecEvent::NotTaken;
+                }
+            }
+            Effect::Jump { target, link } => {
+                if let Some(w) = link {
+                    dst = Some(w);
+                }
+                event = ExecEvent::Taken { target };
+                next = target;
+                // `jr` resolves in the pipeline's EX stage with a flush
+                // (and an on_flush callback); `j`/`jal` resolve in ID
+                // without one. Mirror that distinction.
+                flush = matches!(instr, zolc_isa::Instr::Jr { .. });
+            }
+            Effect::Zwr {
+                region,
+                index,
+                field,
+                value,
+            } => {
+                engine.exec_zwr(region, index, field, value);
+                self.stats.zwr_retired += 1;
+            }
+            Effect::Zctl { op } => {
+                engine.exec_zctl(op);
+                self.stats.zctl_retired += 1;
+                // Context-synchronizing, like the pipeline's post-zctl
+                // flush: execution continues at the next address.
+                next = pc.wrapping_add(4);
+                flush = true;
+            }
+        }
+
+        if !PASSIVE {
+            engine.on_execute(pc, event);
+        }
+
+        // Retire: the instruction's own write, then the index-register
+        // rider (the dedicated write port applies after the ALU result).
+        if let Some((r, v)) = dst {
+            self.regs.write(r, v);
+        }
+        for (r, v) in decision.index_writes.iter() {
+            self.regs.write(r, v);
+            self.stats.zolc_index_writes += 1;
+        }
+        self.stats.retired += 1;
+        if self.config.trace_retire {
+            self.retire_log.push(RetireEvent {
+                cycle: self.stats.retired,
+                pc,
+                instr,
+            });
+        }
+        if !PASSIVE && flush {
+            // Mirror the pipeline's flush points so engines see the same
+            // callback sequence (a no-op here: speculative state never
+            // diverges from architectural state without speculation).
+            engine.on_flush();
+        }
+        if halt {
+            return Ok(true);
+        }
+        self.pc = next;
+        Ok(false)
+    }
+}
+
+impl Executor for FunctionalCpu {
+    fn kind(&self) -> ExecutorKind {
+        ExecutorKind::Functional
+    }
+
+    fn load_program(&mut self, program: &Program) -> Result<(), MemError> {
+        FunctionalCpu::load_program(self, program)
+    }
+
+    fn run(&mut self, engine: &mut dyn LoopEngine, budget: u64) -> Result<Stats, RunError> {
+        FunctionalCpu::run(self, engine, budget)
+    }
+
+    fn regs(&self) -> &RegFile {
+        FunctionalCpu::regs(self)
+    }
+
+    fn regs_mut(&mut self) -> &mut RegFile {
+        FunctionalCpu::regs_mut(self)
+    }
+
+    fn mem(&self) -> &Memory {
+        FunctionalCpu::mem(self)
+    }
+
+    fn mem_mut(&mut self) -> &mut Memory {
+        FunctionalCpu::mem_mut(self)
+    }
+
+    fn stats(&self) -> &Stats {
+        FunctionalCpu::stats(self)
+    }
+
+    fn retire_log(&self) -> &[RetireEvent] {
+        FunctionalCpu::retire_log(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::NullEngine;
+    use zolc_isa::{assemble, reg};
+
+    fn run_functional(src: &str) -> (FunctionalCpu, Stats) {
+        let p = assemble(src).expect("assembles");
+        let mut cpu = FunctionalCpu::new(CpuConfig::default());
+        cpu.load_program(&p).unwrap();
+        let stats = cpu.run(&mut NullEngine, 1_000_000).expect("runs");
+        (cpu, stats)
+    }
+
+    #[test]
+    fn countdown_loop_architectural_results() {
+        let (cpu, stats) = run_functional(
+            "
+            li   r1, 10
+            li   r2, 0
+      top:  add  r2, r2, r1
+            addi r1, r1, -1
+            bne  r1, r0, top
+            halt
+        ",
+        );
+        assert_eq!(cpu.regs().read(reg(2)), (1..=10).sum::<u32>());
+        assert_eq!(stats.cycles, 0);
+        assert_eq!(stats.retired, 2 + 3 * 10 + 1);
+        assert_eq!(stats.taken_branches, 9);
+        assert_eq!(stats.branches, 10);
+    }
+
+    #[test]
+    fn dbnz_and_jumps() {
+        let (cpu, stats) = run_functional(
+            "
+            li   r1, 4
+            jal  sub
+      top:  addi r2, r2, 1
+            dbnz r1, top
+            halt
+      sub:  addi r5, r0, 9
+            jr   r31
+        ",
+        );
+        assert_eq!(cpu.regs().read(reg(2)), 4);
+        assert_eq!(cpu.regs().read(reg(5)), 9);
+        assert_eq!(stats.dbnz_retired, 4);
+        assert_eq!(stats.flushes, 0);
+    }
+
+    #[test]
+    fn memory_faults_propagate() {
+        let p = assemble("li r1, 2\nlw r2, (r1)\nhalt").unwrap();
+        let mut cpu = FunctionalCpu::new(CpuConfig::default());
+        cpu.load_program(&p).unwrap();
+        let r = cpu.run(&mut NullEngine, 1000);
+        assert!(matches!(r, Err(RunError::Mem(_))));
+    }
+
+    #[test]
+    fn running_off_text_is_an_error() {
+        let p = assemble("nop\nnop\n").unwrap();
+        let mut cpu = FunctionalCpu::new(CpuConfig::default());
+        cpu.load_program(&p).unwrap();
+        let r = cpu.run(&mut NullEngine, 1000);
+        assert!(matches!(r, Err(RunError::PcOutOfText { .. })));
+    }
+
+    #[test]
+    fn instruction_budget_detected() {
+        let p = assemble("top: j top\nhalt").unwrap();
+        let mut cpu = FunctionalCpu::new(CpuConfig::default());
+        cpu.load_program(&p).unwrap();
+        let r = cpu.run(&mut NullEngine, 100);
+        assert!(matches!(r, Err(RunError::CycleLimit { .. })));
+    }
+
+    #[test]
+    fn retire_log_uses_ordinals() {
+        let p = assemble("nop\nnop\nhalt").unwrap();
+        let mut cpu = FunctionalCpu::new(CpuConfig {
+            trace_retire: true,
+            ..CpuConfig::default()
+        });
+        cpu.load_program(&p).unwrap();
+        cpu.run(&mut NullEngine, 100).unwrap();
+        let ords: Vec<u64> = cpu.retire_log().iter().map(|e| e.cycle).collect();
+        assert_eq!(ords, vec![1, 2, 3]);
+    }
+}

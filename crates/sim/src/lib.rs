@@ -1,24 +1,40 @@
-//! # zolc-sim — cycle-accurate pipeline simulation for the ZOLC study
+//! # zolc-sim — layered processor simulation for the ZOLC study
 //!
-//! A single-issue, in-order, 5-stage (IF/ID/EX/MEM/WB) RISC pipeline with
-//! full forwarding, a one-cycle load-use interlock, EX-resolved branches
-//! (2-cycle taken penalty), ID-resolved jumps and hardware-loop `dbnz`
-//! (1-cycle penalty). It
-//! stands in for the XiRisc soft core of *Kavvadias & Nikolaidis, DATE
-//! 2005*: the paper's experiment compares loop-control schemes on one
-//! core, and this pipeline reproduces exactly the overhead structure those
-//! schemes differ in (loop-maintenance instructions and taken-branch
-//! flushes).
+//! The simulator is split into three layers so instruction *semantics*
+//! are written once and *timing* is a pluggable concern:
 //!
-//! Loop controllers attach through the [`LoopEngine`] trait, which mirrors
-//! the paper's Fig. 1 integration points: fetch-time next-PC selection
-//! (zero-overhead redirect), retire-time commit, the `zwr`/`zctl`
-//! coprocessor instructions and a dedicated index-register write port.
+//! 1. **Predecode** ([`TextImage`]) — the text segment is decoded once
+//!    into a dense instruction array at program load; no executor
+//!    re-decodes on its fetch path.
+//! 2. **Semantics** ([`exec::step`]) — a pure function from
+//!    `(instruction, pc, operand reader)` to an architectural
+//!    [`Effect`]: what the instruction does, never when.
+//! 3. **Executors** (the [`Executor`] trait, selected by
+//!    [`ExecutorKind`]):
+//!    * [`Cpu`] — the cycle-accurate single-issue, in-order, 5-stage
+//!      (IF/ID/EX/MEM/WB) pipeline with full forwarding, a one-cycle
+//!      load-use interlock, EX-resolved branches (2-cycle taken
+//!      penalty), ID-resolved jumps and hardware-loop `dbnz` (1-cycle
+//!      penalty). It stands in for the XiRisc soft core of *Kavvadias &
+//!      Nikolaidis, DATE 2005* and produces the paper's metric: cycles.
+//!    * [`FunctionalCpu`] — the fast functional executor: identical
+//!      final registers, memory and retire counts, no cycle counts.
+//!      Several times faster than the pipeline — ~5–6× on cores without
+//!      a loop controller (the passive-engine fast path), ~1.5× with a
+//!      ZOLC controller attached, whose modeling cost dominates both
+//!      executors. Use it for correctness sweeps and differential
+//!      testing; use the pipeline whenever cycles are the answer.
+//!
+//! Loop controllers attach to either executor through the [`LoopEngine`]
+//! trait, which mirrors the paper's Fig. 1 integration points: fetch-time
+//! next-PC selection (zero-overhead redirect), retire-time commit, the
+//! `zwr`/`zctl` coprocessor instructions and a dedicated index-register
+//! write port.
 //!
 //! # Examples
 //!
 //! ```
-//! use zolc_sim::{run_program, NullEngine};
+//! use zolc_sim::{run_program, run_program_on, ExecutorKind, NullEngine};
 //!
 //! let program = zolc_isa::assemble("
 //!     li   r1, 100
@@ -28,8 +44,14 @@
 //!     bne  r1, r0, top
 //!     halt
 //! ").unwrap();
+//! // Cycle-accurate: the paper's metric.
 //! let finished = run_program(&program, &mut NullEngine, 1_000_000)?;
 //! assert_eq!(finished.cpu.regs().read(zolc_isa::reg(2)), (1..=100).sum::<u32>());
+//! // Functional: same architecture, no cycles, much faster.
+//! let fast = run_program_on(ExecutorKind::Functional, &program, &mut NullEngine, 1_000_000)?;
+//! assert_eq!(fast.cpu.regs().read(zolc_isa::reg(2)), (1..=100).sum::<u32>());
+//! assert_eq!(fast.stats.retired, finished.stats.retired);
+//! assert_eq!(fast.stats.cycles, 0);
 //! # Ok::<(), zolc_sim::RunError>(())
 //! ```
 
@@ -38,12 +60,20 @@
 
 mod cpu;
 mod engine;
+pub mod exec;
+mod functional;
 mod mem;
+mod pipeline;
 mod regfile;
 mod stats;
 
-pub use cpu::{run_program, Cpu, CpuConfig, Finished, RetireEvent, RunError};
+pub use cpu::{
+    run_program, run_program_on, CpuConfig, Executor, ExecutorKind, Finished, RetireEvent, RunError,
+};
 pub use engine::{ExecEvent, FetchDecision, LoopEngine, NullEngine, RegWrites};
+pub use exec::{Effect, TextImage};
+pub use functional::FunctionalCpu;
 pub use mem::{MemError, MemErrorKind, Memory};
+pub use pipeline::Cpu;
 pub use regfile::RegFile;
 pub use stats::Stats;

@@ -8,6 +8,7 @@ use std::fmt;
 
 /// Kinds of memory access failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MemErrorKind {
     /// Address beyond the configured memory size.
     OutOfBounds,

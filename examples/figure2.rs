@@ -2,6 +2,10 @@
 //! `cargo bench --bench fig2_cycles`; this example is the same artifact
 //! through the public API).
 //!
+//! The 36 (kernel, target) cells are measured batch-parallel through
+//! `zolc::bench::JobMatrix`; results are deterministic regardless of
+//! thread count because every cell builds its own program and simulator.
+//!
 //! Run with `cargo run --release --example figure2`.
 
 fn main() {

@@ -2,11 +2,19 @@
 //! processor configuration, including the multiple-exit early-termination
 //! variant that needs ZOLCfull's exit records.
 //!
+//! Demonstrates the two-executor workflow: a fast *functional* pre-flight
+//! validates every (kernel, configuration) cell architecturally, then the
+//! *cycle-accurate* pipeline produces the numbers that matter.
+//!
 //! Run with `cargo run --example motion_estimation`.
 
+use std::time::Instant;
 use zolc::core::{area, ZolcConfig};
 use zolc::ir::Target;
-use zolc::kernels::{build_me_fs, build_me_fs_early, build_me_tss, run_kernel, BuildFn};
+use zolc::kernels::{
+    build_me_fs, build_me_fs_early, build_me_tss, run_kernel, run_kernel_with, BuildFn,
+    ExecutorKind,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let configs: Vec<(&str, Target)> = vec![
@@ -20,6 +28,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("me_tss (three-step)", build_me_tss as BuildFn),
         ("me_fs_early (early exit)", build_me_fs_early as BuildFn),
     ];
+
+    // Pre-flight: validate every cell on the functional executor (no
+    // cycle counts, several times faster than the pipeline — ideal for
+    // correctness sweeps).
+    let start = Instant::now();
+    let mut cells = 0;
+    for (kname, build) in &kernels {
+        for (cname, target) in &configs {
+            let built = build(target)?;
+            let run = run_kernel_with(&built, 50_000_000, ExecutorKind::Functional)?;
+            assert!(run.is_correct(), "{kname} on {cname} diverged");
+            cells += 1;
+        }
+    }
+    println!(
+        "functional pre-flight: {cells} cells architecturally correct in {:.1} ms\n",
+        start.elapsed().as_secs_f64() * 1e3
+    );
 
     for (kname, build) in &kernels {
         println!("=== {kname} ===");

@@ -7,7 +7,10 @@
 //!
 //! * [`mod@isa`] — the XR32 instruction set (with `dbnz` and the ZOLC
 //!   coprocessor instructions), assembler and binary encoding;
-//! * [`mod@sim`] — a cycle-accurate 5-stage pipeline with loop-engine hooks;
+//! * [`mod@sim`] — a layered simulator (predecode / semantics core /
+//!   executors) with two executors behind one trait: the cycle-accurate
+//!   5-stage pipeline and a fast functional executor, both with
+//!   loop-engine hooks;
 //! * [`mod@core`] — the ZOLC itself: task selection, loop parameter tables,
 //!   index calculation, configurations, area/storage/timing models;
 //! * [`mod@ir`] — the structured loop IR and its three lowerings
@@ -17,7 +20,8 @@
 //! * [`mod@kernels`] — the twelve evaluation benchmarks with bit-exact
 //!   reference models;
 //! * [`mod@bench`] — the experiment harness regenerating every table and
-//!   figure of the paper (run `cargo bench`).
+//!   figure of the paper (run `cargo bench`), built on a batch-parallel
+//!   kernel × target × executor [`bench::JobMatrix`].
 //!
 //! # Examples
 //!

@@ -1,0 +1,124 @@
+//! Differential property test: the cycle-accurate pipeline against the
+//! fast functional executor.
+//!
+//! The two executors share one semantics core (`zolc_sim::exec::step`)
+//! but schedule it completely differently — five speculative pipeline
+//! stages with forwarding and flushes versus a strict one-instruction
+//! interpreter. Architecturally that difference must be invisible: for
+//! any program, final register file, data memory and retire count must
+//! be bit-identical. Checked two ways: random straight-line programs
+//! (shared generators with `prop_pipeline`), and all benchmark kernels
+//! on all three Fig. 2 targets plus the ablation extras on `ZOLCfull`
+//! (which exercises branches, `dbnz`, jumps and the ZOLC engine
+//! integration end to end).
+
+mod common;
+
+use common::any_instr;
+use proptest::prelude::*;
+use zolc::core::{Zolc, ZolcConfig};
+use zolc::ir::Target;
+use zolc::isa::{reg, Asm, Instr, Program, DATA_BASE};
+use zolc::kernels::{extra_kernels, fig2_targets, kernels};
+use zolc::sim::{run_program_on, Executor, ExecutorKind, Finished, NullEngine, RunError, Stats};
+
+const BUDGET: u64 = 50_000_000;
+
+/// Runs `program` on the chosen executor with the engine `target` calls
+/// for (a fresh `Zolc` for ZOLC targets, `NullEngine` otherwise).
+fn run_on(
+    kind: ExecutorKind,
+    program: &Program,
+    target: &Target,
+) -> Result<Finished<Box<dyn Executor>>, RunError> {
+    match target {
+        Target::Zolc(cfg) => {
+            let mut z = Zolc::new(*cfg);
+            let fin = run_program_on(kind, program, &mut z, BUDGET)?;
+            z.assert_consistent();
+            Ok(fin)
+        }
+        _ => run_program_on(kind, program, &mut NullEngine, BUDGET),
+    }
+}
+
+/// Asserts bit-identical architectural outcomes, returns both stats.
+fn assert_equivalent(program: &Program, target: &Target, context: &str) -> (Stats, Stats) {
+    let slow = run_on(ExecutorKind::CycleAccurate, program, target)
+        .unwrap_or_else(|e| panic!("{context}: pipeline failed: {e}"));
+    let fast = run_on(ExecutorKind::Functional, program, target)
+        .unwrap_or_else(|e| panic!("{context}: functional failed: {e}"));
+    assert_eq!(
+        slow.cpu.regs().snapshot(),
+        fast.cpu.regs().snapshot(),
+        "{context}: register files differ"
+    );
+    let len = slow.cpu.mem().size() - DATA_BASE as usize;
+    assert_eq!(
+        slow.cpu.mem().read_bytes(DATA_BASE, len).unwrap(),
+        fast.cpu.mem().read_bytes(DATA_BASE, len).unwrap(),
+        "{context}: data memory differs"
+    );
+    assert_eq!(
+        slow.stats.retired, fast.stats.retired,
+        "{context}: retire counts differ"
+    );
+    (slow.stats, fast.stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Pipeline == functional executor on random straight-line programs:
+    /// identical registers, memory, retire counts; cycles only on the
+    /// pipeline.
+    #[test]
+    fn executors_agree_on_straightline(instrs in prop::collection::vec(any_instr(), 1..60)) {
+        let mut asm = Asm::new();
+        asm.li(reg(1), DATA_BASE as i32);
+        asm.emit_all(instrs.iter().copied());
+        asm.emit(Instr::Halt);
+        let program = asm.finish().expect("assembles");
+        let (slow, fast) = assert_equivalent(&program, &Target::Baseline, "straightline");
+        prop_assert!(slow.cycles >= slow.retired);
+        prop_assert_eq!(fast.cycles, 0);
+    }
+}
+
+/// Every Fig. 2 kernel on every Fig. 2 target: the full benchmark suite
+/// (loop nests, `dbnz` loops, ZOLC redirects and index riders) retires
+/// to identical architectural state on both executors.
+#[test]
+fn executors_agree_on_all_fig2_kernels() {
+    for k in kernels() {
+        for target in fig2_targets() {
+            let built = (k.build)(&target).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let ctx = format!("{}/{}", k.name, target);
+            let (slow, fast) = assert_equivalent(&built.program, &target, &ctx);
+            // architectural event counters must agree too
+            assert_eq!(slow.branches, fast.branches, "{ctx}: branches");
+            assert_eq!(
+                slow.taken_branches, fast.taken_branches,
+                "{ctx}: taken branches"
+            );
+            assert_eq!(slow.dbnz_retired, fast.dbnz_retired, "{ctx}: dbnz");
+            assert_eq!(slow.zwr_retired, fast.zwr_retired, "{ctx}: zwr");
+            assert_eq!(slow.zctl_retired, fast.zctl_retired, "{ctx}: zctl");
+            assert_eq!(
+                slow.zolc_index_writes, fast.zolc_index_writes,
+                "{ctx}: index writes"
+            );
+        }
+    }
+}
+
+/// The multiple-exit and early-exit ablation kernels on the largest
+/// configuration (exit records active) agree as well.
+#[test]
+fn executors_agree_on_ablation_extras() {
+    for k in extra_kernels() {
+        let target = Target::Zolc(ZolcConfig::full());
+        let built = (k.build)(&target).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        assert_equivalent(&built.program, &target, k.name);
+    }
+}

@@ -5,6 +5,9 @@
 //! invisible architecturally: for any (branch-free) instruction sequence,
 //! final registers and memory must match a naive sequential interpreter.
 
+mod common;
+
+use common::any_instr;
 use proptest::prelude::*;
 use zolc::isa::{reg, Asm, Instr, Reg, DATA_BASE};
 use zolc::sim::{run_program, NullEngine};
@@ -84,76 +87,6 @@ impl Interp {
             ref other => unreachable!("not generated: {other}"),
         }
     }
-}
-
-fn any_small_reg() -> impl Strategy<Value = Reg> {
-    // r1 is the data base pointer; computation uses r2..r9
-    (2u8..10).prop_map(reg)
-}
-
-/// Strategy: one random straight-line instruction over r2..r9 plus
-/// memory accesses through the r1 base.
-fn any_instr() -> impl Strategy<Value = Instr> {
-    use Instr::*;
-    let rrr = (any_small_reg(), any_small_reg(), any_small_reg());
-    prop_oneof![
-        rrr.prop_map(|(rd, rs, rt)| Add { rd, rs, rt }),
-        (any_small_reg(), any_small_reg(), any_small_reg()).prop_map(|(rd, rs, rt)| Sub {
-            rd,
-            rs,
-            rt
-        }),
-        (any_small_reg(), any_small_reg(), any_small_reg()).prop_map(|(rd, rs, rt)| Xor {
-            rd,
-            rs,
-            rt
-        }),
-        (any_small_reg(), any_small_reg(), any_small_reg()).prop_map(|(rd, rs, rt)| Mul {
-            rd,
-            rs,
-            rt
-        }),
-        (any_small_reg(), any_small_reg(), any_small_reg()).prop_map(|(rd, rs, rt)| Slt {
-            rd,
-            rs,
-            rt
-        }),
-        (any_small_reg(), any_small_reg(), any::<i16>()).prop_map(|(rt, rs, imm)| Addi {
-            rt,
-            rs,
-            imm
-        }),
-        (any_small_reg(), any_small_reg(), any::<u16>()).prop_map(|(rt, rs, imm)| Andi {
-            rt,
-            rs,
-            imm
-        }),
-        (any_small_reg(), any::<u16>()).prop_map(|(rt, imm)| Lui { rt, imm }),
-        (any_small_reg(), any_small_reg(), 0u8..16).prop_map(|(rd, rt, sh)| Sll { rd, rt, sh }),
-        (any_small_reg(), any_small_reg(), 0u8..16).prop_map(|(rd, rt, sh)| Sra { rd, rt, sh }),
-        // word accesses at aligned offsets 0..64 within the seeded window
-        (any_small_reg(), 0u8..16).prop_map(|(rt, k)| Lw {
-            rt,
-            rs: reg(1),
-            off: 4 * i16::from(k),
-        }),
-        (any_small_reg(), 0u8..16).prop_map(|(rt, k)| Sw {
-            rt,
-            rs: reg(1),
-            off: 4 * i16::from(k),
-        }),
-        (any_small_reg(), 0u8..64).prop_map(|(rt, k)| Lb {
-            rt,
-            rs: reg(1),
-            off: i16::from(k),
-        }),
-        (any_small_reg(), 0u8..64).prop_map(|(rt, k)| Sb {
-            rt,
-            rs: reg(1),
-            off: i16::from(k),
-        }),
-        Just(Nop),
-    ]
 }
 
 proptest! {
