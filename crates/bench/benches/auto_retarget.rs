@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact for experiment `e6_auto_retarget` (run
+//! via `cargo bench --bench auto_retarget`).
+
+fn main() {
+    println!("{}", zolc_bench::e6_auto_retarget());
+}

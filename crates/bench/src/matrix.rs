@@ -15,11 +15,24 @@ use std::sync::Mutex;
 use std::thread;
 use zolc_core::ZolcConfig;
 use zolc_ir::{LoweredInfo, Target};
-use zolc_kernels::{kernels, run_kernel_with, ExecutorKind, KernelEntry};
+use zolc_kernels::{build_kernel_auto, kernels, run_kernel_with, ExecutorKind, KernelEntry};
 use zolc_sim::Stats;
 
 /// Cycle budget generous enough for every kernel on every target.
 pub const MAX_CYCLES: u64 = 50_000_000;
+
+/// How a cell's program comes to exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum BuildMode {
+    /// Lower the kernel's IR directly for the cell's target.
+    #[default]
+    Lower,
+    /// Lower for `XRdefault`, then auto-retarget the *binary* onto the
+    /// cell's ZOLC configuration (`ZOLCauto`; the target must be
+    /// [`Target::Zolc`]).
+    AutoRetarget,
+}
 
 /// One cell of a [`JobMatrix`]: a kernel to build and measure on a
 /// target with a chosen executor.
@@ -32,7 +45,11 @@ pub struct Job {
     /// Which executor measures it (cycle-accurate by default; cycle
     /// counts are only meaningful on [`ExecutorKind::CycleAccurate`]).
     pub executor: ExecutorKind,
+    /// Hand lowering or automatic binary retargeting.
+    pub mode: BuildMode,
 }
+
+pub use zolc_kernels::AutoStats;
 
 /// One (kernel, target) measurement, correctness-checked.
 #[derive(Debug, Clone)]
@@ -43,10 +60,14 @@ pub struct Measurement {
     pub target: Target,
     /// Which executor produced it.
     pub executor: ExecutorKind,
+    /// How the program was built.
+    pub mode: BuildMode,
     /// Full pipeline statistics.
     pub stats: Stats,
     /// Lowering byproducts (table image, init length, notes).
     pub info: LoweredInfo,
+    /// Retargeting statistics ([`BuildMode::AutoRetarget`] cells only).
+    pub auto: Option<AutoStats>,
 }
 
 /// Measures one kernel on one target with the cycle-accurate executor.
@@ -66,8 +87,51 @@ pub fn measure(entry: &KernelEntry, target: &Target) -> Measurement {
 ///
 /// Panics on build, run, or verification failure (see [`measure`]).
 pub fn measure_with(entry: &KernelEntry, target: &Target, executor: ExecutorKind) -> Measurement {
-    let built = (entry.build)(target)
-        .unwrap_or_else(|e| panic!("{}/{}: build failed: {e}", entry.name, target));
+    measure_cell(entry, target, executor, BuildMode::Lower)
+}
+
+/// Measures one kernel auto-retargeted from its baseline binary onto a
+/// ZOLC of configuration `config` (the `ZOLCauto` column).
+///
+/// # Panics
+///
+/// Panics on build, retarget, run, or verification failure (see
+/// [`measure`]).
+pub fn measure_auto(
+    entry: &KernelEntry,
+    config: ZolcConfig,
+    executor: ExecutorKind,
+) -> Measurement {
+    measure_cell(
+        entry,
+        &Target::Zolc(config),
+        executor,
+        BuildMode::AutoRetarget,
+    )
+}
+
+fn measure_cell(
+    entry: &KernelEntry,
+    target: &Target,
+    executor: ExecutorKind,
+    mode: BuildMode,
+) -> Measurement {
+    let (built, auto) = match mode {
+        BuildMode::Lower => (
+            (entry.build)(target)
+                .unwrap_or_else(|e| panic!("{}/{}: build failed: {e}", entry.name, target)),
+            None,
+        ),
+        BuildMode::AutoRetarget => {
+            let Target::Zolc(config) = target else {
+                panic!("{}: ZOLCauto cells need a ZOLC target", entry.name)
+            };
+            let a = build_kernel_auto(entry, *config).unwrap_or_else(|e| {
+                panic!("{}/{} (auto): retarget failed: {e}", entry.name, target)
+            });
+            (a.built, Some(a.stats))
+        }
+    };
     let run = run_kernel_with(&built, MAX_CYCLES, executor)
         .unwrap_or_else(|e| panic!("{}/{}: run failed: {e}", entry.name, target));
     assert!(
@@ -82,8 +146,10 @@ pub fn measure_with(entry: &KernelEntry, target: &Target, executor: ExecutorKind
         kernel: entry.name.to_owned(),
         target: target.clone(),
         executor,
+        mode,
         stats: run.stats,
         info: built.info,
+        auto,
     }
 }
 
@@ -128,16 +194,17 @@ impl JobMatrix {
     }
 
     /// The standard Fig. 2 matrix: all twelve kernels on
-    /// `XRdefault` / `XRhrdwil` / `ZOLClite`, kernel-major.
+    /// `XRdefault` / `XRhrdwil` / `ZOLClite` plus the `ZOLCauto` column
+    /// (the same binary-retargeted ZOLClite build), kernel-major.
     pub fn fig2() -> JobMatrix {
-        JobMatrix::cross(
-            kernels(),
-            &[
-                Target::Baseline,
-                Target::HwLoop,
-                Target::Zolc(ZolcConfig::lite()),
-            ],
-        )
+        let mut m = JobMatrix::new();
+        for e in kernels() {
+            m.push(*e, Target::Baseline);
+            m.push(*e, Target::HwLoop);
+            m.push(*e, Target::Zolc(ZolcConfig::lite()));
+            m.push_auto(*e, ZolcConfig::lite());
+        }
+        m
     }
 
     /// Appends one cell (cycle-accurate executor).
@@ -146,6 +213,20 @@ impl JobMatrix {
             entry,
             target,
             executor: ExecutorKind::CycleAccurate,
+            mode: BuildMode::Lower,
+        });
+        self
+    }
+
+    /// Appends one `ZOLCauto` cell: the kernel's baseline binary
+    /// auto-retargeted onto a ZOLC of configuration `config`
+    /// (cycle-accurate executor).
+    pub fn push_auto(&mut self, entry: KernelEntry, config: ZolcConfig) -> &mut JobMatrix {
+        self.jobs.push(Job {
+            entry,
+            target: Target::Zolc(config),
+            executor: ExecutorKind::CycleAccurate,
+            mode: BuildMode::AutoRetarget,
         });
         self
     }
@@ -197,7 +278,7 @@ impl JobMatrix {
     pub fn run_threads(&self, threads: usize) -> Vec<Measurement> {
         let n = self.jobs.len();
         let threads = threads.clamp(1, n.max(1));
-        let run_job = |j: &Job| measure_with(&j.entry, &j.target, j.executor);
+        let run_job = |j: &Job| measure_cell(&j.entry, &j.target, j.executor, j.mode);
         if threads <= 1 || n <= 1 {
             return self.jobs.iter().map(run_job).collect();
         }
@@ -229,7 +310,7 @@ impl JobMatrix {
     }
 }
 
-/// One Fig. 2 row: a kernel's cycles on the three compared configurations.
+/// One Fig. 2 row: a kernel's cycles on the compared configurations.
 #[derive(Debug, Clone)]
 pub struct Fig2Row {
     /// Kernel name.
@@ -240,6 +321,9 @@ pub struct Fig2Row {
     pub hwloop: u64,
     /// Cycles with the ZOLC (`ZOLClite`, as in the paper's figure).
     pub zolc: u64,
+    /// Cycles with the ZOLC when the overlay was synthesized from the
+    /// baseline *binary* (`ZOLCauto` — our extension of the figure).
+    pub zolc_auto: u64,
 }
 
 impl Fig2Row {
@@ -253,10 +337,22 @@ impl Fig2Row {
         100.0 * (self.baseline as f64 - self.zolc as f64) / self.baseline as f64
     }
 
-    /// Relative cycles (normalized to `XRdefault` = 1.0) in figure order.
-    pub fn relative(&self) -> [f64; 3] {
+    /// Cycle reduction of the auto-retargeted ZOLC build relative to
+    /// `XRdefault`, percent.
+    pub fn zolc_auto_improvement(&self) -> f64 {
+        100.0 * (self.baseline as f64 - self.zolc_auto as f64) / self.baseline as f64
+    }
+
+    /// Relative cycles (normalized to `XRdefault` = 1.0) in figure order:
+    /// `XRdefault`, `XRhrdwil`, `ZOLClite`, `ZOLCauto`.
+    pub fn relative(&self) -> [f64; 4] {
         let b = self.baseline as f64;
-        [1.0, self.hwloop as f64 / b, self.zolc as f64 / b]
+        [
+            1.0,
+            self.hwloop as f64 / b,
+            self.zolc as f64 / b,
+            self.zolc_auto as f64 / b,
+        ]
     }
 }
 
@@ -268,19 +364,20 @@ pub struct Fig2Report {
 }
 
 impl Fig2Report {
-    /// Measures all twelve benchmarks on the three Fig. 2 configurations,
-    /// batch-parallel over the [`JobMatrix`].
+    /// Measures all twelve benchmarks on the three Fig. 2 configurations
+    /// plus the `ZOLCauto` column, batch-parallel over the [`JobMatrix`].
     pub fn collect() -> Fig2Report {
         let results = JobMatrix::fig2().run();
-        // kernel-major: three consecutive cells per kernel, target order
-        // Baseline / HwLoop / Zolc.
+        // kernel-major: four consecutive cells per kernel, target order
+        // Baseline / HwLoop / Zolc / ZolcAuto.
         let rows = results
-            .chunks_exact(3)
+            .chunks_exact(4)
             .map(|cell| Fig2Row {
                 kernel: cell[0].kernel.clone(),
                 baseline: cell[0].stats.cycles,
                 hwloop: cell[1].stats.cycles,
                 zolc: cell[2].stats.cycles,
+                zolc_auto: cell[3].stats.cycles,
             })
             .collect();
         Fig2Report { rows }
@@ -339,13 +436,15 @@ impl fmt::Display for Fig2Report {
         for r in &self.rows {
             writeln!(
                 f,
-                "{:<12} base {:>8} hw {:>8} ({:>5.1}%) zolc {:>8} ({:>5.1}%)",
+                "{:<12} base {:>8} hw {:>8} ({:>5.1}%) zolc {:>8} ({:>5.1}%) auto {:>8} ({:>5.1}%)",
                 r.kernel,
                 r.baseline,
                 r.hwloop,
                 r.hwloop_improvement(),
                 r.zolc,
-                r.zolc_improvement()
+                r.zolc_improvement(),
+                r.zolc_auto,
+                r.zolc_auto_improvement()
             )?;
         }
         write!(
@@ -379,10 +478,27 @@ mod tests {
             baseline: 100,
             hwloop: 90,
             zolc: 75,
+            zolc_auto: 80,
         };
         assert!((r.hwloop_improvement() - 10.0).abs() < 1e-9);
         assert!((r.zolc_improvement() - 25.0).abs() < 1e-9);
-        assert_eq!(r.relative(), [1.0, 0.9, 0.75]);
+        assert!((r.zolc_auto_improvement() - 20.0).abs() < 1e-9);
+        assert_eq!(r.relative(), [1.0, 0.9, 0.75, 0.8]);
+    }
+
+    #[test]
+    fn auto_cells_measure_correctly() {
+        let m = measure_auto(
+            &kernels()[0],
+            ZolcConfig::lite(),
+            ExecutorKind::CycleAccurate,
+        );
+        assert_eq!(m.mode, BuildMode::AutoRetarget);
+        assert!(m.stats.cycles > 0);
+        assert!(m.info.image.is_some());
+        let auto = m.auto.expect("auto cells carry retarget stats");
+        assert!(auto.excised > 0);
+        assert_eq!(auto.unhandled, 0);
     }
 
     #[test]

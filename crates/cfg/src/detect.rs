@@ -17,11 +17,26 @@
 //! proposal is cross-checked against the original structure by
 //! [`crate::verify::verify_image`] and, in the test-suite, against the
 //! known IR of the benchmark kernels.
+//!
+//! [`map_to_zolc`] is the *advisory* half (a table image against the
+//! original, unmodified addresses); [`crate::retarget`] is the
+//! *executable* half, which also removes the software loop control and
+//! produces a runnable program/overlay pair.
 
 use crate::graph::Cfg;
 use crate::loops::{LoopForest, NaturalLoop};
 use zolc_core::{LimitSrc, LoopSpec, TaskSpec, ZolcImage, TASK_NONE};
-use zolc_isa::{Instr, Program, Reg};
+use zolc_isa::{Instr, Program, Reg, INSTR_BYTES};
+
+/// A register-sourced trip count found in a loop preheader
+/// (`add cnt, rX, r0` — the `Trips::Reg` form of the baseline lowering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegLimit {
+    /// The register holding the trip count when the preheader executes.
+    pub reg: Reg,
+    /// Byte address of the copy instruction (`add cnt, rX, r0`).
+    pub addr: u32,
+}
 
 /// A recognized counted loop.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,15 +51,63 @@ pub struct CountedLoop {
     pub counter: Reg,
     /// Trip count when the preheader load is visible (`li cnt, N`).
     pub trips: Option<u32>,
+    /// Byte address of the preheader `li cnt, N`, when [`Self::trips`]
+    /// was found there.
+    pub init_addr: Option<u32>,
+    /// Register-sourced trip count (`add cnt, rX, r0` preheader), when
+    /// the bound is data-dependent rather than a visible constant.
+    pub limit_reg: Option<RegLimit>,
     /// Whether the latch is a `dbnz` (XRhrdwil code) rather than an
     /// `addi`+`bne` pair.
     pub via_dbnz: bool,
+}
+
+impl CountedLoop {
+    /// Byte address of the first loop-control instruction of the latch
+    /// (the decrement for `addi`+`bne` latches, the branch for `dbnz`).
+    pub fn latch_start(&self) -> u32 {
+        if self.via_dbnz {
+            self.branch_addr
+        } else {
+            self.branch_addr - INSTR_BYTES
+        }
+    }
+
+    /// Byte address of the last *body* instruction — the instruction
+    /// right before the counting code.
+    ///
+    /// A degenerate loop whose latch opens the text segment has no body
+    /// at all; the result saturates to the latch start in that case.
+    pub fn body_end(&self) -> u32 {
+        self.latch_start().saturating_sub(INSTR_BYTES)
+    }
 }
 
 /// Scans a program's loop forest for counted loops.
 ///
 /// Loops whose latch does not match the pattern are skipped (they remain
 /// in the forest; the mapper reports them as unhandled).
+///
+/// # Examples
+///
+/// ```
+/// use zolc_cfg::{detect_counted_loops, Cfg, Dominators, LoopForest};
+///
+/// let program = zolc_isa::assemble("
+///     li   r11, 10
+/// top: add  r2, r2, r3
+///     addi r11, r11, -1
+///     bne  r11, r0, top
+///     halt
+/// ").unwrap();
+/// let cfg = Cfg::build(&program);
+/// let dom = Dominators::compute(&cfg);
+/// let forest = LoopForest::analyze(&cfg, &dom);
+/// let counted = detect_counted_loops(&program, &cfg, &forest);
+/// assert_eq!(counted.len(), 1);
+/// assert_eq!(counted[0].trips, Some(10));
+/// assert_eq!(counted[0].counter, zolc_isa::reg(11));
+/// ```
 pub fn detect_counted_loops(program: &Program, cfg: &Cfg, forest: &LoopForest) -> Vec<CountedLoop> {
     let mut found = Vec::new();
     for l in &forest.loops {
@@ -62,7 +125,7 @@ fn match_counted(program: &Program, cfg: &Cfg, l: &NaturalLoop) -> Option<Counte
         return None;
     }
     let latch_block = &cfg.blocks()[latch];
-    let branch_addr = latch_block.end - 4;
+    let branch_addr = latch_block.end - INSTR_BYTES;
     let branch = *program.instr_at(branch_addr)?;
     let header_start = cfg.blocks()[l.header].start;
 
@@ -70,7 +133,7 @@ fn match_counted(program: &Program, cfg: &Cfg, l: &NaturalLoop) -> Option<Counte
         Instr::Dbnz { rs, .. } => (rs, true),
         Instr::Bne { rs, rt, .. } if rt.is_zero() => {
             // preceding instruction must be the decrement of rs
-            let dec_addr = branch_addr.checked_sub(4)?;
+            let dec_addr = branch_addr.checked_sub(INSTR_BYTES)?;
             match program.instr_at(dec_addr)? {
                 Instr::Addi {
                     rt: d,
@@ -86,15 +149,31 @@ fn match_counted(program: &Program, cfg: &Cfg, l: &NaturalLoop) -> Option<Counte
     if branch.branch_target(branch_addr) != Some(header_start) {
         return None;
     }
-    // trip count: look backwards from the header for `li counter, N`
-    // (addi counter, r0, N) in the preheader straight-line code
+    // trip count: look backwards from the header for the counter's
+    // producer in the preheader straight-line code — either a constant
+    // load (`li counter, N`, i.e. `addi counter, r0, N`) or a register
+    // copy (`add counter, rX, r0`, the data-dependent-bound form)
     let mut trips = None;
+    let mut init_addr = None;
+    let mut limit_reg = None;
     let mut pc = header_start;
     for _ in 0..4 {
-        let Some(prev) = pc.checked_sub(4) else { break };
+        let Some(prev) = pc.checked_sub(INSTR_BYTES) else {
+            break;
+        };
         match program.instr_at(prev) {
             Some(&Instr::Addi { rt, rs, imm }) if rt == counter && rs.is_zero() && imm > 0 => {
                 trips = Some(imm as u32);
+                init_addr = Some(prev);
+                break;
+            }
+            Some(&Instr::Add { rd, rs, rt })
+                if rd == counter && rt.is_zero() && rs != counter && !rs.is_zero() =>
+            {
+                limit_reg = Some(RegLimit {
+                    reg: rs,
+                    addr: prev,
+                });
                 break;
             }
             Some(i) if i.dst() == Some(counter) => break, // other producer
@@ -108,8 +187,107 @@ fn match_counted(program: &Program, cfg: &Cfg, l: &NaturalLoop) -> Option<Counte
         branch_addr,
         counter,
         trips,
+        init_addr,
+        limit_reg,
         via_dbnz,
     })
+}
+
+/// The task-switching successors of a counted-loop set, in `counted`
+/// order (shared by the advisory mapper and the retargeter — the graph
+/// is address-independent; only the recorded addresses differ).
+#[derive(Debug, Clone)]
+pub(crate) struct TaskChain {
+    /// Successor task when the loop iterates.
+    pub next_iter: Vec<u8>,
+    /// Successor task when the loop completes ([`TASK_NONE`] at the end).
+    pub next_fallthru: Vec<u8>,
+    /// Task current at activation: the innermost first task of the first
+    /// top-level loop in *execution* (address) order.
+    pub initial_task: u8,
+}
+
+/// Plans iterate/fall-through successors exactly as the forward lowering
+/// would: entering a loop descends to its innermost first-starting
+/// counted descendant; completion falls through to the next counted
+/// sibling's first task, else to the nearest counted ancestor's task.
+pub(crate) fn plan_task_chain(
+    cfg: &Cfg,
+    forest: &LoopForest,
+    counted: &[CountedLoop],
+) -> TaskChain {
+    let idx_of = |lid: usize| counted.iter().position(|c| c.loop_id == lid);
+    let start_of = |lid: usize| cfg.blocks()[forest.loops[lid].header].start;
+    // innermost first-starting counted descendant (inclusive of `lid`)
+    let first_task = |lid: usize| -> usize {
+        let mut cur = lid;
+        loop {
+            let child = forest
+                .loops
+                .iter()
+                .filter(|x| x.parent == Some(cur) && idx_of(x.id).is_some())
+                .min_by_key(|x| start_of(x.id))
+                .map(|x| x.id);
+            match child {
+                Some(c) => cur = c,
+                None => break,
+            }
+        }
+        cur
+    };
+
+    let mut next_iter = Vec::with_capacity(counted.len());
+    let mut next_fallthru = Vec::with_capacity(counted.len());
+    for c in counted {
+        let l = &forest.loops[c.loop_id];
+        next_iter.push(idx_of(first_task(c.loop_id)).expect("counted loop has a task") as u8);
+        // next counted sibling (same parent, later start), entered at its
+        // first task
+        let sibling = forest
+            .loops
+            .iter()
+            .filter(|x| x.parent == l.parent && x.id != l.id && idx_of(x.id).is_some())
+            .filter(|x| start_of(x.id) > start_of(l.id))
+            .min_by_key(|x| start_of(x.id))
+            .map(|x| first_task(x.id));
+        // else the nearest counted ancestor's own task
+        let mut ancestor = l.parent;
+        while let Some(a) = ancestor {
+            if idx_of(a).is_some() {
+                break;
+            }
+            ancestor = forest.loops[a].parent;
+        }
+        next_fallthru.push(
+            sibling
+                .or(ancestor)
+                .and_then(idx_of)
+                .map_or(TASK_NONE, |k| k as u8),
+        );
+    }
+    // initial task: descend from the first (by address) counted loop with
+    // no counted ancestor
+    let initial_task = counted
+        .iter()
+        .filter(|c| {
+            let mut anc = forest.loops[c.loop_id].parent;
+            while let Some(a) = anc {
+                if idx_of(a).is_some() {
+                    return false;
+                }
+                anc = forest.loops[a].parent;
+            }
+            true
+        })
+        .min_by_key(|c| c.start)
+        .and_then(|c| idx_of(first_task(c.loop_id)))
+        .map_or(TASK_NONE, |k| k as u8);
+
+    TaskChain {
+        next_iter,
+        next_fallthru,
+        initial_task,
+    }
 }
 
 /// The result of automatically mapping a software-loop program onto the
@@ -130,6 +308,10 @@ pub struct MappedProgram {
 /// before the counting code); task entries chain by nesting, exactly as
 /// the forward lowering would emit them. Loops without a recognizable
 /// trip count use a register-sourced limit.
+///
+/// The image is *advisory*: it describes the original program, whose
+/// software loop control is still in place. Use [`crate::retarget`] to
+/// produce a runnable excised program plus matching overlay.
 pub fn map_to_zolc(program: &Program, cfg: &Cfg, forest: &LoopForest) -> MappedProgram {
     let counted = detect_counted_loops(program, cfg, forest);
     let unhandled: Vec<usize> = forest
@@ -139,67 +321,35 @@ pub fn map_to_zolc(program: &Program, cfg: &Cfg, forest: &LoopForest) -> MappedP
         .filter(|id| counted.iter().all(|c| c.loop_id != *id))
         .collect();
 
-    // order image loops outermost-first by forest order (forest sorts by
-    // body size, parents first)
+    // order image loops by forest order (forest sorts by body size,
+    // parents first)
     let mut image = ZolcImage::default();
     for c in &counted {
-        let l = &forest.loops[c.loop_id];
-        // body end: the instruction before the counting code
-        let end = if c.via_dbnz {
-            c.branch_addr - 4
-        } else {
-            c.branch_addr - 8
-        };
         image.loops.push(LoopSpec {
             init: 0,
             step: 0,
             limit: match c.trips {
                 Some(n) => LimitSrc::Const(n),
-                None => LimitSrc::Reg(c.counter),
+                None => match c.limit_reg {
+                    Some(rl) => LimitSrc::Reg(rl.reg),
+                    None => LimitSrc::Reg(c.counter),
+                },
             },
             index_reg: None,
             start: c.start.into(),
-            end: end.into(),
+            end: c.body_end().into(),
         });
-        let _ = l;
     }
-    // task chaining: next_iter = innermost first-ending descendant,
-    // next_fallthru = next sibling or parent
-    let idx_of = |lid: usize| counted.iter().position(|c| c.loop_id == lid);
-    for (k, c) in counted.iter().enumerate() {
-        let l = &forest.loops[c.loop_id];
-        // first loop (by start address) directly inside this one
-        let first_child = forest
-            .loops
-            .iter()
-            .filter(|x| x.parent == Some(l.id))
-            .min_by_key(|x| cfg.blocks()[x.header].start)
-            .and_then(|x| idx_of(x.id));
-        let next_iter = first_child.unwrap_or(k) as u8;
-        // next sibling loop after this one
-        let sibling = forest
-            .loops
-            .iter()
-            .filter(|x| x.parent == l.parent && x.id != l.id)
-            .filter(|x| cfg.blocks()[x.header].start > cfg.blocks()[l.header].start)
-            .min_by_key(|x| cfg.blocks()[x.header].start)
-            .and_then(|x| idx_of(x.id));
-        let next_fallthru = sibling
-            .or_else(|| l.parent.and_then(idx_of))
-            .map_or(TASK_NONE, |x| x as u8);
+    let chain = plan_task_chain(cfg, forest, &counted);
+    for (k, _) in counted.iter().enumerate() {
         image.tasks.push(TaskSpec {
             end: image.loops[k].end,
             loop_id: k as u8,
-            next_iter,
-            next_fallthru,
+            next_iter: chain.next_iter[k],
+            next_fallthru: chain.next_fallthru[k],
         });
     }
-    // initial task: descend from the first top-level loop
-    image.initial_task = image
-        .tasks
-        .first()
-        .map(|t| t.next_iter)
-        .unwrap_or(TASK_NONE);
+    image.initial_task = chain.initial_task;
 
     MappedProgram {
         image,
@@ -237,8 +387,14 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].counter, reg(11));
         assert_eq!(c[0].trips, Some(10));
+        assert_eq!(c[0].init_addr, Some(0));
+        assert!(c[0].limit_reg.is_none());
         assert!(!c[0].via_dbnz);
         assert_eq!(c[0].start, 4);
+        // latch geometry: addi at 8, bne at 12, body end back at 4
+        assert_eq!(c[0].branch_addr, 12);
+        assert_eq!(c[0].latch_start(), 8);
+        assert_eq!(c[0].body_end(), 4);
     }
 
     #[test]
@@ -255,6 +411,8 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert!(c[0].via_dbnz);
         assert_eq!(c[0].trips, Some(7));
+        assert_eq!(c[0].latch_start(), c[0].branch_addr);
+        assert_eq!(c[0].body_end(), c[0].branch_addr - 4);
     }
 
     #[test]
@@ -271,7 +429,30 @@ mod tests {
         let m = map_to_zolc(&p, &cfg, &f);
         assert_eq!(m.counted.len(), 1);
         assert_eq!(m.counted[0].trips, None);
-        assert!(matches!(m.image.loops[0].limit, LimitSrc::Reg(_)));
+        assert_eq!(
+            m.counted[0].limit_reg,
+            Some(RegLimit {
+                reg: reg(9),
+                addr: 0
+            })
+        );
+        assert!(matches!(m.image.loops[0].limit, LimitSrc::Reg(r) if r == reg(9)));
+    }
+
+    #[test]
+    fn latch_at_text_start_does_not_underflow() {
+        // degenerate: the latch opens the text segment (no preheader, no
+        // body) — mapping must not panic, and the advisory end saturates
+        let (p, cfg, f) = analyze(
+            "
+      top:  addi r11, r11, -1
+            bne  r11, r0, top
+            halt
+        ",
+        );
+        let m = map_to_zolc(&p, &cfg, &f);
+        assert_eq!(m.counted.len(), 1);
+        assert_eq!(m.counted[0].body_end(), 0);
     }
 
     #[test]
@@ -316,5 +497,46 @@ mod tests {
         assert_eq!(m.image.initial_task, 1);
         // validates against the lite configuration
         m.image.validate(&zolc_core::ZolcConfig::lite()).unwrap();
+    }
+
+    #[test]
+    fn sequential_nests_chain_in_execution_order() {
+        // two top-level nests; the second has a *larger* body, so forest
+        // order (body size) disagrees with execution order — the initial
+        // task and the fall-through chain must follow execution order
+        let (p, cfg, f) = analyze(
+            "
+            li   r11, 2
+      a:    add  r2, r2, r3
+            addi r11, r11, -1
+            bne  r11, r0, a
+            li   r12, 3
+      b:    li   r13, 4
+      bi:   add  r2, r2, r3
+            add  r2, r2, r3
+            addi r13, r13, -1
+            bne  r13, r0, bi
+            addi r12, r12, -1
+            bne  r12, r0, b
+            halt
+        ",
+        );
+        let m = map_to_zolc(&p, &cfg, &f);
+        assert_eq!(m.counted.len(), 3);
+        // image order is forest order (biggest first): b, bi, a
+        let start_of = |k: usize| m.image.loops[k].start.abs().unwrap();
+        let a = (0..3).find(|&k| start_of(k) == 4).unwrap();
+        let b_outer = (0..3)
+            .find(|&k| matches!(m.image.loops[k].limit, LimitSrc::Const(3)))
+            .unwrap();
+        let b_inner = (0..3)
+            .find(|&k| matches!(m.image.loops[k].limit, LimitSrc::Const(4)))
+            .unwrap();
+        // activation starts at the first nest in address order
+        assert_eq!(m.image.initial_task, a as u8);
+        // `a` falls through to the *inner* task of the second nest
+        assert_eq!(m.image.tasks[a].next_fallthru, b_inner as u8);
+        assert_eq!(m.image.tasks[b_inner].next_fallthru, b_outer as u8);
+        assert_eq!(m.image.tasks[b_outer].next_fallthru, TASK_NONE);
     }
 }

@@ -42,6 +42,25 @@ impl BasicBlock {
 /// terminate paths (`jr` targets are data-dependent, so functions using
 /// them as computed dispatch are out of scope — the benchmark kernels
 /// return via straight-line code).
+///
+/// # Examples
+///
+/// ```
+/// use zolc_cfg::Cfg;
+///
+/// let program = zolc_isa::assemble("
+///     li   r1, 3
+/// top: addi r1, r1, -1
+///     bne  r1, r0, top
+///     halt
+/// ").unwrap();
+/// let cfg = Cfg::build(&program);
+/// // blocks: [li], [addi, bne], [halt]
+/// assert_eq!(cfg.blocks().len(), 3);
+/// let latch = cfg.block_at(4).unwrap();
+/// assert!(latch.succs.contains(&latch.id), "back edge to itself");
+/// assert_eq!(cfg.reachable().len(), 3);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cfg {
     blocks: Vec<BasicBlock>,

@@ -10,6 +10,9 @@
 //! * [`detect_counted_loops`] / [`map_to_zolc`] — recognition of the
 //!   software down-counter and `dbnz` loop patterns and the automatic
 //!   proposal of a ZOLC table image for them;
+//! * [`retarget`] — the executable end of the toolchain: excise the
+//!   software loop control from a binary, relocate the text, and
+//!   synthesize a runnable, self-initializing program/overlay pair;
 //! * [`verify_image`] — independent structural verification of any
 //!   [`zolc_core::ZolcImage`] against the program text (used by the test
 //!   suite to cross-check every lowered benchmark).
@@ -39,10 +42,12 @@ mod detect;
 mod dom;
 mod graph;
 mod loops;
+mod retarget;
 mod verify;
 
-pub use detect::{detect_counted_loops, map_to_zolc, CountedLoop, MappedProgram};
+pub use detect::{detect_counted_loops, map_to_zolc, CountedLoop, MappedProgram, RegLimit};
 pub use dom::Dominators;
 pub use graph::{BasicBlock, Cfg};
-pub use loops::{LoopForest, NaturalLoop};
+pub use loops::{IrreducibleRegion, LoopForest, NaturalLoop};
+pub use retarget::{retarget, RetargetError, Retargeted};
 pub use verify::{verify_image, Finding};

@@ -59,6 +59,30 @@ pub struct LoopForest {
 
 impl LoopForest {
     /// Detects natural loops and their nesting.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use zolc_cfg::{Cfg, Dominators, LoopForest};
+    ///
+    /// let program = zolc_isa::assemble("
+    ///     li   r1, 3
+    /// oth: li   r2, 4
+    /// inh: addi r2, r2, -1
+    ///     bne  r2, r0, inh
+    ///     addi r1, r1, -1
+    ///     bne  r1, r0, oth
+    ///     halt
+    /// ").unwrap();
+    /// let cfg = Cfg::build(&program);
+    /// let dom = Dominators::compute(&cfg);
+    /// let forest = LoopForest::analyze(&cfg, &dom);
+    /// assert_eq!(forest.len(), 2);
+    /// assert_eq!(forest.max_depth(), 2);
+    /// let inner = forest.loops.iter().find(|l| l.depth == 2).unwrap();
+    /// assert!(inner.parent.is_some());
+    /// assert!(!forest.has_irreducible());
+    /// ```
     pub fn analyze(cfg: &Cfg, dom: &Dominators) -> LoopForest {
         // collect back edges per header
         let mut per_header: Vec<(usize, Vec<usize>)> = Vec::new();

@@ -52,5 +52,5 @@ pub use instr::{
     entry_field, exit_field, global_field, loop_field, task_field, Instr, ZolcCtl, ZolcRegion,
 };
 pub use parse::{assemble, ParseAsmError};
-pub use program::{Asm, AsmError, Label, Program, DATA_BASE, TEXT_BASE};
+pub use program::{Asm, AsmError, Label, Program, DATA_BASE, INSTR_BYTES, TEXT_BASE};
 pub use reg::{reg, ParseRegError, Reg};

@@ -17,6 +17,8 @@ use std::fmt;
 pub const TEXT_BASE: u32 = 0x0000_0000;
 /// Byte address at which the data segment is loaded.
 pub const DATA_BASE: u32 = 0x0004_0000;
+/// Size of one encoded instruction in bytes (XR32 is fixed-width).
+pub const INSTR_BYTES: u32 = 4;
 
 /// A label handle created by [`Asm::new_label`].
 ///

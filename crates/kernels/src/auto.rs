@@ -1,0 +1,148 @@
+//! The automatic retargeting path: benchmark kernels built from their
+//! *baseline binaries* rather than from IR.
+//!
+//! The hand path lowers a kernel's IR directly for [`Target::Zolc`]; the
+//! auto path lowers it for [`Target::Baseline`] and hands the resulting
+//! *binary* to [`zolc_cfg::retarget`], which excises the software loop
+//! control and synthesizes the controller overlay with no IR knowledge
+//! at all — the paper's §2 claim that ZOLC task-to-task data "can be
+//! generated automatically from an existing program".
+//!
+//! The result is an ordinary [`BuiltKernel`], so the whole measurement
+//! stack ([`run_kernel_with`], the bench `JobMatrix`) runs it unchanged;
+//! correctness is still judged against the same bit-exact reference
+//! expectation the hand-lowered builds use.
+
+use crate::common::{BuildError, BuiltKernel, KernelRun};
+use crate::KernelEntry;
+use zolc_cfg::{retarget, Retargeted};
+use zolc_core::ZolcConfig;
+use zolc_ir::{LoweredInfo, Target};
+use zolc_sim::{ExecutorKind, RunError};
+
+/// Summary statistics of one retargeting run (also carried by the bench
+/// matrix's `ZOLCauto` measurements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutoStats {
+    /// Natural loops the retargeter left in software.
+    pub unhandled: usize,
+    /// Loop-control instructions excised from the baseline text.
+    pub excised: usize,
+    /// Hardware loops in the synthesized overlay.
+    pub hw_loops: usize,
+}
+
+/// A kernel built through the automatic retargeting pipeline.
+#[derive(Debug, Clone)]
+pub struct AutoKernel {
+    /// The runnable retargeted kernel (target [`Target::Zolc`]), checked
+    /// against the same reference expectation as any hand-lowered build.
+    pub built: BuiltKernel,
+    /// What the retargeter did to get there.
+    pub stats: AutoStats,
+}
+
+/// Builds `entry` for [`Target::Baseline`] and auto-retargets the binary
+/// onto a ZOLC of configuration `config`.
+///
+/// # Errors
+///
+/// Returns [`BuildError::Lower`]/[`BuildError::Asm`] if the baseline
+/// build fails and [`BuildError::Retarget`] if the retargeter rejects
+/// the binary.
+pub fn build_kernel_auto(
+    entry: &KernelEntry,
+    config: ZolcConfig,
+) -> Result<AutoKernel, BuildError> {
+    let base = (entry.build)(&Target::Baseline)?;
+    let Retargeted {
+        program,
+        image,
+        counted,
+        unhandled,
+        excised,
+        init_instructions,
+        notes,
+        ..
+    } = retarget(&base.program, &config)?;
+    let stats = AutoStats {
+        unhandled: unhandled.len(),
+        excised,
+        hw_loops: counted.len(),
+    };
+    Ok(AutoKernel {
+        built: BuiltKernel {
+            name: base.name,
+            program,
+            target: Target::Zolc(config),
+            expect: base.expect,
+            info: LoweredInfo {
+                image: Some(image),
+                init_instructions,
+                notes,
+            },
+        },
+        stats,
+    })
+}
+
+/// Builds `entry` through the auto-retargeting pipeline and runs it on
+/// the chosen executor, checking the result against the kernel's
+/// reference expectation (the [`ExecutorKind`]-compatible counterpart of
+/// [`crate::run_kernel_with`] for the auto path).
+///
+/// # Errors
+///
+/// Propagates simulator [`RunError`]s (budget exhausted, memory fault).
+///
+/// # Panics
+///
+/// Panics if the kernel fails to build or retarget (mirroring the bench
+/// matrix convention that only correct, buildable cells are meaningful).
+pub fn run_kernel_auto(
+    entry: &KernelEntry,
+    config: ZolcConfig,
+    budget: u64,
+    executor: ExecutorKind,
+) -> Result<KernelRun, RunError> {
+    let auto = build_kernel_auto(entry, config)
+        .unwrap_or_else(|e| panic!("{}: auto build failed: {e}", entry.name));
+    crate::run_kernel_with(&auto.built, budget, executor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{find_kernel, run_kernel_with};
+
+    #[test]
+    fn auto_vec_mac_is_correct_on_both_executors() {
+        let entry = find_kernel("vec_mac").unwrap();
+        let auto = build_kernel_auto(&entry, ZolcConfig::lite()).unwrap();
+        assert_eq!(auto.stats.unhandled, 0);
+        assert!(auto.stats.excised > 0);
+        for kind in [ExecutorKind::CycleAccurate, ExecutorKind::Functional] {
+            let run = run_kernel_with(&auto.built, 10_000_000, kind).unwrap();
+            assert!(run.is_correct(), "{kind}: {:?}", run.mismatches);
+        }
+    }
+
+    #[test]
+    fn run_kernel_auto_matches_reference() {
+        let entry = find_kernel("fir").unwrap();
+        let run = run_kernel_auto(
+            &entry,
+            ZolcConfig::lite(),
+            10_000_000,
+            ExecutorKind::CycleAccurate,
+        )
+        .unwrap();
+        assert!(
+            run.is_correct(),
+            "{:?} {:?}",
+            run.mismatches,
+            run.violations
+        );
+        assert!(run.stats.cycles > 0);
+    }
+}

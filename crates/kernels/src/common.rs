@@ -38,6 +38,8 @@ pub enum BuildError {
     Lower(LowerError),
     /// Assembly/linking failed.
     Asm(AsmError),
+    /// The automatic retargeting pipeline rejected the baseline binary.
+    Retarget(zolc_cfg::RetargetError),
 }
 
 impl fmt::Display for BuildError {
@@ -45,6 +47,7 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::Lower(e) => write!(f, "lowering failed: {e}"),
             BuildError::Asm(e) => write!(f, "assembly failed: {e}"),
+            BuildError::Retarget(e) => write!(f, "retargeting failed: {e}"),
         }
     }
 }
@@ -54,6 +57,7 @@ impl std::error::Error for BuildError {
         match self {
             BuildError::Lower(e) => Some(e),
             BuildError::Asm(e) => Some(e),
+            BuildError::Retarget(e) => Some(e),
         }
     }
 }
@@ -67,6 +71,12 @@ impl From<LowerError> for BuildError {
 impl From<AsmError> for BuildError {
     fn from(e: AsmError) -> Self {
         BuildError::Asm(e)
+    }
+}
+
+impl From<zolc_cfg::RetargetError> for BuildError {
+    fn from(e: zolc_cfg::RetargetError) -> Self {
+        BuildError::Retarget(e)
     }
 }
 

@@ -29,6 +29,12 @@
 //! `me_fs_early` (multiple-exit loops) and `find_first` (single-loop
 //! early exit, runs even on uZOLC).
 //!
+//! Besides the hand lowerings, every kernel can be built through the
+//! **automatic retargeting pipeline** ([`build_kernel_auto`] /
+//! [`run_kernel_auto`]): the `XRdefault` binary is excised and overlaid
+//! by `zolc_cfg::retarget`, with no IR knowledge, and verified against
+//! the same reference expectation.
+//!
 //! # Examples
 //!
 //! ```
@@ -46,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod auto;
 mod common;
 mod filters;
 mod linalg;
@@ -53,6 +60,7 @@ mod misc;
 mod motion;
 mod vec;
 
+pub use auto::{build_kernel_auto, run_kernel_auto, AutoKernel, AutoStats};
 pub use common::{
     fig2_targets, run_kernel, run_kernel_with, BuildError, BuiltKernel, Expectation, KernelRun,
     Xorshift,

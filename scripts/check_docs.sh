@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Fails if any markdown file referenced from the README, ARCHITECTURE.md,
+# or rustdoc comments does not exist (CI runs this in the docs job; the
+# bench crate additionally enforces its own DESIGN.md/EXPERIMENTS.md from
+# a unit test so tier-1 catches the dangling-reference case too).
+set -u
+cd "$(dirname "$0")/.."
+
+status=0
+scan() {
+    local src="$1" dir ref
+    dir=$(dirname "$src")
+    for ref in $(grep -ohE '[A-Za-z0-9_./-]+\.md' "$src" | sort -u); do
+        # resolve relative to the referencing file, its crate root, or
+        # the repository root
+        if [ -e "$ref" ] || [ -e "$dir/$ref" ] || [ -e "$dir/../$ref" ]; then
+            continue
+        fi
+        echo "MISSING: $src references $ref" >&2
+        status=1
+    done
+}
+
+for f in README.md ARCHITECTURE.md ROADMAP.md crates/*/*.md \
+    $(git ls-files '*.rs'); do
+    [ -f "$f" ] && scan "$f"
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "docs check failed: fix the references above or add the files" >&2
+fi
+exit $status

@@ -23,6 +23,10 @@
 //!   figure of the paper (run `cargo bench`), built on a batch-parallel
 //!   kernel × target × executor [`bench::JobMatrix`].
 //!
+//! The repo-level `ARCHITECTURE.md` diagrams how the crates compose and
+//! the two code-generation pipelines (hand lowering via [`mod@ir`],
+//! automatic binary retargeting via [`cfg::retarget`]).
+//!
 //! # Examples
 //!
 //! Run a benchmark on all three of the paper's configurations:

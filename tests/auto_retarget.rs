@@ -1,0 +1,160 @@
+//! Regression suite for the automatic retargeting pipeline
+//! (`zolc_cfg::retarget`) over the benchmark registry.
+//!
+//! Every Fig. 2 kernel's baseline binary must map completely (zero
+//! unhandled loops, unless explicitly allowlisted below), run bit-exactly
+//! against its reference expectation on **both** executors with identical
+//! retire counts, match the hand-lowered `Target::Zolc` build on final
+//! data memory, verify structurally, and actually be *faster* than both
+//! software-loop configurations.
+
+use zolc::cfg::verify_image;
+use zolc::core::ZolcConfig;
+use zolc::ir::Target;
+use zolc::isa::DATA_BASE;
+use zolc::kernels::{
+    build_kernel_auto, extra_kernels, kernels, run_kernel, run_kernel_auto, run_kernel_with,
+    AutoKernel, ExecutorKind, KernelEntry,
+};
+use zolc::sim::Stats;
+
+const BUDGET: u64 = 50_000_000;
+
+/// Kernels allowed to report unhandled loops, with the expected count.
+/// The Fig. 2 registry must stay empty here; ablation extras with
+/// loop-escaping branches (early exits) are listed explicitly.
+const EXPECTED_UNHANDLED: &[(&str, usize)] = &[];
+
+fn auto(entry: &KernelEntry) -> AutoKernel {
+    build_kernel_auto(entry, ZolcConfig::lite())
+        .unwrap_or_else(|e| panic!("{}: auto build failed: {e}", entry.name))
+}
+
+#[test]
+fn every_registry_kernel_reports_zero_unhandled_loops() {
+    for k in kernels() {
+        let a = auto(k);
+        let expected = EXPECTED_UNHANDLED
+            .iter()
+            .find(|(name, _)| *name == k.name)
+            .map_or(0, |(_, n)| *n);
+        assert_eq!(
+            a.stats.unhandled, expected,
+            "{}: {} unhandled loops (expected {}); notes: {:?}",
+            k.name, a.stats.unhandled, expected, a.built.info.notes
+        );
+        assert!(a.stats.excised > 0, "{}: nothing excised", k.name);
+    }
+}
+
+#[test]
+fn auto_builds_are_bit_exact_on_both_executors() {
+    for k in kernels() {
+        let a = auto(k);
+        let mut retired: Option<u64> = None;
+        for kind in [ExecutorKind::CycleAccurate, ExecutorKind::Functional] {
+            let run = run_kernel_with(&a.built, BUDGET, kind)
+                .unwrap_or_else(|e| panic!("{}/{kind}: {e}", k.name));
+            assert!(
+                run.is_correct(),
+                "{}/{kind}: {:?} {:?}",
+                k.name,
+                run.mismatches,
+                run.violations
+            );
+            match retired {
+                None => retired = Some(run.stats.retired),
+                Some(r) => assert_eq!(r, run.stats.retired, "{}: retire counts", k.name),
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_builds_match_hand_builds_on_final_memory() {
+    for k in kernels() {
+        let a = auto(k);
+        let hand = (k.build)(&Target::Zolc(ZolcConfig::lite())).unwrap();
+        let fast = ExecutorKind::Functional;
+        // run_kernel_with checks each against the shared reference
+        // expectation (registers + memory regions); on top of that the
+        // *entire* data segment must agree between the two builds — the
+        // bodies are the same code, so every store must land identically
+        let auto_run = {
+            let mut z = zolc::core::Zolc::new(ZolcConfig::lite());
+            let fin = zolc::sim::run_program_on(fast, &a.built.program, &mut z, BUDGET).unwrap();
+            z.assert_consistent();
+            fin
+        };
+        let hand_run = {
+            let mut z = zolc::core::Zolc::new(ZolcConfig::lite());
+            let fin = zolc::sim::run_program_on(fast, &hand.program, &mut z, BUDGET).unwrap();
+            z.assert_consistent();
+            fin
+        };
+        let len = auto_run.cpu.mem().size() - DATA_BASE as usize;
+        assert_eq!(
+            auto_run.cpu.mem().read_bytes(DATA_BASE, len).unwrap(),
+            hand_run.cpu.mem().read_bytes(DATA_BASE, len).unwrap(),
+            "{}: auto and hand builds disagree on final data memory",
+            k.name
+        );
+    }
+}
+
+#[test]
+fn auto_images_verify_structurally() {
+    for k in kernels() {
+        let a = auto(k);
+        let image = a.built.info.image.as_ref().expect("auto image");
+        let findings = verify_image(&a.built.program, image);
+        assert!(findings.is_empty(), "{}: {findings:?}", k.name);
+        assert_eq!(image.loops.len(), a.stats.hw_loops);
+    }
+}
+
+#[test]
+fn auto_beats_both_software_loop_configurations() {
+    for k in kernels() {
+        let cycles = |target: &Target| -> Stats {
+            let b = (k.build)(target).unwrap();
+            run_kernel(&b, BUDGET).unwrap().stats
+        };
+        let base = cycles(&Target::Baseline).cycles;
+        let hw = cycles(&Target::HwLoop).cycles;
+        let auto_run =
+            run_kernel_auto(k, ZolcConfig::lite(), BUDGET, ExecutorKind::CycleAccurate).unwrap();
+        assert!(auto_run.is_correct(), "{}", k.name);
+        let auto_cycles = auto_run.stats.cycles;
+        assert!(
+            auto_cycles < hw && hw < base,
+            "{}: expected auto < hwloop < baseline, got {auto_cycles} / {hw} / {base}",
+            k.name
+        );
+    }
+}
+
+/// The ablation extras use `break_if` early exits whose branches escape
+/// their loops; the retargeter must push those (and everything nested
+/// inside them) back to software — and the result must still run
+/// correctly under the active controller.
+#[test]
+fn extras_with_early_exits_degrade_gracefully() {
+    for k in extra_kernels() {
+        let a = auto(k);
+        let run = run_kernel_with(&a.built, BUDGET, ExecutorKind::Functional)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        assert!(
+            run.is_correct(),
+            "{}: {:?} {:?}",
+            k.name,
+            run.mismatches,
+            run.violations
+        );
+        assert!(
+            a.stats.unhandled > 0,
+            "{}: early-exit loops unexpectedly hardware-mapped",
+            k.name
+        );
+    }
+}

@@ -3,7 +3,7 @@
 //! checks pipeline-vs-functional-executor).
 
 use proptest::prelude::*;
-use zolc::isa::{reg, Instr, Reg};
+use zolc::isa::{reg, Asm, Instr, Program, Reg, DATA_BASE};
 
 /// Registers the generated programs compute in (`r1` is reserved as the
 /// data base pointer).
@@ -76,4 +76,157 @@ pub fn any_instr() -> impl Strategy<Value = Instr> {
         }),
         Just(Nop),
     ]
+}
+
+/// A randomly generated counted loop in baseline machine-code form, used
+/// by the auto-retarget equivalence property: a down-counter (or `dbnz`)
+/// loop with a straight-line body, optionally one nested inner loop, and
+/// optional forward branches interacting with the loop region.
+///
+/// Loop `i` of a program uses counters `r13+3i` (outer) / `r14+3i`
+/// (inner) and bound register `r15+3i` — none of which [`any_instr`]
+/// bodies touch, and none shared between loops (so one software fallback
+/// cannot cascade into its siblings).
+#[derive(Debug, Clone)]
+#[allow(dead_code)] // used by prop_exec_equiv, not by every test target
+pub struct GenLoop {
+    /// Trip count (≥ 1; zero-trip loops are out of contract for the
+    /// down-counter pattern).
+    pub trips: u32,
+    /// Source the outer bound from a register copy (`add cnt, rX, r0`)
+    /// instead of a visible `li` — the data-dependent-bound form.
+    pub reg_limit: bool,
+    /// Use the fused `dbnz` latch (`XRhrdwil` form).
+    pub dbnz: bool,
+    /// Straight-line body instructions.
+    pub body: Vec<Instr>,
+    /// Optional nested loop: (trips, dbnz, body).
+    pub inner: Option<(u32, bool, Vec<Instr>)>,
+    /// Emit a data-dependent forward branch *over* the whole loop —
+    /// control flow the retargeter must push back to software.
+    pub pre_skip: bool,
+    /// Emit a data-dependent forward branch from the body start to the
+    /// latch (the if-at-loop-end shape; stays hardware-mappable via an
+    /// inserted `nop` end).
+    pub tail_skip: bool,
+}
+
+/// Strategy for one [`GenLoop`] (bodies may be empty — the pure-counter
+/// case — and nests are up to two deep).
+#[allow(dead_code)]
+pub fn gen_loop() -> impl Strategy<Value = GenLoop> {
+    (
+        1u32..8,
+        any::<bool>(),
+        any::<bool>(),
+        prop::collection::vec(any_instr(), 0..5),
+        (
+            any::<bool>(),
+            1u32..6,
+            any::<bool>(),
+            prop::collection::vec(any_instr(), 0..4),
+        ),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(
+                trips,
+                reg_limit,
+                dbnz,
+                body,
+                (nested, itrips, idbnz, ibody),
+                pre_skip,
+                tail_skip,
+            )| GenLoop {
+                trips,
+                reg_limit,
+                dbnz,
+                body,
+                inner: nested.then_some((itrips, idbnz, ibody)),
+                pre_skip,
+                tail_skip,
+            },
+        )
+}
+
+/// Assembles a sequence of [`GenLoop`]s into a baseline (software-loop)
+/// program: `r1` holds the data base, every loop uses the canonical
+/// preheader + latch shapes the baseline lowering emits.
+#[allow(dead_code)]
+pub fn counted_program(loops: &[GenLoop]) -> Program {
+    let mut asm = Asm::new();
+    asm.li(reg(1), DATA_BASE as i32);
+    for (k, l) in loops.iter().enumerate() {
+        let counter = reg(13 + 3 * k as u8);
+        let inner_counter = reg(14 + 3 * k as u8);
+        let bound = reg(15 + 3 * k as u8);
+        let after = asm.new_label();
+        if l.pre_skip {
+            // data-dependent skip over the whole loop (r2 is arbitrary
+            // body state, so both outcomes occur across cases)
+            asm.branch(
+                Instr::Beq {
+                    rs: reg(2),
+                    rt: Reg::ZERO,
+                    off: 0,
+                },
+                after,
+            );
+        }
+        if l.reg_limit {
+            asm.li(bound, l.trips as i32);
+            asm.emit(Instr::Add {
+                rd: counter,
+                rs: bound,
+                rt: Reg::ZERO,
+            });
+        } else {
+            asm.li(counter, l.trips as i32);
+        }
+        let top = asm.label_here();
+        let latch = asm.new_label();
+        if l.tail_skip && !l.body.is_empty() {
+            asm.branch(Instr::Bgtz { rs: reg(3), off: 0 }, latch);
+        }
+        asm.emit_all(l.body.iter().copied());
+        if let Some((itrips, idbnz, ibody)) = &l.inner {
+            asm.li(inner_counter, *itrips as i32);
+            let itop = asm.label_here();
+            asm.emit_all(ibody.iter().copied());
+            emit_latch(&mut asm, inner_counter, itop, *idbnz);
+        }
+        asm.bind(latch).expect("latch label bound once");
+        emit_latch(&mut asm, counter, top, l.dbnz);
+        asm.bind(after).expect("after label bound once");
+    }
+    asm.emit(Instr::Halt);
+    asm.finish().expect("generated program assembles")
+}
+
+#[allow(dead_code)]
+fn emit_latch(asm: &mut Asm, counter: Reg, top: zolc::isa::Label, dbnz: bool) {
+    if dbnz {
+        asm.branch(
+            Instr::Dbnz {
+                rs: counter,
+                off: 0,
+            },
+            top,
+        );
+    } else {
+        asm.emit(Instr::Addi {
+            rt: counter,
+            rs: counter,
+            imm: -1,
+        });
+        asm.branch(
+            Instr::Bne {
+                rs: counter,
+                rt: Reg::ZERO,
+                off: 0,
+            },
+            top,
+        );
+    }
 }
