@@ -1,0 +1,7 @@
+//! Regenerates the artifact for experiment `e7_design_space` (run via
+//! `cargo bench --bench design_space`; scale the sweep with the
+//! `ZOLC_E7_PROGRAMS` environment variable).
+
+fn main() {
+    println!("{}", zolc_bench::e7_design_space());
+}

@@ -454,7 +454,7 @@ pub fn e6_auto_retarget() -> String {
     let mut total_unhandled = 0usize;
     for cell in results.chunks_exact(2) {
         let (hand, auto) = (&cell[0], &cell[1]);
-        let stats = auto.auto.expect("auto cells carry retarget stats");
+        let stats = auto.auto.as_ref().expect("auto cells carry retarget stats");
         total_unhandled += stats.unhandled;
         let delta = 100.0 * (auto.stats.cycles as f64 - hand.stats.cycles as f64)
             / hand.stats.cycles as f64;

@@ -12,6 +12,7 @@
 //! | [`e4_init_overhead`] | §2 initialization-overhead claim | `benches/init_overhead.rs` |
 //! | [`e5_ablation`] | §1/§3 config variants + perfect-nest unit \[2\] | `benches/ablation.rs` |
 //! | [`e6_auto_retarget`] | §2 automatic task-data generation | `benches/auto_retarget.rs` |
+//! | [`e7_design_space`] | title claim at scale: generated loop structures × configurations | `benches/design_space.rs` |
 //! | simulator throughput | (engineering) | `benches/sim_throughput.rs` (criterion) |
 //!
 //! Run them all with `cargo bench`.
@@ -42,6 +43,7 @@
 
 mod experiments;
 mod matrix;
+mod sweep;
 mod table;
 
 pub use experiments::{
@@ -49,7 +51,11 @@ pub use experiments::{
 };
 pub use matrix::{
     measure, measure_auto, measure_with, AutoStats, BuildMode, Fig2Report, Fig2Row, Job, JobMatrix,
-    Measurement, MAX_CYCLES,
+    JobSource, Measurement, MAX_CYCLES,
+};
+pub use sweep::{
+    e7_design_space, run_sweep, GeneratedProgram, PointSummary, SweepConfig, SweepPoint,
+    SweepReport,
 };
 pub use table::{render_bars, render_table};
 

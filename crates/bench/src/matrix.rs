@@ -1,4 +1,4 @@
-//! The kernel × target × executor measurement matrix behind the
+//! The program × target × executor measurement matrix behind the
 //! experiments, and its batch-parallel runner.
 //!
 //! Every experiment used to walk its (kernel, target) cells serially;
@@ -8,14 +8,25 @@
 //! program and simulator), results come back in cell order, and a
 //! failed cell panics the whole run exactly as the serial loops did —
 //! experiment results are only meaningful when every cell is correct.
+//!
+//! A cell's program comes from a [`JobSource`]: either a registry
+//! benchmark kernel (built by its `BuildFn`) or a *generated* baseline
+//! program from the `zolc-gen` design-space explorer (see
+//! [`GeneratedProgram`](crate::GeneratedProgram) and the E7 sweep in
+//! `sweep.rs`), both measured and correctness-gated identically.
 
+use crate::sweep::GeneratedProgram;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::sync::Mutex;
 use std::thread;
+use zolc_cfg::retarget;
 use zolc_core::ZolcConfig;
 use zolc_ir::{LoweredInfo, Target};
-use zolc_kernels::{build_kernel_auto, kernels, run_kernel_with, ExecutorKind, KernelEntry};
+use zolc_kernels::{
+    build_kernel_auto, kernels, run_kernel_with, BuiltKernel, ExecutorKind, KernelEntry,
+};
 use zolc_sim::Stats;
 
 /// Cycle budget generous enough for every kernel on every target.
@@ -34,12 +45,33 @@ pub enum BuildMode {
     AutoRetarget,
 }
 
-/// One cell of a [`JobMatrix`]: a kernel to build and measure on a
+/// Where a cell's program comes from.
+#[derive(Debug, Clone)]
+pub enum JobSource {
+    /// A registry benchmark kernel, built by its `BuildFn` (and checked
+    /// against its hand-written reference model).
+    Kernel(KernelEntry),
+    /// A generated baseline program (and its derived reference
+    /// expectation), shared across the cells that measure it.
+    Generated(Arc<GeneratedProgram>),
+}
+
+impl JobSource {
+    /// The program name this source reports in [`Measurement::kernel`].
+    pub fn name(&self) -> &str {
+        match self {
+            JobSource::Kernel(e) => e.name,
+            JobSource::Generated(g) => &g.name,
+        }
+    }
+}
+
+/// One cell of a [`JobMatrix`]: a program to build and measure on a
 /// target with a chosen executor.
 #[derive(Debug, Clone)]
 pub struct Job {
-    /// The kernel to build.
-    pub entry: KernelEntry,
+    /// The program source (benchmark kernel or generated program).
+    pub source: JobSource,
     /// The target configuration.
     pub target: Target,
     /// Which executor measures it (cycle-accurate by default; cycle
@@ -87,7 +119,12 @@ pub fn measure(entry: &KernelEntry, target: &Target) -> Measurement {
 ///
 /// Panics on build, run, or verification failure (see [`measure`]).
 pub fn measure_with(entry: &KernelEntry, target: &Target, executor: ExecutorKind) -> Measurement {
-    measure_cell(entry, target, executor, BuildMode::Lower)
+    measure_cell(
+        &JobSource::Kernel(*entry),
+        target,
+        executor,
+        BuildMode::Lower,
+    )
 }
 
 /// Measures one kernel auto-retargeted from its baseline binary onto a
@@ -103,47 +140,86 @@ pub fn measure_auto(
     executor: ExecutorKind,
 ) -> Measurement {
     measure_cell(
-        entry,
+        &JobSource::Kernel(*entry),
         &Target::Zolc(config),
         executor,
         BuildMode::AutoRetarget,
     )
 }
 
+/// Builds one cell's program: hand-lowered kernel, auto-retargeted
+/// kernel binary, generated baseline program as-is, or generated
+/// baseline program retargeted onto the cell's ZOLC configuration.
+fn build_cell(
+    source: &JobSource,
+    target: &Target,
+    mode: BuildMode,
+) -> (BuiltKernel, Option<AutoStats>) {
+    let name = source.name();
+    match (source, mode) {
+        (JobSource::Kernel(entry), BuildMode::Lower) => (
+            (entry.build)(target).unwrap_or_else(|e| panic!("{name}/{target}: build failed: {e}")),
+            None,
+        ),
+        (JobSource::Kernel(entry), BuildMode::AutoRetarget) => {
+            let Target::Zolc(config) = target else {
+                panic!("{name}: ZOLCauto cells need a ZOLC target")
+            };
+            let a = build_kernel_auto(entry, *config)
+                .unwrap_or_else(|e| panic!("{name}/{target} (auto): retarget failed: {e}"));
+            (a.built, Some(a.stats))
+        }
+        (JobSource::Generated(g), BuildMode::Lower) => (g.as_built(target.clone()), None),
+        (JobSource::Generated(g), BuildMode::AutoRetarget) => {
+            let Target::Zolc(config) = target else {
+                panic!("{name}: auto-retarget cells need a ZOLC target")
+            };
+            let r = retarget(&g.program, config)
+                .unwrap_or_else(|e| panic!("{name}/{target} (auto): retarget failed: {e}"));
+            let stats = AutoStats::from(&r);
+            // The prepended init sequence clobbers the scratch register
+            // (chosen untouched by surviving code), which is the one
+            // permitted register difference besides the freed counters
+            // — drop it from the derived expectation, exactly as the
+            // root `prop_exec_equiv` contract does.
+            let mut expect = g.expect.clone();
+            if r.init_instructions > 0 {
+                expect.regs.retain(|(rg, _)| *rg != r.scratch);
+            }
+            let built = BuiltKernel {
+                name: g.name.clone(),
+                program: r.program,
+                target: target.clone(),
+                expect,
+                info: LoweredInfo {
+                    image: Some(r.image),
+                    init_instructions: r.init_instructions,
+                    notes: r.notes,
+                },
+            };
+            (built, Some(stats))
+        }
+    }
+}
+
 fn measure_cell(
-    entry: &KernelEntry,
+    source: &JobSource,
     target: &Target,
     executor: ExecutorKind,
     mode: BuildMode,
 ) -> Measurement {
-    let (built, auto) = match mode {
-        BuildMode::Lower => (
-            (entry.build)(target)
-                .unwrap_or_else(|e| panic!("{}/{}: build failed: {e}", entry.name, target)),
-            None,
-        ),
-        BuildMode::AutoRetarget => {
-            let Target::Zolc(config) = target else {
-                panic!("{}: ZOLCauto cells need a ZOLC target", entry.name)
-            };
-            let a = build_kernel_auto(entry, *config).unwrap_or_else(|e| {
-                panic!("{}/{} (auto): retarget failed: {e}", entry.name, target)
-            });
-            (a.built, Some(a.stats))
-        }
-    };
+    let (built, auto) = build_cell(source, target, mode);
+    let name = source.name();
     let run = run_kernel_with(&built, MAX_CYCLES, executor)
-        .unwrap_or_else(|e| panic!("{}/{}: run failed: {e}", entry.name, target));
+        .unwrap_or_else(|e| panic!("{name}/{target}: run failed: {e}"));
     assert!(
         run.is_correct(),
-        "{}/{}: incorrect run: {:?} {:?}",
-        entry.name,
-        target,
+        "{name}/{target}: incorrect run: {:?} {:?}",
         run.mismatches,
         run.violations
     );
     Measurement {
-        kernel: entry.name.to_owned(),
+        kernel: name.to_owned(),
         target: target.clone(),
         executor,
         mode,
@@ -210,7 +286,7 @@ impl JobMatrix {
     /// Appends one cell (cycle-accurate executor).
     pub fn push(&mut self, entry: KernelEntry, target: Target) -> &mut JobMatrix {
         self.jobs.push(Job {
-            entry,
+            source: JobSource::Kernel(entry),
             target,
             executor: ExecutorKind::CycleAccurate,
             mode: BuildMode::Lower,
@@ -223,10 +299,30 @@ impl JobMatrix {
     /// (cycle-accurate executor).
     pub fn push_auto(&mut self, entry: KernelEntry, config: ZolcConfig) -> &mut JobMatrix {
         self.jobs.push(Job {
-            entry,
+            source: JobSource::Kernel(entry),
             target: Target::Zolc(config),
             executor: ExecutorKind::CycleAccurate,
             mode: BuildMode::AutoRetarget,
+        });
+        self
+    }
+
+    /// Appends one generated-program cell (cycle-accurate executor):
+    /// [`BuildMode::Lower`] measures the baseline program as-is on
+    /// `target`, [`BuildMode::AutoRetarget`] retargets its binary onto
+    /// the cell's [`Target::Zolc`] configuration first. Either way the
+    /// run is gated on the program's derived reference expectation.
+    pub fn push_generated(
+        &mut self,
+        program: Arc<GeneratedProgram>,
+        target: Target,
+        mode: BuildMode,
+    ) -> &mut JobMatrix {
+        self.jobs.push(Job {
+            source: JobSource::Generated(program),
+            target,
+            executor: ExecutorKind::CycleAccurate,
+            mode,
         });
         self
     }
@@ -276,38 +372,51 @@ impl JobMatrix {
     /// Panics if any cell fails to build, run, or verify (see
     /// [`measure`]).
     pub fn run_threads(&self, threads: usize) -> Vec<Measurement> {
-        let n = self.jobs.len();
-        let threads = threads.clamp(1, n.max(1));
-        let run_job = |j: &Job| measure_cell(&j.entry, &j.target, j.executor, j.mode);
-        if threads <= 1 || n <= 1 {
-            return self.jobs.iter().map(run_job).collect();
-        }
-        // Work-stealing by atomic cursor: each worker claims the next
-        // unstarted cell, so long cells (me_fs on XRdefault) overlap
-        // short ones instead of gating a fixed chunk.
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Measurement>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= n {
-                        break;
-                    }
-                    let m = run_job(&self.jobs[k]);
-                    *slots[k].lock().expect("result slot poisoned") = Some(m);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|s| {
-                s.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("cell completed")
-            })
-            .collect()
+        par_map(self.jobs.len(), threads, |k| {
+            let j = &self.jobs[k];
+            measure_cell(&j.source, &j.target, j.executor, j.mode)
+        })
     }
+}
+
+/// Runs `f(0)..f(n-1)` across at most `threads` scoped worker threads
+/// with work-stealing by atomic cursor — each worker claims the next
+/// unstarted index, so long items overlap short ones instead of gating
+/// a fixed chunk. Results come back in index order; `threads <= 1` (or
+/// `n <= 1`) runs inline with no thread overhead. Worker panics
+/// propagate when the scope joins. Shared by [`JobMatrix::run_threads`]
+/// and the sweep's program-generation prefix.
+pub(crate) fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= n {
+                    break;
+                }
+                let v = f(k);
+                *slots[k].lock().expect("result slot poisoned") = Some(v);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("slot completed")
+        })
+        .collect()
 }
 
 /// One Fig. 2 row: a kernel's cycles on the compared configurations.
@@ -516,7 +625,7 @@ mod tests {
         }
         // cell order matches the declared jobs
         for (m, j) in parallel.iter().zip(matrix.jobs()) {
-            assert_eq!(m.kernel, j.entry.name);
+            assert_eq!(m.kernel, j.source.name());
             assert_eq!(m.target, j.target);
         }
     }

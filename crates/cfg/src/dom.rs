@@ -64,7 +64,17 @@ impl Dominators {
                 let mut new_idom = usize::MAX;
                 for &p in &cfg.blocks()[b].preds {
                     if idom[p] == usize::MAX {
-                        continue; // unreachable or not yet processed
+                        // Skip `p`: either it is unreachable (its slot
+                        // stays MAX forever — e.g. dead code branching
+                        // into a live header), or it sits later in RPO
+                        // and this first pass has not reached it yet (a
+                        // back edge). Skipping is sound because every
+                        // reachable non-entry block also has its DFS
+                        // tree parent among its predecessors, which RPO
+                        // orders (and therefore processes) before `b` —
+                        // so `new_idom` never stays MAX for a reachable
+                        // block (asserted below).
+                        continue;
                     }
                     new_idom = if new_idom == usize::MAX {
                         p
@@ -78,6 +88,10 @@ impl Dominators {
                 }
             }
         }
+        debug_assert!(
+            order.iter().all(|&b| idom[b] != usize::MAX),
+            "fixpoint left a reachable block without an immediate dominator"
+        );
         Dominators { idom, entry }
     }
 
@@ -187,5 +201,30 @@ mod tests {
         let (cfg, d) = doms("halt\n");
         assert_eq!(d.idom(cfg.entry()), None);
         assert!(d.dominates(cfg.entry(), cfg.entry()));
+    }
+
+    #[test]
+    fn unreachable_predecessor_of_a_live_header_is_skipped() {
+        // `dead` is never executed but still appears among `top`'s CFG
+        // predecessors; its idom slot stays MAX through the fixpoint and
+        // must be skipped without ever leaving `top` undominated
+        let (cfg, d) = doms(
+            "
+            j     start
+      dead: bne   r2, r0, top
+     start: li    r1, 3
+      top:  addi  r1, r1, -1
+            bne   r1, r0, top
+            halt
+        ",
+        );
+        let dead = cfg.block_at(4).unwrap().id;
+        let top = cfg.block_at(12).unwrap().id;
+        assert!(!d.is_reachable(dead));
+        assert_eq!(d.idom(dead), None);
+        assert!(d.is_reachable(top));
+        assert!(d.idom(top).is_some(), "live header must get an idom");
+        assert!(d.dominates(cfg.entry(), top));
+        assert!(!d.dominates(dead, top));
     }
 }

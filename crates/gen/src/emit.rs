@@ -1,0 +1,411 @@
+//! Assembling a [`ProgramSpec`] into the canonical baseline program.
+
+use crate::shape::{BoundKind, LatchKind, LoopShape, ProgramSpec};
+use std::fmt;
+use zolc_isa::{reg, Asm, AsmError, Instr, Program, Reg, DATA_BASE};
+
+/// First register of the counter pool (counters are allocated upward
+/// from here, one per loop in depth-first pre-order).
+const COUNTER_BASE: u8 = 10;
+/// Last register of the bound pool (register-sourced bounds are
+/// allocated downward from here).
+const BOUND_TOP: u8 = 31;
+/// Size of the shared counter/bound register pool (`r10`–`r31`); each
+/// loop consumes one slot, each register-sourced bound one more. The
+/// sampler budgets against this so generated specs always assemble.
+pub(crate) const REG_POOL: usize = (BOUND_TOP - COUNTER_BASE + 1) as usize;
+
+/// Errors turning a [`ProgramSpec`] into a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GenError {
+    /// The spec needs more counter/bound registers than the `r10`–`r31`
+    /// pool holds (each loop takes one counter; each register-sourced
+    /// bound takes one more).
+    RegistersExhausted {
+        /// Registers the spec needs (counters + register bounds).
+        needed: usize,
+        /// Size of the pool.
+        available: usize,
+    },
+    /// A body instruction is not straight-line (control flow, `halt`,
+    /// or a ZOLC instruction).
+    UnsupportedBodyInstr(Instr),
+    /// A body instruction touches a register outside `r0`–`r9` (reads
+    /// of `r1`–`r9`, writes of `r2`–`r9`): the counter/bound pool must
+    /// stay invisible to body code so excision cannot change results.
+    ReservedRegister {
+        /// The offending instruction.
+        instr: Instr,
+        /// The register it touches.
+        reg: Reg,
+    },
+    /// Assembly/linking of the emitted program failed.
+    Asm(AsmError),
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::RegistersExhausted { needed, available } => write!(
+                f,
+                "spec needs {needed} counter/bound registers, pool holds {available}"
+            ),
+            GenError::UnsupportedBodyInstr(i) => {
+                write!(f, "body instruction `{i}` is not straight-line")
+            }
+            GenError::ReservedRegister { instr, reg } => {
+                write!(
+                    f,
+                    "body instruction `{instr}` touches reserved register {reg}"
+                )
+            }
+            GenError::Asm(e) => write!(f, "assembly failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GenError::Asm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AsmError> for GenError {
+    fn from(e: AsmError) -> Self {
+        GenError::Asm(e)
+    }
+}
+
+/// The output of [`ProgramSpec::assemble`]: the baseline program plus
+/// the address map needed to attribute per-loop retargeting outcomes
+/// back to shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assembled {
+    /// The linked baseline (software-loop) program.
+    pub program: Program,
+    /// Body-start byte address of every loop, in the depth-first
+    /// pre-order of [`ProgramSpec::flatten`]. This is the loop header's
+    /// address — the same address `zolc_cfg`'s `CountedLoop::start`
+    /// reports — so membership in a retarget result's handled set
+    /// identifies exactly which shapes reached hardware.
+    pub loop_starts: Vec<u32>,
+    /// Counter register allocated to every loop, in the same order.
+    pub counters: Vec<Reg>,
+}
+
+fn check_body(instrs: &[Instr]) -> Result<(), GenError> {
+    for i in instrs {
+        if i.is_control_flow()
+            || matches!(
+                i,
+                Instr::Halt | Instr::Dbnz { .. } | Instr::Zwr { .. } | Instr::Zctl { .. }
+            )
+        {
+            return Err(GenError::UnsupportedBodyInstr(*i));
+        }
+        if let Some(d) = i.dst() {
+            if !(2..=9).contains(&d.index()) {
+                return Err(GenError::ReservedRegister { instr: *i, reg: d });
+            }
+        }
+        for s in i.srcs().into_iter().flatten() {
+            if s.index() > 9 {
+                return Err(GenError::ReservedRegister { instr: *i, reg: s });
+            }
+        }
+    }
+    Ok(())
+}
+
+impl ProgramSpec {
+    /// Assembles the spec into the canonical baseline program: an
+    /// `r1 = DATA_BASE` prologue, every loop emitted with the
+    /// `XRdefault`-style preheader (`li counter, trips`, or bound load
+    /// plus counter copy for [`BoundKind::Reg`]) and latch
+    /// ([`LatchKind::Counter`] or [`LatchKind::Dbnz`]), and a final
+    /// `halt`.
+    ///
+    /// Register allocation is deterministic: counters take `r10`
+    /// upward in depth-first pre-order, register bounds take `r31`
+    /// downward, so no two loops share loop-control registers and one
+    /// software fallback can never cascade into a sibling.
+    ///
+    /// # Errors
+    ///
+    /// [`GenError::RegistersExhausted`] when the spec holds more loops
+    /// (plus register bounds) than the pool; body validation errors for
+    /// non-straight-line body code or reserved-register use; and
+    /// [`GenError::Asm`] if linking fails.
+    pub fn assemble(&self) -> Result<Assembled, GenError> {
+        // allocate registers up front (flatten order = emission order)
+        let flat = self.flatten();
+        let reg_bounds = flat
+            .iter()
+            .filter(|(_, s)| s.bound == BoundKind::Reg)
+            .count();
+        let pool = REG_POOL;
+        if flat.len() + reg_bounds > pool {
+            return Err(GenError::RegistersExhausted {
+                needed: flat.len() + reg_bounds,
+                available: pool,
+            });
+        }
+        for (_, s) in &flat {
+            check_body(&s.pre)?;
+            check_body(&s.post)?;
+        }
+
+        let mut asm = Asm::new();
+        asm.li(reg(1), DATA_BASE as i32);
+        let mut alloc = Alloc {
+            next_counter: COUNTER_BASE,
+            next_bound: BOUND_TOP,
+        };
+        let mut starts = Vec::with_capacity(flat.len());
+        let mut counters = Vec::with_capacity(flat.len());
+        for shape in &self.loops {
+            emit_loop(&mut asm, shape, &mut alloc, &mut starts, &mut counters);
+        }
+        asm.emit(Instr::Halt);
+        Ok(Assembled {
+            program: asm.finish()?,
+            loop_starts: starts,
+            counters,
+        })
+    }
+}
+
+struct Alloc {
+    next_counter: u8,
+    next_bound: u8,
+}
+
+fn emit_loop(
+    asm: &mut Asm,
+    shape: &LoopShape,
+    alloc: &mut Alloc,
+    starts: &mut Vec<u32>,
+    counters: &mut Vec<Reg>,
+) {
+    let counter = reg(alloc.next_counter);
+    alloc.next_counter += 1;
+    counters.push(counter);
+
+    let after = asm.new_label();
+    if shape.pre_skip {
+        // data-dependent skip over the whole structure (r2 is ordinary
+        // body state, so both outcomes occur across generated cases)
+        asm.branch(
+            Instr::Beq {
+                rs: reg(2),
+                rt: Reg::ZERO,
+                off: 0,
+            },
+            after,
+        );
+    }
+    match shape.bound {
+        BoundKind::Reg => {
+            let bound = reg(alloc.next_bound);
+            alloc.next_bound -= 1;
+            asm.li(bound, shape.trips as i32);
+            asm.emit(Instr::Add {
+                rd: counter,
+                rs: bound,
+                rt: Reg::ZERO,
+            });
+        }
+        BoundKind::Const => {
+            asm.li(counter, shape.trips as i32);
+        }
+    }
+    let top = asm.label_here();
+    starts.push(asm.here());
+    let latch = asm.new_label();
+    if shape.emits_tail_skip() {
+        asm.branch(Instr::Bgtz { rs: reg(3), off: 0 }, latch);
+    }
+    asm.emit_all(shape.pre.iter().copied());
+    for child in &shape.children {
+        emit_loop(asm, child, alloc, starts, counters);
+    }
+    asm.emit_all(shape.post.iter().copied());
+    asm.bind(latch).expect("latch label bound once");
+    match shape.latch {
+        LatchKind::Dbnz => {
+            asm.branch(
+                Instr::Dbnz {
+                    rs: counter,
+                    off: 0,
+                },
+                top,
+            );
+        }
+        LatchKind::Counter => {
+            asm.emit(Instr::Addi {
+                rt: counter,
+                rs: counter,
+                imm: -1,
+            });
+            asm.branch(
+                Instr::Bne {
+                    rs: counter,
+                    rt: Reg::ZERO,
+                    off: 0,
+                },
+                top,
+            );
+        }
+    }
+    asm.bind(after).expect("after label bound once");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::{BoundKind, LatchKind};
+
+    fn add23() -> Instr {
+        Instr::Add {
+            rd: reg(2),
+            rs: reg(2),
+            rt: reg(3),
+        }
+    }
+
+    #[test]
+    fn single_loop_layout_matches_baseline_idiom() {
+        let spec = ProgramSpec::new(vec![LoopShape {
+            pre: vec![add23()],
+            ..LoopShape::counted(5)
+        }]);
+        let a = spec.assemble().unwrap();
+        let t = a.program.text();
+        // li r1; li r10,5; add; addi r10,-1; bne; halt
+        assert_eq!(t.len(), 6);
+        assert_eq!(
+            t[1],
+            Instr::Addi {
+                rt: reg(10),
+                rs: Reg::ZERO,
+                imm: 5
+            }
+        );
+        assert_eq!(a.loop_starts, vec![8]);
+        assert_eq!(a.counters, vec![reg(10)]);
+        assert!(matches!(t[4], Instr::Bne { off: -3, .. }));
+    }
+
+    #[test]
+    fn reg_bound_and_dbnz_forms() {
+        let spec = ProgramSpec::new(vec![LoopShape {
+            bound: BoundKind::Reg,
+            latch: LatchKind::Dbnz,
+            pre: vec![add23()],
+            ..LoopShape::counted(3)
+        }]);
+        let t = spec.assemble().unwrap().program;
+        let text = t.text();
+        // li r1; li r31,3; add r10,r31,r0; add body; dbnz; halt
+        assert!(matches!(
+            text[2],
+            Instr::Add { rd, rs, rt } if rd == reg(10) && rs == reg(31) && rt == Reg::ZERO
+        ));
+        assert!(text
+            .iter()
+            .any(|i| matches!(i, Instr::Dbnz { rs, .. } if *rs == reg(10))));
+    }
+
+    #[test]
+    fn dfs_register_allocation_is_disjoint() {
+        let spec = ProgramSpec::new(vec![
+            LoopShape {
+                children: vec![LoopShape::counted(2), LoopShape::counted(2)],
+                ..LoopShape::counted(2)
+            },
+            LoopShape {
+                bound: BoundKind::Reg,
+                ..LoopShape::counted(2)
+            },
+        ]);
+        let a = spec.assemble().unwrap();
+        assert_eq!(a.counters, vec![reg(10), reg(11), reg(12), reg(13)]);
+        assert_eq!(a.loop_starts.len(), 4);
+        // loop starts strictly increase in pre-order
+        let mut sorted = a.loop_starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, a.loop_starts);
+    }
+
+    #[test]
+    fn register_pool_exhaustion_is_reported() {
+        let spec = ProgramSpec::new(vec![
+            LoopShape {
+                bound: BoundKind::Reg,
+                ..LoopShape::counted(1)
+            };
+            12
+        ]);
+        assert!(matches!(
+            spec.assemble(),
+            Err(GenError::RegistersExhausted {
+                needed: 24,
+                available: 22
+            })
+        ));
+    }
+
+    #[test]
+    fn body_validation_rejects_reserved_and_control_flow() {
+        let bad_reg = LoopShape {
+            pre: vec![Instr::Add {
+                rd: reg(10),
+                rs: reg(2),
+                rt: reg(3),
+            }],
+            ..LoopShape::counted(2)
+        };
+        assert!(matches!(
+            ProgramSpec::new(vec![bad_reg]).assemble(),
+            Err(GenError::ReservedRegister { .. })
+        ));
+        let bad_cf = LoopShape {
+            pre: vec![Instr::Beq {
+                rs: reg(2),
+                rt: reg(3),
+                off: 1,
+            }],
+            ..LoopShape::counted(2)
+        };
+        assert!(matches!(
+            ProgramSpec::new(vec![bad_cf]).assemble(),
+            Err(GenError::UnsupportedBodyInstr(_))
+        ));
+    }
+
+    #[test]
+    fn skip_branches_are_emitted_where_declared() {
+        let spec = ProgramSpec::new(vec![LoopShape {
+            pre_skip: true,
+            tail_skip: true,
+            pre: vec![add23()],
+            ..LoopShape::counted(2)
+        }]);
+        let t = spec.assemble().unwrap().program;
+        let beqs = t
+            .text()
+            .iter()
+            .filter(|i| matches!(i, Instr::Beq { .. }))
+            .count();
+        let bgtzs = t
+            .text()
+            .iter()
+            .filter(|i| matches!(i, Instr::Bgtz { .. }))
+            .count();
+        assert_eq!((beqs, bgtzs), (1, 1));
+    }
+}

@@ -1,0 +1,80 @@
+//! # zolc-gen — generated loop structures for design-space sweeps
+//!
+//! The paper's title claim is *arbitrarily complex* loop structures, but
+//! a fixed benchmark suite only ever samples twelve points of that
+//! space. This crate generates the space itself: parameterized families
+//! of **baseline (software-loop) programs** whose loop shape — depth,
+//! imperfection, sibling inner loops, bound sourcing, latch style,
+//! loop-crossing control flow — is described by a small declarative
+//! model and sampled deterministically from a seed.
+//!
+//! The three layers:
+//!
+//! * [`LoopShape`] / [`ProgramSpec`] — the declarative shape model: a
+//!   tree of counted loops with straight-line body code before, between
+//!   and after inner loops, plus the control-flow hazards
+//!   ([`LoopShape::pre_skip`], [`LoopShape::tail_skip`]) that force the
+//!   retargeter's software fallbacks.
+//! * [`ProgramSpec::assemble`] — turns a spec into the canonical
+//!   baseline machine-code program (the same preheader/latch idioms the
+//!   `XRdefault` lowering emits), together with the body-start address
+//!   of every loop so per-loop retargeting outcomes can be attributed
+//!   back to shapes.
+//! * [`ProgramSpec::generate`] — seeded sampling: the same `(seed,
+//!   GenConfig)` pair produces a byte-identical program on every run and
+//!   platform (the generator uses its own splitmix64 stream; no global
+//!   state, no platform hashing).
+//!
+//! Consumers: the root property suites generate their random
+//! counted-loop programs through this crate, and `zolc-bench`'s E7
+//! design-space explorer sweeps thousands of generated programs across
+//! controller configurations (see `crates/bench/DESIGN.md`).
+//!
+//! # Examples
+//!
+//! A hand-written two-deep imperfect nest:
+//!
+//! ```
+//! use zolc_gen::{LoopShape, ProgramSpec};
+//! use zolc_isa::{reg, Instr};
+//!
+//! let body = Instr::Add { rd: reg(2), rs: reg(2), rt: reg(3) };
+//! let spec = ProgramSpec::new(vec![LoopShape {
+//!     pre: vec![body],                       // imperfect: code before the inner loop
+//!     children: vec![LoopShape::counted(4)],
+//!     ..LoopShape::counted(3)
+//! }]);
+//! assert_eq!(spec.loop_count(), 2);
+//! assert_eq!(spec.max_depth(), 2);
+//! let assembled = spec.assemble()?;
+//! assert_eq!(assembled.loop_starts.len(), 2);
+//! assert!(assembled.program.text().len() > 6);
+//! # Ok::<(), zolc_gen::GenError>(())
+//! ```
+//!
+//! Seeded generation is deterministic:
+//!
+//! ```
+//! use zolc_gen::{GenConfig, ProgramSpec};
+//!
+//! let cfg = GenConfig::default();
+//! let a = ProgramSpec::generate(42, &cfg);
+//! let b = ProgramSpec::generate(42, &cfg);
+//! assert_eq!(a, b);
+//! assert_eq!(
+//!     a.assemble()?.program.text_bytes(),
+//!     b.assemble()?.program.text_bytes(),
+//! );
+//! # Ok::<(), zolc_gen::GenError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod emit;
+mod random;
+mod shape;
+
+pub use emit::{Assembled, GenError};
+pub use random::{body_instr, body_instr_variant, GenConfig, GenRng, BODY_MENU_LEN};
+pub use shape::{BoundKind, Feature, LatchKind, LoopShape, ProgramSpec};

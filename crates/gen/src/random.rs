@@ -1,0 +1,403 @@
+//! Seeded sampling of [`ProgramSpec`]s.
+
+use crate::shape::{BoundKind, LatchKind, LoopShape, ProgramSpec};
+use zolc_isa::{reg, Instr, Reg};
+
+/// A splitmix64 stream: tiny, platform-independent and stable across
+/// releases, so a `(seed, config)` pair identifies one program forever
+/// (sweep results stay reproducible and regressions stay replayable).
+///
+/// ```
+/// use zolc_gen::GenRng;
+///
+/// let mut a = GenRng::new(7);
+/// let mut b = GenRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// assert!(GenRng::new(8).below(10) < 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GenRng {
+    state: u64,
+}
+
+impl GenRng {
+    /// Creates a stream from a seed (any value, including 0).
+    pub fn new(seed: u64) -> GenRng {
+        GenRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `0..bound` (`bound` ≥ 1).
+    pub fn below(&mut self, bound: u32) -> u32 {
+        (self.next_u64() % u64::from(bound.max(1))) as u32
+    }
+
+    /// True with probability `num`/`den`.
+    pub fn chance(&mut self, num: u32, den: u32) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// Knobs bounding the sampled shape space (see [`ProgramSpec::generate`]).
+///
+/// The defaults describe the space the E7 design-space sweep explores:
+/// up to two top-level structures, nests up to three deep with up to
+/// two siblings per level, short straight-line bodies, and every shape
+/// feature (register bounds, `dbnz` latches, skip branches) enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Maximum number of top-level loop structures (≥ 1).
+    pub max_top: usize,
+    /// Maximum nesting depth (≥ 1).
+    pub max_depth: usize,
+    /// Maximum inner loops per level.
+    pub max_children: usize,
+    /// Maximum instructions per straight-line body block.
+    pub max_body: usize,
+    /// Maximum trip count per loop (≥ 1; trip counts are 1-based).
+    pub max_trips: u32,
+    /// Total loop budget per program (keeps the dynamic instruction
+    /// count bounded). Independently of this knob, generation stops
+    /// when the `r10`–`r31` register pool runs out — 22 loops at most,
+    /// fewer when register-sourced bounds are sampled — so every
+    /// generated spec assembles.
+    pub max_loops: usize,
+    /// Sample register-sourced bounds ([`BoundKind::Reg`]).
+    pub reg_bounds: bool,
+    /// Sample fused [`LatchKind::Dbnz`] latches.
+    pub dbnz: bool,
+    /// Sample the loop-crossing skip branches
+    /// ([`LoopShape::pre_skip`] / [`LoopShape::tail_skip`]).
+    pub skips: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            max_top: 2,
+            max_depth: 3,
+            max_children: 2,
+            max_body: 5,
+            max_trips: 6,
+            max_loops: 8,
+            reg_bounds: true,
+            dbnz: true,
+            skips: true,
+        }
+    }
+}
+
+/// The registers generated bodies compute in (`r2`–`r9`; `r1` is the
+/// read-only data base pointer).
+fn any_body_reg(rng: &mut GenRng) -> Reg {
+    reg(2 + rng.below(8) as u8)
+}
+
+/// One random straight-line body instruction over `r2`–`r9`, with
+/// memory accesses through the `r1` base at word slots `0..16` / byte
+/// offsets `0..64` (inside the window the sweep's reference expectation
+/// captures).
+///
+/// This is the *single* body-instruction menu: the root property suites
+/// sample it too (driving a [`GenRng`] from proptest randomness), so
+/// the property tests and the E7 sweeps always explore the same body
+/// space and a falsified case stays replayable in the explorer.
+///
+/// ```
+/// use zolc_gen::{body_instr, GenRng};
+///
+/// let mut rng = GenRng::new(3);
+/// let i = body_instr(&mut rng);
+/// // always straight-line, never touching the loop-control pool
+/// assert!(!i.is_control_flow());
+/// assert!(i.dst().is_none_or(|d| (2..=9).contains(&d.index())));
+/// ```
+pub fn body_instr(rng: &mut GenRng) -> Instr {
+    let rd = any_body_reg(rng);
+    let rs = any_body_reg(rng);
+    let rt = any_body_reg(rng);
+    let variant = rng.below(BODY_MENU_LEN);
+    body_instr_dispatch(variant, rd, rs, rt, rng)
+}
+
+/// Number of entries in the [`body_instr`] menu (variant indices are
+/// `0..BODY_MENU_LEN`).
+pub const BODY_MENU_LEN: u32 = 15;
+
+/// [`body_instr`] with the menu variant chosen by the caller (wrapped
+/// into `0..`[`BODY_MENU_LEN`]), operands still drawn from `rng`.
+/// Variant 0 is the plainest instruction (`add`), so shrinking a
+/// variant toward 0 simplifies a counterexample — this is what the root
+/// property suites sample, keeping proptest shrinking meaningful while
+/// sharing the one menu.
+pub fn body_instr_variant(variant: u32, rng: &mut GenRng) -> Instr {
+    let rd = any_body_reg(rng);
+    let rs = any_body_reg(rng);
+    let rt = any_body_reg(rng);
+    body_instr_dispatch(variant % BODY_MENU_LEN, rd, rs, rt, rng)
+}
+
+fn body_instr_dispatch(variant: u32, rd: Reg, rs: Reg, rt: Reg, rng: &mut GenRng) -> Instr {
+    match variant {
+        0 => Instr::Add { rd, rs, rt },
+        1 => Instr::Sub { rd, rs, rt },
+        2 => Instr::Xor { rd, rs, rt },
+        3 => Instr::Mul { rd, rs, rt },
+        4 => Instr::Slt { rd, rs, rt },
+        5 => Instr::Addi {
+            rt: rd,
+            rs,
+            imm: rng.below(0x1_0000) as i16,
+        },
+        6 => Instr::Andi {
+            rt: rd,
+            rs,
+            imm: rng.below(0x1_0000) as u16,
+        },
+        7 => Instr::Lui {
+            rt: rd,
+            imm: rng.below(0x1_0000) as u16,
+        },
+        8 => Instr::Sll {
+            rd,
+            rt,
+            sh: rng.below(16) as u8,
+        },
+        9 => Instr::Sra {
+            rd,
+            rt,
+            sh: rng.below(16) as u8,
+        },
+        10 => Instr::Lw {
+            rt: rd,
+            rs: reg(1),
+            off: 4 * rng.below(16) as i16,
+        },
+        11 => Instr::Sw {
+            rt: rd,
+            rs: reg(1),
+            off: 4 * rng.below(16) as i16,
+        },
+        12 => Instr::Lb {
+            rt: rd,
+            rs: reg(1),
+            off: rng.below(64) as i16,
+        },
+        13 => Instr::Sb {
+            rt: rd,
+            rs: reg(1),
+            off: rng.below(64) as i16,
+        },
+        _ => Instr::Nop,
+    }
+}
+
+fn body(rng: &mut GenRng, max: usize) -> Vec<Instr> {
+    let n = rng.below(max as u32 + 1) as usize;
+    (0..n).map(|_| body_instr(rng)).collect()
+}
+
+/// Loop and register budgets threaded through the sampler: `loops`
+/// bounds the structure size, `regs` the `r10`–`r31` pool (one slot per
+/// loop, one more per register-sourced bound) so every sampled spec
+/// assembles.
+struct Budget {
+    loops: usize,
+    regs: usize,
+}
+
+fn shape(rng: &mut GenRng, cfg: &GenConfig, depth: usize, budget: &mut Budget) -> LoopShape {
+    debug_assert!(
+        budget.loops > 0 && budget.regs > 0,
+        "caller checks the budgets"
+    );
+    budget.loops -= 1;
+    budget.regs -= 1; // this loop's counter
+    let trips = 1 + rng.below(cfg.max_trips);
+    // the register check comes after the chance draw so the random
+    // stream never depends on the remaining budget
+    let bound = if cfg.reg_bounds && rng.chance(1, 4) && budget.regs > 0 {
+        budget.regs -= 1; // this loop's bound register
+        BoundKind::Reg
+    } else {
+        BoundKind::Const
+    };
+    let latch = if cfg.dbnz && rng.chance(1, 3) {
+        LatchKind::Dbnz
+    } else {
+        LatchKind::Counter
+    };
+    let pre = body(rng, cfg.max_body);
+    let mut children = Vec::new();
+    if depth < cfg.max_depth {
+        let want = rng.below(cfg.max_children as u32 + 1) as usize;
+        for _ in 0..want {
+            if budget.loops == 0 || budget.regs == 0 {
+                break;
+            }
+            children.push(shape(rng, cfg, depth + 1, budget));
+        }
+    }
+    // post code only makes structural sense around inner loops
+    // (otherwise it is just a longer `pre`)
+    let post = if children.is_empty() {
+        Vec::new()
+    } else {
+        body(rng, cfg.max_body)
+    };
+    LoopShape {
+        trips,
+        bound,
+        latch,
+        pre,
+        children,
+        post,
+        pre_skip: cfg.skips && rng.chance(1, 8),
+        tail_skip: cfg.skips && rng.chance(1, 6),
+    }
+}
+
+impl ProgramSpec {
+    /// Samples one spec from `seed`, deterministically: the same
+    /// `(seed, cfg)` pair yields the same spec (and therefore, through
+    /// [`ProgramSpec::assemble`], a byte-identical program) on every
+    /// run, platform and release.
+    ///
+    /// The sample always contains at least one loop, never more than
+    /// [`GenConfig::max_loops`], and always fits the `r10`–`r31`
+    /// register pool by construction: generation stops early once the
+    /// 22-slot pool is exhausted (one slot per loop, one more per
+    /// register-sourced bound), so `max_loops` values beyond the pool
+    /// are effectively capped at 22 loops — fewer when register bounds
+    /// are sampled.
+    ///
+    /// ```
+    /// use zolc_gen::{GenConfig, ProgramSpec};
+    ///
+    /// let cfg = GenConfig::default();
+    /// let spec = ProgramSpec::generate(7, &cfg);
+    /// assert!((1..=cfg.max_loops).contains(&spec.loop_count()));
+    /// assert!(spec.max_depth() <= cfg.max_depth);
+    /// assert!(spec.assemble().is_ok());
+    /// ```
+    pub fn generate(seed: u64, cfg: &GenConfig) -> ProgramSpec {
+        let mut rng = GenRng::new(seed);
+        let mut budget = Budget {
+            loops: cfg.max_loops.max(1),
+            regs: crate::emit::REG_POOL,
+        };
+        let tops = 1 + rng.below(cfg.max_top.max(1) as u32) as usize;
+        let mut loops = Vec::new();
+        for _ in 0..tops {
+            if budget.loops == 0 || budget.regs == 0 {
+                break;
+            }
+            loops.push(shape(&mut rng, cfg, 1, &mut budget));
+        }
+        ProgramSpec::new(loops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_bounded() {
+        let cfg = GenConfig::default();
+        for seed in 0..200 {
+            let a = ProgramSpec::generate(seed, &cfg);
+            let b = ProgramSpec::generate(seed, &cfg);
+            assert_eq!(a, b, "seed {seed}");
+            assert!(a.loop_count() >= 1 && a.loop_count() <= cfg.max_loops);
+            assert!(a.max_depth() >= 1 && a.max_depth() <= cfg.max_depth);
+            let asm = a.assemble().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(asm.loop_starts.len(), a.loop_count());
+        }
+    }
+
+    #[test]
+    fn different_seeds_vary_the_space() {
+        let cfg = GenConfig::default();
+        let programs: Vec<_> = (0..32).map(|s| ProgramSpec::generate(s, &cfg)).collect();
+        let distinct: std::collections::BTreeSet<String> =
+            programs.iter().map(|p| format!("{p:?}")).collect();
+        assert!(
+            distinct.len() > 24,
+            "only {} distinct specs",
+            distinct.len()
+        );
+        // the space exercises depth, reg bounds and dbnz somewhere
+        assert!(programs.iter().any(|p| p.max_depth() >= 2));
+        assert!(programs
+            .iter()
+            .any(|p| p.flatten().iter().any(|(_, s)| s.bound == BoundKind::Reg)));
+        assert!(programs
+            .iter()
+            .any(|p| p.flatten().iter().any(|(_, s)| s.latch == LatchKind::Dbnz)));
+    }
+
+    #[test]
+    fn loop_budgets_beyond_the_register_pool_still_assemble() {
+        // max_loops above the pool: generation honors it up to the
+        // register budget and every spec still assembles
+        let cfg = GenConfig {
+            max_loops: 40,
+            max_top: 4,
+            max_children: 3,
+            ..GenConfig::default()
+        };
+        let mut seen_past_eleven = false;
+        for seed in 0..256 {
+            let p = ProgramSpec::generate(seed, &cfg);
+            assert!(p.loop_count() <= crate::emit::REG_POOL, "seed {seed}");
+            seen_past_eleven |= p.loop_count() > 11;
+            p.assemble().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+        assert!(
+            seen_past_eleven,
+            "the sampler never used the budget beyond 11 loops"
+        );
+    }
+
+    #[test]
+    fn feature_toggles_disable_their_shapes() {
+        let cfg = GenConfig {
+            reg_bounds: false,
+            dbnz: false,
+            skips: false,
+            ..GenConfig::default()
+        };
+        for seed in 0..64 {
+            let p = ProgramSpec::generate(seed, &cfg);
+            for (_, s) in p.flatten() {
+                assert_eq!(s.bound, BoundKind::Const);
+                assert_eq!(s.latch, LatchKind::Counter);
+                assert!(!s.pre_skip && !s.tail_skip);
+            }
+            assert_eq!(p.predicted_unhandled(), 0);
+        }
+    }
+
+    #[test]
+    fn body_instrs_stay_in_their_register_lane() {
+        let mut rng = GenRng::new(99);
+        for _ in 0..500 {
+            let i = body_instr(&mut rng);
+            if let Some(d) = i.dst() {
+                assert!((2..=9).contains(&d.index()), "{i}");
+            }
+            for s in i.srcs().into_iter().flatten() {
+                assert!(s.index() <= 9, "{i}");
+            }
+        }
+    }
+}

@@ -22,7 +22,7 @@ use zolc_sim::{ExecutorKind, RunError};
 
 /// Summary statistics of one retargeting run (also carried by the bench
 /// matrix's `ZOLCauto` measurements).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AutoStats {
     /// Natural loops the retargeter left in software.
     pub unhandled: usize,
@@ -30,6 +30,24 @@ pub struct AutoStats {
     pub excised: usize,
     /// Hardware loops in the synthesized overlay.
     pub hw_loops: usize,
+    /// Body-start byte addresses (in the *original* program) of the
+    /// hardware-mapped loops, in overlay order — lets sweep drivers
+    /// attribute per-loop retargeting outcomes back to known loop
+    /// positions (e.g. `zolc_gen`'s `Assembled::loop_starts`).
+    pub hw_loop_starts: Vec<u32>,
+}
+
+impl From<&Retargeted> for AutoStats {
+    /// The single derivation of retarget statistics, shared by the
+    /// kernel auto path and the bench matrix's generated-program cells.
+    fn from(r: &Retargeted) -> AutoStats {
+        AutoStats {
+            unhandled: r.unhandled.len(),
+            excised: r.excised,
+            hw_loops: r.counted.len(),
+            hw_loop_starts: r.counted.iter().map(|c| c.start).collect(),
+        }
+    }
 }
 
 /// A kernel built through the automatic retargeting pipeline.
@@ -55,21 +73,15 @@ pub fn build_kernel_auto(
     config: ZolcConfig,
 ) -> Result<AutoKernel, BuildError> {
     let base = (entry.build)(&Target::Baseline)?;
+    let r = retarget(&base.program, &config)?;
+    let stats = AutoStats::from(&r);
     let Retargeted {
         program,
         image,
-        counted,
-        unhandled,
-        excised,
         init_instructions,
         notes,
         ..
-    } = retarget(&base.program, &config)?;
-    let stats = AutoStats {
-        unhandled: unhandled.len(),
-        excised,
-        hw_loops: counted.len(),
-    };
+    } = r;
     Ok(AutoKernel {
         built: BuiltKernel {
             name: base.name,

@@ -1,0 +1,112 @@
+//! Design-space explorer CLI: sweep generated loop structures across
+//! controller configurations, or inspect a single generated program.
+//!
+//! ```sh
+//! cargo run --release --example explore                  # standard sweep
+//! cargo run --release --example explore -- --programs 50 --trips 24
+//! cargo run --release --example explore -- --functional  # correctness-only, faster
+//! cargo run --release --example explore -- --show 17     # one seed in detail
+//! ```
+//!
+//! Knobs: `--programs N`, `--seed S`, `--trips T`, `--depth D`,
+//! `--loops L`, `--no-skips`, `--no-reg-bounds`, `--no-dbnz`,
+//! `--functional`, `--show SEED`.
+
+use zolc::bench::{run_sweep, SweepConfig};
+use zolc::cfg::retarget;
+use zolc::core::ZolcConfig;
+use zolc::gen::{GenConfig, ProgramSpec};
+use zolc::sim::ExecutorKind;
+
+fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("{flag} needs a value"))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = SweepConfig::standard();
+    let mut show: Option<u64> = None;
+
+    let mut args = std::env::args();
+    args.next(); // program name
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--programs" => cfg.programs = parse_flag(&mut args, "--programs"),
+            "--seed" => cfg.base_seed = parse_flag(&mut args, "--seed"),
+            "--trips" => cfg.gen.max_trips = parse_flag(&mut args, "--trips"),
+            "--depth" => cfg.gen.max_depth = parse_flag(&mut args, "--depth"),
+            "--loops" => cfg.gen.max_loops = parse_flag(&mut args, "--loops"),
+            "--no-skips" => cfg.gen.skips = false,
+            "--no-reg-bounds" => cfg.gen.reg_bounds = false,
+            "--no-dbnz" => cfg.gen.dbnz = false,
+            "--functional" => cfg.executor = ExecutorKind::Functional,
+            "--show" => show = Some(parse_flag(&mut args, "--show")),
+            other => {
+                eprintln!("unknown argument `{other}` (see the example header for knobs)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(seed) = show {
+        return show_one(seed, &cfg.gen);
+    }
+
+    println!(
+        "sweeping {} generated programs (seeds {}..{}) x {} configurations, {} cells\n",
+        cfg.programs,
+        cfg.base_seed,
+        cfg.base_seed + cfg.programs as u64,
+        cfg.points.len(),
+        cfg.cells(),
+    );
+    println!("{}", run_sweep(&cfg));
+    Ok(())
+}
+
+/// Prints one generated program in full: its shape, its baseline
+/// listing, and what `retarget` does to it on `ZOLClite`.
+fn show_one(seed: u64, gen: &GenConfig) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = ProgramSpec::generate(seed, gen);
+    println!(
+        "seed {seed}: {} loops, depth {}, predicted software fallbacks {}",
+        spec.loop_count(),
+        spec.max_depth(),
+        spec.predicted_unhandled()
+    );
+    for (depth, shape) in spec.flatten() {
+        println!(
+            "  {}loop trips={} {:?}/{:?} pre={} post={} children={}{}{}",
+            "  ".repeat(depth - 1),
+            shape.trips,
+            shape.bound,
+            shape.latch,
+            shape.pre.len(),
+            shape.post.len(),
+            shape.children.len(),
+            if shape.pre_skip { " pre-skip" } else { "" },
+            if shape.emits_tail_skip() {
+                " tail-skip"
+            } else {
+                ""
+            },
+        );
+    }
+    let assembled = spec.assemble()?;
+    println!("\nbaseline program:\n{}", assembled.program.listing());
+    let r = retarget(&assembled.program, &ZolcConfig::lite())?;
+    println!(
+        "retarget on ZOLClite: {} hardware loops, {} in software, {} instructions excised,\n\
+         {} init instructions",
+        r.counted.len(),
+        r.unhandled.len(),
+        r.excised,
+        r.init_instructions
+    );
+    for note in &r.notes {
+        println!("  note: {note}");
+    }
+    println!("\nretargeted program:\n{}", r.program.listing());
+    Ok(())
+}

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Fails if any markdown file referenced from the README, ARCHITECTURE.md,
-# or rustdoc comments does not exist (CI runs this in the docs job; the
+# Fails if any markdown file referenced from another markdown file or a
+# rustdoc comment does not exist (CI runs this in the docs job; the
 # bench crate additionally enforces its own DESIGN.md/EXPERIMENTS.md from
 # a unit test so tier-1 catches the dangling-reference case too).
+#
+# Scope: every git-tracked .md and .rs file, except the archival files
+# that quote *external* repositories and papers (their .md mentions are
+# not cross-links into this repo).
 set -u
 cd "$(dirname "$0")/.."
 
@@ -21,7 +25,7 @@ scan() {
     done
 }
 
-for f in README.md ARCHITECTURE.md ROADMAP.md crates/*/*.md \
+for f in $(git ls-files '*.md' | grep -vE '^(PAPER|PAPERS|SNIPPETS|CHANGES|ISSUE)\.md$') \
     $(git ls-files '*.rs'); do
     [ -f "$f" ] && scan "$f"
 done

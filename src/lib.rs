@@ -17,6 +17,9 @@
 //!   (`XRdefault`, `XRhrdwil`, ZOLC);
 //! * [`mod@cfg`] — control-flow analysis: natural loops, counted-loop
 //!   detection, automatic ZOLC mapping and image verification;
+//! * [`mod@gen`] — seeded, deterministic generation of loop-structure
+//!   families ([`gen::ProgramSpec`]) for property tests and the E7
+//!   design-space sweeps;
 //! * [`mod@kernels`] — the twelve evaluation benchmarks with bit-exact
 //!   reference models;
 //! * [`mod@bench`] — the experiment harness regenerating every table and
@@ -55,6 +58,7 @@
 pub use zolc_bench as bench;
 pub use zolc_cfg as cfg;
 pub use zolc_core as core;
+pub use zolc_gen as gen;
 pub use zolc_ir as ir;
 pub use zolc_isa as isa;
 pub use zolc_kernels as kernels;

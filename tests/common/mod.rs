@@ -1,120 +1,42 @@
-//! Instruction generators shared by the root property suites
-//! (`prop_pipeline` checks pipeline-vs-interpreter, `prop_exec_equiv`
-//! checks pipeline-vs-functional-executor).
+//! Instruction and loop-structure generators shared by the root
+//! property suites (`prop_pipeline` checks pipeline-vs-interpreter,
+//! `prop_exec_equiv` checks pipeline-vs-functional-executor and
+//! retarget equivalence).
+//!
+//! Loop-structure generation is delegated to `zolc-gen`: the strategies
+//! here sample `proptest` randomness into [`LoopShape`] values (and the
+//! shared `body_instr` menu), and the suites assemble them through
+//! `ProgramSpec::assemble` — the same model and emitter the E7
+//! design-space sweeps use, so a shape the property suite falsifies is
+//! immediately replayable in the explorer.
 
 use proptest::prelude::*;
-use zolc::isa::{reg, Asm, Instr, Program, Reg, DATA_BASE};
-
-/// Registers the generated programs compute in (`r1` is reserved as the
-/// data base pointer).
-pub fn any_small_reg() -> impl Strategy<Value = Reg> {
-    // r1 is the data base pointer; computation uses r2..r9
-    (2u8..10).prop_map(reg)
-}
+use zolc::gen::{body_instr_variant, BoundKind, GenRng, LatchKind, LoopShape, BODY_MENU_LEN};
+use zolc::isa::Instr;
 
 /// Strategy: one random straight-line instruction over r2..r9 plus
 /// memory accesses through the r1 base (word slots 0..16, byte offsets
-/// 0..64 — all inside the 256-byte seeded data window).
-pub fn any_instr() -> impl Strategy<Value = Instr> {
-    use Instr::*;
-    let rrr = (any_small_reg(), any_small_reg(), any_small_reg());
-    prop_oneof![
-        rrr.prop_map(|(rd, rs, rt)| Add { rd, rs, rt }),
-        (any_small_reg(), any_small_reg(), any_small_reg()).prop_map(|(rd, rs, rt)| Sub {
-            rd,
-            rs,
-            rt
-        }),
-        (any_small_reg(), any_small_reg(), any_small_reg()).prop_map(|(rd, rs, rt)| Xor {
-            rd,
-            rs,
-            rt
-        }),
-        (any_small_reg(), any_small_reg(), any_small_reg()).prop_map(|(rd, rs, rt)| Mul {
-            rd,
-            rs,
-            rt
-        }),
-        (any_small_reg(), any_small_reg(), any_small_reg()).prop_map(|(rd, rs, rt)| Slt {
-            rd,
-            rs,
-            rt
-        }),
-        (any_small_reg(), any_small_reg(), any::<i16>()).prop_map(|(rt, rs, imm)| Addi {
-            rt,
-            rs,
-            imm
-        }),
-        (any_small_reg(), any_small_reg(), any::<u16>()).prop_map(|(rt, rs, imm)| Andi {
-            rt,
-            rs,
-            imm
-        }),
-        (any_small_reg(), any::<u16>()).prop_map(|(rt, imm)| Lui { rt, imm }),
-        (any_small_reg(), any_small_reg(), 0u8..16).prop_map(|(rd, rt, sh)| Sll { rd, rt, sh }),
-        (any_small_reg(), any_small_reg(), 0u8..16).prop_map(|(rd, rt, sh)| Sra { rd, rt, sh }),
-        // word accesses at aligned offsets 0..64 within the seeded window
-        (any_small_reg(), 0u8..16).prop_map(|(rt, k)| Lw {
-            rt,
-            rs: reg(1),
-            off: 4 * i16::from(k),
-        }),
-        (any_small_reg(), 0u8..16).prop_map(|(rt, k)| Sw {
-            rt,
-            rs: reg(1),
-            off: 4 * i16::from(k),
-        }),
-        (any_small_reg(), 0u8..64).prop_map(|(rt, k)| Lb {
-            rt,
-            rs: reg(1),
-            off: i16::from(k),
-        }),
-        (any_small_reg(), 0u8..64).prop_map(|(rt, k)| Sb {
-            rt,
-            rs: reg(1),
-            off: i16::from(k),
-        }),
-        Just(Nop),
-    ]
-}
-
-/// A randomly generated counted loop in baseline machine-code form, used
-/// by the auto-retarget equivalence property: a down-counter (or `dbnz`)
-/// loop with a straight-line body, optionally one nested inner loop, and
-/// optional forward branches interacting with the loop region.
+/// 0..64 — all inside the 256-byte data window the sweeps snapshot).
 ///
-/// Loop `i` of a program uses counters `r13+3i` (outer) / `r14+3i`
-/// (inner) and bound register `r15+3i` — none of which [`any_instr`]
-/// bodies touch, and none shared between loops (so one software fallback
-/// cannot cascade into its siblings).
-#[derive(Debug, Clone)]
-#[allow(dead_code)] // used by prop_exec_equiv, not by every test target
-pub struct GenLoop {
-    /// Trip count (≥ 1; zero-trip loops are out of contract for the
-    /// down-counter pattern).
-    pub trips: u32,
-    /// Source the outer bound from a register copy (`add cnt, rX, r0`)
-    /// instead of a visible `li` — the data-dependent-bound form.
-    pub reg_limit: bool,
-    /// Use the fused `dbnz` latch (`XRhrdwil` form).
-    pub dbnz: bool,
-    /// Straight-line body instructions.
-    pub body: Vec<Instr>,
-    /// Optional nested loop: (trips, dbnz, body).
-    pub inner: Option<(u32, bool, Vec<Instr>)>,
-    /// Emit a data-dependent forward branch *over* the whole loop —
-    /// control flow the retargeter must push back to software.
-    pub pre_skip: bool,
-    /// Emit a data-dependent forward branch from the body start to the
-    /// latch (the if-at-loop-end shape; stays hardware-mappable via an
-    /// inserted `nop` end).
-    pub tail_skip: bool,
+/// Sampled through `zolc_gen::body_instr_variant` — the same menu the
+/// E7 design-space sweeps draw from — so the property suites and the
+/// explorer can never drift apart in the body space they cover, while
+/// the separately-shrinkable variant index keeps counterexamples
+/// shrinking toward the plainest instruction.
+pub fn any_instr() -> impl Strategy<Value = Instr> {
+    (0..BODY_MENU_LEN, any::<u64>())
+        .prop_map(|(variant, seed)| body_instr_variant(variant, &mut GenRng::new(seed)))
 }
 
-/// Strategy for one [`GenLoop`] (bodies may be empty — the pure-counter
-/// case — and nests are up to two deep).
+/// Strategy for one [`LoopShape`] used by the auto-retarget equivalence
+/// property: a down-counter (or `dbnz`) loop with a straight-line body,
+/// optionally one nested inner loop, and optional forward branches
+/// interacting with the loop region (`pre_skip` over the whole loop,
+/// `tail_skip` from body start to latch). Counter and bound registers
+/// are allocated by `zolc-gen` from the `r10`–`r31` pool, which
+/// [`any_instr`] bodies never touch.
 #[allow(dead_code)]
-pub fn gen_loop() -> impl Strategy<Value = GenLoop> {
+pub fn gen_loop() -> impl Strategy<Value = LoopShape> {
     (
         1u32..8,
         any::<bool>(),
@@ -138,95 +60,37 @@ pub fn gen_loop() -> impl Strategy<Value = GenLoop> {
                 (nested, itrips, idbnz, ibody),
                 pre_skip,
                 tail_skip,
-            )| GenLoop {
-                trips,
-                reg_limit,
-                dbnz,
-                body,
-                inner: nested.then_some((itrips, idbnz, ibody)),
-                pre_skip,
-                tail_skip,
+            )| {
+                let latch_of = |dbnz: bool| {
+                    if dbnz {
+                        LatchKind::Dbnz
+                    } else {
+                        LatchKind::Counter
+                    }
+                };
+                let children = if nested {
+                    vec![LoopShape {
+                        latch: latch_of(idbnz),
+                        pre: ibody,
+                        ..LoopShape::counted(itrips)
+                    }]
+                } else {
+                    vec![]
+                };
+                LoopShape {
+                    trips,
+                    bound: if reg_limit {
+                        BoundKind::Reg
+                    } else {
+                        BoundKind::Const
+                    },
+                    latch: latch_of(dbnz),
+                    pre: body,
+                    children,
+                    post: vec![],
+                    pre_skip,
+                    tail_skip,
+                }
             },
         )
-}
-
-/// Assembles a sequence of [`GenLoop`]s into a baseline (software-loop)
-/// program: `r1` holds the data base, every loop uses the canonical
-/// preheader + latch shapes the baseline lowering emits.
-#[allow(dead_code)]
-pub fn counted_program(loops: &[GenLoop]) -> Program {
-    let mut asm = Asm::new();
-    asm.li(reg(1), DATA_BASE as i32);
-    for (k, l) in loops.iter().enumerate() {
-        let counter = reg(13 + 3 * k as u8);
-        let inner_counter = reg(14 + 3 * k as u8);
-        let bound = reg(15 + 3 * k as u8);
-        let after = asm.new_label();
-        if l.pre_skip {
-            // data-dependent skip over the whole loop (r2 is arbitrary
-            // body state, so both outcomes occur across cases)
-            asm.branch(
-                Instr::Beq {
-                    rs: reg(2),
-                    rt: Reg::ZERO,
-                    off: 0,
-                },
-                after,
-            );
-        }
-        if l.reg_limit {
-            asm.li(bound, l.trips as i32);
-            asm.emit(Instr::Add {
-                rd: counter,
-                rs: bound,
-                rt: Reg::ZERO,
-            });
-        } else {
-            asm.li(counter, l.trips as i32);
-        }
-        let top = asm.label_here();
-        let latch = asm.new_label();
-        if l.tail_skip && !l.body.is_empty() {
-            asm.branch(Instr::Bgtz { rs: reg(3), off: 0 }, latch);
-        }
-        asm.emit_all(l.body.iter().copied());
-        if let Some((itrips, idbnz, ibody)) = &l.inner {
-            asm.li(inner_counter, *itrips as i32);
-            let itop = asm.label_here();
-            asm.emit_all(ibody.iter().copied());
-            emit_latch(&mut asm, inner_counter, itop, *idbnz);
-        }
-        asm.bind(latch).expect("latch label bound once");
-        emit_latch(&mut asm, counter, top, l.dbnz);
-        asm.bind(after).expect("after label bound once");
-    }
-    asm.emit(Instr::Halt);
-    asm.finish().expect("generated program assembles")
-}
-
-#[allow(dead_code)]
-fn emit_latch(asm: &mut Asm, counter: Reg, top: zolc::isa::Label, dbnz: bool) {
-    if dbnz {
-        asm.branch(
-            Instr::Dbnz {
-                rs: counter,
-                off: 0,
-            },
-            top,
-        );
-    } else {
-        asm.emit(Instr::Addi {
-            rt: counter,
-            rs: counter,
-            imm: -1,
-        });
-        asm.branch(
-            Instr::Bne {
-                rs: counter,
-                rt: Reg::ZERO,
-                off: 0,
-            },
-            top,
-        );
-    }
 }

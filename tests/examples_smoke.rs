@@ -1,5 +1,5 @@
-//! Smoke tests mirroring the four `examples/` programs, so the example
-//! code paths cannot silently bit-rot between releases (CI additionally
+//! Smoke tests mirroring the `examples/` programs, so the example code
+//! paths cannot silently bit-rot between releases (CI additionally
 //! executes `cargo run --example quickstart` end to end).
 
 use zolc::core::{area, Zolc, ZolcConfig};
@@ -110,6 +110,32 @@ fn motion_estimation_all_configs() {
             }
         }
     }
+}
+
+/// The `explore` example: a miniature E7 sweep stays correctness-clean
+/// and the single-seed inspection path (`--show`) keeps its invariants
+/// — generation, assembly and retargeting of one seed agree on the loop
+/// census.
+#[test]
+fn explore_sweep_and_show_paths() {
+    use zolc::bench::{run_sweep, SweepConfig};
+    use zolc::cfg::retarget;
+    use zolc::gen::ProgramSpec;
+
+    // the sweep path, scaled down
+    let mut cfg = SweepConfig::standard();
+    cfg.programs = 6;
+    let report = run_sweep(&cfg);
+    assert_eq!(report.cells, cfg.cells());
+    assert!(report.points.iter().any(|p| p.hw_loops > 0));
+
+    // the --show path
+    let spec = ProgramSpec::generate(17, &cfg.gen);
+    let assembled = spec.assemble().expect("assembles");
+    assert!(!assembled.program.listing().is_empty());
+    let r = retarget(&assembled.program, &ZolcConfig::lite()).expect("retargets");
+    assert_eq!(r.counted.len() + r.unhandled.len(), spec.loop_count());
+    assert_eq!(r.unhandled.len(), spec.predicted_unhandled());
 }
 
 /// The `design_space` example: every explored configuration is valid and

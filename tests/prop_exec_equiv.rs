@@ -14,7 +14,7 @@
 
 mod common;
 
-use common::{any_instr, counted_program, gen_loop};
+use common::{any_instr, gen_loop};
 use proptest::prelude::*;
 use zolc::cfg::retarget;
 use zolc::core::{Zolc, ZolcConfig};
@@ -100,27 +100,23 @@ proptest! {
     fn retargeted_programs_match_their_originals(
         loops in prop::collection::vec(gen_loop(), 1..3)
     ) {
-        let program = counted_program(&loops);
+        let spec = zolc::gen::ProgramSpec::new(loops);
+        let program = spec
+            .assemble()
+            .expect("generated program assembles")
+            .program;
         let r = retarget(&program, &ZolcConfig::lite()).expect("retargets");
-        // handledness is predictable from the generated shape: a branch
-        // over a loop (pre_skip) pushes it and its inner loop to
-        // software; a branch to the latch over an inner loop (tail_skip)
-        // pushes just the inner one; everything else maps to hardware
-        let total = loops.len() + loops.iter().filter(|l| l.inner.is_some()).count();
-        let expected_unhandled: usize = loops
-            .iter()
-            .map(|l| {
-                if l.pre_skip {
-                    1 + usize::from(l.inner.is_some())
-                } else if l.tail_skip && !l.body.is_empty() && l.inner.is_some() {
-                    1
-                } else {
-                    0
-                }
-            })
-            .sum();
-        prop_assert_eq!(r.counted.len() + r.unhandled.len(), total);
-        prop_assert_eq!(r.unhandled.len(), expected_unhandled, "notes: {:?}", r.notes);
+        // handledness is predictable from the generated shape (the
+        // documented `predicted_unhandled` contract): a branch over a
+        // loop (pre_skip) pushes it and its whole subtree to software;
+        // a branch to the latch over inner loops (tail_skip) pushes the
+        // child subtrees; everything else maps to hardware
+        prop_assert_eq!(r.counted.len() + r.unhandled.len(), spec.loop_count());
+        prop_assert_eq!(
+            r.unhandled.len(),
+            spec.predicted_unhandled(),
+            "notes: {:?}", r.notes
+        );
 
         let mut retired = Vec::new();
         for kind in [ExecutorKind::CycleAccurate, ExecutorKind::Functional] {
