@@ -1,10 +1,12 @@
 //! Criterion wall-clock benchmarks of the simulator itself: how fast the
-//! cycle-accurate pipeline and the functional executor run the benchmark
-//! kernels (engineering metric, not a paper artifact).
+//! cycle-accurate pipeline, the functional interpreter and the
+//! block-compiled executor run the benchmark kernels (engineering
+//! metric, not a paper artifact).
 //!
-//! Besides the criterion timings, a side-by-side table reports both
-//! executors in instructions per second so the functional executor's
-//! speedup is a tracked artifact of every bench run.
+//! Besides the criterion timings, a side-by-side table reports all three
+//! executor tiers in instructions per second so both speedups — the
+//! functional interpreter over the pipeline and the block-compiled tier
+//! over the interpreter — are tracked artifacts of every bench run.
 
 use criterion::{criterion_group, Criterion};
 use std::time::Instant;
@@ -13,7 +15,7 @@ use zolc_ir::Target;
 use zolc_kernels::{find_kernel, run_kernel_with, BuiltKernel, ExecutorKind};
 
 const KERNELS: [&str; 4] = ["matmul", "crc32", "me_tss", "me_fs"];
-const BUDGET: u64 = 50_000_000;
+const FUEL: u64 = 50_000_000;
 
 fn targets() -> [(&'static str, Target); 2] {
     [
@@ -33,10 +35,10 @@ fn bench_simulation(c: &mut Criterion) {
     for name in KERNELS {
         for (label, target) in targets() {
             let built = build(name, &target);
-            for kind in [ExecutorKind::CycleAccurate, ExecutorKind::Functional] {
+            for kind in ExecutorKind::ALL {
                 group.bench_function(format!("{name}/{label}/{kind}"), |b| {
                     b.iter(|| {
-                        let run = run_kernel_with(&built, BUDGET, kind).expect("runs");
+                        let run = run_kernel_with(&built, FUEL, kind).expect("runs");
                         assert!(run.is_correct());
                         run.stats.retired
                     })
@@ -53,7 +55,7 @@ fn instrs_per_sec(built: &BuiltKernel, kind: ExecutorKind, reps: u32) -> (f64, u
     let mut retired = 0;
     let start = Instant::now();
     for _ in 0..reps {
-        let run = run_kernel_with(built, BUDGET, kind).expect("runs");
+        let run = run_kernel_with(built, FUEL, kind).expect("runs");
         assert!(run.is_correct());
         retired = run.stats.retired;
     }
@@ -61,28 +63,39 @@ fn instrs_per_sec(built: &BuiltKernel, kind: ExecutorKind, reps: u32) -> (f64, u
     (f64::from(reps) * retired as f64 / secs.max(1e-9), retired)
 }
 
-/// The tracked artifact: both executors side by side, in instructions
-/// per second, with the functional speedup per (kernel, target) cell.
+/// The tracked artifact: the three executor tiers side by side, in
+/// instructions per second, with per-cell speedups of each tier over
+/// the previous one.
 fn side_by_side(test_mode: bool) {
     let reps = if test_mode { 1 } else { 20 };
     println!("\nexecutor throughput side by side ({reps} runs/cell):");
     println!(
-        "{:<10} {:<10} {:>8} {:>16} {:>16} {:>9}",
-        "kernel", "target", "instrs", "pipeline i/s", "functional i/s", "speedup"
+        "{:<10} {:<10} {:>8} {:>14} {:>14} {:>14} {:>8} {:>8}",
+        "kernel",
+        "target",
+        "instrs",
+        "pipeline i/s",
+        "functional i/s",
+        "compiled i/s",
+        "f/p",
+        "c/f"
     );
     for name in KERNELS {
         for (label, target) in targets() {
             let built = build(name, &target);
             let (pipe, retired) = instrs_per_sec(&built, ExecutorKind::CycleAccurate, reps);
             let (func, _) = instrs_per_sec(&built, ExecutorKind::Functional, reps);
+            let (comp, _) = instrs_per_sec(&built, ExecutorKind::Compiled, reps);
             println!(
-                "{:<10} {:<10} {:>8} {:>16.0} {:>16.0} {:>8.1}x",
+                "{:<10} {:<10} {:>8} {:>14.0} {:>14.0} {:>14.0} {:>7.1}x {:>7.1}x",
                 name,
                 label,
                 retired,
                 pipe,
                 func,
-                func / pipe
+                comp,
+                func / pipe,
+                comp / func
             );
         }
     }

@@ -1,7 +1,7 @@
 //! The experiment implementations, one per paper artifact (see the
 //! experiment index in `DESIGN.md` and results in `EXPERIMENTS.md`).
 
-use crate::matrix::{Fig2Report, JobMatrix, MAX_CYCLES};
+use crate::matrix::{Fig2Report, JobMatrix, MAX_FUEL};
 use crate::table::{render_bars, render_table};
 use std::fmt::Write as _;
 use zolc_core::{area, PerfectLevel, PerfectNestController, PerfectNestSpec, ZolcConfig};
@@ -374,7 +374,7 @@ fn perfect_nest_comparison() -> String {
 
     // run on the ZOLC
     let mut zolc = Zolc::new(ZolcConfig::lite());
-    let zolc_run = run_program(&program, &mut zolc, MAX_CYCLES).expect("zolc runs");
+    let zolc_run = run_program(&program, &mut zolc, MAX_FUEL).expect("zolc runs");
     zolc.assert_consistent();
 
     // run the same body-only program on the perfect-nest unit: the zwr
@@ -401,7 +401,7 @@ fn perfect_nest_comparison() -> String {
     };
     let gates = PerfectNestController::new(spec.clone()).equivalent_gates();
     let mut pn = PerfectNestController::new(spec);
-    let pn_run = run_program(&program, &mut pn, MAX_CYCLES).expect("pn runs");
+    let pn_run = run_program(&program, &mut pn, MAX_FUEL).expect("pn runs");
 
     assert_eq!(
         zolc_run.cpu.regs().read(reg(2)),

@@ -1,0 +1,394 @@
+//! A minimal JSON value, writer and parser for the sharded-sweep
+//! fragments (`shard.rs`).
+//!
+//! The build environment has no crates.io access, so — like the
+//! vendored `proptest`/`criterion` shims — serialization is hand-rolled
+//! here instead of pulling in `serde`. The subset is exactly what the
+//! fragments need: objects, arrays, strings, booleans, null, and
+//! numbers kept as **raw decimal strings**. Numbers round-trip
+//! losslessly by construction: `u64` writes via `Display`, and `f64`
+//! writes Rust's shortest round-trip `Display` form, so parsing the
+//! token back with `str::parse` recovers the identical bits — which is
+//! what makes a resumed sweep byte-identical to an uninterrupted one.
+
+use std::fmt::Write as _;
+
+/// A parsed or to-be-written JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw decimal token (see the module docs).
+    Num(String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved on write.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A number value from a `u64`.
+    pub fn u64(v: u64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// A number value from an `f64` (shortest round-trip form; must be
+    /// finite — JSON has no NaN/inf tokens).
+    pub fn f64(v: f64) -> Json {
+        assert!(v.is_finite(), "JSON numbers must be finite, got {v}");
+        Json::Num(v.to_string())
+    }
+
+    /// The value as `u64`, if it is a non-negative integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key, if the value is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON (deterministic: field order is
+    /// insertion order, numbers are the stored tokens).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(s) => out.push_str(s),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: byte offset plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document (trailing whitespace allowed, trailing
+/// garbage is an error).
+pub fn parse(src: &str) -> Result<Json, JsonError> {
+    let bytes = src.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing garbage after document"));
+    }
+    Ok(value)
+}
+
+fn err(at: usize, msg: impl Into<String>) -> JsonError {
+    JsonError {
+        at,
+        msg: msg.into(),
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), JsonError> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, format!("expected `{}`", c as char)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_num(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, JsonError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(err(*pos, format!("expected `{lit}`")))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let token = std::str::from_utf8(&b[start..*pos]).expect("ascii digits");
+    if token.is_empty() || token.parse::<f64>().is_err() {
+        return Err(err(start, format!("invalid number `{token}`")));
+    }
+    Ok(Json::Num(token.to_owned()))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "bad \\u escape"))?;
+                        // Surrogate pairs are not needed for our own
+                        // output (we never escape above U+001F); reject
+                        // them instead of decoding incorrectly.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| err(*pos, "surrogate \\u escape unsupported"))?;
+                        out.push(c);
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // multi-byte UTF-8 passes through by char
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| err(*pos, "invalid UTF-8 in string"))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(err(*pos, "expected `,` or `}`")),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected `,` or `]`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_structures() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::Str("ZOLClite \"x\"\n".into())),
+            ("n".into(), Json::u64(u64::MAX)),
+            (
+                "savings".into(),
+                Json::Arr(vec![Json::f64(-3.25), Json::f64(0.1), Json::Null]),
+            ),
+            ("ok".into(), Json::Bool(true)),
+        ]);
+        let text = v.render();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn f64_roundtrip_is_bit_exact() {
+        for bits in [
+            0x3ff0_0000_0000_0001_u64, // 1.0 + ulp
+            0xc059_0ccc_cccc_cccd,     // ≈ -100.2
+            0x3fb9_9999_9999_999a,     // ≈ 0.1
+            0x0000_0000_0000_0001,     // min subnormal
+        ] {
+            let v = f64::from_bits(bits);
+            let j = Json::f64(v);
+            let back = parse(&j.render()).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), bits, "{v}");
+        }
+    }
+
+    #[test]
+    fn u64_numbers_are_not_truncated_through_f64() {
+        let j = parse("18446744073709551615").unwrap();
+        assert_eq!(j.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} x").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("\"abc").is_err());
+        assert!(parse("+-3").is_err());
+    }
+
+    #[test]
+    fn object_lookup_and_accessors() {
+        let v = parse(r#"{"a": [1, 2.5], "b": "s"}"#).unwrap();
+        assert_eq!(v.get("b").and_then(Json::as_str), Some("s"));
+        let arr = v.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(v.get("missing"), None);
+    }
+}

@@ -37,12 +37,27 @@
 //!     .run();
 //! assert!(results.iter().all(|m| m.stats.cycles == 0 && m.stats.retired > 0));
 //! ```
+//!
+//! # Sharded, resumable sweeps
+//!
+//! Design-space sweeps scale past what one sitting should risk:
+//! [`run_sweep_sharded`] splits a [`SweepConfig`]'s seed range into
+//! deterministic shards, persists each shard's [`SweepReport`] as an
+//! atomically written JSON fragment (hand-rolled in [`json`]; no
+//! crates.io) under an output directory, resumes from whatever a killed
+//! run left behind, and merges into a report **byte-identical** to an
+//! uninterrupted sweep — fingerprint-guarded so fragments from a
+//! different sweep fail loudly instead of contaminating the merge. The
+//! `explore` example drives it from the CLI (`--out DIR --shards N`),
+//! and CI kills/resumes a tiny sweep on every run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod experiments;
+pub mod json;
 mod matrix;
+mod shard;
 mod sweep;
 mod table;
 
@@ -51,7 +66,11 @@ pub use experiments::{
 };
 pub use matrix::{
     measure, measure_auto, measure_with, AutoStats, BuildMode, Fig2Report, Fig2Row, Job, JobMatrix,
-    JobSource, Measurement, MAX_CYCLES,
+    JobSource, Measurement, MAX_FUEL,
+};
+pub use shard::{
+    fragment_path, merge_reports, run_sweep_sharded, shard_plan, sweep_fingerprint, ShardPlan,
+    ShardedOutcome,
 };
 pub use sweep::{
     e7_design_space, run_sweep, GeneratedProgram, PointSummary, SweepConfig, SweepPoint,

@@ -29,8 +29,12 @@ use zolc_kernels::{
 };
 use zolc_sim::Stats;
 
-/// Cycle budget generous enough for every kernel on every target.
-pub const MAX_CYCLES: u64 = 50_000_000;
+/// Fuel budget (retired instructions — the one semantic shared by every
+/// executor, see [`zolc_sim::Executor::run`]) generous enough for every
+/// kernel on every target. Because fuel is architectural, a matrix cell
+/// that times out does so at the same instruction no matter which
+/// executor measured it.
+pub const MAX_FUEL: u64 = 50_000_000;
 
 /// How a cell's program comes to exist.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -210,7 +214,7 @@ fn measure_cell(
 ) -> Measurement {
     let (built, auto) = build_cell(source, target, mode);
     let name = source.name();
-    let run = run_kernel_with(&built, MAX_CYCLES, executor)
+    let run = run_kernel_with(&built, MAX_FUEL, executor)
         .unwrap_or_else(|e| panic!("{name}/{target}: run failed: {e}"));
     assert!(
         run.is_correct(),

@@ -1,0 +1,589 @@
+//! Sharded, resumable design-space sweeps.
+//!
+//! A 100k-program E7 sweep is hours of work; losing it to a crash,
+//! reboot or ^C is not acceptable at that scale. This module splits a
+//! [`SweepConfig`]'s seed range into deterministic contiguous **shards**
+//! and persists each shard's [`SweepReport`] as a JSON *fragment*
+//! (`shard-NNNN.json`) in an output directory the moment it completes —
+//! written atomically (temp file + rename), so a kill can never leave a
+//! torn fragment behind. Re-running the same sweep against the same
+//! directory loads finished fragments instead of recomputing them and
+//! picks up at the first missing shard.
+//!
+//! # Byte-identity guarantee
+//!
+//! The merged report of an interrupted-and-resumed sharded sweep is
+//! **byte-identical** to the report of the same sweep run unsharded in
+//! one sitting (`resume_reproduces_unsharded_report_byte_identically`
+//! pins it, and CI kills/resumes a real sweep to prove it end to end).
+//! Three properties compose into the guarantee:
+//!
+//! 1. program generation is seed-deterministic and shards partition the
+//!    seed range exactly, so every shard measures the same cells the
+//!    unsharded sweep would;
+//! 2. fragments serialize `f64` savings in Rust's shortest round-trip
+//!    form (see [`crate::json`]), so a loaded fragment carries the
+//!    identical bits a freshly computed one would;
+//! 3. per-point aggregates are order-insensitive sums, and the savings
+//!    distribution is re-sorted (by total order) after concatenation,
+//!    so shard boundaries cannot reorder the merged result.
+//!
+//! A fragment records a **fingerprint** of the generating configuration
+//! (shape knobs, sweep points, executor, seed range, shard count);
+//! loading a fragment whose fingerprint disagrees fails loudly rather
+//! than merging numbers from a different sweep.
+
+use crate::json::{self, Json};
+use crate::sweep::{run_sweep, PointSummary, SweepConfig, SweepReport};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use zolc_gen::Feature;
+
+/// Fragment format version (bumped on incompatible layout changes).
+const FRAGMENT_VERSION: u64 = 1;
+
+/// One shard of a sweep's seed range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Shard index (0-based, dense).
+    pub index: usize,
+    /// First seed of the shard.
+    pub seed_start: u64,
+    /// Programs (= seeds) in the shard.
+    pub programs: usize,
+}
+
+/// Splits `cfg`'s seed range into `shards` deterministic contiguous
+/// chunks, as evenly as possible (sizes differ by at most one; the
+/// split depends only on `(programs, shards)`).
+///
+/// # Panics
+///
+/// Panics when `shards` is 0.
+pub fn shard_plan(cfg: &SweepConfig, shards: usize) -> Vec<ShardPlan> {
+    assert!(shards > 0, "a sweep needs at least one shard");
+    (0..shards)
+        .map(|i| {
+            let lo = i * cfg.programs / shards;
+            let hi = (i + 1) * cfg.programs / shards;
+            ShardPlan {
+                index: i,
+                seed_start: cfg.base_seed + lo as u64,
+                programs: hi - lo,
+            }
+        })
+        .collect()
+}
+
+/// Outcome of [`run_sweep_sharded`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardedOutcome {
+    /// Every shard is done; the merged report was written to
+    /// `report.json` in the output directory.
+    Complete(SweepReport),
+    /// `stop_after` capped the number of freshly computed shards; the
+    /// sweep is resumable from the same directory.
+    Stopped {
+        /// Shards with a fragment on disk (loaded or just computed).
+        done: usize,
+        /// Total shards of the plan.
+        total: usize,
+    },
+}
+
+/// Runs `cfg` split into `shards` shards, persisting one JSON fragment
+/// per shard under `out_dir` and resuming from any fragments already
+/// there. `stop_after` bounds the number of shards *computed* in this
+/// invocation (fragments loaded from disk are free) — the deterministic
+/// stand-in for being killed mid-sweep in tests and CI.
+///
+/// On completion the merged [`SweepReport`] is also written to
+/// `out_dir/report.json`.
+///
+/// # Errors
+///
+/// I/O errors creating, reading or writing the output directory, and
+/// validation failures on existing fragments (wrong fingerprint, shard
+/// shape, or malformed JSON) — the latter surfaced as
+/// [`io::ErrorKind::InvalidData`] so a stale directory fails loudly
+/// instead of contaminating the merge.
+///
+/// # Panics
+///
+/// Panics where [`run_sweep`] panics: a cell that fails to build, run
+/// or verify bit-exactly.
+pub fn run_sweep_sharded(
+    cfg: &SweepConfig,
+    shards: usize,
+    out_dir: &Path,
+    stop_after: Option<usize>,
+) -> io::Result<ShardedOutcome> {
+    fs::create_dir_all(out_dir)?;
+    let plans = shard_plan(cfg, shards);
+    let fingerprint = sweep_fingerprint(cfg, shards);
+    let mut reports = Vec::with_capacity(plans.len());
+    let mut computed = 0usize;
+    for plan in &plans {
+        let path = fragment_path(out_dir, plan.index);
+        if path.is_file() {
+            let text = fs::read_to_string(&path)?;
+            let report = decode_fragment(&text, &fingerprint, plan, cfg)
+                .map_err(|e| invalid(format!("{}: {e}", path.display())))?;
+            reports.push(report);
+            continue;
+        }
+        if stop_after.is_some_and(|k| computed >= k) {
+            return Ok(ShardedOutcome::Stopped {
+                done: reports.len(),
+                total: plans.len(),
+            });
+        }
+        let sub = SweepConfig {
+            programs: plan.programs,
+            base_seed: plan.seed_start,
+            gen: cfg.gen.clone(),
+            points: cfg.points.clone(),
+            executor: cfg.executor,
+        };
+        let report = run_sweep(&sub);
+        write_atomic(&path, &encode_fragment(&report, &fingerprint, plan, shards))?;
+        reports.push(report);
+        computed += 1;
+    }
+    let merged = merge_reports(reports);
+    write_atomic(&out_dir.join("report.json"), &report_json(&merged).render())?;
+    Ok(ShardedOutcome::Complete(merged))
+}
+
+/// The fragment file for shard `index` under `out_dir`.
+pub fn fragment_path(out_dir: &Path, index: usize) -> PathBuf {
+    out_dir.join(format!("shard-{index:04}.json"))
+}
+
+/// Merges per-shard reports (in shard order) into the report the
+/// unsharded sweep would produce: order-insensitive sums plus a final
+/// total-order re-sort of each savings distribution.
+pub fn merge_reports(reports: Vec<SweepReport>) -> SweepReport {
+    let mut merged = SweepReport {
+        programs: 0,
+        cells: 0,
+        total_loops: 0,
+        points: Vec::new(),
+    };
+    for r in reports {
+        merged.programs += r.programs;
+        merged.cells += r.cells;
+        merged.total_loops += r.total_loops;
+        if merged.points.is_empty() {
+            merged.points = r.points;
+            continue;
+        }
+        assert_eq!(
+            merged.points.len(),
+            r.points.len(),
+            "fragments disagree on sweep points"
+        );
+        for (acc, p) in merged.points.iter_mut().zip(r.points) {
+            assert_eq!(acc.label, p.label, "fragments disagree on point order");
+            acc.hw_loops += p.hw_loops;
+            acc.unhandled += p.unhandled;
+            for (a, c) in acc.coverage.iter_mut().zip(p.coverage) {
+                a.1 += c.1;
+                a.2 += c.2;
+            }
+            acc.savings.extend(p.savings);
+        }
+    }
+    for p in &mut merged.points {
+        p.savings.sort_by(f64::total_cmp);
+    }
+    merged
+}
+
+/// A stable fingerprint of everything that shapes a sweep's numbers.
+///
+/// FNV-1a over a canonical rendering of the configuration; two sweeps
+/// share a fingerprint iff their fragments are interchangeable.
+pub fn sweep_fingerprint(cfg: &SweepConfig, shards: usize) -> String {
+    let mut canon = format!(
+        "v{FRAGMENT_VERSION};programs={};base_seed={};shards={shards};gen={:?};executor={:?}",
+        cfg.programs, cfg.base_seed, cfg.gen, cfg.executor
+    );
+    for p in &cfg.points {
+        canon.push_str(&format!(";point={}:{:?}", p.label, p.config));
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canon.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("zolc-sweep-{hash:016x}")
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Writes `text` to `path` atomically: a kill between any two syscalls
+/// leaves either the old file or no file, never a torn fragment.
+fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, text)?;
+    fs::rename(&tmp, path)
+}
+
+// ---- fragment encoding -------------------------------------------------
+
+fn report_json(r: &SweepReport) -> Json {
+    Json::Obj(vec![
+        ("programs".into(), Json::u64(r.programs as u64)),
+        ("cells".into(), Json::u64(r.cells as u64)),
+        ("total_loops".into(), Json::u64(r.total_loops as u64)),
+        (
+            "points".into(),
+            Json::Arr(r.points.iter().map(point_json).collect()),
+        ),
+    ])
+}
+
+fn point_json(p: &PointSummary) -> Json {
+    Json::Obj(vec![
+        ("label".into(), Json::Str(p.label.clone())),
+        ("hw_loops".into(), Json::u64(p.hw_loops as u64)),
+        ("unhandled".into(), Json::u64(p.unhandled as u64)),
+        (
+            // stored in Feature::ALL order as [handled, total] pairs
+            "coverage".into(),
+            Json::Arr(
+                p.coverage
+                    .iter()
+                    .map(|&(_, handled, total)| {
+                        Json::Arr(vec![Json::u64(handled as u64), Json::u64(total as u64)])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "savings".into(),
+            Json::Arr(p.savings.iter().map(|&s| Json::f64(s)).collect()),
+        ),
+    ])
+}
+
+fn encode_fragment(
+    report: &SweepReport,
+    fingerprint: &str,
+    plan: &ShardPlan,
+    shards: usize,
+) -> String {
+    Json::Obj(vec![
+        ("version".into(), Json::u64(FRAGMENT_VERSION)),
+        ("fingerprint".into(), Json::Str(fingerprint.to_owned())),
+        ("shard".into(), Json::u64(plan.index as u64)),
+        ("shards".into(), Json::u64(shards as u64)),
+        ("seed_start".into(), Json::u64(plan.seed_start)),
+        ("programs".into(), Json::u64(plan.programs as u64)),
+        ("report".into(), report_json(report)),
+    ])
+    .render()
+}
+
+// ---- fragment decoding -------------------------------------------------
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn usize_field(obj: &Json, key: &str) -> Result<usize, String> {
+    field(obj, key)?
+        .as_u64()
+        .map(|v| v as usize)
+        .ok_or_else(|| format!("field `{key}` is not an integer"))
+}
+
+fn decode_fragment(
+    text: &str,
+    fingerprint: &str,
+    plan: &ShardPlan,
+    cfg: &SweepConfig,
+) -> Result<SweepReport, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let version = usize_field(&doc, "version")?;
+    if version as u64 != FRAGMENT_VERSION {
+        return Err(format!("fragment version {version} != {FRAGMENT_VERSION}"));
+    }
+    let fp = field(&doc, "fingerprint")?
+        .as_str()
+        .ok_or("fingerprint is not a string")?;
+    if fp != fingerprint {
+        return Err(format!(
+            "fragment belongs to a different sweep (fingerprint {fp}, expected {fingerprint}) — \
+             use a fresh --out directory or delete the stale fragments"
+        ));
+    }
+    if usize_field(&doc, "shard")? != plan.index
+        || usize_field(&doc, "seed_start")? != plan.seed_start as usize
+        || usize_field(&doc, "programs")? != plan.programs
+    {
+        return Err("fragment shard bounds disagree with the plan".into());
+    }
+    let report = field(&doc, "report")?;
+    decode_report(report, cfg)
+}
+
+fn decode_report(doc: &Json, cfg: &SweepConfig) -> Result<SweepReport, String> {
+    let points_doc = field(doc, "points")?
+        .as_arr()
+        .ok_or("`points` is not an array")?;
+    if points_doc.len() != cfg.points.len() {
+        return Err(format!(
+            "fragment has {} points, sweep has {}",
+            points_doc.len(),
+            cfg.points.len()
+        ));
+    }
+    let mut points = Vec::with_capacity(points_doc.len());
+    for (pdoc, expected) in points_doc.iter().zip(&cfg.points) {
+        let label = field(pdoc, "label")?
+            .as_str()
+            .ok_or("`label` is not a string")?;
+        if label != expected.label {
+            return Err(format!(
+                "point label `{label}` disagrees with sweep point `{}`",
+                expected.label
+            ));
+        }
+        let coverage_doc = field(pdoc, "coverage")?
+            .as_arr()
+            .ok_or("`coverage` is not an array")?;
+        if coverage_doc.len() != Feature::ALL.len() {
+            return Err(format!(
+                "coverage has {} entries, expected {}",
+                coverage_doc.len(),
+                Feature::ALL.len()
+            ));
+        }
+        let mut coverage = Vec::with_capacity(Feature::ALL.len());
+        for (&feature, c) in Feature::ALL.iter().zip(coverage_doc) {
+            let pair = c
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or("bad coverage pair")?;
+            let handled = pair[0].as_u64().ok_or("bad coverage count")? as usize;
+            let total = pair[1].as_u64().ok_or("bad coverage count")? as usize;
+            coverage.push((feature, handled, total));
+        }
+        let savings = field(pdoc, "savings")?
+            .as_arr()
+            .ok_or("`savings` is not an array")?
+            .iter()
+            .map(|v| v.as_f64().ok_or("bad savings number"))
+            .collect::<Result<Vec<f64>, _>>()?;
+        points.push(PointSummary {
+            label: label.to_owned(),
+            hw_loops: usize_field(pdoc, "hw_loops")?,
+            unhandled: usize_field(pdoc, "unhandled")?,
+            coverage,
+            savings,
+        });
+    }
+    Ok(SweepReport {
+        programs: usize_field(doc, "programs")?,
+        cells: usize_field(doc, "cells")?,
+        total_loops: usize_field(doc, "total_loops")?,
+        points,
+    })
+}
+
+impl fmt::Display for ShardedOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardedOutcome::Complete(r) => r.fmt(f),
+            ShardedOutcome::Stopped { done, total } => write!(
+                f,
+                "stopped after {done}/{total} shards (resume with the same --out directory)"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepPoint;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use zolc_core::ZolcConfig;
+    use zolc_gen::GenConfig;
+    use zolc_sim::ExecutorKind;
+
+    fn small_cfg() -> SweepConfig {
+        SweepConfig {
+            programs: 10,
+            base_seed: 300,
+            gen: GenConfig::default(),
+            points: vec![
+                SweepPoint {
+                    label: "ZOLClite".into(),
+                    config: ZolcConfig::lite(),
+                },
+                SweepPoint {
+                    label: "uZOLC".into(),
+                    config: ZolcConfig::micro(),
+                },
+            ],
+            executor: ExecutorKind::CycleAccurate,
+        }
+    }
+
+    /// A unique, cleaned-up scratch directory per test.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            static SEQ: AtomicUsize = AtomicUsize::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "zolc-shard-{tag}-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            if dir.exists() {
+                fs::remove_dir_all(&dir).expect("clean stale scratch");
+            }
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn shard_plan_partitions_the_seed_range_exactly() {
+        let cfg = small_cfg();
+        for shards in 1..=12 {
+            let plan = shard_plan(&cfg, shards);
+            assert_eq!(plan.len(), shards);
+            assert_eq!(plan[0].seed_start, cfg.base_seed);
+            let total: usize = plan.iter().map(|p| p.programs).sum();
+            assert_eq!(total, cfg.programs, "{shards} shards");
+            for w in plan.windows(2) {
+                assert_eq!(
+                    w[0].seed_start + w[0].programs as u64,
+                    w[1].seed_start,
+                    "gap or overlap at shard {}",
+                    w[1].index
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resume_reproduces_unsharded_report_byte_identically() {
+        let cfg = small_cfg();
+        let unsharded = run_sweep(&cfg);
+
+        // sharded run, "killed" after the first freshly computed shard
+        let scratch = Scratch::new("resume");
+        let stopped = run_sweep_sharded(&cfg, 4, &scratch.0, Some(1)).unwrap();
+        assert_eq!(stopped, ShardedOutcome::Stopped { done: 1, total: 4 });
+        assert!(fragment_path(&scratch.0, 0).is_file());
+        assert!(!fragment_path(&scratch.0, 1).exists());
+
+        // resume: shard 0 loads from disk, the rest compute
+        let resumed = match run_sweep_sharded(&cfg, 4, &scratch.0, None).unwrap() {
+            ShardedOutcome::Complete(r) => r,
+            other => panic!("expected completion, got {other:?}"),
+        };
+        assert_eq!(resumed, unsharded, "merged report differs from unsharded");
+        assert_eq!(resumed.to_string(), unsharded.to_string());
+
+        // and a third run is a pure cache hit with the identical report
+        let cached = match run_sweep_sharded(&cfg, 4, &scratch.0, Some(0)).unwrap() {
+            ShardedOutcome::Complete(r) => r,
+            other => panic!("expected cached completion, got {other:?}"),
+        };
+        assert_eq!(cached, unsharded);
+        let on_disk = fs::read_to_string(scratch.0.join("report.json")).unwrap();
+        assert_eq!(on_disk, report_json(&unsharded).render());
+    }
+
+    #[test]
+    fn fragments_from_a_different_sweep_are_rejected() {
+        let cfg = small_cfg();
+        let scratch = Scratch::new("reject");
+        match run_sweep_sharded(&cfg, 2, &scratch.0, None).unwrap() {
+            ShardedOutcome::Complete(_) => {}
+            other => panic!("expected completion, got {other:?}"),
+        }
+        // same directory, different sweep (seed range shifted)
+        let other = SweepConfig {
+            base_seed: cfg.base_seed + 1,
+            ..small_cfg()
+        };
+        let err = run_sweep_sharded(&other, 2, &scratch.0, None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("different sweep"), "{err}");
+    }
+
+    #[test]
+    fn torn_fragments_cannot_exist_but_corrupt_ones_fail_loudly() {
+        let cfg = small_cfg();
+        let scratch = Scratch::new("corrupt");
+        fs::create_dir_all(&scratch.0).unwrap();
+        fs::write(fragment_path(&scratch.0, 0), "{\"version\": 1").unwrap();
+        let err = run_sweep_sharded(&cfg, 2, &scratch.0, None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn fragment_roundtrip_preserves_savings_bits() {
+        let cfg = small_cfg();
+        let plan = ShardPlan {
+            index: 0,
+            seed_start: cfg.base_seed,
+            programs: cfg.programs,
+        };
+        let report = run_sweep(&cfg);
+        assert!(
+            report.points.iter().any(|p| !p.savings.is_empty()),
+            "test needs savings data"
+        );
+        let fp = sweep_fingerprint(&cfg, 1);
+        let text = encode_fragment(&report, &fp, &plan, 1);
+        let back = decode_fragment(&text, &fp, &plan, &cfg).unwrap();
+        assert_eq!(back, report);
+        for (a, b) in report.points.iter().zip(&back.points) {
+            for (x, y) in a.savings.iter().zip(&b.savings) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_knob() {
+        let cfg = small_cfg();
+        let base = sweep_fingerprint(&cfg, 4);
+        assert_eq!(base, sweep_fingerprint(&small_cfg(), 4), "not stable");
+        let mut seeds = small_cfg();
+        seeds.base_seed += 1;
+        let mut trips = small_cfg();
+        trips.gen.max_trips += 1;
+        let mut exec = small_cfg();
+        exec.executor = ExecutorKind::Functional;
+        let mut points = small_cfg();
+        points.points.pop();
+        for (what, other) in [
+            ("shards", sweep_fingerprint(&cfg, 5)),
+            ("base_seed", sweep_fingerprint(&seeds, 4)),
+            ("gen knobs", sweep_fingerprint(&trips, 4)),
+            ("executor", sweep_fingerprint(&exec, 4)),
+            ("points", sweep_fingerprint(&points, 4)),
+        ] {
+            assert_ne!(base, other, "fingerprint ignores {what}");
+        }
+    }
+}

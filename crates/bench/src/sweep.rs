@@ -24,7 +24,7 @@
 //! configuration) and the distribution of cycle savings per
 //! configuration.
 
-use crate::matrix::{par_map, BuildMode, JobMatrix, MAX_CYCLES};
+use crate::matrix::{par_map, BuildMode, JobMatrix, MAX_FUEL};
 use crate::table::render_table;
 use std::fmt;
 use std::sync::Arc;
@@ -81,7 +81,7 @@ impl GeneratedProgram {
             ExecutorKind::Functional,
             &assembled.program,
             &mut NullEngine,
-            MAX_CYCLES,
+            MAX_FUEL,
         )
         .unwrap_or_else(|e| panic!("{name}: reference run failed: {e}"));
         let words = fin
@@ -152,12 +152,20 @@ impl SweepConfig {
     /// The program count defaults to 400 (= 2000 cells) and scales with
     /// the `ZOLC_E7_PROGRAMS` environment variable — CI's bench smoke
     /// sets a smaller budget, still ≥ 1000 cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ZOLC_E7_PROGRAMS` is set but malformed (not a
+    /// positive integer, or not unicode): a knob typo must fail the run
+    /// loudly, never silently fall back to the default sweep size.
     pub fn standard() -> SweepConfig {
-        let programs = std::env::var("ZOLC_E7_PROGRAMS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(400)
-            .max(1);
+        let programs = match std::env::var("ZOLC_E7_PROGRAMS") {
+            Ok(raw) => parse_programs_knob(&raw),
+            Err(std::env::VarError::NotPresent) => 400,
+            Err(e @ std::env::VarError::NotUnicode(_)) => {
+                panic!("ZOLC_E7_PROGRAMS is not valid unicode: {e}")
+            }
+        };
         SweepConfig {
             programs,
             base_seed: 1,
@@ -191,8 +199,21 @@ impl SweepConfig {
     }
 }
 
+/// Parses the `ZOLC_E7_PROGRAMS` value, failing loudly — with the
+/// offending string — on anything but a positive integer.
+fn parse_programs_knob(raw: &str) -> usize {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => panic!("ZOLC_E7_PROGRAMS must be >= 1, got `{raw}`"),
+        Ok(n) => n,
+        Err(e) => panic!("ZOLC_E7_PROGRAMS must be a positive integer, got `{raw}`: {e}"),
+    }
+}
+
 /// Per-configuration aggregation of one sweep.
-#[derive(Debug, Clone)]
+///
+/// Equality is exact (including bitwise `f64` comparison of the savings
+/// distribution) — it backs the sharded-sweep byte-identity guarantee.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PointSummary {
     /// Display label of the configuration.
     pub label: String,
@@ -227,8 +248,9 @@ impl PointSummary {
     }
 }
 
-/// The aggregated result of one sweep (render with `Display`).
-#[derive(Debug, Clone)]
+/// The aggregated result of one sweep (render with `Display`; persist
+/// and resume with [`run_sweep_sharded`](crate::run_sweep_sharded)).
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
     /// Programs swept.
     pub programs: usize,
@@ -511,6 +533,24 @@ mod tests {
         let report = run_sweep(&cfg);
         assert!(report.points.iter().all(|p| p.savings.is_empty()));
         assert!(report.points[0].hw_loops > 0);
+    }
+
+    #[test]
+    fn programs_knob_accepts_positive_integers() {
+        assert_eq!(parse_programs_knob("25"), 25);
+        assert_eq!(parse_programs_knob(" 400 "), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "ZOLC_E7_PROGRAMS must be a positive integer, got `40O`")]
+    fn programs_knob_rejects_malformed_values_loudly() {
+        parse_programs_knob("40O"); // letter O, the classic typo
+    }
+
+    #[test]
+    #[should_panic(expected = "ZOLC_E7_PROGRAMS must be >= 1")]
+    fn programs_knob_rejects_zero_loudly() {
+        parse_programs_knob("0");
     }
 
     #[test]

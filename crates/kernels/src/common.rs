@@ -126,41 +126,43 @@ impl KernelRun {
 /// against its reference expectation.
 ///
 /// Shorthand for [`run_kernel_with`] on [`ExecutorKind::CycleAccurate`];
-/// use that directly to pick the fast functional executor when cycle
-/// counts are not needed.
+/// use that directly to pick one of the fast functional tiers when
+/// cycle counts are not needed.
 ///
 /// # Errors
 ///
-/// Propagates simulator [`RunError`]s (cycle limit, memory fault).
-pub fn run_kernel(built: &BuiltKernel, max_cycles: u64) -> Result<KernelRun, RunError> {
-    run_kernel_with(built, max_cycles, ExecutorKind::CycleAccurate)
+/// Propagates simulator [`RunError`]s (fuel exhausted, memory fault).
+pub fn run_kernel(built: &BuiltKernel, fuel: u64) -> Result<KernelRun, RunError> {
+    run_kernel_with(built, fuel, ExecutorKind::CycleAccurate)
 }
 
 /// Runs a built kernel on the chosen executor and checks it against its
 /// reference expectation.
 ///
 /// The correct loop engine is attached automatically (the [`Zolc`]
-/// controller for ZOLC targets, [`NullEngine`] otherwise). On
-/// [`ExecutorKind::Functional`] the returned statistics carry no cycle
-/// counts but identical architectural event counts, and `budget` bounds
-/// retired instructions rather than cycles.
+/// controller for ZOLC targets, [`NullEngine`] otherwise). `fuel`
+/// bounds retired instructions with the same meaning on every executor
+/// (see [`zolc_sim::Executor::run`]). On the functional tiers
+/// ([`ExecutorKind::Functional`] / [`ExecutorKind::Compiled`]) the
+/// returned statistics carry no cycle counts but identical
+/// architectural event counts.
 ///
 /// # Errors
 ///
-/// Propagates simulator [`RunError`]s (budget exhausted, memory fault).
+/// Propagates simulator [`RunError`]s (fuel exhausted, memory fault).
 pub fn run_kernel_with(
     built: &BuiltKernel,
-    budget: u64,
+    fuel: u64,
     executor: ExecutorKind,
 ) -> Result<KernelRun, RunError> {
     let (finished, violations) = match &built.target {
         Target::Zolc(cfg) => {
             let mut z = Zolc::new(*cfg);
-            let fin = run_program_on(executor, &built.program, &mut z, budget)?;
+            let fin = run_program_on(executor, &built.program, &mut z, fuel)?;
             (fin, z.violations().to_vec())
         }
         _ => {
-            let fin = run_program_on(executor, &built.program, &mut NullEngine, budget)?;
+            let fin = run_program_on(executor, &built.program, &mut NullEngine, fuel)?;
             (fin, Vec::new())
         }
     };
@@ -248,16 +250,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn both_executors_agree_on_a_kernel() {
+    fn all_executors_agree_on_a_kernel() {
         for target in fig2_targets() {
             let built = crate::build_vec_mac(&target).expect("builds");
             let slow = run_kernel_with(&built, 10_000_000, ExecutorKind::CycleAccurate).unwrap();
-            let fast = run_kernel_with(&built, 10_000_000, ExecutorKind::Functional).unwrap();
             assert!(slow.is_correct(), "{target}: {:?}", slow.mismatches);
-            assert!(fast.is_correct(), "{target}: {:?}", fast.mismatches);
-            assert_eq!(slow.stats.retired, fast.stats.retired, "{target}");
             assert!(slow.stats.cycles > 0);
-            assert_eq!(fast.stats.cycles, 0);
+            for kind in [ExecutorKind::Functional, ExecutorKind::Compiled] {
+                let fast = run_kernel_with(&built, 10_000_000, kind).unwrap();
+                assert!(fast.is_correct(), "{target}/{kind}: {:?}", fast.mismatches);
+                assert_eq!(slow.stats.retired, fast.stats.retired, "{target}/{kind}");
+                assert_eq!(fast.stats.cycles, 0);
+            }
         }
     }
 

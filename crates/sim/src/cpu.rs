@@ -47,13 +47,31 @@ pub enum RunError {
         /// The faulting fetch address.
         pc: u32,
     },
-    /// The run budget — cycles on the cycle-accurate executor, retired
-    /// instructions on the functional one — was exhausted without
-    /// reaching `halt`.
-    CycleLimit {
-        /// The configured limit.
-        limit: u64,
+    /// Execution reached a non-4-aligned pc (a non-speculative fetch
+    /// fault). The address is reported as-is — it is never truncated to
+    /// the containing instruction.
+    MisalignedFetch {
+        /// The faulting (misaligned) fetch address.
+        pc: u32,
     },
+    /// The run fuel — a retired-instruction budget with identical
+    /// meaning on every executor (see [`Executor::run`]) — was exhausted
+    /// without reaching `halt`.
+    OutOfFuel {
+        /// The configured fuel budget.
+        fuel: u64,
+    },
+}
+
+impl RunError {
+    /// Maps a fetch fault at `pc` to the matching run error (used by
+    /// every executor when a fetch is, or becomes, architectural).
+    pub(crate) fn from_fetch(e: crate::exec::FetchError, pc: u32) -> RunError {
+        match e {
+            crate::exec::FetchError::Misaligned => RunError::MisalignedFetch { pc },
+            crate::exec::FetchError::OutOfText => RunError::PcOutOfText { pc },
+        }
+    }
 }
 
 impl fmt::Display for RunError {
@@ -61,8 +79,11 @@ impl fmt::Display for RunError {
         match self {
             RunError::Mem(e) => write!(f, "memory fault: {e}"),
             RunError::PcOutOfText { pc } => write!(f, "execution left the text segment at {pc:#x}"),
-            RunError::CycleLimit { limit } => {
-                write!(f, "run budget of {limit} cycles/instructions exceeded")
+            RunError::MisalignedFetch { pc } => {
+                write!(f, "instruction fetch at misaligned address {pc:#x}")
+            }
+            RunError::OutOfFuel { fuel } => {
+                write!(f, "fuel budget of {fuel} retired instructions exceeded")
             }
         }
     }
@@ -98,13 +119,22 @@ pub struct RetireEvent {
 
 /// A processor core that can load and run programs.
 ///
-/// Both executors implement this trait so harness code (kernels, the
-/// experiment matrix, property tests) can run either without caring
-/// which; pick one with [`ExecutorKind`]. The `budget` passed to
-/// [`Executor::run`] bounds *cycles* on the cycle-accurate executor and
-/// *retired instructions* on the functional one — since an instruction
-/// costs at least one cycle, a budget sufficient for the pipeline is
-/// always sufficient functionally.
+/// All executors implement this trait so harness code (kernels, the
+/// experiment matrix, property tests) can run any of them without caring
+/// which; pick one with [`ExecutorKind`].
+///
+/// # Fuel semantics
+///
+/// The `fuel` passed to [`Executor::run`] is a **retired-instruction
+/// budget with one meaning on every executor**: the run fails with
+/// [`RunError::OutOfFuel`] the moment it would need to retire more than
+/// `fuel` instructions. Because retirement is architectural, the same
+/// program exhausts the same fuel at the same instruction on the
+/// cycle-accurate, functional and compiled executors — a matrix budget
+/// times out at one well-defined point regardless of backend. (The
+/// cycle-accurate executor additionally caps *cycles* at a large
+/// documented multiple of `fuel` purely as a liveness valve against
+/// simulator deadlock bugs; real programs retire long before it.)
 pub trait Executor {
     /// Which executor implementation this is.
     fn kind(&self) -> ExecutorKind;
@@ -118,15 +148,19 @@ pub trait Executor {
     /// Returns a [`MemError`] if a segment does not fit in memory.
     fn load_program(&mut self, program: &Program) -> Result<(), MemError>;
 
-    /// Runs until `halt` retires or the budget elapses.
+    /// Runs until `halt` retires or the fuel (retired-instruction
+    /// budget; see the trait docs) is exhausted.
     ///
     /// # Errors
     ///
-    /// * [`RunError::CycleLimit`] if `halt` is not reached in budget;
+    /// * [`RunError::OutOfFuel`] if `halt` does not retire within `fuel`
+    ///   retired instructions;
     /// * [`RunError::PcOutOfText`] if execution (non-speculatively)
     ///   leaves the text segment;
+    /// * [`RunError::MisalignedFetch`] if execution (non-speculatively)
+    ///   reaches a non-4-aligned pc;
     /// * [`RunError::Mem`] on a data access fault.
-    fn run(&mut self, engine: &mut dyn LoopEngine, budget: u64) -> Result<Stats, RunError>;
+    fn run(&mut self, engine: &mut dyn LoopEngine, fuel: u64) -> Result<Stats, RunError>;
 
     /// The register file.
     fn regs(&self) -> &RegFile;
@@ -150,12 +184,18 @@ pub trait Executor {
 /// Which executor implementation to run a program on.
 ///
 /// * [`ExecutorKind::CycleAccurate`] — the 5-stage pipeline: exact cycle
-///   counts (the paper's metric), slower to simulate;
+///   counts (the paper's metric), slowest to simulate;
 /// * [`ExecutorKind::Functional`] — architecture only: identical final
-///   registers, memory and retire counts, no cycle counts; ~5–6× faster
-///   on controller-less cores, ~1.5× under a ZOLC controller (whose
-///   modeling cost dominates both executors). Use it for correctness
-///   sweeps, differential testing and input-space exploration.
+///   registers, memory and retire counts, no cycle counts; ~3–5× faster
+///   than the pipeline on controller-less cores, ~1.5× under a ZOLC
+///   controller (whose modeling cost dominates every executor);
+/// * [`ExecutorKind::Compiled`] — the block-compiled functional
+///   executor: same architectural results as `Functional` (the
+///   three-way `prop_exec_equiv` suite enforces it), dispatching
+///   predecoded basic-block superinstructions instead of single
+///   instructions. Fastest tier on passive engines; degenerates to the
+///   functional step core under an active loop controller. Use it for
+///   the largest correctness sweeps and design-space exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[non_exhaustive]
 pub enum ExecutorKind {
@@ -164,6 +204,9 @@ pub enum ExecutorKind {
     CycleAccurate,
     /// The fast functional executor ([`FunctionalCpu`]).
     Functional,
+    /// The block-compiled functional executor
+    /// ([`CompiledCpu`](crate::CompiledCpu)).
+    Compiled,
 }
 
 impl ExecutorKind {
@@ -172,8 +215,17 @@ impl ExecutorKind {
         match self {
             ExecutorKind::CycleAccurate => Box::new(Cpu::new(config)),
             ExecutorKind::Functional => Box::new(FunctionalCpu::new(config)),
+            ExecutorKind::Compiled => Box::new(crate::CompiledCpu::new(config)),
         }
     }
+
+    /// All executor kinds, in speed order (slowest first) — the axis the
+    /// differential suites and throughput benches iterate over.
+    pub const ALL: [ExecutorKind; 3] = [
+        ExecutorKind::CycleAccurate,
+        ExecutorKind::Functional,
+        ExecutorKind::Compiled,
+    ];
 }
 
 impl fmt::Display for ExecutorKind {
@@ -181,6 +233,7 @@ impl fmt::Display for ExecutorKind {
         f.write_str(match self {
             ExecutorKind::CycleAccurate => "cycle-accurate",
             ExecutorKind::Functional => "functional",
+            ExecutorKind::Compiled => "compiled",
         })
     }
 }
@@ -199,15 +252,16 @@ pub struct Finished<C = Cpu> {
 ///
 /// # Errors
 ///
-/// Propagates any [`RunError`]; the cycle limit is `max_cycles`.
+/// Propagates any [`RunError`]; `fuel` bounds retired instructions (the
+/// unified fuel semantic of [`Executor::run`]).
 pub fn run_program(
     program: &Program,
     engine: &mut dyn LoopEngine,
-    max_cycles: u64,
+    fuel: u64,
 ) -> Result<Finished, RunError> {
     let mut cpu = Cpu::new(CpuConfig::default());
     cpu.load_program(program)?;
-    let stats = cpu.run(engine, max_cycles)?;
+    let stats = cpu.run(engine, fuel)?;
     Ok(Finished { stats, cpu })
 }
 
@@ -216,17 +270,19 @@ pub fn run_program(
 ///
 /// # Errors
 ///
-/// Propagates any [`RunError`]; `budget` bounds cycles (cycle-accurate)
-/// or retired instructions (functional).
+/// Propagates any [`RunError`]; `fuel` bounds retired instructions
+/// identically on every executor kind (see [`Executor::run`]), so the
+/// same program exhausts the same fuel at the same instruction no matter
+/// which backend runs it.
 pub fn run_program_on(
     kind: ExecutorKind,
     program: &Program,
     engine: &mut dyn LoopEngine,
-    budget: u64,
+    fuel: u64,
 ) -> Result<Finished<Box<dyn Executor>>, RunError> {
     let mut cpu = kind.new_core(CpuConfig::default());
     cpu.load_program(program)?;
-    let stats = cpu.run(engine, budget)?;
+    let stats = cpu.run(engine, fuel)?;
     Ok(Finished { stats, cpu })
 }
 
@@ -239,7 +295,7 @@ mod tests {
     #[test]
     fn run_program_on_selects_the_executor() {
         let p = assemble("li r1, 7\naddi r1, r1, 35\nhalt").unwrap();
-        for kind in [ExecutorKind::CycleAccurate, ExecutorKind::Functional] {
+        for kind in ExecutorKind::ALL {
             let f = run_program_on(kind, &p, &mut NullEngine, 10_000).unwrap();
             assert_eq!(f.cpu.kind(), kind);
             assert_eq!(f.cpu.regs().read(reg(1)), 42);
@@ -248,10 +304,12 @@ mod tests {
     }
 
     #[test]
-    fn functional_reports_no_cycles() {
+    fn functional_tiers_report_no_cycles() {
         let p = assemble("nop\nhalt").unwrap();
-        let f = run_program_on(ExecutorKind::Functional, &p, &mut NullEngine, 100).unwrap();
-        assert_eq!(f.stats.cycles, 0);
+        for kind in [ExecutorKind::Functional, ExecutorKind::Compiled] {
+            let f = run_program_on(kind, &p, &mut NullEngine, 100).unwrap();
+            assert_eq!(f.stats.cycles, 0);
+        }
         let f = run_program_on(ExecutorKind::CycleAccurate, &p, &mut NullEngine, 100).unwrap();
         assert!(f.stats.cycles > 0);
     }
@@ -260,6 +318,8 @@ mod tests {
     fn executor_kind_labels() {
         assert_eq!(ExecutorKind::CycleAccurate.to_string(), "cycle-accurate");
         assert_eq!(ExecutorKind::Functional.to_string(), "functional");
+        assert_eq!(ExecutorKind::Compiled.to_string(), "compiled");
         assert_eq!(ExecutorKind::default(), ExecutorKind::CycleAccurate);
+        assert_eq!(ExecutorKind::ALL.len(), 3);
     }
 }

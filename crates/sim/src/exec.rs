@@ -21,11 +21,29 @@
 use crate::mem::{MemError, Memory};
 use zolc_isa::{Instr, Program, Reg, ZolcCtl, ZolcRegion, TEXT_BASE};
 
+/// Why an instruction fetch failed (see [`TextImage::fetch`]).
+///
+/// The two causes are architecturally distinct faults: a misaligned pc
+/// must never be silently truncated to the containing instruction, and
+/// an aligned pc past the end of text is the classic run-off-the-end
+/// fault. Executors map them to
+/// [`RunError::MisalignedFetch`](crate::RunError::MisalignedFetch) and
+/// [`RunError::PcOutOfText`](crate::RunError::PcOutOfText) respectively
+/// when the fetch is (or becomes) architectural.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchError {
+    /// The pc is not 4-byte aligned.
+    Misaligned,
+    /// The (aligned) pc lies outside the text segment.
+    OutOfText,
+}
+
 /// The text segment, decoded once at load time (the predecode layer).
 ///
-/// Both executors fetch through this dense array instead of re-decoding
-/// memory words; [`TextImage::get`] returns `None` for misaligned or
-/// out-of-text addresses, which the caller turns into a fetch fault.
+/// All executors fetch through this dense array instead of re-decoding
+/// memory words; [`TextImage::fetch`] distinguishes misaligned from
+/// out-of-text addresses ([`FetchError`]), which the caller turns into
+/// the matching fetch fault.
 #[derive(Debug, Clone, Default)]
 pub struct TextImage {
     instrs: Vec<Instr>,
@@ -39,14 +57,29 @@ impl TextImage {
         }
     }
 
-    /// The instruction at byte address `pc`, or `None` when `pc` is
-    /// misaligned or outside the text segment.
-    pub fn get(&self, pc: u32) -> Option<Instr> {
+    /// The instruction at byte address `pc`.
+    ///
+    /// # Errors
+    ///
+    /// * [`FetchError::Misaligned`] when `pc` is not 4-byte aligned — the
+    ///   address is never truncated to the containing instruction;
+    /// * [`FetchError::OutOfText`] when `pc` is outside the text segment.
+    pub fn fetch(&self, pc: u32) -> Result<Instr, FetchError> {
         if !pc.is_multiple_of(4) {
-            return None;
+            return Err(FetchError::Misaligned);
         }
         let idx = pc.wrapping_sub(TEXT_BASE) / 4;
-        self.instrs.get(idx as usize).copied()
+        self.instrs
+            .get(idx as usize)
+            .copied()
+            .ok_or(FetchError::OutOfText)
+    }
+
+    /// The instruction at byte address `pc`, or `None` when `pc` is
+    /// misaligned or outside the text segment (use [`TextImage::fetch`]
+    /// when the two causes must be told apart).
+    pub fn get(&self, pc: u32) -> Option<Instr> {
+        self.fetch(pc).ok()
     }
 
     /// Number of decoded instructions.
@@ -459,5 +492,25 @@ mod tests {
         assert_eq!(t.get(zolc_isa::TEXT_BASE + 8), None);
         assert_eq!(t.get(zolc_isa::TEXT_BASE + 2), None);
         assert_eq!(t.get(zolc_isa::TEXT_BASE.wrapping_sub(4)), None);
+    }
+
+    #[test]
+    fn fetch_distinguishes_misaligned_from_out_of_text() {
+        let p = assemble("nop\nhalt").unwrap();
+        let t = TextImage::new(&p);
+        assert_eq!(t.fetch(zolc_isa::TEXT_BASE), Ok(Instr::Nop));
+        // a misaligned pc inside the text segment is never truncated to
+        // the containing instruction
+        for off in [1, 2, 3, 5, 6, 7] {
+            assert_eq!(
+                t.fetch(zolc_isa::TEXT_BASE + off),
+                Err(FetchError::Misaligned)
+            );
+        }
+        assert_eq!(t.fetch(zolc_isa::TEXT_BASE + 8), Err(FetchError::OutOfText));
+        assert_eq!(
+            t.fetch(zolc_isa::TEXT_BASE.wrapping_sub(4)),
+            Err(FetchError::OutOfText)
+        );
     }
 }

@@ -9,11 +9,17 @@
 //! pipeline's (the root `prop_exec_equiv` suite enforces this); cycle
 //! counts are not produced (`Stats::cycles` stays 0).
 //!
+//! The architectural machine state plus the per-instruction step core
+//! live in the crate-private [`Machine`], which this executor wraps
+//! one-to-one and the block-compiled tier ([`crate::CompiledCpu`])
+//! reuses as its fallback interpreter — one step core, bit-exact by
+//! construction across both functional tiers.
+//!
 //! Use it wherever architectural results are the point and cycles are
 //! not: correctness sweeps over many inputs, differential testing,
 //! reference runs for new kernels. On passive engines (no controller —
 //! see [`LoopEngine::is_passive`]) the hook calls vanish statically and
-//! it executes ~5–6× more instructions per second than the pipeline;
+//! it executes ~3–5× more instructions per second than the pipeline;
 //! with a ZOLC controller attached the controller model dominates both
 //! executors and the gain is ~1.5× (`cargo bench --bench sim_throughput`
 //! tracks the ratio per cell).
@@ -39,43 +45,27 @@ use crate::regfile::RegFile;
 use crate::stats::Stats;
 use zolc_isa::{Program, Reg, DATA_BASE, TEXT_BASE};
 
-/// The functional (architecture-only) simulated processor.
+/// The architectural machine state shared by the functional tiers, with
+/// the one-instruction step core both dispatch through.
 ///
-/// # Examples
-///
-/// ```
-/// use zolc_sim::{CpuConfig, FunctionalCpu, NullEngine};
-/// let program = zolc_isa::assemble("
-///     li   r1, 5
-///     li   r2, 0
-/// top: add  r2, r2, r1
-///     addi r1, r1, -1
-///     bne  r1, r0, top
-///     halt
-/// ").unwrap();
-/// let mut cpu = FunctionalCpu::new(CpuConfig::default());
-/// cpu.load_program(&program)?;
-/// let stats = cpu.run(&mut NullEngine, 10_000).unwrap();
-/// assert_eq!(cpu.regs().read(zolc_isa::reg(2)), 5 + 4 + 3 + 2 + 1);
-/// assert_eq!(stats.cycles, 0); // no timing model
-/// assert!(stats.retired > 0);
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
+/// `FunctionalCpu` is a thin wrapper running `step_instr` in a loop; the
+/// block-compiled executor mutates the same state from its compiled
+/// blocks and falls back to `step_instr` for everything a block cannot
+/// express — so the two tiers cannot drift apart architecturally.
 #[derive(Debug)]
-pub struct FunctionalCpu {
-    config: CpuConfig,
-    text: TextImage,
-    mem: Memory,
-    regs: RegFile,
-    pc: u32,
-    stats: Stats,
-    retire_log: Vec<RetireEvent>,
+pub(crate) struct Machine {
+    pub(crate) config: CpuConfig,
+    pub(crate) text: TextImage,
+    pub(crate) mem: Memory,
+    pub(crate) regs: RegFile,
+    pub(crate) pc: u32,
+    pub(crate) stats: Stats,
+    pub(crate) retire_log: Vec<RetireEvent>,
 }
 
-impl FunctionalCpu {
-    /// Creates a core with empty memory and no program loaded.
-    pub fn new(config: CpuConfig) -> FunctionalCpu {
-        FunctionalCpu {
+impl Machine {
+    pub(crate) fn new(config: CpuConfig) -> Machine {
+        Machine {
             config,
             text: TextImage::default(),
             mem: Memory::new(config.mem_size),
@@ -86,16 +76,7 @@ impl FunctionalCpu {
         }
     }
 
-    /// Loads a program image: text (predecoded and as bytes) and data
-    /// segment.
-    ///
-    /// Resets the PC to the start of text; registers and statistics are
-    /// left untouched so tests can pre-seed register state.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`MemError`] if a segment does not fit in memory.
-    pub fn load_program(&mut self, program: &Program) -> Result<(), MemError> {
+    pub(crate) fn load_program(&mut self, program: &Program) -> Result<(), MemError> {
         self.text = TextImage::new(program);
         self.mem.write_bytes(TEXT_BASE, &program.text_bytes())?;
         self.mem.write_bytes(DATA_BASE, program.data())?;
@@ -103,66 +84,32 @@ impl FunctionalCpu {
         Ok(())
     }
 
-    /// The data memory.
-    pub fn mem(&self) -> &Memory {
-        &self.mem
-    }
-
-    /// Mutable access to data memory (for seeding test inputs).
-    pub fn mem_mut(&mut self) -> &mut Memory {
-        &mut self.mem
-    }
-
-    /// The register file.
-    pub fn regs(&self) -> &RegFile {
-        &self.regs
-    }
-
-    /// Mutable access to the register file (for seeding test inputs).
-    pub fn regs_mut(&mut self) -> &mut RegFile {
-        &mut self.regs
-    }
-
-    /// Statistics of the run so far (`cycles` is always 0; event counters
-    /// match the pipeline's architectural counts).
-    pub fn stats(&self) -> &Stats {
-        &self.stats
-    }
-
-    /// The retire-order trace (empty unless `trace_retire` was set); the
-    /// `cycle` field holds the retire ordinal.
-    pub fn retire_log(&self) -> &[RetireEvent] {
-        &self.retire_log
-    }
-
-    /// Runs until `halt` retires or `max_instrs` instructions retire.
-    ///
-    /// # Errors
-    ///
-    /// * [`RunError::CycleLimit`] if `halt` is not reached in budget;
-    /// * [`RunError::PcOutOfText`] if execution leaves the text segment;
-    /// * [`RunError::Mem`] on a data access fault.
-    pub fn run(&mut self, engine: &mut dyn LoopEngine, max_instrs: u64) -> Result<Stats, RunError> {
-        // Monomorphize the interpreter loop over engine passivity: for a
-        // passive engine (no controller attached) the per-instruction
-        // hook calls and the `FetchDecision` copy vanish statically,
-        // which is most of the interpreter's overhead on plain cores.
+    /// The per-instruction interpreter loop, monomorphized over engine
+    /// passivity: for a passive engine (no controller attached) the
+    /// per-instruction hook calls and the `FetchDecision` copy vanish
+    /// statically, which is most of the interpreter's overhead on plain
+    /// cores.
+    pub(crate) fn run(
+        &mut self,
+        engine: &mut dyn LoopEngine,
+        fuel: u64,
+    ) -> Result<Stats, RunError> {
         if engine.is_passive() {
-            self.run_loop::<true>(engine, max_instrs)
+            self.run_loop::<true>(engine, fuel)
         } else {
-            self.run_loop::<false>(engine, max_instrs)
+            self.run_loop::<false>(engine, fuel)
         }
     }
 
     fn run_loop<const PASSIVE: bool>(
         &mut self,
         engine: &mut dyn LoopEngine,
-        max_instrs: u64,
+        fuel: u64,
     ) -> Result<Stats, RunError> {
-        let limit = self.stats.retired + max_instrs;
+        let limit = self.stats.retired + fuel;
         loop {
             if self.stats.retired >= limit {
-                return Err(RunError::CycleLimit { limit: max_instrs });
+                return Err(RunError::OutOfFuel { fuel });
             }
             if self.step_instr::<PASSIVE>(engine)? {
                 return Ok(self.stats);
@@ -172,16 +119,17 @@ impl FunctionalCpu {
 
     /// Executes one instruction to completion. Returns `true` when `halt`
     /// retires.
-    fn step_instr<const PASSIVE: bool>(
+    pub(crate) fn step_instr<const PASSIVE: bool>(
         &mut self,
         engine: &mut dyn LoopEngine,
     ) -> Result<bool, RunError> {
         let pc = self.pc;
-        let Some(instr) = self.text.get(pc) else {
-            // No speculation: every fetch is architectural, so leaving the
-            // text segment is immediately the error the pipeline raises
-            // when a fault slot retires.
-            return Err(RunError::PcOutOfText { pc });
+        let instr = match self.text.fetch(pc) {
+            Ok(i) => i,
+            // No speculation: every fetch is architectural, so a bad pc
+            // is immediately the fault the pipeline raises when an
+            // un-squashed fault slot retires.
+            Err(e) => return Err(RunError::from_fetch(e, pc)),
         };
         let decision = if PASSIVE {
             crate::engine::FetchDecision::none()
@@ -296,6 +244,99 @@ impl FunctionalCpu {
     }
 }
 
+/// The functional (architecture-only) simulated processor.
+///
+/// # Examples
+///
+/// ```
+/// use zolc_sim::{CpuConfig, FunctionalCpu, NullEngine};
+/// let program = zolc_isa::assemble("
+///     li   r1, 5
+///     li   r2, 0
+/// top: add  r2, r2, r1
+///     addi r1, r1, -1
+///     bne  r1, r0, top
+///     halt
+/// ").unwrap();
+/// let mut cpu = FunctionalCpu::new(CpuConfig::default());
+/// cpu.load_program(&program)?;
+/// let stats = cpu.run(&mut NullEngine, 10_000).unwrap();
+/// assert_eq!(cpu.regs().read(zolc_isa::reg(2)), 5 + 4 + 3 + 2 + 1);
+/// assert_eq!(stats.cycles, 0); // no timing model
+/// assert!(stats.retired > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct FunctionalCpu {
+    m: Machine,
+}
+
+impl FunctionalCpu {
+    /// Creates a core with empty memory and no program loaded.
+    pub fn new(config: CpuConfig) -> FunctionalCpu {
+        FunctionalCpu {
+            m: Machine::new(config),
+        }
+    }
+
+    /// Loads a program image: text (predecoded and as bytes) and data
+    /// segment.
+    ///
+    /// Resets the PC to the start of text; registers and statistics are
+    /// left untouched so tests can pre-seed register state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemError`] if a segment does not fit in memory.
+    pub fn load_program(&mut self, program: &Program) -> Result<(), MemError> {
+        self.m.load_program(program)
+    }
+
+    /// The data memory.
+    pub fn mem(&self) -> &Memory {
+        &self.m.mem
+    }
+
+    /// Mutable access to data memory (for seeding test inputs).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.m.mem
+    }
+
+    /// The register file.
+    pub fn regs(&self) -> &RegFile {
+        &self.m.regs
+    }
+
+    /// Mutable access to the register file (for seeding test inputs).
+    pub fn regs_mut(&mut self) -> &mut RegFile {
+        &mut self.m.regs
+    }
+
+    /// Statistics of the run so far (`cycles` is always 0; event counters
+    /// match the pipeline's architectural counts).
+    pub fn stats(&self) -> &Stats {
+        &self.m.stats
+    }
+
+    /// The retire-order trace (empty unless `trace_retire` was set); the
+    /// `cycle` field holds the retire ordinal.
+    pub fn retire_log(&self) -> &[RetireEvent] {
+        &self.m.retire_log
+    }
+
+    /// Runs until `halt` retires or `fuel` instructions retire.
+    ///
+    /// # Errors
+    ///
+    /// * [`RunError::OutOfFuel`] if `halt` is not reached in budget;
+    /// * [`RunError::PcOutOfText`] if execution leaves the text segment;
+    /// * [`RunError::MisalignedFetch`] on a non-4-aligned pc;
+    /// * [`RunError::Mem`] on a data access fault.
+    pub fn run(&mut self, engine: &mut dyn LoopEngine, fuel: u64) -> Result<Stats, RunError> {
+        self.m.run(engine, fuel)
+    }
+}
+
 impl Executor for FunctionalCpu {
     fn kind(&self) -> ExecutorKind {
         ExecutorKind::Functional
@@ -305,8 +346,8 @@ impl Executor for FunctionalCpu {
         FunctionalCpu::load_program(self, program)
     }
 
-    fn run(&mut self, engine: &mut dyn LoopEngine, budget: u64) -> Result<Stats, RunError> {
-        FunctionalCpu::run(self, engine, budget)
+    fn run(&mut self, engine: &mut dyn LoopEngine, fuel: u64) -> Result<Stats, RunError> {
+        FunctionalCpu::run(self, engine, fuel)
     }
 
     fn regs(&self) -> &RegFile {
@@ -410,7 +451,7 @@ mod tests {
         let mut cpu = FunctionalCpu::new(CpuConfig::default());
         cpu.load_program(&p).unwrap();
         let r = cpu.run(&mut NullEngine, 100);
-        assert!(matches!(r, Err(RunError::CycleLimit { .. })));
+        assert!(matches!(r, Err(RunError::OutOfFuel { .. })));
     }
 
     #[test]

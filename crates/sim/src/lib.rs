@@ -19,13 +19,25 @@
 //!      Nikolaidis, DATE 2005* and produces the paper's metric: cycles.
 //!    * [`FunctionalCpu`] — the fast functional executor: identical
 //!      final registers, memory and retire counts, no cycle counts.
-//!      Several times faster than the pipeline — ~5–6× on cores without
+//!      Several times faster than the pipeline — ~3–5× on cores without
 //!      a loop controller (the passive-engine fast path), ~1.5× with a
-//!      ZOLC controller attached, whose modeling cost dominates both
-//!      executors. Use it for correctness sweeps and differential
+//!      ZOLC controller attached, whose modeling cost dominates every
+//!      executor. Use it for correctness sweeps and differential
 //!      testing; use the pipeline whenever cycles are the answer.
+//!    * [`CompiledCpu`] — the block-compiled functional executor: the
+//!      text segment is compiled on first entry into basic-block
+//!      superinstructions (pre-lowered op vectors, terminator handled
+//!      once) cached by entry pc × engine passivity, falling back to
+//!      the shared step core for `zwr`/`zctl`/`dbnz`, fetch faults and
+//!      active engines. Same architectural results as `FunctionalCpu`,
+//!      another ~2–3× faster on passive engines — the sweep workhorse.
 //!
-//! Loop controllers attach to either executor through the [`LoopEngine`]
+//! All executors enforce one **fuel semantic**: the budget passed to
+//! [`Executor::run`] counts *retired instructions* everywhere, so a
+//! timeout ([`RunError::OutOfFuel`]) fires at the same instruction no
+//! matter which backend runs the program.
+//!
+//! Loop controllers attach to any executor through the [`LoopEngine`]
 //! trait, which mirrors the paper's Fig. 1 integration points: fetch-time
 //! next-PC selection (zero-overhead redirect), retire-time commit, the
 //! `zwr`/`zctl` coprocessor instructions and a dedicated index-register
@@ -58,6 +70,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod blocks;
 mod cpu;
 mod engine;
 pub mod exec;
@@ -67,11 +80,12 @@ mod pipeline;
 mod regfile;
 mod stats;
 
+pub use blocks::CompiledCpu;
 pub use cpu::{
     run_program, run_program_on, CpuConfig, Executor, ExecutorKind, Finished, RetireEvent, RunError,
 };
 pub use engine::{ExecEvent, FetchDecision, LoopEngine, NullEngine, RegWrites};
-pub use exec::{Effect, TextImage};
+pub use exec::{Effect, FetchError, TextImage};
 pub use functional::FunctionalCpu;
 pub use mem::{MemError, MemErrorKind, Memory};
 pub use pipeline::Cpu;

@@ -37,7 +37,7 @@
 
 use crate::cpu::{CpuConfig, Executor, ExecutorKind, RetireEvent, RunError};
 use crate::engine::{ExecEvent, LoopEngine, RegWrites};
-use crate::exec::{step, Effect, LoadOp, StoreOp, TextImage};
+use crate::exec::{step, Effect, FetchError, LoadOp, StoreOp, TextImage};
 use crate::mem::{MemError, Memory};
 use crate::regfile::RegFile;
 use crate::stats::Stats;
@@ -50,8 +50,9 @@ struct Slot {
     instr: Instr,
     /// Index-register writes attached by the loop engine at fetch.
     rider: RegWrites,
-    /// Fetch fault marker: raises an error if it reaches EX un-squashed.
-    fault: bool,
+    /// Fetch fault marker (misaligned or out-of-text): raises the
+    /// matching error if it reaches EX un-squashed.
+    fault: Option<FetchError>,
     /// `dbnz` outcome already resolved in ID (the hardware-loop unit's
     /// dedicated zero-detect); `None` = resolve in EX like other branches.
     dbnz_taken: Option<bool>,
@@ -194,19 +195,35 @@ impl Cpu {
         &self.retire_log
     }
 
-    /// Runs until `halt` retires or `max_cycles` elapse.
+    /// Runs until `halt` retires or `fuel` instructions retire — the
+    /// same retired-instruction budget every executor enforces, so a
+    /// fuel timeout fires at the same instruction here as on the
+    /// functional tiers (see [`Executor::run`]).
+    ///
+    /// A secondary cycle cap of `8 × fuel + 64` serves purely as a
+    /// liveness valve against simulator deadlock bugs: the in-order
+    /// pipeline's worst case is bounded well below 8 cycles per retired
+    /// instruction (taken branch ≈ 5, load-use stall +1), so no real
+    /// program can hit the valve before exhausting its fuel.
     ///
     /// # Errors
     ///
-    /// * [`RunError::CycleLimit`] if `halt` is not reached in time;
+    /// * [`RunError::OutOfFuel`] if `halt` does not retire in budget;
     /// * [`RunError::PcOutOfText`] if execution (non-speculatively) leaves
     ///   the text segment;
+    /// * [`RunError::MisalignedFetch`] if execution (non-speculatively)
+    ///   reaches a non-4-aligned pc;
     /// * [`RunError::Mem`] on a data access fault.
-    pub fn run(&mut self, engine: &mut dyn LoopEngine, max_cycles: u64) -> Result<Stats, RunError> {
-        let limit = self.stats.cycles + max_cycles;
+    pub fn run(&mut self, engine: &mut dyn LoopEngine, fuel: u64) -> Result<Stats, RunError> {
+        let retire_limit = self.stats.retired + fuel;
+        let cycle_valve = self
+            .stats
+            .cycles
+            .saturating_add(fuel.saturating_mul(8))
+            .saturating_add(64);
         loop {
-            if self.stats.cycles >= limit {
-                return Err(RunError::CycleLimit { limit: max_cycles });
+            if self.stats.retired >= retire_limit || self.stats.cycles >= cycle_valve {
+                return Err(RunError::OutOfFuel { fuel });
             }
             if self.step(engine)? {
                 return Ok(self.stats);
@@ -253,8 +270,8 @@ impl Cpu {
         // load-use case is excluded by the ID interlock below).
         let mut flush_to: Option<u32> = None;
         if let Some(ex) = self.id_ex.take() {
-            if ex.fault {
-                return Err(RunError::PcOutOfText { pc: ex.pc });
+            if let Some(e) = ex.fault {
+                return Err(RunError::from_fetch(e, ex.pc));
             }
             flush_to = self.do_ex(ex, engine)?;
         }
@@ -528,19 +545,23 @@ impl Cpu {
     /// image, consult the loop engine, compute the next fetch address.
     fn fetch(&mut self, engine: &mut dyn LoopEngine) {
         let pc = self.pc;
-        let Some(instr) = self.text.get(pc) else {
-            // Wrong-path overruns are legal (e.g. the fall-through after a
-            // loop's final backward branch); park a fault marker that only
-            // errors if it retires.
-            self.if_id = Some(Slot {
-                pc,
-                instr: Instr::Nop,
-                rider: RegWrites::new(),
-                fault: true,
-                dbnz_taken: None,
-            });
-            self.fetch_stopped = true;
-            return;
+        let instr = match self.text.fetch(pc) {
+            Ok(i) => i,
+            Err(e) => {
+                // Wrong-path overruns are legal (e.g. the fall-through
+                // after a loop's final backward branch); park a fault
+                // marker that only errors if it retires, carrying the
+                // cause (misaligned vs out-of-text) with it.
+                self.if_id = Some(Slot {
+                    pc,
+                    instr: Instr::Nop,
+                    rider: RegWrites::new(),
+                    fault: Some(e),
+                    dbnz_taken: None,
+                });
+                self.fetch_stopped = true;
+                return;
+            }
         };
         let decision = engine.on_fetch(pc);
         if decision.redirect.is_some() {
@@ -550,7 +571,7 @@ impl Cpu {
             pc,
             instr,
             rider: decision.index_writes,
-            fault: false,
+            fault: None,
             dbnz_taken: None,
         });
         if matches!(instr, Instr::Halt) {
@@ -841,10 +862,10 @@ mod tests {
     }
 
     #[test]
-    fn cycle_limit_detected() {
+    fn fuel_limit_detected() {
         let p = assemble("top: j top\nhalt").unwrap();
         let r = run_program(&p, &mut NullEngine, 100);
-        assert!(matches!(r, Err(RunError::CycleLimit { .. })));
+        assert!(matches!(r, Err(RunError::OutOfFuel { fuel: 100 })));
     }
 
     #[test]

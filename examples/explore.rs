@@ -5,14 +5,21 @@
 //! cargo run --release --example explore                  # standard sweep
 //! cargo run --release --example explore -- --programs 50 --trips 24
 //! cargo run --release --example explore -- --functional  # correctness-only, faster
+//! cargo run --release --example explore -- --compiled    # correctness-only, fastest
 //! cargo run --release --example explore -- --show 17     # one seed in detail
+//! # sharded + resumable: fragments persist under --out; re-running the
+//! # same command resumes at the first missing shard
+//! cargo run --release --example explore -- --out sweep-out --shards 8
+//! cargo run --release --example explore -- --out sweep-out --shards 8 --stop-after 2
 //! ```
 //!
 //! Knobs: `--programs N`, `--seed S`, `--trips T`, `--depth D`,
 //! `--loops L`, `--no-skips`, `--no-reg-bounds`, `--no-dbnz`,
-//! `--functional`, `--show SEED`.
+//! `--functional`, `--compiled`, `--show SEED`, `--out DIR`,
+//! `--shards N`, `--stop-after K`.
 
-use zolc::bench::{run_sweep, SweepConfig};
+use std::path::PathBuf;
+use zolc::bench::{run_sweep, run_sweep_sharded, ShardedOutcome, SweepConfig};
 use zolc::cfg::retarget;
 use zolc::core::ZolcConfig;
 use zolc::gen::{GenConfig, ProgramSpec};
@@ -27,6 +34,9 @@ fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = SweepConfig::standard();
     let mut show: Option<u64> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut shards: usize = 1;
+    let mut stop_after: Option<usize> = None;
 
     let mut args = std::env::args();
     args.next(); // program name
@@ -41,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--no-reg-bounds" => cfg.gen.reg_bounds = false,
             "--no-dbnz" => cfg.gen.dbnz = false,
             "--functional" => cfg.executor = ExecutorKind::Functional,
+            "--compiled" => cfg.executor = ExecutorKind::Compiled,
             "--show" => show = Some(parse_flag(&mut args, "--show")),
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a value"))),
+            "--shards" => shards = parse_flag(&mut args, "--shards"),
+            "--stop-after" => stop_after = Some(parse_flag(&mut args, "--stop-after")),
             other => {
                 eprintln!("unknown argument `{other}` (see the example header for knobs)");
                 std::process::exit(2);
@@ -61,7 +75,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.points.len(),
         cfg.cells(),
     );
-    println!("{}", run_sweep(&cfg));
+
+    if let Some(dir) = out {
+        // Sharded, resumable mode: fragments persist under --out, a
+        // re-run with the same knobs resumes, and the merged report is
+        // byte-identical to an uninterrupted run.
+        println!(
+            "sharded mode: {shards} shards under {} (resumable){}\n",
+            dir.display(),
+            match stop_after {
+                Some(k) => format!(", stopping after {k} new shards"),
+                None => String::new(),
+            }
+        );
+        match run_sweep_sharded(&cfg, shards, &dir, stop_after)? {
+            ShardedOutcome::Complete(report) => {
+                println!("{report}");
+                println!(
+                    "\nmerged report written to {}",
+                    dir.join("report.json").display()
+                );
+            }
+            stopped => println!("{stopped}"),
+        }
+    } else if shards != 1 || stop_after.is_some() {
+        eprintln!("--shards/--stop-after need --out DIR (fragments must persist somewhere)");
+        std::process::exit(2);
+    } else {
+        println!("{}", run_sweep(&cfg));
+    }
     Ok(())
 }
 

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Sharded-sweep resume smoke (CI):
+#
+#   1. run a tiny design-space sweep sharded 4 ways, stopping ("killed")
+#      after the first shard — fragments persist under --out;
+#   2. re-run the same command, which resumes from the fragment on disk
+#      and completes the remaining shards;
+#   3. run the same sweep uninterrupted in a fresh directory;
+#   4. assert the two merged report.json files are byte-identical.
+#
+# --stop-after is the deterministic stand-in for a mid-sweep kill: the
+# fragment writer is atomic (temp file + rename), so any real kill lands
+# in one of the states this script walks through. The in-process
+# counterpart (`shard::tests::resume_reproduces_unsharded_report_byte_identically`)
+# additionally compares against a truly unsharded `run_sweep`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_A=$(mktemp -d)
+OUT_B=$(mktemp -d)
+trap 'rm -rf "$OUT_A" "$OUT_B"' EXIT
+
+run() {
+    cargo run --release --example explore -- --programs 8 --seed 900 "$@"
+}
+
+echo "== sharded run, stopped after the first shard =="
+run --out "$OUT_A" --shards 4 --stop-after 1
+test -f "$OUT_A/shard-0000.json" || { echo "missing first fragment"; exit 1; }
+test ! -e "$OUT_A/shard-0001.json" || { echo "stop-after did not stop"; exit 1; }
+test ! -e "$OUT_A/report.json" || { echo "premature merged report"; exit 1; }
+
+echo "== resume to completion =="
+run --out "$OUT_A" --shards 4
+test -f "$OUT_A/report.json" || { echo "missing merged report"; exit 1; }
+
+echo "== uninterrupted reference run =="
+run --out "$OUT_B" --shards 1
+test -f "$OUT_B/report.json" || { echo "missing reference report"; exit 1; }
+
+echo "== byte-identity check =="
+cmp "$OUT_A/report.json" "$OUT_B/report.json"
+echo "sharded resume smoke OK: merged report is byte-identical"

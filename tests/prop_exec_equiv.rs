@@ -1,13 +1,18 @@
-//! Differential property test: the cycle-accurate pipeline against the
-//! fast functional executor.
+//! Three-way differential property test: the cycle-accurate pipeline
+//! against the functional interpreter against the block-compiled
+//! executor.
 //!
-//! The two executors share one semantics core (`zolc_sim::exec::step`)
+//! The three executors share one semantics core (`zolc_sim::exec::step`)
 //! but schedule it completely differently — five speculative pipeline
-//! stages with forwarding and flushes versus a strict one-instruction
-//! interpreter. Architecturally that difference must be invisible: for
-//! any program, final register file, data memory and retire count must
-//! be bit-identical. Checked two ways: random straight-line programs
-//! (shared generators with `prop_pipeline`), and all benchmark kernels
+//! stages with forwarding and flushes, a strict one-instruction
+//! interpreter, and basic-block superinstruction dispatch with a
+//! step-core fallback. Architecturally those differences must be
+//! invisible: for any program, final register file, data memory and
+//! retire count must be bit-identical across all three. Checked three
+//! ways: random straight-line programs (shared generators with
+//! `prop_pipeline`), random `zolc-gen` loop structures round-tripped
+//! through `retarget` — whose ZOLC engine is *active*, forcing the
+//! compiled executor onto its fallback path — and all benchmark kernels
 //! on all three Fig. 2 targets plus the ablation extras on `ZOLCfull`
 //! (which exercises branches, `dbnz`, jumps and the ZOLC engine
 //! integration end to end).
@@ -43,36 +48,51 @@ fn run_on(
     }
 }
 
-/// Asserts bit-identical architectural outcomes, returns both stats.
+/// Asserts bit-identical architectural outcomes across all three
+/// executors; returns the pipeline's and the functional interpreter's
+/// stats (the compiled tier's are additionally held equal to the
+/// functional interpreter's in full).
 fn assert_equivalent(program: &Program, target: &Target, context: &str) -> (Stats, Stats) {
     let slow = run_on(ExecutorKind::CycleAccurate, program, target)
         .unwrap_or_else(|e| panic!("{context}: pipeline failed: {e}"));
-    let fast = run_on(ExecutorKind::Functional, program, target)
-        .unwrap_or_else(|e| panic!("{context}: functional failed: {e}"));
-    assert_eq!(
-        slow.cpu.regs().snapshot(),
-        fast.cpu.regs().snapshot(),
-        "{context}: register files differ"
-    );
-    let len = slow.cpu.mem().size() - DATA_BASE as usize;
-    assert_eq!(
-        slow.cpu.mem().read_bytes(DATA_BASE, len).unwrap(),
-        fast.cpu.mem().read_bytes(DATA_BASE, len).unwrap(),
-        "{context}: data memory differs"
-    );
-    assert_eq!(
-        slow.stats.retired, fast.stats.retired,
-        "{context}: retire counts differ"
-    );
-    (slow.stats, fast.stats)
+    let mut functional_stats = None;
+    for kind in [ExecutorKind::Functional, ExecutorKind::Compiled] {
+        let fast = run_on(kind, program, target)
+            .unwrap_or_else(|e| panic!("{context}: {kind} failed: {e}"));
+        assert_eq!(
+            slow.cpu.regs().snapshot(),
+            fast.cpu.regs().snapshot(),
+            "{context}: {kind} register file differs"
+        );
+        let len = slow.cpu.mem().size() - DATA_BASE as usize;
+        assert_eq!(
+            slow.cpu.mem().read_bytes(DATA_BASE, len).unwrap(),
+            fast.cpu.mem().read_bytes(DATA_BASE, len).unwrap(),
+            "{context}: {kind} data memory differs"
+        );
+        assert_eq!(
+            slow.stats.retired, fast.stats.retired,
+            "{context}: {kind} retire count differs"
+        );
+        // the two functional tiers must agree on *all* stats (both
+        // report zero cycles, so full equality is well-defined)
+        if let Some(prev) = functional_stats {
+            assert_eq!(
+                prev, fast.stats,
+                "{context}: functional tiers disagree on stats"
+            );
+        }
+        functional_stats = Some(fast.stats);
+    }
+    (slow.stats, functional_stats.expect("two fast tiers ran"))
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(160))]
 
-    /// Pipeline == functional executor on random straight-line programs:
-    /// identical registers, memory, retire counts; cycles only on the
-    /// pipeline.
+    /// Pipeline == functional == compiled executor on random
+    /// straight-line programs: identical registers, memory, retire
+    /// counts; cycles only on the pipeline.
     #[test]
     fn executors_agree_on_straightline(instrs in prop::collection::vec(any_instr(), 1..60)) {
         let mut asm = Asm::new();
@@ -94,8 +114,12 @@ proptest! {
     /// optional nesting, possibly empty bodies), the excised program plus
     /// synthesized overlay retires to the same architectural state as the
     /// original software-loop program — full data memory and every
-    /// register except the freed down-counters — on both executors, with
-    /// zero controller-consistency violations.
+    /// register except the freed down-counters — on all three executors,
+    /// with zero controller-consistency violations. The retargeted run
+    /// attaches an *active* `Zolc` engine, which forces the compiled
+    /// executor onto its step-core fallback path — so this property is
+    /// also the fallback's differential coverage over `zolc-gen`
+    /// programs.
     #[test]
     fn retargeted_programs_match_their_originals(
         loops in prop::collection::vec(gen_loop(), 1..3)
@@ -119,7 +143,7 @@ proptest! {
         );
 
         let mut retired = Vec::new();
-        for kind in [ExecutorKind::CycleAccurate, ExecutorKind::Functional] {
+        for kind in ExecutorKind::ALL {
             let base = run_program_on(kind, &program, &mut NullEngine, BUDGET)
                 .expect("original runs");
             let mut z = Zolc::new(ZolcConfig::lite());
@@ -148,14 +172,14 @@ proptest! {
             );
             retired.push(auto.stats.retired);
         }
-        // and the two executors agree on the retargeted program itself
-        prop_assert_eq!(retired[0], retired[1]);
+        // and all executors agree on the retargeted program itself
+        prop_assert!(retired.windows(2).all(|w| w[0] == w[1]), "{:?}", retired);
     }
 }
 
 /// Every Fig. 2 kernel on every Fig. 2 target: the full benchmark suite
 /// (loop nests, `dbnz` loops, ZOLC redirects and index riders) retires
-/// to identical architectural state on both executors.
+/// to identical architectural state on all three executors.
 #[test]
 fn executors_agree_on_all_fig2_kernels() {
     for k in kernels() {
