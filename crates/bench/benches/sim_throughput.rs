@@ -12,7 +12,7 @@ use criterion::{criterion_group, Criterion};
 use std::time::Instant;
 use zolc_core::ZolcConfig;
 use zolc_ir::Target;
-use zolc_kernels::{find_kernel, run_kernel_with, BuiltKernel, ExecutorKind};
+use zolc_kernels::{find_kernel, BuiltKernel, ExecutorKind};
 
 const KERNELS: [&str; 4] = ["matmul", "crc32", "me_tss", "me_fs"];
 const FUEL: u64 = 50_000_000;
@@ -38,7 +38,7 @@ fn bench_simulation(c: &mut Criterion) {
             for kind in ExecutorKind::ALL {
                 group.bench_function(format!("{name}/{label}/{kind}"), |b| {
                     b.iter(|| {
-                        let run = run_kernel_with(&built, FUEL, kind).expect("runs");
+                        let run = built.run(FUEL, kind).expect("runs");
                         assert!(run.is_correct());
                         run.stats.retired
                     })
@@ -55,7 +55,7 @@ fn instrs_per_sec(built: &BuiltKernel, kind: ExecutorKind, reps: u32) -> (f64, u
     let mut retired = 0;
     let start = Instant::now();
     for _ in 0..reps {
-        let run = run_kernel_with(built, FUEL, kind).expect("runs");
+        let run = built.run(FUEL, kind).expect("runs");
         assert!(run.is_correct());
         retired = run.stats.retired;
     }

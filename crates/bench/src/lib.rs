@@ -69,8 +69,8 @@ pub use matrix::{
     JobSource, Measurement, MAX_FUEL,
 };
 pub use shard::{
-    fragment_path, merge_reports, run_sweep_sharded, shard_plan, sweep_fingerprint, ShardPlan,
-    ShardedOutcome,
+    fragment_path, merge_reports, report_json, run_sweep_sharded, shard_plan, sweep_fingerprint,
+    ShardPlan, ShardedOutcome,
 };
 pub use sweep::{
     e7_design_space, run_sweep, GeneratedProgram, PointSummary, SweepConfig, SweepPoint,

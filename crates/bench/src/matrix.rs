@@ -24,10 +24,8 @@ use std::thread;
 use zolc_cfg::retarget;
 use zolc_core::ZolcConfig;
 use zolc_ir::{LoweredInfo, Target};
-use zolc_kernels::{
-    build_kernel_auto, kernels, run_kernel_with, BuiltKernel, ExecutorKind, KernelEntry,
-};
-use zolc_sim::Stats;
+use zolc_kernels::{build_kernel_auto, kernels, BuiltKernel, ExecutorKind, KernelEntry};
+use zolc_sim::{CompiledProgram, Stats};
 
 /// Fuel budget (retired instructions — the one semantic shared by every
 /// executor, see [`zolc_sim::Executor::run`]) generous enough for every
@@ -178,7 +176,7 @@ fn build_cell(
             let Target::Zolc(config) = target else {
                 panic!("{name}: auto-retarget cells need a ZOLC target")
             };
-            let r = retarget(&g.program, config)
+            let r = retarget(g.program.source(), config)
                 .unwrap_or_else(|e| panic!("{name}/{target} (auto): retarget failed: {e}"));
             let stats = AutoStats::from(&r);
             // The prepended init sequence clobbers the scratch register
@@ -192,7 +190,7 @@ fn build_cell(
             }
             let built = BuiltKernel {
                 name: g.name.clone(),
-                program: r.program,
+                program: CompiledProgram::compile(r.program),
                 target: target.clone(),
                 expect,
                 info: LoweredInfo {
@@ -214,7 +212,8 @@ fn measure_cell(
 ) -> Measurement {
     let (built, auto) = build_cell(source, target, mode);
     let name = source.name();
-    let run = run_kernel_with(&built, MAX_FUEL, executor)
+    let run = built
+        .run(MAX_FUEL, executor)
         .unwrap_or_else(|e| panic!("{name}/{target}: run failed: {e}"));
     assert!(
         run.is_correct(),

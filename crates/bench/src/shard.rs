@@ -140,13 +140,12 @@ pub fn run_sweep_sharded(
                 total: plans.len(),
             });
         }
-        let sub = SweepConfig {
-            programs: plan.programs,
-            base_seed: plan.seed_start,
-            gen: cfg.gen.clone(),
-            points: cfg.points.clone(),
-            executor: cfg.executor,
-        };
+        let sub = SweepConfig::new()
+            .with_programs(plan.programs)
+            .with_base_seed(plan.seed_start)
+            .with_gen(cfg.gen.clone())
+            .with_points(cfg.points.clone())
+            .with_executor(cfg.executor);
         let report = run_sweep(&sub);
         write_atomic(&path, &encode_fragment(&report, &fingerprint, plan, shards))?;
         reports.push(report);
@@ -236,7 +235,10 @@ fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
 
 // ---- fragment encoding -------------------------------------------------
 
-fn report_json(r: &SweepReport) -> Json {
+/// The canonical JSON rendering of a [`SweepReport`] — the merged
+/// `report.json` a sharded sweep writes, and the payload `zolcd` caches
+/// and serves for sweep jobs (bit-exact `f64` savings included).
+pub fn report_json(r: &SweepReport) -> Json {
     Json::Obj(vec![
         ("programs".into(), Json::u64(r.programs as u64)),
         ("cells".into(), Json::u64(r.cells as u64)),
@@ -415,26 +417,16 @@ mod tests {
     use crate::sweep::SweepPoint;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use zolc_core::ZolcConfig;
-    use zolc_gen::GenConfig;
     use zolc_sim::ExecutorKind;
 
     fn small_cfg() -> SweepConfig {
-        SweepConfig {
-            programs: 10,
-            base_seed: 300,
-            gen: GenConfig::default(),
-            points: vec![
-                SweepPoint {
-                    label: "ZOLClite".into(),
-                    config: ZolcConfig::lite(),
-                },
-                SweepPoint {
-                    label: "uZOLC".into(),
-                    config: ZolcConfig::micro(),
-                },
-            ],
-            executor: ExecutorKind::CycleAccurate,
-        }
+        SweepConfig::new()
+            .with_programs(10)
+            .with_base_seed(300)
+            .with_points(vec![
+                SweepPoint::new("ZOLClite", ZolcConfig::lite()),
+                SweepPoint::new("uZOLC", ZolcConfig::micro()),
+            ])
     }
 
     /// A unique, cleaned-up scratch directory per test.
@@ -520,10 +512,7 @@ mod tests {
             other => panic!("expected completion, got {other:?}"),
         }
         // same directory, different sweep (seed range shifted)
-        let other = SweepConfig {
-            base_seed: cfg.base_seed + 1,
-            ..small_cfg()
-        };
+        let other = small_cfg().with_base_seed(cfg.base_seed + 1);
         let err = run_sweep_sharded(&other, 2, &scratch.0, None).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("different sweep"), "{err}");

@@ -31,9 +31,9 @@ use std::sync::Arc;
 use zolc_core::ZolcConfig;
 use zolc_gen::{Feature, GenConfig, ProgramSpec};
 use zolc_ir::Target;
-use zolc_isa::{reg, Program, DATA_BASE};
+use zolc_isa::{reg, DATA_BASE};
 use zolc_kernels::Expectation;
-use zolc_sim::{run_program_on, ExecutorKind, NullEngine};
+use zolc_sim::{run_session, CompiledProgram, ExecutorKind, NullEngine};
 
 /// A generated baseline program, assembled once and shared by every
 /// matrix cell that measures it, together with the reference
@@ -55,8 +55,11 @@ pub struct GeneratedProgram {
     pub name: String,
     /// The shape the program was assembled from.
     pub spec: ProgramSpec,
-    /// The assembled baseline (software-loop) program.
-    pub program: Program,
+    /// The assembled baseline (software-loop) program, predecoded and
+    /// block-compiled once; every cell that measures it (and every
+    /// daemon job that replays it) opens a session over this one
+    /// `Arc`-shared [`CompiledProgram`].
+    pub program: Arc<CompiledProgram>,
     /// Body-start address of every loop, in `spec.flatten()` order.
     pub loop_starts: Vec<u32>,
     /// The derived reference expectation every cell is gated on.
@@ -77,9 +80,10 @@ impl GeneratedProgram {
         let assembled = spec
             .assemble()
             .unwrap_or_else(|e| panic!("{name}: spec failed to assemble: {e}"));
-        let fin = run_program_on(
+        let program = CompiledProgram::compile(assembled.program);
+        let fin = run_session(
             ExecutorKind::Functional,
-            &assembled.program,
+            &program,
             &mut NullEngine,
             MAX_FUEL,
         )
@@ -95,7 +99,7 @@ impl GeneratedProgram {
         GeneratedProgram {
             name,
             spec,
-            program: assembled.program,
+            program,
             loop_starts: assembled.loop_starts,
             expect: Expectation {
                 mem_words: vec![(DATA_BASE, words)],
@@ -110,7 +114,7 @@ impl GeneratedProgram {
     pub fn as_built(&self, target: Target) -> zolc_kernels::BuiltKernel {
         zolc_kernels::BuiltKernel {
             name: self.name.clone(),
-            program: self.program.clone(),
+            program: Arc::clone(&self.program),
             target,
             expect: self.expect.clone(),
             info: zolc_ir::LoweredInfo::default(),
@@ -127,8 +131,24 @@ pub struct SweepPoint {
     pub config: ZolcConfig,
 }
 
+impl SweepPoint {
+    /// A labelled controller configuration.
+    pub fn new(label: impl Into<String>, config: ZolcConfig) -> SweepPoint {
+        SweepPoint {
+            label: label.into(),
+            config,
+        }
+    }
+}
+
 /// Parameters of one design-space sweep (see [`run_sweep`]).
+///
+/// Non-exhaustive: construct with [`SweepConfig::new`] (or
+/// [`SweepConfig::standard`]) and shape it with the `with_*` builders,
+/// so sweeps keep deserializing and fingerprinting cleanly when knobs
+/// are added.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SweepConfig {
     /// Number of generated programs (seeds `base_seed..base_seed + n`).
     pub programs: usize,
@@ -145,13 +165,68 @@ pub struct SweepConfig {
 }
 
 impl SweepConfig {
-    /// The standard E7 sweep: the three paper configurations plus one
+    /// The standard E7 sweep shape: 400 programs from seed 1, the
+    /// default generator knobs, the three paper configurations plus one
     /// under-provisioned custom point (2 loops / 8 tasks, where
-    /// capacity trimming becomes visible), cycle-accurate.
-    ///
-    /// The program count defaults to 400 (= 2000 cells) and scales with
-    /// the `ZOLC_E7_PROGRAMS` environment variable — CI's bench smoke
-    /// sets a smaller budget, still ≥ 1000 cells.
+    /// capacity trimming becomes visible), cycle-accurate. Reads no
+    /// environment — see [`SweepConfig::standard`] for the CLI-facing
+    /// variant with the `ZOLC_E7_PROGRAMS` knob.
+    pub fn new() -> SweepConfig {
+        SweepConfig {
+            programs: 400,
+            base_seed: 1,
+            gen: GenConfig::default(),
+            points: vec![
+                SweepPoint::new("uZOLC", ZolcConfig::micro()),
+                SweepPoint::new("ZOLClite", ZolcConfig::lite()),
+                SweepPoint::new("ZOLCfull", ZolcConfig::full()),
+                SweepPoint::new(
+                    "custom 2L/8T",
+                    ZolcConfig::custom(2, 8, 0, 0).expect("valid custom point"),
+                ),
+            ],
+            executor: ExecutorKind::CycleAccurate,
+        }
+    }
+
+    /// Sets the number of generated programs.
+    #[must_use]
+    pub fn with_programs(mut self, programs: usize) -> SweepConfig {
+        self.programs = programs;
+        self
+    }
+
+    /// Sets the first seed.
+    #[must_use]
+    pub fn with_base_seed(mut self, base_seed: u64) -> SweepConfig {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Sets the shape-space knobs handed to `zolc_gen`.
+    #[must_use]
+    pub fn with_gen(mut self, gen: GenConfig) -> SweepConfig {
+        self.gen = gen;
+        self
+    }
+
+    /// Sets the controller configurations swept per program.
+    #[must_use]
+    pub fn with_points(mut self, points: Vec<SweepPoint>) -> SweepConfig {
+        self.points = points;
+        self
+    }
+
+    /// Sets the executor cells run on.
+    #[must_use]
+    pub fn with_executor(mut self, executor: ExecutorKind) -> SweepConfig {
+        self.executor = executor;
+        self
+    }
+
+    /// The standard E7 sweep ([`SweepConfig::new`]) with the program
+    /// count scaled by the `ZOLC_E7_PROGRAMS` environment variable —
+    /// CI's bench smoke sets a smaller budget, still ≥ 1000 cells.
     ///
     /// # Panics
     ///
@@ -159,36 +234,13 @@ impl SweepConfig {
     /// positive integer, or not unicode): a knob typo must fail the run
     /// loudly, never silently fall back to the default sweep size.
     pub fn standard() -> SweepConfig {
-        let programs = match std::env::var("ZOLC_E7_PROGRAMS") {
-            Ok(raw) => parse_programs_knob(&raw),
-            Err(std::env::VarError::NotPresent) => 400,
+        let cfg = SweepConfig::new();
+        match std::env::var("ZOLC_E7_PROGRAMS") {
+            Ok(raw) => cfg.with_programs(parse_programs_knob(&raw)),
+            Err(std::env::VarError::NotPresent) => cfg,
             Err(e @ std::env::VarError::NotUnicode(_)) => {
                 panic!("ZOLC_E7_PROGRAMS is not valid unicode: {e}")
             }
-        };
-        SweepConfig {
-            programs,
-            base_seed: 1,
-            gen: GenConfig::default(),
-            points: vec![
-                SweepPoint {
-                    label: "uZOLC".into(),
-                    config: ZolcConfig::micro(),
-                },
-                SweepPoint {
-                    label: "ZOLClite".into(),
-                    config: ZolcConfig::lite(),
-                },
-                SweepPoint {
-                    label: "ZOLCfull".into(),
-                    config: ZolcConfig::full(),
-                },
-                SweepPoint {
-                    label: "custom 2L/8T".into(),
-                    config: ZolcConfig::custom(2, 8, 0, 0).expect("valid custom point"),
-                },
-            ],
-            executor: ExecutorKind::CycleAccurate,
         }
     }
 
@@ -196,6 +248,12 @@ impl SweepConfig {
     /// one auto-retarget cell per configuration, per program).
     pub fn cells(&self) -> usize {
         self.programs * (1 + self.points.len())
+    }
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig::new()
     }
 }
 
@@ -454,19 +512,12 @@ impl fmt::Display for SweepReport {
 pub fn e7_design_space() -> String {
     let cfg = SweepConfig::standard();
     let report = run_sweep(&cfg);
-    let long = SweepConfig {
-        programs: (cfg.programs / 4).max(25),
-        base_seed: cfg.base_seed,
-        gen: GenConfig {
-            max_trips: 24,
-            ..cfg.gen.clone()
-        },
-        points: vec![SweepPoint {
-            label: "ZOLClite".into(),
-            config: ZolcConfig::lite(),
-        }],
-        executor: ExecutorKind::CycleAccurate,
-    };
+    let long = SweepConfig::new()
+        .with_programs((cfg.programs / 4).max(25))
+        .with_base_seed(cfg.base_seed)
+        .with_gen(cfg.gen.clone().with_max_trips(24))
+        .with_points(vec![SweepPoint::new("ZOLClite", ZolcConfig::lite())])
+        .with_executor(ExecutorKind::CycleAccurate);
     let long_report = run_sweep(&long);
     format!(
         "E7 — design-space exploration: generated loop structures x controller configurations\n\
@@ -487,22 +538,13 @@ mod tests {
     use super::*;
 
     fn small_sweep() -> SweepConfig {
-        SweepConfig {
-            programs: 12,
-            base_seed: 100,
-            gen: GenConfig::default(),
-            points: vec![
-                SweepPoint {
-                    label: "ZOLClite".into(),
-                    config: ZolcConfig::lite(),
-                },
-                SweepPoint {
-                    label: "uZOLC".into(),
-                    config: ZolcConfig::micro(),
-                },
-            ],
-            executor: ExecutorKind::CycleAccurate,
-        }
+        SweepConfig::new()
+            .with_programs(12)
+            .with_base_seed(100)
+            .with_points(vec![
+                SweepPoint::new("ZOLClite", ZolcConfig::lite()),
+                SweepPoint::new("uZOLC", ZolcConfig::micro()),
+            ])
     }
 
     #[test]
@@ -525,11 +567,9 @@ mod tests {
 
     #[test]
     fn functional_sweep_skips_savings() {
-        let cfg = SweepConfig {
-            executor: ExecutorKind::Functional,
-            programs: 4,
-            ..small_sweep()
-        };
+        let cfg = small_sweep()
+            .with_programs(4)
+            .with_executor(ExecutorKind::Functional);
         let report = run_sweep(&cfg);
         assert!(report.points.iter().all(|p| p.savings.is_empty()));
         assert!(report.points[0].hw_loops > 0);
@@ -559,7 +599,7 @@ mod tests {
         let a = GeneratedProgram::from_spec("a", spec.clone());
         let b = GeneratedProgram::from_spec("b", spec);
         assert_eq!(a.expect, b.expect);
-        assert_eq!(a.program, b.program);
+        assert_eq!(a.program.source(), b.program.source());
         assert_eq!(a.loop_starts, b.loop_starts);
     }
 }

@@ -53,6 +53,7 @@ use crate::graph::Cfg;
 use crate::loops::LoopForest;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 use zolc_core::{ImageError, LimitSrc, LoopSpec, TaskSpec, ZolcConfig, ZolcImage};
 use zolc_isa::{
     loop_field, Asm, AsmError, Instr, Label, Program, Reg, ZolcRegion, DATA_BASE, INSTR_BYTES,
@@ -105,8 +106,10 @@ impl From<AsmError> for RetargetError {
 /// The runnable result of [`retarget`].
 #[derive(Debug, Clone)]
 pub struct Retargeted {
-    /// The excised, relocated, self-initializing program.
-    pub program: Program,
+    /// The excised, relocated, self-initializing program, behind an
+    /// `Arc` so callers (kernel builders, sweep harnesses, the `zolcd`
+    /// daemon caches) can share it without copying the text.
+    pub program: Arc<Program>,
     /// The synthesized table image, resolved against the new addresses
     /// (the same image the prepended initialization sequence writes).
     pub image: ZolcImage,
@@ -523,7 +526,7 @@ pub fn retarget(program: &Program, config: &ZolcConfig) -> Result<Retargeted, Re
         regs.dedup();
         regs
     };
-    let program = asm.finish()?;
+    let program = Arc::new(asm.finish()?);
 
     Ok(Retargeted {
         program,
@@ -740,7 +743,7 @@ mod tests {
     use super::*;
     use zolc_core::Zolc;
     use zolc_isa::{assemble, reg};
-    use zolc_sim::{run_program_on, ExecutorKind, NullEngine};
+    use zolc_sim::{run_session, CompiledProgram, ExecutorKind, NullEngine};
 
     const BUDGET: u64 = 1_000_000;
 
@@ -750,11 +753,21 @@ mod tests {
     fn assert_retarget_equiv(src: &str, config: &ZolcConfig) -> Retargeted {
         let program = assemble(src).unwrap();
         let r = retarget(&program, config).unwrap();
-        let base = run_program_on(ExecutorKind::Functional, &program, &mut NullEngine, BUDGET)
-            .expect("original runs");
+        let base = run_session(
+            ExecutorKind::Functional,
+            &CompiledProgram::compile(program.clone()),
+            &mut NullEngine,
+            BUDGET,
+        )
+        .expect("original runs");
         let mut z = Zolc::new(*config);
-        let auto = run_program_on(ExecutorKind::Functional, &r.program, &mut z, BUDGET)
-            .expect("retargeted runs");
+        let auto = run_session(
+            ExecutorKind::Functional,
+            &CompiledProgram::compile(r.program.clone()),
+            &mut z,
+            BUDGET,
+        )
+        .expect("retargeted runs");
         z.assert_consistent();
         for reg in Reg::all() {
             if (r.init_instructions > 0 && reg == r.scratch) || r.counter_regs.contains(&reg) {
@@ -790,13 +803,23 @@ mod tests {
         // ten iterations amortize the one-time init: the dynamic stream
         // must be strictly shorter than the original's
         let program = assemble(src).unwrap();
-        let base = run_program_on(ExecutorKind::Functional, &program, &mut NullEngine, BUDGET)
-            .unwrap()
-            .stats;
+        let base = run_session(
+            ExecutorKind::Functional,
+            &CompiledProgram::compile(program.clone()),
+            &mut NullEngine,
+            BUDGET,
+        )
+        .unwrap()
+        .stats;
         let mut z = Zolc::new(ZolcConfig::lite());
-        let auto = run_program_on(ExecutorKind::Functional, &r.program, &mut z, BUDGET)
-            .unwrap()
-            .stats;
+        let auto = run_session(
+            ExecutorKind::Functional,
+            &CompiledProgram::compile(r.program.clone()),
+            &mut z,
+            BUDGET,
+        )
+        .unwrap()
+        .stats;
         assert!(
             auto.retired < base.retired,
             "no dynamic savings: {} vs {}",
@@ -1203,11 +1226,22 @@ mod tests {
         .unwrap();
         let r = retarget(&program, &ZolcConfig::lite()).unwrap();
         let mut z1 = Zolc::new(ZolcConfig::lite());
-        let slow =
-            run_program_on(ExecutorKind::CycleAccurate, &r.program, &mut z1, BUDGET).unwrap();
+        let slow = run_session(
+            ExecutorKind::CycleAccurate,
+            &CompiledProgram::compile(r.program.clone()),
+            &mut z1,
+            BUDGET,
+        )
+        .unwrap();
         z1.assert_consistent();
         let mut z2 = Zolc::new(ZolcConfig::lite());
-        let fast = run_program_on(ExecutorKind::Functional, &r.program, &mut z2, BUDGET).unwrap();
+        let fast = run_session(
+            ExecutorKind::Functional,
+            &CompiledProgram::compile(r.program.clone()),
+            &mut z2,
+            BUDGET,
+        )
+        .unwrap();
         z2.assert_consistent();
         assert_eq!(slow.cpu.regs().snapshot(), fast.cpu.regs().snapshot());
         assert_eq!(slow.stats.retired, fast.stats.retired);

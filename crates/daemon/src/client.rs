@@ -1,0 +1,140 @@
+//! A blocking `zolcd` client over one TCP connection.
+//!
+//! Job methods return the daemon's **raw response bytes** rather than a
+//! decoded structure: the smoke test's contract is byte-identity
+//! between daemon responses and offline computation, and decoding then
+//! re-encoding would launder exactly the bytes the comparison is meant
+//! to check. Decode with [`zolc_bench::json::parse`] (and
+//! [`crate::protocol::parse_retargeted_program`] for retarget results)
+//! when you want the structure.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use zolc_bench::json::{self, Json};
+use zolc_bench::SweepConfig;
+use zolc_core::ZolcConfig;
+use zolc_isa::Program;
+
+use crate::protocol::{read_frame, retarget_request, sweep_request, write_frame};
+
+/// One connection to a running `zolcd`, carrying any number of
+/// sequential requests.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// The socket error if the daemon is unreachable.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends raw request bytes and returns the raw response bytes.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::UnexpectedEof`] if the daemon
+    /// closed the connection instead of responding.
+    pub fn request_raw(&mut self, payload: &[u8]) -> io::Result<Vec<u8>> {
+        write_frame(&mut self.stream, payload)?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection without responding",
+            )
+        })
+    }
+
+    /// Sends a JSON request and returns the raw response bytes.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_raw`].
+    pub fn request(&mut self, doc: &Json) -> io::Result<Vec<u8>> {
+        self.request_raw(doc.render().as_bytes())
+    }
+
+    /// Parses a response and extracts its `result`, mapping
+    /// `{"ok":false}` responses to [`io::ErrorKind::Other`] errors.
+    fn result_of(response: &[u8]) -> io::Result<Json> {
+        let doc = std::str::from_utf8(response)
+            .ok()
+            .and_then(|s| json::parse(s).ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unparsable response"))?;
+        match doc.get("ok") {
+            Some(Json::Bool(true)) => doc.get("result").cloned().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "ok response without result")
+            }),
+            _ => {
+                let msg = doc
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("daemon reported an unspecified error");
+                Err(io::Error::other(msg.to_owned()))
+            }
+        }
+    }
+
+    /// Round-trips a `ping`; `true` when the daemon answered `pong`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_raw`].
+    pub fn ping(&mut self) -> io::Result<bool> {
+        let r = self.request(&Json::Obj(vec![("op".into(), Json::Str("ping".into()))]))?;
+        Ok(Self::result_of(&r)?.as_str() == Some("pong"))
+    }
+
+    /// Fetches the daemon's cache statistics (the decoded `result`
+    /// object: per-cache `hits` / `misses` / `entries`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_raw`].
+    pub fn stats(&mut self) -> io::Result<Json> {
+        let r = self.request(&Json::Obj(vec![("op".into(), Json::Str("stats".into()))]))?;
+        Self::result_of(&r)
+    }
+
+    /// Asks the daemon to shut down (it finishes in-flight jobs first).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_raw`].
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        let r = self.request(&Json::Obj(vec![(
+            "op".into(),
+            Json::Str("shutdown".into()),
+        )]))?;
+        Self::result_of(&r).map(drop)
+    }
+
+    /// Submits a retarget job, returning the raw response bytes
+    /// (compare with
+    /// [`offline_retarget_response`](crate::server::offline_retarget_response)).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_raw`]. Job *failures* are not transport
+    /// errors: they come back as `{"ok":false}` response bytes.
+    pub fn retarget(&mut self, program: &Program, config: &ZolcConfig) -> io::Result<Vec<u8>> {
+        self.request(&retarget_request(program, config))
+    }
+
+    /// Submits a sweep job, returning the raw response bytes (compare
+    /// with [`offline_sweep_response`](crate::server::offline_sweep_response)).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::retarget`].
+    pub fn sweep(&mut self, cfg: &SweepConfig) -> io::Result<Vec<u8>> {
+        self.request(&sweep_request(cfg))
+    }
+}

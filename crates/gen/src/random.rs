@@ -53,6 +53,7 @@ impl GenRng {
 /// two siblings per level, short straight-line bodies, and every shape
 /// feature (register bounds, `dbnz` latches, skip branches) enabled.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct GenConfig {
     /// Maximum number of top-level loop structures (≥ 1).
     pub max_top: usize,
@@ -92,6 +93,80 @@ impl Default for GenConfig {
             dbnz: true,
             skips: true,
         }
+    }
+}
+
+/// Builder-style setters (the struct is `#[non_exhaustive]`, so
+/// out-of-crate code constructs a config as
+/// `GenConfig::new().with_max_trips(24)…` or mutates the public fields
+/// of an existing one).
+impl GenConfig {
+    /// The default configuration (same as [`GenConfig::default`]).
+    pub fn new() -> GenConfig {
+        GenConfig::default()
+    }
+
+    /// Sets the maximum number of top-level loop structures (≥ 1).
+    #[must_use]
+    pub fn with_max_top(mut self, max_top: usize) -> GenConfig {
+        self.max_top = max_top;
+        self
+    }
+
+    /// Sets the maximum nesting depth (≥ 1).
+    #[must_use]
+    pub fn with_max_depth(mut self, max_depth: usize) -> GenConfig {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// Sets the maximum inner loops per level.
+    #[must_use]
+    pub fn with_max_children(mut self, max_children: usize) -> GenConfig {
+        self.max_children = max_children;
+        self
+    }
+
+    /// Sets the maximum instructions per straight-line body block.
+    #[must_use]
+    pub fn with_max_body(mut self, max_body: usize) -> GenConfig {
+        self.max_body = max_body;
+        self
+    }
+
+    /// Sets the maximum trip count per loop (≥ 1).
+    #[must_use]
+    pub fn with_max_trips(mut self, max_trips: u32) -> GenConfig {
+        self.max_trips = max_trips;
+        self
+    }
+
+    /// Sets the total loop budget per program.
+    #[must_use]
+    pub fn with_max_loops(mut self, max_loops: usize) -> GenConfig {
+        self.max_loops = max_loops;
+        self
+    }
+
+    /// Enables or disables register-sourced bounds.
+    #[must_use]
+    pub fn with_reg_bounds(mut self, reg_bounds: bool) -> GenConfig {
+        self.reg_bounds = reg_bounds;
+        self
+    }
+
+    /// Enables or disables fused `dbnz` latches.
+    #[must_use]
+    pub fn with_dbnz(mut self, dbnz: bool) -> GenConfig {
+        self.dbnz = dbnz;
+        self
+    }
+
+    /// Enables or disables loop-crossing skip branches.
+    #[must_use]
+    pub fn with_skips(mut self, skips: bool) -> GenConfig {
+        self.skips = skips;
+        self
     }
 }
 
@@ -349,12 +424,10 @@ mod tests {
     fn loop_budgets_beyond_the_register_pool_still_assemble() {
         // max_loops above the pool: generation honors it up to the
         // register budget and every spec still assembles
-        let cfg = GenConfig {
-            max_loops: 40,
-            max_top: 4,
-            max_children: 3,
-            ..GenConfig::default()
-        };
+        let cfg = GenConfig::new()
+            .with_max_loops(40)
+            .with_max_top(4)
+            .with_max_children(3);
         let mut seen_past_eleven = false;
         for seed in 0..256 {
             let p = ProgramSpec::generate(seed, &cfg);
@@ -370,12 +443,10 @@ mod tests {
 
     #[test]
     fn feature_toggles_disable_their_shapes() {
-        let cfg = GenConfig {
-            reg_bounds: false,
-            dbnz: false,
-            skips: false,
-            ..GenConfig::default()
-        };
+        let cfg = GenConfig::new()
+            .with_reg_bounds(false)
+            .with_dbnz(false)
+            .with_skips(false);
         for seed in 0..64 {
             let p = ProgramSpec::generate(seed, &cfg);
             for (_, s) in p.flatten() {

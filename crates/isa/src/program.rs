@@ -89,6 +89,18 @@ pub struct Program {
 }
 
 impl Program {
+    /// Assembles a program directly from a decoded text segment and a
+    /// data image, with no symbol table — the constructor for programs
+    /// that arrive as binaries (e.g. decoded off a wire or read back
+    /// from an encoded image) rather than through [`Asm`].
+    pub fn from_parts(text: Vec<Instr>, data: Vec<u8>) -> Program {
+        Program {
+            text,
+            data,
+            symbols: BTreeMap::new(),
+        }
+    }
+
     /// The instructions of the text segment, in address order.
     pub fn text(&self) -> &[Instr] {
         &self.text

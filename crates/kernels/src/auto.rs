@@ -18,7 +18,7 @@ use crate::KernelEntry;
 use zolc_cfg::{retarget, Retargeted};
 use zolc_core::ZolcConfig;
 use zolc_ir::{LoweredInfo, Target};
-use zolc_sim::{ExecutorKind, RunError};
+use zolc_sim::{CompiledProgram, ExecutorKind, RunError};
 
 /// Summary statistics of one retargeting run (also carried by the bench
 /// matrix's `ZOLCauto` measurements).
@@ -73,7 +73,7 @@ pub fn build_kernel_auto(
     config: ZolcConfig,
 ) -> Result<AutoKernel, BuildError> {
     let base = (entry.build)(&Target::Baseline)?;
-    let r = retarget(&base.program, &config)?;
+    let r = retarget(base.program.source(), &config)?;
     let stats = AutoStats::from(&r);
     let Retargeted {
         program,
@@ -85,7 +85,7 @@ pub fn build_kernel_auto(
     Ok(AutoKernel {
         built: BuiltKernel {
             name: base.name,
-            program,
+            program: CompiledProgram::compile(program),
             target: Target::Zolc(config),
             expect: base.expect,
             info: LoweredInfo {
@@ -100,8 +100,7 @@ pub fn build_kernel_auto(
 
 /// Builds `entry` through the auto-retargeting pipeline and runs it on
 /// the chosen executor, checking the result against the kernel's
-/// reference expectation (the [`ExecutorKind`]-compatible counterpart of
-/// [`crate::run_kernel_with`] for the auto path).
+/// reference expectation.
 ///
 /// # Errors
 ///
@@ -111,6 +110,10 @@ pub fn build_kernel_auto(
 ///
 /// Panics if the kernel fails to build or retarget (mirroring the bench
 /// matrix convention that only correct, buildable cells are meaningful).
+#[deprecated(
+    since = "0.6.0",
+    note = "call `build_kernel_auto` once and `BuiltKernel::run` on the result"
+)]
 pub fn run_kernel_auto(
     entry: &KernelEntry,
     config: ZolcConfig,
@@ -119,13 +122,13 @@ pub fn run_kernel_auto(
 ) -> Result<KernelRun, RunError> {
     let auto = build_kernel_auto(entry, config)
         .unwrap_or_else(|e| panic!("{}: auto build failed: {e}", entry.name));
-    crate::run_kernel_with(&auto.built, budget, executor)
+    auto.built.run(budget, executor)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{find_kernel, run_kernel_with};
+    use crate::find_kernel;
 
     #[test]
     fn auto_vec_mac_is_correct_on_both_executors() {
@@ -134,7 +137,7 @@ mod tests {
         assert_eq!(auto.stats.unhandled, 0);
         assert!(auto.stats.excised > 0);
         for kind in [ExecutorKind::CycleAccurate, ExecutorKind::Functional] {
-            let run = run_kernel_with(&auto.built, 10_000_000, kind).unwrap();
+            let run = auto.built.run(10_000_000, kind).unwrap();
             assert!(run.is_correct(), "{kind}: {:?}", run.mismatches);
         }
     }
@@ -142,13 +145,11 @@ mod tests {
     #[test]
     fn run_kernel_auto_matches_reference() {
         let entry = find_kernel("fir").unwrap();
-        let run = run_kernel_auto(
-            &entry,
-            ZolcConfig::lite(),
-            10_000_000,
-            ExecutorKind::CycleAccurate,
-        )
-        .unwrap();
+        let run = build_kernel_auto(&entry, ZolcConfig::lite())
+            .unwrap()
+            .built
+            .run(10_000_000, ExecutorKind::CycleAccurate)
+            .unwrap();
         assert!(
             run.is_correct(),
             "{:?} {:?}",

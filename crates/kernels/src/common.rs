@@ -1,10 +1,11 @@
 //! Shared infrastructure for building and running benchmark kernels.
 
 use std::fmt;
+use std::sync::Arc;
 use zolc_core::{Zolc, ZolcConfig};
 use zolc_ir::{lower_into, LoopIr, LowerError, LoweredInfo, Target};
-use zolc_isa::{Asm, AsmError, Instr, Program, Reg};
-use zolc_sim::{run_program_on, ExecutorKind, NullEngine, RunError, Stats};
+use zolc_isa::{Asm, AsmError, Instr, Reg};
+use zolc_sim::{run_session, CompiledProgram, ExecutorKind, NullEngine, RunError, Stats};
 
 /// Expected architectural results of a kernel run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -20,8 +21,10 @@ pub struct Expectation {
 pub struct BuiltKernel {
     /// Kernel name.
     pub name: String,
-    /// The linked program (self-initializing for ZOLC targets).
-    pub program: Program,
+    /// The linked program (self-initializing for ZOLC targets),
+    /// compiled once and `Arc`-shared: every [`BuiltKernel::run`] opens
+    /// a fresh session over the same predecoded text and block cache.
+    pub program: Arc<CompiledProgram>,
     /// The target it was lowered for.
     pub target: Target,
     /// Expected results (from the Rust reference model).
@@ -92,7 +95,7 @@ pub(crate) fn build_kernel(
     let (ir, expect) = f(&mut asm);
     let info = lower_into(&mut asm, &ir, target)?;
     asm.emit(Instr::Halt);
-    let program = asm.finish()?;
+    let program = CompiledProgram::compile(asm.finish()?);
     Ok(BuiltKernel {
         name: name.to_owned(),
         program,
@@ -122,10 +125,77 @@ impl KernelRun {
     }
 }
 
+impl BuiltKernel {
+    /// Runs the kernel on the chosen executor and checks it against its
+    /// reference expectation — a fresh session over the kernel's shared
+    /// [`CompiledProgram`], so repeated runs (and concurrent ones) pay
+    /// the compile cost once.
+    ///
+    /// The correct loop engine is attached automatically (the [`Zolc`]
+    /// controller for ZOLC targets, [`NullEngine`] otherwise). `fuel`
+    /// bounds retired instructions with the same meaning on every
+    /// executor (see [`zolc_sim::Executor::run`]). On the functional
+    /// tiers ([`ExecutorKind::Functional`] / [`ExecutorKind::Compiled`])
+    /// the returned statistics carry no cycle counts but identical
+    /// architectural event counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator [`RunError`]s (fuel exhausted, memory
+    /// fault).
+    pub fn run(&self, fuel: u64, executor: ExecutorKind) -> Result<KernelRun, RunError> {
+        let (finished, violations) = match &self.target {
+            Target::Zolc(cfg) => {
+                let mut z = Zolc::new(*cfg);
+                let fin = run_session(executor, &self.program, &mut z, fuel)?;
+                (fin, z.violations().to_vec())
+            }
+            _ => {
+                let fin = run_session(executor, &self.program, &mut NullEngine, fuel)?;
+                (fin, Vec::new())
+            }
+        };
+        let mut mismatches = Vec::new();
+        for (addr, words) in &self.expect.mem_words {
+            let got = finished
+                .cpu
+                .mem()
+                .read_words(*addr, words.len())
+                .map_err(RunError::from)?;
+            for (k, (g, w)) in got.iter().zip(words).enumerate() {
+                if g != w && mismatches.len() < 8 {
+                    mismatches.push(format!(
+                        "{}/{}: mem[{:#x}] = {:#x}, expected {:#x}",
+                        self.name,
+                        self.target,
+                        addr + 4 * k as u32,
+                        g,
+                        w
+                    ));
+                }
+            }
+        }
+        for (r, v) in &self.expect.regs {
+            let got = finished.cpu.regs().read(*r);
+            if got != *v {
+                mismatches.push(format!(
+                    "{}/{}: {r} = {got:#x}, expected {v:#x}",
+                    self.name, self.target
+                ));
+            }
+        }
+        Ok(KernelRun {
+            stats: finished.stats,
+            mismatches,
+            violations,
+        })
+    }
+}
+
 /// Runs a built kernel on the cycle-accurate simulator and checks it
 /// against its reference expectation.
 ///
-/// Shorthand for [`run_kernel_with`] on [`ExecutorKind::CycleAccurate`];
+/// Shorthand for [`BuiltKernel::run`] on [`ExecutorKind::CycleAccurate`];
 /// use that directly to pick one of the fast functional tiers when
 /// cycle counts are not needed.
 ///
@@ -133,73 +203,18 @@ impl KernelRun {
 ///
 /// Propagates simulator [`RunError`]s (fuel exhausted, memory fault).
 pub fn run_kernel(built: &BuiltKernel, fuel: u64) -> Result<KernelRun, RunError> {
-    run_kernel_with(built, fuel, ExecutorKind::CycleAccurate)
+    built.run(fuel, ExecutorKind::CycleAccurate)
 }
 
 /// Runs a built kernel on the chosen executor and checks it against its
 /// reference expectation.
-///
-/// The correct loop engine is attached automatically (the [`Zolc`]
-/// controller for ZOLC targets, [`NullEngine`] otherwise). `fuel`
-/// bounds retired instructions with the same meaning on every executor
-/// (see [`zolc_sim::Executor::run`]). On the functional tiers
-/// ([`ExecutorKind::Functional`] / [`ExecutorKind::Compiled`]) the
-/// returned statistics carry no cycle counts but identical
-/// architectural event counts.
-///
-/// # Errors
-///
-/// Propagates simulator [`RunError`]s (fuel exhausted, memory fault).
+#[deprecated(since = "0.6.0", note = "call `BuiltKernel::run` instead")]
 pub fn run_kernel_with(
     built: &BuiltKernel,
     fuel: u64,
     executor: ExecutorKind,
 ) -> Result<KernelRun, RunError> {
-    let (finished, violations) = match &built.target {
-        Target::Zolc(cfg) => {
-            let mut z = Zolc::new(*cfg);
-            let fin = run_program_on(executor, &built.program, &mut z, fuel)?;
-            (fin, z.violations().to_vec())
-        }
-        _ => {
-            let fin = run_program_on(executor, &built.program, &mut NullEngine, fuel)?;
-            (fin, Vec::new())
-        }
-    };
-    let mut mismatches = Vec::new();
-    for (addr, words) in &built.expect.mem_words {
-        let got = finished
-            .cpu
-            .mem()
-            .read_words(*addr, words.len())
-            .map_err(RunError::from)?;
-        for (k, (g, w)) in got.iter().zip(words).enumerate() {
-            if g != w && mismatches.len() < 8 {
-                mismatches.push(format!(
-                    "{}/{}: mem[{:#x}] = {:#x}, expected {:#x}",
-                    built.name,
-                    built.target,
-                    addr + 4 * k as u32,
-                    g,
-                    w
-                ));
-            }
-        }
-    }
-    for (r, v) in &built.expect.regs {
-        let got = finished.cpu.regs().read(*r);
-        if got != *v {
-            mismatches.push(format!(
-                "{}/{}: {r} = {got:#x}, expected {v:#x}",
-                built.name, built.target
-            ));
-        }
-    }
-    Ok(KernelRun {
-        stats: finished.stats,
-        mismatches,
-        violations,
-    })
+    built.run(fuel, executor)
 }
 
 /// The standard targets of the paper's Fig. 2 comparison.
@@ -253,11 +268,11 @@ mod tests {
     fn all_executors_agree_on_a_kernel() {
         for target in fig2_targets() {
             let built = crate::build_vec_mac(&target).expect("builds");
-            let slow = run_kernel_with(&built, 10_000_000, ExecutorKind::CycleAccurate).unwrap();
+            let slow = built.run(10_000_000, ExecutorKind::CycleAccurate).unwrap();
             assert!(slow.is_correct(), "{target}: {:?}", slow.mismatches);
             assert!(slow.stats.cycles > 0);
             for kind in [ExecutorKind::Functional, ExecutorKind::Compiled] {
-                let fast = run_kernel_with(&built, 10_000_000, kind).unwrap();
+                let fast = built.run(10_000_000, kind).unwrap();
                 assert!(fast.is_correct(), "{target}/{kind}: {:?}", fast.mismatches);
                 assert_eq!(slow.stats.retired, fast.stats.retired, "{target}/{kind}");
                 assert_eq!(fast.stats.cycles, 0);

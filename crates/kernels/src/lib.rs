@@ -60,10 +60,13 @@ mod misc;
 mod motion;
 mod vec;
 
-pub use auto::{build_kernel_auto, run_kernel_auto, AutoKernel, AutoStats};
+#[allow(deprecated)]
+pub use auto::run_kernel_auto;
+pub use auto::{build_kernel_auto, AutoKernel, AutoStats};
+#[allow(deprecated)]
+pub use common::run_kernel_with;
 pub use common::{
-    fig2_targets, run_kernel, run_kernel_with, BuildError, BuiltKernel, Expectation, KernelRun,
-    Xorshift,
+    fig2_targets, run_kernel, BuildError, BuiltKernel, Expectation, KernelRun, Xorshift,
 };
 pub use filters::{build_fir, build_iir_biquad};
 pub use linalg::{build_conv2d, build_dct8x8, build_matmul};

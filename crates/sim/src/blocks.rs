@@ -15,7 +15,11 @@
 //!
 //! # Caching and fallback
 //!
-//! Blocks are cached by **entry pc × loop-engine passivity**. Only the
+//! Blocks are cached by **entry pc × loop-engine passivity** in the
+//! shared, evictable cache of the session's
+//! [`CompiledProgram`](crate::CompiledProgram) — compiled once, shared
+//! by every concurrent session, memoized locally per session so the
+//! dispatch loop stays lock-free. Only the
 //! passive side of the key ever holds compiled blocks: an active engine
 //! (see [`LoopEngine::is_passive`]) must observe `on_fetch`/`on_execute`
 //! for every instruction, so the active side of the cache degenerates —
@@ -46,9 +50,11 @@ use crate::engine::LoopEngine;
 use crate::exec::{LoadOp, StoreOp, TextImage};
 use crate::functional::Machine;
 use crate::mem::{MemError, Memory};
+use crate::program::CompiledProgram;
 use crate::regfile::RegFile;
 use crate::stats::Stats;
-use zolc_isa::{Instr, Program, Reg, TEXT_BASE};
+use std::sync::Arc;
+use zolc_isa::{Instr, Program, Reg};
 
 /// Upper bound on ops per block: bounds compile latency and keeps a
 /// pathological straight-line program from producing one giant block
@@ -116,9 +122,11 @@ enum Terminator {
     Jr { rs: Reg },
 }
 
-/// One compiled basic block.
+/// One compiled basic block. Immutable once compiled, so the shared
+/// cache in [`CompiledProgram`] hands out `Arc<Block>`s to any number
+/// of concurrent sessions.
 #[derive(Debug)]
-struct Block {
+pub(crate) struct Block {
     /// Byte address of the first op.
     entry: u32,
     /// The straight-line prefix.
@@ -329,7 +337,7 @@ fn branch(instr: Instr, pc: u32, rs: Reg, rt: Reg, cond: CondFn) -> Lowered {
 }
 
 /// Compiles the basic block entered at `entry`.
-fn compile(text: &TextImage, entry: u32) -> Block {
+pub(crate) fn compile(text: &TextImage, entry: u32) -> Block {
     let mut ops = Vec::new();
     let mut pc = entry;
     let term = loop {
@@ -358,34 +366,6 @@ fn compile(text: &TextImage, entry: u32) -> Block {
         ops: ops.into_boxed_slice(),
         term,
         cost,
-    }
-}
-
-/// Lazily populated block cache, one slot per text-segment instruction.
-///
-/// The cache key is (entry pc, engine passivity); only the passive side
-/// holds blocks — active-engine lookups resolve to the step-core
-/// fallback before ever reaching the cache (see the module docs), so the
-/// slots store the passive dimension only.
-#[derive(Debug, Default)]
-struct BlockCache {
-    slots: Vec<Option<Box<Block>>>,
-}
-
-impl BlockCache {
-    /// Resets the cache for a newly loaded text segment.
-    fn reset(&mut self, instrs: usize) {
-        self.slots.clear();
-        self.slots.resize_with(instrs, || None);
-    }
-
-    /// Slot index for `pc`, when `pc` is aligned and inside text.
-    fn index(&self, pc: u32) -> Option<usize> {
-        if !pc.is_multiple_of(4) {
-            return None;
-        }
-        let idx = (pc.wrapping_sub(TEXT_BASE) / 4) as usize;
-        (idx < self.slots.len()).then_some(idx)
     }
 }
 
@@ -507,7 +487,7 @@ fn fault(stats: &mut Stats, pc: &mut u32, b: &Block, k: usize, e: MemError) -> R
 /// # Examples
 ///
 /// ```
-/// use zolc_sim::{CompiledCpu, CpuConfig, NullEngine};
+/// use zolc_sim::{CompiledCpu, CompiledProgram, CpuConfig, NullEngine};
 /// let program = zolc_isa::assemble("
 ///     li   r1, 5
 ///     li   r2, 0
@@ -516,8 +496,8 @@ fn fault(stats: &mut Stats, pc: &mut u32, b: &Block, k: usize, e: MemError) -> R
 ///     bne  r1, r0, top
 ///     halt
 /// ").unwrap();
-/// let mut cpu = CompiledCpu::new(CpuConfig::default());
-/// cpu.load_program(&program)?;
+/// let prog = CompiledProgram::compile(program);
+/// let mut cpu = CompiledCpu::session(&prog, CpuConfig::default())?;
 /// let stats = cpu.run(&mut NullEngine, 10_000).unwrap();
 /// assert_eq!(cpu.regs().read(zolc_isa::reg(2)), 5 + 4 + 3 + 2 + 1);
 /// assert_eq!(stats.cycles, 0); // no timing model
@@ -527,19 +507,47 @@ fn fault(stats: &mut Stats, pc: &mut u32, b: &Block, k: usize, e: MemError) -> R
 #[derive(Debug)]
 pub struct CompiledCpu {
     m: Machine,
-    blocks: BlockCache,
+    /// Session-local memo of blocks already fetched from the shared
+    /// cache, dense by instruction index: the steady-state dispatch
+    /// loop resolves its block without touching the cache lock, and a
+    /// block evicted from the shared cache stays valid here (text is
+    /// immutable) for as long as this session runs.
+    local: Vec<Option<Arc<Block>>>,
 }
 
 impl CompiledCpu {
     /// Creates a core with empty memory and no program loaded.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `CompiledCpu::session` over a \
+                                          shared `CompiledProgram` instead"
+    )]
     pub fn new(config: CpuConfig) -> CompiledCpu {
         CompiledCpu {
             m: Machine::new(config),
-            blocks: BlockCache::default(),
+            local: Vec::new(),
         }
     }
 
-    /// Loads a program image and resets the block cache.
+    /// Opens a fresh run session over a shared compiled program: text
+    /// and data written into new memory, pc at the start of text,
+    /// zeroed registers and statistics. Sessions sharing one
+    /// [`CompiledProgram`] also share its block cache — each basic
+    /// block is compiled once, by whichever session gets there first.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemError`] if a segment does not fit in memory.
+    pub fn session(
+        prog: &Arc<CompiledProgram>,
+        config: CpuConfig,
+    ) -> Result<CompiledCpu, MemError> {
+        let m = Machine::session(prog, config)?;
+        let local = vec![None; m.prog.text().len()];
+        Ok(CompiledCpu { m, local })
+    }
+
+    /// Loads a program image and resets the block memo.
     ///
     /// Resets the PC to the start of text; registers and statistics are
     /// left untouched so tests can pre-seed register state.
@@ -547,9 +555,14 @@ impl CompiledCpu {
     /// # Errors
     ///
     /// Returns a [`MemError`] if a segment does not fit in memory.
+    #[deprecated(
+        since = "0.6.0",
+        note = "compile once with `CompiledProgram::compile` \
+                                          and open a `CompiledCpu::session` instead"
+    )]
     pub fn load_program(&mut self, program: &Program) -> Result<(), MemError> {
         self.m.load_program(program)?;
-        self.blocks.reset(self.m.text.len());
+        self.local = vec![None; self.m.prog.text().len()];
         Ok(())
     }
 
@@ -606,20 +619,21 @@ impl CompiledCpu {
             if self.m.stats.retired >= limit {
                 return Err(RunError::OutOfFuel { fuel });
             }
-            let Some(idx) = self.blocks.index(self.m.pc) else {
+            let Some(idx) = self.m.prog.block_index(self.m.pc) else {
                 // Misaligned or out-of-text pc: raise the architectural
                 // fault (the cache index fails exactly when fetch does).
                 let e = self
                     .m
-                    .text
+                    .prog
+                    .text()
                     .fetch(self.m.pc)
                     .expect_err("cache index and fetch agree on bad pcs");
                 return Err(RunError::from_fetch(e, self.m.pc));
             };
-            if self.blocks.slots[idx].is_none() {
-                self.blocks.slots[idx] = Some(Box::new(compile(&self.m.text, self.m.pc)));
+            if self.local[idx].is_none() {
+                self.local[idx] = Some(self.m.prog.block_at(self.m.pc));
             }
-            let block = self.blocks.slots[idx].as_deref().expect("just compiled");
+            let block = self.local[idx].as_deref().expect("just resolved");
             if limit - self.m.stats.retired < block.cost.max(1) {
                 // Not enough fuel for the whole block: finish per
                 // instruction so OutOfFuel fires at the exact boundary.
@@ -650,10 +664,6 @@ impl CompiledCpu {
 impl Executor for CompiledCpu {
     fn kind(&self) -> ExecutorKind {
         ExecutorKind::Compiled
-    }
-
-    fn load_program(&mut self, program: &Program) -> Result<(), MemError> {
-        CompiledCpu::load_program(self, program)
     }
 
     fn run(&mut self, engine: &mut dyn LoopEngine, fuel: u64) -> Result<Stats, RunError> {
@@ -692,20 +702,22 @@ mod tests {
     use crate::FunctionalCpu;
     use zolc_isa::{assemble, reg, Program};
 
+    fn compiled_session(p: &Program) -> CompiledCpu {
+        CompiledCpu::session(&CompiledProgram::compile(p.clone()), CpuConfig::default()).unwrap()
+    }
+
     fn run_compiled(src: &str) -> (CompiledCpu, Stats) {
         let p = assemble(src).expect("assembles");
-        let mut cpu = CompiledCpu::new(CpuConfig::default());
-        cpu.load_program(&p).unwrap();
+        let mut cpu = compiled_session(&p);
         let stats = cpu.run(&mut NullEngine, 1_000_000).expect("runs");
         (cpu, stats)
     }
 
     fn assert_matches_functional(p: &Program, fuel: u64) {
-        let mut f = FunctionalCpu::new(CpuConfig::default());
-        f.load_program(p).unwrap();
+        let prog = CompiledProgram::compile(p.clone());
+        let mut f = FunctionalCpu::session(&prog, CpuConfig::default()).unwrap();
         let fr = f.run(&mut NullEngine, fuel);
-        let mut c = CompiledCpu::new(CpuConfig::default());
-        c.load_program(p).unwrap();
+        let mut c = CompiledCpu::session(&prog, CpuConfig::default()).unwrap();
         let cr = c.run(&mut NullEngine, fuel);
         assert_eq!(fr, cr, "run results differ");
         assert_eq!(f.regs().snapshot(), c.regs().snapshot(), "registers");
@@ -764,8 +776,7 @@ mod tests {
         )
         .unwrap();
         assert_matches_functional(&p, 1000);
-        let mut c = CompiledCpu::new(CpuConfig::default());
-        c.load_program(&p).unwrap();
+        let mut c = compiled_session(&p);
         assert!(matches!(
             c.run(&mut NullEngine, 1000),
             Err(RunError::Mem(_))
@@ -798,8 +809,7 @@ mod tests {
             assert_matches_functional(&p, 1000);
         }
         let p = assemble("li r1, 6\njr r1\nhalt").unwrap();
-        let mut c = CompiledCpu::new(CpuConfig::default());
-        c.load_program(&p).unwrap();
+        let mut c = compiled_session(&p);
         let err = c.run(&mut NullEngine, 1000).unwrap_err();
         assert_eq!(err, RunError::MisalignedFetch { pc: 6 });
     }
@@ -807,11 +817,14 @@ mod tests {
     #[test]
     fn trace_retire_falls_back_to_the_step_core() {
         let p = assemble("nop\nnop\nhalt").unwrap();
-        let mut cpu = CompiledCpu::new(CpuConfig {
-            trace_retire: true,
-            ..CpuConfig::default()
-        });
-        cpu.load_program(&p).unwrap();
+        let mut cpu = CompiledCpu::session(
+            &CompiledProgram::compile(p),
+            CpuConfig {
+                trace_retire: true,
+                ..CpuConfig::default()
+            },
+        )
+        .unwrap();
         cpu.run(&mut NullEngine, 100).unwrap();
         let ords: Vec<u64> = cpu.retire_log().iter().map(|e| e.cycle).collect();
         assert_eq!(ords, vec![1, 2, 3]);
@@ -819,9 +832,9 @@ mod tests {
 
     #[test]
     fn blocks_are_reused_across_iterations() {
-        // A long-running loop must compile its body exactly once; this
-        // is a behavioral proxy: the run is correct and the cache holds
-        // a block at the loop head.
+        // A long-running loop must compile its body exactly once: the
+        // shared cache registers one miss per distinct block and no
+        // per-iteration traffic (the session-local memo absorbs it).
         let p = assemble(
             "
             li   r1, 1000
@@ -832,12 +845,20 @@ mod tests {
         ",
         )
         .unwrap();
-        let mut c = CompiledCpu::new(CpuConfig::default());
-        c.load_program(&p).unwrap();
+        let prog = CompiledProgram::compile(p);
+        let mut c = CompiledCpu::session(&prog, CpuConfig::default()).unwrap();
         c.run(&mut NullEngine, 1_000_000).unwrap();
         assert_eq!(c.regs().read(reg(2)), 3000);
-        let compiled = c.blocks.slots.iter().filter(|s| s.is_some()).count();
-        assert!(compiled >= 2, "loop head and entry blocks cached");
-        assert!(compiled <= 4, "no per-iteration recompilation blowup");
+        let stats = prog.cache_stats();
+        assert!(stats.misses >= 2, "loop head and entry blocks compiled");
+        assert!(stats.misses <= 4, "no per-iteration recompilation blowup");
+        assert_eq!(stats.resident as u64, stats.misses, "nothing evicted");
+        assert_eq!(stats.evictions, 0);
+        // A second session over the same program compiles nothing new.
+        let mut c2 = CompiledCpu::session(&prog, CpuConfig::default()).unwrap();
+        c2.run(&mut NullEngine, 1_000_000).unwrap();
+        assert_eq!(c2.regs().read(reg(2)), 3000);
+        assert_eq!(prog.cache_stats().misses, stats.misses);
+        assert!(prog.cache_stats().hits > stats.hits, "reused shared blocks");
     }
 }

@@ -1,5 +1,5 @@
 //! Shared executor-facing surface: configuration, errors, the
-//! [`Executor`] trait and the [`run_program`]/[`run_program_on`] entry
+//! [`Executor`] trait and the [`run_program`]/[`run_session`] entry
 //! points.
 //!
 //! The simulator is layered (see the crate docs): the predecode and
@@ -11,12 +11,14 @@
 
 use crate::engine::LoopEngine;
 use crate::mem::{MemError, Memory};
+use crate::program::CompiledProgram;
 use crate::regfile::RegFile;
 use crate::stats::Stats;
 use crate::{Cpu, FunctionalCpu};
 use zolc_isa::{Instr, Program, DATA_BASE};
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Configuration of the simulated core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,11 +119,12 @@ pub struct RetireEvent {
     pub instr: Instr,
 }
 
-/// A processor core that can load and run programs.
+/// A processor core running one session over a compiled program.
 ///
 /// All executors implement this trait so harness code (kernels, the
 /// experiment matrix, property tests) can run any of them without caring
-/// which; pick one with [`ExecutorKind`].
+/// which; pick one with [`ExecutorKind`] and open a session with
+/// [`ExecutorKind::new_session`].
 ///
 /// # Fuel semantics
 ///
@@ -138,15 +141,6 @@ pub struct RetireEvent {
 pub trait Executor {
     /// Which executor implementation this is.
     fn kind(&self) -> ExecutorKind;
-
-    /// Loads a program image (decoded text and data segment) and resets
-    /// the PC to the start of text; registers and statistics are left
-    /// untouched so callers can pre-seed state.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`MemError`] if a segment does not fit in memory.
-    fn load_program(&mut self, program: &Program) -> Result<(), MemError>;
 
     /// Runs until `halt` retires or the fuel (retired-instruction
     /// budget; see the trait docs) is exhausted.
@@ -210,13 +204,41 @@ pub enum ExecutorKind {
 }
 
 impl ExecutorKind {
-    /// Creates a core of this kind.
+    /// Creates a core of this kind with no program loaded.
+    #[deprecated(
+        since = "0.6.0",
+        note = "compile once with `CompiledProgram::compile` \
+                                          and use `ExecutorKind::new_session` instead"
+    )]
     pub fn new_core(self, config: CpuConfig) -> Box<dyn Executor> {
+        #[allow(deprecated)]
         match self {
             ExecutorKind::CycleAccurate => Box::new(Cpu::new(config)),
             ExecutorKind::Functional => Box::new(FunctionalCpu::new(config)),
             ExecutorKind::Compiled => Box::new(crate::CompiledCpu::new(config)),
         }
+    }
+
+    /// Opens a fresh run session of this kind over a shared compiled
+    /// program (see [`CompiledProgram`]): new memory with the text and
+    /// data segments written, pc at the start of text, zeroed registers
+    /// and statistics. The program — including the compiled tier's
+    /// basic-block cache — is shared; the session is the cheap per-run
+    /// half.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemError`] if a segment does not fit in memory.
+    pub fn new_session(
+        self,
+        prog: &Arc<CompiledProgram>,
+        config: CpuConfig,
+    ) -> Result<Box<dyn Executor>, MemError> {
+        Ok(match self {
+            ExecutorKind::CycleAccurate => Box::new(Cpu::session(prog, config)?),
+            ExecutorKind::Functional => Box::new(FunctionalCpu::session(prog, config)?),
+            ExecutorKind::Compiled => Box::new(crate::CompiledCpu::session(prog, config)?),
+        })
     }
 
     /// All executor kinds, in speed order (slowest first) — the axis the
@@ -238,7 +260,7 @@ impl fmt::Display for ExecutorKind {
     }
 }
 
-/// Result of a convenience [`run_program`] or [`run_program_on`] call.
+/// Result of a convenience [`run_program`] or [`run_session`] call.
 #[derive(Debug)]
 pub struct Finished<C = Cpu> {
     /// The statistics of the completed run.
@@ -250,6 +272,11 @@ pub struct Finished<C = Cpu> {
 /// Loads `program` into a default-configured cycle-accurate core and
 /// runs it to `halt`.
 ///
+/// One-shot convenience: it compiles the program privately. When the
+/// same program runs more than once — sweeps, differential suites,
+/// concurrent jobs — compile once with [`CompiledProgram::compile`] and
+/// use [`run_session`] instead.
+///
 /// # Errors
 ///
 /// Propagates any [`RunError`]; `fuel` bounds retired instructions (the
@@ -259,8 +286,28 @@ pub fn run_program(
     engine: &mut dyn LoopEngine,
     fuel: u64,
 ) -> Result<Finished, RunError> {
-    let mut cpu = Cpu::new(CpuConfig::default());
-    cpu.load_program(program)?;
+    let prog = CompiledProgram::compile(program.clone());
+    let mut cpu = Cpu::session(&prog, CpuConfig::default())?;
+    let stats = cpu.run(engine, fuel)?;
+    Ok(Finished { stats, cpu })
+}
+
+/// Opens a default-configured session of the chosen kind over a shared
+/// compiled program and runs it to `halt`.
+///
+/// # Errors
+///
+/// Propagates any [`RunError`]; `fuel` bounds retired instructions
+/// identically on every executor kind (see [`Executor::run`]), so the
+/// same program exhausts the same fuel at the same instruction no matter
+/// which backend runs it.
+pub fn run_session(
+    kind: ExecutorKind,
+    prog: &Arc<CompiledProgram>,
+    engine: &mut dyn LoopEngine,
+    fuel: u64,
+) -> Result<Finished<Box<dyn Executor>>, RunError> {
+    let mut cpu = kind.new_session(prog, CpuConfig::default())?;
     let stats = cpu.run(engine, fuel)?;
     Ok(Finished { stats, cpu })
 }
@@ -271,19 +318,24 @@ pub fn run_program(
 /// # Errors
 ///
 /// Propagates any [`RunError`]; `fuel` bounds retired instructions
-/// identically on every executor kind (see [`Executor::run`]), so the
-/// same program exhausts the same fuel at the same instruction no matter
-/// which backend runs it.
+/// identically on every executor kind (see [`Executor::run`]).
+#[deprecated(
+    since = "0.6.0",
+    note = "compile once with `CompiledProgram::compile` \
+                                      and use `run_session` instead"
+)]
 pub fn run_program_on(
     kind: ExecutorKind,
     program: &Program,
     engine: &mut dyn LoopEngine,
     fuel: u64,
 ) -> Result<Finished<Box<dyn Executor>>, RunError> {
-    let mut cpu = kind.new_core(CpuConfig::default());
-    cpu.load_program(program)?;
-    let stats = cpu.run(engine, fuel)?;
-    Ok(Finished { stats, cpu })
+    run_session(
+        kind,
+        &CompiledProgram::compile(program.clone()),
+        engine,
+        fuel,
+    )
 }
 
 #[cfg(test)]
@@ -293,10 +345,11 @@ mod tests {
     use zolc_isa::{assemble, reg};
 
     #[test]
-    fn run_program_on_selects_the_executor() {
+    fn run_session_selects_the_executor() {
         let p = assemble("li r1, 7\naddi r1, r1, 35\nhalt").unwrap();
+        let prog = CompiledProgram::compile(p);
         for kind in ExecutorKind::ALL {
-            let f = run_program_on(kind, &p, &mut NullEngine, 10_000).unwrap();
+            let f = run_session(kind, &prog, &mut NullEngine, 10_000).unwrap();
             assert_eq!(f.cpu.kind(), kind);
             assert_eq!(f.cpu.regs().read(reg(1)), 42);
             assert_eq!(f.stats.retired, 3);
@@ -306,12 +359,36 @@ mod tests {
     #[test]
     fn functional_tiers_report_no_cycles() {
         let p = assemble("nop\nhalt").unwrap();
+        let prog = CompiledProgram::compile(p);
         for kind in [ExecutorKind::Functional, ExecutorKind::Compiled] {
-            let f = run_program_on(kind, &p, &mut NullEngine, 100).unwrap();
+            let f = run_session(kind, &prog, &mut NullEngine, 100).unwrap();
             assert_eq!(f.stats.cycles, 0);
         }
-        let f = run_program_on(ExecutorKind::CycleAccurate, &p, &mut NullEngine, 100).unwrap();
+        let f = run_session(ExecutorKind::CycleAccurate, &prog, &mut NullEngine, 100).unwrap();
         assert!(f.stats.cycles > 0);
+    }
+
+    /// The deprecated load-program shims stay behaviorally identical to
+    /// sessions for the one-PR migration window.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_sessions() {
+        let p = assemble("li r1, 7\naddi r1, r1, 35\nhalt").unwrap();
+        let prog = CompiledProgram::compile(p.clone());
+        for kind in ExecutorKind::ALL {
+            let via_shim = run_program_on(kind, &p, &mut NullEngine, 10_000).unwrap();
+            let via_session = run_session(kind, &prog, &mut NullEngine, 10_000).unwrap();
+            assert_eq!(via_shim.stats, via_session.stats);
+            assert_eq!(
+                via_shim.cpu.regs().snapshot(),
+                via_session.cpu.regs().snapshot()
+            );
+        }
+        let mut cpu = Cpu::new(CpuConfig::default());
+        cpu.load_program(&p).unwrap();
+        let stats = cpu.run(&mut NullEngine, 10_000).unwrap();
+        assert_eq!(stats.retired, 3);
+        assert_eq!(cpu.regs().read(reg(1)), 42);
     }
 
     #[test]

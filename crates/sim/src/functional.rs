@@ -39,10 +39,12 @@
 
 use crate::cpu::{CpuConfig, Executor, ExecutorKind, RetireEvent, RunError};
 use crate::engine::{ExecEvent, LoopEngine};
-use crate::exec::{step, Effect, TextImage};
+use crate::exec::{step, Effect};
 use crate::mem::{MemError, Memory};
+use crate::program::CompiledProgram;
 use crate::regfile::RegFile;
 use crate::stats::Stats;
+use std::sync::Arc;
 use zolc_isa::{Program, Reg, DATA_BASE, TEXT_BASE};
 
 /// The architectural machine state shared by the functional tiers, with
@@ -55,7 +57,7 @@ use zolc_isa::{Program, Reg, DATA_BASE, TEXT_BASE};
 #[derive(Debug)]
 pub(crate) struct Machine {
     pub(crate) config: CpuConfig,
-    pub(crate) text: TextImage,
+    pub(crate) prog: Arc<CompiledProgram>,
     pub(crate) mem: Memory,
     pub(crate) regs: RegFile,
     pub(crate) pc: u32,
@@ -67,7 +69,7 @@ impl Machine {
     pub(crate) fn new(config: CpuConfig) -> Machine {
         Machine {
             config,
-            text: TextImage::default(),
+            prog: CompiledProgram::empty(),
             mem: Memory::new(config.mem_size),
             regs: RegFile::new(),
             pc: TEXT_BASE,
@@ -76,12 +78,31 @@ impl Machine {
         }
     }
 
-    pub(crate) fn load_program(&mut self, program: &Program) -> Result<(), MemError> {
-        self.text = TextImage::new(program);
-        self.mem.write_bytes(TEXT_BASE, &program.text_bytes())?;
-        self.mem.write_bytes(DATA_BASE, program.data())?;
+    /// A fresh session over a shared compiled program: new memory with
+    /// the text and data segments written, pc at the start of text,
+    /// zeroed registers and statistics.
+    pub(crate) fn session(
+        prog: &Arc<CompiledProgram>,
+        config: CpuConfig,
+    ) -> Result<Machine, MemError> {
+        let mut m = Machine::new(config);
+        m.attach(Arc::clone(prog))?;
+        Ok(m)
+    }
+
+    /// Points this machine at `prog` and (re)writes its memory image;
+    /// registers and statistics are left untouched so callers can
+    /// pre-seed state.
+    pub(crate) fn attach(&mut self, prog: Arc<CompiledProgram>) -> Result<(), MemError> {
+        self.mem.write_bytes(TEXT_BASE, prog.text_bytes())?;
+        self.mem.write_bytes(DATA_BASE, prog.source().data())?;
+        self.prog = prog;
         self.pc = TEXT_BASE;
         Ok(())
+    }
+
+    pub(crate) fn load_program(&mut self, program: &Program) -> Result<(), MemError> {
+        self.attach(CompiledProgram::compile(program.clone()))
     }
 
     /// The per-instruction interpreter loop, monomorphized over engine
@@ -124,7 +145,7 @@ impl Machine {
         engine: &mut dyn LoopEngine,
     ) -> Result<bool, RunError> {
         let pc = self.pc;
-        let instr = match self.text.fetch(pc) {
+        let instr = match self.prog.text().fetch(pc) {
             Ok(i) => i,
             // No speculation: every fetch is architectural, so a bad pc
             // is immediately the fault the pipeline raises when an
@@ -249,7 +270,7 @@ impl Machine {
 /// # Examples
 ///
 /// ```
-/// use zolc_sim::{CpuConfig, FunctionalCpu, NullEngine};
+/// use zolc_sim::{CompiledProgram, CpuConfig, FunctionalCpu, NullEngine};
 /// let program = zolc_isa::assemble("
 ///     li   r1, 5
 ///     li   r2, 0
@@ -258,8 +279,8 @@ impl Machine {
 ///     bne  r1, r0, top
 ///     halt
 /// ").unwrap();
-/// let mut cpu = FunctionalCpu::new(CpuConfig::default());
-/// cpu.load_program(&program)?;
+/// let prog = CompiledProgram::compile(program);
+/// let mut cpu = FunctionalCpu::session(&prog, CpuConfig::default())?;
 /// let stats = cpu.run(&mut NullEngine, 10_000).unwrap();
 /// assert_eq!(cpu.regs().read(zolc_isa::reg(2)), 5 + 4 + 3 + 2 + 1);
 /// assert_eq!(stats.cycles, 0); // no timing model
@@ -273,10 +294,32 @@ pub struct FunctionalCpu {
 
 impl FunctionalCpu {
     /// Creates a core with empty memory and no program loaded.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `FunctionalCpu::session` over a \
+                                          shared `CompiledProgram` instead"
+    )]
     pub fn new(config: CpuConfig) -> FunctionalCpu {
         FunctionalCpu {
             m: Machine::new(config),
         }
+    }
+
+    /// Opens a fresh run session over a shared compiled program: text
+    /// and data written into new memory, pc at the start of text,
+    /// zeroed registers and statistics. Any number of sessions may
+    /// share one [`CompiledProgram`] concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemError`] if a segment does not fit in memory.
+    pub fn session(
+        prog: &Arc<CompiledProgram>,
+        config: CpuConfig,
+    ) -> Result<FunctionalCpu, MemError> {
+        Ok(FunctionalCpu {
+            m: Machine::session(prog, config)?,
+        })
     }
 
     /// Loads a program image: text (predecoded and as bytes) and data
@@ -288,6 +331,11 @@ impl FunctionalCpu {
     /// # Errors
     ///
     /// Returns a [`MemError`] if a segment does not fit in memory.
+    #[deprecated(
+        since = "0.6.0",
+        note = "compile once with `CompiledProgram::compile` \
+                                          and open a `FunctionalCpu::session` instead"
+    )]
     pub fn load_program(&mut self, program: &Program) -> Result<(), MemError> {
         self.m.load_program(program)
     }
@@ -342,10 +390,6 @@ impl Executor for FunctionalCpu {
         ExecutorKind::Functional
     }
 
-    fn load_program(&mut self, program: &Program) -> Result<(), MemError> {
-        FunctionalCpu::load_program(self, program)
-    }
-
     fn run(&mut self, engine: &mut dyn LoopEngine, fuel: u64) -> Result<Stats, RunError> {
         FunctionalCpu::run(self, engine, fuel)
     }
@@ -381,10 +425,13 @@ mod tests {
     use crate::engine::NullEngine;
     use zolc_isa::{assemble, reg};
 
-    fn run_functional(src: &str) -> (FunctionalCpu, Stats) {
+    fn session(src: &str) -> FunctionalCpu {
         let p = assemble(src).expect("assembles");
-        let mut cpu = FunctionalCpu::new(CpuConfig::default());
-        cpu.load_program(&p).unwrap();
+        FunctionalCpu::session(&CompiledProgram::compile(p), CpuConfig::default()).unwrap()
+    }
+
+    fn run_functional(src: &str) -> (FunctionalCpu, Stats) {
+        let mut cpu = session(src);
         let stats = cpu.run(&mut NullEngine, 1_000_000).expect("runs");
         (cpu, stats)
     }
@@ -429,27 +476,21 @@ mod tests {
 
     #[test]
     fn memory_faults_propagate() {
-        let p = assemble("li r1, 2\nlw r2, (r1)\nhalt").unwrap();
-        let mut cpu = FunctionalCpu::new(CpuConfig::default());
-        cpu.load_program(&p).unwrap();
+        let mut cpu = session("li r1, 2\nlw r2, (r1)\nhalt");
         let r = cpu.run(&mut NullEngine, 1000);
         assert!(matches!(r, Err(RunError::Mem(_))));
     }
 
     #[test]
     fn running_off_text_is_an_error() {
-        let p = assemble("nop\nnop\n").unwrap();
-        let mut cpu = FunctionalCpu::new(CpuConfig::default());
-        cpu.load_program(&p).unwrap();
+        let mut cpu = session("nop\nnop\n");
         let r = cpu.run(&mut NullEngine, 1000);
         assert!(matches!(r, Err(RunError::PcOutOfText { .. })));
     }
 
     #[test]
     fn instruction_budget_detected() {
-        let p = assemble("top: j top\nhalt").unwrap();
-        let mut cpu = FunctionalCpu::new(CpuConfig::default());
-        cpu.load_program(&p).unwrap();
+        let mut cpu = session("top: j top\nhalt");
         let r = cpu.run(&mut NullEngine, 100);
         assert!(matches!(r, Err(RunError::OutOfFuel { .. })));
     }
@@ -457,11 +498,14 @@ mod tests {
     #[test]
     fn retire_log_uses_ordinals() {
         let p = assemble("nop\nnop\nhalt").unwrap();
-        let mut cpu = FunctionalCpu::new(CpuConfig {
-            trace_retire: true,
-            ..CpuConfig::default()
-        });
-        cpu.load_program(&p).unwrap();
+        let mut cpu = FunctionalCpu::session(
+            &CompiledProgram::compile(p),
+            CpuConfig {
+                trace_retire: true,
+                ..CpuConfig::default()
+            },
+        )
+        .unwrap();
         cpu.run(&mut NullEngine, 100).unwrap();
         let ords: Vec<u64> = cpu.retire_log().iter().map(|e| e.cycle).collect();
         assert_eq!(ords, vec![1, 2, 3]);

@@ -43,10 +43,21 @@
 //! `zwr`/`zctl` coprocessor instructions and a dedicated index-register
 //! write port.
 //!
+//! # Sessions over shared compiled programs
+//!
+//! The immutable half of an executor — the predecoded text image and
+//! the compiled tier's block cache — lives in an `Arc`-shareable
+//! [`CompiledProgram`]; an executor is a cheap per-run **session**
+//! (registers, data memory, pc, statistics) opened over it with
+//! [`ExecutorKind::new_session`] or the concrete `session`
+//! constructors. Compile once, run any number of concurrent sessions:
+//! the sweep harness and the `zolcd` job daemon are built on exactly
+//! this split.
+//!
 //! # Examples
 //!
 //! ```
-//! use zolc_sim::{run_program, run_program_on, ExecutorKind, NullEngine};
+//! use zolc_sim::{run_program, run_session, CompiledProgram, ExecutorKind, NullEngine};
 //!
 //! let program = zolc_isa::assemble("
 //!     li   r1, 100
@@ -59,8 +70,10 @@
 //! // Cycle-accurate: the paper's metric.
 //! let finished = run_program(&program, &mut NullEngine, 1_000_000)?;
 //! assert_eq!(finished.cpu.regs().read(zolc_isa::reg(2)), (1..=100).sum::<u32>());
-//! // Functional: same architecture, no cycles, much faster.
-//! let fast = run_program_on(ExecutorKind::Functional, &program, &mut NullEngine, 1_000_000)?;
+//! // Functional: same architecture, no cycles, much faster — a fresh
+//! // session over the shared compiled program.
+//! let prog = CompiledProgram::compile(program);
+//! let fast = run_session(ExecutorKind::Functional, &prog, &mut NullEngine, 1_000_000)?;
 //! assert_eq!(fast.cpu.regs().read(zolc_isa::reg(2)), (1..=100).sum::<u32>());
 //! assert_eq!(fast.stats.retired, finished.stats.retired);
 //! assert_eq!(fast.stats.cycles, 0);
@@ -77,17 +90,21 @@ pub mod exec;
 mod functional;
 mod mem;
 mod pipeline;
+mod program;
 mod regfile;
 mod stats;
 
 pub use blocks::CompiledCpu;
+#[allow(deprecated)]
+pub use cpu::run_program_on;
 pub use cpu::{
-    run_program, run_program_on, CpuConfig, Executor, ExecutorKind, Finished, RetireEvent, RunError,
+    run_program, run_session, CpuConfig, Executor, ExecutorKind, Finished, RetireEvent, RunError,
 };
 pub use engine::{ExecEvent, FetchDecision, LoopEngine, NullEngine, RegWrites};
 pub use exec::{Effect, FetchError, TextImage};
 pub use functional::FunctionalCpu;
 pub use mem::{MemError, MemErrorKind, Memory};
 pub use pipeline::Cpu;
+pub use program::{BlockCacheConfig, BlockCacheStats, CompiledProgram};
 pub use regfile::RegFile;
 pub use stats::Stats;

@@ -37,10 +37,12 @@
 
 use crate::cpu::{CpuConfig, Executor, ExecutorKind, RetireEvent, RunError};
 use crate::engine::{ExecEvent, LoopEngine, RegWrites};
-use crate::exec::{step, Effect, FetchError, LoadOp, StoreOp, TextImage};
+use crate::exec::{step, Effect, FetchError, LoadOp, StoreOp};
 use crate::mem::{MemError, Memory};
+use crate::program::CompiledProgram;
 use crate::regfile::RegFile;
 use crate::stats::Stats;
+use std::sync::Arc;
 use zolc_isa::{Instr, Program, Reg, DATA_BASE, TEXT_BASE};
 
 /// Payload of the IF/ID and ID/EX latches.
@@ -95,7 +97,7 @@ struct WbSlot {
 /// # Examples
 ///
 /// ```
-/// use zolc_sim::{Cpu, CpuConfig, NullEngine};
+/// use zolc_sim::{CompiledProgram, Cpu, CpuConfig, NullEngine};
 /// let program = zolc_isa::assemble("
 ///     li   r1, 5
 ///     li   r2, 0
@@ -104,8 +106,8 @@ struct WbSlot {
 ///     bne  r1, r0, top
 ///     halt
 /// ").unwrap();
-/// let mut cpu = Cpu::new(CpuConfig::default());
-/// cpu.load_program(&program)?;
+/// let prog = CompiledProgram::compile(program);
+/// let mut cpu = Cpu::session(&prog, CpuConfig::default())?;
 /// let stats = cpu.run(&mut NullEngine, 10_000).unwrap();
 /// assert_eq!(cpu.regs().read(zolc_isa::reg(2)), 5 + 4 + 3 + 2 + 1);
 /// assert!(stats.cycles > 0);
@@ -114,7 +116,7 @@ struct WbSlot {
 #[derive(Debug)]
 pub struct Cpu {
     config: CpuConfig,
-    text: TextImage,
+    prog: Arc<CompiledProgram>,
     mem: Memory,
     regs: RegFile,
     pc: u32,
@@ -131,10 +133,15 @@ pub struct Cpu {
 
 impl Cpu {
     /// Creates a core with empty memory and no program loaded.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `Cpu::session` over a shared \
+                                          `CompiledProgram` instead"
+    )]
     pub fn new(config: CpuConfig) -> Cpu {
         Cpu {
             config,
-            text: TextImage::default(),
+            prog: CompiledProgram::empty(),
             mem: Memory::new(config.mem_size),
             regs: RegFile::new(),
             pc: TEXT_BASE,
@@ -148,6 +155,34 @@ impl Cpu {
         }
     }
 
+    /// Opens a fresh run session over a shared compiled program: text
+    /// and data written into new memory, pc at the start of text,
+    /// zeroed registers and statistics. Any number of sessions may
+    /// share one [`CompiledProgram`] concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemError`] if a segment does not fit in memory.
+    pub fn session(prog: &Arc<CompiledProgram>, config: CpuConfig) -> Result<Cpu, MemError> {
+        let mut cpu = Cpu {
+            config,
+            prog: Arc::clone(prog),
+            mem: Memory::new(config.mem_size),
+            regs: RegFile::new(),
+            pc: TEXT_BASE,
+            if_id: None,
+            id_ex: None,
+            ex_mem: None,
+            mem_wb: None,
+            fetch_stopped: false,
+            stats: Stats::default(),
+            retire_log: Vec::new(),
+        };
+        cpu.mem.write_bytes(TEXT_BASE, prog.text_bytes())?;
+        cpu.mem.write_bytes(DATA_BASE, prog.source().data())?;
+        Ok(cpu)
+    }
+
     /// Loads a program image: text (predecoded and as bytes) and data
     /// segment.
     ///
@@ -157,10 +192,15 @@ impl Cpu {
     /// # Errors
     ///
     /// Returns a [`MemError`] if a segment does not fit in memory.
+    #[deprecated(
+        since = "0.6.0",
+        note = "compile once with `CompiledProgram::compile` \
+                                          and open a `Cpu::session` instead"
+    )]
     pub fn load_program(&mut self, program: &Program) -> Result<(), MemError> {
-        self.text = TextImage::new(program);
         self.mem.write_bytes(TEXT_BASE, &program.text_bytes())?;
         self.mem.write_bytes(DATA_BASE, program.data())?;
+        self.prog = CompiledProgram::compile(program.clone());
         self.pc = TEXT_BASE;
         Ok(())
     }
@@ -545,7 +585,7 @@ impl Cpu {
     /// image, consult the loop engine, compute the next fetch address.
     fn fetch(&mut self, engine: &mut dyn LoopEngine) {
         let pc = self.pc;
-        let instr = match self.text.fetch(pc) {
+        let instr = match self.prog.text().fetch(pc) {
             Ok(i) => i,
             Err(e) => {
                 // Wrong-path overruns are legal (e.g. the fall-through
@@ -585,10 +625,6 @@ impl Cpu {
 impl Executor for Cpu {
     fn kind(&self) -> ExecutorKind {
         ExecutorKind::CycleAccurate
-    }
-
-    fn load_program(&mut self, program: &Program) -> Result<(), MemError> {
-        Cpu::load_program(self, program)
     }
 
     fn run(&mut self, engine: &mut dyn LoopEngine, budget: u64) -> Result<Stats, RunError> {
@@ -893,11 +929,14 @@ mod tests {
         ",
         )
         .unwrap();
-        let mut cpu = Cpu::new(CpuConfig {
-            trace_retire: true,
-            ..CpuConfig::default()
-        });
-        cpu.load_program(&p).unwrap();
+        let mut cpu = Cpu::session(
+            &crate::CompiledProgram::compile(p),
+            CpuConfig {
+                trace_retire: true,
+                ..CpuConfig::default()
+            },
+        )
+        .unwrap();
         cpu.run(&mut NullEngine, 10_000).unwrap();
         let pcs: Vec<u32> = cpu.retire_log().iter().map(|e| e.pc).collect();
         assert_eq!(pcs, vec![0, 4, 8, 4, 8, 12]);
@@ -945,8 +984,8 @@ mod tests {
     #[test]
     fn run_twice_resumes_cycle_count() {
         let p = assemble("nop\nhalt").unwrap();
-        let mut cpu = Cpu::new(CpuConfig::default());
-        cpu.load_program(&p).unwrap();
+        let mut cpu =
+            Cpu::session(&crate::CompiledProgram::compile(p), CpuConfig::default()).unwrap();
         let s = cpu.run(&mut NullEngine, 100).unwrap();
         assert_eq!(s.cycles, cpu.stats().cycles);
     }

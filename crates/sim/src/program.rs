@@ -1,0 +1,262 @@
+//! The immutable, shareable side of an executor: [`CompiledProgram`].
+//!
+//! The session redesign splits what used to be one mutable core into
+//! two halves with very different lifetimes:
+//!
+//! * [`CompiledProgram`] — everything derived from the program bytes
+//!   and nothing else: the predecoded [`TextImage`], the encoded text
+//!   bytes (sessions copy them into simulated memory), and the
+//!   basic-block cache of the compiled tier. It is immutable after
+//!   construction and `Arc`-shared, so one compile serves any number
+//!   of concurrent sessions — the daemon's whole reason to exist.
+//! * a **session** (one of [`Cpu`](crate::Cpu),
+//!   [`FunctionalCpu`](crate::FunctionalCpu),
+//!   [`CompiledCpu`](crate::CompiledCpu), created through
+//!   [`ExecutorKind::new_session`](crate::ExecutorKind::new_session))
+//!   — the cheap per-run half: registers, data memory, pc, statistics.
+//!
+//! # The shared block cache
+//!
+//! The block-compiled tier used to keep its compiled blocks in a dense
+//! per-core vector, recompiled for every `load_program`. The cache now
+//! lives here, keyed by entry pc, lazily populated under a mutex and
+//! bounded by [`BlockCacheConfig::max_blocks`] with FIFO eviction.
+//! Sessions keep a private memo of `Arc<Block>`s they have already
+//! looked up, so the steady-state dispatch loop never touches the lock;
+//! an evicted block stays alive (and correct — text is immutable) for
+//! as long as any session still holds it. [`CompiledProgram::cache_stats`]
+//! exposes hit/miss/eviction counters for tests and capacity tuning.
+
+use crate::blocks::{compile, Block};
+use crate::exec::TextImage;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use zolc_isa::{Program, TEXT_BASE};
+
+/// Capacity knob for the shared basic-block cache of a
+/// [`CompiledProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct BlockCacheConfig {
+    /// Maximum number of resident compiled blocks; the oldest block is
+    /// evicted (FIFO) when an insert would exceed it. Clamped to at
+    /// least 1. Defaults to unbounded.
+    pub max_blocks: usize,
+}
+
+impl BlockCacheConfig {
+    /// An unbounded cache — the default: block count is already capped
+    /// by the text segment size.
+    pub fn new() -> BlockCacheConfig {
+        BlockCacheConfig {
+            max_blocks: usize::MAX,
+        }
+    }
+
+    /// Caps the cache at `max_blocks` resident blocks (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_max_blocks(mut self, max_blocks: usize) -> BlockCacheConfig {
+        self.max_blocks = max_blocks.max(1);
+        self
+    }
+}
+
+impl Default for BlockCacheConfig {
+    fn default() -> Self {
+        BlockCacheConfig::new()
+    }
+}
+
+/// Counters of the shared block cache (see
+/// [`CompiledProgram::cache_stats`]).
+///
+/// Hits and misses count *shared-cache* lookups: a session's private
+/// memo absorbs repeat lookups, so a long-running loop registers one
+/// miss when its block is first compiled and no further traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct BlockCacheStats {
+    /// Lookups answered by an already-resident block.
+    pub hits: u64,
+    /// Lookups that had to compile (and insert) the block.
+    pub misses: u64,
+    /// Blocks evicted to stay under [`BlockCacheConfig::max_blocks`].
+    pub evictions: u64,
+    /// Blocks currently resident.
+    pub resident: usize,
+}
+
+/// The mutable interior of the shared cache: resident blocks by entry
+/// pc plus FIFO insertion order for eviction.
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<u32, Arc<Block>>,
+    order: VecDeque<u32>,
+}
+
+/// A concurrent, lazily populated, capacity-bounded block cache.
+#[derive(Debug)]
+pub(crate) struct SharedBlockCache {
+    max_blocks: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SharedBlockCache {
+    fn new(config: BlockCacheConfig) -> SharedBlockCache {
+        SharedBlockCache {
+            max_blocks: config.max_blocks.max(1),
+            inner: Mutex::new(CacheInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the block entered at `entry`, compiling it if absent.
+    /// Compilation runs outside the lock; when two sessions race on the
+    /// same entry the first insert wins and the loser's compile is
+    /// discarded (both results are identical — text is immutable).
+    fn get_or_compile(&self, text: &TextImage, entry: u32) -> Arc<Block> {
+        if let Some(b) = self
+            .inner
+            .lock()
+            .expect("block cache poisoned")
+            .map
+            .get(&entry)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(b);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(compile(text, entry));
+        let mut g = self.inner.lock().expect("block cache poisoned");
+        if let Some(b) = g.map.get(&entry) {
+            return Arc::clone(b);
+        }
+        g.map.insert(entry, Arc::clone(&compiled));
+        g.order.push_back(entry);
+        // FIFO eviction; the just-inserted entry sits at the back, so
+        // with max_blocks ≥ 1 it is never the one popped.
+        while g.map.len() > self.max_blocks {
+            let Some(old) = g.order.pop_front() else {
+                break;
+            };
+            g.map.remove(&old);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        compiled
+    }
+
+    fn stats(&self) -> BlockCacheStats {
+        BlockCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident: self.inner.lock().expect("block cache poisoned").map.len(),
+        }
+    }
+}
+
+/// An immutable, `Arc`-shareable compiled program: the predecoded text
+/// image plus the shared basic-block cache (see the module docs).
+///
+/// Compile once, then open any number of concurrent sessions against
+/// it:
+///
+/// ```
+/// use zolc_sim::{run_session, CompiledProgram, ExecutorKind, NullEngine};
+///
+/// let program = zolc_isa::assemble("
+///     li   r1, 100
+///     li   r2, 0
+/// top: add  r2, r2, r1
+///     addi r1, r1, -1
+///     bne  r1, r0, top
+///     halt
+/// ").unwrap();
+/// let prog = CompiledProgram::compile(program);
+/// for kind in ExecutorKind::ALL {
+///     let f = run_session(kind, &prog, &mut NullEngine, 1_000_000)?;
+///     assert_eq!(f.cpu.regs().read(zolc_isa::reg(2)), (1..=100).sum::<u32>());
+/// }
+/// # Ok::<(), zolc_sim::RunError>(())
+/// ```
+#[derive(Debug)]
+pub struct CompiledProgram {
+    source: Arc<Program>,
+    text: TextImage,
+    text_bytes: Vec<u8>,
+    blocks: SharedBlockCache,
+}
+
+impl CompiledProgram {
+    /// Predecodes `program` into a shareable compiled form. Accepts an
+    /// owned [`Program`] or an `Arc<Program>` (shared without copying).
+    pub fn compile(program: impl Into<Arc<Program>>) -> Arc<CompiledProgram> {
+        CompiledProgram::compile_with(program, BlockCacheConfig::new())
+    }
+
+    /// [`CompiledProgram::compile`] with an explicit block-cache
+    /// capacity (tests and memory-tight sweeps; the default is
+    /// unbounded).
+    pub fn compile_with(
+        program: impl Into<Arc<Program>>,
+        cache: BlockCacheConfig,
+    ) -> Arc<CompiledProgram> {
+        let source = program.into();
+        let text = TextImage::new(&source);
+        let text_bytes = source.text_bytes();
+        Arc::new(CompiledProgram {
+            source,
+            text,
+            text_bytes,
+            blocks: SharedBlockCache::new(cache),
+        })
+    }
+
+    /// An empty program (no text, no data) — the image a freshly
+    /// constructed core holds before anything is loaded.
+    pub(crate) fn empty() -> Arc<CompiledProgram> {
+        CompiledProgram::compile(Program::default())
+    }
+
+    /// The source program this was compiled from.
+    pub fn source(&self) -> &Arc<Program> {
+        &self.source
+    }
+
+    /// The predecoded text segment.
+    pub fn text(&self) -> &TextImage {
+        &self.text
+    }
+
+    /// The encoded text bytes (what sessions copy to [`zolc_isa::TEXT_BASE`]).
+    pub(crate) fn text_bytes(&self) -> &[u8] {
+        &self.text_bytes
+    }
+
+    /// Shared-cache counters; see [`BlockCacheStats`].
+    pub fn cache_stats(&self) -> BlockCacheStats {
+        self.blocks.stats()
+    }
+
+    /// Dense per-instruction index for `pc`, when `pc` is aligned and
+    /// inside text — exactly the addresses [`TextImage::fetch`] accepts.
+    pub(crate) fn block_index(&self, pc: u32) -> Option<usize> {
+        if !pc.is_multiple_of(4) {
+            return None;
+        }
+        let idx = (pc.wrapping_sub(TEXT_BASE) / 4) as usize;
+        (idx < self.text.len()).then_some(idx)
+    }
+
+    /// The compiled block entered at `entry` (compiling on first use).
+    pub(crate) fn block_at(&self, entry: u32) -> Arc<Block> {
+        self.blocks.get_or_compile(&self.text, entry)
+    }
+}

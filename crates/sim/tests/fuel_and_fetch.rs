@@ -11,15 +11,16 @@
 //!   executor.
 
 use zolc_isa::assemble;
-use zolc_sim::{run_program_on, ExecutorKind, NullEngine, RunError};
+use zolc_sim::{run_session, CompiledProgram, ExecutorKind, NullEngine, RunError};
 
 /// `jr` to a misaligned address faults with the misaligned pc reported
 /// as-is on all three executors.
 #[test]
 fn misaligned_fetch_is_an_explicit_fault_on_all_executors() {
     let p = assemble("li r1, 6\njr r1\nhalt").unwrap();
+    let prog = CompiledProgram::compile(p);
     for kind in ExecutorKind::ALL {
-        let r = run_program_on(kind, &p, &mut NullEngine, 10_000).map(|f| f.stats);
+        let r = run_session(kind, &prog, &mut NullEngine, 10_000).map(|f| f.stats);
         assert!(
             matches!(r, Err(RunError::MisalignedFetch { pc: 6 })),
             "{kind}: expected MisalignedFetch at 6, got {r:?}"
@@ -41,9 +42,11 @@ fn misaligned_fetch_does_not_truncate_to_containing_instruction() {
     ",
     )
     .unwrap();
+    let prog = CompiledProgram::compile(p);
     for kind in ExecutorKind::ALL {
-        let mut cpu = kind.new_core(zolc_sim::CpuConfig::default());
-        cpu.load_program(&p).unwrap();
+        let mut cpu = kind
+            .new_session(&prog, zolc_sim::CpuConfig::default())
+            .unwrap();
         let r = cpu.run(&mut NullEngine, 10_000);
         assert!(
             matches!(r, Err(RunError::MisalignedFetch { pc: 10 })),
@@ -61,8 +64,9 @@ fn misaligned_fetch_does_not_truncate_to_containing_instruction() {
 #[test]
 fn out_of_text_fault_stays_distinct() {
     let p = assemble("nop\nnop\n").unwrap();
+    let prog = CompiledProgram::compile(p);
     for kind in ExecutorKind::ALL {
-        let r = run_program_on(kind, &p, &mut NullEngine, 10_000).map(|f| f.stats);
+        let r = run_session(kind, &prog, &mut NullEngine, 10_000).map(|f| f.stats);
         assert!(
             matches!(r, Err(RunError::PcOutOfText { pc: 8 })),
             "{kind}: expected PcOutOfText at 8, got {r:?}"
@@ -86,7 +90,13 @@ fn wrong_path_overrun_still_squashed_on_pipeline() {
     ",
     )
     .unwrap();
-    let f = run_program_on(ExecutorKind::CycleAccurate, &p, &mut NullEngine, 10_000).unwrap();
+    let f = run_session(
+        ExecutorKind::CycleAccurate,
+        &CompiledProgram::compile(p),
+        &mut NullEngine,
+        10_000,
+    )
+    .unwrap();
     assert_eq!(f.cpu.regs().read(zolc_isa::reg(1)), 0);
 }
 
@@ -107,17 +117,24 @@ fn fuel_boundary_is_identical_on_all_executors() {
     ",
     )
     .unwrap();
-    let full = run_program_on(ExecutorKind::CycleAccurate, &p, &mut NullEngine, 1_000_000)
-        .unwrap()
-        .stats
-        .retired;
+    let prog = CompiledProgram::compile(p);
+    let full = run_session(
+        ExecutorKind::CycleAccurate,
+        &prog,
+        &mut NullEngine,
+        1_000_000,
+    )
+    .unwrap()
+    .stats
+    .retired;
     assert_eq!(full, 8);
 
     for fuel in 0..=full + 1 {
         let mut snapshots = Vec::new();
         for kind in ExecutorKind::ALL {
-            let mut cpu = kind.new_core(zolc_sim::CpuConfig::default());
-            cpu.load_program(&p).unwrap();
+            let mut cpu = kind
+                .new_session(&prog, zolc_sim::CpuConfig::default())
+                .unwrap();
             let r = cpu.run(&mut NullEngine, fuel);
             if fuel >= full {
                 let stats = r.unwrap_or_else(|e| panic!("{kind}: fuel {fuel} should finish: {e}"));
@@ -157,10 +174,17 @@ fn pipeline_fuel_ignores_stall_and_flush_cycles() {
     ",
     )
     .unwrap();
-    let f = run_program_on(ExecutorKind::CycleAccurate, &p, &mut NullEngine, 1_000_000).unwrap();
+    let prog = CompiledProgram::compile(p);
+    let f = run_session(
+        ExecutorKind::CycleAccurate,
+        &prog,
+        &mut NullEngine,
+        1_000_000,
+    )
+    .unwrap();
     let retired = f.stats.retired;
     assert!(f.stats.cycles > retired, "test needs stall/flush cycles");
     // exactly `retired` fuel suffices even though cycles >> retired
-    let exact = run_program_on(ExecutorKind::CycleAccurate, &p, &mut NullEngine, retired);
+    let exact = run_session(ExecutorKind::CycleAccurate, &prog, &mut NullEngine, retired);
     assert!(exact.is_ok(), "budget of {retired} retired instrs suffices");
 }

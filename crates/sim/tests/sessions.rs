@@ -1,0 +1,134 @@
+//! Session-API coverage: many concurrent sessions over one shared
+//! [`CompiledProgram`] must be bit-exact with solo runs on every
+//! executor tier, and a capacity-capped block cache must stay correct
+//! while it thrashes.
+
+use std::sync::Arc;
+use std::thread;
+use zolc_isa::assemble;
+use zolc_sim::{
+    run_session, BlockCacheConfig, CompiledProgram, CpuConfig, ExecutorKind, NullEngine, Stats,
+};
+
+/// A program with several distinct basic blocks, calls and a loop — all
+/// the shapes the block compiler caches.
+const KERNEL: &str = "
+        li   r1, 200
+        li   r2, 0
+  top:  add  r2, r2, r1
+        jal  scale
+        addi r1, r1, -1
+        bne  r1, r0, top
+        j    done
+  scale:
+        slt  r4, r2, r3
+        beq  r4, r0, cap
+        addi r3, r3, 1
+        jr   r31
+  cap:  addi r3, r3, 2
+        jr   r31
+  done: halt
+";
+
+fn solo(kind: ExecutorKind, prog: &Arc<CompiledProgram>) -> (Stats, Vec<u32>) {
+    let f = run_session(kind, prog, &mut NullEngine, 1_000_000).unwrap();
+    (f.stats, f.cpu.regs().snapshot().to_vec())
+}
+
+/// N threads sharing one `Arc<CompiledProgram>` each run to completion
+/// and match the solo run bit-exactly, on every executor tier.
+#[test]
+fn concurrent_sessions_match_solo_runs_on_every_tier() {
+    let p = assemble(KERNEL).unwrap();
+    let prog = CompiledProgram::compile(p);
+    for kind in ExecutorKind::ALL {
+        let reference = solo(kind, &prog);
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..8).map(|_| s.spawn(|| solo(kind, &prog))).collect();
+            for h in handles {
+                let got = h.join().expect("session thread panicked");
+                assert_eq!(got, reference, "{kind}: concurrent run diverged from solo");
+            }
+        });
+    }
+    // The compiled tier exercised the shared cache: blocks were
+    // compiled at most once each, and later sessions hit.
+    let stats = prog.cache_stats();
+    assert!(stats.misses > 0, "compiled tier populated the cache");
+    assert!(stats.hits > 0, "later sessions reused shared blocks");
+    assert_eq!(stats.evictions, 0, "unbounded cache never evicts");
+}
+
+/// A cache capped far below the program's block count stays correct
+/// under thrash — sessions keep their evicted blocks alive privately —
+/// and actually evicts.
+#[test]
+fn capped_cache_thrashes_but_stays_correct() {
+    let p = assemble(KERNEL).unwrap();
+    let reference = {
+        let unbounded = CompiledProgram::compile(p.clone());
+        solo(ExecutorKind::Compiled, &unbounded)
+    };
+
+    let capped = CompiledProgram::compile_with(p, BlockCacheConfig::new().with_max_blocks(1));
+    // Sequential sessions: each starts with an empty local memo, so
+    // every distinct block re-enters the size-1 shared cache and kicks
+    // the previous one out.
+    for _ in 0..4 {
+        let got = solo(ExecutorKind::Compiled, &capped);
+        assert_eq!(got, reference, "capped cache changed architectural results");
+    }
+    // Concurrent sessions over the same thrashing cache.
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| s.spawn(|| solo(ExecutorKind::Compiled, &capped)))
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), reference);
+        }
+    });
+
+    let stats = capped.cache_stats();
+    assert!(
+        stats.evictions > 0,
+        "a size-1 cache must evict under thrash"
+    );
+    assert!(stats.resident <= 1, "capacity bound respected");
+    assert!(
+        stats.misses > stats.evictions,
+        "inserts outnumber evictions by exactly the resident count"
+    );
+}
+
+/// Sessions are independent: seeding registers or memory in one session
+/// never leaks into another over the same program.
+#[test]
+fn sessions_do_not_share_mutable_state() {
+    let p = assemble(
+        "
+        .data
+  cell: .space 4
+        .text
+        la   r1, cell
+        lw   r2, (r1)
+        addi r2, r2, 1
+        halt
+    ",
+    )
+    .unwrap();
+    let prog = CompiledProgram::compile(p);
+    for kind in ExecutorKind::ALL {
+        let mut a = kind.new_session(&prog, CpuConfig::default()).unwrap();
+        a.mem_mut().store_word(0x40000, 41).unwrap();
+        a.run(&mut NullEngine, 1_000).unwrap();
+        assert_eq!(a.regs().read(zolc_isa::reg(2)), 42);
+
+        let mut b = kind.new_session(&prog, CpuConfig::default()).unwrap();
+        b.run(&mut NullEngine, 1_000).unwrap();
+        assert_eq!(
+            b.regs().read(zolc_isa::reg(2)),
+            1,
+            "{kind}: session B saw session A's memory"
+        );
+    }
+}

@@ -25,10 +25,18 @@ use zolc::core::ZolcConfig;
 use zolc::gen::{GenConfig, ProgramSpec};
 use zolc::sim::ExecutorKind;
 
+/// Takes the flag's value argument, exiting with a one-line error (and
+/// status 2, like any other usage error here) when it is missing or
+/// unparsable — a typo'd invocation must not panic with a backtrace.
 fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
-    args.next()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| panic!("{flag} needs a value"))
+    let Some(raw) = args.next() else {
+        eprintln!("{flag} needs a value (see the example header for knobs)");
+        std::process::exit(2);
+    };
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: `{raw}` is not a valid value");
+        std::process::exit(2);
+    })
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -53,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--functional" => cfg.executor = ExecutorKind::Functional,
             "--compiled" => cfg.executor = ExecutorKind::Compiled,
             "--show" => show = Some(parse_flag(&mut args, "--show")),
-            "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a value"))),
+            "--out" => out = Some(parse_flag(&mut args, "--out")),
             "--shards" => shards = parse_flag(&mut args, "--shards"),
             "--stop-after" => stop_after = Some(parse_flag(&mut args, "--stop-after")),
             other => {

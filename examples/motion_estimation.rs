@@ -12,8 +12,7 @@ use std::time::Instant;
 use zolc::core::{area, ZolcConfig};
 use zolc::ir::Target;
 use zolc::kernels::{
-    build_me_fs, build_me_fs_early, build_me_tss, run_kernel, run_kernel_with, BuildFn,
-    ExecutorKind,
+    build_me_fs, build_me_fs_early, build_me_tss, run_kernel, BuildFn, ExecutorKind,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -37,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (kname, build) in &kernels {
         for (cname, target) in &configs {
             let built = build(target)?;
-            let run = run_kernel_with(&built, 50_000_000, ExecutorKind::Functional)?;
+            let run = built.run(50_000_000, ExecutorKind::Functional)?;
             assert!(run.is_correct(), "{kname} on {cname} diverged");
             cells += 1;
         }

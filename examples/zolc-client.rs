@@ -1,0 +1,180 @@
+//! `zolc-client`: submit jobs to a running `zolcd` (see the `zolcd`
+//! example).
+//!
+//! ```sh
+//! cargo run --release --example zolc-client -- --addr HOST:PORT ping
+//! cargo run --release --example zolc-client -- --addr HOST:PORT stats
+//! cargo run --release --example zolc-client -- --addr HOST:PORT jobs --seed 1 --count 8
+//! cargo run --release --example zolc-client -- --addr HOST:PORT jobs --seed 1 --count 8 --verify
+//! cargo run --release --example zolc-client -- --addr HOST:PORT shutdown
+//! ```
+//!
+//! `jobs` submits a deterministic mix of retarget and sweep jobs drawn
+//! from a small shared key space, so concurrent clients with different
+//! seeds still collide on job content and exercise the daemon's caches.
+//! With `--verify`, every response is recomputed offline and must match
+//! the daemon's bytes exactly — the core guarantee of the service
+//! (cache hits are byte-identical to cold computation) checked from the
+//! outside. `stats` prints one parseable line per cache.
+
+use zolc::core::ZolcConfig;
+use zolc::daemon::server::{offline_retarget_response, offline_sweep_response};
+use zolc::daemon::Client;
+use zolc::gen::{GenConfig, ProgramSpec};
+use zolc::isa::Program;
+use zolc::sim::ExecutorKind;
+
+use zolc::bench::{SweepConfig, SweepPoint};
+
+fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
+    let Some(raw) = args.next() else {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    };
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: `{raw}` is not a valid value");
+        std::process::exit(2);
+    })
+}
+
+/// The shared job-key space: clients with different seeds draw
+/// overlapping keys, so the daemon sees repeats across clients.
+const KEY_SPACE: u64 = 10;
+
+/// The retarget job for an even key: a generated loop nest against a
+/// configuration cycling through the paper's design points.
+fn retarget_job(key: u64) -> (Program, ZolcConfig) {
+    let spec = ProgramSpec::generate(100 + key, &GenConfig::new());
+    let assembled = spec.assemble().expect("generated programs assemble");
+    let config = match (key / 2) % 4 {
+        0 => ZolcConfig::micro(),
+        1 => ZolcConfig::lite(),
+        2 => ZolcConfig::full(),
+        _ => ZolcConfig::custom(2, 8, 1, 0).expect("valid custom point"),
+    };
+    (assembled.program, config)
+}
+
+/// The sweep job for an odd key: tiny (2 programs, one point, the
+/// functional executor) so a smoke run stays fast while still covering
+/// the generate→retarget→execute pipeline.
+fn sweep_job(key: u64) -> SweepConfig {
+    SweepConfig::new()
+        .with_programs(2)
+        .with_base_seed(key)
+        .with_points(vec![SweepPoint::new("ZOLClite", ZolcConfig::lite())])
+        .with_executor(ExecutorKind::Functional)
+}
+
+fn run_jobs(client: &mut Client, seed: u64, count: u64, verify: bool) -> std::io::Result<bool> {
+    let mut all_ok = true;
+    for i in 0..count {
+        let key = (seed + i) % KEY_SPACE;
+        let (label, response, expected) = if key.is_multiple_of(2) {
+            let (program, config) = retarget_job(key);
+            let response = client.retarget(&program, &config)?;
+            let expected = verify.then(|| offline_retarget_response(&program, &config));
+            (
+                format!("retarget key={key} config={}", config.variant()),
+                response,
+                expected,
+            )
+        } else {
+            let cfg = sweep_job(key);
+            let response = client.sweep(&cfg)?;
+            let expected = verify.then(|| offline_sweep_response(&cfg));
+            (format!("sweep key={key}"), response, expected)
+        };
+
+        let ok = response.starts_with(b"{\"ok\":true");
+        let verdict = match &expected {
+            None => {
+                if ok {
+                    "ok"
+                } else {
+                    "error"
+                }
+            }
+            Some(e) if *e == response => "verified",
+            Some(_) => {
+                all_ok = false;
+                "MISMATCH"
+            }
+        };
+        if !ok && verify {
+            all_ok = false;
+        }
+        println!("job {i}: {label}: {verdict} ({} bytes)", response.len());
+    }
+    Ok(all_ok)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut addr: Option<String> = None;
+    let mut mode: Option<String> = None;
+    let mut seed: u64 = 1;
+    let mut count: u64 = 8;
+    let mut verify = false;
+
+    let mut args = std::env::args();
+    args.next(); // program name
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(parse_flag(&mut args, "--addr")),
+            "--seed" => seed = parse_flag(&mut args, "--seed"),
+            "--count" => count = parse_flag(&mut args, "--count"),
+            "--verify" => verify = true,
+            "ping" | "stats" | "jobs" | "shutdown" if mode.is_none() => {
+                mode = Some(arg);
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (see the example header)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("--addr HOST:PORT is required");
+        std::process::exit(2);
+    };
+    let mut client = Client::connect(&addr)?;
+
+    match mode.as_deref() {
+        Some("ping") => {
+            if client.ping()? {
+                println!("pong");
+            } else {
+                eprintln!("daemon answered, but not with pong");
+                std::process::exit(1);
+            }
+        }
+        Some("stats") => {
+            let stats = client.stats()?;
+            for cache in ["retarget", "sweep"] {
+                let s = stats.get(cache).ok_or("stats response missing a cache")?;
+                let field = |k: &str| s.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+                println!(
+                    "{cache} hits={} misses={} entries={}",
+                    field("hits"),
+                    field("misses"),
+                    field("entries")
+                );
+            }
+        }
+        Some("shutdown") => {
+            client.shutdown()?;
+            println!("daemon acknowledged shutdown");
+        }
+        Some("jobs") => {
+            if !run_jobs(&mut client, seed, count, verify)? {
+                eprintln!("some jobs failed verification");
+                std::process::exit(1);
+            }
+        }
+        _ => {
+            eprintln!("pick a mode: ping | stats | jobs | shutdown");
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! `zolcd`: the persistent retarget/sweep job daemon.
+//!
+//! ```sh
+//! cargo run --release --example zolcd                       # loopback, free port
+//! cargo run --release --example zolcd -- --addr 127.0.0.1:7345
+//! ```
+//!
+//! The daemon prints one `zolcd listening on ADDR` line once the socket
+//! is bound (scripts wait for it), serves retarget and sweep jobs from
+//! content-addressed caches, and exits when a client sends `shutdown`.
+//! Submit jobs with the `zolc-client` example.
+
+use std::io::Write;
+use zolc::daemon::{Daemon, DaemonConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = DaemonConfig::new();
+    let mut args = std::env::args();
+    args.next(); // program name
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let Some(addr) = args.next() else {
+                    eprintln!("--addr needs a value, e.g. --addr 127.0.0.1:7345");
+                    std::process::exit(2);
+                };
+                config = config.with_addr(addr);
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (only --addr ADDR is accepted)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let daemon = Daemon::bind(&config)?;
+    // One parseable line, flushed before serving: launchers (the smoke
+    // script, CI) block on it to learn the resolved port.
+    println!("zolcd listening on {}", daemon.local_addr());
+    std::io::stdout().flush()?;
+    daemon.run()?;
+    println!("zolcd: shutdown complete");
+    Ok(())
+}

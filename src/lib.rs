@@ -24,7 +24,10 @@
 //!   reference models;
 //! * [`mod@bench`] — the experiment harness regenerating every table and
 //!   figure of the paper (run `cargo bench`), built on a batch-parallel
-//!   kernel × target × executor [`bench::JobMatrix`].
+//!   kernel × target × executor [`bench::JobMatrix`];
+//! * [`mod@daemon`] — `zolcd`, a persistent retarget/sweep job daemon
+//!   with content-addressed result caches (see the `zolcd` and
+//!   `zolc-client` examples).
 //!
 //! The repo-level `ARCHITECTURE.md` diagrams how the crates compose and
 //! the two code-generation pipelines (hand lowering via [`mod@ir`],
@@ -58,6 +61,7 @@
 pub use zolc_bench as bench;
 pub use zolc_cfg as cfg;
 pub use zolc_core as core;
+pub use zolc_daemon as daemon;
 pub use zolc_gen as gen;
 pub use zolc_ir as ir;
 pub use zolc_isa as isa;

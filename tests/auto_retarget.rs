@@ -13,10 +13,9 @@ use zolc::core::ZolcConfig;
 use zolc::ir::Target;
 use zolc::isa::DATA_BASE;
 use zolc::kernels::{
-    build_kernel_auto, extra_kernels, kernels, run_kernel, run_kernel_auto, run_kernel_with,
-    AutoKernel, ExecutorKind, KernelEntry,
+    build_kernel_auto, extra_kernels, kernels, run_kernel, AutoKernel, ExecutorKind, KernelEntry,
 };
-use zolc::sim::Stats;
+use zolc::sim::{run_session, Stats};
 
 const BUDGET: u64 = 50_000_000;
 
@@ -53,7 +52,9 @@ fn auto_builds_are_bit_exact_on_both_executors() {
         let a = auto(k);
         let mut retired: Option<u64> = None;
         for kind in [ExecutorKind::CycleAccurate, ExecutorKind::Functional] {
-            let run = run_kernel_with(&a.built, BUDGET, kind)
+            let run = a
+                .built
+                .run(BUDGET, kind)
                 .unwrap_or_else(|e| panic!("{}/{kind}: {e}", k.name));
             assert!(
                 run.is_correct(),
@@ -82,13 +83,13 @@ fn auto_builds_match_hand_builds_on_final_memory() {
         // bodies are the same code, so every store must land identically
         let auto_run = {
             let mut z = zolc::core::Zolc::new(ZolcConfig::lite());
-            let fin = zolc::sim::run_program_on(fast, &a.built.program, &mut z, BUDGET).unwrap();
+            let fin = run_session(fast, &a.built.program, &mut z, BUDGET).unwrap();
             z.assert_consistent();
             fin
         };
         let hand_run = {
             let mut z = zolc::core::Zolc::new(ZolcConfig::lite());
-            let fin = zolc::sim::run_program_on(fast, &hand.program, &mut z, BUDGET).unwrap();
+            let fin = run_session(fast, &hand.program, &mut z, BUDGET).unwrap();
             z.assert_consistent();
             fin
         };
@@ -107,7 +108,7 @@ fn auto_images_verify_structurally() {
     for k in kernels() {
         let a = auto(k);
         let image = a.built.info.image.as_ref().expect("auto image");
-        let findings = verify_image(&a.built.program, image);
+        let findings = verify_image(a.built.program.source(), image);
         assert!(findings.is_empty(), "{}: {findings:?}", k.name);
         assert_eq!(image.loops.len(), a.stats.hw_loops);
     }
@@ -122,8 +123,10 @@ fn auto_beats_both_software_loop_configurations() {
         };
         let base = cycles(&Target::Baseline).cycles;
         let hw = cycles(&Target::HwLoop).cycles;
-        let auto_run =
-            run_kernel_auto(k, ZolcConfig::lite(), BUDGET, ExecutorKind::CycleAccurate).unwrap();
+        let auto_run = auto(k)
+            .built
+            .run(BUDGET, ExecutorKind::CycleAccurate)
+            .unwrap();
         assert!(auto_run.is_correct(), "{}", k.name);
         let auto_cycles = auto_run.stats.cycles;
         assert!(
@@ -142,7 +145,9 @@ fn auto_beats_both_software_loop_configurations() {
 fn extras_with_early_exits_degrade_gracefully() {
     for k in extra_kernels() {
         let a = auto(k);
-        let run = run_kernel_with(&a.built, BUDGET, ExecutorKind::Functional)
+        let run = a
+            .built
+            .run(BUDGET, ExecutorKind::Functional)
             .unwrap_or_else(|e| panic!("{}: {e}", k.name));
         assert!(
             run.is_correct(),

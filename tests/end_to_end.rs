@@ -48,7 +48,7 @@ fn lowered_images_verify_structurally() {
         for cfg in [ZolcConfig::lite(), ZolcConfig::full()] {
             let built = (k.build)(&Target::Zolc(cfg)).unwrap();
             let image = built.info.image.as_ref().expect("kernels have loops");
-            let findings = verify_image(&built.program, image);
+            let findings = verify_image(built.program.source(), image);
             assert!(
                 findings.is_empty(),
                 "{}/{}: {findings:?}",
@@ -82,7 +82,7 @@ fn cfg_analysis_matches_ir_structure() {
     for (name, loops, depth) in expected {
         let k = kernels().iter().find(|k| k.name == name).unwrap();
         let built = (k.build)(&Target::Baseline).unwrap();
-        let cfgraph = Cfg::build(&built.program);
+        let cfgraph = Cfg::build(built.program.source());
         let dom = Dominators::compute(&cfgraph);
         let forest = LoopForest::analyze(&cfgraph, &dom);
         assert_eq!(forest.len(), loops, "{name}: loop count");
@@ -95,7 +95,7 @@ fn cfg_analysis_matches_ir_structure() {
         // ZOLC form: loop control is gone — no backward branches remain
         // (exit branches of the early-exit kernels are forward).
         let builtz = (k.build)(&Target::Zolc(ZolcConfig::lite())).unwrap();
-        let zg = Cfg::build(&builtz.program);
+        let zg = Cfg::build(builtz.program.source());
         let zd = Dominators::compute(&zg);
         let zf = LoopForest::analyze(&zg, &zd);
         assert!(
@@ -180,10 +180,10 @@ fn auto_mapper_recovers_counted_loops() {
     for name in ["vec_mac", "fir", "matmul", "crc32"] {
         let k = kernels().iter().find(|k| k.name == name).unwrap();
         let built = (k.build)(&Target::Baseline).unwrap();
-        let g = Cfg::build(&built.program);
+        let g = Cfg::build(built.program.source());
         let d = Dominators::compute(&g);
         let f = LoopForest::analyze(&g, &d);
-        let mapped = map_to_zolc(&built.program, &g, &f);
+        let mapped = map_to_zolc(built.program.source(), &g, &f);
         assert_eq!(
             mapped.counted.len(),
             f.len(),

@@ -21,30 +21,34 @@ mod common;
 
 use common::{any_instr, gen_loop};
 use proptest::prelude::*;
+use std::sync::Arc;
 use zolc::cfg::retarget;
 use zolc::core::{Zolc, ZolcConfig};
 use zolc::ir::Target;
-use zolc::isa::{reg, Asm, Instr, Program, Reg, DATA_BASE};
+use zolc::isa::{reg, Asm, Instr, Reg, DATA_BASE};
 use zolc::kernels::{extra_kernels, fig2_targets, kernels};
-use zolc::sim::{run_program_on, Executor, ExecutorKind, Finished, NullEngine, RunError, Stats};
+use zolc::sim::{
+    run_session, CompiledProgram, Executor, ExecutorKind, Finished, NullEngine, RunError, Stats,
+};
 
 const BUDGET: u64 = 50_000_000;
 
-/// Runs `program` on the chosen executor with the engine `target` calls
-/// for (a fresh `Zolc` for ZOLC targets, `NullEngine` otherwise).
+/// Opens a session over `program` on the chosen executor with the
+/// engine `target` calls for (a fresh `Zolc` for ZOLC targets,
+/// `NullEngine` otherwise).
 fn run_on(
     kind: ExecutorKind,
-    program: &Program,
+    program: &Arc<CompiledProgram>,
     target: &Target,
 ) -> Result<Finished<Box<dyn Executor>>, RunError> {
     match target {
         Target::Zolc(cfg) => {
             let mut z = Zolc::new(*cfg);
-            let fin = run_program_on(kind, program, &mut z, BUDGET)?;
+            let fin = run_session(kind, program, &mut z, BUDGET)?;
             z.assert_consistent();
             Ok(fin)
         }
-        _ => run_program_on(kind, program, &mut NullEngine, BUDGET),
+        _ => run_session(kind, program, &mut NullEngine, BUDGET),
     }
 }
 
@@ -52,7 +56,11 @@ fn run_on(
 /// executors; returns the pipeline's and the functional interpreter's
 /// stats (the compiled tier's are additionally held equal to the
 /// functional interpreter's in full).
-fn assert_equivalent(program: &Program, target: &Target, context: &str) -> (Stats, Stats) {
+fn assert_equivalent(
+    program: &Arc<CompiledProgram>,
+    target: &Target,
+    context: &str,
+) -> (Stats, Stats) {
     let slow = run_on(ExecutorKind::CycleAccurate, program, target)
         .unwrap_or_else(|e| panic!("{context}: pipeline failed: {e}"));
     let mut functional_stats = None;
@@ -99,7 +107,7 @@ proptest! {
         asm.li(reg(1), DATA_BASE as i32);
         asm.emit_all(instrs.iter().copied());
         asm.emit(Instr::Halt);
-        let program = asm.finish().expect("assembles");
+        let program = CompiledProgram::compile(asm.finish().expect("assembles"));
         let (slow, fast) = assert_equivalent(&program, &Target::Baseline, "straightline");
         prop_assert!(slow.cycles >= slow.retired);
         prop_assert_eq!(fast.cycles, 0);
@@ -142,12 +150,14 @@ proptest! {
             "notes: {:?}", r.notes
         );
 
+        let base_prog = CompiledProgram::compile(program);
+        let auto_prog = CompiledProgram::compile(Arc::clone(&r.program));
         let mut retired = Vec::new();
         for kind in ExecutorKind::ALL {
-            let base = run_program_on(kind, &program, &mut NullEngine, BUDGET)
+            let base = run_session(kind, &base_prog, &mut NullEngine, BUDGET)
                 .expect("original runs");
             let mut z = Zolc::new(ZolcConfig::lite());
-            let auto = run_program_on(kind, &r.program, &mut z, BUDGET)
+            let auto = run_session(kind, &auto_prog, &mut z, BUDGET)
                 .expect("retargeted runs");
             z.assert_consistent();
             for rg in Reg::all() {
