@@ -1,18 +1,24 @@
 //! Criterion wall-clock benchmarks of the simulator itself: how fast the
-//! cycle-accurate pipeline, the functional interpreter and the
-//! block-compiled executor run the benchmark kernels (engineering
-//! metric, not a paper artifact).
+//! cycle-accurate pipeline, the functional interpreter, the
+//! block-compiled executor and the loop-nest superblock executor run
+//! the benchmark kernels (engineering metric, not a paper artifact).
 //!
-//! Besides the criterion timings, a side-by-side table reports all three
-//! executor tiers in instructions per second so both speedups — the
-//! functional interpreter over the pipeline and the block-compiled tier
-//! over the interpreter — are tracked artifacts of every bench run.
+//! Besides the criterion timings, a side-by-side table reports all four
+//! executor tiers in instructions per second so every speedup — the
+//! functional interpreter over the pipeline, the block-compiled tier
+//! over the interpreter, and the superblock tier over the blocks — is a
+//! tracked artifact of every bench run. Full (non `--test`) runs also
+//! rewrite `BENCH_throughput.json` at the repo root with the same rows
+//! in machine-readable form.
 
 use criterion::{criterion_group, Criterion};
+use std::sync::Arc;
 use std::time::Instant;
+use zolc_bench::json::Json;
 use zolc_core::ZolcConfig;
 use zolc_ir::Target;
 use zolc_kernels::{find_kernel, BuiltKernel, ExecutorKind};
+use zolc_sim::{run_session, CompiledProgram, NullEngine};
 
 const KERNELS: [&str; 4] = ["matmul", "crc32", "me_tss", "me_fs"];
 const FUEL: u64 = 50_000_000;
@@ -49,6 +55,50 @@ fn bench_simulation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The superblock tier's showcase shape: a 4-deep passive counted nest
+/// whose innermost body is straight-line ALU work — the whole nest is
+/// one superblock and the inner iterations take the zero-dispatch bulk
+/// path. This is the structure `zolc-gen` sweeps and the E7 explorer
+/// hammer; the kernels above temper it with branchy inner bodies.
+fn deep_nest() -> Arc<CompiledProgram> {
+    let p = zolc_isa::assemble(
+        "
+        li   r10, 0
+        li   r1, 20
+  l1:   li   r2, 20
+  l2:   li   r3, 20
+  l3:   li   r4, 25
+  l4:   addi r10, r10, 1
+        addi r4, r4, -1
+        bne  r4, r0, l4
+        addi r3, r3, -1
+        bne  r3, r0, l3
+        addi r2, r2, -1
+        bne  r2, r0, l2
+        addi r1, r1, -1
+        bne  r1, r0, l1
+        halt
+    ",
+    )
+    .expect("deep nest assembles");
+    CompiledProgram::compile(p)
+}
+
+/// Times `reps` runs of the synthetic deep nest and returns
+/// (instructions/sec, retired instructions per run).
+fn nest_instrs_per_sec(prog: &Arc<CompiledProgram>, kind: ExecutorKind, reps: u32) -> (f64, u64) {
+    let expect: u32 = 20 * 20 * 20 * 25;
+    let mut retired = 0;
+    let start = Instant::now();
+    for _ in 0..reps {
+        let f = run_session(kind, prog, &mut NullEngine, FUEL).expect("runs");
+        assert_eq!(f.cpu.regs().read(zolc_isa::reg(10)), expect);
+        retired = f.stats.retired;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (f64::from(reps) * retired as f64 / secs.max(1e-9), retired)
+}
+
 /// Times `reps` correctness-checked runs and returns (instructions/sec,
 /// retired instructions per run).
 fn instrs_per_sec(built: &BuiltKernel, kind: ExecutorKind, reps: u32) -> (f64, u64) {
@@ -63,41 +113,110 @@ fn instrs_per_sec(built: &BuiltKernel, kind: ExecutorKind, reps: u32) -> (f64, u
     (f64::from(reps) * retired as f64 / secs.max(1e-9), retired)
 }
 
-/// The tracked artifact: the three executor tiers side by side, in
+/// The tracked artifact: the four executor tiers side by side, in
 /// instructions per second, with per-cell speedups of each tier over
-/// the previous one.
+/// the previous one. Full runs also rewrite `BENCH_throughput.json` at
+/// the repo root so the numbers are diffable without scraping stdout.
 fn side_by_side(test_mode: bool) {
     let reps = if test_mode { 1 } else { 20 };
     println!("\nexecutor throughput side by side ({reps} runs/cell):");
     println!(
-        "{:<10} {:<10} {:>8} {:>14} {:>14} {:>14} {:>8} {:>8}",
+        "{:<10} {:<10} {:>8} {:>13} {:>13} {:>13} {:>13} {:>7} {:>7} {:>7}",
         "kernel",
         "target",
         "instrs",
         "pipeline i/s",
-        "functional i/s",
+        "funct. i/s",
         "compiled i/s",
+        "nest i/s",
         "f/p",
-        "c/f"
+        "c/f",
+        "n/c"
     );
+    let mut rows = Vec::new();
     for name in KERNELS {
         for (label, target) in targets() {
             let built = build(name, &target);
             let (pipe, retired) = instrs_per_sec(&built, ExecutorKind::CycleAccurate, reps);
             let (func, _) = instrs_per_sec(&built, ExecutorKind::Functional, reps);
             let (comp, _) = instrs_per_sec(&built, ExecutorKind::Compiled, reps);
+            let (nest, _) = instrs_per_sec(&built, ExecutorKind::Nest, reps);
             println!(
-                "{:<10} {:<10} {:>8} {:>14.0} {:>14.0} {:>14.0} {:>7.1}x {:>7.1}x",
+                "{:<10} {:<10} {:>8} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>6.1}x {:>6.1}x {:>6.1}x",
                 name,
                 label,
                 retired,
                 pipe,
                 func,
                 comp,
+                nest,
                 func / pipe,
-                comp / func
+                comp / func,
+                nest / comp
             );
+            rows.push(Json::Obj(vec![
+                ("kernel".into(), Json::Str(name.into())),
+                ("target".into(), Json::Str(label.into())),
+                ("retired".into(), Json::u64(retired)),
+                ("pipeline_ips".into(), Json::f64(pipe.round())),
+                ("functional_ips".into(), Json::f64(func.round())),
+                ("compiled_ips".into(), Json::f64(comp.round())),
+                ("nest_ips".into(), Json::f64(nest.round())),
+                (
+                    "nest_over_compiled".into(),
+                    Json::f64((nest / comp * 100.0).round() / 100.0),
+                ),
+            ]));
         }
+    }
+    // The deep-nest synthetic: the tentpole shape for the superblock
+    // tier, measured through the raw session API (no kernel harness).
+    {
+        let prog = deep_nest();
+        let (pipe, retired) = nest_instrs_per_sec(&prog, ExecutorKind::CycleAccurate, reps);
+        let (func, _) = nest_instrs_per_sec(&prog, ExecutorKind::Functional, reps);
+        let (comp, _) = nest_instrs_per_sec(&prog, ExecutorKind::Compiled, reps);
+        let (nest, _) = nest_instrs_per_sec(&prog, ExecutorKind::Nest, reps);
+        println!(
+            "{:<10} {:<10} {:>8} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>6.1}x {:>6.1}x {:>6.1}x",
+            "deep_nest",
+            "baseline",
+            retired,
+            pipe,
+            func,
+            comp,
+            nest,
+            func / pipe,
+            comp / func,
+            nest / comp
+        );
+        rows.push(Json::Obj(vec![
+            ("kernel".into(), Json::Str("deep_nest".into())),
+            ("target".into(), Json::Str("baseline".into())),
+            ("retired".into(), Json::u64(retired)),
+            ("pipeline_ips".into(), Json::f64(pipe.round())),
+            ("functional_ips".into(), Json::f64(func.round())),
+            ("compiled_ips".into(), Json::f64(comp.round())),
+            ("nest_ips".into(), Json::f64(nest.round())),
+            (
+                "nest_over_compiled".into(),
+                Json::f64((nest / comp * 100.0).round() / 100.0),
+            ),
+        ]));
+    }
+    if !test_mode {
+        let doc = Json::Obj(vec![
+            (
+                "generated_by".into(),
+                Json::Str("cargo bench -p zolc-bench --bench sim_throughput".into()),
+            ),
+            ("fuel".into(), Json::u64(FUEL)),
+            ("reps".into(), Json::u64(u64::from(reps))),
+            ("rows".into(), Json::Arr(rows)),
+        ]);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+        std::fs::write(path, doc.render() + "\n").expect("write BENCH_throughput.json");
+        println!("\nwrote {path}");
     }
 }
 

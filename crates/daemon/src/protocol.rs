@@ -256,6 +256,7 @@ fn executor_name(kind: ExecutorKind) -> &'static str {
         ExecutorKind::CycleAccurate => "cycle-accurate",
         ExecutorKind::Functional => "functional",
         ExecutorKind::Compiled => "compiled",
+        ExecutorKind::Nest => "nest",
         // `ExecutorKind` is non_exhaustive; a tier added upstream must
         // get a wire name here before the daemon can serve it.
         _ => unreachable!("executor tier without a wire name"),
@@ -267,6 +268,7 @@ fn parse_executor(name: &str) -> Result<ExecutorKind, String> {
         "cycle-accurate" => Ok(ExecutorKind::CycleAccurate),
         "functional" => Ok(ExecutorKind::Functional),
         "compiled" => Ok(ExecutorKind::Compiled),
+        "nest" => Ok(ExecutorKind::Nest),
         other => Err(format!("sweep: unknown executor `{other}`")),
     }
 }
@@ -567,6 +569,15 @@ mod tests {
         assert_eq!(back.gen.max_trips, 24);
         assert!(!back.gen.dbnz);
         assert_eq!(back.executor, ExecutorKind::Functional);
+    }
+
+    #[test]
+    fn every_executor_tier_has_a_wire_name_that_roundtrips() {
+        for kind in ExecutorKind::ALL {
+            let back = parse_executor(executor_name(kind)).unwrap();
+            assert_eq!(back, kind);
+        }
+        assert!(parse_executor("superscalar").is_err());
     }
 
     #[test]

@@ -9,16 +9,16 @@
 //! generated automatically from an existing program".
 //!
 //! The result is an ordinary [`BuiltKernel`], so the whole measurement
-//! stack ([`run_kernel_with`], the bench `JobMatrix`) runs it unchanged;
-//! correctness is still judged against the same bit-exact reference
-//! expectation the hand-lowered builds use.
+//! stack ([`BuiltKernel::run`], the bench `JobMatrix`) runs it
+//! unchanged; correctness is still judged against the same bit-exact
+//! reference expectation the hand-lowered builds use.
 
-use crate::common::{BuildError, BuiltKernel, KernelRun};
+use crate::common::{BuildError, BuiltKernel};
 use crate::KernelEntry;
 use zolc_cfg::{retarget, Retargeted};
 use zolc_core::ZolcConfig;
 use zolc_ir::{LoweredInfo, Target};
-use zolc_sim::{CompiledProgram, ExecutorKind, RunError};
+use zolc_sim::CompiledProgram;
 
 /// Summary statistics of one retargeting run (also carried by the bench
 /// matrix's `ZOLCauto` measurements).
@@ -98,37 +98,11 @@ pub fn build_kernel_auto(
     })
 }
 
-/// Builds `entry` through the auto-retargeting pipeline and runs it on
-/// the chosen executor, checking the result against the kernel's
-/// reference expectation.
-///
-/// # Errors
-///
-/// Propagates simulator [`RunError`]s (budget exhausted, memory fault).
-///
-/// # Panics
-///
-/// Panics if the kernel fails to build or retarget (mirroring the bench
-/// matrix convention that only correct, buildable cells are meaningful).
-#[deprecated(
-    since = "0.6.0",
-    note = "call `build_kernel_auto` once and `BuiltKernel::run` on the result"
-)]
-pub fn run_kernel_auto(
-    entry: &KernelEntry,
-    config: ZolcConfig,
-    budget: u64,
-    executor: ExecutorKind,
-) -> Result<KernelRun, RunError> {
-    let auto = build_kernel_auto(entry, config)
-        .unwrap_or_else(|e| panic!("{}: auto build failed: {e}", entry.name));
-    auto.built.run(budget, executor)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::find_kernel;
+    use zolc_sim::ExecutorKind;
 
     #[test]
     fn auto_vec_mac_is_correct_on_both_executors() {
@@ -143,7 +117,7 @@ mod tests {
     }
 
     #[test]
-    fn run_kernel_auto_matches_reference() {
+    fn auto_built_kernel_matches_reference() {
         let entry = find_kernel("fir").unwrap();
         let run = build_kernel_auto(&entry, ZolcConfig::lite())
             .unwrap()

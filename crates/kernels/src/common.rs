@@ -206,17 +206,6 @@ pub fn run_kernel(built: &BuiltKernel, fuel: u64) -> Result<KernelRun, RunError>
     built.run(fuel, ExecutorKind::CycleAccurate)
 }
 
-/// Runs a built kernel on the chosen executor and checks it against its
-/// reference expectation.
-#[deprecated(since = "0.6.0", note = "call `BuiltKernel::run` instead")]
-pub fn run_kernel_with(
-    built: &BuiltKernel,
-    fuel: u64,
-    executor: ExecutorKind,
-) -> Result<KernelRun, RunError> {
-    built.run(fuel, executor)
-}
-
 /// The standard targets of the paper's Fig. 2 comparison.
 pub fn fig2_targets() -> Vec<Target> {
     vec![
@@ -271,7 +260,11 @@ mod tests {
             let slow = built.run(10_000_000, ExecutorKind::CycleAccurate).unwrap();
             assert!(slow.is_correct(), "{target}: {:?}", slow.mismatches);
             assert!(slow.stats.cycles > 0);
-            for kind in [ExecutorKind::Functional, ExecutorKind::Compiled] {
+            for kind in [
+                ExecutorKind::Functional,
+                ExecutorKind::Compiled,
+                ExecutorKind::Nest,
+            ] {
                 let fast = built.run(10_000_000, kind).unwrap();
                 assert!(fast.is_correct(), "{target}/{kind}: {:?}", fast.mismatches);
                 assert_eq!(slow.stats.retired, fast.stats.retired, "{target}/{kind}");

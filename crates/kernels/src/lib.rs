@@ -30,10 +30,10 @@
 //! early exit, runs even on uZOLC).
 //!
 //! Besides the hand lowerings, every kernel can be built through the
-//! **automatic retargeting pipeline** ([`build_kernel_auto`] /
-//! [`run_kernel_auto`]): the `XRdefault` binary is excised and overlaid
-//! by `zolc_cfg::retarget`, with no IR knowledge, and verified against
-//! the same reference expectation.
+//! **automatic retargeting pipeline** ([`build_kernel_auto`]): the
+//! `XRdefault` binary is excised and overlaid by `zolc_cfg::retarget`,
+//! with no IR knowledge, and verified against the same reference
+//! expectation.
 //!
 //! # Examples
 //!
@@ -60,11 +60,7 @@ mod misc;
 mod motion;
 mod vec;
 
-#[allow(deprecated)]
-pub use auto::run_kernel_auto;
 pub use auto::{build_kernel_auto, AutoKernel, AutoStats};
-#[allow(deprecated)]
-pub use common::run_kernel_with;
 pub use common::{
     fig2_targets, run_kernel, BuildError, BuiltKernel, Expectation, KernelRun, Xorshift,
 };

@@ -43,7 +43,7 @@
 //! Because compiled blocks mutate the same [`Machine`] state the step
 //! core does, the two functional tiers are bit-exact on registers,
 //! memory, retire counts and every architectural event counter — the
-//! three-way `prop_exec_equiv` suite holds all executors to it.
+//! four-way `prop_exec_equiv` suite holds all executors to it.
 
 use crate::cpu::{CpuConfig, Executor, ExecutorKind, RetireEvent, RunError};
 use crate::engine::LoopEngine;
@@ -54,19 +54,20 @@ use crate::program::CompiledProgram;
 use crate::regfile::RegFile;
 use crate::stats::Stats;
 use std::sync::Arc;
-use zolc_isa::{Instr, Program, Reg};
+use zolc_isa::{Instr, Reg};
 
 /// Upper bound on ops per block: bounds compile latency and keeps a
 /// pathological straight-line program from producing one giant block
 /// (the tail past the cap chains into the next block).
 const MAX_BLOCK_OPS: usize = 4096;
 
-type AluFn = fn(u32, u32) -> u32;
-type CondFn = fn(u32, u32) -> bool;
+pub(crate) type AluFn = fn(u32, u32) -> u32;
+pub(crate) type CondFn = fn(u32, u32) -> bool;
 
-/// One pre-lowered straight-line instruction.
+/// One pre-lowered straight-line instruction. Shared with the nest
+/// tier (`crate::nest`), whose superblocks embed the same ops.
 #[derive(Debug, Clone, Copy)]
-enum Op {
+pub(crate) enum Op {
     /// `dst = f(regs[a], regs[b])`.
     Alu { dst: Reg, a: Reg, b: Reg, f: AluFn },
     /// `dst = f(regs[a], imm)` — the immediate is pre-extended to the
@@ -99,7 +100,7 @@ enum Op {
 /// How a block ends. Targets and link values are precomputed at compile
 /// time, so the terminator costs one match at run time.
 #[derive(Debug, Clone, Copy)]
-enum Terminator {
+pub(crate) enum Terminator {
     /// Re-enter the per-instruction step core at the terminator pc:
     /// `zwr`/`zctl`/`dbnz`, fetch faults, or the block-length cap.
     StepFrom,
@@ -221,13 +222,13 @@ fn c_gez(a: u32, _b: u32) -> bool {
 }
 
 /// What `lower` produced for one instruction.
-enum Lowered {
+pub(crate) enum Lowered {
     Op(Op),
     Term(Terminator),
 }
 
 /// Lowers one instruction at `pc` into a block op or terminator.
-fn lower(instr: Instr, pc: u32) -> Lowered {
+pub(crate) fn lower(instr: Instr, pc: u32) -> Lowered {
     use Instr::*;
     let alu = |dst, a, b, f| Lowered::Op(Op::Alu { dst, a, b, f });
     let imm = |dst, a, imm, f| Lowered::Op(Op::AluImm { dst, a, imm, f });
@@ -516,19 +517,6 @@ pub struct CompiledCpu {
 }
 
 impl CompiledCpu {
-    /// Creates a core with empty memory and no program loaded.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `CompiledCpu::session` over a \
-                                          shared `CompiledProgram` instead"
-    )]
-    pub fn new(config: CpuConfig) -> CompiledCpu {
-        CompiledCpu {
-            m: Machine::new(config),
-            local: Vec::new(),
-        }
-    }
-
     /// Opens a fresh run session over a shared compiled program: text
     /// and data written into new memory, pc at the start of text,
     /// zeroed registers and statistics. Sessions sharing one
@@ -545,25 +533,6 @@ impl CompiledCpu {
         let m = Machine::session(prog, config)?;
         let local = vec![None; m.prog.text().len()];
         Ok(CompiledCpu { m, local })
-    }
-
-    /// Loads a program image and resets the block memo.
-    ///
-    /// Resets the PC to the start of text; registers and statistics are
-    /// left untouched so tests can pre-seed register state.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`MemError`] if a segment does not fit in memory.
-    #[deprecated(
-        since = "0.6.0",
-        note = "compile once with `CompiledProgram::compile` \
-                                          and open a `CompiledCpu::session` instead"
-    )]
-    pub fn load_program(&mut self, program: &Program) -> Result<(), MemError> {
-        self.m.load_program(program)?;
-        self.local = vec![None; self.m.prog.text().len()];
-        Ok(())
     }
 
     /// The data memory.

@@ -3,11 +3,13 @@
 //! points.
 //!
 //! The simulator is layered (see the crate docs): the predecode and
-//! semantics layers live in [`crate::exec`], and two interchangeable
+//! semantics layers live in [`crate::exec`], and four interchangeable
 //! executors implement the [`Executor`] trait on top of them — the
-//! cycle-accurate 5-stage [`Cpu`](crate::Cpu) and the fast
-//! [`FunctionalCpu`](crate::FunctionalCpu). This module holds everything
-//! both share.
+//! cycle-accurate 5-stage [`Cpu`](crate::Cpu), the fast
+//! [`FunctionalCpu`](crate::FunctionalCpu), the block-compiled
+//! [`CompiledCpu`](crate::CompiledCpu) and the loop-nest superblock
+//! [`NestCpu`](crate::NestCpu). This module holds everything they
+//! share.
 
 use crate::engine::LoopEngine;
 use crate::mem::{MemError, Memory};
@@ -185,11 +187,19 @@ pub trait Executor {
 ///   controller (whose modeling cost dominates every executor);
 /// * [`ExecutorKind::Compiled`] — the block-compiled functional
 ///   executor: same architectural results as `Functional` (the
-///   three-way `prop_exec_equiv` suite enforces it), dispatching
+///   four-way `prop_exec_equiv` suite enforces it), dispatching
 ///   predecoded basic-block superinstructions instead of single
-///   instructions. Fastest tier on passive engines; degenerates to the
-///   functional step core under an active loop controller. Use it for
-///   the largest correctness sweeps and design-space exploration.
+///   instructions. Degenerates to the functional step core under an
+///   active loop controller;
+/// * [`ExecutorKind::Nest`] — the loop-nest superblock executor: whole
+///   engine-passive regions (counted loop nests included) compiled once
+///   into trip-parameterized, direct-threaded op arrays with the
+///   canonical counted-loop latches fused into counted-repeat ops — no
+///   per-iteration block lookup or terminator dispatch, and a bulk path
+///   for innermost straight-line bodies. Fastest tier on passive
+///   engines; bails to the step core on `zwr`/`zctl`/`dbnz`, faults,
+///   traced runs and active engines. Use it for the largest correctness
+///   sweeps and design-space exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[non_exhaustive]
 pub enum ExecutorKind {
@@ -201,24 +211,11 @@ pub enum ExecutorKind {
     /// The block-compiled functional executor
     /// ([`CompiledCpu`](crate::CompiledCpu)).
     Compiled,
+    /// The loop-nest superblock executor ([`NestCpu`](crate::NestCpu)).
+    Nest,
 }
 
 impl ExecutorKind {
-    /// Creates a core of this kind with no program loaded.
-    #[deprecated(
-        since = "0.6.0",
-        note = "compile once with `CompiledProgram::compile` \
-                                          and use `ExecutorKind::new_session` instead"
-    )]
-    pub fn new_core(self, config: CpuConfig) -> Box<dyn Executor> {
-        #[allow(deprecated)]
-        match self {
-            ExecutorKind::CycleAccurate => Box::new(Cpu::new(config)),
-            ExecutorKind::Functional => Box::new(FunctionalCpu::new(config)),
-            ExecutorKind::Compiled => Box::new(crate::CompiledCpu::new(config)),
-        }
-    }
-
     /// Opens a fresh run session of this kind over a shared compiled
     /// program (see [`CompiledProgram`]): new memory with the text and
     /// data segments written, pc at the start of text, zeroed registers
@@ -238,15 +235,17 @@ impl ExecutorKind {
             ExecutorKind::CycleAccurate => Box::new(Cpu::session(prog, config)?),
             ExecutorKind::Functional => Box::new(FunctionalCpu::session(prog, config)?),
             ExecutorKind::Compiled => Box::new(crate::CompiledCpu::session(prog, config)?),
+            ExecutorKind::Nest => Box::new(crate::NestCpu::session(prog, config)?),
         })
     }
 
     /// All executor kinds, in speed order (slowest first) — the axis the
     /// differential suites and throughput benches iterate over.
-    pub const ALL: [ExecutorKind; 3] = [
+    pub const ALL: [ExecutorKind; 4] = [
         ExecutorKind::CycleAccurate,
         ExecutorKind::Functional,
         ExecutorKind::Compiled,
+        ExecutorKind::Nest,
     ];
 }
 
@@ -256,6 +255,7 @@ impl fmt::Display for ExecutorKind {
             ExecutorKind::CycleAccurate => "cycle-accurate",
             ExecutorKind::Functional => "functional",
             ExecutorKind::Compiled => "compiled",
+            ExecutorKind::Nest => "nest",
         })
     }
 }
@@ -312,32 +312,6 @@ pub fn run_session(
     Ok(Finished { stats, cpu })
 }
 
-/// Loads `program` into a default-configured core of the chosen kind and
-/// runs it to `halt`.
-///
-/// # Errors
-///
-/// Propagates any [`RunError`]; `fuel` bounds retired instructions
-/// identically on every executor kind (see [`Executor::run`]).
-#[deprecated(
-    since = "0.6.0",
-    note = "compile once with `CompiledProgram::compile` \
-                                      and use `run_session` instead"
-)]
-pub fn run_program_on(
-    kind: ExecutorKind,
-    program: &Program,
-    engine: &mut dyn LoopEngine,
-    fuel: u64,
-) -> Result<Finished<Box<dyn Executor>>, RunError> {
-    run_session(
-        kind,
-        &CompiledProgram::compile(program.clone()),
-        engine,
-        fuel,
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,7 +334,11 @@ mod tests {
     fn functional_tiers_report_no_cycles() {
         let p = assemble("nop\nhalt").unwrap();
         let prog = CompiledProgram::compile(p);
-        for kind in [ExecutorKind::Functional, ExecutorKind::Compiled] {
+        for kind in [
+            ExecutorKind::Functional,
+            ExecutorKind::Compiled,
+            ExecutorKind::Nest,
+        ] {
             let f = run_session(kind, &prog, &mut NullEngine, 100).unwrap();
             assert_eq!(f.stats.cycles, 0);
         }
@@ -368,35 +346,13 @@ mod tests {
         assert!(f.stats.cycles > 0);
     }
 
-    /// The deprecated load-program shims stay behaviorally identical to
-    /// sessions for the one-PR migration window.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_sessions() {
-        let p = assemble("li r1, 7\naddi r1, r1, 35\nhalt").unwrap();
-        let prog = CompiledProgram::compile(p.clone());
-        for kind in ExecutorKind::ALL {
-            let via_shim = run_program_on(kind, &p, &mut NullEngine, 10_000).unwrap();
-            let via_session = run_session(kind, &prog, &mut NullEngine, 10_000).unwrap();
-            assert_eq!(via_shim.stats, via_session.stats);
-            assert_eq!(
-                via_shim.cpu.regs().snapshot(),
-                via_session.cpu.regs().snapshot()
-            );
-        }
-        let mut cpu = Cpu::new(CpuConfig::default());
-        cpu.load_program(&p).unwrap();
-        let stats = cpu.run(&mut NullEngine, 10_000).unwrap();
-        assert_eq!(stats.retired, 3);
-        assert_eq!(cpu.regs().read(reg(1)), 42);
-    }
-
     #[test]
     fn executor_kind_labels() {
         assert_eq!(ExecutorKind::CycleAccurate.to_string(), "cycle-accurate");
         assert_eq!(ExecutorKind::Functional.to_string(), "functional");
         assert_eq!(ExecutorKind::Compiled.to_string(), "compiled");
+        assert_eq!(ExecutorKind::Nest.to_string(), "nest");
         assert_eq!(ExecutorKind::default(), ExecutorKind::CycleAccurate);
-        assert_eq!(ExecutorKind::ALL.len(), 3);
+        assert_eq!(ExecutorKind::ALL.len(), 4);
     }
 }

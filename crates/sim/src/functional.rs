@@ -45,7 +45,7 @@ use crate::program::CompiledProgram;
 use crate::regfile::RegFile;
 use crate::stats::Stats;
 use std::sync::Arc;
-use zolc_isa::{Program, Reg, DATA_BASE, TEXT_BASE};
+use zolc_isa::{Reg, DATA_BASE, TEXT_BASE};
 
 /// The architectural machine state shared by the functional tiers, with
 /// the one-instruction step core both dispatch through.
@@ -99,10 +99,6 @@ impl Machine {
         self.prog = prog;
         self.pc = TEXT_BASE;
         Ok(())
-    }
-
-    pub(crate) fn load_program(&mut self, program: &Program) -> Result<(), MemError> {
-        self.attach(CompiledProgram::compile(program.clone()))
     }
 
     /// The per-instruction interpreter loop, monomorphized over engine
@@ -293,18 +289,6 @@ pub struct FunctionalCpu {
 }
 
 impl FunctionalCpu {
-    /// Creates a core with empty memory and no program loaded.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `FunctionalCpu::session` over a \
-                                          shared `CompiledProgram` instead"
-    )]
-    pub fn new(config: CpuConfig) -> FunctionalCpu {
-        FunctionalCpu {
-            m: Machine::new(config),
-        }
-    }
-
     /// Opens a fresh run session over a shared compiled program: text
     /// and data written into new memory, pc at the start of text,
     /// zeroed registers and statistics. Any number of sessions may
@@ -320,24 +304,6 @@ impl FunctionalCpu {
         Ok(FunctionalCpu {
             m: Machine::session(prog, config)?,
         })
-    }
-
-    /// Loads a program image: text (predecoded and as bytes) and data
-    /// segment.
-    ///
-    /// Resets the PC to the start of text; registers and statistics are
-    /// left untouched so tests can pre-seed register state.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`MemError`] if a segment does not fit in memory.
-    #[deprecated(
-        since = "0.6.0",
-        note = "compile once with `CompiledProgram::compile` \
-                                          and open a `FunctionalCpu::session` instead"
-    )]
-    pub fn load_program(&mut self, program: &Program) -> Result<(), MemError> {
-        self.m.load_program(program)
     }
 
     /// The data memory.

@@ -30,7 +30,17 @@
 //!      once) cached by entry pc × engine passivity, falling back to
 //!      the shared step core for `zwr`/`zctl`/`dbnz`, fetch faults and
 //!      active engines. Same architectural results as `FunctionalCpu`,
-//!      another ~2–3× faster on passive engines — the sweep workhorse.
+//!      another ~2–3× faster on passive engines.
+//!    * [`NestCpu`] — the loop-nest superblock executor: whole
+//!      engine-passive regions — counted loop nests included — are
+//!      compiled once into trip-parameterized, direct-threaded op
+//!      arrays whose canonical counted-loop latches fuse into counted
+//!      repeat ops, with a zero-dispatch bulk path for innermost
+//!      straight-line bodies. No per-iteration block lookup or
+//!      terminator dispatch; bails to the step core on
+//!      `zwr`/`zctl`/`dbnz`, faults and the fuel boundary at an
+//!      instruction-exact resume point. The fastest tier on passive
+//!      engines — the sweep workhorse.
 //!
 //! All executors enforce one **fuel semantic**: the budget passed to
 //! [`Executor::run`] counts *retired instructions* everywhere, so a
@@ -89,14 +99,13 @@ mod engine;
 pub mod exec;
 mod functional;
 mod mem;
+mod nest;
 mod pipeline;
 mod program;
 mod regfile;
 mod stats;
 
 pub use blocks::CompiledCpu;
-#[allow(deprecated)]
-pub use cpu::run_program_on;
 pub use cpu::{
     run_program, run_session, CpuConfig, Executor, ExecutorKind, Finished, RetireEvent, RunError,
 };
@@ -104,6 +113,7 @@ pub use engine::{ExecEvent, FetchDecision, LoopEngine, NullEngine, RegWrites};
 pub use exec::{Effect, FetchError, TextImage};
 pub use functional::FunctionalCpu;
 pub use mem::{MemError, MemErrorKind, Memory};
+pub use nest::NestCpu;
 pub use pipeline::Cpu;
 pub use program::{BlockCacheConfig, BlockCacheStats, CompiledProgram};
 pub use regfile::RegFile;

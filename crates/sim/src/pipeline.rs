@@ -43,7 +43,7 @@ use crate::program::CompiledProgram;
 use crate::regfile::RegFile;
 use crate::stats::Stats;
 use std::sync::Arc;
-use zolc_isa::{Instr, Program, Reg, DATA_BASE, TEXT_BASE};
+use zolc_isa::{Instr, Reg, DATA_BASE, TEXT_BASE};
 
 /// Payload of the IF/ID and ID/EX latches.
 #[derive(Debug, Clone, Copy)]
@@ -132,29 +132,6 @@ pub struct Cpu {
 }
 
 impl Cpu {
-    /// Creates a core with empty memory and no program loaded.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `Cpu::session` over a shared \
-                                          `CompiledProgram` instead"
-    )]
-    pub fn new(config: CpuConfig) -> Cpu {
-        Cpu {
-            config,
-            prog: CompiledProgram::empty(),
-            mem: Memory::new(config.mem_size),
-            regs: RegFile::new(),
-            pc: TEXT_BASE,
-            if_id: None,
-            id_ex: None,
-            ex_mem: None,
-            mem_wb: None,
-            fetch_stopped: false,
-            stats: Stats::default(),
-            retire_log: Vec::new(),
-        }
-    }
-
     /// Opens a fresh run session over a shared compiled program: text
     /// and data written into new memory, pc at the start of text,
     /// zeroed registers and statistics. Any number of sessions may
@@ -181,28 +158,6 @@ impl Cpu {
         cpu.mem.write_bytes(TEXT_BASE, prog.text_bytes())?;
         cpu.mem.write_bytes(DATA_BASE, prog.source().data())?;
         Ok(cpu)
-    }
-
-    /// Loads a program image: text (predecoded and as bytes) and data
-    /// segment.
-    ///
-    /// Resets the PC to the start of text; registers and statistics are
-    /// left untouched so tests can pre-seed register state.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`MemError`] if a segment does not fit in memory.
-    #[deprecated(
-        since = "0.6.0",
-        note = "compile once with `CompiledProgram::compile` \
-                                          and open a `Cpu::session` instead"
-    )]
-    pub fn load_program(&mut self, program: &Program) -> Result<(), MemError> {
-        self.mem.write_bytes(TEXT_BASE, &program.text_bytes())?;
-        self.mem.write_bytes(DATA_BASE, program.data())?;
-        self.prog = CompiledProgram::compile(program.clone());
-        self.pc = TEXT_BASE;
-        Ok(())
     }
 
     /// The data memory.

@@ -5,49 +5,55 @@
 //!
 //! * [`CompiledProgram`] — everything derived from the program bytes
 //!   and nothing else: the predecoded [`TextImage`], the encoded text
-//!   bytes (sessions copy them into simulated memory), and the
-//!   basic-block cache of the compiled tier. It is immutable after
-//!   construction and `Arc`-shared, so one compile serves any number
-//!   of concurrent sessions — the daemon's whole reason to exist.
+//!   bytes (sessions copy them into simulated memory), the basic-block
+//!   cache of the compiled tier and the nest-superblock cache of the
+//!   nest tier. It is immutable after construction and `Arc`-shared,
+//!   so one compile serves any number of concurrent sessions — the
+//!   daemon's whole reason to exist.
 //! * a **session** (one of [`Cpu`](crate::Cpu),
 //!   [`FunctionalCpu`](crate::FunctionalCpu),
-//!   [`CompiledCpu`](crate::CompiledCpu), created through
+//!   [`CompiledCpu`](crate::CompiledCpu),
+//!   [`NestCpu`](crate::NestCpu), created through
 //!   [`ExecutorKind::new_session`](crate::ExecutorKind::new_session))
 //!   — the cheap per-run half: registers, data memory, pc, statistics.
 //!
-//! # The shared block cache
+//! # The shared caches
 //!
 //! The block-compiled tier used to keep its compiled blocks in a dense
-//! per-core vector, recompiled for every `load_program`. The cache now
-//! lives here, keyed by entry pc, lazily populated under a mutex and
-//! bounded by [`BlockCacheConfig::max_blocks`] with FIFO eviction.
-//! Sessions keep a private memo of `Arc<Block>`s they have already
-//! looked up, so the steady-state dispatch loop never touches the lock;
-//! an evicted block stays alive (and correct — text is immutable) for
-//! as long as any session still holds it. [`CompiledProgram::cache_stats`]
-//! exposes hit/miss/eviction counters for tests and capacity tuning.
+//! per-core vector, recompiled for every `load_program`. Both compile
+//! caches now live here, keyed by entry pc, lazily populated under a
+//! mutex and bounded by [`BlockCacheConfig::max_blocks`] with FIFO
+//! eviction. Sessions keep a private memo of `Arc`s they have already
+//! looked up, so the steady-state dispatch loops never touch the lock;
+//! an evicted entry stays alive (and correct — text is immutable) for
+//! as long as any session still holds it.
+//! [`CompiledProgram::cache_stats`] and
+//! [`CompiledProgram::nest_cache_stats`] expose hit/miss/eviction
+//! counters for tests and capacity tuning.
 
 use crate::blocks::{compile, Block};
 use crate::exec::TextImage;
+use crate::nest::NestEntry;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use zolc_isa::{Program, TEXT_BASE};
 
-/// Capacity knob for the shared basic-block cache of a
-/// [`CompiledProgram`].
+/// Capacity knob for the shared compile caches of a
+/// [`CompiledProgram`] (applied independently to the basic-block cache
+/// and the nest-superblock cache).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct BlockCacheConfig {
-    /// Maximum number of resident compiled blocks; the oldest block is
-    /// evicted (FIFO) when an insert would exceed it. Clamped to at
+    /// Maximum number of resident entries per cache; the oldest entry
+    /// is evicted (FIFO) when an insert would exceed it. Clamped to at
     /// least 1. Defaults to unbounded.
     pub max_blocks: usize,
 }
 
 impl BlockCacheConfig {
-    /// An unbounded cache — the default: block count is already capped
+    /// An unbounded cache — the default: entry count is already capped
     /// by the text segment size.
     pub fn new() -> BlockCacheConfig {
         BlockCacheConfig {
@@ -55,7 +61,7 @@ impl BlockCacheConfig {
         }
     }
 
-    /// Caps the cache at `max_blocks` resident blocks (clamped to ≥ 1).
+    /// Caps each cache at `max_blocks` resident entries (clamped to ≥ 1).
     #[must_use]
     pub fn with_max_blocks(mut self, max_blocks: usize) -> BlockCacheConfig {
         self.max_blocks = max_blocks.max(1);
@@ -69,47 +75,59 @@ impl Default for BlockCacheConfig {
     }
 }
 
-/// Counters of the shared block cache (see
-/// [`CompiledProgram::cache_stats`]).
+/// Counters of a shared compile cache (see
+/// [`CompiledProgram::cache_stats`] and
+/// [`CompiledProgram::nest_cache_stats`]).
 ///
 /// Hits and misses count *shared-cache* lookups: a session's private
 /// memo absorbs repeat lookups, so a long-running loop registers one
-/// miss when its block is first compiled and no further traffic.
+/// miss when its entry is first compiled and no further traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[non_exhaustive]
 pub struct BlockCacheStats {
-    /// Lookups answered by an already-resident block.
+    /// Lookups answered by an already-resident entry.
     pub hits: u64,
-    /// Lookups that had to compile (and insert) the block.
+    /// Lookups that had to compile (and insert) the entry.
     pub misses: u64,
-    /// Blocks evicted to stay under [`BlockCacheConfig::max_blocks`].
+    /// Entries evicted to stay under [`BlockCacheConfig::max_blocks`].
     pub evictions: u64,
-    /// Blocks currently resident.
+    /// Entries currently resident.
     pub resident: usize,
 }
 
-/// The mutable interior of the shared cache: resident blocks by entry
+/// The mutable interior of a shared cache: resident entries by entry
 /// pc plus FIFO insertion order for eviction.
-#[derive(Debug, Default)]
-struct CacheInner {
-    map: HashMap<u32, Arc<Block>>,
+#[derive(Debug)]
+struct CacheInner<T> {
+    map: HashMap<u32, Arc<T>>,
     order: VecDeque<u32>,
 }
 
-/// A concurrent, lazily populated, capacity-bounded block cache.
+impl<T> Default for CacheInner<T> {
+    fn default() -> Self {
+        CacheInner {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+}
+
+/// A concurrent, lazily populated, capacity-bounded compile cache,
+/// keyed by entry pc. Shared by the basic-block cache (`T = Block`)
+/// and the nest-superblock cache (`T = NestEntry`).
 #[derive(Debug)]
-pub(crate) struct SharedBlockCache {
-    max_blocks: usize,
-    inner: Mutex<CacheInner>,
+pub(crate) struct SharedCache<T> {
+    max_entries: usize,
+    inner: Mutex<CacheInner<T>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
 }
 
-impl SharedBlockCache {
-    fn new(config: BlockCacheConfig) -> SharedBlockCache {
-        SharedBlockCache {
-            max_blocks: config.max_blocks.max(1),
+impl<T> SharedCache<T> {
+    fn new(config: BlockCacheConfig) -> SharedCache<T> {
+        SharedCache {
+            max_entries: config.max_blocks.max(1),
             inner: Mutex::new(CacheInner::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -117,15 +135,16 @@ impl SharedBlockCache {
         }
     }
 
-    /// Returns the block entered at `entry`, compiling it if absent.
-    /// Compilation runs outside the lock; when two sessions race on the
-    /// same entry the first insert wins and the loser's compile is
-    /// discarded (both results are identical — text is immutable).
-    fn get_or_compile(&self, text: &TextImage, entry: u32) -> Arc<Block> {
+    /// Returns the entry compiled at `entry`, building it with `make`
+    /// if absent. Compilation runs outside the lock; when two sessions
+    /// race on the same entry the first insert wins and the loser's
+    /// compile is discarded (both results are identical — text is
+    /// immutable).
+    fn get_or_compile(&self, entry: u32, make: impl FnOnce() -> T) -> Arc<T> {
         if let Some(b) = self
             .inner
             .lock()
-            .expect("block cache poisoned")
+            .expect("compile cache poisoned")
             .map
             .get(&entry)
         {
@@ -133,16 +152,16 @@ impl SharedBlockCache {
             return Arc::clone(b);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let compiled = Arc::new(compile(text, entry));
-        let mut g = self.inner.lock().expect("block cache poisoned");
+        let compiled = Arc::new(make());
+        let mut g = self.inner.lock().expect("compile cache poisoned");
         if let Some(b) = g.map.get(&entry) {
             return Arc::clone(b);
         }
         g.map.insert(entry, Arc::clone(&compiled));
         g.order.push_back(entry);
         // FIFO eviction; the just-inserted entry sits at the back, so
-        // with max_blocks ≥ 1 it is never the one popped.
-        while g.map.len() > self.max_blocks {
+        // with max_entries ≥ 1 it is never the one popped.
+        while g.map.len() > self.max_entries {
             let Some(old) = g.order.pop_front() else {
                 break;
             };
@@ -157,13 +176,14 @@ impl SharedBlockCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            resident: self.inner.lock().expect("block cache poisoned").map.len(),
+            resident: self.inner.lock().expect("compile cache poisoned").map.len(),
         }
     }
 }
 
 /// An immutable, `Arc`-shareable compiled program: the predecoded text
-/// image plus the shared basic-block cache (see the module docs).
+/// image plus the shared basic-block and nest-superblock caches (see
+/// the module docs).
 ///
 /// Compile once, then open any number of concurrent sessions against
 /// it:
@@ -191,7 +211,8 @@ pub struct CompiledProgram {
     source: Arc<Program>,
     text: TextImage,
     text_bytes: Vec<u8>,
-    blocks: SharedBlockCache,
+    blocks: SharedCache<Block>,
+    nests: SharedCache<NestEntry>,
 }
 
 impl CompiledProgram {
@@ -201,7 +222,7 @@ impl CompiledProgram {
         CompiledProgram::compile_with(program, BlockCacheConfig::new())
     }
 
-    /// [`CompiledProgram::compile`] with an explicit block-cache
+    /// [`CompiledProgram::compile`] with an explicit compile-cache
     /// capacity (tests and memory-tight sweeps; the default is
     /// unbounded).
     pub fn compile_with(
@@ -215,7 +236,8 @@ impl CompiledProgram {
             source,
             text,
             text_bytes,
-            blocks: SharedBlockCache::new(cache),
+            blocks: SharedCache::new(cache),
+            nests: SharedCache::new(cache),
         })
     }
 
@@ -240,9 +262,16 @@ impl CompiledProgram {
         &self.text_bytes
     }
 
-    /// Shared-cache counters; see [`BlockCacheStats`].
+    /// Shared basic-block cache counters; see [`BlockCacheStats`].
     pub fn cache_stats(&self) -> BlockCacheStats {
         self.blocks.stats()
+    }
+
+    /// Shared nest-superblock cache counters; see [`BlockCacheStats`].
+    /// A *miss* is one superblock compilation (positive or negative);
+    /// `resident` counts cached entries including negative ones.
+    pub fn nest_cache_stats(&self) -> BlockCacheStats {
+        self.nests.stats()
     }
 
     /// Dense per-instruction index for `pc`, when `pc` is aligned and
@@ -257,6 +286,15 @@ impl CompiledProgram {
 
     /// The compiled block entered at `entry` (compiling on first use).
     pub(crate) fn block_at(&self, entry: u32) -> Arc<Block> {
-        self.blocks.get_or_compile(&self.text, entry)
+        self.blocks
+            .get_or_compile(entry, || compile(&self.text, entry))
+    }
+
+    /// The nest-superblock entry at `entry` (compiling on first use;
+    /// negative results — regions not worth a superblock — are cached
+    /// too, as [`NestEntry::Step`]).
+    pub(crate) fn nest_at(&self, entry: u32) -> Arc<NestEntry> {
+        self.nests
+            .get_or_compile(entry, || crate::nest::compile_nest(&self.text, entry))
     }
 }

@@ -7,14 +7,14 @@
 //! * **Fuel** — the budget passed to [`Executor::run`] counts retired
 //!   instructions identically on every executor, so
 //!   [`RunError::OutOfFuel`] fires at exactly the same instruction on
-//!   the pipeline, the functional interpreter and the block-compiled
-//!   executor.
+//!   the pipeline, the functional interpreter, the block-compiled
+//!   executor and the loop-nest superblock executor.
 
 use zolc_isa::assemble;
 use zolc_sim::{run_session, CompiledProgram, ExecutorKind, NullEngine, RunError};
 
 /// `jr` to a misaligned address faults with the misaligned pc reported
-/// as-is on all three executors.
+/// as-is on every executor tier.
 #[test]
 fn misaligned_fetch_is_an_explicit_fault_on_all_executors() {
     let p = assemble("li r1, 6\njr r1\nhalt").unwrap();
@@ -155,6 +155,77 @@ fn fuel_boundary_is_identical_on_all_executors() {
         assert!(
             snapshots.windows(2).all(|w| w[0] == w[1]),
             "fuel {fuel}: executors disagree on state at the boundary"
+        );
+    }
+}
+
+/// The same instruction-exact boundary on a counted nest: the `bne`
+/// latches fuse into counted repeats on the superblock tier, so most
+/// fuel values land *mid-superblock* — inside the innermost bulk path —
+/// and the tier must still stop at exactly the same instruction, with
+/// the same registers and event counters, as every other backend.
+#[test]
+fn fuel_boundary_is_identical_mid_superblock() {
+    let p = assemble(
+        "
+        li   r5, 0
+        li   r1, 3
+  oi:   li   r2, 2
+  oj:   li   r3, 4
+  ok:   addi r5, r5, 1
+        addi r3, r3, -1
+        bne  r3, r0, ok
+        addi r2, r2, -1
+        bne  r2, r0, oj
+        addi r1, r1, -1
+        bne  r1, r0, oi
+        halt
+    ",
+    )
+    .unwrap();
+    let prog = CompiledProgram::compile(p);
+    let full = run_session(
+        ExecutorKind::CycleAccurate,
+        &prog,
+        &mut NullEngine,
+        1_000_000,
+    )
+    .unwrap()
+    .stats
+    .retired;
+
+    for fuel in 0..=full + 1 {
+        let mut snapshots = Vec::new();
+        let mut fast_counters = Vec::new();
+        for kind in ExecutorKind::ALL {
+            let mut cpu = kind
+                .new_session(&prog, zolc_sim::CpuConfig::default())
+                .unwrap();
+            let r = cpu.run(&mut NullEngine, fuel);
+            if fuel >= full {
+                assert!(r.is_ok(), "{kind}: fuel {fuel} should finish, got {r:?}");
+            } else {
+                assert!(
+                    matches!(r, Err(RunError::OutOfFuel { fuel: f }) if f == fuel),
+                    "{kind}: fuel {fuel} should time out, got {r:?}"
+                );
+            }
+            let s = cpu.stats();
+            snapshots.push((cpu.regs().snapshot(), s.retired));
+            // Event counters are retire-exact only on the strictly
+            // in-order tiers: the pipeline resolves branches in EX, so
+            // at a timeout it may have counted one still in flight.
+            if kind != ExecutorKind::CycleAccurate {
+                fast_counters.push((s.branches, s.taken_branches));
+            }
+        }
+        assert!(
+            snapshots.windows(2).all(|w| w[0] == w[1]),
+            "fuel {fuel}: executors disagree at the boundary: {snapshots:?}"
+        );
+        assert!(
+            fast_counters.windows(2).all(|w| w[0] == w[1]),
+            "fuel {fuel}: functional tiers disagree on event counters: {fast_counters:?}"
         );
     }
 }

@@ -1,7 +1,8 @@
 //! Session-API coverage: many concurrent sessions over one shared
 //! [`CompiledProgram`] must be bit-exact with solo runs on every
-//! executor tier, and a capacity-capped block cache must stay correct
-//! while it thrashes.
+//! executor tier — including the loop-nest superblock tier, whose
+//! superblocks live in the same shared cache machinery — and a
+//! capacity-capped block cache must stay correct while it thrashes.
 
 use std::sync::Arc;
 use std::thread;
@@ -57,6 +58,16 @@ fn concurrent_sessions_match_solo_runs_on_every_tier() {
     assert!(stats.misses > 0, "compiled tier populated the cache");
     assert!(stats.hits > 0, "later sessions reused shared blocks");
     assert_eq!(stats.evictions, 0, "unbounded cache never evicts");
+    // And the nest tier did the same with its superblock cache: each
+    // entry region compiled once (by whichever of the 9 sessions got
+    // there first), all later sessions hit.
+    let nstats = prog.nest_cache_stats();
+    assert!(
+        nstats.misses > 0,
+        "nest tier populated the superblock cache"
+    );
+    assert!(nstats.hits > 0, "later sessions reused shared superblocks");
+    assert_eq!(nstats.evictions, 0, "unbounded cache never evicts");
 }
 
 /// A cache capped far below the program's block count stays correct

@@ -4,8 +4,8 @@
 //! ```sh
 //! cargo run --release --example explore                  # standard sweep
 //! cargo run --release --example explore -- --programs 50 --trips 24
-//! cargo run --release --example explore -- --functional  # correctness-only, faster
-//! cargo run --release --example explore -- --compiled    # correctness-only, fastest
+//! cargo run --release --example explore -- --executor functional  # correctness-only, faster
+//! cargo run --release --example explore -- --executor nest        # correctness-only, fastest
 //! cargo run --release --example explore -- --show 17     # one seed in detail
 //! # sharded + resumable: fragments persist under --out; re-running the
 //! # same command resumes at the first missing shard
@@ -15,8 +15,9 @@
 //!
 //! Knobs: `--programs N`, `--seed S`, `--trips T`, `--depth D`,
 //! `--loops L`, `--no-skips`, `--no-reg-bounds`, `--no-dbnz`,
-//! `--functional`, `--compiled`, `--show SEED`, `--out DIR`,
-//! `--shards N`, `--stop-after K`.
+//! `--executor <pipeline|functional|compiled|nest>`, `--show SEED`,
+//! `--out DIR`, `--shards N`, `--stop-after K` (`--functional` /
+//! `--compiled` remain as deprecated aliases).
 
 use std::path::PathBuf;
 use zolc::bench::{run_sweep, run_sweep_sharded, ShardedOutcome, SweepConfig};
@@ -39,6 +40,21 @@ fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T 
     })
 }
 
+/// Maps an `--executor` name to its tier, exiting with a usage error
+/// (status 2) on anything else.
+fn parse_executor(name: &str) -> ExecutorKind {
+    match name {
+        "pipeline" | "cycle-accurate" => ExecutorKind::CycleAccurate,
+        "functional" => ExecutorKind::Functional,
+        "compiled" => ExecutorKind::Compiled,
+        "nest" => ExecutorKind::Nest,
+        other => {
+            eprintln!("--executor: `{other}` is not one of pipeline|functional|compiled|nest");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = SweepConfig::standard();
     let mut show: Option<u64> = None;
@@ -58,8 +74,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--no-skips" => cfg.gen.skips = false,
             "--no-reg-bounds" => cfg.gen.reg_bounds = false,
             "--no-dbnz" => cfg.gen.dbnz = false,
-            "--functional" => cfg.executor = ExecutorKind::Functional,
-            "--compiled" => cfg.executor = ExecutorKind::Compiled,
+            "--executor" => {
+                let name: String = parse_flag(&mut args, "--executor");
+                cfg.executor = parse_executor(&name);
+            }
+            "--functional" => {
+                eprintln!("note: --functional is deprecated; use --executor functional");
+                cfg.executor = ExecutorKind::Functional;
+            }
+            "--compiled" => {
+                eprintln!("note: --compiled is deprecated; use --executor compiled");
+                cfg.executor = ExecutorKind::Compiled;
+            }
             "--show" => show = Some(parse_flag(&mut args, "--show")),
             "--out" => out = Some(parse_flag(&mut args, "--out")),
             "--shards" => shards = parse_flag(&mut args, "--shards"),

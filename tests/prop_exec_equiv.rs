@@ -1,21 +1,23 @@
-//! Three-way differential property test: the cycle-accurate pipeline
+//! Four-way differential property test: the cycle-accurate pipeline
 //! against the functional interpreter against the block-compiled
-//! executor.
+//! executor against the loop-nest superblock executor.
 //!
-//! The three executors share one semantics core (`zolc_sim::exec::step`)
+//! The four executors share one semantics core (`zolc_sim::exec::step`)
 //! but schedule it completely differently — five speculative pipeline
 //! stages with forwarding and flushes, a strict one-instruction
-//! interpreter, and basic-block superinstruction dispatch with a
-//! step-core fallback. Architecturally those differences must be
-//! invisible: for any program, final register file, data memory and
-//! retire count must be bit-identical across all three. Checked three
-//! ways: random straight-line programs (shared generators with
-//! `prop_pipeline`), random `zolc-gen` loop structures round-tripped
-//! through `retarget` — whose ZOLC engine is *active*, forcing the
-//! compiled executor onto its fallback path — and all benchmark kernels
-//! on all three Fig. 2 targets plus the ablation extras on `ZOLCfull`
-//! (which exercises branches, `dbnz`, jumps and the ZOLC engine
-//! integration end to end).
+//! interpreter, basic-block superinstruction dispatch with a step-core
+//! fallback, and whole-nest superblocks with fused counted-repeat
+//! latches. Architecturally those differences must be invisible: for
+//! any program, final register file, data memory and retire count must
+//! be bit-identical across all four. Checked four ways: random
+//! straight-line programs (shared generators with `prop_pipeline`),
+//! random `zolc-gen` loop structures round-tripped through `retarget`
+//! — whose ZOLC engine is *active*, forcing both compiled tiers onto
+//! their fallback paths — all benchmark kernels on all three Fig. 2
+//! targets plus the ablation extras on `ZOLCfull` (which exercises
+//! branches, `dbnz`, jumps and the ZOLC engine integration end to
+//! end), and a fuel sweep over a counted nest that must time out at
+//! the same instruction on every tier — including mid-superblock.
 
 mod common;
 
@@ -52,9 +54,9 @@ fn run_on(
     }
 }
 
-/// Asserts bit-identical architectural outcomes across all three
+/// Asserts bit-identical architectural outcomes across all four
 /// executors; returns the pipeline's and the functional interpreter's
-/// stats (the compiled tier's are additionally held equal to the
+/// stats (the compiled tiers' are additionally held equal to the
 /// functional interpreter's in full).
 fn assert_equivalent(
     program: &Arc<CompiledProgram>,
@@ -64,7 +66,11 @@ fn assert_equivalent(
     let slow = run_on(ExecutorKind::CycleAccurate, program, target)
         .unwrap_or_else(|e| panic!("{context}: pipeline failed: {e}"));
     let mut functional_stats = None;
-    for kind in [ExecutorKind::Functional, ExecutorKind::Compiled] {
+    for kind in [
+        ExecutorKind::Functional,
+        ExecutorKind::Compiled,
+        ExecutorKind::Nest,
+    ] {
         let fast = run_on(kind, program, target)
             .unwrap_or_else(|e| panic!("{context}: {kind} failed: {e}"));
         assert_eq!(
@@ -92,7 +98,7 @@ fn assert_equivalent(
         }
         functional_stats = Some(fast.stats);
     }
-    (slow.stats, functional_stats.expect("two fast tiers ran"))
+    (slow.stats, functional_stats.expect("fast tiers ran"))
 }
 
 proptest! {
@@ -122,11 +128,11 @@ proptest! {
     /// optional nesting, possibly empty bodies), the excised program plus
     /// synthesized overlay retires to the same architectural state as the
     /// original software-loop program — full data memory and every
-    /// register except the freed down-counters — on all three executors,
+    /// register except the freed down-counters — on all four executors,
     /// with zero controller-consistency violations. The retargeted run
-    /// attaches an *active* `Zolc` engine, which forces the compiled
-    /// executor onto its step-core fallback path — so this property is
-    /// also the fallback's differential coverage over `zolc-gen`
+    /// attaches an *active* `Zolc` engine, which forces both compiled
+    /// tiers onto their step-core fallback paths — so this property is
+    /// also the fallbacks' differential coverage over `zolc-gen`
     /// programs.
     #[test]
     fn retargeted_programs_match_their_originals(
@@ -189,7 +195,7 @@ proptest! {
 
 /// Every Fig. 2 kernel on every Fig. 2 target: the full benchmark suite
 /// (loop nests, `dbnz` loops, ZOLC redirects and index riders) retires
-/// to identical architectural state on all three executors.
+/// to identical architectural state on all four executors.
 #[test]
 fn executors_agree_on_all_fig2_kernels() {
     for k in kernels() {
