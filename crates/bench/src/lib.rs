@@ -57,6 +57,7 @@
 mod experiments;
 pub mod json;
 mod matrix;
+mod oracle_check;
 mod shard;
 mod sweep;
 mod table;
@@ -68,6 +69,7 @@ pub use matrix::{
     measure, measure_auto, measure_with, AutoStats, BuildMode, Fig2Report, Fig2Row, Job, JobMatrix,
     JobSource, Measurement, MAX_FUEL,
 };
+pub use oracle_check::{run_oracle_check, OracleReport};
 pub use shard::{
     fragment_path, merge_reports, report_json, run_sweep_sharded, shard_plan, sweep_fingerprint,
     ShardPlan, ShardedOutcome,

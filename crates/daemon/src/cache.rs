@@ -66,6 +66,10 @@ pub struct ResultCache {
     ready: Condvar,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// The key hash over canonical bytes — FNV-1a in production;
+    /// injectable in tests so a forced collision exercises the
+    /// bucket-split path deterministically.
+    hash: fn(&[u8]) -> u64,
 }
 
 impl ResultCache {
@@ -76,6 +80,19 @@ impl ResultCache {
             ready: Condvar::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            hash: fnv1a,
+        }
+    }
+
+    /// An empty cache keyed by an arbitrary hash function. Test-only:
+    /// production callers always want [`ResultCache::new`]'s FNV-1a,
+    /// but a degenerate hasher is the only cheap way to force two
+    /// canons into one bucket.
+    #[cfg(test)]
+    fn with_hasher(hash: fn(&[u8]) -> u64) -> ResultCache {
+        ResultCache {
+            hash,
+            ..ResultCache::new()
         }
     }
 
@@ -93,7 +110,7 @@ impl ResultCache {
         canon: &[u8],
         compute: impl FnOnce() -> Result<String, String>,
     ) -> Result<Arc<String>, String> {
-        let key = fnv1a(canon);
+        let key = (self.hash)(canon);
         let slot;
         {
             let mut map = self.map.lock().expect("cache poisoned");
@@ -239,5 +256,43 @@ mod tests {
         let b = cache.get_or_compute(b"k2", || Ok("two".into())).unwrap();
         assert_ne!(*a, *b);
         assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn forced_collision_splits_the_bucket_by_canon() {
+        // A constant hasher drives every canon into one 64-bit key:
+        // the bucket must split into one slot per canon — two misses,
+        // two resident entries — and later lookups must replay each
+        // canon's own result as a hit, never the bucket-mate's.
+        let cache = ResultCache::with_hasher(|_| 0);
+        let a = cache.get_or_compute(b"left", || Ok("L".into())).unwrap();
+        let b = cache.get_or_compute(b"right", || Ok("R".into())).unwrap();
+        assert_eq!((a.as_str(), b.as_str()), ("L", "R"));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 2));
+        let a2 = cache
+            .get_or_compute(b"left", || panic!("must not recompute"))
+            .unwrap();
+        let b2 = cache
+            .get_or_compute(b"right", || panic!("must not recompute"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &a2) && Arc::ptr_eq(&b, &b2));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (2, 2, 2));
+        // Failures split the same way: a third canon in the same
+        // bucket caches its error without disturbing its mates.
+        assert_eq!(
+            cache.get_or_compute(b"bad", || Err("boom".into())),
+            Err("boom".into())
+        );
+        assert_eq!(
+            cache.get_or_compute(b"bad", || panic!("must not recompute")),
+            Err("boom".into())
+        );
+        assert_eq!(cache.stats().entries, 3);
+        assert_eq!(
+            *cache.get_or_compute(b"left", || unreachable!()).unwrap(),
+            "L"
+        );
     }
 }

@@ -1,0 +1,165 @@
+//! The linear value domain of the summarizer.
+//!
+//! Every register value the analyzer tracks is a [`Lin`]: a wrapping
+//! affine combination `c + Σ coeffs[j]·entry[j]` of the register values
+//! at the *entry of the current frame* (the start of the current loop
+//! iteration, or the initial machine state for the top-level frame).
+//! Keeping values in this form is what makes counted loops foldable:
+//! one symbolic walk of the body yields a linear per-iteration map that
+//! a matrix power turns into the exact final state, modulo 2^32.
+
+/// A wrapping affine form over the 32 frame-entry register values.
+///
+/// `coeffs[0]` is always 0 — `r0` reads as the constant zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Lin {
+    /// The constant term.
+    pub c: u32,
+    /// Coefficient of each frame-entry register value.
+    pub coeffs: [u32; 32],
+    /// ⊥ marker: the value is not expressible in the domain. Only the
+    /// tolerant stabilization probe produces (and propagates) ⊥; real
+    /// walks refuse where the probe would go bottom, so ⊥ never reaches
+    /// a closed form or a resolved value.
+    pub bot: bool,
+}
+
+impl Lin {
+    /// The constant `c`.
+    pub fn konst(c: u32) -> Lin {
+        Lin {
+            c,
+            coeffs: [0; 32],
+            bot: false,
+        }
+    }
+
+    /// The ⊥ element: an unknown, non-affine value.
+    pub fn bot() -> Lin {
+        Lin {
+            bot: true,
+            ..Lin::konst(0)
+        }
+    }
+
+    /// Concrete constant view: `Some(c)` when the form has no variable
+    /// part and is not ⊥. (The analyzer resolves through frames
+    /// instead; this stays as the domain-level test hook.)
+    #[cfg(test)]
+    pub fn as_konst(&self) -> Option<u32> {
+        (!self.bot && self.coeffs.iter().all(|&k| k == 0)).then_some(self.c)
+    }
+
+    /// The entry value of register `j` (`konst(0)` for `r0`).
+    pub fn var(j: usize) -> Lin {
+        let mut l = Lin::konst(0);
+        if j != 0 {
+            l.coeffs[j] = 1;
+        }
+        l
+    }
+
+    /// Wrapping sum of two forms.
+    pub fn add(&self, rhs: &Lin) -> Lin {
+        let mut out = self.clone();
+        out.c = out.c.wrapping_add(rhs.c);
+        for j in 0..32 {
+            out.coeffs[j] = out.coeffs[j].wrapping_add(rhs.coeffs[j]);
+        }
+        out.bot |= rhs.bot;
+        out
+    }
+
+    /// Wrapping difference of two forms.
+    pub fn sub(&self, rhs: &Lin) -> Lin {
+        let mut out = self.clone();
+        out.c = out.c.wrapping_sub(rhs.c);
+        for j in 0..32 {
+            out.coeffs[j] = out.coeffs[j].wrapping_sub(rhs.coeffs[j]);
+        }
+        out.bot |= rhs.bot;
+        out
+    }
+
+    /// Wrapping addition of a constant.
+    pub fn add_const(&self, k: u32) -> Lin {
+        let mut out = self.clone();
+        out.c = out.c.wrapping_add(k);
+        out
+    }
+
+    /// Wrapping multiplication by a constant.
+    pub fn scale(&self, k: u32) -> Lin {
+        let mut out = self.clone();
+        out.c = out.c.wrapping_mul(k);
+        for j in 0..32 {
+            out.coeffs[j] = out.coeffs[j].wrapping_mul(k);
+        }
+        out
+    }
+
+    /// Substitutes `basis[j]` for each entry variable `j` — composition
+    /// of affine maps: re-expresses this form in the basis frame.
+    pub fn subst(&self, basis: &[Lin]) -> Lin {
+        let mut out = Lin::konst(self.c);
+        out.bot = self.bot;
+        for (b, &k) in basis.iter().zip(&self.coeffs).skip(1) {
+            if k != 0 {
+                out = out.add(&b.scale(k));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_algebra_wraps() {
+        let a = Lin::var(1).scale(3).add_const(5); // 3·r1 + 5
+        let b = Lin::var(2).sub(&Lin::var(1)); // r2 - r1
+        let s = a.add(&b); // 2·r1 + r2 + 5
+        assert_eq!(s.coeffs[1], 2);
+        assert_eq!(s.coeffs[2], 1);
+        assert_eq!(s.c, 5);
+        let w = Lin::konst(u32::MAX).add_const(2);
+        assert_eq!(w, Lin::konst(1));
+    }
+
+    #[test]
+    fn var_zero_is_constant_zero() {
+        assert_eq!(Lin::var(0), Lin::konst(0));
+    }
+
+    #[test]
+    fn bot_propagates_and_blocks_the_konst_view() {
+        let b = Lin::bot();
+        assert!(b.add(&Lin::konst(3)).bot);
+        assert!(Lin::var(2).sub(&b).bot);
+        assert!(b.scale(5).bot);
+        assert_eq!(b.as_konst(), None);
+        assert_eq!(Lin::konst(7).as_konst(), Some(7));
+        assert_eq!(Lin::var(1).as_konst(), None);
+        // A ⊥ basis entry poisons only the forms that use it.
+        let mut basis: Vec<Lin> = (0..32).map(Lin::var).collect();
+        basis[2] = Lin::bot();
+        assert!(Lin::var(2).subst(&basis).bot);
+        assert!(!Lin::var(3).subst(&basis).bot);
+    }
+
+    #[test]
+    fn subst_composes_maps() {
+        // f = r1 + 2·r2 + 7; basis: r1 ↦ r3 + 1, r2 ↦ 4
+        let f = Lin::var(1).add(&Lin::var(2).scale(2)).add_const(7);
+        let mut basis: Vec<Lin> = (0..32).map(Lin::var).collect();
+        basis[1] = Lin::var(3).add_const(1);
+        basis[2] = Lin::konst(4);
+        let g = f.subst(&basis); // r3 + 1 + 8 + 7 = r3 + 16
+        assert_eq!(g.coeffs[3], 1);
+        assert_eq!(g.c, 16);
+        assert_eq!(g.coeffs[1], 0);
+        assert_eq!(g.coeffs[2], 0);
+    }
+}

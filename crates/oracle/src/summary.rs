@@ -1,0 +1,187 @@
+//! The oracle's result types: [`Summary`], [`Unanalyzable`] and the
+//! [`Reason`] taxonomy.
+
+use std::error::Error;
+use std::fmt;
+
+/// The closed-form final state of an analyzable program.
+///
+/// A `Summary` is a *complete* architectural prediction: when the
+/// oracle returns one, every executor tier run with a passive engine
+/// and sufficient fuel must halt with exactly these registers, this
+/// `pc`, these retire/branch counts and these memory bytes — the
+/// differential suites enforce that bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Summary {
+    /// Final architectural register values (`final_regs[0]` is 0).
+    pub final_regs: [u32; 32],
+    /// The address of the `halt` instruction (executors do not advance
+    /// the pc past a retiring `halt`).
+    pub final_pc: u32,
+    /// Total retired instructions, `halt` included.
+    pub retired: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Conditional branches retired taken.
+    pub taken_branches: u64,
+    /// Final value of every memory byte the program stores to, sorted
+    /// by address. Bytes not listed are unchanged from the initial
+    /// image.
+    pub touched_mem: Vec<(u32, u8)>,
+}
+
+/// Why the oracle refused to summarize a program (see [`Reason`]).
+///
+/// Refusal is always sound: the oracle never guesses. Everything
+/// outside its analyzable fragment — data-dependent control flow,
+/// ZOLC/`dbnz` instructions, memory-carried loop dependences, faults —
+/// is reported here with the program counter that triggered it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unanalyzable(pub Reason);
+
+/// The refusal taxonomy. Every variant carries the text address `pc`
+/// of the instruction that took the program outside the analyzable
+/// fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Reason {
+    /// A `dbnz` latch: the branch-decrement primitive is excluded from
+    /// the fragment (its counter rider makes the latch shape ambiguous
+    /// with body writes).
+    DbnzLatch {
+        /// Address of the `dbnz`.
+        pc: u32,
+    },
+    /// A ZOLC coprocessor instruction (`zwr`/`zctl`): the oracle only
+    /// models engine-passive programs.
+    ZolcInstr {
+        /// Address of the ZOLC instruction.
+        pc: u32,
+    },
+    /// A branch (or `jr` target) whose condition depends on a
+    /// loop-variant value, so its outcome is not uniform across
+    /// iterations.
+    DataDependentBranch {
+        /// Address of the branch.
+        pc: u32,
+    },
+    /// A loop-variant value (typically the counter or an induction
+    /// chain) escaped into a non-affine operation the linear domain
+    /// cannot track.
+    CounterEscape {
+        /// Address of the non-affine instruction.
+        pc: u32,
+    },
+    /// A load observes a store of a previous iteration (or overlaps one
+    /// in a way the summarizer cannot fold exactly) — a memory-carried
+    /// dependence.
+    MemoryCarried {
+        /// Address of the load.
+        pc: u32,
+    },
+    /// A memory access whose effective address varies across loop
+    /// iterations.
+    VariantAddress {
+        /// Address of the access.
+        pc: u32,
+    },
+    /// A counted latch whose trip count is not a loop-invariant,
+    /// resolvable value at loop entry.
+    VariantTripCount {
+        /// Address of the loop top.
+        pc: u32,
+    },
+    /// The loop body writes the latch counter, breaking the counted
+    /// recurrence.
+    CounterMutation {
+        /// Address of the latch `addi`.
+        pc: u32,
+    },
+    /// A counted latch entered with counter 0 — the post-body decrement
+    /// wraps and the loop would iterate 2^32 times.
+    ZeroTripLatch {
+        /// Address of the loop top.
+        pc: u32,
+    },
+    /// Control flow outside the fragment: a backward transfer that is
+    /// not a recognized counted latch, an early exit or `halt` inside a
+    /// loop body, a transfer onto a latch's own `bne`, or an ambiguous
+    /// latch top.
+    UnstructuredControl {
+        /// Address of the offending transfer (or instruction).
+        pc: u32,
+    },
+    /// Instruction fetch would fault here (misaligned or out-of-text
+    /// pc); the executors report the precise `RunError`.
+    FetchFault {
+        /// The faulting fetch address.
+        pc: u32,
+    },
+    /// A data access would fault here (misaligned or out of bounds);
+    /// the executors report the precise `RunError`.
+    MemFault {
+        /// Address of the faulting load/store.
+        pc: u32,
+    },
+    /// The static walk budget, nesting depth, or count arithmetic
+    /// overflowed — the program is too large to summarize, not
+    /// necessarily outside the fragment.
+    OutOfBudget {
+        /// Address reached when the budget ran out.
+        pc: u32,
+    },
+}
+
+impl Reason {
+    /// A short stable label for coverage tallies and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Reason::DbnzLatch { .. } => "dbnz-latch",
+            Reason::ZolcInstr { .. } => "zolc-instr",
+            Reason::DataDependentBranch { .. } => "data-dependent-branch",
+            Reason::CounterEscape { .. } => "counter-escape",
+            Reason::MemoryCarried { .. } => "memory-carried",
+            Reason::VariantAddress { .. } => "variant-address",
+            Reason::VariantTripCount { .. } => "variant-trip-count",
+            Reason::CounterMutation { .. } => "counter-mutation",
+            Reason::ZeroTripLatch { .. } => "zero-trip-latch",
+            Reason::UnstructuredControl { .. } => "unstructured-control",
+            Reason::FetchFault { .. } => "fetch-fault",
+            Reason::MemFault { .. } => "mem-fault",
+            Reason::OutOfBudget { .. } => "out-of-budget",
+        }
+    }
+
+    /// The text address that triggered the refusal.
+    pub fn pc(&self) -> u32 {
+        match *self {
+            Reason::DbnzLatch { pc }
+            | Reason::ZolcInstr { pc }
+            | Reason::DataDependentBranch { pc }
+            | Reason::CounterEscape { pc }
+            | Reason::MemoryCarried { pc }
+            | Reason::VariantAddress { pc }
+            | Reason::VariantTripCount { pc }
+            | Reason::CounterMutation { pc }
+            | Reason::ZeroTripLatch { pc }
+            | Reason::UnstructuredControl { pc }
+            | Reason::FetchFault { pc }
+            | Reason::MemFault { pc }
+            | Reason::OutOfBudget { pc } => pc,
+        }
+    }
+}
+
+impl fmt::Display for Unanalyzable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unanalyzable: {} at pc {:#x}",
+            self.0.label(),
+            self.0.pc()
+        )
+    }
+}
+
+impl Error for Unanalyzable {}

@@ -29,6 +29,14 @@ pub struct CpuConfig {
     pub mem_size: usize,
     /// Whether to collect a retire-order trace (costs memory).
     pub trace_retire: bool,
+    /// Let the nest executor route an eligible run (passive engine,
+    /// untraced, fresh session at the start of text) through the
+    /// `zolc-oracle` closed-form summarizer, applying the final state
+    /// in O(1) instead of executing. Off by default; when the oracle
+    /// refuses (or the summary exceeds the fuel budget) the run falls
+    /// back to normal execution, so the architectural outcome is
+    /// identical either way.
+    pub oracle_fast_path: bool,
 }
 
 impl Default for CpuConfig {
@@ -36,6 +44,7 @@ impl Default for CpuConfig {
         CpuConfig {
             mem_size: (DATA_BASE as usize) + (1 << 20),
             trace_retire: false,
+            oracle_fast_path: false,
         }
     }
 }

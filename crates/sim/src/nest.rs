@@ -65,7 +65,7 @@ use crate::regfile::RegFile;
 use crate::stats::Stats;
 use std::collections::HashMap;
 use std::sync::Arc;
-use zolc_isa::{Instr, Reg};
+use zolc_isa::{Instr, Reg, TEXT_BASE};
 
 /// Upper bound on ops per superblock: bounds compile latency and the
 /// size of any one cache entry (the tail past the cap exits into the
@@ -861,6 +861,9 @@ impl NestCpu {
         if !engine.is_passive() || self.m.config.trace_retire {
             return self.m.run(engine, fuel);
         }
+        if self.m.config.oracle_fast_path && self.try_oracle_fast_path(fuel) {
+            return Ok(self.m.stats);
+        }
         let limit = self.m.stats.retired + fuel;
         loop {
             if self.m.stats.retired >= limit {
@@ -907,6 +910,43 @@ impl NestCpu {
                 }
             }
         }
+    }
+
+    /// Attempts to complete the run in O(1) via the `zolc-oracle`
+    /// closed-form summarizer. Returns `true` with the final machine
+    /// state applied, or `false` (state untouched) when the run is not
+    /// a fresh session at the start of text, the oracle refuses the
+    /// program, or the summary would not fit in `fuel` — the caller
+    /// then executes normally, reaching the identical outcome (or the
+    /// exact `OutOfFuel` boundary) instruction by instruction.
+    fn try_oracle_fast_path(&mut self, fuel: u64) -> bool {
+        if self.m.pc != TEXT_BASE || self.m.stats != Stats::default() {
+            return false;
+        }
+        let Ok(image) = self.m.mem.read_bytes(0, self.m.mem.size()) else {
+            return false;
+        };
+        let snapshot = self.m.regs.snapshot();
+        let Ok(s) = zolc_oracle::summarize_state(self.m.prog.source(), snapshot, image) else {
+            return false;
+        };
+        if s.retired > fuel {
+            return false;
+        }
+        for (j, &v) in s.final_regs.iter().enumerate().skip(1) {
+            self.m.regs.write(zolc_isa::reg(j as u8), v);
+        }
+        for &(addr, byte) in &s.touched_mem {
+            self.m
+                .mem
+                .write_bytes(addr, &[byte])
+                .expect("oracle stores stay in bounds of the analyzed image");
+        }
+        self.m.pc = s.final_pc;
+        self.m.stats.retired = s.retired;
+        self.m.stats.branches = s.branches;
+        self.m.stats.taken_branches = s.taken_branches;
+        true
     }
 }
 
@@ -1366,5 +1406,86 @@ mod tests {
             prog.nest_cache_stats().hits > stats.hits,
             "reused shared superblocks"
         );
+    }
+
+    #[test]
+    fn oracle_fast_path_is_architecturally_invisible() {
+        // The same program, with and without `oracle_fast_path`: the
+        // closed-form route must land on bit-identical registers,
+        // statistics, final pc and data memory.
+        let p = assemble(
+            "
+            li   r1, 12
+            li   r3, 0x40000
+      top:  addi r2, r2, 5
+            sw   r2, 0(r3)
+            addi r1, r1, -1
+            bne  r1, r0, top
+            halt
+        ",
+        )
+        .unwrap();
+        let prog = CompiledProgram::compile(p);
+        let mut plain = NestCpu::session(&prog, CpuConfig::default()).unwrap();
+        let ps = plain.run(&mut NullEngine, 1_000_000).unwrap();
+        let mut fast = NestCpu::session(
+            &prog,
+            CpuConfig {
+                oracle_fast_path: true,
+                ..CpuConfig::default()
+            },
+        )
+        .unwrap();
+        // The fast path must actually engage on this program (a fresh
+        // passive session of an oracle-analyzable loop).
+        assert!(fast.try_oracle_fast_path(1_000_000));
+        assert_eq!(ps, *fast.stats());
+        assert_eq!(plain.regs().snapshot(), fast.regs().snapshot());
+        assert_eq!(plain.m.pc, fast.m.pc);
+        let window = 64usize;
+        assert_eq!(
+            plain.mem().read_bytes(zolc_isa::DATA_BASE, window).unwrap(),
+            fast.mem().read_bytes(zolc_isa::DATA_BASE, window).unwrap()
+        );
+    }
+
+    #[test]
+    fn oracle_fast_path_declines_ineligible_runs() {
+        // A `dbnz` latch is outside the oracle's fragment: the fast
+        // path must decline and leave the machine untouched, and the
+        // normal dispatch must still produce the right answer.
+        let src = "
+            li   r1, 8
+      top:  addi r2, r2, 2
+            dbnz r1, top
+            halt
+        ";
+        let p = assemble(src).unwrap();
+        let prog = CompiledProgram::compile(p);
+        let mut cpu = NestCpu::session(
+            &prog,
+            CpuConfig {
+                oracle_fast_path: true,
+                ..CpuConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!cpu.try_oracle_fast_path(1_000_000));
+        assert_eq!(*cpu.stats(), Stats::default(), "decline leaves no trace");
+        cpu.run(&mut NullEngine, 1_000_000).unwrap();
+        assert_eq!(cpu.regs().read(reg(2)), 16);
+        // A mid-run machine (stats no longer pristine) also declines,
+        // as does a summary that does not fit in the fuel budget.
+        assert!(!cpu.try_oracle_fast_path(1_000_000));
+        let p2 = assemble("li r1, 5\nhalt").unwrap();
+        let mut small =
+            NestCpu::session(&CompiledProgram::compile(p2), CpuConfig::default()).unwrap();
+        assert!(
+            !small.try_oracle_fast_path(1),
+            "summary needs 2 retirements"
+        );
+        assert!(small.try_oracle_fast_path(2));
+        assert_eq!(small.regs().read(reg(1)), 5);
+        assert_eq!(small.stats().retired, 2);
     }
 }

@@ -11,16 +11,20 @@
 //! # same command resumes at the first missing shard
 //! cargo run --release --example explore -- --out sweep-out --shards 8
 //! cargo run --release --example explore -- --out sweep-out --shards 8 --stop-after 2
+//! # closed-form cross-check: every oracle-analyzable program must
+//! # bit-match all four executors; exit 1 below the coverage floor
+//! cargo run --release --example explore -- --no-dbnz --oracle-check --oracle-floor 50
 //! ```
 //!
 //! Knobs: `--programs N`, `--seed S`, `--trips T`, `--depth D`,
 //! `--loops L`, `--no-skips`, `--no-reg-bounds`, `--no-dbnz`,
 //! `--executor <pipeline|functional|compiled|nest>`, `--show SEED`,
-//! `--out DIR`, `--shards N`, `--stop-after K` (`--functional` /
-//! `--compiled` remain as deprecated aliases).
+//! `--out DIR`, `--shards N`, `--stop-after K`, `--oracle-check`,
+//! `--oracle-floor PCT` (`--functional` / `--compiled` remain as
+//! deprecated aliases).
 
 use std::path::PathBuf;
-use zolc::bench::{run_sweep, run_sweep_sharded, ShardedOutcome, SweepConfig};
+use zolc::bench::{run_oracle_check, run_sweep, run_sweep_sharded, ShardedOutcome, SweepConfig};
 use zolc::cfg::retarget;
 use zolc::core::ZolcConfig;
 use zolc::gen::{GenConfig, ProgramSpec};
@@ -61,6 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut out: Option<PathBuf> = None;
     let mut shards: usize = 1;
     let mut stop_after: Option<usize> = None;
+    let mut oracle_check = false;
+    let mut oracle_floor: Option<f64> = None;
 
     let mut args = std::env::args();
     args.next(); // program name
@@ -90,6 +96,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--out" => out = Some(parse_flag(&mut args, "--out")),
             "--shards" => shards = parse_flag(&mut args, "--shards"),
             "--stop-after" => stop_after = Some(parse_flag(&mut args, "--stop-after")),
+            "--oracle-check" => oracle_check = true,
+            "--oracle-floor" => oracle_floor = Some(parse_flag(&mut args, "--oracle-floor")),
             other => {
                 eprintln!("unknown argument `{other}` (see the example header for knobs)");
                 std::process::exit(2);
@@ -99,6 +107,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if let Some(seed) = show {
         return show_one(seed, &cfg.gen);
+    }
+
+    if oracle_check {
+        // Cross-check mode: summarize each generated baseline program
+        // in closed form and hold all four executors to the summary.
+        // A bit-mismatch panics inside the check; a coverage shortfall
+        // against `--oracle-floor` exits 1 so CI can gate on it.
+        println!(
+            "oracle cross-check over {} generated programs (seeds {}..{})\n",
+            cfg.programs,
+            cfg.base_seed,
+            cfg.base_seed + cfg.programs as u64,
+        );
+        let report = run_oracle_check(&cfg);
+        println!("{report}");
+        if let Some(floor) = oracle_floor {
+            if report.coverage_percent() < floor {
+                eprintln!(
+                    "oracle coverage {:.1}% is below the recorded floor {floor}%",
+                    report.coverage_percent()
+                );
+                std::process::exit(1);
+            }
+            println!("\ncoverage holds the {floor}% floor");
+        }
+        return Ok(());
+    }
+    if oracle_floor.is_some() {
+        eprintln!("--oracle-floor needs --oracle-check");
+        std::process::exit(2);
     }
 
     println!(

@@ -27,7 +27,10 @@
 //!   kernel × target × executor [`bench::JobMatrix`];
 //! * [`mod@daemon`] — `zolcd`, a persistent retarget/sweep job daemon
 //!   with content-addressed result caches (see the `zolcd` and
-//!   `zolc-client` examples).
+//!   `zolc-client` examples);
+//! * [`mod@oracle`] — a closed-form loop-summarization oracle deriving
+//!   final machine states from the ISA spec alone, used as a fifth
+//!   independent arm of the differential suites.
 //!
 //! The repo-level `ARCHITECTURE.md` diagrams how the crates compose and
 //! the two code-generation pipelines (hand lowering via [`mod@ir`],
@@ -66,4 +69,5 @@ pub use zolc_gen as gen;
 pub use zolc_ir as ir;
 pub use zolc_isa as isa;
 pub use zolc_kernels as kernels;
+pub use zolc_oracle as oracle;
 pub use zolc_sim as sim;

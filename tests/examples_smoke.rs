@@ -138,6 +138,50 @@ fn explore_sweep_and_show_paths() {
     assert_eq!(r.unhandled.len(), spec.predicted_unhandled());
 }
 
+/// The `explore` example's deprecated executor aliases: `--functional`
+/// and `--compiled` must keep producing byte-identical reports to the
+/// spelled-out `--executor` form, and must say so on stderr — the alias
+/// paths are pure redirects, not a second implementation.
+#[test]
+fn explore_deprecated_aliases_match_executor_flag() {
+    use std::process::Command;
+
+    let run = |extra: &[&str]| {
+        let out = Command::new(env!("CARGO"))
+            .args(["run", "--quiet", "--example", "explore", "--"])
+            .args(["--programs", "4", "--trips", "6"])
+            .args(extra)
+            .output()
+            .expect("spawns the explore example");
+        assert!(
+            out.status.success(),
+            "explore {extra:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            out.stdout,
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+
+    for (alias, spelled) in [("--functional", "functional"), ("--compiled", "compiled")] {
+        let (alias_stdout, alias_stderr) = run(&[alias]);
+        let (spelled_stdout, spelled_stderr) = run(&["--executor", spelled]);
+        assert_eq!(
+            alias_stdout, spelled_stdout,
+            "{alias} report differs from --executor {spelled}"
+        );
+        assert!(
+            alias_stderr.contains("deprecated"),
+            "{alias} did not warn on stderr: {alias_stderr:?}"
+        );
+        assert!(
+            !spelled_stderr.contains("deprecated"),
+            "--executor {spelled} warned spuriously: {spelled_stderr:?}"
+        );
+    }
+}
+
 /// The `design_space` example: every explored configuration is valid and
 /// none limits the processor cycle time.
 #[test]

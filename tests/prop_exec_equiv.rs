@@ -1,6 +1,8 @@
-//! Four-way differential property test: the cycle-accurate pipeline
-//! against the functional interpreter against the block-compiled
-//! executor against the loop-nest superblock executor.
+//! Differential property test: the cycle-accurate pipeline against the
+//! functional interpreter against the block-compiled executor against
+//! the loop-nest superblock executor — plus, wherever it claims
+//! analyzability, the closed-form `zolc-oracle` summarizer as a fifth
+//! arm that shares *no* code with the executors' semantics core.
 //!
 //! The four executors share one semantics core (`zolc_sim::exec::step`)
 //! but schedule it completely differently — five speculative pipeline
@@ -18,6 +20,13 @@
 //! branches, `dbnz`, jumps and the ZOLC engine integration end to
 //! end), and a fuel sweep over a counted nest that must time out at
 //! the same instruction on every tier — including mid-superblock.
+//!
+//! The oracle arm converts the suite from N-version voting into
+//! spec-anchored verification: a semantics bug shared by all four
+//! executors (they share `zolc_sim::exec::step`) would still disagree
+//! with the oracle, whose summaries are derived from the ISA reference
+//! alone. Where the oracle refuses, a regression corpus asserts the
+//! *reason*, so the analyzable fragment cannot silently shrink.
 
 mod common;
 
@@ -29,11 +38,66 @@ use zolc::core::{Zolc, ZolcConfig};
 use zolc::ir::Target;
 use zolc::isa::{reg, Asm, Instr, Reg, DATA_BASE};
 use zolc::kernels::{extra_kernels, fig2_targets, kernels};
+use zolc::oracle::{self, Reason};
 use zolc::sim::{
-    run_session, CompiledProgram, Executor, ExecutorKind, Finished, NullEngine, RunError, Stats,
+    run_session, CompiledProgram, CpuConfig, Executor, ExecutorKind, Finished, NullEngine,
+    RunError, Stats,
 };
 
 const BUDGET: u64 = 50_000_000;
+
+/// The fifth differential arm: where the oracle claims analyzability,
+/// its closed-form summary must bit-match the executors' architectural
+/// outcome. Returns whether the program was covered. The caller has
+/// already established four-way executor equivalence, so one finished
+/// run stands for all four.
+fn oracle_arm(
+    program: &Arc<CompiledProgram>,
+    fin: &Finished<Box<dyn Executor>>,
+    ctx: &str,
+) -> bool {
+    let source = program.source();
+    let summary = match oracle::summarize(source, fin.cpu.mem().size()) {
+        Ok(s) => s,
+        Err(_) => return false,
+    };
+    if summary.retired > BUDGET {
+        return false;
+    }
+    assert_eq!(
+        summary.final_regs,
+        fin.cpu.regs().snapshot(),
+        "{ctx}: oracle registers differ"
+    );
+    assert_eq!(
+        summary.retired, fin.stats.retired,
+        "{ctx}: oracle retire count differs"
+    );
+    assert_eq!(
+        summary.branches, fin.stats.branches,
+        "{ctx}: oracle branch count differs"
+    );
+    assert_eq!(
+        summary.taken_branches, fin.stats.taken_branches,
+        "{ctx}: oracle taken-branch count differs"
+    );
+    // The summary's touched bytes over the initial image must
+    // reconstruct the executor's entire final data window.
+    let len = fin.cpu.mem().size() - DATA_BASE as usize;
+    let mut expect = vec![0u8; len];
+    expect[..source.data().len()].copy_from_slice(source.data());
+    for &(addr, byte) in &summary.touched_mem {
+        if addr >= DATA_BASE {
+            expect[(addr - DATA_BASE) as usize] = byte;
+        }
+    }
+    assert_eq!(
+        expect,
+        fin.cpu.mem().read_bytes(DATA_BASE, len).unwrap(),
+        "{ctx}: oracle data memory differs"
+    );
+    true
+}
 
 /// Opens a session over `program` on the chosen executor with the
 /// engine `target` calls for (a fresh `Zolc` for ZOLC targets,
@@ -98,6 +162,7 @@ fn assert_equivalent(
         }
         functional_stats = Some(fast.stats);
     }
+    oracle_arm(program, &slow, context);
     (slow.stats, functional_stats.expect("fast tiers ran"))
 }
 
@@ -117,6 +182,48 @@ proptest! {
         let (slow, fast) = assert_equivalent(&program, &Target::Baseline, "straightline");
         prop_assert!(slow.cycles >= slow.retired);
         prop_assert_eq!(fast.cycles, 0);
+        // Straight-line bodies are inside the oracle's fragment by
+        // construction: coverage here must be total, so a fragment
+        // regression (not just a wrong summary) fails the suite.
+        prop_assert!(
+            oracle::summarize(program.source(), CpuConfig::default().mem_size).is_ok(),
+            "straightline program must be analyzable"
+        );
+    }
+
+    /// The oracle against all four executors on random `zolc-gen`
+    /// counted-loop programs (software-loop originals, passive engine):
+    /// wherever it claims analyzability, the closed form must bit-match
+    /// — registers, data memory, retire/branch counts — with proptest
+    /// shrinking the loop structure on mismatch.
+    #[test]
+    fn oracle_matches_executors_on_generated_loops(
+        loops in prop::collection::vec(gen_loop(), 1..3)
+    ) {
+        let spec = zolc::gen::ProgramSpec::new(loops);
+        let program = spec
+            .assemble()
+            .expect("generated program assembles")
+            .program;
+        let program = CompiledProgram::compile(program);
+        let mut covered = false;
+        for kind in ExecutorKind::ALL {
+            let fin = run_session(kind, &program, &mut NullEngine, BUDGET)
+                .expect("generated program runs");
+            covered = oracle_arm(&program, &fin, &format!("gen-loop/{kind}"));
+        }
+        // `dbnz` latches (and only structural exclusions like them) may
+        // refuse; generated programs are small, so a budget refusal
+        // would be an analyzer bug, not a fragment boundary.
+        if !covered {
+            match oracle::summarize(program.source(), CpuConfig::default().mem_size) {
+                Ok(s) => prop_assert!(s.retired > BUDGET),
+                Err(e) => prop_assert!(
+                    !matches!(e.0, Reason::OutOfBudget { .. }),
+                    "budget refusal on a small program: {:?}", e.0
+                ),
+            }
+        }
     }
 }
 
@@ -228,5 +335,93 @@ fn executors_agree_on_ablation_extras() {
         let target = Target::Zolc(ZolcConfig::full());
         let built = (k.build)(&target).unwrap_or_else(|e| panic!("{}: {e}", k.name));
         assert_equivalent(&built.program, &target, k.name);
+    }
+}
+
+/// Regression corpus for the oracle's refusal taxonomy: hand-written
+/// programs just *outside* the analyzable fragment must refuse with the
+/// specific documented [`Reason`] — not merely refuse — while the
+/// executors run them fine. If the analyzer grows (or loses) power,
+/// these pin exactly where the boundary moved.
+#[test]
+fn oracle_refusals_carry_the_documented_reason() {
+    type ReasonPred = fn(&Reason) -> bool;
+    let corpus: &[(&str, &str, ReasonPred)] = &[
+        (
+            "counter-read escape into a compare",
+            r"
+                li   r10, 5
+                li   r2, 0
+        top:    slt  r3, r10, r2
+                addi r10, r10, -1
+                bne  r10, r0, top
+                halt
+            ",
+            |r| matches!(r, Reason::CounterEscape { .. }),
+        ),
+        (
+            "memory-carried accumulator",
+            r"
+                li   r1, 0x40000
+                li   r10, 5
+        top:    lw   r2, 0(r1)
+                addi r2, r2, 1
+                sw   r2, 0(r1)
+                addi r10, r10, -1
+                bne  r10, r0, top
+                halt
+            ",
+            |r| matches!(r, Reason::MemoryCarried { .. }),
+        ),
+        (
+            "dbnz latch",
+            r"
+                li   r10, 3
+        top:    nop
+                dbnz r10, top
+                halt
+            ",
+            |r| matches!(r, Reason::DbnzLatch { .. }),
+        ),
+        (
+            "loop-variant branch condition",
+            r"
+                li   r10, 4
+                li   r2, 0
+        top:    addi r2, r2, 1
+                beq  r2, r10, done
+                addi r10, r10, -1
+                bne  r10, r0, top
+        done:   halt
+            ",
+            |r| matches!(r, Reason::DataDependentBranch { .. }),
+        ),
+        (
+            "loop-variant effective address",
+            r"
+                li   r1, 0x40000
+                li   r10, 4
+        top:    sll  r2, r10, 2
+                add  r2, r2, r1
+                lw   r3, 0(r2)
+                addi r10, r10, -1
+                bne  r10, r0, top
+                halt
+            ",
+            |r| matches!(r, Reason::VariantAddress { .. }),
+        ),
+    ];
+    let mem_size = CpuConfig::default().mem_size;
+    for (name, src, expected) in corpus {
+        let program = zolc::isa::assemble(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let reason = oracle::summarize(&program, mem_size).expect_err(name).0;
+        assert!(expected(&reason), "{name}: wrong refusal reason {reason:?}");
+        // ...while the executors handle the same program without issue,
+        // proving refusal marks the fragment boundary, not a failure.
+        let program = CompiledProgram::compile(Arc::new(program));
+        for kind in ExecutorKind::ALL {
+            run_session(kind, &program, &mut NullEngine, BUDGET)
+                .unwrap_or_else(|e| panic!("{name}: {kind} failed: {e}"));
+        }
     }
 }
