@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact for experiment `e8_frontend` (run
+//! via `cargo bench --bench frontend`).
+
+fn main() {
+    println!("{}", zolc_bench::e8_frontend());
+}

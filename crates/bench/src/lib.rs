@@ -13,6 +13,7 @@
 //! | [`e5_ablation`] | §1/§3 config variants + perfect-nest unit \[2\] | `benches/ablation.rs` |
 //! | [`e6_auto_retarget`] | §2 automatic task-data generation | `benches/auto_retarget.rs` |
 //! | [`e7_design_space`] | title claim at scale: generated loop structures × configurations | `benches/design_space.rs` |
+//! | [`e8_frontend`] | §2 end-to-end: the `zolc-lang` corpus through compile/retarget/oracle | `benches/frontend.rs` |
 //! | simulator throughput | (engineering) | `benches/sim_throughput.rs` (criterion) |
 //!
 //! Run them all with `cargo bench`.
@@ -63,7 +64,8 @@ mod sweep;
 mod table;
 
 pub use experiments::{
-    e1_fig2, e2_area_table, e3_timing, e4_init_overhead, e5_ablation, e6_auto_retarget, paper,
+    e1_fig2, e2_area_table, e3_timing, e4_init_overhead, e5_ablation, e6_auto_retarget,
+    e8_frontend, paper,
 };
 pub use matrix::{
     measure, measure_auto, measure_with, AutoStats, BuildMode, Fig2Report, Fig2Row, Job, JobMatrix,

@@ -9,11 +9,12 @@
 //! failed cell panics the whole run exactly as the serial loops did —
 //! experiment results are only meaningful when every cell is correct.
 //!
-//! A cell's program comes from a [`JobSource`]: either a registry
-//! benchmark kernel (built by its `BuildFn`) or a *generated* baseline
-//! program from the `zolc-gen` design-space explorer (see
+//! A cell's program comes from a [`JobSource`]: a registry benchmark
+//! kernel (built by its `BuildFn`), a *generated* baseline program from
+//! the `zolc-gen` design-space explorer (see
 //! [`GeneratedProgram`](crate::GeneratedProgram) and the E7 sweep in
-//! `sweep.rs`), both measured and correctness-gated identically.
+//! `sweep.rs`), or a `zolc-lang` front-end [`CompiledUnit`] (the E8
+//! corpus) — all measured and correctness-gated identically.
 
 use crate::sweep::GeneratedProgram;
 use std::fmt;
@@ -25,6 +26,7 @@ use zolc_cfg::retarget;
 use zolc_core::ZolcConfig;
 use zolc_ir::{LoweredInfo, Target};
 use zolc_kernels::{build_kernel_auto, kernels, BuiltKernel, ExecutorKind, KernelEntry};
+use zolc_lang::CompiledUnit;
 use zolc_sim::{CompiledProgram, Stats};
 
 /// Fuel budget (retired instructions — the one semantic shared by every
@@ -56,6 +58,10 @@ pub enum JobSource {
     /// A generated baseline program (and its derived reference
     /// expectation), shared across the cells that measure it.
     Generated(Arc<GeneratedProgram>),
+    /// A `zolc-lang` front-end compilation unit (and its
+    /// interpreter-derived reference expectation), shared across the
+    /// cells that measure it — the E8 corpus source.
+    Corpus(Arc<CompiledUnit>),
 }
 
 impl JobSource {
@@ -64,6 +70,7 @@ impl JobSource {
         match self {
             JobSource::Kernel(e) => e.name,
             JobSource::Generated(g) => &g.name,
+            JobSource::Corpus(u) => u.name(),
         }
     }
 }
@@ -201,6 +208,20 @@ fn build_cell(
             };
             (built, Some(stats))
         }
+        (JobSource::Corpus(u), BuildMode::Lower) => (
+            u.build(target)
+                .unwrap_or_else(|e| panic!("{name}/{target}: build failed: {e}")),
+            None,
+        ),
+        (JobSource::Corpus(u), BuildMode::AutoRetarget) => {
+            let Target::Zolc(config) = target else {
+                panic!("{name}: auto-retarget cells need a ZOLC target")
+            };
+            let a = u
+                .build_auto(*config)
+                .unwrap_or_else(|e| panic!("{name}/{target} (auto): retarget failed: {e}"));
+            (a.built, Some(a.stats))
+        }
     }
 }
 
@@ -323,6 +344,27 @@ impl JobMatrix {
     ) -> &mut JobMatrix {
         self.jobs.push(Job {
             source: JobSource::Generated(program),
+            target,
+            executor: ExecutorKind::CycleAccurate,
+            mode,
+        });
+        self
+    }
+
+    /// Appends one front-end corpus cell (cycle-accurate executor):
+    /// [`BuildMode::Lower`] lowers the unit's IR for `target`,
+    /// [`BuildMode::AutoRetarget`] builds its baseline binary and
+    /// retargets that onto the cell's [`Target::Zolc`] configuration.
+    /// Either way the run is gated on the unit's interpreter-derived
+    /// reference expectation.
+    pub fn push_corpus(
+        &mut self,
+        unit: Arc<CompiledUnit>,
+        target: Target,
+        mode: BuildMode,
+    ) -> &mut JobMatrix {
+        self.jobs.push(Job {
+            source: JobSource::Corpus(unit),
             target,
             executor: ExecutorKind::CycleAccurate,
             mode,
@@ -642,6 +684,26 @@ mod tests {
             assert!(m.stats.retired > 0);
             assert_eq!(m.executor, ExecutorKind::Functional);
         }
+    }
+
+    #[test]
+    fn corpus_cells_measure_on_both_build_modes() {
+        let e = zolc_lang::find_corpus("dot").expect("dot is in the corpus");
+        let unit = zolc_lang::compile_arc(e.name, e.source).expect("corpus compiles");
+        let mut m = JobMatrix::new();
+        m.push_corpus(unit.clone(), Target::Baseline, BuildMode::Lower);
+        m.push_corpus(
+            unit,
+            Target::Zolc(ZolcConfig::lite()),
+            BuildMode::AutoRetarget,
+        );
+        let results = m.run();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].kernel, "dot");
+        assert!(results[0].stats.cycles > 0);
+        let auto = results[1].auto.as_ref().expect("auto cell carries stats");
+        assert_eq!(auto.hw_loops, e.handled_loops);
+        assert!(results[1].stats.cycles > 0);
     }
 
     #[test]

@@ -137,6 +137,25 @@ pub enum Node {
         /// How many enclosing loops to leave.
         levels: u8,
     },
+    /// A data-dependent (`while`-style) loop: each iteration re-runs
+    /// `header`, then exits when `cond` fails.
+    ///
+    /// The trip count is unknown at loop entry, so no hardware scheme
+    /// applies: every target lowers it to the same explicit branch code
+    /// (header, conditional exit, body, back-jump). Under ZOLC targets
+    /// the whole subtree is software — counted loops *inside* it are
+    /// lowered as software loops and never enter the task graph, which
+    /// is exactly what `retarget`'s handledness filters decide when they
+    /// meet the same shape in a binary.
+    While {
+        /// Straight-line code recomputing the condition inputs, run at
+        /// the top of every iteration (may be empty).
+        header: Vec<Instr>,
+        /// The loop continues while this holds.
+        cond: Cond,
+        /// The loop body.
+        body: Vec<Node>,
+    },
 }
 
 impl Node {
@@ -171,6 +190,7 @@ impl LoopIr {
                 .iter()
                 .map(|n| match n {
                     Node::Loop(l) => 1 + walk(&l.body),
+                    Node::While { body, .. } => 1 + walk(body),
                     Node::If { then, els, .. } => walk(then) + walk(els),
                     _ => 0,
                 })
@@ -186,6 +206,7 @@ impl LoopIr {
                 .iter()
                 .map(|n| match n {
                     Node::Loop(l) => 1 + walk(&l.body),
+                    Node::While { body, .. } => 1 + walk(body),
                     Node::If { then, els, .. } => walk(then).max(walk(els)),
                     _ => 0,
                 })
@@ -220,6 +241,10 @@ impl fmt::Display for LoopIr {
                         }
                     }
                     Node::BreakIf { levels, .. } => writeln!(f, "{pad}break_if({levels})")?,
+                    Node::While { header, body, .. } => {
+                        writeln!(f, "{pad}while (header[{}])", header.len())?;
+                        walk(body, depth + 1, f)?;
+                    }
                 }
             }
             Ok(())
@@ -277,6 +302,28 @@ mod tests {
         assert_eq!(ir.max_depth(), 2);
         let s = ir.to_string();
         assert!(s.contains("loop x2"));
+        assert!(s.contains("loop x4"));
+    }
+
+    #[test]
+    fn while_counts_as_a_loop_level() {
+        let ir = LoopIr {
+            name: "w".into(),
+            nodes: vec![Node::While {
+                header: vec![Instr::Nop],
+                cond: Cond::Gtz(reg(2)),
+                body: vec![Node::Loop(LoopNode {
+                    trips: Trips::Const(4),
+                    index: None,
+                    counter: reg(11),
+                    body: vec![Node::code([Instr::Nop])],
+                })],
+            }],
+        };
+        assert_eq!(ir.loop_count(), 2);
+        assert_eq!(ir.max_depth(), 2);
+        let s = ir.to_string();
+        assert!(s.contains("while (header[1])"));
         assert!(s.contains("loop x4"));
     }
 

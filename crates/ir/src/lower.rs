@@ -181,6 +181,10 @@ fn check_structure(nodes: &[Node]) -> Result<(), LowerError> {
                     walk(then, true)?;
                     walk(els, true)?;
                 }
+                // A `while` subtree is lowered entirely in software (its
+                // counted loops never enter the task graph), so the
+                // conditional-loop restriction resets inside it.
+                Node::While { body, .. } => walk(body, false)?,
                 _ => {}
             }
         }
@@ -193,45 +197,58 @@ fn check_structure(nodes: &[Node]) -> Result<(), LowerError> {
 /// registers belong to the index calculation unit; under the software
 /// lowerings the counter and index registers belong to the loop latch.
 fn check_register_conflicts(nodes: &[Node], zolc: bool) -> Result<(), LowerError> {
-    fn walk(nodes: &[Node], protected: &mut Vec<Reg>, zolc: bool) -> Result<(), LowerError> {
+    fn check_instrs(instrs: &[Instr], protected: &[Reg]) -> Result<(), LowerError> {
+        for i in instrs {
+            if let Some(d) = i.dst() {
+                if protected.contains(&d) {
+                    return Err(LowerError::RegisterConflict(format!(
+                        "body instruction `{i}` writes loop-control register {d}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+    // `sw` = loops here lower as software loops even on ZOLC targets
+    // (inside a `while` subtree), so their counters are live.
+    fn walk(
+        nodes: &[Node],
+        protected: &mut Vec<Reg>,
+        zolc: bool,
+        sw: bool,
+    ) -> Result<(), LowerError> {
         for n in nodes {
             match n {
-                Node::Code(instrs) => {
-                    for i in instrs {
-                        if let Some(d) = i.dst() {
-                            if protected.contains(&d) {
-                                return Err(LowerError::RegisterConflict(format!(
-                                    "body instruction `{i}` writes loop-control register {d}"
-                                )));
-                            }
-                        }
-                    }
-                }
+                Node::Code(instrs) => check_instrs(instrs, protected)?,
                 Node::Loop(l) => {
                     let mut added = 0;
                     if let Some(ix) = l.index {
                         protected.push(ix.reg);
                         added += 1;
                     }
-                    if !zolc {
+                    if !zolc || sw {
                         protected.push(l.counter);
                         added += 1;
                     }
-                    walk(&l.body, protected, zolc)?;
+                    walk(&l.body, protected, zolc, sw)?;
                     for _ in 0..added {
                         protected.pop();
                     }
                 }
                 Node::If { then, els, .. } => {
-                    walk(then, protected, zolc)?;
-                    walk(els, protected, zolc)?;
+                    walk(then, protected, zolc, sw)?;
+                    walk(els, protected, zolc, sw)?;
                 }
                 Node::BreakIf { .. } => {}
+                Node::While { header, body, .. } => {
+                    check_instrs(header, protected)?;
+                    walk(body, protected, zolc, true)?;
+                }
             }
         }
         Ok(())
     }
-    walk(nodes, &mut Vec::new(), zolc)
+    walk(nodes, &mut Vec::new(), zolc, false)
 }
 
 // ====================== software lowerings ==============================
@@ -265,8 +282,29 @@ impl SwLower<'_> {
                     let target = self.exits[idx];
                     self.asm.branch(cond.branch_if(), target);
                 }
+                Node::While { header, cond, body } => self.lower_while(header, *cond, body)?,
             }
         }
+        Ok(())
+    }
+
+    /// A data-dependent loop: header, conditional exit, body, back-jump.
+    /// Identical on every target; counts as one breakable level.
+    fn lower_while(
+        &mut self,
+        header: &[Instr],
+        cond: Cond,
+        body: &[Node],
+    ) -> Result<(), LowerError> {
+        let top = self.asm.label_here();
+        self.asm.emit_all(header.iter().copied());
+        let exit = self.asm.new_label();
+        self.asm.branch(cond.branch_unless(), exit);
+        self.exits.push(exit);
+        self.nodes(body)?;
+        self.exits.pop();
+        self.asm.jump(top);
+        self.asm.bind(exit)?;
         Ok(())
     }
 
@@ -435,6 +473,8 @@ fn min_len(nodes: &[Node]) -> u32 {
             Node::Loop(l) => min_len(&l.body).max(1),
             Node::If { .. } => 1,
             Node::BreakIf { .. } => 1,
+            // header + exit branch + body + back-jump
+            Node::While { header, body, .. } => header.len() as u32 + 2 + min_len(body),
         })
         .sum()
 }
@@ -500,6 +540,9 @@ fn plan_breaks(
             for n in nodes {
                 match n {
                     Node::Code(_) => {}
+                    // `while` subtrees are software-lowered wholesale:
+                    // their loops/breaks never touch the ZOLC plans.
+                    Node::While { .. } => {}
                     Node::Loop(l) => {
                         let id = self.cursor as u8;
                         self.cursor += 1;
@@ -783,6 +826,23 @@ impl ZolcLower<'_> {
                 }
                 Node::BreakIf { cond, levels } => {
                     self.lower_break(*cond, *levels)?;
+                    if !tail.is_empty() {
+                        self.bind_all(tail)?;
+                        self.asm.emit(Instr::Nop);
+                    }
+                }
+                Node::While { header, cond, body } => {
+                    // The whole subtree is software: counted loops inside
+                    // it use ordinary down-counters and breaks resolve
+                    // against software exit labels. Branches stay within
+                    // the current task body, so an active controller
+                    // never sees them.
+                    let mut sw = SwLower {
+                        asm: &mut *self.asm,
+                        hw: false,
+                        exits: Vec::new(),
+                    };
+                    sw.lower_while(header, *cond, body)?;
                     if !tail.is_empty() {
                         self.bind_all(tail)?;
                         self.asm.emit(Instr::Nop);
@@ -1193,6 +1253,146 @@ mod tests {
             (end - zwr_pos) / 4 >= 3,
             "zwr at {zwr_pos:#x} too close to end {end:#x}"
         );
+    }
+
+    #[test]
+    fn while_lowers_to_branch_code_on_every_target() {
+        let ir = LoopIr {
+            name: "w".into(),
+            nodes: vec![
+                Node::code([Instr::Addi {
+                    rt: reg(2),
+                    rs: Reg::ZERO,
+                    imm: 5,
+                }]),
+                Node::While {
+                    header: vec![Instr::Nop],
+                    cond: Cond::Gtz(reg(2)),
+                    body: vec![Node::code([Instr::Addi {
+                        rt: reg(2),
+                        rs: reg(2),
+                        imm: -1,
+                    }])],
+                },
+            ],
+        };
+        for target in [
+            Target::Baseline,
+            Target::HwLoop,
+            Target::Zolc(ZolcConfig::lite()),
+        ] {
+            let mut asm = Asm::new();
+            let info = lower_into(&mut asm, &ir, &target).unwrap();
+            // a while is not a counted loop: no controller involvement
+            assert!(info.image.is_none(), "{target}");
+            asm.emit(Instr::Halt);
+            let p = asm.finish().unwrap();
+            assert!(
+                p.text().iter().any(|i| matches!(i, Instr::Blez { .. })),
+                "{target}: exit branch missing"
+            );
+            assert!(
+                p.text().iter().any(|i| matches!(i, Instr::J { .. })),
+                "{target}: back-jump missing"
+            );
+        }
+    }
+
+    #[test]
+    fn counted_loop_inside_while_stays_software_under_zolc() {
+        let inner = Node::Loop(LoopNode {
+            trips: Trips::Const(3),
+            index: None,
+            counter: reg(11),
+            body: vec![Node::code([Instr::Addi {
+                rt: reg(3),
+                rs: reg(3),
+                imm: 1,
+            }])],
+        });
+        let ir = LoopIr {
+            name: "wl".into(),
+            nodes: vec![
+                Node::code([Instr::Addi {
+                    rt: reg(2),
+                    rs: Reg::ZERO,
+                    imm: 2,
+                }]),
+                Node::Loop(LoopNode {
+                    trips: Trips::Const(2),
+                    index: None,
+                    counter: reg(12),
+                    body: vec![
+                        Node::While {
+                            header: vec![Instr::Nop],
+                            cond: Cond::Gtz(reg(2)),
+                            body: vec![
+                                inner,
+                                Node::code([Instr::Addi {
+                                    rt: reg(2),
+                                    rs: reg(2),
+                                    imm: -1,
+                                }]),
+                            ],
+                        },
+                        Node::code([Instr::Nop]),
+                    ],
+                }),
+            ],
+        };
+        let mut asm = Asm::new();
+        let info = lower_into(&mut asm, &ir, &Target::Zolc(ZolcConfig::lite())).unwrap();
+        let image = info.image.expect("outer counted loop maps to hardware");
+        // only the outer loop enters the task graph; the counted loop
+        // inside the while keeps its software down-counter latch
+        assert_eq!(image.loops.len(), 1);
+        asm.emit(Instr::Halt);
+        let p = asm.finish().unwrap();
+        assert!(p.text().iter().any(|i| matches!(i, Instr::Bne { .. })));
+    }
+
+    #[test]
+    fn break_inside_while_targets_the_while_exit() {
+        // while (r2 > 0) { if (r3 == r4) break; r2 -= 1 } — on every target
+        let ir = LoopIr {
+            name: "wb".into(),
+            nodes: vec![Node::While {
+                header: vec![Instr::Nop],
+                cond: Cond::Gtz(reg(2)),
+                body: vec![
+                    Node::BreakIf {
+                        cond: Cond::Eq(reg(3), reg(4)),
+                        levels: 1,
+                    },
+                    Node::code([Instr::Addi {
+                        rt: reg(2),
+                        rs: reg(2),
+                        imm: -1,
+                    }]),
+                ],
+            }],
+        };
+        for target in [Target::Baseline, Target::Zolc(ZolcConfig::lite())] {
+            let mut asm = Asm::new();
+            lower_into(&mut asm, &ir, &target).unwrap();
+        }
+        // a break deeper than the software nesting is still rejected
+        let too_deep = LoopIr {
+            name: "wb2".into(),
+            nodes: vec![Node::While {
+                header: vec![],
+                cond: Cond::Gtz(reg(2)),
+                body: vec![Node::BreakIf {
+                    cond: Cond::Eq(reg(3), reg(4)),
+                    levels: 2,
+                }],
+            }],
+        };
+        let mut asm = Asm::new();
+        assert!(matches!(
+            lower_into(&mut asm, &too_deep, &Target::Baseline),
+            Err(LowerError::BreakTooDeep { .. })
+        ));
     }
 
     #[test]

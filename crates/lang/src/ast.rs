@@ -1,0 +1,208 @@
+//! The abstract syntax tree produced by the parser.
+//!
+//! Every node carries the [`Pos`] of its first token so later stages
+//! (checker, interpreter, code generator) can attach line/column
+//! information to their diagnostics without re-touching the source.
+
+use std::fmt;
+
+/// A source position: 1-based line and column (column counts bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based byte column within the line.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, col {}", self.line, self.col)
+    }
+}
+
+/// A diagnostic: what went wrong and where.
+///
+/// Every failure path of the front end — lexing, parsing, checking,
+/// reference evaluation and code generation — produces one of these;
+/// the front end never panics on malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Where the problem is.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic at `pos`.
+    pub fn new(pos: Pos, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Binary operators (each maps to one or two XR32 ALU instructions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*` (wrapping low 32 bits, like the XR32 `mul`)
+    Mul,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<` (shift amount taken mod 32, like `sllv`)
+    Shl,
+    /// `>>` (arithmetic, amount mod 32, like `srav`)
+    Shr,
+    /// `<` (signed, yields 0/1)
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (logical, non-short-circuit, yields 0/1)
+    LogAnd,
+    /// `||` (logical, non-short-circuit, yields 0/1)
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation (wrapping).
+    Neg,
+    /// Logical not: `!x` is 1 when `x == 0`, else 0.
+    Not,
+    /// Bitwise complement.
+    BitNot,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// What kind of expression.
+    pub kind: ExprKind,
+    /// Source position of the first token.
+    pub pos: Pos,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Num(i32),
+    /// Scalar variable read.
+    Var(String),
+    /// Array element read: `name[index]`.
+    Index(String, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// What kind of statement.
+    pub kind: StmtKind,
+    /// Source position of the first token.
+    pub pos: Pos,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `int name;` or `int name = expr;` — top level only.
+    DeclScalar {
+        /// Variable name.
+        name: String,
+        /// Optional initializer, executed where the declaration stands.
+        init: Option<Expr>,
+    },
+    /// `int name[len];` or `int name[len] = { ... };` — top level only.
+    /// Storage is static and initialized before execution starts
+    /// (missing trailing initializers are zero).
+    DeclArray {
+        /// Array name.
+        name: String,
+        /// Element count.
+        len: u32,
+        /// Constant initializer words (length ≤ `len`).
+        init: Vec<i32>,
+    },
+    /// `name = expr;` or `name[index] = expr;` (also produced by the
+    /// `+=`/`-=` sugar).
+    Assign {
+        /// Target name.
+        name: String,
+        /// `Some` for an array element store.
+        index: Option<Expr>,
+        /// Value stored.
+        value: Expr,
+    },
+    /// `if (cond) { ... } else { ... }` (braces mandatory).
+    If {
+        /// Condition (nonzero = taken).
+        cond: Expr,
+        /// Taken branch.
+        then: Vec<Stmt>,
+        /// Else branch (empty when absent).
+        els: Vec<Stmt>,
+    },
+    /// `while (cond) { ... }`.
+    While {
+        /// Continue condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for (v = init; cond; v = step) { ... }` — all three clauses are
+    /// mandatory and the init/step clauses are scalar assignments.
+    For {
+        /// Init clause.
+        init: Box<Stmt>,
+        /// Continue condition.
+        cond: Expr,
+        /// Step clause, executed after the body each iteration.
+        step: Box<Stmt>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `break;` — leaves the innermost enclosing loop.
+    Break,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostic_displays_position_first() {
+        let d = Diagnostic::new(Pos { line: 3, col: 7 }, "unexpected `}`");
+        assert_eq!(d.to_string(), "line 3, col 7: unexpected `}`");
+    }
+}

@@ -1,0 +1,325 @@
+//! Scope/type resolution and resource-limit checking.
+//!
+//! The language has exactly two types — `int` scalars and `int[N]`
+//! arrays — so "type checking" is deciding, for every name use, that
+//! the name is declared (lexically before the use), that scalars are
+//! never indexed and arrays never used bare, and that the program fits
+//! the register file and data segment the code generator targets.
+
+use crate::ast::{Diagnostic, Expr, ExprKind, Pos, Stmt, StmtKind};
+use std::collections::HashMap;
+use zolc_isa::{reg, Reg, DATA_BASE};
+
+/// First register of the scalar pool (`r2`).
+pub(crate) const SCALAR_BASE: u8 = 2;
+/// Scalars live in `r2..=r13`.
+pub(crate) const MAX_SCALARS: usize = 12;
+/// Longest single array, in words.
+const MAX_ARRAY_WORDS: u32 = 4096;
+/// Data-segment budget across all arrays, in words.
+const MAX_TOTAL_WORDS: u32 = 12288;
+
+/// A resolved scalar variable.
+#[derive(Debug, Clone)]
+pub(crate) struct ScalarSym {
+    /// Source name.
+    pub name: String,
+    /// Home register (`r2..=r13`, in declaration order).
+    pub reg: Reg,
+}
+
+/// A resolved array.
+#[derive(Debug, Clone)]
+pub(crate) struct ArraySym {
+    /// Source name.
+    pub name: String,
+    /// Element count.
+    pub len: u32,
+    /// Data-segment address of element 0.
+    pub addr: u32,
+    /// Initializer, padded to `len` words.
+    pub init: Vec<i32>,
+}
+
+/// Output of the checker: symbol tables the interpreter and code
+/// generator share.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Symbols {
+    /// Scalars in declaration order.
+    pub scalars: Vec<ScalarSym>,
+    /// Arrays in declaration order (addresses are packed from
+    /// [`DATA_BASE`]).
+    pub arrays: Vec<ArraySym>,
+}
+
+impl Symbols {
+    pub(crate) fn scalar(&self, name: &str) -> Option<&ScalarSym> {
+        self.scalars.iter().find(|s| s.name == name)
+    }
+
+    pub(crate) fn array(&self, name: &str) -> Option<&ArraySym> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Binding {
+    Scalar,
+    Array,
+}
+
+struct Checker {
+    symbols: Symbols,
+    /// Names visible so far (declaration order matters: a use before
+    /// its declaration is an error even though all storage is static).
+    visible: HashMap<String, Binding>,
+}
+
+impl Checker {
+    fn expr(&self, e: &Expr) -> Result<(), Diagnostic> {
+        match &e.kind {
+            ExprKind::Num(_) => Ok(()),
+            ExprKind::Var(name) => match self.visible.get(name) {
+                Some(Binding::Scalar) => Ok(()),
+                Some(Binding::Array) => Err(Diagnostic::new(
+                    e.pos,
+                    format!("array `{name}` must be indexed"),
+                )),
+                None => Err(undeclared(e.pos, name)),
+            },
+            ExprKind::Index(name, index) => {
+                match self.visible.get(name) {
+                    Some(Binding::Array) => {}
+                    Some(Binding::Scalar) => {
+                        return Err(Diagnostic::new(
+                            e.pos,
+                            format!("scalar `{name}` cannot be indexed"),
+                        ))
+                    }
+                    None => return Err(undeclared(e.pos, name)),
+                }
+                self.expr(index)
+            }
+            ExprKind::Unary(_, operand) => self.expr(operand),
+            ExprKind::Binary(_, lhs, rhs) => {
+                self.expr(lhs)?;
+                self.expr(rhs)
+            }
+        }
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt], in_loop: bool) -> Result<(), Diagnostic> {
+        for s in stmts {
+            self.stmt(s, in_loop)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt, in_loop: bool) -> Result<(), Diagnostic> {
+        match &s.kind {
+            StmtKind::DeclScalar { .. } | StmtKind::DeclArray { .. } => {
+                // The parser only produces declarations at top level;
+                // `check` handles them there.
+                unreachable!("declaration below top level")
+            }
+            StmtKind::Assign { name, index, value } => {
+                match (self.visible.get(name), index) {
+                    (Some(Binding::Scalar), None) => {}
+                    (Some(Binding::Array), Some(_)) => {}
+                    (Some(Binding::Scalar), Some(_)) => {
+                        return Err(Diagnostic::new(
+                            s.pos,
+                            format!("scalar `{name}` cannot be indexed"),
+                        ))
+                    }
+                    (Some(Binding::Array), None) => {
+                        return Err(Diagnostic::new(
+                            s.pos,
+                            format!("cannot assign whole array `{name}`"),
+                        ))
+                    }
+                    (None, _) => return Err(undeclared(s.pos, name)),
+                }
+                if let Some(ix) = index {
+                    self.expr(ix)?;
+                }
+                self.expr(value)
+            }
+            StmtKind::If { cond, then, els } => {
+                self.expr(cond)?;
+                self.stmts(then, in_loop)?;
+                self.stmts(els, in_loop)
+            }
+            StmtKind::While { cond, body } => {
+                self.expr(cond)?;
+                self.stmts(body, true)
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.stmt(init, in_loop)?;
+                self.expr(cond)?;
+                self.stmts(body, true)?;
+                self.stmt(step, in_loop)
+            }
+            StmtKind::Break => {
+                if in_loop {
+                    Ok(())
+                } else {
+                    Err(Diagnostic::new(s.pos, "`break` outside of a loop"))
+                }
+            }
+        }
+    }
+
+    fn declare(&mut self, s: &Stmt) -> Result<(), Diagnostic> {
+        match &s.kind {
+            StmtKind::DeclScalar { name, .. } => {
+                self.duplicate_check(s.pos, name)?;
+                if self.symbols.scalars.len() == MAX_SCALARS {
+                    return Err(Diagnostic::new(
+                        s.pos,
+                        format!("too many scalar variables (limit {MAX_SCALARS})"),
+                    ));
+                }
+                let home = reg(SCALAR_BASE + self.symbols.scalars.len() as u8);
+                self.symbols.scalars.push(ScalarSym {
+                    name: name.clone(),
+                    reg: home,
+                });
+                self.visible.insert(name.clone(), Binding::Scalar);
+                Ok(())
+            }
+            StmtKind::DeclArray { name, len, init } => {
+                self.duplicate_check(s.pos, name)?;
+                if *len > MAX_ARRAY_WORDS {
+                    return Err(Diagnostic::new(
+                        s.pos,
+                        format!("array `{name}` longer than {MAX_ARRAY_WORDS} words"),
+                    ));
+                }
+                let used: u32 = self.symbols.arrays.iter().map(|a| a.len).sum();
+                if used + len > MAX_TOTAL_WORDS {
+                    return Err(Diagnostic::new(
+                        s.pos,
+                        format!("data segment exceeds {MAX_TOTAL_WORDS} words"),
+                    ));
+                }
+                let mut padded = init.clone();
+                padded.resize(*len as usize, 0);
+                self.symbols.arrays.push(ArraySym {
+                    name: name.clone(),
+                    len: *len,
+                    addr: DATA_BASE + 4 * used,
+                    init: padded,
+                });
+                self.visible.insert(name.clone(), Binding::Array);
+                Ok(())
+            }
+            _ => unreachable!("declare called on a non-declaration"),
+        }
+    }
+
+    fn duplicate_check(&self, pos: Pos, name: &str) -> Result<(), Diagnostic> {
+        if self.visible.contains_key(name) {
+            Err(Diagnostic::new(
+                pos,
+                format!("`{name}` is already declared"),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn undeclared(pos: Pos, name: &str) -> Diagnostic {
+    Diagnostic::new(pos, format!("`{name}` is not declared"))
+}
+
+/// Resolves and checks a parsed program. On success returns the symbol
+/// tables; the program is guaranteed to fit the scalar register pool
+/// and the data-segment budget, reference every name correctly, and
+/// only `break` inside loops.
+pub(crate) fn check(program: &[Stmt]) -> Result<Symbols, Diagnostic> {
+    let mut checker = Checker {
+        symbols: Symbols::default(),
+        visible: HashMap::new(),
+    };
+    for s in program {
+        match &s.kind {
+            StmtKind::DeclScalar { init, .. } => {
+                // The initializer may reference earlier names only.
+                if let Some(e) = init {
+                    checker.declare(s)?;
+                    // Declared first: `int x = x + 1;` reads the
+                    // implicit zero, which matches the interpreter.
+                    checker.expr(e)?;
+                } else {
+                    checker.declare(s)?;
+                }
+            }
+            StmtKind::DeclArray { .. } => checker.declare(s)?,
+            _ => checker.stmt(s, false)?,
+        }
+    }
+    Ok(checker.symbols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<Symbols, Diagnostic> {
+        check(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn resolves_scalars_and_arrays() {
+        let syms = check_src("int a[3] = {1}; int x = 5; x = a[x];").unwrap();
+        assert_eq!(syms.scalar("x").unwrap().reg, reg(2));
+        let a = syms.array("a").unwrap();
+        assert_eq!(a.addr, DATA_BASE);
+        assert_eq!(a.init, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn arrays_pack_the_data_segment() {
+        let syms = check_src("int a[3]; int b[5];").unwrap();
+        assert_eq!(syms.array("b").unwrap().addr, DATA_BASE + 12);
+    }
+
+    #[test]
+    fn rejects_misuse() {
+        for (src, needle) in [
+            ("x = 1;", "not declared"),
+            ("int x; int x;", "already declared"),
+            ("int a[2]; a = 1;", "whole array"),
+            ("int a[2]; int x; x = a;", "must be indexed"),
+            ("int x; x[0] = 1;", "cannot be indexed"),
+            ("break;", "outside of a loop"),
+            ("int a[9999];", "longer than"),
+            (
+                "int a[4096]; int b[4096]; int c[4096]; int d[1];",
+                "exceeds",
+            ),
+        ] {
+            let err = check_src(src).unwrap_err();
+            assert!(err.message.contains(needle), "{src}: {err}");
+        }
+    }
+
+    #[test]
+    fn scalar_pool_is_bounded() {
+        let mut src = String::new();
+        for i in 0..13 {
+            src.push_str(&format!("int v{i};\n"));
+        }
+        let err = check_src(&src).unwrap_err();
+        assert!(err.message.contains("too many scalar"), "{err}");
+        assert_eq!(err.pos.line, 13);
+    }
+}

@@ -1,0 +1,133 @@
+//! The bundled program corpus.
+//!
+//! Each entry records what the front end is expected to produce
+//! (counted vs. explicit-branch loops) and what the rest of the stack
+//! does with the result (how many loops auto-retarget maps onto ZOLC
+//! hardware, whether the closed-form oracle can summarize the baseline
+//! binary). The numbers are pinned: `tests/corpus_exec.rs` recompiles
+//! every program and fails if any drifts.
+
+/// One program in the bundled corpus.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusEntry {
+    /// Program name — the file stem under `corpus/`.
+    pub name: &'static str,
+    /// One-line description of the loop structure it exercises.
+    pub description: &'static str,
+    /// Full source text.
+    pub source: &'static str,
+    /// `for` loops the front end emits as counted [`zolc_ir::LoopNode`]s.
+    pub counted_loops: usize,
+    /// Loops left in explicit-branch form (`while`s and demoted `for`s).
+    pub while_loops: usize,
+    /// Loops `retarget` maps onto ZOLC hardware in the auto build.
+    pub handled_loops: usize,
+    /// Whether `zolc-oracle` summarizes the baseline binary in closed
+    /// form. The oracle's fragment is counted loops whose bodies are
+    /// affine scalar updates with iteration-invariant memory addresses,
+    /// so array-walking kernels (variant addresses) and data-dependent
+    /// control are refused by design.
+    pub oracle_covered: bool,
+}
+
+macro_rules! entry {
+    ($name:literal, $desc:literal, counted: $c:literal, whiles: $w:literal,
+     handled: $h:literal, oracle: $o:literal) => {
+        CorpusEntry {
+            name: $name,
+            description: $desc,
+            source: include_str!(concat!("../corpus/", $name, ".zl")),
+            counted_loops: $c,
+            while_loops: $w,
+            handled_loops: $h,
+            oracle_covered: $o,
+        }
+    };
+}
+
+static CORPUS: &[CorpusEntry] = &[
+    entry!("dot", "dot product, single hardware-index loop",
+           counted: 1, whiles: 0, handled: 1, oracle: false),
+    entry!("matmul", "8x8 matrix multiply, perfect 3-deep nest",
+           counted: 4, whiles: 0, handled: 4, oracle: false),
+    entry!("fir", "8-tap FIR filter, nested MAC loops",
+           counted: 3, whiles: 0, handled: 3, oracle: false),
+    entry!("iir", "first-order IIR, loop-carried scalar state",
+           counted: 2, whiles: 0, handled: 2, oracle: false),
+    entry!("me_sad", "motion-estimation SAD, 4-deep nest with abs and best tracking",
+           counted: 6, whiles: 0, handled: 6, oracle: false),
+    entry!("prefix_sum", "in-place prefix sum, memory-carried dependence",
+           counted: 2, whiles: 0, handled: 2, oracle: false),
+    entry!("sentinel", "sentinel scan, pure data-dependent while",
+           counted: 0, whiles: 1, handled: 0, oracle: false),
+    entry!("triangle", "triangular nest, runtime trip count from the outer index",
+           counted: 2, whiles: 0, handled: 2, oracle: false),
+    entry!("bubble", "bubble sort, shrinking runtime bound plus swaps",
+           counted: 2, whiles: 0, handled: 2, oracle: false),
+    entry!("histogram", "histogram, data-dependent store address",
+           counted: 2, whiles: 0, handled: 2, oracle: false),
+    entry!("reverse", "in-place reversal, paired end loads/stores",
+           counted: 2, whiles: 0, handled: 2, oracle: false),
+    entry!("crc", "CRC-16, bit loop branching on the shifted-out bit",
+           counted: 2, whiles: 0, handled: 2, oracle: false),
+    entry!("gcd", "subtraction GCD, while nested inside a counted for",
+           counted: 1, whiles: 1, handled: 1, oracle: false),
+    entry!("search", "linear search with guarded break",
+           counted: 1, whiles: 0, handled: 0, oracle: false),
+    entry!("transpose", "6x6 transpose, perfect 2-deep nest",
+           counted: 3, whiles: 0, handled: 3, oracle: false),
+    entry!("movavg", "4-tap moving average, nonzero loop start",
+           counted: 3, whiles: 0, handled: 3, oracle: false),
+    entry!("popcount", "per-word popcount, shift-until-zero while in a for",
+           counted: 1, whiles: 1, handled: 1, oracle: false),
+    entry!("collatz", "Collatz trajectory, fully data-dependent while",
+           counted: 0, whiles: 1, handled: 0, oracle: false),
+    entry!("horner", "Horner polynomial evaluation, single MAC loop",
+           counted: 1, whiles: 0, handled: 1, oracle: false),
+    entry!("checksum", "Fletcher checksum, two masked running sums",
+           counted: 2, whiles: 0, handled: 2, oracle: false),
+    entry!("maxmin", "max/min reduction with guarded updates",
+           counted: 2, whiles: 0, handled: 2, oracle: false),
+    entry!("imperfect", "imperfect nest, work before and after the inner loop",
+           counted: 2, whiles: 0, handled: 2, oracle: false),
+    entry!("mixed", "counted for inside a data-dependent while",
+           counted: 2, whiles: 1, handled: 0, oracle: false),
+    entry!("accum", "nested affine accumulation, fixed-address total store",
+           counted: 2, whiles: 0, handled: 2, oracle: true),
+    entry!("decay", "descending stride-2 counted loop",
+           counted: 1, whiles: 0, handled: 1, oracle: true),
+];
+
+/// All bundled corpus programs, in a fixed order.
+pub fn corpus() -> &'static [CorpusEntry] {
+    CORPUS
+}
+
+/// Looks up a corpus program by name.
+pub fn find_corpus(name: &str) -> Option<&'static CorpusEntry> {
+    CORPUS.iter().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_names_are_unique_and_sources_nonempty() {
+        let mut seen = std::collections::HashSet::new();
+        for e in corpus() {
+            assert!(seen.insert(e.name), "duplicate corpus name {}", e.name);
+            assert!(!e.source.trim().is_empty(), "{} is empty", e.name);
+            assert!(!e.description.is_empty(), "{} lacks a description", e.name);
+        }
+        assert!(corpus().len() >= 20, "corpus shrank below 20 programs");
+    }
+
+    #[test]
+    fn find_corpus_round_trips() {
+        for e in corpus() {
+            assert_eq!(find_corpus(e.name).unwrap().name, e.name);
+        }
+        assert!(find_corpus("no-such-program").is_none());
+    }
+}

@@ -1,0 +1,273 @@
+//! The reference interpreter.
+//!
+//! Programs in this language are closed (no inputs), so the final
+//! architectural state is fully determined at compile time: the front
+//! end *runs* every accepted program on this AST interpreter and turns
+//! the final state into the [`zolc_kernels::Expectation`] that gates
+//! every executor tier bit-for-bit. The arithmetic here mirrors the
+//! XR32 ALU exactly (wrapping `+ - *`, shift amounts mod 32,
+//! arithmetic `>>`, signed comparisons yielding 0/1).
+
+use crate::ast::{BinOp, Diagnostic, Expr, ExprKind, Stmt, StmtKind, UnOp};
+use crate::check::Symbols;
+use std::collections::HashMap;
+
+/// Evaluation budget in executed statements; a program that exceeds it
+/// (a non-terminating `while`, typically) is rejected at compile time.
+pub(crate) const STEP_BUDGET: u64 = 2_000_000;
+
+/// Final interpreter state: every scalar and every array.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FinalState {
+    /// Scalar name → final value.
+    pub scalars: HashMap<String, i32>,
+    /// Array name → final contents.
+    pub arrays: HashMap<String, Vec<i32>>,
+}
+
+enum Flow {
+    Normal,
+    Break,
+}
+
+struct Interp {
+    state: FinalState,
+    steps: u64,
+}
+
+impl Interp {
+    fn eval(&self, e: &Expr) -> Result<i32, Diagnostic> {
+        Ok(match &e.kind {
+            ExprKind::Num(n) => *n,
+            ExprKind::Var(name) => self.state.scalars[name.as_str()],
+            ExprKind::Index(name, index) => {
+                let ix = self.eval(index)?;
+                let arr = &self.state.arrays[name.as_str()];
+                *arr.get(
+                    usize::try_from(ix)
+                        .ok()
+                        .filter(|&i| i < arr.len())
+                        .ok_or_else(|| {
+                            Diagnostic::new(
+                                e.pos,
+                                format!("`{name}[{ix}]` is out of bounds (length {})", arr.len()),
+                            )
+                        })?,
+                )
+                .expect("bounds just checked")
+            }
+            ExprKind::Unary(op, operand) => {
+                let v = self.eval(operand)?;
+                match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => i32::from(v == 0),
+                    UnOp::BitNot => !v,
+                }
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                let a = self.eval(lhs)?;
+                let b = self.eval(rhs)?;
+                match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::Shl => a.wrapping_shl(b as u32 & 31),
+                    BinOp::Shr => a.wrapping_shr(b as u32 & 31),
+                    BinOp::Lt => i32::from(a < b),
+                    BinOp::Le => i32::from(a <= b),
+                    BinOp::Gt => i32::from(a > b),
+                    BinOp::Ge => i32::from(a >= b),
+                    BinOp::Eq => i32::from(a == b),
+                    BinOp::Ne => i32::from(a != b),
+                    BinOp::LogAnd => i32::from(a != 0 && b != 0),
+                    BinOp::LogOr => i32::from(a != 0 || b != 0),
+                }
+            }
+        })
+    }
+
+    fn tick(&mut self, s: &Stmt) -> Result<(), Diagnostic> {
+        self.steps += 1;
+        if self.steps > STEP_BUDGET {
+            Err(Diagnostic::new(
+                s.pos,
+                format!("program exceeds the {STEP_BUDGET}-statement reference budget (non-terminating loop?)"),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<Flow, Diagnostic> {
+        for s in stmts {
+            if let Flow::Break = self.stmt(s)? {
+                return Ok(Flow::Break);
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<Flow, Diagnostic> {
+        self.tick(s)?;
+        match &s.kind {
+            StmtKind::DeclScalar { name, init } => {
+                if let Some(e) = init {
+                    let v = self.eval(e)?;
+                    self.state.scalars.insert(name.clone(), v);
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::DeclArray { .. } => Ok(Flow::Normal),
+            StmtKind::Assign { name, index, value } => {
+                let v = self.eval(value)?;
+                match index {
+                    None => {
+                        self.state.scalars.insert(name.clone(), v);
+                    }
+                    Some(ix_expr) => {
+                        let ix = self.eval(ix_expr)?;
+                        let arr = self.state.arrays.get_mut(name).expect("checked");
+                        let len = arr.len();
+                        let slot =
+                            usize::try_from(ix)
+                                .ok()
+                                .filter(|&i| i < len)
+                                .ok_or_else(|| {
+                                    Diagnostic::new(
+                                        s.pos,
+                                        format!("`{name}[{ix}]` is out of bounds (length {len})"),
+                                    )
+                                })?;
+                        arr[slot] = v;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::If { cond, then, els } => {
+                if self.eval(cond)? != 0 {
+                    self.stmts(then)
+                } else {
+                    self.stmts(els)
+                }
+            }
+            StmtKind::While { cond, body } => {
+                while self.eval(cond)? != 0 {
+                    self.tick(s)?;
+                    if let Flow::Break = self.stmts(body)? {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.stmt(init)?;
+                while self.eval(cond)? != 0 {
+                    self.tick(s)?;
+                    if let Flow::Break = self.stmts(body)? {
+                        break;
+                    }
+                    self.stmt(step)?;
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Break => Ok(Flow::Break),
+        }
+    }
+}
+
+/// Runs `program` to completion and returns the final state, or a
+/// diagnostic for out-of-bounds accesses and budget exhaustion.
+///
+/// Every declared scalar starts at 0 (matching the zeroed register
+/// file) and every array starts as its (zero-padded) initializer.
+pub(crate) fn run(program: &[Stmt], symbols: &Symbols) -> Result<FinalState, Diagnostic> {
+    let mut interp = Interp {
+        state: FinalState::default(),
+        steps: 0,
+    };
+    for s in &symbols.scalars {
+        interp.state.scalars.insert(s.name.clone(), 0);
+    }
+    for a in &symbols.arrays {
+        interp.state.arrays.insert(a.name.clone(), a.init.clone());
+    }
+    interp.stmts(program)?;
+    Ok(interp.state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check;
+    use crate::parser::parse;
+
+    fn run_src(src: &str) -> Result<FinalState, Diagnostic> {
+        let prog = parse(src).unwrap();
+        let syms = check(&prog).unwrap();
+        run(&prog, &syms)
+    }
+
+    #[test]
+    fn evaluates_loops_and_arrays() {
+        let fin = run_src(
+            "int a[5] = {3, 1, 4, 1, 5};\n\
+             int s; int i;\n\
+             for (i = 0; i < 5; i += 1) { s += a[i]; }",
+        )
+        .unwrap();
+        assert_eq!(fin.scalars["s"], 14);
+        assert_eq!(fin.scalars["i"], 5);
+    }
+
+    #[test]
+    fn alu_semantics_match_xr32() {
+        let fin = run_src(
+            "int a = 2147483647 + 1;\n\
+             int b = -5 >> 1;\n\
+             int c = 1 << 33;\n\
+             int d = 3 && 0;\n\
+             int e = -7 * 3;\n\
+             int f = !5;\n\
+             int g = ~0;",
+        )
+        .unwrap();
+        assert_eq!(fin.scalars["a"], i32::MIN);
+        assert_eq!(fin.scalars["b"], -3);
+        assert_eq!(fin.scalars["c"], 2); // shift amount mod 32
+        assert_eq!(fin.scalars["d"], 0);
+        assert_eq!(fin.scalars["e"], -21);
+        assert_eq!(fin.scalars["f"], 0);
+        assert_eq!(fin.scalars["g"], -1);
+    }
+
+    #[test]
+    fn break_leaves_innermost_loop() {
+        let fin = run_src(
+            "int i; int j; int n;\n\
+             for (i = 0; i < 3; i += 1) {\n\
+               for (j = 0; j < 10; j += 1) {\n\
+                 if (j == 2) { break; }\n\
+                 n += 1;\n\
+               }\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(fin.scalars["n"], 6);
+    }
+
+    #[test]
+    fn rejects_oob_and_nontermination() {
+        let err = run_src("int a[2]; int i = 5; a[i] = 1;").unwrap_err();
+        assert!(err.message.contains("out of bounds"), "{err}");
+        let err = run_src("int x; while (1) { x += 1; }").unwrap_err();
+        assert!(err.message.contains("budget"), "{err}");
+    }
+}

@@ -1,0 +1,456 @@
+//! Hand-rolled lexer: bytes in, position-stamped tokens out.
+//!
+//! The lexer works on raw bytes so that *any* input — including
+//! non-UTF-8 garbage fed by the robustness property tests — produces
+//! either a token stream or a [`Diagnostic`], never a panic.
+
+use crate::ast::{Diagnostic, Pos};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// `int` keyword.
+    Int,
+    /// `if` keyword.
+    If,
+    /// `else` keyword.
+    Else,
+    /// `while` keyword.
+    While,
+    /// `for` keyword.
+    For,
+    /// `break` keyword.
+    Break,
+    /// Identifier.
+    Ident(String),
+    /// Integer literal (decimal or `0x` hex; hex wraps to `i32`).
+    Num(i32),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tok::Int => "`int`",
+            Tok::If => "`if`",
+            Tok::Else => "`else`",
+            Tok::While => "`while`",
+            Tok::For => "`for`",
+            Tok::Break => "`break`",
+            Tok::Ident(name) => return write!(f, "identifier `{name}`"),
+            Tok::Num(n) => return write!(f, "number `{n}`"),
+            Tok::LParen => "`(`",
+            Tok::RParen => "`)`",
+            Tok::LBrace => "`{`",
+            Tok::RBrace => "`}`",
+            Tok::LBracket => "`[`",
+            Tok::RBracket => "`]`",
+            Tok::Semi => "`;`",
+            Tok::Comma => "`,`",
+            Tok::Assign => "`=`",
+            Tok::PlusAssign => "`+=`",
+            Tok::MinusAssign => "`-=`",
+            Tok::Plus => "`+`",
+            Tok::Minus => "`-`",
+            Tok::Star => "`*`",
+            Tok::Amp => "`&`",
+            Tok::Pipe => "`|`",
+            Tok::Caret => "`^`",
+            Tok::Tilde => "`~`",
+            Tok::Bang => "`!`",
+            Tok::Shl => "`<<`",
+            Tok::Shr => "`>>`",
+            Tok::Lt => "`<`",
+            Tok::Le => "`<=`",
+            Tok::Gt => "`>`",
+            Tok::Ge => "`>=`",
+            Tok::EqEq => "`==`",
+            Tok::Ne => "`!=`",
+            Tok::AndAnd => "`&&`",
+            Tok::OrOr => "`||`",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A token plus the position of its first byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Longest identifier the lexer accepts (guards diagnostics and memory
+/// against adversarial megabyte-long names).
+const MAX_IDENT: usize = 64;
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.i += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Diagnostic> {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let open = self.pos();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(Diagnostic::new(open, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident_or_keyword(&mut self) -> Result<Tok, Diagnostic> {
+        let pos = self.pos();
+        let start = self.i;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.i];
+        if text.len() > MAX_IDENT {
+            return Err(Diagnostic::new(
+                pos,
+                format!("identifier longer than {MAX_IDENT} bytes"),
+            ));
+        }
+        // Safe: the loop above only accepted ASCII bytes.
+        let name = String::from_utf8_lossy(text).into_owned();
+        Ok(match name.as_str() {
+            "int" => Tok::Int,
+            "if" => Tok::If,
+            "else" => Tok::Else,
+            "while" => Tok::While,
+            "for" => Tok::For,
+            "break" => Tok::Break,
+            _ => Tok::Ident(name),
+        })
+    }
+
+    fn number(&mut self) -> Result<Tok, Diagnostic> {
+        let pos = self.pos();
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x' | b'X')) {
+            self.bump();
+            self.bump();
+            let mut value: u32 = 0;
+            let mut digits = 0usize;
+            while let Some(b) = self.peek() {
+                let d = match b {
+                    b'0'..=b'9' => b - b'0',
+                    b'a'..=b'f' => b - b'a' + 10,
+                    b'A'..=b'F' => b - b'A' + 10,
+                    b if b.is_ascii_alphanumeric() || b == b'_' => {
+                        return Err(Diagnostic::new(pos, "malformed hex literal"));
+                    }
+                    _ => break,
+                };
+                digits += 1;
+                if digits > 8 {
+                    return Err(Diagnostic::new(pos, "hex literal wider than 32 bits"));
+                }
+                value = (value << 4) | u32::from(d);
+                self.bump();
+            }
+            if digits == 0 {
+                return Err(Diagnostic::new(pos, "hex literal has no digits"));
+            }
+            return Ok(Tok::Num(value as i32));
+        }
+        let mut value: i64 = 0;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    value = value * 10 + i64::from(b - b'0');
+                    if value > i64::from(i32::MAX) {
+                        return Err(Diagnostic::new(
+                            pos,
+                            "decimal literal exceeds 2147483647 (write INT_MIN as 0x80000000)",
+                        ));
+                    }
+                    self.bump();
+                }
+                b if b.is_ascii_alphanumeric() || b == b'_' => {
+                    return Err(Diagnostic::new(pos, "malformed number literal"));
+                }
+                _ => break,
+            }
+        }
+        Ok(Tok::Num(value as i32))
+    }
+
+    fn punct(&mut self) -> Result<Tok, Diagnostic> {
+        let pos = self.pos();
+        let b = self.bump().expect("caller checked peek");
+        let two = |lexer: &mut Lexer<'_>, next: u8, long: Tok, short: Tok| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                long
+            } else {
+                short
+            }
+        };
+        Ok(match b {
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b'{' => Tok::LBrace,
+            b'}' => Tok::RBrace,
+            b'[' => Tok::LBracket,
+            b']' => Tok::RBracket,
+            b';' => Tok::Semi,
+            b',' => Tok::Comma,
+            b'*' => Tok::Star,
+            b'^' => Tok::Caret,
+            b'~' => Tok::Tilde,
+            b'+' => two(self, b'=', Tok::PlusAssign, Tok::Plus),
+            b'-' => two(self, b'=', Tok::MinusAssign, Tok::Minus),
+            b'=' => two(self, b'=', Tok::EqEq, Tok::Assign),
+            b'!' => two(self, b'=', Tok::Ne, Tok::Bang),
+            b'&' => two(self, b'&', Tok::AndAnd, Tok::Amp),
+            b'|' => two(self, b'|', Tok::OrOr, Tok::Pipe),
+            b'<' => match self.peek() {
+                Some(b'<') => {
+                    self.bump();
+                    Tok::Shl
+                }
+                Some(b'=') => {
+                    self.bump();
+                    Tok::Le
+                }
+                _ => Tok::Lt,
+            },
+            b'>' => match self.peek() {
+                Some(b'>') => {
+                    self.bump();
+                    Tok::Shr
+                }
+                Some(b'=') => {
+                    self.bump();
+                    Tok::Ge
+                }
+                _ => Tok::Gt,
+            },
+            _ => {
+                return Err(Diagnostic::new(
+                    pos,
+                    if b.is_ascii_graphic() {
+                        format!("unexpected character `{}`", b as char)
+                    } else {
+                        format!("unexpected byte 0x{b:02x}")
+                    },
+                ))
+            }
+        })
+    }
+}
+
+/// Tokenizes `src`. Returns the first lexical error as a [`Diagnostic`]
+/// with its line/column.
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
+    let mut lexer = Lexer {
+        src: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        lexer.skip_trivia()?;
+        let pos = lexer.pos();
+        let Some(b) = lexer.peek() else {
+            return Ok(out);
+        };
+        let tok = if b.is_ascii_alphabetic() || b == b'_' {
+            lexer.ident_or_keyword()?
+        } else if b.is_ascii_digit() {
+            lexer.number()?
+        } else {
+            lexer.punct()?
+        };
+        out.push(Token { tok, pos });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_punctuation() {
+        assert_eq!(
+            toks("for (i = 0; i < 8; i += 1) { break; }"),
+            vec![
+                Tok::For,
+                Tok::LParen,
+                Tok::Ident("i".into()),
+                Tok::Assign,
+                Tok::Num(0),
+                Tok::Semi,
+                Tok::Ident("i".into()),
+                Tok::Lt,
+                Tok::Num(8),
+                Tok::Semi,
+                Tok::Ident("i".into()),
+                Tok::PlusAssign,
+                Tok::Num(1),
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::Break,
+                Tok::Semi,
+                Tok::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_positions() {
+        let tokens = lex("a // x\n  /* b\nc */ b").unwrap();
+        assert_eq!(tokens.len(), 2);
+        assert_eq!(tokens[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(tokens[1].pos, Pos { line: 3, col: 6 });
+    }
+
+    #[test]
+    fn hex_wraps_and_decimal_overflows() {
+        assert_eq!(toks("0xFFFFFFFF"), vec![Tok::Num(-1)]);
+        assert_eq!(toks("0x80000000"), vec![Tok::Num(i32::MIN)]);
+        assert_eq!(toks("2147483647"), vec![Tok::Num(i32::MAX)]);
+        let err = lex("2147483648").unwrap_err();
+        assert!(err.message.contains("2147483647"), "{err}");
+        assert!(lex("0x100000000").is_err());
+        assert!(lex("12ab").is_err());
+        assert!(lex("0x").is_err());
+    }
+
+    #[test]
+    fn bad_bytes_are_diagnosed_not_panicked() {
+        let err = lex("a @ b").unwrap_err();
+        assert_eq!(err.pos, Pos { line: 1, col: 3 });
+        assert!(lex("/* open").is_err());
+        assert!(lex("\u{00e9}").is_err()); // non-ASCII
+    }
+}

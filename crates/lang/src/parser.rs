@@ -1,0 +1,592 @@
+//! Recursive-descent parser with C expression precedence.
+//!
+//! Grammar sketch (see `LANGUAGE.md` for the full reference):
+//!
+//! ```text
+//! program   := item*
+//! item      := decl | stmt
+//! decl      := "int" IDENT ("=" expr)? ";"
+//!            | "int" IDENT "[" NUM "]" ("=" "{" num ("," num)* ","? "}")? ";"
+//! stmt      := assign ";" | if | while | for | "break" ";"
+//! assign    := IDENT ("[" expr "]")? ("=" | "+=" | "-=") expr
+//! if        := "if" "(" expr ")" block ("else" (block | if))?
+//! while     := "while" "(" expr ")" block
+//! for       := "for" "(" assign ";" expr ";" assign ")" block
+//! block     := "{" stmt* "}"
+//! ```
+//!
+//! Declarations are top-level only; blocks are mandatory on every
+//! control statement; `else if` chains are sugar for nested `if`s.
+//! Nesting depth (statements and expressions combined) is bounded so
+//! adversarial input cannot overflow the stack.
+
+use crate::ast::{BinOp, Diagnostic, Expr, ExprKind, Pos, Stmt, StmtKind, UnOp};
+use crate::lexer::{lex, Tok, Token};
+
+/// Maximum combined statement/expression nesting depth.
+const MAX_DEPTH: usize = 64;
+
+struct Parser {
+    toks: Vec<Token>,
+    i: usize,
+    end: Pos,
+    depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|t| &t.tok)
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks.get(self.i).map(|t| t.pos).unwrap_or(self.end)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == Some(want) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: &Tok, context: &str) -> Result<Pos, Diagnostic> {
+        let pos = self.pos();
+        match self.peek() {
+            Some(t) if t == want => {
+                self.i += 1;
+                Ok(pos)
+            }
+            Some(t) => Err(Diagnostic::new(
+                pos,
+                format!("expected {want} {context}, found {t}"),
+            )),
+            None => Err(Diagnostic::new(
+                pos,
+                format!("expected {want} {context}, found end of input"),
+            )),
+        }
+    }
+
+    fn ident(&mut self, context: &str) -> Result<(String, Pos), Diagnostic> {
+        let pos = self.pos();
+        match self.peek().cloned() {
+            Some(Tok::Ident(name)) => {
+                self.i += 1;
+                Ok((name, pos))
+            }
+            Some(t) => Err(Diagnostic::new(
+                pos,
+                format!("expected identifier {context}, found {t}"),
+            )),
+            None => Err(Diagnostic::new(
+                pos,
+                format!("expected identifier {context}, found end of input"),
+            )),
+        }
+    }
+
+    fn descend(&mut self, pos: Pos) -> Result<DepthGuard<'_>, Diagnostic> {
+        if self.depth >= MAX_DEPTH {
+            return Err(Diagnostic::new(
+                pos,
+                format!("nesting deeper than {MAX_DEPTH} levels"),
+            ));
+        }
+        self.depth += 1;
+        Ok(DepthGuard { parser: self })
+    }
+
+    // ---- expressions -------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, Diagnostic> {
+        self.binary(0)
+    }
+
+    /// Precedence-climbing over the C binary operator table
+    /// (`min_level` indexes [`levels`]).
+    fn binary(&mut self, min_level: usize) -> Result<Expr, Diagnostic> {
+        const LEVELS: &[&[(Tok, BinOp)]] = &[
+            &[(Tok::OrOr, BinOp::LogOr)],
+            &[(Tok::AndAnd, BinOp::LogAnd)],
+            &[(Tok::Pipe, BinOp::Or)],
+            &[(Tok::Caret, BinOp::Xor)],
+            &[(Tok::Amp, BinOp::And)],
+            &[(Tok::EqEq, BinOp::Eq), (Tok::Ne, BinOp::Ne)],
+            &[
+                (Tok::Lt, BinOp::Lt),
+                (Tok::Le, BinOp::Le),
+                (Tok::Gt, BinOp::Gt),
+                (Tok::Ge, BinOp::Ge),
+            ],
+            &[(Tok::Shl, BinOp::Shl), (Tok::Shr, BinOp::Shr)],
+            &[(Tok::Plus, BinOp::Add), (Tok::Minus, BinOp::Sub)],
+            &[(Tok::Star, BinOp::Mul)],
+        ];
+        if min_level == LEVELS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.binary(min_level + 1)?;
+        while let Some(tok) = self.peek() {
+            let Some(&(_, op)) = LEVELS[min_level].iter().find(|(t, _)| t == tok) else {
+                break;
+            };
+            let pos = self.pos();
+            self.i += 1;
+            let rhs = self.binary(min_level + 1)?;
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, Diagnostic> {
+        let pos = self.pos();
+        let op = match self.peek() {
+            Some(Tok::Minus) => Some(UnOp::Neg),
+            Some(Tok::Bang) => Some(UnOp::Not),
+            Some(Tok::Tilde) => Some(UnOp::BitNot),
+            _ => None,
+        };
+        let Some(op) = op else {
+            return self.primary();
+        };
+        self.i += 1;
+        let guard = self.descend(pos)?;
+        let operand = guard.parser.unary()?;
+        drop(guard);
+        // Fold a literal operand so `-5` is a constant the counted-loop
+        // recognizer can see.
+        if let (UnOp::Neg, ExprKind::Num(n)) = (op, &operand.kind) {
+            return Ok(Expr {
+                kind: ExprKind::Num(n.wrapping_neg()),
+                pos,
+            });
+        }
+        Ok(Expr {
+            kind: ExprKind::Unary(op, Box::new(operand)),
+            pos,
+        })
+    }
+
+    fn primary(&mut self) -> Result<Expr, Diagnostic> {
+        let pos = self.pos();
+        match self.bump().map(|t| t.tok) {
+            Some(Tok::Num(n)) => Ok(Expr {
+                kind: ExprKind::Num(n),
+                pos,
+            }),
+            Some(Tok::Ident(name)) => {
+                if self.eat(&Tok::LBracket) {
+                    let guard = self.descend(pos)?;
+                    let index = guard.parser.expr()?;
+                    drop(guard);
+                    self.expect(&Tok::RBracket, "to close the index")?;
+                    Ok(Expr {
+                        kind: ExprKind::Index(name, Box::new(index)),
+                        pos,
+                    })
+                } else {
+                    Ok(Expr {
+                        kind: ExprKind::Var(name),
+                        pos,
+                    })
+                }
+            }
+            Some(Tok::LParen) => {
+                let guard = self.descend(pos)?;
+                let inner = guard.parser.expr()?;
+                drop(guard);
+                self.expect(&Tok::RParen, "to close the expression")?;
+                Ok(inner)
+            }
+            Some(t) => Err(Diagnostic::new(
+                pos,
+                format!("expected an expression, found {t}"),
+            )),
+            None => Err(Diagnostic::new(
+                pos,
+                "expected an expression, found end of input",
+            )),
+        }
+    }
+
+    // ---- statements --------------------------------------------------
+
+    /// An assignment without its trailing `;` (shared by statements and
+    /// `for` clauses). `+=`/`-=` desugar to `name = name op expr`.
+    fn assign(&mut self) -> Result<Stmt, Diagnostic> {
+        let (name, pos) = self.ident("to start an assignment")?;
+        let index = if self.eat(&Tok::LBracket) {
+            let guard = self.descend(pos)?;
+            let index = guard.parser.expr()?;
+            drop(guard);
+            self.expect(&Tok::RBracket, "to close the index")?;
+            Some(index)
+        } else {
+            None
+        };
+        let opt_op = match self.peek() {
+            Some(Tok::Assign) => None,
+            Some(Tok::PlusAssign) => Some(BinOp::Add),
+            Some(Tok::MinusAssign) => Some(BinOp::Sub),
+            _ => {
+                return Err(Diagnostic::new(
+                    self.pos(),
+                    "expected `=`, `+=` or `-=` in assignment",
+                ))
+            }
+        };
+        self.i += 1;
+        let rhs = self.expr()?;
+        let value = match opt_op {
+            None => rhs,
+            Some(op) => {
+                let current = match &index {
+                    None => Expr {
+                        kind: ExprKind::Var(name.clone()),
+                        pos,
+                    },
+                    Some(ix) => Expr {
+                        kind: ExprKind::Index(name.clone(), Box::new(ix.clone())),
+                        pos,
+                    },
+                };
+                Expr {
+                    kind: ExprKind::Binary(op, Box::new(current), Box::new(rhs)),
+                    pos,
+                }
+            }
+        };
+        Ok(Stmt {
+            kind: StmtKind::Assign { name, index, value },
+            pos,
+        })
+    }
+
+    fn block(&mut self, context: &str) -> Result<Vec<Stmt>, Diagnostic> {
+        let open = self.expect(&Tok::LBrace, context)?;
+        let guard = self.descend(open)?;
+        let mut body = Vec::new();
+        while guard.parser.peek() != Some(&Tok::RBrace) {
+            if guard.parser.peek().is_none() {
+                return Err(Diagnostic::new(open, "unclosed `{` block"));
+            }
+            body.push(guard.parser.stmt()?);
+        }
+        drop(guard);
+        self.i += 1; // the `}`
+        Ok(body)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let pos = self.pos();
+        match self.peek() {
+            Some(Tok::Int) => Err(Diagnostic::new(
+                pos,
+                "declarations are only allowed at top level",
+            )),
+            Some(Tok::Break) => {
+                self.i += 1;
+                self.expect(&Tok::Semi, "after `break`")?;
+                Ok(Stmt {
+                    kind: StmtKind::Break,
+                    pos,
+                })
+            }
+            Some(Tok::If) => self.if_stmt(),
+            Some(Tok::While) => {
+                self.i += 1;
+                self.expect(&Tok::LParen, "after `while`")?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen, "to close the condition")?;
+                let body = self.block("to open the `while` body")?;
+                Ok(Stmt {
+                    kind: StmtKind::While { cond, body },
+                    pos,
+                })
+            }
+            Some(Tok::For) => {
+                self.i += 1;
+                self.expect(&Tok::LParen, "after `for`")?;
+                let init = self.assign()?;
+                if init.kind_is_array_store() {
+                    return Err(Diagnostic::new(
+                        init.pos,
+                        "`for` init clause must assign a scalar",
+                    ));
+                }
+                self.expect(&Tok::Semi, "after the `for` init clause")?;
+                let cond = self.expr()?;
+                self.expect(&Tok::Semi, "after the `for` condition")?;
+                let step = self.assign()?;
+                if step.kind_is_array_store() {
+                    return Err(Diagnostic::new(
+                        step.pos,
+                        "`for` step clause must assign a scalar",
+                    ));
+                }
+                self.expect(&Tok::RParen, "to close the `for` header")?;
+                let body = self.block("to open the `for` body")?;
+                Ok(Stmt {
+                    kind: StmtKind::For {
+                        init: Box::new(init),
+                        cond,
+                        step: Box::new(step),
+                        body,
+                    },
+                    pos,
+                })
+            }
+            Some(Tok::Ident(_)) => {
+                let s = self.assign()?;
+                self.expect(&Tok::Semi, "after the assignment")?;
+                Ok(s)
+            }
+            Some(t) => Err(Diagnostic::new(
+                pos,
+                format!("expected a statement, found {t}"),
+            )),
+            None => Err(Diagnostic::new(
+                pos,
+                "expected a statement, found end of input",
+            )),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let pos = self.pos();
+        self.i += 1; // `if`
+        self.expect(&Tok::LParen, "after `if`")?;
+        let cond = self.expr()?;
+        self.expect(&Tok::RParen, "to close the condition")?;
+        let then = self.block("to open the `if` body")?;
+        let els = if self.eat(&Tok::Else) {
+            if self.peek() == Some(&Tok::If) {
+                let guard = self.descend(pos)?;
+                let chained = guard.parser.if_stmt()?;
+                vec![chained]
+            } else {
+                self.block("to open the `else` body")?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt {
+            kind: StmtKind::If { cond, then, els },
+            pos,
+        })
+    }
+
+    // ---- top level ---------------------------------------------------
+
+    fn decl(&mut self) -> Result<Stmt, Diagnostic> {
+        let pos = self.pos();
+        self.i += 1; // `int`
+        let (name, _) = self.ident("after `int`")?;
+        if self.eat(&Tok::LBracket) {
+            let len_pos = self.pos();
+            let len = match self.bump().map(|t| t.tok) {
+                Some(Tok::Num(n)) if n >= 1 => n as u32,
+                Some(Tok::Num(_)) => {
+                    return Err(Diagnostic::new(len_pos, "array length must be at least 1"))
+                }
+                _ => {
+                    return Err(Diagnostic::new(
+                        len_pos,
+                        "array length must be a positive integer literal",
+                    ))
+                }
+            };
+            self.expect(&Tok::RBracket, "to close the array length")?;
+            let mut init = Vec::new();
+            if self.eat(&Tok::Assign) {
+                self.expect(&Tok::LBrace, "to open the array initializer")?;
+                loop {
+                    if self.eat(&Tok::RBrace) {
+                        break;
+                    }
+                    let vpos = self.pos();
+                    let value = match self.bump().map(|t| t.tok) {
+                        Some(Tok::Num(n)) => n,
+                        Some(Tok::Minus) => match self.bump().map(|t| t.tok) {
+                            Some(Tok::Num(n)) => n.wrapping_neg(),
+                            _ => {
+                                return Err(Diagnostic::new(
+                                    vpos,
+                                    "expected a number after `-` in array initializer",
+                                ))
+                            }
+                        },
+                        _ => {
+                            return Err(Diagnostic::new(
+                                vpos,
+                                "array initializers must be integer literals",
+                            ))
+                        }
+                    };
+                    init.push(value);
+                    if init.len() > len as usize {
+                        return Err(Diagnostic::new(
+                            vpos,
+                            format!("initializer has more than {len} elements"),
+                        ));
+                    }
+                    if !self.eat(&Tok::Comma) {
+                        self.expect(&Tok::RBrace, "to close the array initializer")?;
+                        break;
+                    }
+                }
+            }
+            self.expect(&Tok::Semi, "after the declaration")?;
+            Ok(Stmt {
+                kind: StmtKind::DeclArray { name, len, init },
+                pos,
+            })
+        } else {
+            let init = if self.eat(&Tok::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(&Tok::Semi, "after the declaration")?;
+            Ok(Stmt {
+                kind: StmtKind::DeclScalar { name, init },
+                pos,
+            })
+        }
+    }
+}
+
+/// RAII guard pairing every [`Parser::descend`] with the matching
+/// depth decrement, even on error paths.
+struct DepthGuard<'a> {
+    parser: &'a mut Parser,
+}
+
+impl Drop for DepthGuard<'_> {
+    fn drop(&mut self) {
+        self.parser.depth -= 1;
+    }
+}
+
+impl Stmt {
+    fn kind_is_array_store(&self) -> bool {
+        matches!(&self.kind, StmtKind::Assign { index: Some(_), .. })
+    }
+}
+
+/// Parses a whole program: lexes `src` and returns the top-level
+/// statement list, or the first [`Diagnostic`].
+pub fn parse(src: &str) -> Result<Vec<Stmt>, Diagnostic> {
+    let toks = lex(src)?;
+    let end = toks
+        .last()
+        .map(|t| Pos {
+            line: t.pos.line,
+            col: t.pos.col + 1,
+        })
+        .unwrap_or(Pos { line: 1, col: 1 });
+    let mut parser = Parser {
+        toks,
+        i: 0,
+        end,
+        depth: 0,
+    };
+    let mut items = Vec::new();
+    while parser.peek().is_some() {
+        let item = if parser.peek() == Some(&Tok::Int) {
+            parser.decl()?
+        } else {
+            parser.stmt()?
+        };
+        items.push(item);
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_small_program() {
+        let prog = parse(
+            "int a[4] = {1, 2, 3};\n\
+             int s;\n\
+             for (i = 0; i < 4; i += 1) { s = s + a[i]; }",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 3);
+        let StmtKind::For { init, step, .. } = &prog[2].kind else {
+            panic!("expected for");
+        };
+        assert!(matches!(&init.kind, StmtKind::Assign { index: None, .. }));
+        // `i += 1` desugars to `i = i + 1`
+        let StmtKind::Assign { value, .. } = &step.kind else {
+            panic!("expected assign step");
+        };
+        assert!(matches!(&value.kind, ExprKind::Binary(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let prog = parse("x = 1 + 2 * 3 == 7 && 4 | 1;").unwrap();
+        let StmtKind::Assign { value, .. } = &prog[0].kind else {
+            panic!()
+        };
+        // Top level must be `&&`.
+        assert!(matches!(&value.kind, ExprKind::Binary(BinOp::LogAnd, _, _)));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let prog = parse("if (x) { y = 1; } else if (z) { y = 2; } else { y = 3; }").unwrap();
+        let StmtKind::If { els, .. } = &prog[0].kind else {
+            panic!()
+        };
+        assert_eq!(els.len(), 1);
+        assert!(matches!(&els[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse("x = ;").unwrap_err();
+        assert_eq!(err.pos, Pos { line: 1, col: 5 });
+        let err = parse("if (x) y = 1;").unwrap_err();
+        assert!(err.message.contains("`{`"), "{err}");
+        let err = parse("for (a[0] = 1; x; x = x + 1) { }").unwrap_err();
+        assert!(err.message.contains("scalar"), "{err}");
+        let err = parse("while (1) { int x; }").unwrap_err();
+        assert!(err.message.contains("top level"), "{err}");
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let deep = format!("x = {}1{};", "(".repeat(500), ")".repeat(500));
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        let blocks = format!("{}{}", "while (1) {".repeat(200), "}".repeat(200));
+        assert!(parse(&blocks).is_err());
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let prog = parse("x = -5;").unwrap();
+        let StmtKind::Assign { value, .. } = &prog[0].kind else {
+            panic!()
+        };
+        assert!(matches!(value.kind, ExprKind::Num(-5)));
+    }
+}

@@ -1,0 +1,167 @@
+//! Front-end robustness: the compiler must never panic, whatever the
+//! input — malformed programs come back as structured [`Diagnostic`]s
+//! with a line/column inside the input.
+//!
+//! Three input distributions: raw byte soup (exercises the lexer's
+//! byte handling and UTF-8 tolerance), token soup (syntactically
+//! plausible streams that stress the parser's error paths), and
+//! single-byte mutations of real corpus programs (inputs that are
+//! *almost* valid, the hardest diagnostics to position well). A golden
+//! table then pins exact messages and positions for representative
+//! mistakes, so diagnostics cannot silently regress into vaguer ones.
+
+use proptest::prelude::*;
+use zolc_lang::{compile, corpus};
+
+/// Every diagnostic must carry a position inside (or one past) the
+/// input, and a nonempty message.
+fn well_formed(src: &str, err: &zolc_lang::Diagnostic) {
+    assert!(err.pos.line >= 1, "line is 1-based: {err}");
+    assert!(err.pos.col >= 1, "col is 1-based: {err}");
+    let lines = src.lines().count().max(1) as u32;
+    assert!(
+        err.pos.line <= lines + 1,
+        "line {} beyond input ({} lines): {err}",
+        err.pos.line,
+        lines
+    );
+    assert!(!err.message.is_empty(), "empty diagnostic message");
+}
+
+fn never_panics(name: &str, src: &str) {
+    if let Err(err) = compile(name, src) {
+        well_formed(src, &err);
+    }
+}
+
+const TOKENS: &[&str] = &[
+    "int",
+    "for",
+    "while",
+    "if",
+    "else",
+    "break",
+    "x",
+    "y",
+    "a",
+    "i",
+    "0",
+    "1",
+    "42",
+    "2147483647",
+    "0x7f",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    "=",
+    "+=",
+    "-=",
+    "==",
+    "!=",
+    "<",
+    "<=",
+    ">",
+    ">=",
+    "+",
+    "-",
+    "*",
+    "&",
+    "|",
+    "^",
+    "<<",
+    ">>",
+    "&&",
+    "||",
+    "!",
+    "~",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Raw bytes (lossily decoded): the lexer sees every byte value,
+    /// including non-ASCII and control characters.
+    #[test]
+    fn byte_soup_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        never_panics("byte-soup", &src);
+    }
+
+    /// Streams of real tokens in random order: deep into the parser's
+    /// error handling, where recovery mistakes would panic or loop.
+    #[test]
+    fn token_soup_never_panics(picks in prop::collection::vec(0..TOKENS.len(), 0..60)) {
+        let src = picks
+            .iter()
+            .map(|&k| TOKENS[k])
+            .collect::<Vec<_>>()
+            .join(" ");
+        never_panics("token-soup", &src);
+    }
+
+    /// Corpus programs with one byte overwritten: near-valid inputs.
+    #[test]
+    fn mutated_corpus_never_panics(
+        pick in 0..25usize,
+        at in any::<u32>(),
+        with in any::<u8>(),
+    ) {
+        let entry = &corpus()[pick % corpus().len()];
+        let mut bytes = entry.source.as_bytes().to_vec();
+        let at = at as usize % bytes.len();
+        bytes[at] = with;
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        never_panics(entry.name, &src);
+    }
+}
+
+/// Golden diagnostics: exact message and position for representative
+/// front-end mistakes, one per pipeline stage.
+#[test]
+fn bad_input_diagnostics_are_pinned() {
+    let cases: &[(&str, &str)] = &[
+        // lexer
+        (
+            "int x = 2147483648;",
+            "line 1, col 9: decimal literal exceeds 2147483647 (write INT_MIN as 0x80000000)",
+        ),
+        ("x = 1 @ 2;", "line 1, col 7: unexpected character `@`"),
+        ("/* open", "line 1, col 1: unterminated block comment"),
+        ("x = 12abc;", "line 1, col 5: malformed number literal"),
+        // parser
+        ("x = ;", "line 1, col 5: expected an expression, found `;`"),
+        (
+            "if (x) y = 1;",
+            "line 1, col 8: expected `{` to open the `if` body, found identifier `y`",
+        ),
+        (
+            "for (a[0] = 1; i < 4; i += 1) { }",
+            "line 1, col 6: `for` init clause must assign a scalar",
+        ),
+        (
+            "while (1) { int x; }",
+            "line 1, col 13: declarations are only allowed at top level",
+        ),
+        // check
+        ("x = 1;", "line 1, col 1: `x` is not declared"),
+        (
+            "int a[2]; a = 1;",
+            "line 1, col 11: cannot assign whole array `a`",
+        ),
+        ("int x; break;", "line 1, col 8: `break` outside of a loop"),
+        // interp (compile-time reference execution)
+        (
+            "int a[2]; a[5] = 1;",
+            "line 1, col 11: `a[5]` is out of bounds (length 2)",
+        ),
+    ];
+    for (src, want) in cases {
+        let err = compile("golden", src).expect_err(src);
+        assert_eq!(&err.to_string(), want, "source: {src}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Golden disassembly snapshots: the exact code the front end emits for
+//! every corpus program on each hand target, pinned under
+//! `tests/snapshots/`. Any codegen or lowering change shows up as a
+//! reviewable diff; regenerate intentionally with
+//!
+//! ```text
+//! ZOLC_BLESS=1 cargo test -p zolc-lang --test snapshots
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use zolc_core::ZolcConfig;
+use zolc_ir::Target;
+use zolc_lang::{compile, corpus};
+
+fn snapshot_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots")
+}
+
+fn render(name: &str, source: &str) -> String {
+    let unit = compile(name, source).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let mut out = String::new();
+    writeln!(
+        out,
+        ";; {name} — golden disassembly (regenerate with ZOLC_BLESS=1)"
+    )
+    .unwrap();
+    for (label, target) in [
+        ("Baseline", Target::Baseline),
+        ("HwLoop", Target::HwLoop),
+        ("Zolc-lite", Target::Zolc(ZolcConfig::lite())),
+    ] {
+        let built = unit
+            .build(&target)
+            .unwrap_or_else(|e| panic!("{name}/{label}: {e}"));
+        writeln!(out, "\n== {label} ==").unwrap();
+        out.push_str(&built.program.source().listing());
+    }
+    out
+}
+
+#[test]
+fn corpus_disassembly_matches_snapshots() {
+    let bless = std::env::var_os("ZOLC_BLESS").is_some();
+    let dir = snapshot_dir();
+    let mut stale = Vec::new();
+    for e in corpus() {
+        let got = render(e.name, e.source);
+        let path = dir.join(format!("{}.asm", e.name));
+        if bless {
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(want) if want == got => {}
+            Ok(want) => {
+                let first = got
+                    .lines()
+                    .zip(want.lines())
+                    .position(|(g, w)| g != w)
+                    .unwrap_or_else(|| got.lines().count().min(want.lines().count()));
+                stale.push(format!(
+                    "{}: differs from snapshot starting at line {}",
+                    e.name,
+                    first + 1
+                ));
+            }
+            Err(_) => stale.push(format!("{}: snapshot missing", e.name)),
+        }
+    }
+    assert!(
+        stale.is_empty(),
+        "stale snapshots (run `ZOLC_BLESS=1 cargo test -p zolc-lang --test snapshots` \
+         and review the diff):\n  {}",
+        stale.join("\n  ")
+    );
+}
+
+/// No orphaned snapshot files: every `.asm` under `tests/snapshots/`
+/// must correspond to a current corpus program.
+#[test]
+fn snapshots_have_no_orphans() {
+    for entry in std::fs::read_dir(snapshot_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|x| x != "asm") {
+            continue;
+        }
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        assert!(
+            zolc_lang::find_corpus(&stem).is_some(),
+            "orphaned snapshot {stem}.asm (program no longer in the corpus)"
+        );
+    }
+}

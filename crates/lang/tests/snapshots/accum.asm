@@ -1,0 +1,86 @@
+;; accum — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r3, r0, 0
+0x0004:  addi  r14, r0, 6
+0x0008:  addi  r4, r0, 0
+0x000c:  addi  r16, r0, 5
+0x0010:  addi  r2, r2, 3
+0x0014:  addi  r4, r4, 1
+0x0018:  addi  r16, r16, -1
+0x001c:  bne   r16, r0, -4
+0x0020:  addi  r2, r2, 10
+0x0024:  lui   r23, 0x4
+0x0028:  sw    r2, 0(r23)
+0x002c:  addi  r3, r3, 1
+0x0030:  addi  r14, r14, -1
+0x0034:  bne   r14, r0, -12
+0x0038:  halt
+
+== HwLoop ==
+0x0000:  addi  r3, r0, 0
+0x0004:  addi  r14, r0, 6
+0x0008:  addi  r4, r0, 0
+0x000c:  addi  r16, r0, 5
+0x0010:  addi  r2, r2, 3
+0x0014:  addi  r4, r4, 1
+0x0018:  dbnz  r16, -3
+0x001c:  addi  r2, r2, 10
+0x0020:  lui   r23, 0x4
+0x0024:  sw    r2, 0(r23)
+0x0028:  addi  r3, r3, 1
+0x002c:  dbnz  r14, -10
+0x0030:  halt
+
+== Zolc-lite ==
+0x0000:  zctl.rst
+0x0004:  addi  r1, r0, 1
+0x0008:  zwr   loop[0].1, r1
+0x000c:  addi  r1, r0, 6
+0x0010:  zwr   loop[0].2, r1
+0x0014:  addi  r1, r0, 3
+0x0018:  zwr   loop[0].4, r1
+0x001c:  lui   r1, 0x0
+0x0020:  ori   r1, r1, 0xb8
+0x0024:  zwr   loop[0].5, r1
+0x0028:  lui   r1, 0x0
+0x002c:  ori   r1, r1, 0xc4
+0x0030:  zwr   loop[0].6, r1
+0x0034:  addi  r1, r0, 1
+0x0038:  zwr   loop[1].1, r1
+0x003c:  addi  r1, r0, 5
+0x0040:  zwr   loop[1].2, r1
+0x0044:  addi  r1, r0, 4
+0x0048:  zwr   loop[1].4, r1
+0x004c:  lui   r1, 0x0
+0x0050:  ori   r1, r1, 0xb8
+0x0054:  zwr   loop[1].5, r1
+0x0058:  lui   r1, 0x0
+0x005c:  ori   r1, r1, 0xb8
+0x0060:  zwr   loop[1].6, r1
+0x0064:  lui   r1, 0x0
+0x0068:  ori   r1, r1, 0xc4
+0x006c:  zwr   task[0].0, r1
+0x0070:  addi  r1, r0, 1
+0x0074:  zwr   task[0].2, r1
+0x0078:  addi  r1, r0, 31
+0x007c:  zwr   task[0].3, r1
+0x0080:  addi  r1, r0, 1
+0x0084:  zwr   task[0].4, r1
+0x0088:  lui   r1, 0x0
+0x008c:  ori   r1, r1, 0xb8
+0x0090:  zwr   task[1].0, r1
+0x0094:  addi  r1, r0, 1
+0x0098:  zwr   task[1].1, r1
+0x009c:  zwr   task[1].2, r1
+0x00a0:  addi  r1, r0, 0
+0x00a4:  zwr   task[1].3, r1
+0x00a8:  addi  r1, r0, 1
+0x00ac:  zwr   task[1].4, r1
+0x00b0:  zctl.on 1
+0x00b4:  nop
+0x00b8:  addi  r2, r2, 3
+0x00bc:  addi  r2, r2, 10
+0x00c0:  lui   r23, 0x4
+0x00c4:  sw    r2, 0(r23)
+0x00c8:  halt

@@ -1,0 +1,168 @@
+;; bubble — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 11
+0x0008:  addi  r22, r0, 11
+0x000c:  sub   r17, r22, r2
+0x0010:  addi  r3, r0, 0
+0x0014:  add   r16, r17, r0
+0x0018:  addi  r24, r3, 1
+0x001c:  sll   r24, r24, 2
+0x0020:  lui   r25, 0x4
+0x0024:  add   r24, r24, r25
+0x0028:  lw    r23, 0(r24)
+0x002c:  sll   r25, r3, 2
+0x0030:  lui   r26, 0x4
+0x0034:  add   r25, r25, r26
+0x0038:  lw    r24, 0(r25)
+0x003c:  slt   r22, r23, r24
+0x0040:  beq   r22, r0, 18
+0x0044:  sll   r22, r3, 2
+0x0048:  lui   r23, 0x4
+0x004c:  add   r22, r22, r23
+0x0050:  lw    r4, 0(r22)
+0x0054:  addi  r23, r3, 1
+0x0058:  sll   r23, r23, 2
+0x005c:  lui   r24, 0x4
+0x0060:  add   r23, r23, r24
+0x0064:  lw    r22, 0(r23)
+0x0068:  sll   r23, r3, 2
+0x006c:  lui   r24, 0x4
+0x0070:  add   r23, r23, r24
+0x0074:  sw    r22, 0(r23)
+0x0078:  addi  r23, r3, 1
+0x007c:  sll   r23, r23, 2
+0x0080:  lui   r24, 0x4
+0x0084:  add   r23, r23, r24
+0x0088:  sw    r4, 0(r23)
+0x008c:  addi  r3, r3, 1
+0x0090:  addi  r16, r16, -1
+0x0094:  bne   r16, r0, -32
+0x0098:  addi  r2, r2, 1
+0x009c:  addi  r14, r14, -1
+0x00a0:  bne   r14, r0, -39
+0x00a4:  halt
+
+== HwLoop ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 11
+0x0008:  addi  r22, r0, 11
+0x000c:  sub   r17, r22, r2
+0x0010:  addi  r3, r0, 0
+0x0014:  add   r16, r17, r0
+0x0018:  addi  r24, r3, 1
+0x001c:  sll   r24, r24, 2
+0x0020:  lui   r25, 0x4
+0x0024:  add   r24, r24, r25
+0x0028:  lw    r23, 0(r24)
+0x002c:  sll   r25, r3, 2
+0x0030:  lui   r26, 0x4
+0x0034:  add   r25, r25, r26
+0x0038:  lw    r24, 0(r25)
+0x003c:  slt   r22, r23, r24
+0x0040:  beq   r22, r0, 18
+0x0044:  sll   r22, r3, 2
+0x0048:  lui   r23, 0x4
+0x004c:  add   r22, r22, r23
+0x0050:  lw    r4, 0(r22)
+0x0054:  addi  r23, r3, 1
+0x0058:  sll   r23, r23, 2
+0x005c:  lui   r24, 0x4
+0x0060:  add   r23, r23, r24
+0x0064:  lw    r22, 0(r23)
+0x0068:  sll   r23, r3, 2
+0x006c:  lui   r24, 0x4
+0x0070:  add   r23, r23, r24
+0x0074:  sw    r22, 0(r23)
+0x0078:  addi  r23, r3, 1
+0x007c:  sll   r23, r23, 2
+0x0080:  lui   r24, 0x4
+0x0084:  add   r23, r23, r24
+0x0088:  sw    r4, 0(r23)
+0x008c:  addi  r3, r3, 1
+0x0090:  dbnz  r16, -31
+0x0094:  addi  r2, r2, 1
+0x0098:  dbnz  r14, -37
+0x009c:  halt
+
+== Zolc-lite ==
+0x0000:  zctl.rst
+0x0004:  addi  r1, r0, 1
+0x0008:  zwr   loop[0].1, r1
+0x000c:  addi  r1, r0, 11
+0x0010:  zwr   loop[0].2, r1
+0x0014:  addi  r1, r0, 2
+0x0018:  zwr   loop[0].4, r1
+0x001c:  lui   r1, 0x0
+0x0020:  ori   r1, r1, 0xb4
+0x0024:  zwr   loop[0].5, r1
+0x0028:  lui   r1, 0x0
+0x002c:  ori   r1, r1, 0x134
+0x0030:  zwr   loop[0].6, r1
+0x0034:  addi  r1, r0, 1
+0x0038:  zwr   loop[1].1, r1
+0x003c:  zwr   loop[1].2, r17
+0x0040:  addi  r1, r0, 3
+0x0044:  zwr   loop[1].4, r1
+0x0048:  lui   r1, 0x0
+0x004c:  ori   r1, r1, 0xc0
+0x0050:  zwr   loop[1].5, r1
+0x0054:  lui   r1, 0x0
+0x0058:  ori   r1, r1, 0x134
+0x005c:  zwr   loop[1].6, r1
+0x0060:  lui   r1, 0x0
+0x0064:  ori   r1, r1, 0x134
+0x0068:  zwr   task[0].0, r1
+0x006c:  addi  r1, r0, 1
+0x0070:  zwr   task[0].2, r1
+0x0074:  addi  r1, r0, 31
+0x0078:  zwr   task[0].3, r1
+0x007c:  addi  r1, r0, 1
+0x0080:  zwr   task[0].4, r1
+0x0084:  lui   r1, 0x0
+0x0088:  ori   r1, r1, 0x134
+0x008c:  zwr   task[1].0, r1
+0x0090:  addi  r1, r0, 1
+0x0094:  zwr   task[1].1, r1
+0x0098:  zwr   task[1].2, r1
+0x009c:  addi  r1, r0, 0
+0x00a0:  zwr   task[1].3, r1
+0x00a4:  addi  r1, r0, 1
+0x00a8:  zwr   task[1].4, r1
+0x00ac:  zctl.on 1
+0x00b0:  nop
+0x00b4:  addi  r22, r0, 11
+0x00b8:  sub   r17, r22, r2
+0x00bc:  zwr   loop[1].2, r17
+0x00c0:  addi  r24, r3, 1
+0x00c4:  sll   r24, r24, 2
+0x00c8:  lui   r25, 0x4
+0x00cc:  add   r24, r24, r25
+0x00d0:  lw    r23, 0(r24)
+0x00d4:  sll   r25, r3, 2
+0x00d8:  lui   r26, 0x4
+0x00dc:  add   r25, r25, r26
+0x00e0:  lw    r24, 0(r25)
+0x00e4:  slt   r22, r23, r24
+0x00e8:  beq   r22, r0, 18
+0x00ec:  sll   r22, r3, 2
+0x00f0:  lui   r23, 0x4
+0x00f4:  add   r22, r22, r23
+0x00f8:  lw    r4, 0(r22)
+0x00fc:  addi  r23, r3, 1
+0x0100:  sll   r23, r23, 2
+0x0104:  lui   r24, 0x4
+0x0108:  add   r23, r23, r24
+0x010c:  lw    r22, 0(r23)
+0x0110:  sll   r23, r3, 2
+0x0114:  lui   r24, 0x4
+0x0118:  add   r23, r23, r24
+0x011c:  sw    r22, 0(r23)
+0x0120:  addi  r23, r3, 1
+0x0124:  sll   r23, r23, 2
+0x0128:  lui   r24, 0x4
+0x012c:  add   r23, r23, r24
+0x0130:  sw    r4, 0(r23)
+0x0134:  nop
+0x0138:  halt

@@ -1,0 +1,132 @@
+;; checksum — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 32
+0x0008:  addi  r26, r0, 29
+0x000c:  mul   r24, r2, r26
+0x0010:  addi  r23, r24, 7
+0x0014:  addi  r24, r0, 255
+0x0018:  and   r22, r23, r24
+0x001c:  sll   r23, r2, 2
+0x0020:  lui   r24, 0x4
+0x0024:  add   r23, r23, r24
+0x0028:  sw    r22, 0(r23)
+0x002c:  addi  r2, r2, 1
+0x0030:  addi  r14, r14, -1
+0x0034:  bne   r14, r0, -12
+0x0038:  addi  r2, r0, 0
+0x003c:  addi  r14, r0, 32
+0x0040:  sll   r25, r2, 2
+0x0044:  lui   r26, 0x4
+0x0048:  add   r25, r25, r26
+0x004c:  lw    r24, 0(r25)
+0x0050:  add   r22, r3, r24
+0x0054:  lui   r23, 0x0
+0x0058:  ori   r23, r23, 0xffff
+0x005c:  and   r3, r22, r23
+0x0060:  add   r22, r4, r3
+0x0064:  lui   r23, 0x0
+0x0068:  ori   r23, r23, 0xffff
+0x006c:  and   r4, r22, r23
+0x0070:  addi  r2, r2, 1
+0x0074:  addi  r14, r14, -1
+0x0078:  bne   r14, r0, -15
+0x007c:  halt
+
+== HwLoop ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 32
+0x0008:  addi  r26, r0, 29
+0x000c:  mul   r24, r2, r26
+0x0010:  addi  r23, r24, 7
+0x0014:  addi  r24, r0, 255
+0x0018:  and   r22, r23, r24
+0x001c:  sll   r23, r2, 2
+0x0020:  lui   r24, 0x4
+0x0024:  add   r23, r23, r24
+0x0028:  sw    r22, 0(r23)
+0x002c:  addi  r2, r2, 1
+0x0030:  dbnz  r14, -11
+0x0034:  addi  r2, r0, 0
+0x0038:  addi  r14, r0, 32
+0x003c:  sll   r25, r2, 2
+0x0040:  lui   r26, 0x4
+0x0044:  add   r25, r25, r26
+0x0048:  lw    r24, 0(r25)
+0x004c:  add   r22, r3, r24
+0x0050:  lui   r23, 0x0
+0x0054:  ori   r23, r23, 0xffff
+0x0058:  and   r3, r22, r23
+0x005c:  add   r22, r4, r3
+0x0060:  lui   r23, 0x0
+0x0064:  ori   r23, r23, 0xffff
+0x0068:  and   r4, r22, r23
+0x006c:  addi  r2, r2, 1
+0x0070:  dbnz  r14, -14
+0x0074:  halt
+
+== Zolc-lite ==
+0x0000:  addi  r2, r0, 0
+0x0004:  zctl.rst
+0x0008:  addi  r1, r0, 32
+0x000c:  zwr   loop[0].2, r1
+0x0010:  lui   r1, 0x0
+0x0014:  ori   r1, r1, 0x98
+0x0018:  zwr   loop[0].5, r1
+0x001c:  lui   r1, 0x0
+0x0020:  ori   r1, r1, 0xbc
+0x0024:  zwr   loop[0].6, r1
+0x0028:  addi  r1, r0, 32
+0x002c:  zwr   loop[1].2, r1
+0x0030:  lui   r1, 0x0
+0x0034:  ori   r1, r1, 0xc4
+0x0038:  zwr   loop[1].5, r1
+0x003c:  lui   r1, 0x0
+0x0040:  ori   r1, r1, 0xf4
+0x0044:  zwr   loop[1].6, r1
+0x0048:  lui   r1, 0x0
+0x004c:  ori   r1, r1, 0xbc
+0x0050:  zwr   task[0].0, r1
+0x0054:  addi  r1, r0, 0
+0x0058:  zwr   task[0].2, r1
+0x005c:  addi  r1, r0, 1
+0x0060:  zwr   task[0].3, r1
+0x0064:  zwr   task[0].4, r1
+0x0068:  lui   r1, 0x0
+0x006c:  ori   r1, r1, 0xf4
+0x0070:  zwr   task[1].0, r1
+0x0074:  addi  r1, r0, 1
+0x0078:  zwr   task[1].1, r1
+0x007c:  zwr   task[1].2, r1
+0x0080:  addi  r1, r0, 31
+0x0084:  zwr   task[1].3, r1
+0x0088:  addi  r1, r0, 1
+0x008c:  zwr   task[1].4, r1
+0x0090:  zctl.on 0
+0x0094:  nop
+0x0098:  addi  r26, r0, 29
+0x009c:  mul   r24, r2, r26
+0x00a0:  addi  r23, r24, 7
+0x00a4:  addi  r24, r0, 255
+0x00a8:  and   r22, r23, r24
+0x00ac:  sll   r23, r2, 2
+0x00b0:  lui   r24, 0x4
+0x00b4:  add   r23, r23, r24
+0x00b8:  sw    r22, 0(r23)
+0x00bc:  addi  r2, r2, 1
+0x00c0:  addi  r2, r0, 0
+0x00c4:  sll   r25, r2, 2
+0x00c8:  lui   r26, 0x4
+0x00cc:  add   r25, r25, r26
+0x00d0:  lw    r24, 0(r25)
+0x00d4:  add   r22, r3, r24
+0x00d8:  lui   r23, 0x0
+0x00dc:  ori   r23, r23, 0xffff
+0x00e0:  and   r3, r22, r23
+0x00e4:  add   r22, r4, r3
+0x00e8:  lui   r23, 0x0
+0x00ec:  ori   r23, r23, 0xffff
+0x00f0:  and   r4, r22, r23
+0x00f4:  addi  r2, r2, 1
+0x00f8:  halt

@@ -1,0 +1,49 @@
+;; collatz — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r2, r0, 27
+0x0004:  addi  r23, r0, 1
+0x0008:  beq   r2, r23, 10
+0x000c:  addi  r24, r0, 1
+0x0010:  and   r22, r2, r24
+0x0014:  beq   r22, r0, 4
+0x0018:  addi  r24, r0, 3
+0x001c:  mul   r22, r2, r24
+0x0020:  addi  r2, r22, 1
+0x0024:  j     0x2c
+0x0028:  sra   r2, r2, 1
+0x002c:  addi  r3, r3, 1
+0x0030:  j     0x4
+0x0034:  halt
+
+== HwLoop ==
+0x0000:  addi  r2, r0, 27
+0x0004:  addi  r23, r0, 1
+0x0008:  beq   r2, r23, 10
+0x000c:  addi  r24, r0, 1
+0x0010:  and   r22, r2, r24
+0x0014:  beq   r22, r0, 4
+0x0018:  addi  r24, r0, 3
+0x001c:  mul   r22, r2, r24
+0x0020:  addi  r2, r22, 1
+0x0024:  j     0x2c
+0x0028:  sra   r2, r2, 1
+0x002c:  addi  r3, r3, 1
+0x0030:  j     0x4
+0x0034:  halt
+
+== Zolc-lite ==
+0x0000:  addi  r2, r0, 27
+0x0004:  addi  r23, r0, 1
+0x0008:  beq   r2, r23, 10
+0x000c:  addi  r24, r0, 1
+0x0010:  and   r22, r2, r24
+0x0014:  beq   r22, r0, 4
+0x0018:  addi  r24, r0, 3
+0x001c:  mul   r22, r2, r24
+0x0020:  addi  r2, r22, 1
+0x0024:  j     0x2c
+0x0028:  sra   r2, r2, 1
+0x002c:  addi  r3, r3, 1
+0x0030:  j     0x4
+0x0034:  halt

@@ -1,0 +1,123 @@
+;; crc — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  lui   r2, 0x0
+0x0004:  ori   r2, r2, 0xffff
+0x0008:  addi  r3, r0, 0
+0x000c:  addi  r14, r0, 8
+0x0010:  sll   r24, r3, 2
+0x0014:  lui   r25, 0x4
+0x0018:  add   r24, r24, r25
+0x001c:  lw    r23, 0(r24)
+0x0020:  xor   r2, r2, r23
+0x0024:  addi  r4, r0, 0
+0x0028:  addi  r16, r0, 8
+0x002c:  addi  r24, r0, 1
+0x0030:  and   r22, r2, r24
+0x0034:  beq   r22, r0, 5
+0x0038:  sra   r22, r2, 1
+0x003c:  lui   r23, 0x0
+0x0040:  ori   r23, r23, 0xa001
+0x0044:  xor   r2, r22, r23
+0x0048:  j     0x50
+0x004c:  sra   r2, r2, 1
+0x0050:  addi  r4, r4, 1
+0x0054:  addi  r16, r16, -1
+0x0058:  bne   r16, r0, -12
+0x005c:  addi  r3, r3, 1
+0x0060:  addi  r14, r14, -1
+0x0064:  bne   r14, r0, -22
+0x0068:  halt
+
+== HwLoop ==
+0x0000:  lui   r2, 0x0
+0x0004:  ori   r2, r2, 0xffff
+0x0008:  addi  r3, r0, 0
+0x000c:  addi  r14, r0, 8
+0x0010:  sll   r24, r3, 2
+0x0014:  lui   r25, 0x4
+0x0018:  add   r24, r24, r25
+0x001c:  lw    r23, 0(r24)
+0x0020:  xor   r2, r2, r23
+0x0024:  addi  r4, r0, 0
+0x0028:  addi  r16, r0, 8
+0x002c:  addi  r24, r0, 1
+0x0030:  and   r22, r2, r24
+0x0034:  beq   r22, r0, 5
+0x0038:  sra   r22, r2, 1
+0x003c:  lui   r23, 0x0
+0x0040:  ori   r23, r23, 0xa001
+0x0044:  xor   r2, r22, r23
+0x0048:  j     0x50
+0x004c:  sra   r2, r2, 1
+0x0050:  addi  r4, r4, 1
+0x0054:  dbnz  r16, -11
+0x0058:  addi  r3, r3, 1
+0x005c:  dbnz  r14, -20
+0x0060:  halt
+
+== Zolc-lite ==
+0x0000:  lui   r2, 0x0
+0x0004:  ori   r2, r2, 0xffff
+0x0008:  zctl.rst
+0x000c:  addi  r1, r0, 1
+0x0010:  zwr   loop[0].1, r1
+0x0014:  addi  r1, r0, 8
+0x0018:  zwr   loop[0].2, r1
+0x001c:  addi  r1, r0, 3
+0x0020:  zwr   loop[0].4, r1
+0x0024:  lui   r1, 0x0
+0x0028:  ori   r1, r1, 0xc0
+0x002c:  zwr   loop[0].5, r1
+0x0030:  lui   r1, 0x0
+0x0034:  ori   r1, r1, 0xf8
+0x0038:  zwr   loop[0].6, r1
+0x003c:  addi  r1, r0, 1
+0x0040:  zwr   loop[1].1, r1
+0x0044:  addi  r1, r0, 8
+0x0048:  zwr   loop[1].2, r1
+0x004c:  addi  r1, r0, 4
+0x0050:  zwr   loop[1].4, r1
+0x0054:  lui   r1, 0x0
+0x0058:  ori   r1, r1, 0xd4
+0x005c:  zwr   loop[1].5, r1
+0x0060:  lui   r1, 0x0
+0x0064:  ori   r1, r1, 0xf8
+0x0068:  zwr   loop[1].6, r1
+0x006c:  lui   r1, 0x0
+0x0070:  ori   r1, r1, 0xf8
+0x0074:  zwr   task[0].0, r1
+0x0078:  addi  r1, r0, 1
+0x007c:  zwr   task[0].2, r1
+0x0080:  addi  r1, r0, 31
+0x0084:  zwr   task[0].3, r1
+0x0088:  addi  r1, r0, 1
+0x008c:  zwr   task[0].4, r1
+0x0090:  lui   r1, 0x0
+0x0094:  ori   r1, r1, 0xf8
+0x0098:  zwr   task[1].0, r1
+0x009c:  addi  r1, r0, 1
+0x00a0:  zwr   task[1].1, r1
+0x00a4:  zwr   task[1].2, r1
+0x00a8:  addi  r1, r0, 0
+0x00ac:  zwr   task[1].3, r1
+0x00b0:  addi  r1, r0, 1
+0x00b4:  zwr   task[1].4, r1
+0x00b8:  zctl.on 1
+0x00bc:  nop
+0x00c0:  sll   r24, r3, 2
+0x00c4:  lui   r25, 0x4
+0x00c8:  add   r24, r24, r25
+0x00cc:  lw    r23, 0(r24)
+0x00d0:  xor   r2, r2, r23
+0x00d4:  addi  r24, r0, 1
+0x00d8:  and   r22, r2, r24
+0x00dc:  beq   r22, r0, 5
+0x00e0:  sra   r22, r2, 1
+0x00e4:  lui   r23, 0x0
+0x00e8:  ori   r23, r23, 0xa001
+0x00ec:  xor   r2, r22, r23
+0x00f0:  j     0xf8
+0x00f4:  sra   r2, r2, 1
+0x00f8:  nop
+0x00fc:  halt

@@ -1,0 +1,48 @@
+;; decay — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r3, r0, 20
+0x0004:  addi  r14, r0, 10
+0x0008:  addi  r2, r2, 5
+0x000c:  addi  r3, r3, -2
+0x0010:  addi  r14, r14, -1
+0x0014:  bne   r14, r0, -4
+0x0018:  halt
+
+== HwLoop ==
+0x0000:  addi  r3, r0, 20
+0x0004:  addi  r14, r0, 10
+0x0008:  addi  r2, r2, 5
+0x000c:  addi  r3, r3, -2
+0x0010:  dbnz  r14, -3
+0x0014:  halt
+
+== Zolc-lite ==
+0x0000:  zctl.rst
+0x0004:  addi  r1, r0, 20
+0x0008:  zwr   loop[0].0, r1
+0x000c:  addi  r1, r0, -2
+0x0010:  zwr   loop[0].1, r1
+0x0014:  addi  r1, r0, 10
+0x0018:  zwr   loop[0].2, r1
+0x001c:  addi  r1, r0, 3
+0x0020:  zwr   loop[0].4, r1
+0x0024:  lui   r1, 0x0
+0x0028:  ori   r1, r1, 0x68
+0x002c:  zwr   loop[0].5, r1
+0x0030:  lui   r1, 0x0
+0x0034:  ori   r1, r1, 0x68
+0x0038:  zwr   loop[0].6, r1
+0x003c:  lui   r1, 0x0
+0x0040:  ori   r1, r1, 0x68
+0x0044:  zwr   task[0].0, r1
+0x0048:  addi  r1, r0, 0
+0x004c:  zwr   task[0].2, r1
+0x0050:  addi  r1, r0, 31
+0x0054:  zwr   task[0].3, r1
+0x0058:  addi  r1, r0, 1
+0x005c:  zwr   task[0].4, r1
+0x0060:  zctl.on 0
+0x0064:  nop
+0x0068:  addi  r2, r2, 5
+0x006c:  halt

@@ -1,0 +1,73 @@
+;; dot — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r3, r0, 0
+0x0004:  addi  r14, r0, 16
+0x0008:  sll   r25, r3, 2
+0x000c:  lui   r26, 0x4
+0x0010:  add   r25, r25, r26
+0x0014:  lw    r24, 0(r25)
+0x0018:  sll   r26, r3, 2
+0x001c:  lui   r27, 0x4
+0x0020:  add   r26, r26, r27
+0x0024:  lw    r25, 64(r26)
+0x0028:  mul   r23, r24, r25
+0x002c:  add   r2, r2, r23
+0x0030:  addi  r3, r3, 1
+0x0034:  addi  r14, r14, -1
+0x0038:  bne   r14, r0, -13
+0x003c:  halt
+
+== HwLoop ==
+0x0000:  addi  r3, r0, 0
+0x0004:  addi  r14, r0, 16
+0x0008:  sll   r25, r3, 2
+0x000c:  lui   r26, 0x4
+0x0010:  add   r25, r25, r26
+0x0014:  lw    r24, 0(r25)
+0x0018:  sll   r26, r3, 2
+0x001c:  lui   r27, 0x4
+0x0020:  add   r26, r26, r27
+0x0024:  lw    r25, 64(r26)
+0x0028:  mul   r23, r24, r25
+0x002c:  add   r2, r2, r23
+0x0030:  addi  r3, r3, 1
+0x0034:  dbnz  r14, -12
+0x0038:  halt
+
+== Zolc-lite ==
+0x0000:  zctl.rst
+0x0004:  addi  r1, r0, 1
+0x0008:  zwr   loop[0].1, r1
+0x000c:  addi  r1, r0, 16
+0x0010:  zwr   loop[0].2, r1
+0x0014:  addi  r1, r0, 3
+0x0018:  zwr   loop[0].4, r1
+0x001c:  lui   r1, 0x0
+0x0020:  ori   r1, r1, 0x60
+0x0024:  zwr   loop[0].5, r1
+0x0028:  lui   r1, 0x0
+0x002c:  ori   r1, r1, 0x84
+0x0030:  zwr   loop[0].6, r1
+0x0034:  lui   r1, 0x0
+0x0038:  ori   r1, r1, 0x84
+0x003c:  zwr   task[0].0, r1
+0x0040:  addi  r1, r0, 0
+0x0044:  zwr   task[0].2, r1
+0x0048:  addi  r1, r0, 31
+0x004c:  zwr   task[0].3, r1
+0x0050:  addi  r1, r0, 1
+0x0054:  zwr   task[0].4, r1
+0x0058:  zctl.on 0
+0x005c:  nop
+0x0060:  sll   r25, r3, 2
+0x0064:  lui   r26, 0x4
+0x0068:  add   r25, r25, r26
+0x006c:  lw    r24, 0(r25)
+0x0070:  sll   r26, r3, 2
+0x0074:  lui   r27, 0x4
+0x0078:  add   r26, r26, r27
+0x007c:  lw    r25, 64(r26)
+0x0080:  mul   r23, r24, r25
+0x0084:  add   r2, r2, r23
+0x0088:  halt

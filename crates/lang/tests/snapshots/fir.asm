@@ -1,0 +1,180 @@
+;; fir — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 40
+0x0008:  addi  r26, r0, 3
+0x000c:  mul   r24, r2, r26
+0x0010:  addi  r23, r24, -40
+0x0014:  addi  r24, r0, 31
+0x0018:  and   r22, r23, r24
+0x001c:  sll   r23, r2, 2
+0x0020:  lui   r24, 0x4
+0x0024:  add   r23, r23, r24
+0x0028:  sw    r22, 0(r23)
+0x002c:  addi  r2, r2, 1
+0x0030:  addi  r14, r14, -1
+0x0034:  bne   r14, r0, -12
+0x0038:  addi  r3, r0, 0
+0x003c:  addi  r14, r0, 32
+0x0040:  addi  r5, r0, 0
+0x0044:  addi  r4, r0, 0
+0x0048:  addi  r16, r0, 8
+0x004c:  sll   r25, r4, 2
+0x0050:  lui   r26, 0x4
+0x0054:  add   r25, r25, r26
+0x0058:  lw    r24, 160(r25)
+0x005c:  add   r26, r3, r4
+0x0060:  sll   r26, r26, 2
+0x0064:  lui   r27, 0x4
+0x0068:  add   r26, r26, r27
+0x006c:  lw    r25, 0(r26)
+0x0070:  mul   r23, r24, r25
+0x0074:  add   r5, r5, r23
+0x0078:  addi  r4, r4, 1
+0x007c:  addi  r16, r16, -1
+0x0080:  bne   r16, r0, -14
+0x0084:  sll   r23, r3, 2
+0x0088:  lui   r24, 0x4
+0x008c:  add   r23, r23, r24
+0x0090:  sw    r5, 192(r23)
+0x0094:  addi  r3, r3, 1
+0x0098:  addi  r14, r14, -1
+0x009c:  bne   r14, r0, -24
+0x00a0:  halt
+
+== HwLoop ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 40
+0x0008:  addi  r26, r0, 3
+0x000c:  mul   r24, r2, r26
+0x0010:  addi  r23, r24, -40
+0x0014:  addi  r24, r0, 31
+0x0018:  and   r22, r23, r24
+0x001c:  sll   r23, r2, 2
+0x0020:  lui   r24, 0x4
+0x0024:  add   r23, r23, r24
+0x0028:  sw    r22, 0(r23)
+0x002c:  addi  r2, r2, 1
+0x0030:  dbnz  r14, -11
+0x0034:  addi  r3, r0, 0
+0x0038:  addi  r14, r0, 32
+0x003c:  addi  r5, r0, 0
+0x0040:  addi  r4, r0, 0
+0x0044:  addi  r16, r0, 8
+0x0048:  sll   r25, r4, 2
+0x004c:  lui   r26, 0x4
+0x0050:  add   r25, r25, r26
+0x0054:  lw    r24, 160(r25)
+0x0058:  add   r26, r3, r4
+0x005c:  sll   r26, r26, 2
+0x0060:  lui   r27, 0x4
+0x0064:  add   r26, r26, r27
+0x0068:  lw    r25, 0(r26)
+0x006c:  mul   r23, r24, r25
+0x0070:  add   r5, r5, r23
+0x0074:  addi  r4, r4, 1
+0x0078:  dbnz  r16, -13
+0x007c:  sll   r23, r3, 2
+0x0080:  lui   r24, 0x4
+0x0084:  add   r23, r23, r24
+0x0088:  sw    r5, 192(r23)
+0x008c:  addi  r3, r3, 1
+0x0090:  dbnz  r14, -22
+0x0094:  halt
+
+== Zolc-lite ==
+0x0000:  zctl.rst
+0x0004:  addi  r1, r0, 1
+0x0008:  zwr   loop[0].1, r1
+0x000c:  addi  r1, r0, 40
+0x0010:  zwr   loop[0].2, r1
+0x0014:  addi  r1, r0, 2
+0x0018:  zwr   loop[0].4, r1
+0x001c:  lui   r1, 0x0
+0x0020:  ori   r1, r1, 0x110
+0x0024:  zwr   loop[0].5, r1
+0x0028:  lui   r1, 0x0
+0x002c:  ori   r1, r1, 0x130
+0x0030:  zwr   loop[0].6, r1
+0x0034:  addi  r1, r0, 1
+0x0038:  zwr   loop[1].1, r1
+0x003c:  addi  r1, r0, 32
+0x0040:  zwr   loop[1].2, r1
+0x0044:  addi  r1, r0, 3
+0x0048:  zwr   loop[1].4, r1
+0x004c:  lui   r1, 0x0
+0x0050:  ori   r1, r1, 0x134
+0x0054:  zwr   loop[1].5, r1
+0x0058:  lui   r1, 0x0
+0x005c:  ori   r1, r1, 0x170
+0x0060:  zwr   loop[1].6, r1
+0x0064:  addi  r1, r0, 1
+0x0068:  zwr   loop[2].1, r1
+0x006c:  addi  r1, r0, 8
+0x0070:  zwr   loop[2].2, r1
+0x0074:  addi  r1, r0, 4
+0x0078:  zwr   loop[2].4, r1
+0x007c:  lui   r1, 0x0
+0x0080:  ori   r1, r1, 0x138
+0x0084:  zwr   loop[2].5, r1
+0x0088:  lui   r1, 0x0
+0x008c:  ori   r1, r1, 0x160
+0x0090:  zwr   loop[2].6, r1
+0x0094:  lui   r1, 0x0
+0x0098:  ori   r1, r1, 0x130
+0x009c:  zwr   task[0].0, r1
+0x00a0:  addi  r1, r0, 0
+0x00a4:  zwr   task[0].2, r1
+0x00a8:  addi  r1, r0, 2
+0x00ac:  zwr   task[0].3, r1
+0x00b0:  addi  r1, r0, 1
+0x00b4:  zwr   task[0].4, r1
+0x00b8:  lui   r1, 0x0
+0x00bc:  ori   r1, r1, 0x170
+0x00c0:  zwr   task[1].0, r1
+0x00c4:  addi  r1, r0, 1
+0x00c8:  zwr   task[1].1, r1
+0x00cc:  addi  r1, r0, 2
+0x00d0:  zwr   task[1].2, r1
+0x00d4:  addi  r1, r0, 31
+0x00d8:  zwr   task[1].3, r1
+0x00dc:  addi  r1, r0, 1
+0x00e0:  zwr   task[1].4, r1
+0x00e4:  lui   r1, 0x0
+0x00e8:  ori   r1, r1, 0x160
+0x00ec:  zwr   task[2].0, r1
+0x00f0:  addi  r1, r0, 2
+0x00f4:  zwr   task[2].1, r1
+0x00f8:  zwr   task[2].2, r1
+0x00fc:  addi  r1, r0, 1
+0x0100:  zwr   task[2].3, r1
+0x0104:  zwr   task[2].4, r1
+0x0108:  zctl.on 0
+0x010c:  nop
+0x0110:  addi  r26, r0, 3
+0x0114:  mul   r24, r2, r26
+0x0118:  addi  r23, r24, -40
+0x011c:  addi  r24, r0, 31
+0x0120:  and   r22, r23, r24
+0x0124:  sll   r23, r2, 2
+0x0128:  lui   r24, 0x4
+0x012c:  add   r23, r23, r24
+0x0130:  sw    r22, 0(r23)
+0x0134:  addi  r5, r0, 0
+0x0138:  sll   r25, r4, 2
+0x013c:  lui   r26, 0x4
+0x0140:  add   r25, r25, r26
+0x0144:  lw    r24, 160(r25)
+0x0148:  add   r26, r3, r4
+0x014c:  sll   r26, r26, 2
+0x0150:  lui   r27, 0x4
+0x0154:  add   r26, r26, r27
+0x0158:  lw    r25, 0(r26)
+0x015c:  mul   r23, r24, r25
+0x0160:  add   r5, r5, r23
+0x0164:  sll   r23, r3, 2
+0x0168:  lui   r24, 0x4
+0x016c:  add   r23, r23, r24
+0x0170:  sw    r5, 192(r23)
+0x0174:  halt

@@ -1,0 +1,100 @@
+;; gcd — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 4
+0x0008:  sll   r22, r2, 2
+0x000c:  lui   r23, 0x4
+0x0010:  add   r22, r22, r23
+0x0014:  lw    r3, 0(r22)
+0x0018:  sll   r22, r2, 2
+0x001c:  lui   r23, 0x4
+0x0020:  add   r22, r22, r23
+0x0024:  lw    r4, 16(r22)
+0x0028:  beq   r3, r4, 6
+0x002c:  slt   r22, r4, r3
+0x0030:  beq   r22, r0, 2
+0x0034:  sub   r3, r3, r4
+0x0038:  j     0x40
+0x003c:  sub   r4, r4, r3
+0x0040:  j     0x28
+0x0044:  sll   r23, r2, 2
+0x0048:  lui   r24, 0x4
+0x004c:  add   r23, r23, r24
+0x0050:  sw    r3, 32(r23)
+0x0054:  addi  r2, r2, 1
+0x0058:  addi  r14, r14, -1
+0x005c:  bne   r14, r0, -22
+0x0060:  halt
+
+== HwLoop ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 4
+0x0008:  sll   r22, r2, 2
+0x000c:  lui   r23, 0x4
+0x0010:  add   r22, r22, r23
+0x0014:  lw    r3, 0(r22)
+0x0018:  sll   r22, r2, 2
+0x001c:  lui   r23, 0x4
+0x0020:  add   r22, r22, r23
+0x0024:  lw    r4, 16(r22)
+0x0028:  beq   r3, r4, 6
+0x002c:  slt   r22, r4, r3
+0x0030:  beq   r22, r0, 2
+0x0034:  sub   r3, r3, r4
+0x0038:  j     0x40
+0x003c:  sub   r4, r4, r3
+0x0040:  j     0x28
+0x0044:  sll   r23, r2, 2
+0x0048:  lui   r24, 0x4
+0x004c:  add   r23, r23, r24
+0x0050:  sw    r3, 32(r23)
+0x0054:  addi  r2, r2, 1
+0x0058:  dbnz  r14, -21
+0x005c:  halt
+
+== Zolc-lite ==
+0x0000:  zctl.rst
+0x0004:  addi  r1, r0, 1
+0x0008:  zwr   loop[0].1, r1
+0x000c:  addi  r1, r0, 4
+0x0010:  zwr   loop[0].2, r1
+0x0014:  addi  r1, r0, 2
+0x0018:  zwr   loop[0].4, r1
+0x001c:  lui   r1, 0x0
+0x0020:  ori   r1, r1, 0x60
+0x0024:  zwr   loop[0].5, r1
+0x0028:  lui   r1, 0x0
+0x002c:  ori   r1, r1, 0xa8
+0x0030:  zwr   loop[0].6, r1
+0x0034:  lui   r1, 0x0
+0x0038:  ori   r1, r1, 0xa8
+0x003c:  zwr   task[0].0, r1
+0x0040:  addi  r1, r0, 0
+0x0044:  zwr   task[0].2, r1
+0x0048:  addi  r1, r0, 31
+0x004c:  zwr   task[0].3, r1
+0x0050:  addi  r1, r0, 1
+0x0054:  zwr   task[0].4, r1
+0x0058:  zctl.on 0
+0x005c:  nop
+0x0060:  sll   r22, r2, 2
+0x0064:  lui   r23, 0x4
+0x0068:  add   r22, r22, r23
+0x006c:  lw    r3, 0(r22)
+0x0070:  sll   r22, r2, 2
+0x0074:  lui   r23, 0x4
+0x0078:  add   r22, r22, r23
+0x007c:  lw    r4, 16(r22)
+0x0080:  beq   r3, r4, 6
+0x0084:  slt   r22, r4, r3
+0x0088:  beq   r22, r0, 2
+0x008c:  sub   r3, r3, r4
+0x0090:  j     0x98
+0x0094:  sub   r4, r4, r3
+0x0098:  j     0x80
+0x009c:  sll   r23, r2, 2
+0x00a0:  lui   r24, 0x4
+0x00a4:  add   r23, r23, r24
+0x00a8:  sw    r3, 32(r23)
+0x00ac:  halt

@@ -1,0 +1,64 @@
+;; horner — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r2, r0, 3
+0x0004:  addi  r4, r0, 0
+0x0008:  addi  r14, r0, 6
+0x000c:  mul   r22, r3, r2
+0x0010:  sll   r24, r4, 2
+0x0014:  lui   r25, 0x4
+0x0018:  add   r24, r24, r25
+0x001c:  lw    r23, 0(r24)
+0x0020:  add   r3, r22, r23
+0x0024:  addi  r4, r4, 1
+0x0028:  addi  r14, r14, -1
+0x002c:  bne   r14, r0, -9
+0x0030:  halt
+
+== HwLoop ==
+0x0000:  addi  r2, r0, 3
+0x0004:  addi  r4, r0, 0
+0x0008:  addi  r14, r0, 6
+0x000c:  mul   r22, r3, r2
+0x0010:  sll   r24, r4, 2
+0x0014:  lui   r25, 0x4
+0x0018:  add   r24, r24, r25
+0x001c:  lw    r23, 0(r24)
+0x0020:  add   r3, r22, r23
+0x0024:  addi  r4, r4, 1
+0x0028:  dbnz  r14, -8
+0x002c:  halt
+
+== Zolc-lite ==
+0x0000:  addi  r2, r0, 3
+0x0004:  zctl.rst
+0x0008:  addi  r1, r0, 1
+0x000c:  zwr   loop[0].1, r1
+0x0010:  addi  r1, r0, 6
+0x0014:  zwr   loop[0].2, r1
+0x0018:  addi  r1, r0, 4
+0x001c:  zwr   loop[0].4, r1
+0x0020:  lui   r1, 0x0
+0x0024:  ori   r1, r1, 0x64
+0x0028:  zwr   loop[0].5, r1
+0x002c:  lui   r1, 0x0
+0x0030:  ori   r1, r1, 0x78
+0x0034:  zwr   loop[0].6, r1
+0x0038:  lui   r1, 0x0
+0x003c:  ori   r1, r1, 0x78
+0x0040:  zwr   task[0].0, r1
+0x0044:  addi  r1, r0, 0
+0x0048:  zwr   task[0].2, r1
+0x004c:  addi  r1, r0, 31
+0x0050:  zwr   task[0].3, r1
+0x0054:  addi  r1, r0, 1
+0x0058:  zwr   task[0].4, r1
+0x005c:  zctl.on 0
+0x0060:  nop
+0x0064:  mul   r22, r3, r2
+0x0068:  sll   r24, r4, 2
+0x006c:  lui   r25, 0x4
+0x0070:  add   r24, r24, r25
+0x0074:  lw    r23, 0(r24)
+0x0078:  add   r3, r22, r23
+0x007c:  halt

@@ -1,0 +1,133 @@
+;; iir — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 32
+0x0008:  addi  r26, r0, 11
+0x000c:  mul   r24, r2, r26
+0x0010:  addi  r25, r0, 15
+0x0014:  and   r23, r24, r25
+0x0018:  addi  r22, r23, -8
+0x001c:  sll   r23, r2, 2
+0x0020:  lui   r24, 0x4
+0x0024:  add   r23, r23, r24
+0x0028:  sw    r22, 0(r23)
+0x002c:  addi  r2, r2, 1
+0x0030:  addi  r14, r14, -1
+0x0034:  bne   r14, r0, -12
+0x0038:  addi  r3, r0, 0
+0x003c:  addi  r14, r0, 32
+0x0040:  sll   r25, r3, 2
+0x0044:  lui   r26, 0x4
+0x0048:  add   r25, r25, r26
+0x004c:  lw    r24, 0(r25)
+0x0050:  add   r22, r4, r24
+0x0054:  sra   r23, r4, 2
+0x0058:  sub   r4, r22, r23
+0x005c:  sll   r23, r3, 2
+0x0060:  lui   r24, 0x4
+0x0064:  add   r23, r23, r24
+0x0068:  sw    r4, 128(r23)
+0x006c:  addi  r3, r3, 1
+0x0070:  addi  r14, r14, -1
+0x0074:  bne   r14, r0, -14
+0x0078:  halt
+
+== HwLoop ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 32
+0x0008:  addi  r26, r0, 11
+0x000c:  mul   r24, r2, r26
+0x0010:  addi  r25, r0, 15
+0x0014:  and   r23, r24, r25
+0x0018:  addi  r22, r23, -8
+0x001c:  sll   r23, r2, 2
+0x0020:  lui   r24, 0x4
+0x0024:  add   r23, r23, r24
+0x0028:  sw    r22, 0(r23)
+0x002c:  addi  r2, r2, 1
+0x0030:  dbnz  r14, -11
+0x0034:  addi  r3, r0, 0
+0x0038:  addi  r14, r0, 32
+0x003c:  sll   r25, r3, 2
+0x0040:  lui   r26, 0x4
+0x0044:  add   r25, r25, r26
+0x0048:  lw    r24, 0(r25)
+0x004c:  add   r22, r4, r24
+0x0050:  sra   r23, r4, 2
+0x0054:  sub   r4, r22, r23
+0x0058:  sll   r23, r3, 2
+0x005c:  lui   r24, 0x4
+0x0060:  add   r23, r23, r24
+0x0064:  sw    r4, 128(r23)
+0x0068:  addi  r3, r3, 1
+0x006c:  dbnz  r14, -13
+0x0070:  halt
+
+== Zolc-lite ==
+0x0000:  zctl.rst
+0x0004:  addi  r1, r0, 1
+0x0008:  zwr   loop[0].1, r1
+0x000c:  addi  r1, r0, 32
+0x0010:  zwr   loop[0].2, r1
+0x0014:  addi  r1, r0, 2
+0x0018:  zwr   loop[0].4, r1
+0x001c:  lui   r1, 0x0
+0x0020:  ori   r1, r1, 0xb4
+0x0024:  zwr   loop[0].5, r1
+0x0028:  lui   r1, 0x0
+0x002c:  ori   r1, r1, 0xd4
+0x0030:  zwr   loop[0].6, r1
+0x0034:  addi  r1, r0, 1
+0x0038:  zwr   loop[1].1, r1
+0x003c:  addi  r1, r0, 32
+0x0040:  zwr   loop[1].2, r1
+0x0044:  addi  r1, r0, 3
+0x0048:  zwr   loop[1].4, r1
+0x004c:  lui   r1, 0x0
+0x0050:  ori   r1, r1, 0xd8
+0x0054:  zwr   loop[1].5, r1
+0x0058:  lui   r1, 0x0
+0x005c:  ori   r1, r1, 0x100
+0x0060:  zwr   loop[1].6, r1
+0x0064:  lui   r1, 0x0
+0x0068:  ori   r1, r1, 0xd4
+0x006c:  zwr   task[0].0, r1
+0x0070:  addi  r1, r0, 0
+0x0074:  zwr   task[0].2, r1
+0x0078:  addi  r1, r0, 1
+0x007c:  zwr   task[0].3, r1
+0x0080:  zwr   task[0].4, r1
+0x0084:  lui   r1, 0x0
+0x0088:  ori   r1, r1, 0x100
+0x008c:  zwr   task[1].0, r1
+0x0090:  addi  r1, r0, 1
+0x0094:  zwr   task[1].1, r1
+0x0098:  zwr   task[1].2, r1
+0x009c:  addi  r1, r0, 31
+0x00a0:  zwr   task[1].3, r1
+0x00a4:  addi  r1, r0, 1
+0x00a8:  zwr   task[1].4, r1
+0x00ac:  zctl.on 0
+0x00b0:  nop
+0x00b4:  addi  r26, r0, 11
+0x00b8:  mul   r24, r2, r26
+0x00bc:  addi  r25, r0, 15
+0x00c0:  and   r23, r24, r25
+0x00c4:  addi  r22, r23, -8
+0x00c8:  sll   r23, r2, 2
+0x00cc:  lui   r24, 0x4
+0x00d0:  add   r23, r23, r24
+0x00d4:  sw    r22, 0(r23)
+0x00d8:  sll   r25, r3, 2
+0x00dc:  lui   r26, 0x4
+0x00e0:  add   r25, r25, r26
+0x00e4:  lw    r24, 0(r25)
+0x00e8:  add   r22, r4, r24
+0x00ec:  sra   r23, r4, 2
+0x00f0:  sub   r4, r22, r23
+0x00f4:  sll   r23, r3, 2
+0x00f8:  lui   r24, 0x4
+0x00fc:  add   r23, r23, r24
+0x0100:  sw    r4, 128(r23)
+0x0104:  halt

@@ -1,0 +1,149 @@
+;; imperfect — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 6
+0x0008:  addi  r4, r0, 0
+0x000c:  addi  r3, r0, 0
+0x0010:  addi  r16, r0, 8
+0x0014:  addi  r26, r0, 8
+0x0018:  mul   r24, r2, r26
+0x001c:  add   r23, r24, r3
+0x0020:  addi  r24, r0, 3
+0x0024:  mul   r22, r23, r24
+0x0028:  addi  r26, r0, 8
+0x002c:  mul   r24, r2, r26
+0x0030:  add   r23, r24, r3
+0x0034:  sll   r23, r23, 2
+0x0038:  lui   r24, 0x4
+0x003c:  add   r23, r23, r24
+0x0040:  sw    r22, 0(r23)
+0x0044:  addi  r27, r0, 8
+0x0048:  mul   r25, r2, r27
+0x004c:  add   r24, r25, r3
+0x0050:  sll   r24, r24, 2
+0x0054:  lui   r25, 0x4
+0x0058:  add   r24, r24, r25
+0x005c:  lw    r23, 0(r24)
+0x0060:  add   r4, r4, r23
+0x0064:  addi  r3, r3, 1
+0x0068:  addi  r16, r16, -1
+0x006c:  bne   r16, r0, -23
+0x0070:  sll   r23, r2, 2
+0x0074:  lui   r24, 0x4
+0x0078:  add   r23, r23, r24
+0x007c:  sw    r4, 192(r23)
+0x0080:  addi  r2, r2, 1
+0x0084:  addi  r14, r14, -1
+0x0088:  bne   r14, r0, -33
+0x008c:  halt
+
+== HwLoop ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 6
+0x0008:  addi  r4, r0, 0
+0x000c:  addi  r3, r0, 0
+0x0010:  addi  r16, r0, 8
+0x0014:  addi  r26, r0, 8
+0x0018:  mul   r24, r2, r26
+0x001c:  add   r23, r24, r3
+0x0020:  addi  r24, r0, 3
+0x0024:  mul   r22, r23, r24
+0x0028:  addi  r26, r0, 8
+0x002c:  mul   r24, r2, r26
+0x0030:  add   r23, r24, r3
+0x0034:  sll   r23, r23, 2
+0x0038:  lui   r24, 0x4
+0x003c:  add   r23, r23, r24
+0x0040:  sw    r22, 0(r23)
+0x0044:  addi  r27, r0, 8
+0x0048:  mul   r25, r2, r27
+0x004c:  add   r24, r25, r3
+0x0050:  sll   r24, r24, 2
+0x0054:  lui   r25, 0x4
+0x0058:  add   r24, r24, r25
+0x005c:  lw    r23, 0(r24)
+0x0060:  add   r4, r4, r23
+0x0064:  addi  r3, r3, 1
+0x0068:  dbnz  r16, -22
+0x006c:  sll   r23, r2, 2
+0x0070:  lui   r24, 0x4
+0x0074:  add   r23, r23, r24
+0x0078:  sw    r4, 192(r23)
+0x007c:  addi  r2, r2, 1
+0x0080:  dbnz  r14, -31
+0x0084:  halt
+
+== Zolc-lite ==
+0x0000:  zctl.rst
+0x0004:  addi  r1, r0, 1
+0x0008:  zwr   loop[0].1, r1
+0x000c:  addi  r1, r0, 6
+0x0010:  zwr   loop[0].2, r1
+0x0014:  addi  r1, r0, 2
+0x0018:  zwr   loop[0].4, r1
+0x001c:  lui   r1, 0x0
+0x0020:  ori   r1, r1, 0xb8
+0x0024:  zwr   loop[0].5, r1
+0x0028:  lui   r1, 0x0
+0x002c:  ori   r1, r1, 0x118
+0x0030:  zwr   loop[0].6, r1
+0x0034:  addi  r1, r0, 1
+0x0038:  zwr   loop[1].1, r1
+0x003c:  addi  r1, r0, 8
+0x0040:  zwr   loop[1].2, r1
+0x0044:  addi  r1, r0, 3
+0x0048:  zwr   loop[1].4, r1
+0x004c:  lui   r1, 0x0
+0x0050:  ori   r1, r1, 0xbc
+0x0054:  zwr   loop[1].5, r1
+0x0058:  lui   r1, 0x0
+0x005c:  ori   r1, r1, 0x108
+0x0060:  zwr   loop[1].6, r1
+0x0064:  lui   r1, 0x0
+0x0068:  ori   r1, r1, 0x118
+0x006c:  zwr   task[0].0, r1
+0x0070:  addi  r1, r0, 1
+0x0074:  zwr   task[0].2, r1
+0x0078:  addi  r1, r0, 31
+0x007c:  zwr   task[0].3, r1
+0x0080:  addi  r1, r0, 1
+0x0084:  zwr   task[0].4, r1
+0x0088:  lui   r1, 0x0
+0x008c:  ori   r1, r1, 0x108
+0x0090:  zwr   task[1].0, r1
+0x0094:  addi  r1, r0, 1
+0x0098:  zwr   task[1].1, r1
+0x009c:  zwr   task[1].2, r1
+0x00a0:  addi  r1, r0, 0
+0x00a4:  zwr   task[1].3, r1
+0x00a8:  addi  r1, r0, 1
+0x00ac:  zwr   task[1].4, r1
+0x00b0:  zctl.on 1
+0x00b4:  nop
+0x00b8:  addi  r4, r0, 0
+0x00bc:  addi  r26, r0, 8
+0x00c0:  mul   r24, r2, r26
+0x00c4:  add   r23, r24, r3
+0x00c8:  addi  r24, r0, 3
+0x00cc:  mul   r22, r23, r24
+0x00d0:  addi  r26, r0, 8
+0x00d4:  mul   r24, r2, r26
+0x00d8:  add   r23, r24, r3
+0x00dc:  sll   r23, r23, 2
+0x00e0:  lui   r24, 0x4
+0x00e4:  add   r23, r23, r24
+0x00e8:  sw    r22, 0(r23)
+0x00ec:  addi  r27, r0, 8
+0x00f0:  mul   r25, r2, r27
+0x00f4:  add   r24, r25, r3
+0x00f8:  sll   r24, r24, 2
+0x00fc:  lui   r25, 0x4
+0x0100:  add   r24, r24, r25
+0x0104:  lw    r23, 0(r24)
+0x0108:  add   r4, r4, r23
+0x010c:  sll   r23, r2, 2
+0x0110:  lui   r24, 0x4
+0x0114:  add   r23, r23, r24
+0x0118:  sw    r4, 192(r23)
+0x011c:  halt

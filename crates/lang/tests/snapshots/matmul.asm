@@ -1,0 +1,250 @@
+;; matmul — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 64
+0x0008:  addi  r25, r0, 3
+0x000c:  mul   r23, r2, r25
+0x0010:  addi  r22, r23, -97
+0x0014:  sll   r23, r2, 2
+0x0018:  lui   r24, 0x4
+0x001c:  add   r23, r23, r24
+0x0020:  sw    r22, 0(r23)
+0x0024:  addi  r23, r0, 53
+0x0028:  addi  r26, r0, 7
+0x002c:  mul   r24, r2, r26
+0x0030:  sub   r22, r23, r24
+0x0034:  sll   r23, r2, 2
+0x0038:  lui   r24, 0x4
+0x003c:  add   r23, r23, r24
+0x0040:  sw    r22, 256(r23)
+0x0044:  addi  r2, r2, 1
+0x0048:  addi  r14, r14, -1
+0x004c:  bne   r14, r0, -18
+0x0050:  addi  r2, r0, 0
+0x0054:  addi  r14, r0, 8
+0x0058:  addi  r3, r0, 0
+0x005c:  addi  r16, r0, 8
+0x0060:  addi  r5, r0, 0
+0x0064:  addi  r4, r0, 0
+0x0068:  addi  r18, r0, 8
+0x006c:  addi  r28, r0, 8
+0x0070:  mul   r26, r2, r28
+0x0074:  add   r25, r26, r4
+0x0078:  sll   r25, r25, 2
+0x007c:  lui   r26, 0x4
+0x0080:  add   r25, r25, r26
+0x0084:  lw    r24, 0(r25)
+0x0088:  addi  r29, r0, 8
+0x008c:  mul   r27, r4, r29
+0x0090:  add   r26, r27, r3
+0x0094:  sll   r26, r26, 2
+0x0098:  lui   r27, 0x4
+0x009c:  add   r26, r26, r27
+0x00a0:  lw    r25, 256(r26)
+0x00a4:  mul   r23, r24, r25
+0x00a8:  add   r5, r5, r23
+0x00ac:  addi  r4, r4, 1
+0x00b0:  addi  r18, r18, -1
+0x00b4:  bne   r18, r0, -19
+0x00b8:  addi  r26, r0, 8
+0x00bc:  mul   r24, r2, r26
+0x00c0:  add   r23, r24, r3
+0x00c4:  sll   r23, r23, 2
+0x00c8:  lui   r24, 0x4
+0x00cc:  add   r23, r23, r24
+0x00d0:  sw    r5, 512(r23)
+0x00d4:  addi  r3, r3, 1
+0x00d8:  addi  r16, r16, -1
+0x00dc:  bne   r16, r0, -32
+0x00e0:  addi  r2, r2, 1
+0x00e4:  addi  r14, r14, -1
+0x00e8:  bne   r14, r0, -37
+0x00ec:  halt
+
+== HwLoop ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 64
+0x0008:  addi  r25, r0, 3
+0x000c:  mul   r23, r2, r25
+0x0010:  addi  r22, r23, -97
+0x0014:  sll   r23, r2, 2
+0x0018:  lui   r24, 0x4
+0x001c:  add   r23, r23, r24
+0x0020:  sw    r22, 0(r23)
+0x0024:  addi  r23, r0, 53
+0x0028:  addi  r26, r0, 7
+0x002c:  mul   r24, r2, r26
+0x0030:  sub   r22, r23, r24
+0x0034:  sll   r23, r2, 2
+0x0038:  lui   r24, 0x4
+0x003c:  add   r23, r23, r24
+0x0040:  sw    r22, 256(r23)
+0x0044:  addi  r2, r2, 1
+0x0048:  dbnz  r14, -17
+0x004c:  addi  r2, r0, 0
+0x0050:  addi  r14, r0, 8
+0x0054:  addi  r3, r0, 0
+0x0058:  addi  r16, r0, 8
+0x005c:  addi  r5, r0, 0
+0x0060:  addi  r4, r0, 0
+0x0064:  addi  r18, r0, 8
+0x0068:  addi  r28, r0, 8
+0x006c:  mul   r26, r2, r28
+0x0070:  add   r25, r26, r4
+0x0074:  sll   r25, r25, 2
+0x0078:  lui   r26, 0x4
+0x007c:  add   r25, r25, r26
+0x0080:  lw    r24, 0(r25)
+0x0084:  addi  r29, r0, 8
+0x0088:  mul   r27, r4, r29
+0x008c:  add   r26, r27, r3
+0x0090:  sll   r26, r26, 2
+0x0094:  lui   r27, 0x4
+0x0098:  add   r26, r26, r27
+0x009c:  lw    r25, 256(r26)
+0x00a0:  mul   r23, r24, r25
+0x00a4:  add   r5, r5, r23
+0x00a8:  addi  r4, r4, 1
+0x00ac:  dbnz  r18, -18
+0x00b0:  addi  r26, r0, 8
+0x00b4:  mul   r24, r2, r26
+0x00b8:  add   r23, r24, r3
+0x00bc:  sll   r23, r23, 2
+0x00c0:  lui   r24, 0x4
+0x00c4:  add   r23, r23, r24
+0x00c8:  sw    r5, 512(r23)
+0x00cc:  addi  r3, r3, 1
+0x00d0:  dbnz  r16, -30
+0x00d4:  addi  r2, r2, 1
+0x00d8:  dbnz  r14, -34
+0x00dc:  halt
+
+== Zolc-lite ==
+0x0000:  addi  r2, r0, 0
+0x0004:  zctl.rst
+0x0008:  addi  r1, r0, 64
+0x000c:  zwr   loop[0].2, r1
+0x0010:  lui   r1, 0x0
+0x0014:  ori   r1, r1, 0x150
+0x0018:  zwr   loop[0].5, r1
+0x001c:  lui   r1, 0x0
+0x0020:  ori   r1, r1, 0x18c
+0x0024:  zwr   loop[0].6, r1
+0x0028:  addi  r1, r0, 8
+0x002c:  zwr   loop[1].2, r1
+0x0030:  lui   r1, 0x0
+0x0034:  ori   r1, r1, 0x194
+0x0038:  zwr   loop[1].5, r1
+0x003c:  lui   r1, 0x0
+0x0040:  ori   r1, r1, 0x1f4
+0x0044:  zwr   loop[1].6, r1
+0x0048:  addi  r1, r0, 1
+0x004c:  zwr   loop[2].1, r1
+0x0050:  addi  r1, r0, 8
+0x0054:  zwr   loop[2].2, r1
+0x0058:  addi  r1, r0, 3
+0x005c:  zwr   loop[2].4, r1
+0x0060:  lui   r1, 0x0
+0x0064:  ori   r1, r1, 0x194
+0x0068:  zwr   loop[2].5, r1
+0x006c:  lui   r1, 0x0
+0x0070:  ori   r1, r1, 0x1f0
+0x0074:  zwr   loop[2].6, r1
+0x0078:  addi  r1, r0, 1
+0x007c:  zwr   loop[3].1, r1
+0x0080:  addi  r1, r0, 8
+0x0084:  zwr   loop[3].2, r1
+0x0088:  addi  r1, r0, 4
+0x008c:  zwr   loop[3].4, r1
+0x0090:  lui   r1, 0x0
+0x0094:  ori   r1, r1, 0x198
+0x0098:  zwr   loop[3].5, r1
+0x009c:  lui   r1, 0x0
+0x00a0:  ori   r1, r1, 0x1d4
+0x00a4:  zwr   loop[3].6, r1
+0x00a8:  lui   r1, 0x0
+0x00ac:  ori   r1, r1, 0x18c
+0x00b0:  zwr   task[0].0, r1
+0x00b4:  addi  r1, r0, 0
+0x00b8:  zwr   task[0].2, r1
+0x00bc:  addi  r1, r0, 3
+0x00c0:  zwr   task[0].3, r1
+0x00c4:  addi  r1, r0, 1
+0x00c8:  zwr   task[0].4, r1
+0x00cc:  lui   r1, 0x0
+0x00d0:  ori   r1, r1, 0x1f4
+0x00d4:  zwr   task[1].0, r1
+0x00d8:  addi  r1, r0, 1
+0x00dc:  zwr   task[1].1, r1
+0x00e0:  addi  r1, r0, 3
+0x00e4:  zwr   task[1].2, r1
+0x00e8:  addi  r1, r0, 31
+0x00ec:  zwr   task[1].3, r1
+0x00f0:  addi  r1, r0, 1
+0x00f4:  zwr   task[1].4, r1
+0x00f8:  lui   r1, 0x0
+0x00fc:  ori   r1, r1, 0x1f0
+0x0100:  zwr   task[2].0, r1
+0x0104:  addi  r1, r0, 2
+0x0108:  zwr   task[2].1, r1
+0x010c:  addi  r1, r0, 3
+0x0110:  zwr   task[2].2, r1
+0x0114:  addi  r1, r0, 1
+0x0118:  zwr   task[2].3, r1
+0x011c:  zwr   task[2].4, r1
+0x0120:  lui   r1, 0x0
+0x0124:  ori   r1, r1, 0x1d4
+0x0128:  zwr   task[3].0, r1
+0x012c:  addi  r1, r0, 3
+0x0130:  zwr   task[3].1, r1
+0x0134:  zwr   task[3].2, r1
+0x0138:  addi  r1, r0, 2
+0x013c:  zwr   task[3].3, r1
+0x0140:  addi  r1, r0, 1
+0x0144:  zwr   task[3].4, r1
+0x0148:  zctl.on 0
+0x014c:  nop
+0x0150:  addi  r25, r0, 3
+0x0154:  mul   r23, r2, r25
+0x0158:  addi  r22, r23, -97
+0x015c:  sll   r23, r2, 2
+0x0160:  lui   r24, 0x4
+0x0164:  add   r23, r23, r24
+0x0168:  sw    r22, 0(r23)
+0x016c:  addi  r23, r0, 53
+0x0170:  addi  r26, r0, 7
+0x0174:  mul   r24, r2, r26
+0x0178:  sub   r22, r23, r24
+0x017c:  sll   r23, r2, 2
+0x0180:  lui   r24, 0x4
+0x0184:  add   r23, r23, r24
+0x0188:  sw    r22, 256(r23)
+0x018c:  addi  r2, r2, 1
+0x0190:  addi  r2, r0, 0
+0x0194:  addi  r5, r0, 0
+0x0198:  addi  r28, r0, 8
+0x019c:  mul   r26, r2, r28
+0x01a0:  add   r25, r26, r4
+0x01a4:  sll   r25, r25, 2
+0x01a8:  lui   r26, 0x4
+0x01ac:  add   r25, r25, r26
+0x01b0:  lw    r24, 0(r25)
+0x01b4:  addi  r29, r0, 8
+0x01b8:  mul   r27, r4, r29
+0x01bc:  add   r26, r27, r3
+0x01c0:  sll   r26, r26, 2
+0x01c4:  lui   r27, 0x4
+0x01c8:  add   r26, r26, r27
+0x01cc:  lw    r25, 256(r26)
+0x01d0:  mul   r23, r24, r25
+0x01d4:  add   r5, r5, r23
+0x01d8:  addi  r26, r0, 8
+0x01dc:  mul   r24, r2, r26
+0x01e0:  add   r23, r24, r3
+0x01e4:  sll   r23, r23, 2
+0x01e8:  lui   r24, 0x4
+0x01ec:  add   r23, r23, r24
+0x01f0:  sw    r5, 512(r23)
+0x01f4:  addi  r2, r2, 1
+0x01f8:  halt

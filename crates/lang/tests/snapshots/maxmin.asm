@@ -1,0 +1,168 @@
+;; maxmin — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 20
+0x0008:  addi  r26, r0, 37
+0x000c:  mul   r24, r2, r26
+0x0010:  addi  r25, r0, 63
+0x0014:  and   r23, r24, r25
+0x0018:  addi  r22, r23, -31
+0x001c:  sll   r23, r2, 2
+0x0020:  lui   r24, 0x4
+0x0024:  add   r23, r23, r24
+0x0028:  sw    r22, 0(r23)
+0x002c:  addi  r2, r2, 1
+0x0030:  addi  r14, r14, -1
+0x0034:  bne   r14, r0, -12
+0x0038:  lui   r22, 0x4
+0x003c:  lw    r3, 0(r22)
+0x0040:  lui   r22, 0x4
+0x0044:  lw    r4, 0(r22)
+0x0048:  addi  r2, r0, 1
+0x004c:  addi  r14, r0, 19
+0x0050:  sll   r24, r2, 2
+0x0054:  lui   r25, 0x4
+0x0058:  add   r24, r24, r25
+0x005c:  lw    r23, 0(r24)
+0x0060:  slt   r22, r3, r23
+0x0064:  beq   r22, r0, 4
+0x0068:  sll   r22, r2, 2
+0x006c:  lui   r23, 0x4
+0x0070:  add   r22, r22, r23
+0x0074:  lw    r3, 0(r22)
+0x0078:  sll   r24, r2, 2
+0x007c:  lui   r25, 0x4
+0x0080:  add   r24, r24, r25
+0x0084:  lw    r23, 0(r24)
+0x0088:  slt   r22, r23, r4
+0x008c:  beq   r22, r0, 4
+0x0090:  sll   r22, r2, 2
+0x0094:  lui   r23, 0x4
+0x0098:  add   r22, r22, r23
+0x009c:  lw    r4, 0(r22)
+0x00a0:  addi  r2, r2, 1
+0x00a4:  addi  r14, r14, -1
+0x00a8:  bne   r14, r0, -23
+0x00ac:  halt
+
+== HwLoop ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 20
+0x0008:  addi  r26, r0, 37
+0x000c:  mul   r24, r2, r26
+0x0010:  addi  r25, r0, 63
+0x0014:  and   r23, r24, r25
+0x0018:  addi  r22, r23, -31
+0x001c:  sll   r23, r2, 2
+0x0020:  lui   r24, 0x4
+0x0024:  add   r23, r23, r24
+0x0028:  sw    r22, 0(r23)
+0x002c:  addi  r2, r2, 1
+0x0030:  dbnz  r14, -11
+0x0034:  lui   r22, 0x4
+0x0038:  lw    r3, 0(r22)
+0x003c:  lui   r22, 0x4
+0x0040:  lw    r4, 0(r22)
+0x0044:  addi  r2, r0, 1
+0x0048:  addi  r14, r0, 19
+0x004c:  sll   r24, r2, 2
+0x0050:  lui   r25, 0x4
+0x0054:  add   r24, r24, r25
+0x0058:  lw    r23, 0(r24)
+0x005c:  slt   r22, r3, r23
+0x0060:  beq   r22, r0, 4
+0x0064:  sll   r22, r2, 2
+0x0068:  lui   r23, 0x4
+0x006c:  add   r22, r22, r23
+0x0070:  lw    r3, 0(r22)
+0x0074:  sll   r24, r2, 2
+0x0078:  lui   r25, 0x4
+0x007c:  add   r24, r24, r25
+0x0080:  lw    r23, 0(r24)
+0x0084:  slt   r22, r23, r4
+0x0088:  beq   r22, r0, 4
+0x008c:  sll   r22, r2, 2
+0x0090:  lui   r23, 0x4
+0x0094:  add   r22, r22, r23
+0x0098:  lw    r4, 0(r22)
+0x009c:  addi  r2, r2, 1
+0x00a0:  dbnz  r14, -22
+0x00a4:  halt
+
+== Zolc-lite ==
+0x0000:  addi  r2, r0, 0
+0x0004:  zctl.rst
+0x0008:  addi  r1, r0, 20
+0x000c:  zwr   loop[0].2, r1
+0x0010:  lui   r1, 0x0
+0x0014:  ori   r1, r1, 0x98
+0x0018:  zwr   loop[0].5, r1
+0x001c:  lui   r1, 0x0
+0x0020:  ori   r1, r1, 0xbc
+0x0024:  zwr   loop[0].6, r1
+0x0028:  addi  r1, r0, 19
+0x002c:  zwr   loop[1].2, r1
+0x0030:  lui   r1, 0x0
+0x0034:  ori   r1, r1, 0xd4
+0x0038:  zwr   loop[1].5, r1
+0x003c:  lui   r1, 0x0
+0x0040:  ori   r1, r1, 0x124
+0x0044:  zwr   loop[1].6, r1
+0x0048:  lui   r1, 0x0
+0x004c:  ori   r1, r1, 0xbc
+0x0050:  zwr   task[0].0, r1
+0x0054:  addi  r1, r0, 0
+0x0058:  zwr   task[0].2, r1
+0x005c:  addi  r1, r0, 1
+0x0060:  zwr   task[0].3, r1
+0x0064:  zwr   task[0].4, r1
+0x0068:  lui   r1, 0x0
+0x006c:  ori   r1, r1, 0x124
+0x0070:  zwr   task[1].0, r1
+0x0074:  addi  r1, r0, 1
+0x0078:  zwr   task[1].1, r1
+0x007c:  zwr   task[1].2, r1
+0x0080:  addi  r1, r0, 31
+0x0084:  zwr   task[1].3, r1
+0x0088:  addi  r1, r0, 1
+0x008c:  zwr   task[1].4, r1
+0x0090:  zctl.on 0
+0x0094:  nop
+0x0098:  addi  r26, r0, 37
+0x009c:  mul   r24, r2, r26
+0x00a0:  addi  r25, r0, 63
+0x00a4:  and   r23, r24, r25
+0x00a8:  addi  r22, r23, -31
+0x00ac:  sll   r23, r2, 2
+0x00b0:  lui   r24, 0x4
+0x00b4:  add   r23, r23, r24
+0x00b8:  sw    r22, 0(r23)
+0x00bc:  addi  r2, r2, 1
+0x00c0:  lui   r22, 0x4
+0x00c4:  lw    r3, 0(r22)
+0x00c8:  lui   r22, 0x4
+0x00cc:  lw    r4, 0(r22)
+0x00d0:  addi  r2, r0, 1
+0x00d4:  sll   r24, r2, 2
+0x00d8:  lui   r25, 0x4
+0x00dc:  add   r24, r24, r25
+0x00e0:  lw    r23, 0(r24)
+0x00e4:  slt   r22, r3, r23
+0x00e8:  beq   r22, r0, 4
+0x00ec:  sll   r22, r2, 2
+0x00f0:  lui   r23, 0x4
+0x00f4:  add   r22, r22, r23
+0x00f8:  lw    r3, 0(r22)
+0x00fc:  sll   r24, r2, 2
+0x0100:  lui   r25, 0x4
+0x0104:  add   r24, r24, r25
+0x0108:  lw    r23, 0(r24)
+0x010c:  slt   r22, r23, r4
+0x0110:  beq   r22, r0, 4
+0x0114:  sll   r22, r2, 2
+0x0118:  lui   r23, 0x4
+0x011c:  add   r22, r22, r23
+0x0120:  lw    r4, 0(r22)
+0x0124:  addi  r2, r2, 1
+0x0128:  halt

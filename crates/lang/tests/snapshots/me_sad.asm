@@ -1,0 +1,330 @@
+;; me_sad — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r4, r0, 0
+0x0004:  addi  r14, r0, 64
+0x0008:  addi  r25, r0, 7
+0x000c:  mul   r23, r4, r25
+0x0010:  addi  r24, r0, 63
+0x0014:  and   r22, r23, r24
+0x0018:  sll   r23, r4, 2
+0x001c:  lui   r24, 0x4
+0x0020:  add   r23, r23, r24
+0x0024:  sw    r22, 0(r23)
+0x0028:  addi  r4, r4, 1
+0x002c:  addi  r14, r14, -1
+0x0030:  bne   r14, r0, -11
+0x0034:  addi  r4, r0, 0
+0x0038:  addi  r14, r0, 16
+0x003c:  addi  r26, r0, 5
+0x0040:  mul   r24, r4, r26
+0x0044:  addi  r23, r24, 3
+0x0048:  addi  r24, r0, 63
+0x004c:  and   r22, r23, r24
+0x0050:  sll   r23, r4, 2
+0x0054:  lui   r24, 0x4
+0x0058:  add   r23, r23, r24
+0x005c:  sw    r22, 256(r23)
+0x0060:  addi  r4, r4, 1
+0x0064:  addi  r14, r14, -1
+0x0068:  bne   r14, r0, -12
+0x006c:  lui   r7, 0x1
+0x0070:  ori   r7, r7, 0x86a0
+0x0074:  addi  r2, r0, 0
+0x0078:  addi  r14, r0, 4
+0x007c:  addi  r3, r0, 0
+0x0080:  addi  r16, r0, 4
+0x0084:  addi  r6, r0, 0
+0x0088:  addi  r4, r0, 0
+0x008c:  addi  r18, r0, 4
+0x0090:  addi  r5, r0, 0
+0x0094:  addi  r20, r0, 4
+0x0098:  add   r26, r2, r4
+0x009c:  addi  r27, r0, 8
+0x00a0:  mul   r25, r26, r27
+0x00a4:  add   r24, r25, r3
+0x00a8:  add   r23, r24, r5
+0x00ac:  sll   r23, r23, 2
+0x00b0:  lui   r24, 0x4
+0x00b4:  add   r23, r23, r24
+0x00b8:  lw    r22, 0(r23)
+0x00bc:  addi  r27, r0, 4
+0x00c0:  mul   r25, r4, r27
+0x00c4:  add   r24, r25, r5
+0x00c8:  sll   r24, r24, 2
+0x00cc:  lui   r25, 0x4
+0x00d0:  add   r24, r24, r25
+0x00d4:  lw    r23, 256(r24)
+0x00d8:  sub   r10, r22, r23
+0x00dc:  bgez  r10, 1
+0x00e0:  sub   r10, r0, r10
+0x00e4:  add   r6, r6, r10
+0x00e8:  addi  r5, r5, 1
+0x00ec:  addi  r20, r20, -1
+0x00f0:  bne   r20, r0, -23
+0x00f4:  addi  r4, r4, 1
+0x00f8:  addi  r18, r18, -1
+0x00fc:  bne   r18, r0, -28
+0x0100:  slt   r22, r6, r7
+0x0104:  beq   r22, r0, 3
+0x0108:  add   r7, r6, r0
+0x010c:  add   r8, r2, r0
+0x0110:  add   r9, r3, r0
+0x0114:  addi  r3, r3, 1
+0x0118:  addi  r16, r16, -1
+0x011c:  bne   r16, r0, -39
+0x0120:  addi  r2, r2, 1
+0x0124:  addi  r14, r14, -1
+0x0128:  bne   r14, r0, -44
+0x012c:  halt
+
+== HwLoop ==
+0x0000:  addi  r4, r0, 0
+0x0004:  addi  r14, r0, 64
+0x0008:  addi  r25, r0, 7
+0x000c:  mul   r23, r4, r25
+0x0010:  addi  r24, r0, 63
+0x0014:  and   r22, r23, r24
+0x0018:  sll   r23, r4, 2
+0x001c:  lui   r24, 0x4
+0x0020:  add   r23, r23, r24
+0x0024:  sw    r22, 0(r23)
+0x0028:  addi  r4, r4, 1
+0x002c:  dbnz  r14, -10
+0x0030:  addi  r4, r0, 0
+0x0034:  addi  r14, r0, 16
+0x0038:  addi  r26, r0, 5
+0x003c:  mul   r24, r4, r26
+0x0040:  addi  r23, r24, 3
+0x0044:  addi  r24, r0, 63
+0x0048:  and   r22, r23, r24
+0x004c:  sll   r23, r4, 2
+0x0050:  lui   r24, 0x4
+0x0054:  add   r23, r23, r24
+0x0058:  sw    r22, 256(r23)
+0x005c:  addi  r4, r4, 1
+0x0060:  dbnz  r14, -11
+0x0064:  lui   r7, 0x1
+0x0068:  ori   r7, r7, 0x86a0
+0x006c:  addi  r2, r0, 0
+0x0070:  addi  r14, r0, 4
+0x0074:  addi  r3, r0, 0
+0x0078:  addi  r16, r0, 4
+0x007c:  addi  r6, r0, 0
+0x0080:  addi  r4, r0, 0
+0x0084:  addi  r18, r0, 4
+0x0088:  addi  r5, r0, 0
+0x008c:  addi  r20, r0, 4
+0x0090:  add   r26, r2, r4
+0x0094:  addi  r27, r0, 8
+0x0098:  mul   r25, r26, r27
+0x009c:  add   r24, r25, r3
+0x00a0:  add   r23, r24, r5
+0x00a4:  sll   r23, r23, 2
+0x00a8:  lui   r24, 0x4
+0x00ac:  add   r23, r23, r24
+0x00b0:  lw    r22, 0(r23)
+0x00b4:  addi  r27, r0, 4
+0x00b8:  mul   r25, r4, r27
+0x00bc:  add   r24, r25, r5
+0x00c0:  sll   r24, r24, 2
+0x00c4:  lui   r25, 0x4
+0x00c8:  add   r24, r24, r25
+0x00cc:  lw    r23, 256(r24)
+0x00d0:  sub   r10, r22, r23
+0x00d4:  bgez  r10, 1
+0x00d8:  sub   r10, r0, r10
+0x00dc:  add   r6, r6, r10
+0x00e0:  addi  r5, r5, 1
+0x00e4:  dbnz  r20, -22
+0x00e8:  addi  r4, r4, 1
+0x00ec:  dbnz  r18, -26
+0x00f0:  slt   r22, r6, r7
+0x00f4:  beq   r22, r0, 3
+0x00f8:  add   r7, r6, r0
+0x00fc:  add   r8, r2, r0
+0x0100:  add   r9, r3, r0
+0x0104:  addi  r3, r3, 1
+0x0108:  dbnz  r16, -36
+0x010c:  addi  r2, r2, 1
+0x0110:  dbnz  r14, -40
+0x0114:  halt
+
+== Zolc-lite ==
+0x0000:  addi  r4, r0, 0
+0x0004:  zctl.rst
+0x0008:  addi  r1, r0, 64
+0x000c:  zwr   loop[0].2, r1
+0x0010:  lui   r1, 0x0
+0x0014:  ori   r1, r1, 0x1f4
+0x0018:  zwr   loop[0].5, r1
+0x001c:  lui   r1, 0x0
+0x0020:  ori   r1, r1, 0x214
+0x0024:  zwr   loop[0].6, r1
+0x0028:  addi  r1, r0, 16
+0x002c:  zwr   loop[1].2, r1
+0x0030:  lui   r1, 0x0
+0x0034:  ori   r1, r1, 0x21c
+0x0038:  zwr   loop[1].5, r1
+0x003c:  lui   r1, 0x0
+0x0040:  ori   r1, r1, 0x240
+0x0044:  zwr   loop[1].6, r1
+0x0048:  addi  r1, r0, 1
+0x004c:  zwr   loop[2].1, r1
+0x0050:  addi  r1, r0, 4
+0x0054:  zwr   loop[2].2, r1
+0x0058:  addi  r1, r0, 2
+0x005c:  zwr   loop[2].4, r1
+0x0060:  lui   r1, 0x0
+0x0064:  ori   r1, r1, 0x24c
+0x0068:  zwr   loop[2].5, r1
+0x006c:  lui   r1, 0x0
+0x0070:  ori   r1, r1, 0x2bc
+0x0074:  zwr   loop[2].6, r1
+0x0078:  addi  r1, r0, 1
+0x007c:  zwr   loop[3].1, r1
+0x0080:  addi  r1, r0, 4
+0x0084:  zwr   loop[3].2, r1
+0x0088:  addi  r1, r0, 3
+0x008c:  zwr   loop[3].4, r1
+0x0090:  lui   r1, 0x0
+0x0094:  ori   r1, r1, 0x24c
+0x0098:  zwr   loop[3].5, r1
+0x009c:  lui   r1, 0x0
+0x00a0:  ori   r1, r1, 0x2bc
+0x00a4:  zwr   loop[3].6, r1
+0x00a8:  addi  r1, r0, 4
+0x00ac:  zwr   loop[4].2, r1
+0x00b0:  lui   r1, 0x0
+0x00b4:  ori   r1, r1, 0x254
+0x00b8:  zwr   loop[4].5, r1
+0x00bc:  lui   r1, 0x0
+0x00c0:  ori   r1, r1, 0x2a4
+0x00c4:  zwr   loop[4].6, r1
+0x00c8:  addi  r1, r0, 1
+0x00cc:  zwr   loop[5].1, r1
+0x00d0:  addi  r1, r0, 4
+0x00d4:  zwr   loop[5].2, r1
+0x00d8:  addi  r1, r0, 5
+0x00dc:  zwr   loop[5].4, r1
+0x00e0:  lui   r1, 0x0
+0x00e4:  ori   r1, r1, 0x254
+0x00e8:  zwr   loop[5].5, r1
+0x00ec:  lui   r1, 0x0
+0x00f0:  ori   r1, r1, 0x2a0
+0x00f4:  zwr   loop[5].6, r1
+0x00f8:  lui   r1, 0x0
+0x00fc:  ori   r1, r1, 0x214
+0x0100:  zwr   task[0].0, r1
+0x0104:  addi  r1, r0, 0
+0x0108:  zwr   task[0].2, r1
+0x010c:  addi  r1, r0, 1
+0x0110:  zwr   task[0].3, r1
+0x0114:  zwr   task[0].4, r1
+0x0118:  lui   r1, 0x0
+0x011c:  ori   r1, r1, 0x240
+0x0120:  zwr   task[1].0, r1
+0x0124:  addi  r1, r0, 1
+0x0128:  zwr   task[1].1, r1
+0x012c:  zwr   task[1].2, r1
+0x0130:  addi  r1, r0, 5
+0x0134:  zwr   task[1].3, r1
+0x0138:  addi  r1, r0, 1
+0x013c:  zwr   task[1].4, r1
+0x0140:  lui   r1, 0x0
+0x0144:  ori   r1, r1, 0x2bc
+0x0148:  zwr   task[2].0, r1
+0x014c:  addi  r1, r0, 2
+0x0150:  zwr   task[2].1, r1
+0x0154:  addi  r1, r0, 5
+0x0158:  zwr   task[2].2, r1
+0x015c:  addi  r1, r0, 31
+0x0160:  zwr   task[2].3, r1
+0x0164:  addi  r1, r0, 1
+0x0168:  zwr   task[2].4, r1
+0x016c:  lui   r1, 0x0
+0x0170:  ori   r1, r1, 0x2bc
+0x0174:  zwr   task[3].0, r1
+0x0178:  addi  r1, r0, 3
+0x017c:  zwr   task[3].1, r1
+0x0180:  addi  r1, r0, 5
+0x0184:  zwr   task[3].2, r1
+0x0188:  addi  r1, r0, 2
+0x018c:  zwr   task[3].3, r1
+0x0190:  addi  r1, r0, 1
+0x0194:  zwr   task[3].4, r1
+0x0198:  lui   r1, 0x0
+0x019c:  ori   r1, r1, 0x2a4
+0x01a0:  zwr   task[4].0, r1
+0x01a4:  addi  r1, r0, 4
+0x01a8:  zwr   task[4].1, r1
+0x01ac:  addi  r1, r0, 5
+0x01b0:  zwr   task[4].2, r1
+0x01b4:  addi  r1, r0, 3
+0x01b8:  zwr   task[4].3, r1
+0x01bc:  addi  r1, r0, 1
+0x01c0:  zwr   task[4].4, r1
+0x01c4:  lui   r1, 0x0
+0x01c8:  ori   r1, r1, 0x2a0
+0x01cc:  zwr   task[5].0, r1
+0x01d0:  addi  r1, r0, 5
+0x01d4:  zwr   task[5].1, r1
+0x01d8:  zwr   task[5].2, r1
+0x01dc:  addi  r1, r0, 4
+0x01e0:  zwr   task[5].3, r1
+0x01e4:  addi  r1, r0, 1
+0x01e8:  zwr   task[5].4, r1
+0x01ec:  zctl.on 0
+0x01f0:  nop
+0x01f4:  addi  r25, r0, 7
+0x01f8:  mul   r23, r4, r25
+0x01fc:  addi  r24, r0, 63
+0x0200:  and   r22, r23, r24
+0x0204:  sll   r23, r4, 2
+0x0208:  lui   r24, 0x4
+0x020c:  add   r23, r23, r24
+0x0210:  sw    r22, 0(r23)
+0x0214:  addi  r4, r4, 1
+0x0218:  addi  r4, r0, 0
+0x021c:  addi  r26, r0, 5
+0x0220:  mul   r24, r4, r26
+0x0224:  addi  r23, r24, 3
+0x0228:  addi  r24, r0, 63
+0x022c:  and   r22, r23, r24
+0x0230:  sll   r23, r4, 2
+0x0234:  lui   r24, 0x4
+0x0238:  add   r23, r23, r24
+0x023c:  sw    r22, 256(r23)
+0x0240:  addi  r4, r4, 1
+0x0244:  lui   r7, 0x1
+0x0248:  ori   r7, r7, 0x86a0
+0x024c:  addi  r6, r0, 0
+0x0250:  addi  r4, r0, 0
+0x0254:  add   r26, r2, r4
+0x0258:  addi  r27, r0, 8
+0x025c:  mul   r25, r26, r27
+0x0260:  add   r24, r25, r3
+0x0264:  add   r23, r24, r5
+0x0268:  sll   r23, r23, 2
+0x026c:  lui   r24, 0x4
+0x0270:  add   r23, r23, r24
+0x0274:  lw    r22, 0(r23)
+0x0278:  addi  r27, r0, 4
+0x027c:  mul   r25, r4, r27
+0x0280:  add   r24, r25, r5
+0x0284:  sll   r24, r24, 2
+0x0288:  lui   r25, 0x4
+0x028c:  add   r24, r24, r25
+0x0290:  lw    r23, 256(r24)
+0x0294:  sub   r10, r22, r23
+0x0298:  bgez  r10, 1
+0x029c:  sub   r10, r0, r10
+0x02a0:  add   r6, r6, r10
+0x02a4:  addi  r4, r4, 1
+0x02a8:  slt   r22, r6, r7
+0x02ac:  beq   r22, r0, 3
+0x02b0:  add   r7, r6, r0
+0x02b4:  add   r8, r2, r0
+0x02b8:  add   r9, r3, r0
+0x02bc:  nop
+0x02c0:  halt

@@ -1,0 +1,115 @@
+;; mixed — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r3, r0, 16
+0x0004:  addi  r24, r0, 1
+0x0008:  slt   r22, r24, r3
+0x000c:  beq   r22, r0, 16
+0x0010:  addi  r2, r0, 0
+0x0014:  addi  r14, r0, 16
+0x0018:  sll   r24, r2, 2
+0x001c:  lui   r25, 0x4
+0x0020:  add   r24, r24, r25
+0x0024:  lw    r23, 0(r24)
+0x0028:  add   r22, r23, r3
+0x002c:  sll   r23, r2, 2
+0x0030:  lui   r24, 0x4
+0x0034:  add   r23, r23, r24
+0x0038:  sw    r22, 0(r23)
+0x003c:  addi  r2, r2, 1
+0x0040:  addi  r14, r14, -1
+0x0044:  bne   r14, r0, -12
+0x0048:  sra   r3, r3, 1
+0x004c:  j     0x4
+0x0050:  addi  r2, r0, 0
+0x0054:  addi  r14, r0, 16
+0x0058:  sll   r24, r2, 2
+0x005c:  lui   r25, 0x4
+0x0060:  add   r24, r24, r25
+0x0064:  lw    r23, 0(r24)
+0x0068:  add   r4, r4, r23
+0x006c:  addi  r2, r2, 1
+0x0070:  addi  r14, r14, -1
+0x0074:  bne   r14, r0, -8
+0x0078:  halt
+
+== HwLoop ==
+0x0000:  addi  r3, r0, 16
+0x0004:  addi  r24, r0, 1
+0x0008:  slt   r22, r24, r3
+0x000c:  beq   r22, r0, 15
+0x0010:  addi  r2, r0, 0
+0x0014:  addi  r14, r0, 16
+0x0018:  sll   r24, r2, 2
+0x001c:  lui   r25, 0x4
+0x0020:  add   r24, r24, r25
+0x0024:  lw    r23, 0(r24)
+0x0028:  add   r22, r23, r3
+0x002c:  sll   r23, r2, 2
+0x0030:  lui   r24, 0x4
+0x0034:  add   r23, r23, r24
+0x0038:  sw    r22, 0(r23)
+0x003c:  addi  r2, r2, 1
+0x0040:  dbnz  r14, -11
+0x0044:  sra   r3, r3, 1
+0x0048:  j     0x4
+0x004c:  addi  r2, r0, 0
+0x0050:  addi  r14, r0, 16
+0x0054:  sll   r24, r2, 2
+0x0058:  lui   r25, 0x4
+0x005c:  add   r24, r24, r25
+0x0060:  lw    r23, 0(r24)
+0x0064:  add   r4, r4, r23
+0x0068:  addi  r2, r2, 1
+0x006c:  dbnz  r14, -7
+0x0070:  halt
+
+== Zolc-lite ==
+0x0000:  addi  r3, r0, 16
+0x0004:  addi  r24, r0, 1
+0x0008:  slt   r22, r24, r3
+0x000c:  beq   r22, r0, 16
+0x0010:  addi  r2, r0, 0
+0x0014:  addi  r14, r0, 16
+0x0018:  sll   r24, r2, 2
+0x001c:  lui   r25, 0x4
+0x0020:  add   r24, r24, r25
+0x0024:  lw    r23, 0(r24)
+0x0028:  add   r22, r23, r3
+0x002c:  sll   r23, r2, 2
+0x0030:  lui   r24, 0x4
+0x0034:  add   r23, r23, r24
+0x0038:  sw    r22, 0(r23)
+0x003c:  addi  r2, r2, 1
+0x0040:  addi  r14, r14, -1
+0x0044:  bne   r14, r0, -12
+0x0048:  sra   r3, r3, 1
+0x004c:  j     0x4
+0x0050:  addi  r2, r0, 0
+0x0054:  zctl.rst
+0x0058:  addi  r1, r0, 16
+0x005c:  zwr   loop[0].2, r1
+0x0060:  lui   r1, 0x0
+0x0064:  ori   r1, r1, 0xa4
+0x0068:  zwr   loop[0].5, r1
+0x006c:  lui   r1, 0x0
+0x0070:  ori   r1, r1, 0xb8
+0x0074:  zwr   loop[0].6, r1
+0x0078:  lui   r1, 0x0
+0x007c:  ori   r1, r1, 0xb8
+0x0080:  zwr   task[0].0, r1
+0x0084:  addi  r1, r0, 0
+0x0088:  zwr   task[0].2, r1
+0x008c:  addi  r1, r0, 31
+0x0090:  zwr   task[0].3, r1
+0x0094:  addi  r1, r0, 1
+0x0098:  zwr   task[0].4, r1
+0x009c:  zctl.on 0
+0x00a0:  nop
+0x00a4:  sll   r24, r2, 2
+0x00a8:  lui   r25, 0x4
+0x00ac:  add   r24, r24, r25
+0x00b0:  lw    r23, 0(r24)
+0x00b4:  add   r4, r4, r23
+0x00b8:  addi  r2, r2, 1
+0x00bc:  halt

@@ -1,0 +1,88 @@
+;; popcount — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 8
+0x0008:  sll   r22, r2, 2
+0x000c:  lui   r23, 0x4
+0x0010:  add   r22, r22, r23
+0x0014:  lw    r3, 0(r22)
+0x0018:  addi  r4, r0, 0
+0x001c:  beq   r3, r0, 5
+0x0020:  addi  r25, r0, 1
+0x0024:  and   r23, r3, r25
+0x0028:  add   r4, r4, r23
+0x002c:  sra   r3, r3, 1
+0x0030:  j     0x1c
+0x0034:  sll   r23, r2, 2
+0x0038:  lui   r24, 0x4
+0x003c:  add   r23, r23, r24
+0x0040:  sw    r4, 32(r23)
+0x0044:  addi  r2, r2, 1
+0x0048:  addi  r14, r14, -1
+0x004c:  bne   r14, r0, -18
+0x0050:  halt
+
+== HwLoop ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 8
+0x0008:  sll   r22, r2, 2
+0x000c:  lui   r23, 0x4
+0x0010:  add   r22, r22, r23
+0x0014:  lw    r3, 0(r22)
+0x0018:  addi  r4, r0, 0
+0x001c:  beq   r3, r0, 5
+0x0020:  addi  r25, r0, 1
+0x0024:  and   r23, r3, r25
+0x0028:  add   r4, r4, r23
+0x002c:  sra   r3, r3, 1
+0x0030:  j     0x1c
+0x0034:  sll   r23, r2, 2
+0x0038:  lui   r24, 0x4
+0x003c:  add   r23, r23, r24
+0x0040:  sw    r4, 32(r23)
+0x0044:  addi  r2, r2, 1
+0x0048:  dbnz  r14, -17
+0x004c:  halt
+
+== Zolc-lite ==
+0x0000:  zctl.rst
+0x0004:  addi  r1, r0, 1
+0x0008:  zwr   loop[0].1, r1
+0x000c:  addi  r1, r0, 8
+0x0010:  zwr   loop[0].2, r1
+0x0014:  addi  r1, r0, 2
+0x0018:  zwr   loop[0].4, r1
+0x001c:  lui   r1, 0x0
+0x0020:  ori   r1, r1, 0x60
+0x0024:  zwr   loop[0].5, r1
+0x0028:  lui   r1, 0x0
+0x002c:  ori   r1, r1, 0x98
+0x0030:  zwr   loop[0].6, r1
+0x0034:  lui   r1, 0x0
+0x0038:  ori   r1, r1, 0x98
+0x003c:  zwr   task[0].0, r1
+0x0040:  addi  r1, r0, 0
+0x0044:  zwr   task[0].2, r1
+0x0048:  addi  r1, r0, 31
+0x004c:  zwr   task[0].3, r1
+0x0050:  addi  r1, r0, 1
+0x0054:  zwr   task[0].4, r1
+0x0058:  zctl.on 0
+0x005c:  nop
+0x0060:  sll   r22, r2, 2
+0x0064:  lui   r23, 0x4
+0x0068:  add   r22, r22, r23
+0x006c:  lw    r3, 0(r22)
+0x0070:  addi  r4, r0, 0
+0x0074:  beq   r3, r0, 5
+0x0078:  addi  r25, r0, 1
+0x007c:  and   r23, r3, r25
+0x0080:  add   r4, r4, r23
+0x0084:  sra   r3, r3, 1
+0x0088:  j     0x74
+0x008c:  sll   r23, r2, 2
+0x0090:  lui   r24, 0x4
+0x0094:  add   r23, r23, r24
+0x0098:  sw    r4, 32(r23)
+0x009c:  halt

@@ -1,0 +1,135 @@
+;; prefix_sum — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 24
+0x0008:  addi  r25, r0, 5
+0x000c:  mul   r23, r2, r25
+0x0010:  addi  r24, r0, 7
+0x0014:  and   r22, r23, r24
+0x0018:  sll   r23, r2, 2
+0x001c:  lui   r24, 0x4
+0x0020:  add   r23, r23, r24
+0x0024:  sw    r22, 0(r23)
+0x0028:  addi  r2, r2, 1
+0x002c:  addi  r14, r14, -1
+0x0030:  bne   r14, r0, -11
+0x0034:  addi  r2, r0, 1
+0x0038:  addi  r14, r0, 23
+0x003c:  sll   r24, r2, 2
+0x0040:  lui   r25, 0x4
+0x0044:  add   r24, r24, r25
+0x0048:  lw    r23, 0(r24)
+0x004c:  addi  r25, r2, -1
+0x0050:  sll   r25, r25, 2
+0x0054:  lui   r26, 0x4
+0x0058:  add   r25, r25, r26
+0x005c:  lw    r24, 0(r25)
+0x0060:  add   r22, r23, r24
+0x0064:  sll   r23, r2, 2
+0x0068:  lui   r24, 0x4
+0x006c:  add   r23, r23, r24
+0x0070:  sw    r22, 0(r23)
+0x0074:  addi  r2, r2, 1
+0x0078:  addi  r14, r14, -1
+0x007c:  bne   r14, r0, -17
+0x0080:  halt
+
+== HwLoop ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 24
+0x0008:  addi  r25, r0, 5
+0x000c:  mul   r23, r2, r25
+0x0010:  addi  r24, r0, 7
+0x0014:  and   r22, r23, r24
+0x0018:  sll   r23, r2, 2
+0x001c:  lui   r24, 0x4
+0x0020:  add   r23, r23, r24
+0x0024:  sw    r22, 0(r23)
+0x0028:  addi  r2, r2, 1
+0x002c:  dbnz  r14, -10
+0x0030:  addi  r2, r0, 1
+0x0034:  addi  r14, r0, 23
+0x0038:  sll   r24, r2, 2
+0x003c:  lui   r25, 0x4
+0x0040:  add   r24, r24, r25
+0x0044:  lw    r23, 0(r24)
+0x0048:  addi  r25, r2, -1
+0x004c:  sll   r25, r25, 2
+0x0050:  lui   r26, 0x4
+0x0054:  add   r25, r25, r26
+0x0058:  lw    r24, 0(r25)
+0x005c:  add   r22, r23, r24
+0x0060:  sll   r23, r2, 2
+0x0064:  lui   r24, 0x4
+0x0068:  add   r23, r23, r24
+0x006c:  sw    r22, 0(r23)
+0x0070:  addi  r2, r2, 1
+0x0074:  dbnz  r14, -16
+0x0078:  halt
+
+== Zolc-lite ==
+0x0000:  addi  r2, r0, 0
+0x0004:  zctl.rst
+0x0008:  addi  r1, r0, 24
+0x000c:  zwr   loop[0].2, r1
+0x0010:  lui   r1, 0x0
+0x0014:  ori   r1, r1, 0x98
+0x0018:  zwr   loop[0].5, r1
+0x001c:  lui   r1, 0x0
+0x0020:  ori   r1, r1, 0xb8
+0x0024:  zwr   loop[0].6, r1
+0x0028:  addi  r1, r0, 23
+0x002c:  zwr   loop[1].2, r1
+0x0030:  lui   r1, 0x0
+0x0034:  ori   r1, r1, 0xc0
+0x0038:  zwr   loop[1].5, r1
+0x003c:  lui   r1, 0x0
+0x0040:  ori   r1, r1, 0xf8
+0x0044:  zwr   loop[1].6, r1
+0x0048:  lui   r1, 0x0
+0x004c:  ori   r1, r1, 0xb8
+0x0050:  zwr   task[0].0, r1
+0x0054:  addi  r1, r0, 0
+0x0058:  zwr   task[0].2, r1
+0x005c:  addi  r1, r0, 1
+0x0060:  zwr   task[0].3, r1
+0x0064:  zwr   task[0].4, r1
+0x0068:  lui   r1, 0x0
+0x006c:  ori   r1, r1, 0xf8
+0x0070:  zwr   task[1].0, r1
+0x0074:  addi  r1, r0, 1
+0x0078:  zwr   task[1].1, r1
+0x007c:  zwr   task[1].2, r1
+0x0080:  addi  r1, r0, 31
+0x0084:  zwr   task[1].3, r1
+0x0088:  addi  r1, r0, 1
+0x008c:  zwr   task[1].4, r1
+0x0090:  zctl.on 0
+0x0094:  nop
+0x0098:  addi  r25, r0, 5
+0x009c:  mul   r23, r2, r25
+0x00a0:  addi  r24, r0, 7
+0x00a4:  and   r22, r23, r24
+0x00a8:  sll   r23, r2, 2
+0x00ac:  lui   r24, 0x4
+0x00b0:  add   r23, r23, r24
+0x00b4:  sw    r22, 0(r23)
+0x00b8:  addi  r2, r2, 1
+0x00bc:  addi  r2, r0, 1
+0x00c0:  sll   r24, r2, 2
+0x00c4:  lui   r25, 0x4
+0x00c8:  add   r24, r24, r25
+0x00cc:  lw    r23, 0(r24)
+0x00d0:  addi  r25, r2, -1
+0x00d4:  sll   r25, r25, 2
+0x00d8:  lui   r26, 0x4
+0x00dc:  add   r25, r25, r26
+0x00e0:  lw    r24, 0(r25)
+0x00e4:  add   r22, r23, r24
+0x00e8:  sll   r23, r2, 2
+0x00ec:  lui   r24, 0x4
+0x00f0:  add   r23, r23, r24
+0x00f4:  sw    r22, 0(r23)
+0x00f8:  addi  r2, r2, 1
+0x00fc:  halt

@@ -1,0 +1,144 @@
+;; reverse — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 16
+0x0008:  mul   r22, r2, r2
+0x000c:  sll   r23, r2, 2
+0x0010:  lui   r24, 0x4
+0x0014:  add   r23, r23, r24
+0x0018:  sw    r22, 0(r23)
+0x001c:  addi  r2, r2, 1
+0x0020:  addi  r14, r14, -1
+0x0024:  bne   r14, r0, -8
+0x0028:  addi  r2, r0, 0
+0x002c:  addi  r14, r0, 8
+0x0030:  sll   r22, r2, 2
+0x0034:  lui   r23, 0x4
+0x0038:  add   r22, r22, r23
+0x003c:  lw    r3, 0(r22)
+0x0040:  addi  r24, r0, 15
+0x0044:  sub   r23, r24, r2
+0x0048:  sll   r23, r23, 2
+0x004c:  lui   r24, 0x4
+0x0050:  add   r23, r23, r24
+0x0054:  lw    r22, 0(r23)
+0x0058:  sll   r23, r2, 2
+0x005c:  lui   r24, 0x4
+0x0060:  add   r23, r23, r24
+0x0064:  sw    r22, 0(r23)
+0x0068:  addi  r24, r0, 15
+0x006c:  sub   r23, r24, r2
+0x0070:  sll   r23, r23, 2
+0x0074:  lui   r24, 0x4
+0x0078:  add   r23, r23, r24
+0x007c:  sw    r3, 0(r23)
+0x0080:  addi  r2, r2, 1
+0x0084:  addi  r14, r14, -1
+0x0088:  bne   r14, r0, -23
+0x008c:  halt
+
+== HwLoop ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 16
+0x0008:  mul   r22, r2, r2
+0x000c:  sll   r23, r2, 2
+0x0010:  lui   r24, 0x4
+0x0014:  add   r23, r23, r24
+0x0018:  sw    r22, 0(r23)
+0x001c:  addi  r2, r2, 1
+0x0020:  dbnz  r14, -7
+0x0024:  addi  r2, r0, 0
+0x0028:  addi  r14, r0, 8
+0x002c:  sll   r22, r2, 2
+0x0030:  lui   r23, 0x4
+0x0034:  add   r22, r22, r23
+0x0038:  lw    r3, 0(r22)
+0x003c:  addi  r24, r0, 15
+0x0040:  sub   r23, r24, r2
+0x0044:  sll   r23, r23, 2
+0x0048:  lui   r24, 0x4
+0x004c:  add   r23, r23, r24
+0x0050:  lw    r22, 0(r23)
+0x0054:  sll   r23, r2, 2
+0x0058:  lui   r24, 0x4
+0x005c:  add   r23, r23, r24
+0x0060:  sw    r22, 0(r23)
+0x0064:  addi  r24, r0, 15
+0x0068:  sub   r23, r24, r2
+0x006c:  sll   r23, r23, 2
+0x0070:  lui   r24, 0x4
+0x0074:  add   r23, r23, r24
+0x0078:  sw    r3, 0(r23)
+0x007c:  addi  r2, r2, 1
+0x0080:  dbnz  r14, -22
+0x0084:  halt
+
+== Zolc-lite ==
+0x0000:  addi  r2, r0, 0
+0x0004:  zctl.rst
+0x0008:  addi  r1, r0, 16
+0x000c:  zwr   loop[0].2, r1
+0x0010:  lui   r1, 0x0
+0x0014:  ori   r1, r1, 0x98
+0x0018:  zwr   loop[0].5, r1
+0x001c:  lui   r1, 0x0
+0x0020:  ori   r1, r1, 0xac
+0x0024:  zwr   loop[0].6, r1
+0x0028:  addi  r1, r0, 8
+0x002c:  zwr   loop[1].2, r1
+0x0030:  lui   r1, 0x0
+0x0034:  ori   r1, r1, 0xb4
+0x0038:  zwr   loop[1].5, r1
+0x003c:  lui   r1, 0x0
+0x0040:  ori   r1, r1, 0x104
+0x0044:  zwr   loop[1].6, r1
+0x0048:  lui   r1, 0x0
+0x004c:  ori   r1, r1, 0xac
+0x0050:  zwr   task[0].0, r1
+0x0054:  addi  r1, r0, 0
+0x0058:  zwr   task[0].2, r1
+0x005c:  addi  r1, r0, 1
+0x0060:  zwr   task[0].3, r1
+0x0064:  zwr   task[0].4, r1
+0x0068:  lui   r1, 0x0
+0x006c:  ori   r1, r1, 0x104
+0x0070:  zwr   task[1].0, r1
+0x0074:  addi  r1, r0, 1
+0x0078:  zwr   task[1].1, r1
+0x007c:  zwr   task[1].2, r1
+0x0080:  addi  r1, r0, 31
+0x0084:  zwr   task[1].3, r1
+0x0088:  addi  r1, r0, 1
+0x008c:  zwr   task[1].4, r1
+0x0090:  zctl.on 0
+0x0094:  nop
+0x0098:  mul   r22, r2, r2
+0x009c:  sll   r23, r2, 2
+0x00a0:  lui   r24, 0x4
+0x00a4:  add   r23, r23, r24
+0x00a8:  sw    r22, 0(r23)
+0x00ac:  addi  r2, r2, 1
+0x00b0:  addi  r2, r0, 0
+0x00b4:  sll   r22, r2, 2
+0x00b8:  lui   r23, 0x4
+0x00bc:  add   r22, r22, r23
+0x00c0:  lw    r3, 0(r22)
+0x00c4:  addi  r24, r0, 15
+0x00c8:  sub   r23, r24, r2
+0x00cc:  sll   r23, r23, 2
+0x00d0:  lui   r24, 0x4
+0x00d4:  add   r23, r23, r24
+0x00d8:  lw    r22, 0(r23)
+0x00dc:  sll   r23, r2, 2
+0x00e0:  lui   r24, 0x4
+0x00e4:  add   r23, r23, r24
+0x00e8:  sw    r22, 0(r23)
+0x00ec:  addi  r24, r0, 15
+0x00f0:  sub   r23, r24, r2
+0x00f4:  sll   r23, r23, 2
+0x00f8:  lui   r24, 0x4
+0x00fc:  add   r23, r23, r24
+0x0100:  sw    r3, 0(r23)
+0x0104:  addi  r2, r2, 1
+0x0108:  halt

@@ -1,0 +1,75 @@
+;; search — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r2, r0, -1
+0x0004:  addi  r3, r0, 0
+0x0008:  addi  r14, r0, 16
+0x000c:  sll   r23, r3, 2
+0x0010:  lui   r24, 0x4
+0x0014:  add   r23, r23, r24
+0x0018:  lw    r22, 0(r23)
+0x001c:  addi  r23, r0, 31
+0x0020:  bne   r22, r23, 2
+0x0024:  add   r2, r3, r0
+0x0028:  beq   r0, r0, 3
+0x002c:  addi  r3, r3, 1
+0x0030:  addi  r14, r14, -1
+0x0034:  bne   r14, r0, -11
+0x0038:  halt
+
+== HwLoop ==
+0x0000:  addi  r2, r0, -1
+0x0004:  addi  r3, r0, 0
+0x0008:  addi  r14, r0, 16
+0x000c:  sll   r23, r3, 2
+0x0010:  lui   r24, 0x4
+0x0014:  add   r23, r23, r24
+0x0018:  lw    r22, 0(r23)
+0x001c:  addi  r23, r0, 31
+0x0020:  bne   r22, r23, 2
+0x0024:  add   r2, r3, r0
+0x0028:  beq   r0, r0, 2
+0x002c:  addi  r3, r3, 1
+0x0030:  dbnz  r14, -10
+0x0034:  halt
+
+== Zolc-lite ==
+0x0000:  addi  r2, r0, -1
+0x0004:  zctl.rst
+0x0008:  addi  r1, r0, 1
+0x000c:  zwr   loop[0].1, r1
+0x0010:  addi  r1, r0, 16
+0x0014:  zwr   loop[0].2, r1
+0x0018:  addi  r1, r0, 3
+0x001c:  zwr   loop[0].4, r1
+0x0020:  lui   r1, 0x0
+0x0024:  ori   r1, r1, 0x64
+0x0028:  zwr   loop[0].5, r1
+0x002c:  lui   r1, 0x0
+0x0030:  ori   r1, r1, 0x84
+0x0034:  zwr   loop[0].6, r1
+0x0038:  lui   r1, 0x0
+0x003c:  ori   r1, r1, 0x84
+0x0040:  zwr   task[0].0, r1
+0x0044:  addi  r1, r0, 0
+0x0048:  zwr   task[0].2, r1
+0x004c:  addi  r1, r0, 31
+0x0050:  zwr   task[0].3, r1
+0x0054:  addi  r1, r0, 1
+0x0058:  zwr   task[0].4, r1
+0x005c:  zctl.on 0
+0x0060:  nop
+0x0064:  sll   r23, r3, 2
+0x0068:  lui   r24, 0x4
+0x006c:  add   r23, r23, r24
+0x0070:  lw    r22, 0(r23)
+0x0074:  addi  r23, r0, 31
+0x0078:  bne   r22, r23, 2
+0x007c:  add   r2, r3, r0
+0x0080:  beq   r0, r0, 2
+0x0084:  nop
+0x0088:  j     0x98
+0x008c:  zwr   loop[0].3, r0
+0x0090:  zctl.on 31
+0x0094:  j     0x88
+0x0098:  halt

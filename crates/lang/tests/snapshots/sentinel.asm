@@ -1,0 +1,46 @@
+;; sentinel — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  sll   r23, r2, 2
+0x0004:  lui   r24, 0x4
+0x0008:  add   r23, r23, r24
+0x000c:  lw    r22, 0(r23)
+0x0010:  blez  r22, 7
+0x0014:  sll   r24, r2, 2
+0x0018:  lui   r25, 0x4
+0x001c:  add   r24, r24, r25
+0x0020:  lw    r23, 0(r24)
+0x0024:  add   r3, r3, r23
+0x0028:  addi  r2, r2, 1
+0x002c:  j     0x0
+0x0030:  halt
+
+== HwLoop ==
+0x0000:  sll   r23, r2, 2
+0x0004:  lui   r24, 0x4
+0x0008:  add   r23, r23, r24
+0x000c:  lw    r22, 0(r23)
+0x0010:  blez  r22, 7
+0x0014:  sll   r24, r2, 2
+0x0018:  lui   r25, 0x4
+0x001c:  add   r24, r24, r25
+0x0020:  lw    r23, 0(r24)
+0x0024:  add   r3, r3, r23
+0x0028:  addi  r2, r2, 1
+0x002c:  j     0x0
+0x0030:  halt
+
+== Zolc-lite ==
+0x0000:  sll   r23, r2, 2
+0x0004:  lui   r24, 0x4
+0x0008:  add   r23, r23, r24
+0x000c:  lw    r22, 0(r23)
+0x0010:  blez  r22, 7
+0x0014:  sll   r24, r2, 2
+0x0018:  lui   r25, 0x4
+0x001c:  add   r24, r24, r25
+0x0020:  lw    r23, 0(r24)
+0x0024:  add   r3, r3, r23
+0x0028:  addi  r2, r2, 1
+0x002c:  j     0x0
+0x0030:  halt

@@ -1,0 +1,164 @@
+;; transpose — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 36
+0x0008:  addi  r25, r0, 3
+0x000c:  mul   r23, r2, r25
+0x0010:  addi  r22, r23, 1
+0x0014:  sll   r23, r2, 2
+0x0018:  lui   r24, 0x4
+0x001c:  add   r23, r23, r24
+0x0020:  sw    r22, 0(r23)
+0x0024:  addi  r2, r2, 1
+0x0028:  addi  r14, r14, -1
+0x002c:  bne   r14, r0, -10
+0x0030:  addi  r2, r0, 0
+0x0034:  addi  r14, r0, 6
+0x0038:  addi  r3, r0, 0
+0x003c:  addi  r16, r0, 6
+0x0040:  addi  r26, r0, 6
+0x0044:  mul   r24, r2, r26
+0x0048:  add   r23, r24, r3
+0x004c:  sll   r23, r23, 2
+0x0050:  lui   r24, 0x4
+0x0054:  add   r23, r23, r24
+0x0058:  lw    r22, 0(r23)
+0x005c:  addi  r26, r0, 6
+0x0060:  mul   r24, r3, r26
+0x0064:  add   r23, r24, r2
+0x0068:  sll   r23, r23, 2
+0x006c:  lui   r24, 0x4
+0x0070:  add   r23, r23, r24
+0x0074:  sw    r22, 144(r23)
+0x0078:  addi  r3, r3, 1
+0x007c:  addi  r16, r16, -1
+0x0080:  bne   r16, r0, -17
+0x0084:  addi  r2, r2, 1
+0x0088:  addi  r14, r14, -1
+0x008c:  bne   r14, r0, -22
+0x0090:  halt
+
+== HwLoop ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 36
+0x0008:  addi  r25, r0, 3
+0x000c:  mul   r23, r2, r25
+0x0010:  addi  r22, r23, 1
+0x0014:  sll   r23, r2, 2
+0x0018:  lui   r24, 0x4
+0x001c:  add   r23, r23, r24
+0x0020:  sw    r22, 0(r23)
+0x0024:  addi  r2, r2, 1
+0x0028:  dbnz  r14, -9
+0x002c:  addi  r2, r0, 0
+0x0030:  addi  r14, r0, 6
+0x0034:  addi  r3, r0, 0
+0x0038:  addi  r16, r0, 6
+0x003c:  addi  r26, r0, 6
+0x0040:  mul   r24, r2, r26
+0x0044:  add   r23, r24, r3
+0x0048:  sll   r23, r23, 2
+0x004c:  lui   r24, 0x4
+0x0050:  add   r23, r23, r24
+0x0054:  lw    r22, 0(r23)
+0x0058:  addi  r26, r0, 6
+0x005c:  mul   r24, r3, r26
+0x0060:  add   r23, r24, r2
+0x0064:  sll   r23, r23, 2
+0x0068:  lui   r24, 0x4
+0x006c:  add   r23, r23, r24
+0x0070:  sw    r22, 144(r23)
+0x0074:  addi  r3, r3, 1
+0x0078:  dbnz  r16, -16
+0x007c:  addi  r2, r2, 1
+0x0080:  dbnz  r14, -20
+0x0084:  halt
+
+== Zolc-lite ==
+0x0000:  addi  r2, r0, 0
+0x0004:  zctl.rst
+0x0008:  addi  r1, r0, 36
+0x000c:  zwr   loop[0].2, r1
+0x0010:  lui   r1, 0x0
+0x0014:  ori   r1, r1, 0xf4
+0x0018:  zwr   loop[0].5, r1
+0x001c:  lui   r1, 0x0
+0x0020:  ori   r1, r1, 0x110
+0x0024:  zwr   loop[0].6, r1
+0x0028:  addi  r1, r0, 6
+0x002c:  zwr   loop[1].2, r1
+0x0030:  lui   r1, 0x0
+0x0034:  ori   r1, r1, 0x118
+0x0038:  zwr   loop[1].5, r1
+0x003c:  lui   r1, 0x0
+0x0040:  ori   r1, r1, 0x150
+0x0044:  zwr   loop[1].6, r1
+0x0048:  addi  r1, r0, 1
+0x004c:  zwr   loop[2].1, r1
+0x0050:  addi  r1, r0, 6
+0x0054:  zwr   loop[2].2, r1
+0x0058:  addi  r1, r0, 3
+0x005c:  zwr   loop[2].4, r1
+0x0060:  lui   r1, 0x0
+0x0064:  ori   r1, r1, 0x118
+0x0068:  zwr   loop[2].5, r1
+0x006c:  lui   r1, 0x0
+0x0070:  ori   r1, r1, 0x14c
+0x0074:  zwr   loop[2].6, r1
+0x0078:  lui   r1, 0x0
+0x007c:  ori   r1, r1, 0x110
+0x0080:  zwr   task[0].0, r1
+0x0084:  addi  r1, r0, 0
+0x0088:  zwr   task[0].2, r1
+0x008c:  addi  r1, r0, 2
+0x0090:  zwr   task[0].3, r1
+0x0094:  addi  r1, r0, 1
+0x0098:  zwr   task[0].4, r1
+0x009c:  lui   r1, 0x0
+0x00a0:  ori   r1, r1, 0x150
+0x00a4:  zwr   task[1].0, r1
+0x00a8:  addi  r1, r0, 1
+0x00ac:  zwr   task[1].1, r1
+0x00b0:  addi  r1, r0, 2
+0x00b4:  zwr   task[1].2, r1
+0x00b8:  addi  r1, r0, 31
+0x00bc:  zwr   task[1].3, r1
+0x00c0:  addi  r1, r0, 1
+0x00c4:  zwr   task[1].4, r1
+0x00c8:  lui   r1, 0x0
+0x00cc:  ori   r1, r1, 0x14c
+0x00d0:  zwr   task[2].0, r1
+0x00d4:  addi  r1, r0, 2
+0x00d8:  zwr   task[2].1, r1
+0x00dc:  zwr   task[2].2, r1
+0x00e0:  addi  r1, r0, 1
+0x00e4:  zwr   task[2].3, r1
+0x00e8:  zwr   task[2].4, r1
+0x00ec:  zctl.on 0
+0x00f0:  nop
+0x00f4:  addi  r25, r0, 3
+0x00f8:  mul   r23, r2, r25
+0x00fc:  addi  r22, r23, 1
+0x0100:  sll   r23, r2, 2
+0x0104:  lui   r24, 0x4
+0x0108:  add   r23, r23, r24
+0x010c:  sw    r22, 0(r23)
+0x0110:  addi  r2, r2, 1
+0x0114:  addi  r2, r0, 0
+0x0118:  addi  r26, r0, 6
+0x011c:  mul   r24, r2, r26
+0x0120:  add   r23, r24, r3
+0x0124:  sll   r23, r23, 2
+0x0128:  lui   r24, 0x4
+0x012c:  add   r23, r23, r24
+0x0130:  lw    r22, 0(r23)
+0x0134:  addi  r26, r0, 6
+0x0138:  mul   r24, r3, r26
+0x013c:  add   r23, r24, r2
+0x0140:  sll   r23, r23, 2
+0x0144:  lui   r24, 0x4
+0x0148:  add   r23, r23, r24
+0x014c:  sw    r22, 144(r23)
+0x0150:  addi  r2, r2, 1
+0x0154:  halt

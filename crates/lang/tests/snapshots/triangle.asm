@@ -1,0 +1,102 @@
+;; triangle — golden disassembly (regenerate with ZOLC_BLESS=1)
+
+== Baseline ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 10
+0x0008:  addi  r4, r0, 0
+0x000c:  add   r17, r2, r0
+0x0010:  addi  r17, r17, 1
+0x0014:  addi  r3, r0, 0
+0x0018:  add   r16, r17, r0
+0x001c:  addi  r23, r3, 1
+0x0020:  add   r4, r4, r23
+0x0024:  addi  r3, r3, 1
+0x0028:  addi  r16, r16, -1
+0x002c:  bne   r16, r0, -5
+0x0030:  sll   r23, r2, 2
+0x0034:  lui   r24, 0x4
+0x0038:  add   r23, r23, r24
+0x003c:  sw    r4, 0(r23)
+0x0040:  addi  r2, r2, 1
+0x0044:  addi  r14, r14, -1
+0x0048:  bne   r14, r0, -17
+0x004c:  halt
+
+== HwLoop ==
+0x0000:  addi  r2, r0, 0
+0x0004:  addi  r14, r0, 10
+0x0008:  addi  r4, r0, 0
+0x000c:  add   r17, r2, r0
+0x0010:  addi  r17, r17, 1
+0x0014:  addi  r3, r0, 0
+0x0018:  add   r16, r17, r0
+0x001c:  addi  r23, r3, 1
+0x0020:  add   r4, r4, r23
+0x0024:  addi  r3, r3, 1
+0x0028:  dbnz  r16, -4
+0x002c:  sll   r23, r2, 2
+0x0030:  lui   r24, 0x4
+0x0034:  add   r23, r23, r24
+0x0038:  sw    r4, 0(r23)
+0x003c:  addi  r2, r2, 1
+0x0040:  dbnz  r14, -15
+0x0044:  halt
+
+== Zolc-lite ==
+0x0000:  zctl.rst
+0x0004:  addi  r1, r0, 1
+0x0008:  zwr   loop[0].1, r1
+0x000c:  addi  r1, r0, 10
+0x0010:  zwr   loop[0].2, r1
+0x0014:  addi  r1, r0, 2
+0x0018:  zwr   loop[0].4, r1
+0x001c:  lui   r1, 0x0
+0x0020:  ori   r1, r1, 0xb4
+0x0024:  zwr   loop[0].5, r1
+0x0028:  lui   r1, 0x0
+0x002c:  ori   r1, r1, 0xdc
+0x0030:  zwr   loop[0].6, r1
+0x0034:  addi  r1, r0, 1
+0x0038:  zwr   loop[1].1, r1
+0x003c:  zwr   loop[1].2, r17
+0x0040:  addi  r1, r0, 3
+0x0044:  zwr   loop[1].4, r1
+0x0048:  lui   r1, 0x0
+0x004c:  ori   r1, r1, 0xc8
+0x0050:  zwr   loop[1].5, r1
+0x0054:  lui   r1, 0x0
+0x0058:  ori   r1, r1, 0xcc
+0x005c:  zwr   loop[1].6, r1
+0x0060:  lui   r1, 0x0
+0x0064:  ori   r1, r1, 0xdc
+0x0068:  zwr   task[0].0, r1
+0x006c:  addi  r1, r0, 1
+0x0070:  zwr   task[0].2, r1
+0x0074:  addi  r1, r0, 31
+0x0078:  zwr   task[0].3, r1
+0x007c:  addi  r1, r0, 1
+0x0080:  zwr   task[0].4, r1
+0x0084:  lui   r1, 0x0
+0x0088:  ori   r1, r1, 0xcc
+0x008c:  zwr   task[1].0, r1
+0x0090:  addi  r1, r0, 1
+0x0094:  zwr   task[1].1, r1
+0x0098:  zwr   task[1].2, r1
+0x009c:  addi  r1, r0, 0
+0x00a0:  zwr   task[1].3, r1
+0x00a4:  addi  r1, r0, 1
+0x00a8:  zwr   task[1].4, r1
+0x00ac:  zctl.on 1
+0x00b0:  nop
+0x00b4:  addi  r4, r0, 0
+0x00b8:  add   r17, r2, r0
+0x00bc:  addi  r17, r17, 1
+0x00c0:  zwr   loop[1].2, r17
+0x00c4:  nop
+0x00c8:  addi  r23, r3, 1
+0x00cc:  add   r4, r4, r23
+0x00d0:  sll   r23, r2, 2
+0x00d4:  lui   r24, 0x4
+0x00d8:  add   r23, r23, r24
+0x00dc:  sw    r4, 0(r23)
+0x00e0:  halt

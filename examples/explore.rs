@@ -21,7 +21,9 @@
 //! `--executor <pipeline|functional|compiled|nest>`, `--show SEED`,
 //! `--out DIR`, `--shards N`, `--stop-after K`, `--oracle-check`,
 //! `--oracle-floor PCT` (`--functional` / `--compiled` remain as
-//! deprecated aliases).
+//! deprecated aliases). Flags the chosen mode would ignore — e.g.
+//! `--show` or `--oracle-check` with `--executor` or the sharded sweep
+//! flags — are usage errors: one line on stderr, exit status 2.
 
 use std::path::PathBuf;
 use zolc::bench::{run_oracle_check, run_sweep, run_sweep_sharded, ShardedOutcome, SweepConfig};
@@ -67,6 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut stop_after: Option<usize> = None;
     let mut oracle_check = false;
     let mut oracle_floor: Option<f64> = None;
+    let mut executor_flag = false;
 
     let mut args = std::env::args();
     args.next(); // program name
@@ -83,14 +86,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--executor" => {
                 let name: String = parse_flag(&mut args, "--executor");
                 cfg.executor = parse_executor(&name);
+                executor_flag = true;
             }
             "--functional" => {
                 eprintln!("note: --functional is deprecated; use --executor functional");
                 cfg.executor = ExecutorKind::Functional;
+                executor_flag = true;
             }
             "--compiled" => {
                 eprintln!("note: --compiled is deprecated; use --executor compiled");
                 cfg.executor = ExecutorKind::Compiled;
+                executor_flag = true;
             }
             "--show" => show = Some(parse_flag(&mut args, "--show")),
             "--out" => out = Some(parse_flag(&mut args, "--out")),
@@ -103,6 +109,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 std::process::exit(2);
             }
         }
+    }
+
+    // A flag the chosen mode would silently ignore is a usage error
+    // (status 2, PR 6 convention), not a default.
+    let reject = |bad: bool, msg: &str| {
+        if bad {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let sharding = out.is_some() || shards != 1 || stop_after.is_some();
+    if show.is_some() {
+        reject(
+            executor_flag,
+            "--show prints one seed without running it; it cannot be combined with --executor",
+        );
+        reject(
+            sharding,
+            "--show cannot be combined with the sharded sweep flags (--out/--shards/--stop-after)",
+        );
+        reject(
+            oracle_check || oracle_floor.is_some(),
+            "--show cannot be combined with --oracle-check/--oracle-floor",
+        );
+    }
+    if oracle_check {
+        reject(
+            executor_flag,
+            "--oracle-check always cross-checks all four executors; it cannot be combined with --executor",
+        );
+        reject(
+            sharding,
+            "--oracle-check cannot be combined with the sharded sweep flags (--out/--shards/--stop-after)",
+        );
     }
 
     if let Some(seed) = show {

@@ -22,6 +22,9 @@
 //!   design-space sweeps;
 //! * [`mod@kernels`] — the twelve evaluation benchmarks with bit-exact
 //!   reference models;
+//! * [`mod@lang`] — a small C-like loop language (`zolcc`) compiling
+//!   through [`mod@ir`] to all three targets, with a bundled program
+//!   corpus wired into the differential suites;
 //! * [`mod@bench`] — the experiment harness regenerating every table and
 //!   figure of the paper (run `cargo bench`), built on a batch-parallel
 //!   kernel × target × executor [`bench::JobMatrix`];
@@ -69,5 +72,6 @@ pub use zolc_gen as gen;
 pub use zolc_ir as ir;
 pub use zolc_isa as isa;
 pub use zolc_kernels as kernels;
+pub use zolc_lang as lang;
 pub use zolc_oracle as oracle;
 pub use zolc_sim as sim;

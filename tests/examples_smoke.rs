@@ -182,6 +182,127 @@ fn explore_deprecated_aliases_match_executor_flag() {
     }
 }
 
+/// The `explore` example's mode/flag exclusions: a flag the chosen mode
+/// would silently ignore must be a usage error — one line on stderr,
+/// exit status 2 (the PR 6 convention) — never a silent default.
+#[test]
+fn explore_rejects_ignored_flag_combinations() {
+    use std::process::Command;
+
+    let cases: &[&[&str]] = &[
+        &["--show", "17", "--executor", "functional"],
+        &["--show", "17", "--out", "nowhere"],
+        &["--show", "17", "--shards", "4"],
+        &["--show", "17", "--oracle-check"],
+        &["--oracle-check", "--executor", "nest"],
+        &["--oracle-check", "--out", "nowhere"],
+        &["--oracle-check", "--stop-after", "1"],
+    ];
+    for extra in cases {
+        let out = Command::new(env!("CARGO"))
+            .args(["run", "--quiet", "--example", "explore", "--"])
+            .args(*extra)
+            .output()
+            .expect("spawns the explore example");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "explore {extra:?} should be a usage error: stdout {:?} stderr {:?}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            stderr.lines().count(),
+            1,
+            "explore {extra:?}: usage errors are one line: {stderr:?}"
+        );
+        assert!(
+            stderr.contains("cannot be combined"),
+            "explore {extra:?}: unexpected message {stderr:?}"
+        );
+    }
+}
+
+/// The `zolcc` example: the corpus-wide CI gate passes, single-program
+/// compile+run works on every executor spelling, and usage errors hold
+/// the one-line/exit-2 convention.
+#[test]
+fn zolcc_compiles_runs_and_rejects_usage_errors() {
+    use std::process::Command;
+
+    let zolcc = |extra: &[&str]| {
+        Command::new(env!("CARGO"))
+            .args(["run", "--quiet", "--example", "zolcc", "--"])
+            .args(extra)
+            .output()
+            .expect("spawns the zolcc example")
+    };
+
+    // the CI gate: every corpus program verified
+    let out = zolcc(&["--check-corpus"]);
+    assert!(
+        out.status.success(),
+        "--check-corpus failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("corpus programs verified"),
+        "--check-corpus summary missing: {stdout:?}"
+    );
+
+    // one program, auto-retargeted, architectural executor
+    let out = zolcc(&["--corpus", "dot", "--target", "auto", "--executor", "nest"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("verified against the compile-time reference"));
+    assert!(stdout.contains("auto-retarget: 1 hardware loops"));
+
+    // emit modes produce their artifacts
+    let out = zolcc(&["--corpus", "decay", "--emit", "ir"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("loop x10"));
+    let out = zolcc(&["--corpus", "decay", "--emit", "asm"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("halt"));
+
+    // usage errors: exit 2, one stderr line
+    for extra in [
+        &["--corpus", "no-such-program"] as &[&str],
+        &["--corpus", "dot", "--executor", "warp"],
+        &["--corpus", "dot", "--emit", "elf"],
+        &["--corpus", "dot", "--target", "mystery"],
+        &["--check-corpus", "--emit", "ir"],
+        &[],
+    ] {
+        let out = zolcc(extra);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "zolcc {extra:?} should be a usage error: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&out.stderr).lines().count(),
+            1,
+            "zolcc {extra:?}: usage errors are one line"
+        );
+    }
+
+    // compile diagnostics exit 1 with a line/column position
+    let bad = std::env::temp_dir().join("zolcc_smoke_bad.zl");
+    std::fs::write(&bad, "x = 1;\n").expect("writes the bad program");
+    let out = zolcc(&[bad.to_str().expect("utf-8 temp path")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("line 1, col 1") && stderr.contains("not declared"),
+        "diagnostic missing position: {stderr:?}"
+    );
+    std::fs::remove_file(&bad).ok();
+}
+
 /// The `design_space` example: every explored configuration is valid and
 /// none limits the processor cycle time.
 #[test]
