@@ -1,0 +1,190 @@
+//! The explicit flow graph the dataflow solver runs over.
+//!
+//! `zolc-analyze` sits below `zolc-cfg` in the workspace, so it cannot
+//! consume `zolc_cfg::Cfg` directly; instead the solver runs over this
+//! self-contained [`FlowGraph`] — basic blocks of decoded instructions
+//! plus explicit successor edges — and `zolc-cfg` converts its `Cfg`
+//! into one. Building a graph by hand is a few lines, which keeps the
+//! crate's tests (and any future non-CFG client) independent.
+
+use zolc_isa::{Instr, INSTR_BYTES};
+
+/// One basic block: a run of instructions plus its successor edges.
+#[derive(Debug, Clone)]
+pub struct FlowBlock {
+    /// Byte address of the first instruction.
+    pub start: u32,
+    /// The block's instructions in program order.
+    pub instrs: Vec<Instr>,
+    /// Indices of successor blocks in the owning [`FlowGraph`].
+    pub succs: Vec<usize>,
+}
+
+impl FlowBlock {
+    /// Byte address of the `i`-th instruction.
+    pub fn pc_at(&self, i: usize) -> u32 {
+        self.start + (i as u32) * INSTR_BYTES
+    }
+
+    /// One past the byte address of the last instruction.
+    pub fn end(&self) -> u32 {
+        self.start + (self.instrs.len() as u32) * INSTR_BYTES
+    }
+}
+
+/// A flow graph: blocks, a distinguished entry, and derived predecessors.
+///
+/// # Examples
+///
+/// ```
+/// use zolc_analyze::{FlowBlock, FlowGraph};
+/// use zolc_isa::Instr;
+///
+/// let g = FlowGraph::new(
+///     0,
+///     vec![FlowBlock { start: 0, instrs: vec![Instr::Halt], succs: vec![] }],
+/// );
+/// assert_eq!(g.len(), 1);
+/// assert_eq!(g.block_of(0), Some(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowGraph {
+    entry: usize,
+    blocks: Vec<FlowBlock>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl FlowGraph {
+    /// Builds a graph from blocks, computing predecessor lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` or any successor index is out of range.
+    pub fn new(entry: usize, blocks: Vec<FlowBlock>) -> FlowGraph {
+        assert!(
+            entry < blocks.len() || blocks.is_empty(),
+            "entry block index {entry} out of range ({} blocks)",
+            blocks.len()
+        );
+        let mut preds = vec![Vec::new(); blocks.len()];
+        for (i, b) in blocks.iter().enumerate() {
+            for &s in &b.succs {
+                assert!(
+                    s < blocks.len(),
+                    "successor index {s} out of range ({} blocks)",
+                    blocks.len()
+                );
+                preds[s].push(i);
+            }
+        }
+        FlowGraph {
+            entry,
+            blocks,
+            preds,
+        }
+    }
+
+    /// Index of the entry block.
+    pub fn entry(&self) -> usize {
+        self.entry
+    }
+
+    /// All blocks, indexable by block id.
+    pub fn blocks(&self) -> &[FlowBlock] {
+        &self.blocks
+    }
+
+    /// The block with index `i`.
+    pub fn block(&self, i: usize) -> &FlowBlock {
+        &self.blocks[i]
+    }
+
+    /// Predecessor indices of block `i`.
+    pub fn preds(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the graph has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block containing byte address `pc`, if any.
+    pub fn block_of(&self, pc: u32) -> Option<usize> {
+        self.blocks.iter().position(|b| {
+            pc >= b.start && pc < b.end() && (pc - b.start).is_multiple_of(INSTR_BYTES)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zolc_isa::{reg, Instr};
+
+    fn nop_block(start: u32, n: usize, succs: Vec<usize>) -> FlowBlock {
+        FlowBlock {
+            start,
+            instrs: vec![Instr::Nop; n],
+            succs,
+        }
+    }
+
+    #[test]
+    fn preds_are_derived_from_succs() {
+        let g = FlowGraph::new(
+            0,
+            vec![
+                nop_block(0, 1, vec![1, 2]),
+                nop_block(4, 1, vec![2]),
+                nop_block(8, 1, vec![]),
+            ],
+        );
+        assert_eq!(g.preds(0), &[] as &[usize]);
+        assert_eq!(g.preds(1), &[0]);
+        assert_eq!(g.preds(2), &[0, 1]);
+    }
+
+    #[test]
+    fn block_of_respects_alignment_and_bounds() {
+        let g = FlowGraph::new(
+            0,
+            vec![nop_block(0x100, 2, vec![1]), nop_block(0x108, 1, vec![])],
+        );
+        assert_eq!(g.block_of(0x100), Some(0));
+        assert_eq!(g.block_of(0x104), Some(0));
+        assert_eq!(g.block_of(0x108), Some(1));
+        assert_eq!(g.block_of(0x102), None);
+        assert_eq!(g.block_of(0x10c), None);
+    }
+
+    #[test]
+    fn pc_at_and_end() {
+        let b = FlowBlock {
+            start: 0x20,
+            instrs: vec![
+                Instr::Addi {
+                    rt: reg(1),
+                    rs: reg(0),
+                    imm: 1,
+                },
+                Instr::Halt,
+            ],
+            succs: vec![],
+        };
+        assert_eq!(b.pc_at(0), 0x20);
+        assert_eq!(b.pc_at(1), 0x24);
+        assert_eq!(b.end(), 0x28);
+    }
+
+    #[test]
+    #[should_panic(expected = "successor index")]
+    fn bad_successor_index_panics() {
+        let _ = FlowGraph::new(0, vec![nop_block(0, 1, vec![7])]);
+    }
+}

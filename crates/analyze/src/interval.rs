@@ -1,0 +1,412 @@
+//! Signed value-range (interval) lattice and the forward interval
+//! analysis over it.
+//!
+//! The [`Interval`] type is the shared lattice: `zolc-lang`'s
+//! AST-level range reasoning (proving loop bounds countable) and this
+//! crate's binary-level [`Intervals`] pass both use it. Endpoints are
+//! `i64` so `i32` arithmetic can never overflow the analysis itself;
+//! [`Interval::normalize`] degrades anything that may wrap to
+//! [`Interval::TOP`], which keeps every rule sound under the machine's
+//! wrapping arithmetic (a wrapped result is still an `i32`, and `TOP`
+//! contains every `i32`).
+
+use zolc_isa::{Instr, Reg};
+use zolc_sim::exec::{self, Effect};
+
+use crate::solver::{Analysis, Direction, RegFacts};
+
+/// A conservative signed range `[lo, hi]` for a 32-bit value
+/// interpreted as `i32`.
+///
+/// # Examples
+///
+/// ```
+/// use zolc_analyze::Interval;
+///
+/// let a = Interval::point(3).join(Interval::point(8));
+/// assert_eq!(a, Interval::new(3, 8));
+/// assert!(a.contains(5));
+/// assert_eq!(Interval::point(7).as_const(), Some(7));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The full `i32` range (⊤).
+    pub const TOP: Interval = Interval {
+        lo: i32::MIN as i64,
+        hi: i32::MAX as i64,
+    };
+
+    /// The interval `[lo, hi]`, normalized (see [`Interval::normalize`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: i64, hi: i64) -> Interval {
+        assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+        Interval { lo, hi }.normalize()
+    }
+
+    /// The single-value interval `[v, v]`.
+    pub fn point(v: i32) -> Interval {
+        Interval {
+            lo: i64::from(v),
+            hi: i64::from(v),
+        }
+    }
+
+    /// The value, when the interval pins exactly one.
+    pub fn as_const(self) -> Option<i32> {
+        (self.lo == self.hi).then_some(self.lo as i32)
+    }
+
+    /// Whether `v` lies in the interval.
+    pub fn contains(self, v: i32) -> bool {
+        self.lo <= i64::from(v) && i64::from(v) <= self.hi
+    }
+
+    /// The smallest interval containing both.
+    pub fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Clamps to `i32`; anything that may wrap degrades to
+    /// [`Interval::TOP`].
+    pub fn normalize(self) -> Interval {
+        if self.lo < i64::from(i32::MIN) || self.hi > i64::from(i32::MAX) {
+            Interval::TOP
+        } else {
+            self
+        }
+    }
+}
+
+/// Range addition (degrades to ⊤ on possible wrap).
+impl std::ops::Add for Interval {
+    type Output = Interval;
+
+    fn add(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
+        .normalize()
+    }
+}
+
+/// Range subtraction (degrades to ⊤ on possible wrap).
+impl std::ops::Sub for Interval {
+    type Output = Interval;
+
+    fn sub(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo - other.hi,
+            hi: self.hi - other.lo,
+        }
+        .normalize()
+    }
+}
+
+/// Range multiplication (degrades to ⊤ on possible wrap).
+impl std::ops::Mul for Interval {
+    type Output = Interval;
+
+    fn mul(self, other: Interval) -> Interval {
+        let corners = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ];
+        Interval {
+            lo: corners.iter().copied().min().expect("nonempty"),
+            hi: corners.iter().copied().max().expect("nonempty"),
+        }
+        .normalize()
+    }
+}
+
+/// Range negation (degrades to ⊤ on possible wrap: `-i32::MIN`).
+impl std::ops::Neg for Interval {
+    type Output = Interval;
+
+    fn neg(self) -> Interval {
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
+        .normalize()
+    }
+}
+
+/// Forward interval analysis: a signed range per register.
+///
+/// Like [`crate::ConstProp`], the fact is an `Option`-wrapped register
+/// file (`None` = unreachable ⊥) with the all-`[0,0]` reset state at
+/// the boundary, and fully-constant operands are folded through
+/// [`zolc_sim::exec::step`]. The abstract rules cover the arithmetic
+/// the corpus leans on (`add`/`sub`/`addi`/`dbnz`/`mul`, comparisons to
+/// `[0,1]`, `andi`/`srl` masking); everything else degrades to ⊤.
+/// Loop-carried growth is cut off by [`Analysis::widen`], which jumps
+/// a still-moving bound to the `i32` extreme.
+pub struct Intervals;
+
+/// The per-point fact of [`Intervals`].
+pub type IntervalFact = Option<RegFacts<Interval>>;
+
+impl Analysis for Intervals {
+    type Fact = IntervalFact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> IntervalFact {
+        Some(RegFacts::filled(Interval::point(0)))
+    }
+
+    fn bottom(&self) -> IntervalFact {
+        None
+    }
+
+    fn join(&self, into: &mut IntervalFact, from: &IntervalFact) -> bool {
+        let Some(from) = from else { return false };
+        match into {
+            None => {
+                *into = Some(*from);
+                true
+            }
+            Some(i) => {
+                let mut changed = false;
+                for r in Reg::all() {
+                    let j = i[r].join(from[r]);
+                    if j != i[r] {
+                        i[r] = j;
+                        changed = true;
+                    }
+                }
+                changed
+            }
+        }
+    }
+
+    fn widen(&self, into: &mut IntervalFact, from: &IntervalFact) -> bool {
+        let Some(from) = from else { return false };
+        match into {
+            None => {
+                *into = Some(*from);
+                true
+            }
+            Some(i) => {
+                let mut changed = false;
+                for r in Reg::all() {
+                    let mut w = i[r];
+                    if from[r].lo < w.lo {
+                        w.lo = Interval::TOP.lo;
+                    }
+                    if from[r].hi > w.hi {
+                        w.hi = Interval::TOP.hi;
+                    }
+                    if w != i[r] {
+                        i[r] = w;
+                        changed = true;
+                    }
+                }
+                changed
+            }
+        }
+    }
+
+    fn transfer(&self, instr: Instr, pc: u32, fact: &mut IntervalFact) {
+        use Instr::*;
+        let Some(facts) = fact else { return };
+        let known = |r: Reg| facts[r].as_const();
+        if instr
+            .srcs()
+            .into_iter()
+            .flatten()
+            .all(|r| known(r).is_some())
+        {
+            // All operands pinned: fold through the executor core.
+            let read = |r: Reg| known(r).unwrap_or(0) as u32; // r0 reads 0
+            match exec::step(instr, pc, read) {
+                Effect::Write { dst, value } if !dst.is_zero() => {
+                    facts[dst] = Interval::point(value as i32)
+                }
+                Effect::Load { dst, .. } if !dst.is_zero() => facts[dst] = Interval::TOP,
+                Effect::Jump {
+                    link: Some((r, v)), ..
+                } => facts[r] = Interval::point(v as i32),
+                Effect::Branch {
+                    decrement: Some((r, v)),
+                    ..
+                } if !r.is_zero() => facts[r] = Interval::point(v as i32),
+                _ => {}
+            }
+            return;
+        }
+        let get = |r: Reg| facts[r];
+        match instr {
+            Add { rd, rs, rt } => facts[rd] = get(rs) + get(rt),
+            Sub { rd, rs, rt } => facts[rd] = get(rs) - get(rt),
+            Mul { rd, rs, rt } => facts[rd] = get(rs) * get(rt),
+            Addi { rt, rs, imm } => facts[rt] = get(rs) + Interval::point(i32::from(imm)),
+            Slt { rd, .. } | Sltu { rd, .. } => facts[rd] = Interval::new(0, 1),
+            Slti { rt, .. } | Sltiu { rt, .. } => facts[rt] = Interval::new(0, 1),
+            // rs & zext(imm) lies in [0, imm].
+            Andi { rt, imm, .. } => facts[rt] = Interval::new(0, i64::from(imm)),
+            // Logical right shift by sh > 0 clears the sign bit.
+            Srl { rd, sh, .. } if sh > 0 => facts[rd] = Interval::new(0, i64::from(u32::MAX >> sh)),
+            Dbnz { rs, .. } => facts[rs] = get(rs) - Interval::point(1),
+            _ => {
+                if let Some(d) = instr.dst() {
+                    facts[d] = Interval::TOP;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{FlowBlock, FlowGraph};
+    use crate::solver::solve;
+    use zolc_isa::reg;
+
+    #[test]
+    fn interval_lattice_basics() {
+        assert_eq!(Interval::point(-3).as_const(), Some(-3));
+        assert!(Interval::new(-1, 4).contains(0));
+        assert!(!Interval::new(-1, 4).contains(5));
+        assert_eq!(
+            Interval::point(i32::MAX) + Interval::point(1),
+            Interval::TOP,
+            "wrap degrades to ⊤"
+        );
+        assert_eq!(-Interval::point(i32::MIN), Interval::TOP);
+        assert_eq!(
+            Interval::new(-2, 3) * Interval::new(4, 5),
+            Interval::new(-10, 15)
+        );
+    }
+
+    #[test]
+    fn straight_line_values_are_exact_points() {
+        let mut f = Intervals.boundary();
+        let li = |rt: u8, imm: i16| Instr::Addi {
+            rt: reg(rt),
+            rs: reg(0),
+            imm,
+        };
+        Intervals.transfer(li(1, -7), 0, &mut f);
+        Intervals.transfer(li(2, 3), 4, &mut f);
+        Intervals.transfer(
+            Instr::Mul {
+                rd: reg(3),
+                rs: reg(1),
+                rt: reg(2),
+            },
+            8,
+            &mut f,
+        );
+        assert_eq!(f.unwrap()[reg(3)].as_const(), Some(-21));
+    }
+
+    #[test]
+    fn comparison_results_are_bit_ranged() {
+        let mut f = Intervals.boundary();
+        // Poison r1 so the compare is not constant-folded.
+        Intervals.transfer(
+            Instr::Lw {
+                rt: reg(1),
+                rs: reg(0),
+                off: 0,
+            },
+            0,
+            &mut f,
+        );
+        Intervals.transfer(
+            Instr::Slt {
+                rd: reg(2),
+                rs: reg(1),
+                rt: reg(0),
+            },
+            4,
+            &mut f,
+        );
+        assert_eq!(f.unwrap()[reg(2)], Interval::new(0, 1));
+    }
+
+    #[test]
+    fn loop_counter_widens_and_stays_sound() {
+        // b0: li r1, 0            -> b1
+        // b1: addi r1, r1, 1 ; bne r1, r9, b1   -> b1, b2   (r9 unknown)
+        let g = FlowGraph::new(
+            0,
+            vec![
+                FlowBlock {
+                    start: 0,
+                    instrs: vec![
+                        Instr::Lw {
+                            rt: reg(9),
+                            rs: reg(0),
+                            off: 0,
+                        },
+                        Instr::Addi {
+                            rt: reg(1),
+                            rs: reg(0),
+                            imm: 0,
+                        },
+                    ],
+                    succs: vec![1],
+                },
+                FlowBlock {
+                    start: 8,
+                    instrs: vec![
+                        Instr::Addi {
+                            rt: reg(1),
+                            rs: reg(1),
+                            imm: 1,
+                        },
+                        Instr::Bne {
+                            rs: reg(1),
+                            rt: reg(9),
+                            off: -2,
+                        },
+                    ],
+                    succs: vec![1, 2],
+                },
+                FlowBlock {
+                    start: 16,
+                    instrs: vec![Instr::Halt],
+                    succs: vec![],
+                },
+            ],
+        );
+        let sol = solve(&g, &Intervals);
+        let head = sol.block_in[1].as_ref().unwrap();
+        // The counter grows each iteration: widening must terminate the
+        // fixpoint with a range still containing every observed value.
+        assert_eq!(head[reg(1)].hi, Interval::TOP.hi, "widened upward");
+        for i in 0..100 {
+            assert!(head[reg(1)].contains(i));
+        }
+    }
+
+    #[test]
+    fn unreachable_bottom_survives_transfer() {
+        let mut bot = Intervals.bottom();
+        Intervals.transfer(Instr::Halt, 0, &mut bot);
+        assert!(bot.is_none());
+    }
+}

@@ -187,6 +187,44 @@ impl Cfg {
             .filter(|b| addr < b.end)
     }
 
+    /// Converts to the explicit [`zolc_analyze::FlowGraph`] the
+    /// dataflow solver runs over, decoding each block's instructions
+    /// from `program` (which must be the program this CFG was built
+    /// from).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use zolc_analyze::{solve, Liveness, RegSet};
+    /// use zolc_cfg::Cfg;
+    ///
+    /// let program = zolc_isa::assemble("
+    ///     li   r1, 3
+    /// top: addi r1, r1, -1
+    ///     bne  r1, r0, top
+    ///     halt
+    /// ").unwrap();
+    /// let cfg = Cfg::build(&program);
+    /// let sol = solve(&cfg.flow(&program), &Liveness { at_exit: RegSet::EMPTY });
+    /// assert!(sol.block_in[1].contains(zolc_isa::reg(1)), "counter live in the loop");
+    /// ```
+    pub fn flow(&self, program: &Program) -> zolc_analyze::FlowGraph {
+        let text = program.text();
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|b| zolc_analyze::FlowBlock {
+                start: b.start,
+                instrs: b
+                    .addrs()
+                    .map(|pc| text[((pc - TEXT_BASE) / 4) as usize])
+                    .collect(),
+                succs: b.succs.clone(),
+            })
+            .collect();
+        zolc_analyze::FlowGraph::new(self.entry, blocks)
+    }
+
     /// Blocks reachable from the entry, as a bitset-ish sorted list.
     pub fn reachable(&self) -> Vec<usize> {
         let mut seen = vec![false; self.blocks.len()];

@@ -15,7 +15,11 @@
 //!   synthesize a runnable, self-initializing program/overlay pair;
 //! * [`verify_image`] — independent structural verification of any
 //!   [`zolc_core::ZolcImage`] against the program text (used by the test
-//!   suite to cross-check every lowered benchmark).
+//!   suite to cross-check every lowered benchmark);
+//! * [`lint_program`] — dataflow-backed binary diagnostics (unreachable
+//!   code, dead stores, discarded `r0` writes, out-of-text branches,
+//!   provably non-terminating latches, index-register clobbers), built
+//!   on the `zolc-analyze` solver suite.
 //!
 //! # Examples
 //!
@@ -41,6 +45,7 @@
 mod detect;
 mod dom;
 mod graph;
+mod lint;
 mod loops;
 mod retarget;
 mod verify;
@@ -48,6 +53,7 @@ mod verify;
 pub use detect::{detect_counted_loops, map_to_zolc, CountedLoop, MappedProgram, RegLimit};
 pub use dom::Dominators;
 pub use graph::{BasicBlock, Cfg};
+pub use lint::{lint_program, Lint, LintKind, LintReport};
 pub use loops::{IrreducibleRegion, LoopForest, NaturalLoop};
 pub use retarget::{retarget, RetargetError, Retargeted};
-pub use verify::{verify_image, Finding};
+pub use verify::{verify_image, Finding, FindingKind};

@@ -54,6 +54,7 @@ use crate::loops::LoopForest;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
+use zolc_analyze::{reachable_blocks, solve, Liveness, RegSet};
 use zolc_core::{ImageError, LimitSrc, LoopSpec, TaskSpec, ZolcConfig, ZolcImage};
 use zolc_isa::{
     loop_field, Asm, AsmError, Instr, Label, Program, Reg, ZolcRegion, DATA_BASE, INSTR_BYTES,
@@ -593,22 +594,78 @@ fn filter_handled(
             }
         }
 
+        // The *virtual post-excision program*: the text the surviving
+        // software plus the controller's contribution amounts to, with
+        // every address preserved 1:1 so dataflow facts map straight
+        // back. Excised latch branches keep their control flow — the
+        // hardware back edge still iterates the body — as operand-free
+        // always-taken branches; register-limit copies become the
+        // `zwr` that replaces them (still reading the bound source);
+        // every other excised instruction becomes `nop`. Liveness and
+        // reachability over this program answer exactly the questions
+        // the excised machine poses.
+        let mut vtext = text.to_vec();
+        for (i, d) in dropped.iter().enumerate() {
+            if *d {
+                vtext[i] = Instr::Nop;
+            }
+        }
+        for c in &handled {
+            let i = text_idx(c.branch_addr);
+            if let Instr::Beq { off, .. }
+            | Instr::Bne { off, .. }
+            | Instr::Blez { off, .. }
+            | Instr::Bgtz { off, .. }
+            | Instr::Bltz { off, .. }
+            | Instr::Bgez { off, .. }
+            | Instr::Dbnz { off, .. } = text[i]
+            {
+                vtext[i] = Instr::Beq {
+                    rs: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    off,
+                };
+            }
+            if let Some(rl) = c.limit_reg {
+                vtext[text_idx(rl.addr)] = Instr::Zwr {
+                    region: ZolcRegion::Loop,
+                    index: 0,
+                    field: loop_field::LIMIT,
+                    rs: rl.reg,
+                };
+            }
+        }
+        let vprog = Program::from_parts(vtext.clone(), Vec::new());
+        let vflow = Cfg::build(&vprog).flow(&vprog);
+        let live = solve(
+            &vflow,
+            &Liveness {
+                at_exit: RegSet::EMPTY,
+            },
+        );
+        let reachable = reachable_blocks(&vflow);
+        let reachable_pc = |pc: u32| vflow.block_of(pc).map(|b| reachable[b]).unwrap_or(false);
+
         // Control-flow compatibility: the controller visits hardware
         // loops strictly in task-chain order, one end-fetch per
-        // iteration, so every surviving control transfer must either
-        // stay entirely inside a loop's region or entirely on one side
-        // of it — a branch *into*, *out of*, or *over* the region would
-        // desync the chain (the loop's end would be skipped or
-        // re-entered out of order). Additionally, for `addi`+`bne`
-        // latches a branch targeting the latch branch itself skips the
-        // decrement in the original, which no pure hardware counter can
-        // reproduce.
+        // iteration, so every surviving *reachable* control transfer
+        // must either stay entirely inside a loop's region or entirely
+        // on one side of it — a branch *into*, *out of*, or *over* the
+        // region would desync the chain (the loop's end would be
+        // skipped or re-entered out of order), while a branch the
+        // excised program can never execute cannot. Additionally, for
+        // `addi`+`bne` latches a branch targeting the latch branch
+        // itself skips the decrement in the original, which no pure
+        // hardware counter can reproduce.
         let cf_compatible = |c: &CountedLoop, dropped: &[bool]| -> bool {
             (0..n).all(|i| {
                 if dropped[i] {
                     return true;
                 }
                 let pc = TEXT_BASE + INSTR_BYTES * i as u32;
+                if !reachable_pc(pc) {
+                    return true;
+                }
                 let Some(t) = static_target(&text[i], pc) else {
                     return !text[i].is_control_flow();
                 };
@@ -631,31 +688,47 @@ fn filter_handled(
             ok
         });
 
-        // Any surviving access to a counter disqualifies its loop: a
-        // read would observe a value the excision no longer maintains,
-        // and a write would have changed the original's trip count. The
-        // substituted in-loop `zwr` limit updates read their bound
-        // source, so those reads survive even though the original copy
-        // instruction at that address is dropped (a triangular nest
-        // whose inner bound is the outer's live counter must stay in
-        // software).
-        let zwr_reads: BTreeSet<Reg> = handled
-            .iter()
-            .filter_map(|c| c.limit_reg.map(|rl| rl.reg))
-            .collect();
-        let counter_touched = |r: Reg| {
-            zwr_reads.contains(&r)
-                || (0..n).any(|i| {
-                    !dropped[i]
-                        && (text[i].dst() == Some(r)
-                            || text[i].srcs().iter().flatten().any(|&s| s == r))
-                })
+        // A handled loop's counter must be *unobservable* after
+        // excision. Two liveness-grade queries over the virtual
+        // program replace the old whole-text syntactic scan, each a
+        // strict widening of it:
+        //
+        // 1. no reachable surviving instruction inside the region may
+        //    read or write the counter — a body read would observe a
+        //    value the hardware no longer materializes, a body write
+        //    would have changed the original's trip count. Scanning
+        //    the *virtual* text makes the substituted `zwr` limit
+        //    updates count as surviving reads of their bound source —
+        //    a triangular nest whose inner bound is the outer's live
+        //    counter still falls back to software;
+        //
+        // 2. the counter must be dead on the loop's fall-through exit
+        //    — a later read reached before any redefinition would
+        //    observe the freed counter. The virtual latch branches
+        //    keep every hardware back edge, so reads re-reached
+        //    through an enclosing hardware loop's next iteration are
+        //    seen. Code that merely *redefines* the counter after the
+        //    loop (the old scan's false positive) no longer
+        //    disqualifies it.
+        let counter_free = |c: &CountedLoop| -> bool {
+            let region = c.start..=c.branch_addr;
+            let region_clean = vtext.iter().enumerate().all(|(i, instr)| {
+                let pc = TEXT_BASE + INSTR_BYTES * i as u32;
+                !region.contains(&pc)
+                    || !reachable_pc(pc)
+                    || (instr.dst() != Some(c.counter)
+                        && !instr.srcs().iter().flatten().any(|&s| s == c.counter))
+            });
+            let live_at_exit = vflow
+                .block_of(c.branch_addr + INSTR_BYTES)
+                .is_some_and(|b| live.block_in[b].contains(c.counter));
+            region_clean && !live_at_exit
         };
         handled.retain(|c| {
-            let ok = !counter_touched(c.counter);
+            let ok = counter_free(c);
             if !ok {
                 notes.push(format!(
-                    "loop at {:#x}: counter {} still used by surviving code",
+                    "loop at {:#x}: counter {} still observable by surviving code",
                     c.start, c.counter
                 ));
             }
@@ -1149,6 +1222,99 @@ mod tests {
         );
         assert_eq!(r.counted.len(), 0);
         assert_eq!(r.unhandled.len(), 1);
+    }
+
+    #[test]
+    fn counter_redefined_before_later_read_still_maps() {
+        // the counter register is *reused* after the loop — redefined
+        // first, then read. The old whole-text syntactic scan rejected
+        // any surviving touch of the counter; the liveness filter sees
+        // the redefinition kills the freed value before the read, so
+        // the loop maps to hardware.
+        let r = assert_retarget_equiv(
+            "
+            li   r11, 3
+      top:  add  r2, r2, r3
+            addi r11, r11, -1
+            bne  r11, r0, top
+            li   r11, 7
+            add  r4, r4, r11
+            halt
+        ",
+            &ZolcConfig::lite(),
+        );
+        assert_eq!(r.counted.len(), 1, "{:?}", r.notes);
+        assert!(r.unhandled.is_empty());
+    }
+
+    #[test]
+    fn counter_live_after_loop_stays_software() {
+        // same shape without the redefinition: the read after the loop
+        // observes the counter's final value, so it is live on the
+        // loop's exit and the loop must keep its software control
+        let r = assert_retarget_equiv(
+            "
+            li   r11, 3
+      top:  add  r2, r2, r3
+            addi r11, r11, -1
+            bne  r11, r0, top
+            add  r4, r4, r11
+            halt
+        ",
+            &ZolcConfig::lite(),
+        );
+        assert_eq!(r.counted.len(), 0, "{:?}", r.notes);
+        assert_eq!(r.unhandled.len(), 1);
+    }
+
+    #[test]
+    fn counter_read_in_dead_code_still_maps() {
+        // an unreachable block both reads the counter and branches into
+        // the loop region; code the excised program can never execute
+        // disqualifies nothing
+        let r = assert_retarget_equiv(
+            "
+            j    start
+            add  r4, r4, r11
+            bne  r4, r0, top
+     start: li   r11, 3
+      top:  add  r2, r2, r3
+            addi r11, r11, -1
+            bne  r11, r0, top
+            halt
+        ",
+            &ZolcConfig::lite(),
+        );
+        assert_eq!(r.counted.len(), 1, "{:?}", r.notes);
+    }
+
+    #[test]
+    fn counter_reread_by_enclosing_hardware_loop_stays_software() {
+        // the inner counter r12 is read *before* the inner loop, inside
+        // the outer body: each outer iteration re-reaches the read via
+        // the hardware back edge, observing the freed counter. The
+        // virtual latch branches keep that back edge, so exit-liveness
+        // catches it even though no read follows the nest in program
+        // order.
+        let r = assert_retarget_equiv(
+            "
+            li   r11, 3
+      out:  add  r4, r4, r12
+            li   r12, 2
+      inn:  add  r2, r2, r3
+            addi r12, r12, -1
+            bne  r12, r0, inn
+            addi r11, r11, -1
+            bne  r11, r0, out
+            halt
+        ",
+            &ZolcConfig::lite(),
+        );
+        assert!(
+            !r.counted.iter().any(|c| c.counter == reg(12)),
+            "inner loop must stay in software: {:?}",
+            r.notes
+        );
     }
 
     #[test]

@@ -6,15 +6,49 @@
 //! and exit records must point at conditional branches whose targets
 //! match. The benchmark suite runs this over every lowered kernel, making
 //! the lowering and the controller independently cross-checked.
+//!
+//! Findings are structured: a [`FindingKind`] plus the offending byte
+//! address (when one exists), so drivers like the binary lint pass can
+//! filter and count without matching message text; the rendered
+//! [`Finding`] message stays the human-facing form.
 
 use std::fmt;
 use zolc_core::{AddrVal, ZolcImage, TASK_NONE};
 use zolc_isa::Program;
 
+/// The category of a verification finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FindingKind {
+    /// A table address never resolved to a concrete value.
+    Unresolved,
+    /// A table address points outside the text segment.
+    OutsideText,
+    /// A loop record's start lies after its end.
+    InvertedRegion,
+    /// `r0` is claimed as a hardware-owned index register.
+    ZeroIndexReg,
+    /// A loop-body instruction writes the hardware-owned index register.
+    IndexRegWrite,
+    /// A record references a loop/task index that does not exist.
+    BadRecordRef,
+    /// A task's end address differs from its loop record's end.
+    EndMismatch,
+    /// A task fall-through chain cycles instead of terminating.
+    CyclicFallthru,
+    /// An exit record's branch address holds a non-branch instruction.
+    NotABranch,
+    /// An exit branch's real target differs from the record's.
+    TargetMismatch,
+}
+
 /// One verification finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// What is wrong.
+    /// The structural category.
+    pub kind: FindingKind,
+    /// The offending byte address, when the finding is about one.
+    pub addr: Option<u32>,
+    /// What is wrong, rendered for humans.
     pub message: String,
 }
 
@@ -33,36 +67,66 @@ fn abs(a: AddrVal) -> Option<u32> {
 /// Returns all findings (empty = structurally sound).
 pub fn verify_image(program: &Program, image: &ZolcImage) -> Vec<Finding> {
     let mut findings = Vec::new();
-    let mut report = |msg: String| findings.push(Finding { message: msg });
+    let mut report = |kind: FindingKind, addr: Option<u32>, message: String| {
+        findings.push(Finding {
+            kind,
+            addr,
+            message,
+        })
+    };
 
     let in_text = |addr: u32| program.instr_at(addr).is_some();
 
     // --- loop records ---
     for (k, l) in image.loops.iter().enumerate() {
         let (Some(start), Some(end)) = (abs(l.start), abs(l.end)) else {
-            report(format!("loop {k}: unresolved addresses"));
+            report(
+                FindingKind::Unresolved,
+                None,
+                format!("loop {k}: unresolved addresses"),
+            );
             continue;
         };
         if !in_text(start) {
-            report(format!("loop {k}: start {start:#x} outside text"));
+            report(
+                FindingKind::OutsideText,
+                Some(start),
+                format!("loop {k}: start {start:#x} outside text"),
+            );
         }
         if !in_text(end) {
-            report(format!("loop {k}: end {end:#x} outside text"));
+            report(
+                FindingKind::OutsideText,
+                Some(end),
+                format!("loop {k}: end {end:#x} outside text"),
+            );
         }
         if start > end {
-            report(format!("loop {k}: start {start:#x} after end {end:#x}"));
+            report(
+                FindingKind::InvertedRegion,
+                Some(start),
+                format!("loop {k}: start {start:#x} after end {end:#x}"),
+            );
         }
         if let Some(r) = l.index_reg {
             if r.is_zero() {
-                report(format!("loop {k}: r0 as index register"));
+                report(
+                    FindingKind::ZeroIndexReg,
+                    None,
+                    format!("loop {k}: r0 as index register"),
+                );
             }
             // the body must not write the hardware-owned index register
             for pc in (start..=end).step_by(4) {
                 if let Some(i) = program.instr_at(pc) {
                     if i.dst() == Some(r) {
-                        report(format!(
-                            "loop {k}: body instruction at {pc:#x} writes index register {r}"
-                        ));
+                        report(
+                            FindingKind::IndexRegWrite,
+                            Some(pc),
+                            format!(
+                                "loop {k}: body instruction at {pc:#x} writes index register {r}"
+                            ),
+                        );
                     }
                 }
             }
@@ -72,21 +136,34 @@ pub fn verify_image(program: &Program, image: &ZolcImage) -> Vec<Finding> {
     // --- task graph ---
     for (k, t) in image.tasks.iter().enumerate() {
         let Some(end) = abs(t.end) else {
-            report(format!("task {k}: unresolved end"));
+            report(
+                FindingKind::Unresolved,
+                None,
+                format!("task {k}: unresolved end"),
+            );
             continue;
         };
         if !in_text(end) {
-            report(format!("task {k}: end {end:#x} outside text"));
+            report(
+                FindingKind::OutsideText,
+                Some(end),
+                format!("task {k}: end {end:#x} outside text"),
+            );
         }
         if usize::from(t.loop_id) >= image.loops.len() {
-            report(format!("task {k}: loop {} out of range", t.loop_id));
+            report(
+                FindingKind::BadRecordRef,
+                Some(end),
+                format!("task {k}: loop {} out of range", t.loop_id),
+            );
             continue;
         }
         if abs(image.loops[usize::from(t.loop_id)].end) != Some(end) {
-            report(format!(
-                "task {k}: end differs from its loop {} end",
-                t.loop_id
-            ));
+            report(
+                FindingKind::EndMismatch,
+                Some(end),
+                format!("task {k}: end differs from its loop {} end", t.loop_id),
+            );
         }
         // the fall-through chain must terminate (acyclic through
         // same-address chains)
@@ -95,11 +172,19 @@ pub fn verify_image(program: &Program, image: &ZolcImage) -> Vec<Finding> {
         while cur != TASK_NONE {
             let c = usize::from(cur);
             if c >= image.tasks.len() {
-                report(format!("task {k}: fall-through to invalid task {cur}"));
+                report(
+                    FindingKind::BadRecordRef,
+                    Some(end),
+                    format!("task {k}: fall-through to invalid task {cur}"),
+                );
                 break;
             }
             if std::mem::replace(&mut seen[c], true) {
-                report(format!("task {k}: cyclic fall-through chain"));
+                report(
+                    FindingKind::CyclicFallthru,
+                    Some(end),
+                    format!("task {k}: cyclic fall-through chain"),
+                );
                 break;
             }
             // only same-end tasks continue the chain at one address; a
@@ -110,51 +195,85 @@ pub fn verify_image(program: &Program, image: &ZolcImage) -> Vec<Finding> {
             cur = image.tasks[c].next_fallthru;
         }
         if t.next_iter != TASK_NONE && usize::from(t.next_iter) >= image.tasks.len() {
-            report(format!("task {k}: next_iter {} invalid", t.next_iter));
+            report(
+                FindingKind::BadRecordRef,
+                Some(end),
+                format!("task {k}: next_iter {} invalid", t.next_iter),
+            );
         }
     }
 
     // --- exit records ---
     for (k, x) in image.exits.iter().enumerate() {
         let Some(branch) = abs(x.branch) else {
-            report(format!("exit {k}: unresolved branch address"));
+            report(
+                FindingKind::Unresolved,
+                None,
+                format!("exit {k}: unresolved branch address"),
+            );
             continue;
         };
         match program.instr_at(branch) {
-            None => report(format!("exit {k}: branch {branch:#x} outside text")),
+            None => report(
+                FindingKind::OutsideText,
+                Some(branch),
+                format!("exit {k}: branch {branch:#x} outside text"),
+            ),
             Some(i) if !i.is_cond_branch() => {
-                report(format!(
-                    "exit {k}: instruction at {branch:#x} is `{i}`, not a conditional branch"
-                ));
+                report(
+                    FindingKind::NotABranch,
+                    Some(branch),
+                    format!(
+                        "exit {k}: instruction at {branch:#x} is `{i}`, not a conditional branch"
+                    ),
+                );
             }
             Some(i) => {
                 if let (Some(expect), Some(actual)) =
                     (x.target.and_then(abs), i.branch_target(branch))
                 {
                     if expect != actual {
-                        report(format!(
-                            "exit {k}: branch targets {actual:#x}, record says {expect:#x}"
-                        ));
+                        report(
+                            FindingKind::TargetMismatch,
+                            Some(branch),
+                            format!(
+                                "exit {k}: branch targets {actual:#x}, record says {expect:#x}"
+                            ),
+                        );
                     }
                 }
             }
         }
         if x.target_task != TASK_NONE && usize::from(x.target_task) >= image.tasks.len() {
-            report(format!("exit {k}: target task {} invalid", x.target_task));
+            report(
+                FindingKind::BadRecordRef,
+                Some(branch),
+                format!("exit {k}: target task {} invalid", x.target_task),
+            );
         }
     }
 
     // --- entry records ---
     for (k, e) in image.entries.iter().enumerate() {
         match e.addr.abs() {
-            Some(addr) if !in_text(addr) => {
-                report(format!("entry {k}: address {addr:#x} outside text"))
-            }
-            None => report(format!("entry {k}: unresolved address")),
+            Some(addr) if !in_text(addr) => report(
+                FindingKind::OutsideText,
+                Some(addr),
+                format!("entry {k}: address {addr:#x} outside text"),
+            ),
+            None => report(
+                FindingKind::Unresolved,
+                None,
+                format!("entry {k}: unresolved address"),
+            ),
             _ => {}
         }
         if e.task != TASK_NONE && usize::from(e.task) >= image.tasks.len() {
-            report(format!("entry {k}: task {} invalid", e.task));
+            report(
+                FindingKind::BadRecordRef,
+                e.addr.abs(),
+                format!("entry {k}: task {} invalid", e.task),
+            );
         }
     }
 
@@ -203,11 +322,19 @@ mod tests {
     }
 
     #[test]
-    fn bad_addresses_reported() {
+    fn bad_addresses_reported_with_kind_and_addr() {
         let (p, mut image) = lowered_single_loop();
         image.loops[0].end = 0xdead00.into();
         let findings = verify_image(&p, &image);
-        assert!(findings.iter().any(|f| f.message.contains("outside text")));
+        let f = findings
+            .iter()
+            .find(|f| f.kind == FindingKind::OutsideText)
+            .expect("outside-text finding");
+        assert_eq!(f.addr, Some(0xdead00));
+        assert!(
+            f.to_string().contains("outside text"),
+            "Display keeps prose"
+        );
     }
 
     #[test]
@@ -216,9 +343,14 @@ mod tests {
         // claim r2 (which the body writes) is the hardware index
         image.loops[0].index_reg = Some(reg(2));
         let findings = verify_image(&p, &image);
-        assert!(findings
+        let f = findings
             .iter()
-            .any(|f| f.message.contains("writes index register")));
+            .find(|f| f.kind == FindingKind::IndexRegWrite)
+            .expect("index-reg-write finding");
+        assert!(
+            f.addr.is_some(),
+            "carries the offending instruction address"
+        );
     }
 
     #[test]
@@ -231,7 +363,7 @@ mod tests {
             next_fallthru: TASK_NONE,
         });
         let findings = verify_image(&p, &image);
-        assert!(findings.iter().any(|f| f.message.contains("out of range")));
+        assert!(findings.iter().any(|f| f.kind == FindingKind::BadRecordRef));
     }
 
     #[test]
@@ -254,6 +386,10 @@ mod tests {
             initial_task: TASK_NONE,
         };
         let findings = verify_image(&p, &image);
-        assert!(findings.iter().any(|f| f.message.contains("unresolved")));
+        let f = findings
+            .iter()
+            .find(|f| f.kind == FindingKind::Unresolved)
+            .expect("unresolved finding");
+        assert_eq!(f.addr, None);
     }
 }

@@ -16,7 +16,7 @@ use zolc_bench::SweepConfig;
 use zolc_core::ZolcConfig;
 use zolc_isa::Program;
 
-use crate::protocol::{read_frame, retarget_request, sweep_request, write_frame};
+use crate::protocol::{lint_request, read_frame, retarget_request, sweep_request, write_frame};
 
 /// One connection to a running `zolcd`, carrying any number of
 /// sequential requests.
@@ -126,6 +126,19 @@ impl Client {
     /// errors: they come back as `{"ok":false}` response bytes.
     pub fn retarget(&mut self, program: &Program, config: &ZolcConfig) -> io::Result<Vec<u8>> {
         self.request(&retarget_request(program, config))
+    }
+
+    /// Submits a lint job, returning the raw response bytes (compare
+    /// with [`offline_lint_response`](crate::server::offline_lint_response)).
+    /// With a `config` the daemon retargets the binary on it first and
+    /// lints the excised program against its table image; without one
+    /// the binary is linted as-is.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::retarget`].
+    pub fn lint(&mut self, program: &Program, config: Option<&ZolcConfig>) -> io::Result<Vec<u8>> {
+        self.request(&lint_request(program, config))
     }
 
     /// Submits a sweep job, returning the raw response bytes (compare

@@ -1,9 +1,12 @@
 //! # zolc-daemon — sweep-as-a-service
 //!
-//! `zolcd` is a persistent job daemon over the retargeting pipeline and
-//! the sweep harness: clients submit **retarget** jobs (a raw XR32
-//! binary plus a [`ZolcConfig`](zolc_core::ZolcConfig)) and **sweep**
-//! jobs (a [`SweepConfig`](zolc_bench::SweepConfig)) over a tiny
+//! `zolcd` is a persistent job daemon over the retargeting pipeline,
+//! the binary lint pass and the sweep harness: clients submit
+//! **retarget** jobs (a raw XR32 binary plus a
+//! [`ZolcConfig`](zolc_core::ZolcConfig)), **lint** jobs (a binary,
+//! optionally retargeted first and linted against its synthesized
+//! table image) and **sweep** jobs (a
+//! [`SweepConfig`](zolc_bench::SweepConfig)) over a tiny
 //! length-prefixed JSON protocol, and the daemon answers repeated jobs
 //! from content-addressed result caches instead of recomputing them.
 //!

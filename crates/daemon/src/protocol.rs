@@ -19,6 +19,7 @@
 //! | `ping`     | —                                         |
 //! | `stats`    | —                                         |
 //! | `retarget` | `binary` (encoded text words), `data` (bytes), `config` (ZOLC configuration) |
+//! | `lint`     | `binary` (encoded text words), `data` (bytes), optional `config` (retarget on it first, lint against the image) |
 //! | `sweep`    | `config` (sweep configuration)            |
 //! | `shutdown` | —                                         |
 //!
@@ -40,7 +41,7 @@ use std::io::{self, Read, Write};
 use std::sync::Arc;
 use zolc_bench::json::Json;
 use zolc_bench::SweepPoint;
-use zolc_cfg::Retargeted;
+use zolc_cfg::{LintReport, Retargeted};
 use zolc_core::{ZolcConfig, ZolcVariant};
 use zolc_gen::GenConfig;
 use zolc_isa::Program;
@@ -379,40 +380,120 @@ pub fn sweep_request(cfg: &zolc_bench::SweepConfig) -> Json {
     ])
 }
 
+/// Decodes a request's `binary`/`data` program fields; `op` names the
+/// operation in error messages.
+fn parse_program_fields(doc: &Json, op: &str) -> Result<Program, String> {
+    let words = doc
+        .get("binary")
+        .and_then(Json::as_arr)
+        .ok_or(format!("{op}: missing `binary` word array"))?;
+    let mut text = Vec::with_capacity(words.len());
+    for (i, w) in words.iter().enumerate() {
+        let word = w
+            .as_u64()
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or(format!("{op}: binary[{i}] is not a 32-bit word"))?;
+        text.push(
+            zolc_isa::decode(word).map_err(|e| format!("{op}: binary[{i}] ({word:#010x}): {e}"))?,
+        );
+    }
+    let mut data = Vec::new();
+    if let Some(bytes) = doc.get("data") {
+        let bytes = bytes
+            .as_arr()
+            .ok_or(format!("{op}: `data` is not an array"))?;
+        data.reserve(bytes.len());
+        for (i, b) in bytes.iter().enumerate() {
+            data.push(
+                b.as_u64()
+                    .and_then(|v| u8::try_from(v).ok())
+                    .ok_or(format!("{op}: data[{i}] is not a byte"))?,
+            );
+        }
+    }
+    Ok(Program::from_parts(text, data))
+}
+
 /// Decodes a retarget request's program (see [`retarget_request`]).
 ///
 /// # Errors
 ///
 /// A message naming the malformed field or the undecodable word.
 pub fn parse_retarget_program(doc: &Json) -> Result<Program, String> {
-    let words = doc
-        .get("binary")
-        .and_then(Json::as_arr)
-        .ok_or("retarget: missing `binary` word array")?;
-    let mut text = Vec::with_capacity(words.len());
-    for (i, w) in words.iter().enumerate() {
-        let word = w
-            .as_u64()
-            .and_then(|v| u32::try_from(v).ok())
-            .ok_or(format!("retarget: binary[{i}] is not a 32-bit word"))?;
-        text.push(
-            zolc_isa::decode(word)
-                .map_err(|e| format!("retarget: binary[{i}] ({word:#010x}): {e}"))?,
-        );
+    parse_program_fields(doc, "retarget")
+}
+
+// ---- lint jobs ----------------------------------------------------------
+
+/// Builds a lint request. Like [`retarget_request`], the program
+/// travels as encoded text words plus raw data bytes. With a `config`,
+/// the daemon retargets the binary on that configuration first and
+/// lints the *excised* program against its synthesized table image (so
+/// the hardware back edges are part of the analyzed graph); without
+/// one, the binary is linted as-is.
+pub fn lint_request(program: &Program, config: Option<&ZolcConfig>) -> Json {
+    let mut fields = vec![
+        ("op".into(), Json::Str("lint".into())),
+        (
+            "binary".into(),
+            Json::Arr(
+                program
+                    .text()
+                    .iter()
+                    .map(|i| Json::u64(u64::from(zolc_isa::encode(i))))
+                    .collect(),
+            ),
+        ),
+        (
+            "data".into(),
+            Json::Arr(
+                program
+                    .data()
+                    .iter()
+                    .map(|&b| Json::u64(u64::from(b)))
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some(config) = config {
+        fields.push(("config".into(), zolc_config_json(config)));
     }
-    let mut data = Vec::new();
-    if let Some(bytes) = doc.get("data") {
-        let bytes = bytes.as_arr().ok_or("retarget: `data` is not an array")?;
-        data.reserve(bytes.len());
-        for (i, b) in bytes.iter().enumerate() {
-            data.push(
-                b.as_u64()
-                    .and_then(|v| u8::try_from(v).ok())
-                    .ok_or(format!("retarget: data[{i}] is not a byte"))?,
-            );
-        }
-    }
-    Ok(Program::from_parts(text, data))
+    Json::Obj(fields)
+}
+
+/// Decodes a lint request's program (see [`lint_request`]).
+///
+/// # Errors
+///
+/// A message naming the malformed field or the undecodable word.
+pub fn parse_lint_program(doc: &Json) -> Result<Program, String> {
+    parse_program_fields(doc, "lint")
+}
+
+/// The canonical JSON encoding of a lint report: `clean`, the total
+/// finding count, and one `{kind, addr, message}` object per finding in
+/// report order (sorted by address, then kind).
+pub fn lint_report_json(report: &LintReport) -> Json {
+    Json::Obj(vec![
+        ("clean".into(), Json::Bool(report.is_clean())),
+        ("findings".into(), Json::u64(report.lints.len() as u64)),
+        (
+            "lints".into(),
+            Json::Arr(
+                report
+                    .lints
+                    .iter()
+                    .map(|l| {
+                        Json::Obj(vec![
+                            ("kind".into(), Json::Str(l.kind.label().into())),
+                            ("addr".into(), Json::u64(u64::from(l.addr))),
+                            ("message".into(), Json::Str(l.message.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// The canonical JSON encoding of a retargeting result: the excised,

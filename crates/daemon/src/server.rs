@@ -15,8 +15,8 @@ use zolc_isa::Program;
 
 use crate::cache::ResultCache;
 use crate::protocol::{
-    err_response, ok_response, read_frame, retarget_request, retargeted_json, sweep_config_json,
-    write_frame,
+    err_response, lint_report_json, lint_request, ok_response, read_frame, retarget_request,
+    retargeted_json, sweep_config_json, write_frame,
 };
 
 /// How a [`Daemon`] binds and serves.
@@ -73,6 +73,28 @@ pub fn retarget_result(program: &Program, config: &ZolcConfig) -> Result<String,
     Ok(retargeted_json(&r).render())
 }
 
+/// Computes the canonical result document for a lint job (see
+/// [`retarget_result`] — same contract, for the binary lint pass).
+/// With a configuration the binary is retargeted on it first and the
+/// excised program is linted against its synthesized table image;
+/// without one the binary is linted as-is.
+///
+/// # Errors
+///
+/// The retargeting error (when a configuration was given), rendered to
+/// the string the daemon would put in its failure response.
+pub fn lint_result(program: &Program, config: Option<&ZolcConfig>) -> Result<String, String> {
+    let wire = Program::from_parts(program.text().to_vec(), program.data().to_vec());
+    let report = match config {
+        Some(config) => {
+            let r = zolc_cfg::retarget(&wire, config).map_err(|e| e.to_string())?;
+            zolc_cfg::lint_program(&r.program, Some(&r.image))
+        }
+        None => zolc_cfg::lint_program(&wire, None),
+    };
+    Ok(lint_report_json(&report).render())
+}
+
 /// Computes the canonical result document for a sweep job (see
 /// [`retarget_result`] — same contract, for sweeps).
 ///
@@ -106,6 +128,15 @@ pub fn offline_retarget_response(program: &Program, config: &ZolcConfig) -> Vec<
     }
 }
 
+/// The complete, byte-exact response a daemon sends for a lint job —
+/// computed locally (see [`offline_retarget_response`]).
+pub fn offline_lint_response(program: &Program, config: Option<&ZolcConfig>) -> Vec<u8> {
+    match lint_result(program, config) {
+        Ok(doc) => ok_response(&doc),
+        Err(e) => err_response(&e),
+    }
+}
+
 /// The complete, byte-exact response a daemon sends for a sweep job —
 /// computed locally (see [`offline_retarget_response`]).
 pub fn offline_sweep_response(cfg: &SweepConfig) -> Vec<u8> {
@@ -118,6 +149,8 @@ pub fn offline_sweep_response(cfg: &SweepConfig) -> Vec<u8> {
 struct Shared {
     /// Canonical retarget request bytes → rendered retarget result.
     retargets: ResultCache,
+    /// Canonical lint request bytes → rendered lint report.
+    lints: ResultCache,
     /// Canonical sweep configuration bytes → rendered sweep report.
     sweeps: ResultCache,
     stop: AtomicBool,
@@ -135,6 +168,7 @@ impl Shared {
         };
         Json::Obj(vec![
             ("retarget".into(), cache(self.retargets.stats())),
+            ("lint".into(), cache(self.lints.stats())),
             ("sweep".into(), cache(self.sweeps.stats())),
         ])
     }
@@ -157,6 +191,7 @@ impl Shared {
             "stats" => (ok_response(&self.stats_json().render()), false),
             "shutdown" => (ok_response("\"bye\""), true),
             "retarget" => (self.retarget_job(&doc), false),
+            "lint" => (self.lint_job(&doc), false),
             "sweep" => (self.sweep_job(&doc), false),
             other => (err_response(&format!("unknown op `{other}`")), false),
         }
@@ -182,6 +217,31 @@ impl Shared {
         match self
             .retargets
             .get_or_compute(canon.as_bytes(), || retarget_result(&program, &config))
+        {
+            Ok(doc) => ok_response(&doc),
+            Err(e) => err_response(&e),
+        }
+    }
+
+    fn lint_job(&self, doc: &Json) -> Vec<u8> {
+        let program = match crate::protocol::parse_lint_program(doc) {
+            Ok(p) => p,
+            Err(e) => return err_response(&e),
+        };
+        // `config` is optional here: absent means "lint the binary
+        // as-is", present means "retarget on it, lint the result".
+        let config = match doc
+            .get("config")
+            .map(crate::protocol::parse_zolc_config)
+            .transpose()
+        {
+            Ok(c) => c,
+            Err(e) => return err_response(&e),
+        };
+        let canon = lint_request(&program, config.as_ref()).render();
+        match self
+            .lints
+            .get_or_compute(canon.as_bytes(), || lint_result(&program, config.as_ref()))
         {
             Ok(doc) => ok_response(&doc),
             Err(e) => err_response(&e),
@@ -231,6 +291,7 @@ impl Daemon {
             listener,
             shared: Arc::new(Shared {
                 retargets: ResultCache::new(),
+                lints: ResultCache::new(),
                 sweeps: ResultCache::new(),
                 stop: AtomicBool::new(false),
                 addr,
@@ -353,6 +414,53 @@ mod tests {
         let retarget = stats.get("retarget").unwrap();
         assert_eq!(retarget.get("hits").unwrap().as_u64(), Some(1));
         assert_eq!(retarget.get("misses").unwrap().as_u64(), Some(1));
+
+        c.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn lint_jobs_match_offline_report_findings_and_cache() {
+        let (addr, handle) = spawn_daemon();
+        // the loop program plus one dead store: the first write to `r9`
+        // is overwritten before any read
+        let dirty = zolc_isa::assemble(
+            "
+            li   r9, 7
+            li   r9, 8
+            li   r11, 5
+      top:  addi r11, r11, -1
+            bne  r11, r0, top
+            halt
+        ",
+        )
+        .unwrap();
+
+        let mut c = Client::connect(addr).unwrap();
+        let cold = c.lint(&dirty, None).unwrap();
+        let warm = c.lint(&dirty, None).unwrap();
+        assert_eq!(cold, warm, "cache hit changed the response bytes");
+        assert_eq!(
+            cold,
+            offline_lint_response(&dirty, None),
+            "daemon response diverged from the offline computation"
+        );
+        let body = String::from_utf8(cold).unwrap();
+        assert!(body.contains("\"clean\":false"), "{body}");
+        assert!(body.contains("dead-store"), "{body}");
+
+        // with a configuration: retarget first, lint the excised binary
+        // against its image — the clean loop program stays clean
+        let clean = loop_program();
+        let r = c.lint(&clean, Some(&ZolcConfig::lite())).unwrap();
+        assert_eq!(r, offline_lint_response(&clean, Some(&ZolcConfig::lite())));
+        let body = String::from_utf8(r).unwrap();
+        assert!(body.contains("\"clean\":true"), "{body}");
+
+        let stats = c.stats().unwrap();
+        let lint = stats.get("lint").unwrap();
+        assert_eq!(lint.get("hits").unwrap().as_u64(), Some(1));
+        assert_eq!(lint.get("misses").unwrap().as_u64(), Some(2));
 
         c.shutdown().unwrap();
         handle.join().unwrap().unwrap();

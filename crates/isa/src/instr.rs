@@ -319,8 +319,17 @@ impl Instr {
     /// `r0` destinations are reported as `None` (writes to `r0` are
     /// discarded). [`Instr::Dbnz`] writes back its decremented `rs`.
     pub fn dst(&self) -> Option<Reg> {
+        self.dst_raw().filter(|r| !r.is_zero())
+    }
+
+    /// The *encoded* destination register, including `r0`.
+    ///
+    /// Unlike [`Instr::dst`] this reports a destination even when the
+    /// write is architecturally discarded — the form lint passes need
+    /// to flag computations whose result silently vanishes.
+    pub fn dst_raw(&self) -> Option<Reg> {
         use Instr::*;
-        let d = match *self {
+        match *self {
             Add { rd, .. }
             | Sub { rd, .. }
             | And { rd, .. }
@@ -352,8 +361,7 @@ impl Instr {
             Jal { .. } => Some(Reg::RA),
             Dbnz { rs, .. } => Some(rs),
             _ => None,
-        };
-        d.filter(|r| !r.is_zero())
+        }
     }
 
     /// The (up to two) registers read by this instruction.

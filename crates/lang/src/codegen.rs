@@ -52,48 +52,15 @@ fn fits_i16(v: i64) -> bool {
 }
 
 // ========================= interval analysis ============================
+//
+// The range lattice itself lives in `zolc-analyze` ([`Interval`]): the
+// same type backs the binary-level `Intervals` dataflow pass, so the
+// front end's AST-level range reasoning and the analyzer's
+// machine-level reasoning can never drift apart on arithmetic rules.
 
-/// A conservative signed range for a scalar (i64 endpoints so `i32`
-/// arithmetic cannot overflow the analysis itself).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Interval {
-    lo: i64,
-    hi: i64,
-}
+use zolc_analyze::Interval;
 
-const TOP: Interval = Interval {
-    lo: i32::MIN as i64,
-    hi: i32::MAX as i64,
-};
-
-impl Interval {
-    fn point(v: i32) -> Interval {
-        Interval {
-            lo: i64::from(v),
-            hi: i64::from(v),
-        }
-    }
-
-    fn as_const(self) -> Option<i32> {
-        (self.lo == self.hi).then_some(self.lo as i32)
-    }
-
-    fn join(self, other: Interval) -> Interval {
-        Interval {
-            lo: self.lo.min(other.lo),
-            hi: self.hi.max(other.hi),
-        }
-    }
-
-    /// Clamps to `i32`; anything that may wrap degrades to [`TOP`].
-    fn normalize(self) -> Interval {
-        if self.lo < i64::from(i32::MIN) || self.hi > i64::from(i32::MAX) {
-            TOP
-        } else {
-            self
-        }
-    }
-}
+const TOP: Interval = Interval::TOP;
 
 type Env = HashMap<String, Interval>;
 
@@ -106,11 +73,7 @@ fn ieval(e: &Expr, env: &Env) -> Interval {
         ExprKind::Unary(op, operand) => {
             let v = ieval(operand, env);
             match op {
-                UnOp::Neg => Interval {
-                    lo: -v.hi,
-                    hi: -v.lo,
-                }
-                .normalize(),
+                UnOp::Neg => -v,
                 UnOp::Not | UnOp::BitNot => match (*op, v.as_const()) {
                     (UnOp::Not, Some(c)) => Interval::point(i32::from(c == 0)),
                     (UnOp::BitNot, Some(c)) => Interval::point(!c),
@@ -123,24 +86,9 @@ fn ieval(e: &Expr, env: &Env) -> Interval {
             let a = ieval(lhs, env);
             let b = ieval(rhs, env);
             match op {
-                BinOp::Add => Interval {
-                    lo: a.lo + b.lo,
-                    hi: a.hi + b.hi,
-                }
-                .normalize(),
-                BinOp::Sub => Interval {
-                    lo: a.lo - b.hi,
-                    hi: a.hi - b.lo,
-                }
-                .normalize(),
-                BinOp::Mul => {
-                    let products = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
-                    Interval {
-                        lo: products.iter().copied().min().expect("nonempty"),
-                        hi: products.iter().copied().max().expect("nonempty"),
-                    }
-                    .normalize()
-                }
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
                 BinOp::Lt
                 | BinOp::Le
                 | BinOp::Gt

@@ -91,7 +91,7 @@ static CORPUS: &[CorpusEntry] = &[
     entry!("imperfect", "imperfect nest, work before and after the inner loop",
            counted: 2, whiles: 0, handled: 2, oracle: false),
     entry!("mixed", "counted for inside a data-dependent while",
-           counted: 2, whiles: 1, handled: 0, oracle: false),
+           counted: 2, whiles: 1, handled: 1, oracle: false),
     entry!("accum", "nested affine accumulation, fixed-address total store",
            counted: 2, whiles: 0, handled: 2, oracle: true),
     entry!("decay", "descending stride-2 counted loop",

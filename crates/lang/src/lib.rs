@@ -7,7 +7,7 @@
 //! functions, no pointers, no I/O. Programs are therefore *closed*:
 //! the front end runs every accepted program on a reference AST
 //! interpreter at compile time and derives the bit-exact
-//! [`Expectation`](zolc_kernels::Expectation) that the executor tiers
+//! [`Expectation`] that the executor tiers
 //! and the differential nets are gated on.
 //!
 //! Pipeline (each stage reports failures as a [`Diagnostic`] with

@@ -17,7 +17,7 @@ use crate::program::CompiledProgram;
 use crate::regfile::RegFile;
 use crate::stats::Stats;
 use crate::{Cpu, FunctionalCpu};
-use zolc_isa::{Instr, Program, DATA_BASE};
+use zolc_isa::{Instr, Program, Reg, DATA_BASE};
 
 use std::fmt;
 use std::sync::Arc;
@@ -128,6 +128,11 @@ pub struct RetireEvent {
     pub pc: u32,
     /// The instruction.
     pub instr: Instr,
+    /// The instruction's own register write, if it performed one
+    /// (`None` for stores, branches without a `dbnz` decrement, and
+    /// discarded writes to `r0`). ZOLC index-register rider writes are
+    /// not the instruction's own and are not recorded here.
+    pub dst: Option<(Reg, u32)>,
 }
 
 /// A processor core running one session over a compiled program.

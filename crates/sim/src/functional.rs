@@ -245,6 +245,7 @@ impl Machine {
                 cycle: self.stats.retired,
                 pc,
                 instr,
+                dst: dst.filter(|(r, _)| !r.is_zero()),
             });
         }
         if !PASSIVE && flush {

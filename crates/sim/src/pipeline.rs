@@ -245,6 +245,7 @@ impl Cpu {
                     cycle: self.stats.cycles,
                     pc: wb.pc,
                     instr: wb.instr,
+                    dst: wb.dst.filter(|(r, _)| !r.is_zero()),
                 });
             }
             if matches!(wb.instr, Instr::Halt) {

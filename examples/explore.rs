@@ -7,6 +7,7 @@
 //! cargo run --release --example explore -- --executor functional  # correctness-only, faster
 //! cargo run --release --example explore -- --executor nest        # correctness-only, fastest
 //! cargo run --release --example explore -- --show 17     # one seed in detail
+//! cargo run --release --example explore -- --analyze 17  # dataflow facts + lint for one seed
 //! # sharded + resumable: fragments persist under --out; re-running the
 //! # same command resumes at the first missing shard
 //! cargo run --release --example explore -- --out sweep-out --shards 8
@@ -19,11 +20,11 @@
 //! Knobs: `--programs N`, `--seed S`, `--trips T`, `--depth D`,
 //! `--loops L`, `--no-skips`, `--no-reg-bounds`, `--no-dbnz`,
 //! `--executor <pipeline|functional|compiled|nest>`, `--show SEED`,
-//! `--out DIR`, `--shards N`, `--stop-after K`, `--oracle-check`,
-//! `--oracle-floor PCT` (`--functional` / `--compiled` remain as
-//! deprecated aliases). Flags the chosen mode would ignore — e.g.
-//! `--show` or `--oracle-check` with `--executor` or the sharded sweep
-//! flags — are usage errors: one line on stderr, exit status 2.
+//! `--analyze SEED`, `--out DIR`, `--shards N`, `--stop-after K`,
+//! `--oracle-check`, `--oracle-floor PCT`. Flags the chosen mode would
+//! ignore — e.g. `--show` or `--oracle-check` with `--executor` or the
+//! sharded sweep flags — are usage errors: one line on stderr, exit
+//! status 2.
 
 use std::path::PathBuf;
 use zolc::bench::{run_oracle_check, run_sweep, run_sweep_sharded, ShardedOutcome, SweepConfig};
@@ -64,6 +65,7 @@ fn parse_executor(name: &str) -> ExecutorKind {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = SweepConfig::standard();
     let mut show: Option<u64> = None;
+    let mut analyze: Option<u64> = None;
     let mut out: Option<PathBuf> = None;
     let mut shards: usize = 1;
     let mut stop_after: Option<usize> = None;
@@ -88,17 +90,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 cfg.executor = parse_executor(&name);
                 executor_flag = true;
             }
-            "--functional" => {
-                eprintln!("note: --functional is deprecated; use --executor functional");
-                cfg.executor = ExecutorKind::Functional;
-                executor_flag = true;
-            }
-            "--compiled" => {
-                eprintln!("note: --compiled is deprecated; use --executor compiled");
-                cfg.executor = ExecutorKind::Compiled;
-                executor_flag = true;
-            }
             "--show" => show = Some(parse_flag(&mut args, "--show")),
+            "--analyze" => analyze = Some(parse_flag(&mut args, "--analyze")),
             "--out" => out = Some(parse_flag(&mut args, "--out")),
             "--shards" => shards = parse_flag(&mut args, "--shards"),
             "--stop-after" => stop_after = Some(parse_flag(&mut args, "--stop-after")),
@@ -133,6 +126,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             oracle_check || oracle_floor.is_some(),
             "--show cannot be combined with --oracle-check/--oracle-floor",
         );
+        reject(
+            analyze.is_some(),
+            "--show cannot be combined with --analyze (pick one inspection mode)",
+        );
+    }
+    if analyze.is_some() {
+        reject(
+            executor_flag,
+            "--analyze prints dataflow facts without running the seed; it cannot be combined with --executor",
+        );
+        reject(
+            sharding,
+            "--analyze cannot be combined with the sharded sweep flags (--out/--shards/--stop-after)",
+        );
+        reject(
+            oracle_check || oracle_floor.is_some(),
+            "--analyze cannot be combined with --oracle-check/--oracle-floor",
+        );
     }
     if oracle_check {
         reject(
@@ -147,6 +158,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if let Some(seed) = show {
         return show_one(seed, &cfg.gen);
+    }
+
+    if let Some(seed) = analyze {
+        return analyze_one(seed, &cfg.gen);
     }
 
     if oracle_check {
@@ -262,5 +277,74 @@ fn show_one(seed: u64, gen: &GenConfig) -> Result<(), Box<dyn std::error::Error>
         println!("  note: {note}");
     }
     println!("\nretargeted program:\n{}", r.program.listing());
+    Ok(())
+}
+
+/// Prints the dataflow view of one generated program: per-block
+/// reachability, live-in sets and constant facts on the baseline, then
+/// the binary lint report for both the baseline and the retargeted
+/// (`ZOLClite`) form — the latter linted against its table image so the
+/// hardware back edges are part of the graph.
+fn analyze_one(seed: u64, gen: &GenConfig) -> Result<(), Box<dyn std::error::Error>> {
+    use zolc::analyze::{reachable_blocks, solve, ConstProp, Liveness, RegSet};
+    use zolc::cfg::{lint_program, Cfg};
+
+    let spec = ProgramSpec::generate(seed, gen);
+    println!(
+        "seed {seed}: {} loops, depth {}, predicted software fallbacks {}",
+        spec.loop_count(),
+        spec.max_depth(),
+        spec.predicted_unhandled()
+    );
+    let assembled = spec.assemble()?;
+    let program = &assembled.program;
+
+    let flow = Cfg::build(program).flow(program);
+    let live = solve(
+        &flow,
+        &Liveness {
+            at_exit: RegSet::ALL,
+        },
+    );
+    let consts = solve(&flow, &ConstProp);
+    let reachable = reachable_blocks(&flow);
+    println!("\nbaseline dataflow ({} blocks):", flow.len());
+    for (b, block) in flow.blocks().iter().enumerate() {
+        // Only non-zero constants: every register starts at zero, so
+        // printing the zeros would drown the facts that were computed.
+        let known: Vec<String> = consts.block_in[b]
+            .iter()
+            .flat_map(|facts| facts.iter())
+            .filter_map(|(r, cv)| {
+                cv.as_const()
+                    .filter(|v| *v != 0)
+                    .map(|v| format!("{r}={v:#x}"))
+            })
+            .collect();
+        println!(
+            "  block {b} @ {:#06x}..{:#06x}{}: live-in {}{}",
+            block.start,
+            block.end(),
+            if reachable[b] { "" } else { " (unreachable)" },
+            live.block_in[b],
+            if known.is_empty() {
+                String::new()
+            } else {
+                format!(", const {{{}}}", known.join(", "))
+            },
+        );
+    }
+    println!("\nbaseline lint:\n{}", lint_program(program, None));
+
+    let r = retarget(program, &ZolcConfig::lite())?;
+    println!(
+        "retarget on ZOLClite: {} hardware loops, {} in software",
+        r.counted.len(),
+        r.unhandled.len(),
+    );
+    println!(
+        "\nretargeted lint (against its table image):\n{}",
+        lint_program(&r.program, Some(&r.image))
+    );
     Ok(())
 }

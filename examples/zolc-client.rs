@@ -9,16 +9,19 @@
 //! cargo run --release --example zolc-client -- --addr HOST:PORT shutdown
 //! ```
 //!
-//! `jobs` submits a deterministic mix of retarget and sweep jobs drawn
-//! from a small shared key space, so concurrent clients with different
-//! seeds still collide on job content and exercise the daemon's caches.
+//! `jobs` submits a deterministic mix of retarget, lint and sweep jobs
+//! drawn from a small shared key space, so concurrent clients with
+//! different seeds still collide on job content and exercise the
+//! daemon's caches.
 //! With `--verify`, every response is recomputed offline and must match
 //! the daemon's bytes exactly — the core guarantee of the service
 //! (cache hits are byte-identical to cold computation) checked from the
 //! outside. `stats` prints one parseable line per cache.
 
 use zolc::core::ZolcConfig;
-use zolc::daemon::server::{offline_retarget_response, offline_sweep_response};
+use zolc::daemon::server::{
+    offline_lint_response, offline_retarget_response, offline_sweep_response,
+};
 use zolc::daemon::Client;
 use zolc::gen::{GenConfig, ProgramSpec};
 use zolc::isa::Program;
@@ -41,8 +44,9 @@ fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T 
 /// overlapping keys, so the daemon sees repeats across clients.
 const KEY_SPACE: u64 = 10;
 
-/// The retarget job for an even key: a generated loop nest against a
-/// configuration cycling through the paper's design points.
+/// The program/configuration pair the retarget and lint jobs share: a
+/// generated loop nest against a configuration cycling through the
+/// paper's design points.
 fn retarget_job(key: u64) -> (Program, ZolcConfig) {
     let spec = ProgramSpec::generate(100 + key, &GenConfig::new());
     let assembled = spec.assemble().expect("generated programs assemble");
@@ -55,9 +59,9 @@ fn retarget_job(key: u64) -> (Program, ZolcConfig) {
     (assembled.program, config)
 }
 
-/// The sweep job for an odd key: tiny (2 programs, one point, the
-/// functional executor) so a smoke run stays fast while still covering
-/// the generate→retarget→execute pipeline.
+/// The sweep job: tiny (2 programs, one point, the functional
+/// executor) so a smoke run stays fast while still covering the
+/// generate→retarget→execute pipeline.
 fn sweep_job(key: u64) -> SweepConfig {
     SweepConfig::new()
         .with_programs(2)
@@ -70,20 +74,42 @@ fn run_jobs(client: &mut Client, seed: u64, count: u64, verify: bool) -> std::io
     let mut all_ok = true;
     for i in 0..count {
         let key = (seed + i) % KEY_SPACE;
-        let (label, response, expected) = if key.is_multiple_of(2) {
-            let (program, config) = retarget_job(key);
-            let response = client.retarget(&program, &config)?;
-            let expected = verify.then(|| offline_retarget_response(&program, &config));
-            (
-                format!("retarget key={key} config={}", config.variant()),
-                response,
-                expected,
-            )
-        } else {
-            let cfg = sweep_job(key);
-            let response = client.sweep(&cfg)?;
-            let expected = verify.then(|| offline_sweep_response(&cfg));
-            (format!("sweep key={key}"), response, expected)
+        let (label, response, expected) = match key % 3 {
+            0 => {
+                let (program, config) = retarget_job(key);
+                let response = client.retarget(&program, &config)?;
+                let expected = verify.then(|| offline_retarget_response(&program, &config));
+                (
+                    format!("retarget key={key} config={}", config.variant()),
+                    response,
+                    expected,
+                )
+            }
+            1 => {
+                // lint the same generated binaries the retarget jobs
+                // use, alternating the bare and retarget-first forms
+                let (program, config) = retarget_job(key);
+                let config = (key % 2 == 1).then_some(config);
+                let response = client.lint(&program, config.as_ref())?;
+                let expected = verify.then(|| offline_lint_response(&program, config.as_ref()));
+                (
+                    format!(
+                        "lint key={key} {}",
+                        match &config {
+                            Some(c) => format!("config={}", c.variant()),
+                            None => "bare".into(),
+                        }
+                    ),
+                    response,
+                    expected,
+                )
+            }
+            _ => {
+                let cfg = sweep_job(key);
+                let response = client.sweep(&cfg)?;
+                let expected = verify.then(|| offline_sweep_response(&cfg));
+                (format!("sweep key={key}"), response, expected)
+            }
         };
 
         let ok = response.starts_with(b"{\"ok\":true");
@@ -150,7 +176,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         Some("stats") => {
             let stats = client.stats()?;
-            for cache in ["retarget", "sweep"] {
+            for cache in ["retarget", "lint", "sweep"] {
                 let s = stats.get(cache).ok_or("stats response missing a cache")?;
                 let field = |k: &str| s.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
                 println!(

@@ -11,15 +11,22 @@
 //! cargo run --example zolcc -- prog.zl --emit asm       # disassembly listing
 //! cargo run --example zolcc -- prog.zl --emit bin       # encoded text + data hex
 //! cargo run --example zolcc -- prog.zl --executor nest  # pick the executor tier
+//! cargo run --example zolcc -- prog.zl --lint           # binary lint pass
 //! cargo run --example zolcc -- --list-corpus            # bundled program index
 //! cargo run --example zolcc -- --check-corpus           # CI gate (see below)
 //! ```
 //!
 //! Knobs: `FILE.zl` or `--corpus NAME`, `--target
 //! <baseline|hwloop|zolc|auto>`, `--emit <ir|asm|bin>`, `--executor
-//! <pipeline|functional|compiled|nest>`, `--list-corpus`,
+//! <pipeline|functional|compiled|nest>`, `--lint`, `--list-corpus`,
 //! `--check-corpus`. Usage errors exit 2 with a one-line message;
 //! compile diagnostics and verification failures exit 1.
+//!
+//! `--lint` runs the `zolc-analyze`-backed binary lint pass
+//! ([`zolc::cfg::lint_program`]) over the built program — with the
+//! synthesized table image when the target produces one, so
+//! index-register clobbers are checked too — prints the report, and
+//! exits 1 if there are findings.
 //!
 //! `--check-corpus` is the CI `frontend-corpus` gate: every bundled
 //! program must compile with its pinned loop shape, run bit-exact on
@@ -100,6 +107,7 @@ fn main() {
     let mut target = TargetArg::Hand("baseline");
     let mut emit: Option<Emit> = None;
     let mut executor = ExecutorKind::CycleAccurate;
+    let mut lint = false;
     let mut list_corpus = false;
     let mut check_corpus = false;
 
@@ -121,6 +129,7 @@ fn main() {
                 });
             }
             "--executor" => executor = parse_executor(&flag_value(&mut args, "--executor")),
+            "--lint" => lint = true,
             "--list-corpus" => list_corpus = true,
             "--check-corpus" => check_corpus = true,
             other if !other.starts_with('-') => {
@@ -134,6 +143,11 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if lint && emit.is_some() {
+        eprintln!("--lint and --emit are mutually exclusive");
+        std::process::exit(2);
     }
 
     if list_corpus {
@@ -215,6 +229,15 @@ fn main() {
         }
     };
     let program = built.program.source();
+
+    if lint {
+        let report = zolc::cfg::lint_program(program, built.info.image.as_ref());
+        print!("{report}");
+        if !report.is_clean() {
+            std::process::exit(1);
+        }
+        return;
+    }
 
     match emit {
         Some(Emit::Ir) => unreachable!("handled above"),

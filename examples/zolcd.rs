@@ -6,9 +6,9 @@
 //! ```
 //!
 //! The daemon prints one `zolcd listening on ADDR` line once the socket
-//! is bound (scripts wait for it), serves retarget and sweep jobs from
-//! content-addressed caches, and exits when a client sends `shutdown`.
-//! Submit jobs with the `zolc-client` example.
+//! is bound (scripts wait for it), serves retarget, lint and sweep jobs
+//! from content-addressed caches, and exits when a client sends
+//! `shutdown`. Submit jobs with the `zolc-client` example.
 
 use std::io::Write;
 use zolc::daemon::{Daemon, DaemonConfig};

@@ -11,6 +11,11 @@
 //!   executors) with two executors behind one trait: the cycle-accurate
 //!   5-stage pipeline and a fast functional executor, both with
 //!   loop-engine hooks;
+//! * [`mod@analyze`] — the static-analysis layer: a worklist dataflow
+//!   solver with a lattice library (liveness, constant propagation,
+//!   intervals, reachability) whose facts drive [`cfg::retarget`]'s
+//!   handledness filters and the binary lint pass, execution-checked
+//!   against functional traces;
 //! * [`mod@core`] — the ZOLC itself: task selection, loop parameter tables,
 //!   index calculation, configurations, area/storage/timing models;
 //! * [`mod@ir`] — the structured loop IR and its three lowerings
@@ -64,6 +69,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use zolc_analyze as analyze;
 pub use zolc_bench as bench;
 pub use zolc_cfg as cfg;
 pub use zolc_core as core;

@@ -138,46 +138,69 @@ fn explore_sweep_and_show_paths() {
     assert_eq!(r.unhandled.len(), spec.predicted_unhandled());
 }
 
-/// The `explore` example's deprecated executor aliases: `--functional`
-/// and `--compiled` must keep producing byte-identical reports to the
-/// spelled-out `--executor` form, and must say so on stderr — the alias
-/// paths are pure redirects, not a second implementation.
+/// The `explore` example's retired executor aliases: `--functional` and
+/// `--compiled` were deprecated redirects to `--executor` and have been
+/// removed — they must now be ordinary unknown-argument usage errors
+/// (one line, exit 2), not silently accepted legacy spellings.
 #[test]
-fn explore_deprecated_aliases_match_executor_flag() {
+fn explore_removed_aliases_are_usage_errors() {
     use std::process::Command;
 
-    let run = |extra: &[&str]| {
+    for alias in ["--functional", "--compiled"] {
         let out = Command::new(env!("CARGO"))
             .args(["run", "--quiet", "--example", "explore", "--"])
-            .args(["--programs", "4", "--trips", "6"])
-            .args(extra)
+            .args(["--programs", "4", alias])
             .output()
             .expect("spawns the explore example");
-        assert!(
-            out.status.success(),
-            "explore {extra:?} failed: {}",
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "explore {alias} should be an unknown-argument error: stdout {:?} stderr {:?}",
+            String::from_utf8_lossy(&out.stdout),
             String::from_utf8_lossy(&out.stderr)
         );
-        (
-            out.stdout,
-            String::from_utf8_lossy(&out.stderr).into_owned(),
-        )
-    };
-
-    for (alias, spelled) in [("--functional", "functional"), ("--compiled", "compiled")] {
-        let (alias_stdout, alias_stderr) = run(&[alias]);
-        let (spelled_stdout, spelled_stderr) = run(&["--executor", spelled]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
         assert_eq!(
-            alias_stdout, spelled_stdout,
-            "{alias} report differs from --executor {spelled}"
+            stderr.lines().count(),
+            1,
+            "explore {alias}: usage errors are one line: {stderr:?}"
         );
         assert!(
-            alias_stderr.contains("deprecated"),
-            "{alias} did not warn on stderr: {alias_stderr:?}"
+            stderr.contains("unknown argument"),
+            "explore {alias}: unexpected message {stderr:?}"
         );
+    }
+}
+
+/// The `explore` example's `--analyze` mode: one seed's dataflow view —
+/// per-block facts for the baseline, a lint report for both the
+/// baseline and the retargeted form — prints and exits 0 (the mode is
+/// an inspection surface, so findings in a *generated* program are
+/// reported, not fatal).
+#[test]
+fn explore_analyze_prints_dataflow_view() {
+    use std::process::Command;
+
+    let out = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", "explore", "--"])
+        .args(["--analyze", "17"])
+        .output()
+        .expect("spawns the explore example");
+    assert!(
+        out.status.success(),
+        "explore --analyze 17 failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "baseline dataflow",
+        "live-in",
+        "baseline lint:",
+        "retargeted lint",
+    ] {
         assert!(
-            !spelled_stderr.contains("deprecated"),
-            "--executor {spelled} warned spuriously: {spelled_stderr:?}"
+            stdout.contains(needle),
+            "--analyze output is missing {needle:?}: {stdout}"
         );
     }
 }
@@ -194,6 +217,10 @@ fn explore_rejects_ignored_flag_combinations() {
         &["--show", "17", "--out", "nowhere"],
         &["--show", "17", "--shards", "4"],
         &["--show", "17", "--oracle-check"],
+        &["--show", "17", "--analyze", "17"],
+        &["--analyze", "17", "--executor", "functional"],
+        &["--analyze", "17", "--shards", "4"],
+        &["--analyze", "17", "--oracle-check"],
         &["--oracle-check", "--executor", "nest"],
         &["--oracle-check", "--out", "nowhere"],
         &["--oracle-check", "--stop-after", "1"],
@@ -225,8 +252,9 @@ fn explore_rejects_ignored_flag_combinations() {
 }
 
 /// The `zolcc` example: the corpus-wide CI gate passes, single-program
-/// compile+run works on every executor spelling, and usage errors hold
-/// the one-line/exit-2 convention.
+/// compile+run works on every executor spelling, the `--lint` pass is
+/// clean on bundled programs, and usage errors hold the
+/// one-line/exit-2 convention.
 #[test]
 fn zolcc_compiles_runs_and_rejects_usage_errors() {
     use std::process::Command;
@@ -267,12 +295,32 @@ fn zolcc_compiles_runs_and_rejects_usage_errors() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("halt"));
 
+    // the lint pass: a clean corpus program reports no findings on the
+    // hand target and on the auto-retargeted binary (whose table image
+    // supplies the hardware back edges the text no longer carries)
+    for extra in [
+        &["--corpus", "dot", "--lint"] as &[&str],
+        &["--corpus", "matmul", "--target", "auto", "--lint"],
+    ] {
+        let out = zolcc(extra);
+        assert!(
+            out.status.success(),
+            "zolcc {extra:?} found lints: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("clean: no findings"),
+            "zolcc {extra:?}: lint summary missing"
+        );
+    }
+
     // usage errors: exit 2, one stderr line
     for extra in [
         &["--corpus", "no-such-program"] as &[&str],
         &["--corpus", "dot", "--executor", "warp"],
         &["--corpus", "dot", "--emit", "elf"],
         &["--corpus", "dot", "--target", "mystery"],
+        &["--corpus", "dot", "--lint", "--emit", "asm"],
         &["--check-corpus", "--emit", "ir"],
         &[],
     ] {
